@@ -1,0 +1,52 @@
+//! # tad-autodiff
+//!
+//! A from-scratch tensor and reverse-mode automatic-differentiation engine,
+//! built as the deep-learning substrate for the CausalTAD reproduction
+//! (ICDE 2024). The paper trains several variational autoencoders with GRU
+//! decoders using Adam; no mature pure-Rust DL stack was available offline,
+//! so this crate implements exactly the pieces those models need:
+//!
+//! * [`Tensor`] — dense row-major `f32` matrices with cache-friendly matmul
+//!   kernels (including the `A·Bᵀ` form used to project onto gathered
+//!   embedding rows).
+//! * [`Tape`] — an eager reverse-mode tape: ops execute immediately, values
+//!   are always readable, and [`Tape::backward`] accumulates gradients into
+//!   a shared [`ParamStore`].
+//! * [`nn`] — layers ([`nn::Linear`], [`nn::Embedding`], [`nn::GruCell`],
+//!   [`nn::Mlp`], [`nn::GaussianHead`]) that own only parameter handles.
+//! * [`optim`] — [`optim::Adam`] (the paper's optimiser) and [`optim::Sgd`].
+//!
+//! Correctness of every differentiable op is enforced by finite-difference
+//! gradient checks in `tests/gradcheck.rs` (property-based via `proptest`).
+//!
+//! ## Example
+//!
+//! ```
+//! use tad_autodiff::{ParamStore, Tape, Tensor};
+//! use tad_autodiff::nn::{Activation, Mlp};
+//! use tad_autodiff::optim::Adam;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, "net", &[2, 8, 2], Activation::Tanh, &mut rng);
+//! let mut adam = Adam::new(&store, 1e-2);
+//!
+//! // One supervised step: classify the point (1, -1) as class 0.
+//! let mut tape = Tape::new();
+//! let x = tape.input(Tensor::row_vector(&[1.0, -1.0]));
+//! let logits = mlp.forward(&mut tape, &store, x);
+//! let loss = tape.softmax_cross_entropy(logits, &[0]);
+//! tape.backward(loss, &mut store);
+//! adam.step(&mut store);
+//! ```
+
+pub mod nn;
+pub mod optim;
+mod params;
+mod tape;
+mod tensor;
+
+pub use params::{CodecError, ParamId, ParamStore};
+pub use tape::{logsumexp, Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,593 @@
+//! Neural-network layers built on the autodiff tape.
+//!
+//! Layers own only [`ParamId`]s; the actual tensors live in the shared
+//! [`ParamStore`], so a model is a plain struct of layers plus one store.
+
+use rand::Rng;
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialisation for a `fan_in x fan_out` matrix.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(fan_in, fan_out, -limit, limit, rng)
+}
+
+/// Activation applied between MLP layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Tanh,
+    Sigmoid,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Fully connected layer `y = x · W + b` with `W: in x out`, `b: 1 x out`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters under `name.w` / `name.b`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to a `batch x in_dim` input.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        debug_assert_eq!(tape.value(x).cols(), self.in_dim, "Linear: input dim");
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let h = tape.matmul(x, w);
+        tape.add(h, b)
+    }
+
+    /// Projects onto a *subset* of output classes: gathers rows `classes` of
+    /// `Wᵀ` (plus matching bias entries) and returns `batch x classes.len()`
+    /// logits. This is the road-constrained prediction kernel: cost is
+    /// `O(in_dim * classes.len())` instead of `O(in_dim * out_dim)`.
+    ///
+    /// Requires the layer to have been created with [`Linear::new_rowmajor`]
+    /// so that `W` is stored `out x in`.
+    pub fn forward_subset(&self, tape: &mut Tape, store: &ParamStore, x: Var, classes: &[u32]) -> Var {
+        debug_assert_eq!(
+            store.value(self.w).cols(),
+            self.in_dim,
+            "forward_subset requires a row-major (out x in) weight; use new_rowmajor"
+        );
+        let w_rows = tape.gather_rows(store, self.w, classes); // k x in
+        let logits = tape.matmul_t(x, w_rows); // batch x k
+        let b = tape.gather_cols(store, self.b, classes);
+        tape.add(logits, b)
+    }
+
+    /// Full projection for a layer created with [`Linear::new_rowmajor`]:
+    /// `y = x · Wᵀ + b` with `W: out x in`.
+    pub fn forward_rowmajor(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let h = tape.matmul_t(x, w);
+        let b = tape.param(store, self.b);
+        tape.add(h, b)
+    }
+
+    /// Registers a layer whose weight is stored `out x in` (one contiguous
+    /// row per output class), enabling [`Linear::forward_subset`].
+    pub fn new_rowmajor<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform_out_in(in_dim, out_dim, rng));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Weight parameter handle.
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Bias parameter handle.
+    pub fn bias(&self) -> ParamId {
+        self.b
+    }
+
+    /// Forward pass without a tape (inference only): `x · W + b`.
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut out = x.matmul(store.value(self.w));
+        add_bias_rows(&mut out, store.value(self.b));
+        out
+    }
+
+    /// Tape-free forward for a row-major (`out x in`) layer: `x · Wᵀ + b`.
+    pub fn infer_rowmajor(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut out = x.matmul_t(store.value(self.w));
+        add_bias_rows(&mut out, store.value(self.b));
+        out
+    }
+
+    /// Tape-free class-subset projection for a row-major layer; returns
+    /// `batch x classes.len()` logits at `O(in_dim * classes.len())` cost.
+    pub fn infer_subset(&self, store: &ParamStore, x: &Tensor, classes: &[u32]) -> Tensor {
+        let w_rows = store.value(self.w).gather_rows(classes);
+        let mut out = x.matmul_t(&w_rows);
+        let bias = store.value(self.b);
+        for r in 0..out.rows() {
+            for (o, &c) in out.row_mut(r).iter_mut().zip(classes.iter()) {
+                *o += bias.get(0, c as usize);
+            }
+        }
+        out
+    }
+}
+
+/// Adds a `1 x n` bias row to every row of `out`.
+fn add_bias_rows(out: &mut Tensor, bias: &Tensor) {
+    debug_assert_eq!(bias.rows(), 1);
+    debug_assert_eq!(bias.cols(), out.cols());
+    for r in 0..out.rows() {
+        for (o, &b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+            *o += b;
+        }
+    }
+}
+
+fn xavier_uniform_out_in<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(fan_out, fan_in, -limit, limit, rng)
+}
+
+/// Token embedding table of shape `vocab x dim`.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a new embedding table initialised `N(0, 0.1^2)`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = store.add(format!("{name}.table"), Tensor::randn(vocab, dim, 0.0, 0.1, rng));
+        Embedding { table, vocab, dim }
+    }
+
+    /// Looks up `ids`, returning an `ids.len() x dim` tensor on the tape.
+    pub fn lookup(&self, tape: &mut Tape, store: &ParamStore, ids: &[u32]) -> Var {
+        debug_assert!(ids.iter().all(|&i| (i as usize) < self.vocab), "Embedding: id out of vocab");
+        tape.gather_rows(store, self.table, ids)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying table parameter.
+    pub fn table(&self) -> ParamId {
+        self.table
+    }
+
+    /// Tape-free lookup for inference.
+    pub fn embed(&self, store: &ParamStore, ids: &[u32]) -> Tensor {
+        store.value(self.table).gather_rows(ids)
+    }
+}
+
+/// Gated recurrent unit cell with packed gates.
+///
+/// `W: in x 3h`, `U: h x 3h`, `b: 1 x 3h`, gate order `[z | r | n]`:
+/// ```text
+/// z = sigmoid(xWz + hUz + bz)
+/// r = sigmoid(xWr + hUr + br)
+/// n = tanh  (xWn + r * (hUn) + bn)
+/// h' = n + z * (h - n)
+/// ```
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    w: ParamId,
+    u: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Registers a new GRU cell.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(in_dim, 3 * hidden, rng));
+        let u = store.add(format!("{name}.u"), xavier_uniform(hidden, 3 * hidden, rng));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(1, 3 * hidden));
+        GruCell { w, u, b, in_dim, hidden }
+    }
+
+    /// Hidden state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Records the parameter leaves once per tape so repeated steps reuse
+    /// the same nodes instead of copying weights every step.
+    pub fn bind(&self, tape: &mut Tape, store: &ParamStore) -> BoundGru {
+        BoundGru {
+            w: tape.param(store, self.w),
+            u: tape.param(store, self.u),
+            b: tape.param(store, self.b),
+            hidden: self.hidden,
+        }
+    }
+
+    /// Tape-free recurrence step for inference. Semantics identical to
+    /// [`BoundGru::step`].
+    pub fn infer_step(&self, store: &ParamStore, x: &Tensor, h: &Tensor) -> Tensor {
+        let hd = self.hidden;
+        let mut gx = x.matmul(store.value(self.w));
+        add_bias_rows(&mut gx, store.value(self.b));
+        let gh = h.matmul(store.value(self.u));
+        let rows = x.rows();
+        let mut out = Tensor::zeros(rows, hd);
+        for r in 0..rows {
+            for c in 0..hd {
+                let z = sigmoid(gx.get(r, c) + gh.get(r, c));
+                let rr = sigmoid(gx.get(r, hd + c) + gh.get(r, hd + c));
+                let n = (gx.get(r, 2 * hd + c) + rr * gh.get(r, 2 * hd + c)).tanh();
+                out.set(r, c, n + z * (h.get(r, c) - n));
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A [`GruCell`] whose weights are already on a tape.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundGru {
+    w: Var,
+    u: Var,
+    b: Var,
+    hidden: usize,
+}
+
+impl BoundGru {
+    /// One recurrence step: `x` is `batch x in_dim`, `h` is `batch x hidden`.
+    pub fn step(&self, tape: &mut Tape, x: Var, h: Var) -> Var {
+        let hd = self.hidden;
+        let gx0 = tape.matmul(x, self.w);
+        let gx = tape.add(gx0, self.b);
+        let gh = tape.matmul(h, self.u);
+
+        let zx = tape.slice_cols(gx, 0, hd);
+        let zh = tape.slice_cols(gh, 0, hd);
+        let z_in = tape.add(zx, zh);
+        let z = tape.sigmoid(z_in);
+
+        let rx = tape.slice_cols(gx, hd, hd);
+        let rh = tape.slice_cols(gh, hd, hd);
+        let r_in = tape.add(rx, rh);
+        let r = tape.sigmoid(r_in);
+
+        let nx = tape.slice_cols(gx, 2 * hd, hd);
+        let nh = tape.slice_cols(gh, 2 * hd, hd);
+        let rnh = tape.mul(r, nh);
+        let n_in = tape.add(nx, rnh);
+        let n = tape.tanh(n_in);
+
+        // h' = n + z * (h - n)
+        let h_minus_n = tape.sub(h, n);
+        let gated = tape.mul(z, h_minus_n);
+        tape.add(n, gated)
+    }
+}
+
+/// Multi-layer perceptron with a shared hidden activation and linear output.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[in, hidden, out]`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Forward pass: activation between layers, linear final layer.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, store, x);
+            if i < last {
+                x = self.activation.apply(tape, x);
+            }
+        }
+        x
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Tape-free forward pass for inference.
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut cur = self.layers[0].infer(store, x);
+        for layer in self.layers.iter().skip(1) {
+            apply_activation(self.activation, &mut cur);
+            cur = layer.infer(store, &cur);
+        }
+        cur
+    }
+}
+
+fn apply_activation(act: Activation, t: &mut Tensor) {
+    match act {
+        Activation::Relu => t.data_mut().iter_mut().for_each(|x| *x = x.max(0.0)),
+        Activation::Tanh => t.data_mut().iter_mut().for_each(|x| *x = x.tanh()),
+        Activation::Sigmoid => t.data_mut().iter_mut().for_each(|x| *x = sigmoid(*x)),
+        Activation::Identity => {}
+    }
+}
+
+/// Head producing the parameters of a diagonal Gaussian posterior.
+#[derive(Clone, Debug)]
+pub struct GaussianHead {
+    mu: Linear,
+    logvar: Linear,
+}
+
+impl GaussianHead {
+    /// Registers `mu`/`logvar` projections from `in_dim` to `latent_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        latent_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        GaussianHead {
+            mu: Linear::new(store, &format!("{name}.mu"), in_dim, latent_dim, rng),
+            logvar: Linear::new(store, &format!("{name}.logvar"), in_dim, latent_dim, rng),
+        }
+    }
+
+    /// Returns `(mu, logvar)` for input `x`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> (Var, Var) {
+        (self.mu.forward(tape, store, x), self.logvar.forward(tape, store, x))
+    }
+
+    /// Latent width.
+    pub fn latent_dim(&self) -> usize {
+        self.mu.out_dim()
+    }
+
+    /// Tape-free forward for inference: `(mu, logvar)`.
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> (Tensor, Tensor) {
+        (self.mu.infer(store, x), self.logvar.infer(store, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 5, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(2, 3));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (2, 5));
+        // Zero input => output equals bias (zero-initialised).
+        assert!(tape.value(y).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rowmajor_subset_matches_full_projection() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let layer = Linear::new_rowmajor(&mut store, "proj", 4, 7, &mut rng);
+        // Give the bias some structure.
+        store
+            .value_mut(layer.bias())
+            .data_mut()
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, b)| *b = i as f32 * 0.1);
+        let x_t = Tensor::rand_uniform(1, 4, -1.0, 1.0, &mut rng);
+
+        let mut tape = Tape::new();
+        let x = tape.input(x_t.clone());
+        let full = layer.forward_rowmajor(&mut tape, &store, x);
+        let subset = layer.forward_subset(&mut tape, &store, x, &[6, 0, 3]);
+        let fv = tape.value(full).clone();
+        let sv = tape.value(subset).clone();
+        for (i, &c) in [6usize, 0, 3].iter().enumerate() {
+            assert!((fv.get(0, c) - sv.get(0, i)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_rows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "emb", 10, 4, &mut rng);
+        let mut tape = Tape::new();
+        let e = emb.lookup(&mut tape, &store, &[7, 1]);
+        assert_eq!(tape.value(e).shape(), (2, 4));
+        assert_eq!(tape.value(e).row(0), store.value(emb.table()).row(7));
+    }
+
+    #[test]
+    fn gru_step_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "gru", 3, 6, &mut rng);
+        let mut tape = Tape::new();
+        let bound = gru.bind(&mut tape, &store);
+        let x = tape.input(Tensor::rand_uniform(1, 3, -1.0, 1.0, &mut rng));
+        let h0 = tape.input(Tensor::zeros(1, 6));
+        let h1 = bound.step(&mut tape, x, h0);
+        let h2 = bound.step(&mut tape, x, h1);
+        assert_eq!(tape.value(h2).shape(), (1, 6));
+        // GRU output is a convex combination of tanh outputs and prior state.
+        assert!(tape.value(h2).data().iter().all(|&v| v > -1.0 && v < 1.0));
+    }
+
+    #[test]
+    fn gru_zero_update_gate_keeps_interpolating() {
+        // With all weights zero, z = sigmoid(0) = 0.5, n = 0, so h' = 0.5 h.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "gru", 2, 2, &mut rng);
+        for id in store.ids() {
+            store.value_mut(id).fill_zero();
+        }
+        let mut tape = Tape::new();
+        let bound = gru.bind(&mut tape, &store);
+        let x = tape.input(Tensor::zeros(1, 2));
+        let h0 = tape.input(Tensor::from_vec(1, 2, vec![1.0, -1.0]));
+        let h1 = bound.step(&mut tape, x, h0);
+        assert!((tape.value(h1).get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((tape.value(h1).get(0, 1) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mlp_forward_dims() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "mlp", &[4, 8, 3], Activation::Relu, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::rand_uniform(5, 4, -1.0, 1.0, &mut rng));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (5, 3));
+        assert_eq!(mlp.out_dim(), 3);
+    }
+
+    #[test]
+    fn infer_paths_match_tape_paths() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "lin", 4, 3, &mut rng);
+        let row = Linear::new_rowmajor(&mut store, "row", 4, 6, &mut rng);
+        let gru = GruCell::new(&mut store, "gru", 4, 5, &mut rng);
+        let mlp = Mlp::new(&mut store, "mlp", &[4, 6, 2], Activation::Relu, &mut rng);
+        let x_t = Tensor::rand_uniform(2, 4, -1.0, 1.0, &mut rng);
+        let h_t = Tensor::rand_uniform(2, 5, -1.0, 1.0, &mut rng);
+
+        let mut tape = Tape::new();
+        let x = tape.input(x_t.clone());
+        let h = tape.input(h_t.clone());
+        let lin_taped = lin.forward(&mut tape, &store, x);
+        let row_taped = row.forward_rowmajor(&mut tape, &store, x);
+        let sub_taped = row.forward_subset(&mut tape, &store, x, &[5, 2]);
+        let bound = gru.bind(&mut tape, &store);
+        let gru_taped = bound.step(&mut tape, x, h);
+        let mlp_taped = mlp.forward(&mut tape, &store, x);
+
+        let close = |a: &Tensor, b: &Tensor| {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        };
+        close(tape.value(lin_taped), &lin.infer(&store, &x_t));
+        close(tape.value(row_taped), &row.infer_rowmajor(&store, &x_t));
+        close(tape.value(sub_taped), &row.infer_subset(&store, &x_t, &[5, 2]));
+        close(tape.value(gru_taped), &gru.infer_step(&store, &x_t, &h_t));
+        close(tape.value(mlp_taped), &mlp.infer(&store, &x_t));
+    }
+
+    #[test]
+    fn gaussian_head_outputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let head = GaussianHead::new(&mut store, "g", 4, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::rand_uniform(1, 4, -1.0, 1.0, &mut rng));
+        let (mu, logvar) = head.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(mu).shape(), (1, 2));
+        assert_eq!(tape.value(logvar).shape(), (1, 2));
+        assert_eq!(head.latent_dim(), 2);
+    }
+}

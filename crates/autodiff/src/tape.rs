@@ -1,0 +1,778 @@
+//! Reverse-mode automatic differentiation tape.
+//!
+//! Operations execute eagerly as they are recorded, so every node's value is
+//! available immediately (`Tape::value`). Calling [`Tape::backward`] walks
+//! the tape once in reverse and accumulates parameter gradients into the
+//! [`ParamStore`].
+//!
+//! The op set is exactly what the paper's models need: dense matmuls (plus
+//! the `A·Bᵀ` variant used for projecting onto gathered embedding rows),
+//! elementwise nonlinearities, row-broadcast addition for biases, column
+//! slicing/concatenation for packed GRU gates, fused softmax cross-entropy,
+//! and a row-wise log-sum-exp for mixture priors.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(u32);
+
+impl Var {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The recorded operation of one tape node.
+#[derive(Debug)]
+enum Op {
+    /// Constant input; receives no gradient.
+    Input,
+    /// Leaf referencing a full parameter tensor.
+    Param(ParamId),
+    /// Leaf referencing a subset of a parameter's rows (embedding lookup).
+    GatherRows { param: ParamId, ids: Vec<u32> },
+    /// Leaf referencing a subset of a parameter's columns (bias subset for
+    /// class-restricted projections).
+    GatherCols { param: ParamId, ids: Vec<u32> },
+    /// `C = A · B`.
+    MatMul(Var, Var),
+    /// `C = A · Bᵀ`.
+    MatMulT(Var, Var),
+    /// Elementwise `a + b`; if `b` has one row it broadcasts across `a`'s rows.
+    Add(Var, Var),
+    /// Elementwise `a - b` (exact shapes).
+    Sub(Var, Var),
+    /// Elementwise `a * b` (exact shapes).
+    Mul(Var, Var),
+    /// `a + c` elementwise with a scalar constant (the constant has zero
+    /// gradient, so it is not stored).
+    AddScalar(Var),
+    /// `c * a` elementwise with a scalar constant.
+    Scale(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    Exp(Var),
+    /// Natural log; inputs must be strictly positive.
+    Ln(Var),
+    /// Horizontal concatenation `[a | b]` (same number of rows).
+    ConcatCols(Var, Var),
+    /// Columns `[start, start+len)` of `a`.
+    SliceCols { src: Var, start: usize, len: usize },
+    /// Sum of all elements, producing a `1 x 1` scalar.
+    SumAll(Var),
+    /// Mean of all elements, producing a `1 x 1` scalar.
+    MeanAll(Var),
+    /// Fused softmax + cross-entropy, summed over rows, producing `1 x 1`.
+    /// `aux` caches the softmax probabilities for the backward pass.
+    SoftmaxCrossEntropy { logits: Var, targets: Vec<u32> },
+    /// Row-wise `log(sum(exp(x)))`, producing `rows x 1`.
+    LogSumExpRows(Var),
+    /// Row-major reinterpretation to a new shape with the same element
+    /// count.
+    Reshape(Var),
+}
+
+/// An eager reverse-mode autodiff tape.
+pub struct Tape {
+    ops: Vec<Op>,
+    values: Vec<Tensor>,
+    /// Cached softmax probabilities for `SoftmaxCrossEntropy` nodes.
+    aux: Vec<Option<Tensor>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { ops: Vec::with_capacity(256), values: Vec::with_capacity(256), aux: Vec::with_capacity(256) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Clears all recorded nodes so the tape can be reused without
+    /// reallocating its buffers.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        self.values.clear();
+        self.aux.clear();
+    }
+
+    /// The value computed at `v`.
+    #[inline]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.index()]
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        self.push_with_aux(op, value, None)
+    }
+
+    fn push_with_aux(&mut self, op: Op, value: Tensor, aux: Option<Tensor>) -> Var {
+        let id = Var(self.ops.len() as u32);
+        self.ops.push(op);
+        self.values.push(value);
+        self.aux.push(aux);
+        id
+    }
+
+    // ----- leaves ---------------------------------------------------------
+
+    /// Records a constant input (no gradient flows into it).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Records a `1 x 1` scalar constant.
+    pub fn scalar(&mut self, x: f32) -> Var {
+        self.input(Tensor::from_vec(1, 1, vec![x]))
+    }
+
+    /// Records a parameter leaf; the current value is copied onto the tape.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Op::Param(id), store.value(id).clone())
+    }
+
+    /// Records an embedding lookup: rows `ids` of parameter `id`.
+    /// Gradients are scatter-added back into exactly those rows.
+    pub fn gather_rows(&mut self, store: &ParamStore, id: ParamId, ids: &[u32]) -> Var {
+        let value = store.value(id).gather_rows(ids);
+        self.push(Op::GatherRows { param: id, ids: ids.to_vec() }, value)
+    }
+
+    /// Records a column-subset lookup of parameter `id`: output has the same
+    /// number of rows and one column per entry of `ids`. Gradients are
+    /// scatter-added back into exactly those columns.
+    pub fn gather_cols(&mut self, store: &ParamStore, id: ParamId, ids: &[u32]) -> Var {
+        let src = store.value(id);
+        let rows = src.rows();
+        let mut out = Tensor::zeros(rows, ids.len());
+        for (i, &c) in ids.iter().enumerate() {
+            let c = c as usize;
+            assert!(c < src.cols(), "gather_cols: column {c} out of {}", src.cols());
+            for r in 0..rows {
+                out.set(r, i, src.get(r, c));
+            }
+        }
+        self.push(Op::GatherCols { param: id, ids: ids.to_vec() }, out)
+    }
+
+    // ----- linear algebra -------------------------------------------------
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_t(self.value(b));
+        self.push(Op::MatMulT(a, b), value)
+    }
+
+    /// Elementwise addition. When `b` is a single row and `a` has several,
+    /// `b` is broadcast across `a`'s rows (bias addition).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        assert_eq!(ac, bc, "add: column mismatch {ac} vs {bc}");
+        assert!(br == ar || br == 1, "add: row mismatch {ar} vs {br}");
+        let mut out = self.value(a).clone();
+        if br == ar {
+            out.add_assign(self.value(b));
+        } else {
+            let b_val = self.value(b).clone();
+            for r in 0..ar {
+                for (o, &x) in out.row_mut(r).iter_mut().zip(b_val.row(0)) {
+                    *o += x;
+                }
+            }
+        }
+        self.push(Op::Add(a, b), out)
+    }
+
+    /// Elementwise subtraction (shapes must match exactly).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "sub: shape mismatch");
+        let mut out = self.value(a).clone();
+        out.add_scaled(self.value(b), -1.0);
+        self.push(Op::Sub(a, b), out)
+    }
+
+    /// Elementwise product (shapes must match exactly).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul: shape mismatch");
+        let b_ref = self.value(b);
+        let out = Tensor::from_vec(
+            b_ref.rows(),
+            b_ref.cols(),
+            self.value(a).data().iter().zip(b_ref.data()).map(|(&x, &y)| x * y).collect(),
+        );
+        self.push(Op::Mul(a, b), out)
+    }
+
+    /// `a + c` with a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let out = self.value(a).map(|x| x + c);
+        self.push(Op::AddScalar(a), out)
+    }
+
+    /// `c * a` with a scalar constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let out = self.value(a).map(|x| c * x);
+        self.push(Op::Scale(a, c), out)
+    }
+
+    // ----- nonlinearities ---------------------------------------------------
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), out)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), out)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), out)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), out)
+    }
+
+    /// Elementwise natural logarithm (inputs must be positive).
+    pub fn ln(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f32::ln);
+        self.push(Op::Ln(a), out)
+    }
+
+    // ----- shape ops --------------------------------------------------------
+
+    /// `[a | b]` concatenated along columns.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.rows(), bv.rows(), "concat_cols: row mismatch");
+        let rows = av.rows();
+        let (ac, bc) = (av.cols(), bv.cols());
+        let mut out = Tensor::zeros(rows, ac + bc);
+        for r in 0..rows {
+            out.row_mut(r)[..ac].copy_from_slice(av.row(r));
+            out.row_mut(r)[ac..].copy_from_slice(bv.row(r));
+        }
+        self.push(Op::ConcatCols(a, b), out)
+    }
+
+    /// Columns `[start, start + len)` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.value(a);
+        assert!(start + len <= av.cols(), "slice_cols out of range");
+        let rows = av.rows();
+        let mut out = Tensor::zeros(rows, len);
+        for r in 0..rows {
+            out.row_mut(r).copy_from_slice(&av.row(r)[start..start + len]);
+        }
+        self.push(Op::SliceCols { src: a, start, len }, out)
+    }
+
+    /// Reinterprets `a`'s row-major data as a `rows x cols` tensor.
+    ///
+    /// # Panics
+    /// Panics when the element count changes.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.len(), rows * cols, "reshape: element count mismatch");
+        let out = Tensor::from_vec(rows, cols, av.data().to_vec());
+        self.push(Op::Reshape(a), out)
+    }
+
+    // ----- reductions -------------------------------------------------------
+
+    /// Sum of all elements (`1 x 1`).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.value(a).sum() as f32;
+        self.push(Op::SumAll(a), Tensor::from_vec(1, 1, vec![s]))
+    }
+
+    /// Mean of all elements (`1 x 1`).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let m = (v.sum() / v.len() as f64) as f32;
+        self.push(Op::MeanAll(a), Tensor::from_vec(1, 1, vec![m]))
+    }
+
+    /// Row-wise `log(sum_j exp(x_ij)))`, producing a `rows x 1` column.
+    /// Numerically stabilised by subtracting the row max.
+    pub fn logsumexp_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let rows = av.rows();
+        let mut out = Tensor::zeros(rows, 1);
+        for r in 0..rows {
+            out.set(r, 0, logsumexp(av.row(r)));
+        }
+        self.push(Op::LogSumExpRows(a), out)
+    }
+
+    /// Fused softmax + cross-entropy loss, summed over rows (`1 x 1`).
+    ///
+    /// `targets[r]` is the class index for row `r` of `logits`. The softmax
+    /// probabilities are cached for the backward pass. The per-row negative
+    /// log-likelihoods can be recovered via [`Tape::ce_row_nll`].
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[u32]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.rows(), targets.len(), "softmax_ce: row/target mismatch");
+        let (rows, cols) = lv.shape();
+        let mut probs = Tensor::zeros(rows, cols);
+        let mut loss = 0.0f64;
+        for (r, &target) in targets.iter().enumerate() {
+            let row = lv.row(r);
+            let lse = logsumexp(row);
+            let t = target as usize;
+            assert!(t < cols, "softmax_ce: target {t} out of {cols} classes");
+            loss += (lse - row[t]) as f64;
+            for (p, &x) in probs.row_mut(r).iter_mut().zip(row.iter()) {
+                *p = (x - lse).exp();
+            }
+        }
+        self.push_with_aux(
+            Op::SoftmaxCrossEntropy { logits, targets: targets.to_vec() },
+            Tensor::from_vec(1, 1, vec![loss as f32]),
+            Some(probs),
+        )
+    }
+
+    /// Per-row negative log-likelihood of the targets of a
+    /// [`Tape::softmax_cross_entropy`] node.
+    pub fn ce_row_nll(&self, ce: Var) -> Vec<f64> {
+        match &self.ops[ce.index()] {
+            Op::SoftmaxCrossEntropy { targets, .. } => {
+                let probs = self.aux[ce.index()].as_ref().expect("ce aux");
+                targets
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &t)| -(probs.get(r, t as usize).max(f32::MIN_POSITIVE) as f64).ln())
+                    .collect()
+            }
+            _ => panic!("ce_row_nll called on a non-cross-entropy node"),
+        }
+    }
+
+    // ----- composite helpers ----------------------------------------------
+
+    /// KL divergence `KL(N(mu, diag(exp(logvar))) || N(0, I))`, summed over
+    /// all elements, as a `1 x 1` scalar:
+    /// `-0.5 * sum(1 + logvar - mu^2 - exp(logvar))`.
+    pub fn kl_std_normal(&mut self, mu: Var, logvar: Var) -> Var {
+        let mu_sq = self.mul(mu, mu);
+        let var = self.exp(logvar);
+        let t1 = self.add_scalar(logvar, 1.0);
+        let t2 = self.sub(t1, mu_sq);
+        let t3 = self.sub(t2, var);
+        let s = self.sum_all(t3);
+        self.scale(s, -0.5)
+    }
+
+    /// Reparameterised Gaussian sample `mu + exp(0.5 * logvar) * eps` where
+    /// `eps` is an externally drawn standard-normal tensor.
+    pub fn gaussian_sample(&mut self, mu: Var, logvar: Var, eps: Tensor) -> Var {
+        assert_eq!(self.value(mu).shape(), eps.shape(), "gaussian_sample: eps shape");
+        let half = self.scale(logvar, 0.5);
+        let std = self.exp(half);
+        let e = self.input(eps);
+        let noise = self.mul(std, e);
+        self.add(mu, noise)
+    }
+
+    // ----- backward ---------------------------------------------------------
+
+    /// Runs the backward pass from scalar node `loss`, accumulating parameter
+    /// gradients into `store.grads`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward: loss must be scalar");
+        let n = loss.index() + 1;
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        grads[loss.index()] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+
+        for idx in (0..n).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            match &self.ops[idx] {
+                Op::Input => {}
+                Op::Param(id) => {
+                    store.grad_mut(*id).add_assign(&g);
+                }
+                Op::GatherRows { param, ids } => {
+                    let gp = store.grad_mut(*param);
+                    for (i, &row_id) in ids.iter().enumerate() {
+                        let dst = gp.row_mut(row_id as usize);
+                        for (d, &x) in dst.iter_mut().zip(g.row(i)) {
+                            *d += x;
+                        }
+                    }
+                }
+                Op::GatherCols { param, ids } => {
+                    let gp = store.grad_mut(*param);
+                    for (i, &col_id) in ids.iter().enumerate() {
+                        let c = col_id as usize;
+                        for r in 0..g.rows() {
+                            let cur = gp.get(r, c);
+                            gp.set(r, c, cur + g.get(r, i));
+                        }
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    // dA += g · Bᵀ ; dB += Aᵀ · g
+                    let da = g.matmul_t(self.value(*b));
+                    let db = self.value(*a).transpose().matmul(&g);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::MatMulT(a, b) => {
+                    // C = A·Bᵀ : dA += g · B ; dB += gᵀ · A
+                    let da = g.matmul(self.value(*b));
+                    let db = g.transpose().matmul(self.value(*a));
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    let (ar, _) = self.value(*a).shape();
+                    let (br, bc) = self.value(*b).shape();
+                    accumulate(&mut grads, *a, g.clone());
+                    if br == ar {
+                        accumulate(&mut grads, *b, g);
+                    } else {
+                        // Broadcast bias: sum gradient over rows.
+                        let mut db = Tensor::zeros(1, bc);
+                        for r in 0..g.rows() {
+                            for (d, &x) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                                *d += x;
+                            }
+                        }
+                        accumulate(&mut grads, *b, db);
+                    }
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    let mut db = g;
+                    for x in db.data_mut() {
+                        *x = -*x;
+                    }
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Mul(a, b) => {
+                    let da = elementwise_mul(&g, self.value(*b));
+                    let db = elementwise_mul(&g, self.value(*a));
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::AddScalar(a) => accumulate(&mut grads, *a, g),
+                Op::Scale(a, c) => {
+                    let mut da = g;
+                    for x in da.data_mut() {
+                        *x *= c;
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.values[idx];
+                    let da = zip3(&g, y, |g, y| g * y * (1.0 - y));
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.values[idx];
+                    let da = zip3(&g, y, |g, y| g * (1.0 - y * y));
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Relu(a) => {
+                    let y = &self.values[idx];
+                    let da = zip3(&g, y, |g, y| if y > 0.0 { g } else { 0.0 });
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Exp(a) => {
+                    let y = &self.values[idx];
+                    let da = zip3(&g, y, |g, y| g * y);
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::Ln(a) => {
+                    let x = self.value(*a);
+                    let da = zip3(&g, x, |g, x| g / x);
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (rows, ac) = self.value(*a).shape();
+                    let bc = self.value(*b).cols();
+                    let mut da = Tensor::zeros(rows, ac);
+                    let mut db = Tensor::zeros(rows, bc);
+                    for r in 0..rows {
+                        da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                        db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                    }
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::SliceCols { src, start, len } => {
+                    let (rows, cols) = self.value(*src).shape();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        da.row_mut(r)[*start..start + len].copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *src, da);
+                }
+                Op::SumAll(a) => {
+                    let gv = g.get(0, 0);
+                    let (r, c) = self.value(*a).shape();
+                    accumulate(&mut grads, *a, Tensor::full(r, c, gv));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.value(*a).shape();
+                    let gv = g.get(0, 0) / (r * c) as f32;
+                    accumulate(&mut grads, *a, Tensor::full(r, c, gv));
+                }
+                Op::SoftmaxCrossEntropy { logits, targets } => {
+                    let gv = g.get(0, 0);
+                    let probs = self.aux[idx].as_ref().expect("ce aux missing");
+                    let mut da = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        da.row_mut(r)[t as usize] -= 1.0;
+                    }
+                    for x in da.data_mut() {
+                        *x *= gv;
+                    }
+                    accumulate(&mut grads, *logits, da);
+                }
+                Op::Reshape(a) => {
+                    let (r, c) = self.value(*a).shape();
+                    accumulate(&mut grads, *a, Tensor::from_vec(r, c, g.into_data()));
+                }
+                Op::LogSumExpRows(a) => {
+                    let x = self.value(*a);
+                    let (rows, cols) = x.shape();
+                    let mut da = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let lse = self.values[idx].get(r, 0);
+                        let gr = g.get(r, 0);
+                        for (d, &xi) in da.row_mut(r).iter_mut().zip(x.row(r)) {
+                            *d = gr * (xi - lse).exp();
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable `log(sum(exp(xs)))` over a slice.
+pub fn logsumexp(xs: &[f32]) -> f32 {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|&x| ((x - max) as f64).exp()).sum();
+    max + (sum as f32).ln()
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut grads[v.index()] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn elementwise_mul(a: &Tensor, b: &Tensor) -> Tensor {
+    debug_assert_eq!(a.shape(), b.shape());
+    Tensor::from_vec(
+        a.rows(),
+        a.cols(),
+        a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).collect(),
+    )
+}
+
+fn zip3(g: &Tensor, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    debug_assert_eq!(g.shape(), other.shape());
+    Tensor::from_vec(
+        g.rows(),
+        g.cols(),
+        g.data().iter().zip(other.data()).map(|(&x, &y)| f(x, y)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(name: &str, t: Tensor) -> (ParamStore, ParamId) {
+        let mut s = ParamStore::new();
+        let id = s.add(name, t);
+        (s, id)
+    }
+
+    #[test]
+    fn forward_matmul_add_values() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let w = tape.input(Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let b = tape.input(Tensor::from_vec(1, 2, vec![0.5, -0.5]));
+        let h = tape.matmul(a, w);
+        let y = tape.add(h, b);
+        assert_eq!(tape.value(y).data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn backward_linear_gradient() {
+        // loss = sum(x · W); dW = xᵀ · 1
+        let (mut store, w_id) = store_with("w", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(1, 2, vec![5.0, 7.0]));
+        let w = tape.param(&store, w_id);
+        let y = tape.matmul(x, w);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(w_id).data(), &[5.0, 5.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_gather_rows_scatters() {
+        let (mut store, e_id) = store_with("emb", Tensor::from_vec(3, 2, vec![0.0; 6]));
+        let mut tape = Tape::new();
+        let rows = tape.gather_rows(&store, e_id, &[2, 2, 0]);
+        let loss = tape.sum_all(rows);
+        tape.backward(loss, &mut store);
+        // Row 2 used twice, row 0 once, row 1 never.
+        assert_eq!(store.grad(e_id).data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_ce_matches_manual() {
+        let mut tape = Tape::new();
+        let logits = tape.input(Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let loss = tape.softmax_cross_entropy(logits, &[2]);
+        let expected = logsumexp(&[1.0, 2.0, 3.0]) - 3.0;
+        assert!((tape.value(loss).get(0, 0) - expected).abs() < 1e-5);
+        let nll = tape.ce_row_nll(loss);
+        assert!((nll[0] - expected as f64).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_is_probs_minus_onehot() {
+        let (mut store, w_id) = store_with("logits", Tensor::from_vec(1, 3, vec![0.1, 0.2, 0.3]));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, w_id);
+        let loss = tape.softmax_cross_entropy(w, &[1]);
+        tape.backward(loss, &mut store);
+        let row = store.value(w_id).row(0).to_vec();
+        let lse = logsumexp(&row);
+        let g = store.grad(w_id);
+        for (j, &x) in row.iter().enumerate() {
+            let p = (x - lse).exp();
+            let expected = if j == 1 { p - 1.0 } else { p };
+            assert!((g.get(0, j) - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn kl_std_normal_zero_at_standard() {
+        let mut tape = Tape::new();
+        let mu = tape.input(Tensor::zeros(1, 4));
+        let logvar = tape.input(Tensor::zeros(1, 4));
+        let kl = tape.kl_std_normal(mu, logvar);
+        assert!(tape.value(kl).get(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_std_normal_positive_otherwise() {
+        let mut tape = Tape::new();
+        let mu = tape.input(Tensor::from_vec(1, 2, vec![1.0, -2.0]));
+        let logvar = tape.input(Tensor::from_vec(1, 2, vec![0.5, -0.5]));
+        let kl = tape.kl_std_normal(mu, logvar);
+        assert!(tape.value(kl).get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn logsumexp_rows_stable_for_large_inputs() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(2, 2, vec![1000.0, 1000.0, -1000.0, -1000.0]));
+        let out = tape.logsumexp_rows(x);
+        let expected = 1000.0 + 2f32.ln();
+        assert!((tape.value(out).get(0, 0) - expected).abs() < 1e-3);
+        assert!((tape.value(out).get(1, 0) + 1000.0 - 2f32.ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip_gradients() {
+        let (mut store, id) = store_with("x", Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let left = tape.slice_cols(x, 0, 2);
+        let right = tape.slice_cols(x, 2, 2);
+        let glued = tape.concat_cols(left, right);
+        let doubled = tape.scale(glued, 2.0);
+        let loss = tape.sum_all(doubled);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(id).data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_add_bias_gradient_sums_rows() {
+        let (mut store, b_id) = store_with("b", Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(3, 2, vec![1.0; 6]));
+        let b = tape.param(&store, b_id);
+        let y = tape.add(x, b);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(b_id).data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // loss = sum(x * x): d/dx = 2x
+        let (mut store, id) = store_with("x", Tensor::from_vec(1, 2, vec![3.0, -4.0]));
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let sq = tape.mul(x, x);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(id).data(), &[6.0, -8.0]);
+    }
+
+    #[test]
+    fn tape_reset_reuses_buffers() {
+        let mut tape = Tape::new();
+        let a = tape.scalar(1.0);
+        let _ = tape.add_scalar(a, 1.0);
+        assert_eq!(tape.len(), 2);
+        tape.reset();
+        assert!(tape.is_empty());
+        let b = tape.scalar(2.0);
+        assert_eq!(tape.value(b).get(0, 0), 2.0);
+    }
+}

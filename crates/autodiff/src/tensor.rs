@@ -1,0 +1,379 @@
+//! Dense row-major 2-D `f32` tensor.
+//!
+//! This is the single value type flowing through the autodiff [`crate::Tape`].
+//! Vectors are represented as `1 x n` tensors. The implementation favours
+//! simple, allocation-conscious loops: the hot kernels (`matmul_into`,
+//! `matmul_t_into`) use the cache-friendly `ikj` ordering so the inner loop
+//! vectorises.
+
+use rand::Rng;
+
+/// A dense, row-major `rows x cols` matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a `rows x cols` tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` tensor with every element set to `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a tensor from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Tensor::from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// Builds a `1 x n` row vector from a slice.
+    pub fn row_vector(data: &[f32]) -> Self {
+        Tensor { rows: 1, cols: data.len(), data: data.to_vec() }
+    }
+
+    /// Samples every element i.i.d. uniformly from `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Samples every element i.i.d. from a normal distribution
+    /// `N(mean, std^2)` using the Box-Muller transform (avoids a dependency
+    /// on `rand_distr`, which is not on the allowed crate list).
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut R) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let (z0, z1) = box_muller(rng);
+            data.push(mean + std * z0);
+            if data.len() < n {
+                data.push(mean + std * z1);
+            }
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data vector.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sets every element to zero without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// `self += other` (shapes must match).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other` (shapes must match).
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Sum of all elements (accumulated in `f64` for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Squared L2 norm of all elements (accumulated in `f64`).
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// Returns the transposed tensor.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `out = self * other` where `self` is `m x k` and `other` is `k x n`.
+    ///
+    /// Uses the `ikj` loop order: the inner loop walks contiguous rows of
+    /// both `other` and `out`, which lets LLVM vectorise it.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, k) = self.shape();
+        let (k2, n) = other.shape();
+        assert_eq!(k, k2, "matmul: inner dimensions {k} vs {k2}");
+        assert_eq!(out.shape(), (m, n), "matmul: bad output shape");
+        out.fill_zero();
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Convenience allocating wrapper around [`Tensor::matmul_into`].
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self * other^T` where `self` is `m x k` and `other` is `n x k`.
+    ///
+    /// Both operands are walked along contiguous rows, so this is the
+    /// preferred kernel when the right operand is naturally stored row-major
+    /// per output class (e.g. projecting onto a subset of embedding rows).
+    pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, k) = self.shape();
+        let (n, k2) = other.shape();
+        assert_eq!(k, k2, "matmul_t: inner dimensions {k} vs {k2}");
+        assert_eq!(out.shape(), (m, n), "matmul_t: bad output shape");
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// Convenience allocating wrapper around [`Tensor::matmul_t_into`].
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// Gathers the given rows into a new `ids.len() x cols` tensor.
+    pub fn gather_rows(&self, ids: &[u32]) -> Tensor {
+        let mut out = Tensor::zeros(ids.len(), self.cols);
+        for (i, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            assert!(id < self.rows, "gather_rows: row {id} out of {}", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(id));
+        }
+        out
+    }
+
+    /// True if every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// One draw of the Box-Muller transform: two independent `N(0, 1)` samples.
+fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> (f32, f32) {
+    // Avoid u1 == 0 which would make ln(u1) = -inf.
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.len(), 12);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_len_panics() {
+        let _ = Tensor::from_vec(2, 3, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_t_matches_matmul_with_transpose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(3, 5, -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(4, 5, -1.0, 1.0, &mut rng);
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_t(&b);
+        for (x, y) in via_t.data().iter().zip(direct.data().iter()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform(4, 6, -1.0, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gather_rows_picks_expected() {
+        let t = Tensor::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]);
+        let g = t.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[20., 21., 0., 1., 20., 21.]);
+    }
+
+    #[test]
+    fn randn_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::randn(100, 100, 0.5, 2.0, &mut rng);
+        let n = t.len() as f64;
+        let mean = t.sum() / n;
+        let var = t.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        // n = 10_000 draws of N(0.5, 2^2): the sample mean has std 0.02, the
+        // sample variance std ~0.057; allow ±5 sigma.
+        assert!((mean - 0.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::full(2, 2, 1.0);
+        let b = Tensor::full(2, 2, 2.0);
+        a.add_scaled(&b, 0.5);
+        assert!(a.data().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::zeros(1, 3);
+        assert!(t.all_finite());
+        t.set(0, 1, f32::NAN);
+        assert!(!t.all_finite());
+    }
+}

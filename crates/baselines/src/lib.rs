@@ -1,0 +1,65 @@
+//! # tad-baselines
+//!
+//! The seven baseline detectors of the CausalTAD paper (§VI-A4), all
+//! implemented from scratch behind the common [`Detector`] trait:
+//!
+//! | Detector | Kind | Source |
+//! |---|---|---|
+//! | [`Iboat`] | metric-based, adaptive working window | Chen et al., 2013 |
+//! | [`Sae`] | seq2seq autoencoder, reconstruction error | Malhotra et al., 2016 |
+//! | [`Vsae::vsae`] | RNN variational autoencoder | Kingma & Welling, 2014 |
+//! | [`Vsae::beta_vae`] | β-weighted KL (disentanglement) | Higgins et al., 2017 |
+//! | [`FactorVae`] | adversarial total-correlation penalty | Kim & Mnih, 2018 |
+//! | [`GmVsae`] | Gaussian-mixture latent prior | Liu et al., ICDE 2020 |
+//! | [`Vsae::deeptea`] | time-conditioned VAE | Han et al., VLDB 2022 |
+//!
+//! The learning baselines share a GRU encoder/decoder backbone
+//! ([`seq::SeqCore`]) that decodes over the **full vocabulary** — the
+//! road-constrained projection is CausalTAD's contribution and is
+//! deliberately absent here, mirroring the original methods.
+
+mod detector;
+mod factor_vae;
+mod gmvsae;
+mod iboat;
+mod sae;
+pub mod seq;
+mod vsae;
+
+pub use detector::{BaselineConfig, Detector};
+pub use factor_vae::FactorVae;
+pub use gmvsae::GmVsae;
+pub use iboat::{Iboat, IboatConfig};
+pub use sae::Sae;
+pub use vsae::Vsae;
+
+/// Instantiates the full baseline roster of the paper with one shared
+/// configuration (iBOAT takes its own defaults).
+pub fn paper_baselines(cfg: &BaselineConfig) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(Iboat::new(IboatConfig::default())),
+        Box::new(Vsae::vsae(cfg.clone())),
+        Box::new(Sae::new(cfg.clone())),
+        Box::new(Vsae::beta_vae(cfg.clone(), 4.0)),
+        Box::new(FactorVae::new(cfg.clone(), 2.0)),
+        Box::new(GmVsae::new(cfg.clone(), 4)),
+        Box::new(Vsae::deeptea(cfg.clone())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_paper_order() {
+        let names: Vec<_> = paper_baselines(&BaselineConfig::test_scale())
+            .iter()
+            .map(|d| d.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["iBOAT", "VSAE", "SAE", "BetaVAE", "FactorVAE", "GM-VSAE", "DeepTEA"]
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! SAE: sequence autoencoder baseline (Malhotra et al., 2016).
+//!
+//! A plain Seq2Seq model: a GRU encoder summarises the trajectory into a
+//! hidden state, a GRU decoder reconstructs it with teacher forcing, and
+//! the reconstruction error is the anomaly score.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tad_autodiff::ParamStore;
+use tad_roadnet::RoadNetwork;
+use tad_trajsim::Trajectory;
+
+use crate::detector::{BaselineConfig, Detector};
+use crate::seq::{tokens, train_loop, SeqCore};
+
+/// The SAE detector.
+pub struct Sae {
+    cfg: BaselineConfig,
+    inner: Option<Inner>,
+}
+
+struct Inner {
+    store: ParamStore,
+    core: SeqCore,
+}
+
+impl Sae {
+    /// Creates an unfitted SAE.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Sae { cfg, inner: None }
+    }
+
+    fn inner(&self) -> &Inner {
+        self.inner.as_ref().expect("SAE: call fit() before scoring")
+    }
+}
+
+impl Detector for Sae {
+    fn name(&self) -> &'static str {
+        "SAE"
+    }
+
+    fn fit(&mut self, net: &RoadNetwork, train: &[Trajectory]) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut store = ParamStore::new();
+        let core = SeqCore::new(&mut store, "sae", net.num_segments(), &self.cfg, false, &mut rng);
+        train_loop(&mut store, &self.cfg, train, |tape, store, t, _| {
+            let toks = tokens(t);
+            let h = core.encode(tape, store, &toks, t.time_slot);
+            core.decode_nll(tape, store, h, &toks, t.time_slot)
+        });
+        self.inner = Some(Inner { store, core });
+    }
+
+    fn score_prefix(&self, traj: &Trajectory, prefix_len: usize) -> f64 {
+        let inner = self.inner();
+        let toks = tokens(traj);
+        let n = prefix_len.clamp(2.min(toks.len()), toks.len());
+        let prefix = &toks[..n];
+        let h = inner.core.infer_encode(&inner.store, prefix, traj.time_slot);
+        inner.core.infer_decode_nll(&inner.store, &h, prefix, traj.time_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tad_trajsim::{generate_city, CityConfig};
+
+    #[test]
+    fn sae_separates_anomalies_from_training_routes() {
+        let city = generate_city(&CityConfig::test_scale(400));
+        let mut sae = Sae::new(BaselineConfig::test_scale());
+        sae.fit(&city.net, &city.data.train);
+        let mean = |ts: &[Trajectory]| -> f64 {
+            ts.iter().map(|t| sae.score(t)).sum::<f64>() / ts.len() as f64
+        };
+        assert!(
+            mean(&city.data.detour) > mean(&city.data.test_id),
+            "detours should reconstruct worse"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "call fit()")]
+    fn scoring_before_fit_panics() {
+        let city = generate_city(&CityConfig::test_scale(401));
+        let sae = Sae::new(BaselineConfig::test_scale());
+        let _ = sae.score(&city.data.test_id[0]);
+    }
+
+    #[test]
+    fn prefix_scores_defined_for_all_lengths() {
+        let city = generate_city(&CityConfig::test_scale(402));
+        let mut sae = Sae::new(BaselineConfig::test_scale());
+        sae.fit(&city.net, &city.data.train);
+        let t = &city.data.test_id[0];
+        for len in 1..=t.len() {
+            assert!(sae.score_prefix(t, len).is_finite());
+        }
+    }
+}

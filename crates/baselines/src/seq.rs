@@ -1,0 +1,323 @@
+//! Shared sequence-model machinery for the learning baselines.
+//!
+//! All six learning baselines (SAE, VSAE, β-VAE, FactorVAE, GM-VSAE,
+//! DeepTEA) are encoder/decoder GRUs over road-segment tokens that differ
+//! only in their latent treatment. This module provides:
+//!
+//! * [`SeqCore`] — embeddings, encoder GRU, decoder GRU and the full-vocab
+//!   output projection (the baselines do *not* use CausalTAD's
+//!   road-constrained projection — that is one of its contributions);
+//! * a generic mini-batch [`train_loop`] with gradient clipping, NaN
+//!   guards, and best-epoch checkpointing.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use tad_autodiff::nn::{Embedding, GruCell, Linear};
+use tad_autodiff::optim::Adam;
+use tad_autodiff::{logsumexp, ParamStore, Tape, Tensor, Var};
+use tad_trajsim::Trajectory;
+
+use crate::detector::BaselineConfig;
+
+/// Shared encoder/decoder backbone.
+#[derive(Clone, Debug)]
+pub struct SeqCore {
+    /// Token embeddings (shared by encoder and decoder).
+    pub embed: Embedding,
+    /// Encoder GRU.
+    pub enc_gru: GruCell,
+    /// Decoder GRU.
+    pub dec_gru: GruCell,
+    /// Full-vocabulary output projection (row-major).
+    pub out: Linear,
+    /// Optional departure-slot embedding appended to every GRU input
+    /// (DeepTEA's time conditioning).
+    pub slot_embed: Option<Embedding>,
+    hidden: usize,
+    vocab: usize,
+}
+
+impl SeqCore {
+    /// Registers the backbone parameters. `time_aware` adds the slot
+    /// embedding.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        cfg: &BaselineConfig,
+        time_aware: bool,
+        rng: &mut R,
+    ) -> Self {
+        let de = cfg.embed_dim;
+        let dh = cfg.hidden_dim;
+        let slot_dim = if time_aware { de / 2 } else { 0 };
+        SeqCore {
+            embed: Embedding::new(store, &format!("{name}.embed"), vocab, de, rng),
+            enc_gru: GruCell::new(store, &format!("{name}.enc_gru"), de + slot_dim, dh, rng),
+            dec_gru: GruCell::new(store, &format!("{name}.dec_gru"), de + slot_dim, dh, rng),
+            out: Linear::new_rowmajor(store, &format!("{name}.out"), dh, vocab, rng),
+            slot_embed: if time_aware {
+                Some(Embedding::new(store, &format!("{name}.slot"), cfg.num_time_slots, slot_dim, rng))
+            } else {
+                None
+            },
+            hidden: dh,
+            vocab,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn step_input(&self, tape: &mut Tape, store: &ParamStore, seg: u32, slot: u8) -> Var {
+        let x = self.embed.lookup(tape, store, &[seg]);
+        match &self.slot_embed {
+            Some(se) => {
+                let s = se.lookup(tape, store, &[slot as u32]);
+                tape.concat_cols(x, s)
+            }
+            None => x,
+        }
+    }
+
+    /// Runs the encoder GRU over `segments`, returning the final hidden
+    /// state (`1 x hidden`).
+    pub fn encode(&self, tape: &mut Tape, store: &ParamStore, segments: &[u32], slot: u8) -> Var {
+        let bound = self.enc_gru.bind(tape, store);
+        let mut h = tape.input(Tensor::zeros(1, self.hidden));
+        for &seg in segments {
+            let x = self.step_input(tape, store, seg, slot);
+            h = bound.step(tape, x, h);
+        }
+        h
+    }
+
+    /// Teacher-forced reconstruction loss of `segments` from initial decoder
+    /// state `h0`: `Σ_j CE(g(h_j), t_{j+1})` over the full vocabulary.
+    pub fn decode_nll(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        h0: Var,
+        segments: &[u32],
+        slot: u8,
+    ) -> Var {
+        let bound = self.dec_gru.bind(tape, store);
+        let mut h = h0;
+        let mut total: Option<Var> = None;
+        for w in segments.windows(2) {
+            let x = self.step_input(tape, store, w[0], slot);
+            h = bound.step(tape, x, h);
+            let logits = self.out.forward_rowmajor(tape, store, h);
+            let ce = tape.softmax_cross_entropy(logits, &[w[1]]);
+            total = Some(match total {
+                Some(t) => tape.add(t, ce),
+                None => ce,
+            });
+        }
+        total.unwrap_or_else(|| tape.scalar(0.0))
+    }
+
+    // ----- tape-free inference -------------------------------------------
+
+    fn infer_step_input(&self, store: &ParamStore, seg: u32, slot: u8) -> Tensor {
+        let x = self.embed.embed(store, &[seg]);
+        match &self.slot_embed {
+            Some(se) => {
+                let s = se.embed(store, &[slot as u32]);
+                let mut out = Tensor::zeros(1, x.cols() + s.cols());
+                out.row_mut(0)[..x.cols()].copy_from_slice(x.row(0));
+                out.row_mut(0)[x.cols()..].copy_from_slice(s.row(0));
+                out
+            }
+            None => x,
+        }
+    }
+
+    /// Tape-free encoder pass.
+    pub fn infer_encode(&self, store: &ParamStore, segments: &[u32], slot: u8) -> Tensor {
+        let mut h = Tensor::zeros(1, self.hidden);
+        for &seg in segments {
+            let x = self.infer_step_input(store, seg, slot);
+            h = self.enc_gru.infer_step(store, &x, &h);
+        }
+        h
+    }
+
+    /// Tape-free reconstruction NLL from initial decoder state `h0`.
+    pub fn infer_decode_nll(&self, store: &ParamStore, h0: &Tensor, segments: &[u32], slot: u8) -> f64 {
+        let mut h = h0.clone();
+        let mut total = 0.0f64;
+        for w in segments.windows(2) {
+            let x = self.infer_step_input(store, w[0], slot);
+            h = self.dec_gru.infer_step(store, &x, &h);
+            let logits = self.out.infer_rowmajor(store, &h);
+            let row = logits.row(0);
+            total += (logsumexp(row) - row[w[1] as usize]) as f64;
+        }
+        total
+    }
+}
+
+/// Raw token view of a trajectory.
+pub fn tokens(traj: &Trajectory) -> Vec<u32> {
+    traj.segments.iter().map(|s| s.0).collect()
+}
+
+/// Generic training loop: shuffled mini-batches, per-example loss closure,
+/// gradient clipping, NaN guard, best-epoch checkpoint restore. Returns the
+/// mean per-trajectory loss per epoch.
+pub fn train_loop<F>(
+    store: &mut ParamStore,
+    cfg: &BaselineConfig,
+    data: &[Trajectory],
+    mut per_example_loss: F,
+) -> Vec<f64>
+where
+    F: FnMut(&mut Tape, &ParamStore, &Trajectory, &mut StdRng) -> Var,
+{
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    if data.is_empty() {
+        return losses;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xba5e);
+    let mut adam = Adam::new(store, cfg.lr);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut best: Option<(f64, ParamStore)> = None;
+    let mut tape = Tape::new();
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut counted = 0usize;
+        for batch in order.chunks(cfg.batch_size) {
+            let scale = 1.0 / batch.len() as f32;
+            let mut ok = true;
+            for &idx in batch {
+                let t = &data[idx];
+                if t.len() < 2 {
+                    continue;
+                }
+                tape.reset();
+                let loss = per_example_loss(&mut tape, store, t, &mut rng);
+                let v = tape.value(loss).get(0, 0) as f64;
+                if !v.is_finite() {
+                    ok = false;
+                    break;
+                }
+                let scaled = tape.scale(loss, scale);
+                tape.backward(scaled, store);
+                epoch_loss += v;
+                counted += 1;
+            }
+            if !ok {
+                store.zero_grads();
+                continue;
+            }
+            if cfg.grad_clip > 0.0 {
+                store.clip_grad_norm(cfg.grad_clip);
+            }
+            adam.step(store);
+        }
+        let mean = if counted > 0 { epoch_loss / counted as f64 } else { f64::NAN };
+        losses.push(mean);
+        if mean.is_finite() && best.as_ref().is_none_or(|(b, _)| mean < *b) {
+            best = Some((mean, store.clone()));
+        }
+    }
+    if let Some((_, best_store)) = best {
+        store.copy_values_from(&best_store);
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trajs() -> Vec<Trajectory> {
+        use tad_roadnet::SegmentId;
+        (0..6)
+            .map(|i| {
+                Trajectory::normal(
+                    vec![SegmentId(i % 4), SegmentId((i + 1) % 4), SegmentId((i + 2) % 4), SegmentId((i + 3) % 4)],
+                    (i % 4) as u8,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn core_encode_decode_shapes() {
+        let cfg = BaselineConfig::test_scale();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let core = SeqCore::new(&mut store, "t", 4, &cfg, false, &mut rng);
+        let mut tape = Tape::new();
+        let h = core.encode(&mut tape, &store, &[0, 1, 2], 0);
+        assert_eq!(tape.value(h).shape(), (1, cfg.hidden_dim));
+        let nll = core.decode_nll(&mut tape, &store, h, &[0, 1, 2], 0);
+        assert!(tape.value(nll).get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn time_aware_core_uses_slot() {
+        let cfg = BaselineConfig::test_scale();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let core = SeqCore::new(&mut store, "t", 4, &cfg, true, &mut rng);
+        // Different slots must produce different encodings.
+        let h0 = core.infer_encode(&store, &[0, 1, 2], 0);
+        let h1 = core.infer_encode(&store, &[0, 1, 2], 3);
+        assert_ne!(h0.data(), h1.data());
+    }
+
+    #[test]
+    fn infer_decode_matches_taped_decode() {
+        let cfg = BaselineConfig::test_scale();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let core = SeqCore::new(&mut store, "t", 4, &cfg, false, &mut rng);
+        let segs = [0u32, 1, 2, 3];
+        let mut tape = Tape::new();
+        let h = core.encode(&mut tape, &store, &segs, 0);
+        let nll = core.decode_nll(&mut tape, &store, h, &segs, 0);
+        let taped = tape.value(nll).get(0, 0) as f64;
+        let h_inf = core.infer_encode(&store, &segs, 0);
+        let inferred = core.infer_decode_nll(&store, &h_inf, &segs, 0);
+        assert!((taped - inferred).abs() < 1e-4, "{taped} vs {inferred}");
+    }
+
+    #[test]
+    fn train_loop_reduces_loss() {
+        let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::test_scale() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let core = SeqCore::new(&mut store, "t", 4, &cfg, false, &mut rng);
+        let data = toy_trajs();
+        let losses = train_loop(&mut store, &cfg, &data, |tape, store, t, _| {
+            let toks = tokens(t);
+            let h = core.encode(tape, store, &toks, t.time_slot);
+            core.decode_nll(tape, store, h, &toks, t.time_slot)
+        });
+        assert_eq!(losses.len(), 6);
+        assert!(losses.last().unwrap() < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    fn train_loop_empty_data_noop() {
+        let cfg = BaselineConfig::test_scale();
+        let mut store = ParamStore::new();
+        let losses = train_loop(&mut store, &cfg, &[], |tape, _, _, _| tape.scalar(0.0));
+        assert!(losses.is_empty());
+    }
+}

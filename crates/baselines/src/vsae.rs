@@ -1,0 +1,169 @@
+//! The variational sequence-autoencoder family: VSAE, β-VAE, DeepTEA.
+//!
+//! * **VSAE** — the basic VAE of Kingma & Welling with RNN encoder/decoder,
+//!   the strongest simple baseline in the paper's OOD tables.
+//! * **β-VAE** (Higgins et al., 2017) — the same model with the KL term
+//!   weighted by β > 1 to encourage disentanglement.
+//! * **DeepTEA** (Han et al., 2022) — time-aware: departure-slot embeddings
+//!   are appended to every encoder/decoder input, letting the model capture
+//!   time-dependent traffic conditions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tad_autodiff::nn::{GaussianHead, Linear};
+use tad_autodiff::{ParamStore, Tensor};
+use tad_roadnet::RoadNetwork;
+use tad_trajsim::Trajectory;
+
+use crate::detector::{BaselineConfig, Detector};
+use crate::seq::{tokens, train_loop, SeqCore};
+
+/// A variational sequence autoencoder (VSAE / β-VAE / DeepTEA).
+pub struct Vsae {
+    cfg: BaselineConfig,
+    name: &'static str,
+    /// KL weight (1 = VSAE, >1 = β-VAE).
+    beta: f32,
+    /// Appends time-slot embeddings to all inputs (DeepTEA).
+    time_aware: bool,
+    inner: Option<Inner>,
+}
+
+struct Inner {
+    store: ParamStore,
+    core: SeqCore,
+    head: GaussianHead,
+    dec_init: Linear,
+}
+
+impl Vsae {
+    /// Basic VSAE.
+    #[allow(clippy::self_named_constructors)]
+    pub fn vsae(cfg: BaselineConfig) -> Self {
+        Vsae { cfg, name: "VSAE", beta: 1.0, time_aware: false, inner: None }
+    }
+
+    /// β-VAE with the given KL weight (the paper's disentanglement probe).
+    pub fn beta_vae(cfg: BaselineConfig, beta: f32) -> Self {
+        assert!(beta > 0.0);
+        Vsae { cfg, name: "BetaVAE", beta, time_aware: false, inner: None }
+    }
+
+    /// DeepTEA: time-conditioned VSAE.
+    pub fn deeptea(cfg: BaselineConfig) -> Self {
+        Vsae { cfg, name: "DeepTEA", beta: 1.0, time_aware: true, inner: None }
+    }
+
+    fn inner(&self) -> &Inner {
+        self.inner.as_ref().expect("VSAE: call fit() before scoring")
+    }
+
+    /// Tape-free: encode a prefix to the posterior mean and the closed-form
+    /// KL, then return `(h0, kl)`.
+    fn infer_latent(&self, toks: &[u32], slot: u8) -> (Tensor, f64) {
+        let inner = self.inner();
+        let h = inner.core.infer_encode(&inner.store, toks, slot);
+        let (mu, logvar) = inner.head.infer(&inner.store, &h);
+        let kl: f64 = mu
+            .data()
+            .iter()
+            .zip(logvar.data())
+            .map(|(&m, &lv)| -0.5 * (1.0 + lv - m * m - lv.exp()) as f64)
+            .sum();
+        let h0 = inner.dec_init.infer(&inner.store, &mu).map(f32::tanh);
+        (h0, kl)
+    }
+}
+
+impl Detector for Vsae {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit(&mut self, net: &RoadNetwork, train: &[Trajectory]) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut store = ParamStore::new();
+        let core =
+            SeqCore::new(&mut store, "vsae", net.num_segments(), &self.cfg, self.time_aware, &mut rng);
+        let head = GaussianHead::new(&mut store, "vsae.head", self.cfg.hidden_dim, self.cfg.latent_dim, &mut rng);
+        let dec_init = Linear::new(&mut store, "vsae.dec_init", self.cfg.latent_dim, self.cfg.hidden_dim, &mut rng);
+        let beta = self.beta;
+        let latent = self.cfg.latent_dim;
+        train_loop(&mut store, &self.cfg, train, |tape, store, t, rng| {
+            let toks = tokens(t);
+            let h = core.encode(tape, store, &toks, t.time_slot);
+            let (mu, logvar) = head.forward(tape, store, h);
+            let kl = tape.kl_std_normal(mu, logvar);
+            let kl_w = tape.scale(kl, beta);
+            let eps = Tensor::randn(1, latent, 0.0, 1.0, rng);
+            let z = tape.gaussian_sample(mu, logvar, eps);
+            let h0_pre = dec_init.forward(tape, store, z);
+            let h0 = tape.tanh(h0_pre);
+            let rec = core.decode_nll(tape, store, h0, &toks, t.time_slot);
+            tape.add(rec, kl_w)
+        });
+        self.inner = Some(Inner { store, core, head, dec_init });
+    }
+
+    fn score_prefix(&self, traj: &Trajectory, prefix_len: usize) -> f64 {
+        let inner = self.inner();
+        let toks = tokens(traj);
+        let n = prefix_len.clamp(2.min(toks.len()), toks.len());
+        let prefix = &toks[..n];
+        let (h0, kl) = self.infer_latent(prefix, traj.time_slot);
+        let rec = inner.core.infer_decode_nll(&inner.store, &h0, prefix, traj.time_slot);
+        rec + self.beta as f64 * kl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tad_trajsim::{generate_city, CityConfig};
+
+    #[test]
+    fn vsae_separates_detours() {
+        let city = generate_city(&CityConfig::test_scale(410));
+        let mut m = Vsae::vsae(BaselineConfig::test_scale());
+        m.fit(&city.net, &city.data.train);
+        let mean = |ts: &[Trajectory]| -> f64 {
+            ts.iter().map(|t| m.score(t)).sum::<f64>() / ts.len() as f64
+        };
+        assert!(mean(&city.data.detour) > mean(&city.data.test_id));
+    }
+
+    #[test]
+    fn beta_vae_weights_kl_harder() {
+        let city = generate_city(&CityConfig::test_scale(411));
+        let cfg = BaselineConfig::test_scale();
+        let mut plain = Vsae::vsae(cfg.clone());
+        let mut beta = Vsae::beta_vae(cfg, 4.0);
+        plain.fit(&city.net, &city.data.train);
+        beta.fit(&city.net, &city.data.train);
+        assert_eq!(plain.name(), "VSAE");
+        assert_eq!(beta.name(), "BetaVAE");
+        let t = &city.data.test_id[0];
+        assert!(plain.score(t).is_finite() && beta.score(t).is_finite());
+    }
+
+    #[test]
+    fn deeptea_is_time_sensitive() {
+        let city = generate_city(&CityConfig::test_scale(412));
+        let mut m = Vsae::deeptea(BaselineConfig::test_scale());
+        m.fit(&city.net, &city.data.train);
+        let mut t = city.data.test_id[0].clone();
+        let s0 = m.score(&t);
+        t.time_slot = (t.time_slot + 2) % 4;
+        let s1 = m.score(&t);
+        assert_ne!(s0, s1, "DeepTEA must react to the departure slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "call fit()")]
+    fn scoring_before_fit_panics() {
+        let city = generate_city(&CityConfig::test_scale(413));
+        let m = Vsae::vsae(BaselineConfig::test_scale());
+        let _ = m.score(&city.data.test_id[0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end scoring and training-step benchmarks: CausalTAD vs the
+//! representative baselines (Fig. 7's efficiency comparison in micro form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use causaltad::{CausalTad, CausalTadConfig};
+use tad_baselines::{BaselineConfig, Detector, Iboat, IboatConfig, Vsae};
+use tad_trajsim::{generate_city, CityConfig, Trajectory};
+
+struct Fixture {
+    causal: CausalTad,
+    vsae: Vsae,
+    iboat: Iboat,
+    trip: Trajectory,
+}
+
+fn fixture() -> Fixture {
+    let city = generate_city(&CityConfig::test_scale(902));
+    let mut cfg = CausalTadConfig::test_scale();
+    cfg.epochs = 1;
+    let mut causal = CausalTad::new(&city.net, cfg);
+    causal.fit(&city.data.train);
+    let mut vsae = Vsae::vsae(BaselineConfig { epochs: 1, ..BaselineConfig::test_scale() });
+    vsae.fit(&city.net, &city.data.train);
+    let mut iboat = Iboat::new(IboatConfig::default());
+    iboat.fit(&city.net, &city.data.train);
+    let trip = city.data.test_id[0].clone();
+    Fixture { causal, vsae, iboat, trip }
+}
+
+fn bench_full_scoring(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("score_full_trajectory");
+    group.bench_function("CausalTAD", |b| {
+        b.iter(|| std::hint::black_box(f.causal.score(std::hint::black_box(&f.trip))))
+    });
+    group.bench_function("VSAE", |b| {
+        b.iter(|| std::hint::black_box(f.vsae.score(std::hint::black_box(&f.trip))))
+    });
+    group.bench_function("iBOAT", |b| {
+        b.iter(|| std::hint::black_box(f.iboat.score(std::hint::black_box(&f.trip))))
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let city = generate_city(&CityConfig::test_scale(903));
+    let mut cfg = CausalTadConfig::test_scale();
+    cfg.epochs = 1;
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.sample_size(10);
+    group.bench_function("CausalTAD_tiny_city", |b| {
+        b.iter(|| {
+            let mut model = CausalTad::new(&city.net, cfg.clone());
+            model.fit(&city.data.train)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_scoring, bench_training_step);
+criterion_main!(benches);

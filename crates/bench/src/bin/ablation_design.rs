@@ -1,0 +1,10 @@
+//! Extra design ablations (DESIGN.md): road-constrained decoding, the SD
+//! decoder, and the time-factorised scaling extension (§V-E.3).
+
+use tad_bench::{ablation_design, emit, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    let table = ablation_design(&opts);
+    emit(&opts, "ablation_design", &table);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Fig. 4: per-segment anomaly scores of a normal trajectory
+//! with an unseen SD pair, under VSAE and CausalTAD.
+
+use tad_bench::{emit, fig4, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    let table = fig4(&opts);
+    emit(&opts, "fig4_score_map", &table);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Fig. 5: stability under different distribution-shift ratios.
+
+use tad_bench::{emit, Opts, Study};
+
+fn main() {
+    let opts = Opts::from_args();
+    let study = Study::run(opts.clone());
+    let table = study.fig5();
+    emit(&opts, "fig5_stability", &table);
+}

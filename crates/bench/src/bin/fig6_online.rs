@@ -1,0 +1,10 @@
+//! Reproduces Fig. 6: online evaluation under different observed ratios.
+
+use tad_bench::{emit, Opts, Study};
+
+fn main() {
+    let opts = Opts::from_args();
+    let study = Study::run(opts.clone());
+    let table = study.fig6();
+    emit(&opts, "fig6_online", &table);
+}

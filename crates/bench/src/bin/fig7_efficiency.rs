@@ -1,0 +1,13 @@
+//! Reproduces Fig. 7: (a) training scalability vs train-set size and
+//! (b) mean inference runtime per trajectory vs observed ratio.
+
+use tad_bench::{emit, fig7a, Opts, Study};
+
+fn main() {
+    let opts = Opts::from_args();
+    let table_a = fig7a(&opts);
+    emit(&opts, "fig7a_training", &table_a);
+    let study = Study::run(opts.clone());
+    let table_b = study.fig7b();
+    emit(&opts, "fig7b_inference", &table_b);
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 8: CausalTAD's performance under different values of λ
+//! (re-scored on one trained model; the scaling table is λ-independent).
+
+use tad_bench::{emit, Opts, Study};
+
+fn main() {
+    let opts = Opts::from_args();
+    let mut study = Study::run(opts.clone());
+    let table = study.fig8();
+    emit(&opts, "fig8_lambda", &table);
+}

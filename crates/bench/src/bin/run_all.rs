@@ -1,0 +1,17 @@
+//! Runs Tables I/II and Figs. 5/6/7b/8 from a single training pass, then
+//! prints the recorded training times. The cheapest way to regenerate the
+//! bulk of EXPERIMENTS.md.
+
+use tad_bench::{emit, training_times, Opts, Study};
+
+fn main() {
+    let opts = Opts::from_args();
+    let mut study = Study::run(opts.clone());
+    emit(&opts, "table1_id", &study.table1());
+    emit(&opts, "table2_ood", &study.table2());
+    emit(&opts, "fig5_stability", &study.fig5());
+    emit(&opts, "fig6_online", &study.fig6());
+    emit(&opts, "fig7b_inference", &study.fig7b());
+    emit(&opts, "fig8_lambda", &study.fig8());
+    emit(&opts, "training_times", &training_times(&study));
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table I: in-distribution evaluation of all methods.
+
+use tad_bench::{emit, Opts, Study};
+
+fn main() {
+    let opts = Opts::from_args();
+    let study = Study::run(opts.clone());
+    let table = study.table1();
+    emit(&opts, "table1_id", &table);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table II: out-of-distribution evaluation of all methods.
+
+use tad_bench::{emit, Opts, Study};
+
+fn main() {
+    let opts = Opts::from_args();
+    let study = Study::run(opts.clone());
+    let table = study.table2();
+    emit(&opts, "table2_ood", &table);
+}

@@ -1,0 +1,9 @@
+//! Reproduces Table III: the TG-VAE / RP-VAE ablation study.
+
+use tad_bench::{emit, table3, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    let table = table3(&opts);
+    emit(&opts, "table3_ablation", &table);
+}

@@ -1,0 +1,31 @@
+//! # tad-bench
+//!
+//! Benchmark harness for the CausalTAD reproduction: one binary per table
+//! and figure of the paper's evaluation section, plus Criterion
+//! micro-benches for the O(1) online-update claim and the substrates.
+//!
+//! Binaries (run with `--release`):
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1_id` | Table I — in-distribution evaluation |
+//! | `table2_ood` | Table II — out-of-distribution evaluation |
+//! | `table3_ablation` | Table III — TG-VAE / RP-VAE ablation |
+//! | `fig4_score_map` | Fig. 4 — per-segment score visualisation |
+//! | `fig5_stability` | Fig. 5 — stability vs shift ratio |
+//! | `fig6_online` | Fig. 6 — metric vs observed ratio |
+//! | `fig7_efficiency` | Fig. 7 — training scalability + inference runtime |
+//! | `fig8_lambda` | Fig. 8 — λ sweep |
+//! | `ablation_design` | extra design ablations from DESIGN.md |
+//! | `run_all` | Tables I/II + Figs 5/6/7b/8 sharing one training pass |
+//! | `diagnose` | per-pool score decomposition + λ sweep (debugging tool) |
+//!
+//! All binaries accept `--scale quick|paper`, `--city xian|chengdu|both`,
+//! `--out <dir>` (CSV dumps) and `--epochs <n>`.
+
+pub mod experiments;
+pub mod opts;
+pub mod suite;
+
+pub use experiments::{ablation_design, emit, fig4, fig7a, table3, training_times, Study};
+pub use opts::{CityChoice, Opts};

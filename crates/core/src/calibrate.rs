@@ -1,0 +1,154 @@
+//! Alarm-threshold calibration.
+//!
+//! ROC/PR-AUC evaluate rankings, but a deployed detector needs a concrete
+//! alarm threshold. This module calibrates one from normal trajectories:
+//! either a score quantile (bounding the false-positive rate) or a robust
+//! mean + k·std rule. Length-normalised scores are supported because raw
+//! scores grow with trajectory length.
+
+use tad_trajsim::Trajectory;
+
+use crate::model::CausalTad;
+
+/// How scores are normalised before thresholding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Normalisation {
+    /// Raw trajectory scores.
+    Raw,
+    /// Score divided by trajectory length (comparable across lengths).
+    PerSegment,
+}
+
+/// A calibrated alarm threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct Threshold {
+    /// Scores strictly above this value raise an alarm.
+    pub value: f64,
+    /// The normalisation the threshold applies to.
+    pub normalisation: Normalisation,
+    /// Fraction of the calibration set that would alarm (empirical FPR).
+    pub calibration_fpr: f64,
+}
+
+impl Threshold {
+    /// True when a trajectory's score should raise an alarm.
+    pub fn alarms(&self, score: f64, len: usize) -> bool {
+        self.normalised(score, len) > self.value
+    }
+
+    fn normalised(&self, score: f64, len: usize) -> f64 {
+        match self.normalisation {
+            Normalisation::Raw => score,
+            Normalisation::PerSegment => score / len.max(1) as f64,
+        }
+    }
+}
+
+/// Calibrates a threshold at the `1 - target_fpr` quantile of the normal
+/// scores, so roughly `target_fpr` of normal trips alarm.
+///
+/// # Panics
+/// Panics if `normals` is empty or `target_fpr` is outside `(0, 1)`.
+pub fn calibrate_quantile(
+    model: &CausalTad,
+    normals: &[Trajectory],
+    target_fpr: f64,
+    normalisation: Normalisation,
+) -> Threshold {
+    assert!(!normals.is_empty(), "calibration set must not be empty");
+    assert!(target_fpr > 0.0 && target_fpr < 1.0, "target FPR must be in (0, 1)");
+    let mut scores: Vec<f64> = normals
+        .iter()
+        .map(|t| match normalisation {
+            Normalisation::Raw => model.score(t),
+            Normalisation::PerSegment => model.score(t) / t.len().max(1) as f64,
+        })
+        .collect();
+    scores.sort_by(f64::total_cmp);
+    let idx = (((1.0 - target_fpr) * scores.len() as f64).ceil() as usize)
+        .clamp(1, scores.len())
+        - 1;
+    let value = scores[idx];
+    let fpr = scores.iter().filter(|&&s| s > value).count() as f64 / scores.len() as f64;
+    Threshold { value, normalisation, calibration_fpr: fpr }
+}
+
+/// Calibrates a `mean + k * std` threshold over the normal scores.
+pub fn calibrate_sigma(
+    model: &CausalTad,
+    normals: &[Trajectory],
+    k: f64,
+    normalisation: Normalisation,
+) -> Threshold {
+    assert!(!normals.is_empty(), "calibration set must not be empty");
+    let scores: Vec<f64> = normals
+        .iter()
+        .map(|t| match normalisation {
+            Normalisation::Raw => model.score(t),
+            Normalisation::PerSegment => model.score(t) / t.len().max(1) as f64,
+        })
+        .collect();
+    let n = scores.len() as f64;
+    let mean = scores.iter().sum::<f64>() / n;
+    let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    let value = mean + k * var.sqrt();
+    let fpr = scores.iter().filter(|&&s| s > value).count() as f64 / n;
+    Threshold { value, normalisation, calibration_fpr: fpr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CausalTadConfig;
+    use tad_trajsim::{generate_city, CityConfig};
+
+    fn trained() -> (tad_trajsim::City, CausalTad) {
+        let city = generate_city(&CityConfig::test_scale(800));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 3;
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        (city, model)
+    }
+
+    #[test]
+    fn quantile_threshold_bounds_fpr() {
+        let (city, model) = trained();
+        let th = calibrate_quantile(&model, &city.data.test_id, 0.1, Normalisation::PerSegment);
+        // Empirical FPR on the calibration set must not exceed the target
+        // (quantile rounding only lowers it).
+        assert!(th.calibration_fpr <= 0.1 + 1e-9, "fpr {}", th.calibration_fpr);
+        // And the threshold actually fires on something anomalous more often
+        // than on normals.
+        let alarms = |ts: &[Trajectory]| {
+            ts.iter().filter(|t| th.alarms(model.score(t), t.len())).count() as f64 / ts.len() as f64
+        };
+        assert!(alarms(&city.data.detour) > alarms(&city.data.test_id));
+    }
+
+    #[test]
+    fn sigma_threshold_is_above_mean() {
+        let (city, model) = trained();
+        let th = calibrate_sigma(&model, &city.data.test_id, 3.0, Normalisation::Raw);
+        let mean: f64 = city.data.test_id.iter().map(|t| model.score(t)).sum::<f64>()
+            / city.data.test_id.len() as f64;
+        assert!(th.value > mean);
+        assert!(th.calibration_fpr < 0.1);
+    }
+
+    #[test]
+    fn per_segment_normalisation_divides() {
+        let th = Threshold { value: 2.0, normalisation: Normalisation::PerSegment, calibration_fpr: 0.0 };
+        assert!(!th.alarms(10.0, 10)); // 1.0 per segment
+        assert!(th.alarms(30.0, 10)); // 3.0 per segment
+        let raw = Threshold { value: 2.0, normalisation: Normalisation::Raw, calibration_fpr: 0.0 };
+        assert!(raw.alarms(10.0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_calibration_set_panics() {
+        let (_, model) = trained();
+        let _ = calibrate_quantile(&model, &[], 0.1, Normalisation::Raw);
+    }
+}

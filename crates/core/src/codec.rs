@@ -1,0 +1,244 @@
+//! Binary persistence for trained CausalTAD models.
+//!
+//! Serialises the configuration, every parameter tensor, and the
+//! precomputed scaling table, so a model trained offline can be shipped to
+//! an online-detection service. The road network is *not* embedded — the
+//! caller supplies it at load time (it defines the successor sets), and the
+//! codec verifies the vocabulary matches.
+//!
+//! Layout (little-endian): magic `TADM`, version u16, config block,
+//! scaling-table block (optional), then the [`ParamStore`] blob.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tad_roadnet::RoadNetwork;
+
+use crate::config::CausalTadConfig;
+use crate::model::CausalTad;
+use crate::scaling::ScalingTable;
+
+const MAGIC: &[u8; 4] = b"TADM";
+const VERSION: u16 = 1;
+
+/// Errors produced when decoding a serialized model.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ModelCodecError {
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended before the named field could be read.
+    Truncated(&'static str),
+    /// The parameter blob failed to decode.
+    BadParams,
+    /// The supplied road network's segment count does not match the model.
+    VocabMismatch { expected: usize, actual: usize },
+}
+
+impl std::fmt::Display for ModelCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelCodecError::BadMagic => write!(f, "bad magic bytes"),
+            ModelCodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            ModelCodecError::Truncated(what) => write!(f, "truncated input at {what}"),
+            ModelCodecError::BadParams => write!(f, "parameter blob failed to decode"),
+            ModelCodecError::VocabMismatch { expected, actual } => {
+                write!(f, "model was trained on {expected} segments, network has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelCodecError {}
+
+/// Serialises a trained model.
+pub fn model_to_bytes(model: &CausalTad) -> Bytes {
+    let cfg = model.config();
+    let mut buf = BytesMut::with_capacity(1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+
+    // Config block.
+    buf.put_u32_le(model.vocab() as u32);
+    buf.put_u32_le(cfg.embed_dim as u32);
+    buf.put_u32_le(cfg.hidden_dim as u32);
+    buf.put_u32_le(cfg.latent_dim as u32);
+    buf.put_u32_le(cfg.rp_latent_dim as u32);
+    buf.put_f64_le(cfg.lambda);
+    buf.put_u32_le(cfg.scaling_mc_samples as u32);
+    buf.put_u32_le(cfg.num_time_slots as u32);
+    buf.put_u8(flag_bits(cfg));
+    buf.put_u64_le(cfg.seed);
+
+    // Scaling table.
+    match model.scaling() {
+        Some(table) => {
+            buf.put_u8(1);
+            let blob = table.to_bytes();
+            buf.put_u32_le(blob.len() as u32);
+            buf.put_slice(&blob);
+        }
+        None => buf.put_u8(0),
+    }
+
+    // Parameters.
+    let params = model.store().to_bytes();
+    buf.put_u32_le(params.len() as u32);
+    buf.put_slice(&params);
+    buf.freeze()
+}
+
+/// Restores a model serialized by [`model_to_bytes`] against a road
+/// network (which must have the same segment count the model was trained
+/// on).
+pub fn model_from_bytes(net: &RoadNetwork, mut bytes: Bytes) -> Result<CausalTad, ModelCodecError> {
+    if bytes.remaining() < 6 {
+        return Err(ModelCodecError::Truncated("header"));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ModelCodecError::BadMagic);
+    }
+    let version = bytes.get_u16_le();
+    if version != VERSION {
+        return Err(ModelCodecError::BadVersion(version));
+    }
+    if bytes.remaining() < 4 * 7 + 8 + 1 + 8 {
+        return Err(ModelCodecError::Truncated("config"));
+    }
+    let vocab = bytes.get_u32_le() as usize;
+    if vocab != net.num_segments() {
+        return Err(ModelCodecError::VocabMismatch { expected: vocab, actual: net.num_segments() });
+    }
+    let mut cfg = CausalTadConfig {
+        embed_dim: bytes.get_u32_le() as usize,
+        hidden_dim: bytes.get_u32_le() as usize,
+        latent_dim: bytes.get_u32_le() as usize,
+        rp_latent_dim: bytes.get_u32_le() as usize,
+        lambda: bytes.get_f64_le(),
+        scaling_mc_samples: bytes.get_u32_le() as usize,
+        num_time_slots: bytes.get_u32_le() as usize,
+        ..CausalTadConfig::default()
+    };
+    let flags = bytes.get_u8();
+    apply_flag_bits(&mut cfg, flags);
+    cfg.seed = bytes.get_u64_le();
+
+    if bytes.remaining() < 1 {
+        return Err(ModelCodecError::Truncated("scaling flag"));
+    }
+    let scaling = if bytes.get_u8() == 1 {
+        if bytes.remaining() < 4 {
+            return Err(ModelCodecError::Truncated("scaling length"));
+        }
+        let len = bytes.get_u32_le() as usize;
+        if bytes.remaining() < len {
+            return Err(ModelCodecError::Truncated("scaling blob"));
+        }
+        let blob = bytes.copy_to_bytes(len);
+        Some(ScalingTable::from_bytes(blob).map_err(|_| ModelCodecError::Truncated("scaling table"))?)
+    } else {
+        None
+    };
+
+    if bytes.remaining() < 4 {
+        return Err(ModelCodecError::Truncated("param length"));
+    }
+    let plen = bytes.get_u32_le() as usize;
+    if bytes.remaining() < plen {
+        return Err(ModelCodecError::Truncated("param blob"));
+    }
+    let pblob = bytes.copy_to_bytes(plen);
+    let store =
+        tad_autodiff::ParamStore::from_bytes(pblob).map_err(|_| ModelCodecError::BadParams)?;
+
+    let mut model = CausalTad::new(net, cfg);
+    model.replace_state(store, scaling);
+    Ok(model)
+}
+
+fn flag_bits(cfg: &CausalTadConfig) -> u8 {
+    (cfg.time_factorised_scaling as u8)
+        | ((cfg.disable_sd_decoder as u8) << 1)
+        | ((cfg.tie_sd_embedding as u8) << 2)
+        | ((cfg.score_includes_sd_nll as u8) << 3)
+        | ((cfg.disable_road_constraint as u8) << 4)
+}
+
+fn apply_flag_bits(cfg: &mut CausalTadConfig, flags: u8) {
+    cfg.time_factorised_scaling = flags & 1 != 0;
+    cfg.disable_sd_decoder = flags & 2 != 0;
+    cfg.tie_sd_embedding = flags & 4 != 0;
+    cfg.score_includes_sd_nll = flags & 8 != 0;
+    cfg.disable_road_constraint = flags & 16 != 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tad_trajsim::{generate_city, CityConfig};
+
+    fn trained() -> (tad_trajsim::City, CausalTad) {
+        let city = generate_city(&CityConfig::test_scale(700));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 2;
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        (city, model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_scores_exactly() {
+        let (city, model) = trained();
+        let blob = model_to_bytes(&model);
+        let restored = model_from_bytes(&city.net, blob).expect("decode");
+        for t in city.data.test_id.iter().take(5).chain(city.data.detour.iter().take(5)) {
+            assert_eq!(model.score(t), restored.score(t));
+        }
+    }
+
+    #[test]
+    fn vocab_mismatch_rejected() {
+        let (_, model) = trained();
+        let other = generate_city(&CityConfig::test_scale(701));
+        let blob = model_to_bytes(&model);
+        match model_from_bytes(&other.net, blob) {
+            Err(ModelCodecError::VocabMismatch { .. }) => {}
+            other => panic!("expected VocabMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let (city, model) = trained();
+        let blob = model_to_bytes(&model);
+        let cut = blob.slice(0..blob.len() / 2);
+        assert!(model_from_bytes(&city.net, cut).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (city, model) = trained();
+        let mut raw = model_to_bytes(&model).to_vec();
+        raw[0] = b'Z';
+        assert!(matches!(
+            model_from_bytes(&city.net, Bytes::from(raw)),
+            Err(ModelCodecError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn config_flags_roundtrip() {
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.time_factorised_scaling = true;
+        cfg.score_includes_sd_nll = true;
+        cfg.tie_sd_embedding = false;
+        let bits = flag_bits(&cfg);
+        let mut restored = CausalTadConfig::default();
+        apply_flag_bits(&mut restored, bits);
+        assert!(restored.time_factorised_scaling);
+        assert!(restored.score_includes_sd_nll);
+        assert!(!restored.tie_sd_embedding);
+        assert!(!restored.disable_sd_decoder);
+    }
+}

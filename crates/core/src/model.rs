@@ -1,0 +1,299 @@
+//! The assembled CausalTAD model.
+//!
+//! Holds the shared [`ParamStore`], the two VAEs, the cached road-network
+//! successor sets, and (after training) the precomputed
+//! [`ScalingTable`]. Scoring follows Eq. (10) of the paper:
+//!
+//! ```text
+//! score(t, c) = -log P(c, t) − λ Σ_i log E_{e_i ~ P(E_i|t_i)}[1 / P(t_i|e_i)]
+//!             ≈ (KL + sd_nll + Σ step_nll) − λ Σ_i log_scale(t_i)
+//! ```
+//!
+//! The offline [`CausalTad::score`] replays the online scorer so that the
+//! two paths cannot diverge (verified by integration tests).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tad_autodiff::{ParamStore, Tape};
+use tad_roadnet::RoadNetwork;
+use tad_trajsim::Trajectory;
+
+use crate::config::CausalTadConfig;
+use crate::online::OnlineScorer;
+use crate::rpvae::RpVae;
+use crate::scaling::ScalingTable;
+use crate::tgvae::TgVae;
+use crate::train::{TrainReport, Trainer};
+
+/// The CausalTAD detector (paper §V).
+#[derive(Clone, Debug)]
+pub struct CausalTad {
+    pub(crate) cfg: CausalTadConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) tg: TgVae,
+    pub(crate) rp: RpVae,
+    pub(crate) scaling: Option<ScalingTable>,
+    /// Successor lists per segment, cached from the road network.
+    pub(crate) successors: Vec<Vec<u32>>,
+    vocab: usize,
+}
+
+impl CausalTad {
+    /// Builds an untrained model for a road network.
+    pub fn new(net: &RoadNetwork, cfg: CausalTadConfig) -> Self {
+        let vocab = net.num_segments();
+        assert!(vocab > 0, "road network has no segments");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let tg = TgVae::new(&mut store, vocab, &cfg, &mut rng);
+        let rp = RpVae::new(&mut store, vocab, &cfg, &mut rng);
+        let successors = net.segment_ids().map(|s| net.successor_ids(s)).collect();
+        CausalTad { cfg, store, tg, rp, scaling: None, successors, vocab }
+    }
+
+    /// Model vocabulary (number of road segments).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &CausalTadConfig {
+        &self.cfg
+    }
+
+    /// Overrides λ (Eq. 10) without retraining — Fig. 8's sweep re-scores
+    /// the same trained model under different λ.
+    pub fn set_lambda(&mut self, lambda: f64) {
+        self.cfg.lambda = lambda;
+    }
+
+    /// Shared parameter store (read access, e.g. for persistence).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Successor segments of `seg`.
+    pub fn successors_of(&self, seg: u32) -> &[u32] {
+        &self.successors[seg as usize]
+    }
+
+    /// Builds the joint training loss `L1 + L2` (Eq. 9) for one trajectory
+    /// on `tape`, returning the loss node.
+    pub(crate) fn trajectory_loss(
+        &self,
+        tape: &mut Tape,
+        segments: &[u32],
+        time_slot: u8,
+        rng: &mut StdRng,
+    ) -> tad_autodiff::Var {
+        let tg_loss =
+            self.tg.loss(tape, &self.store, segments, &self.successors, &self.cfg, rng);
+        let tokens: Vec<u32> = segments.iter().map(|&s| self.rp.token(s, time_slot)).collect();
+        let rp_loss = self.rp.loss(tape, &self.store, &tokens, rng);
+        tape.add(tg_loss.total, rp_loss)
+    }
+
+    /// Trains both VAEs jointly (Eq. 9) and precomputes the scaling table.
+    pub fn fit(&mut self, train: &[Trajectory]) -> TrainReport {
+        let report = Trainer::new(self.cfg.clone()).fit(self, train);
+        self.precompute_scaling();
+        report
+    }
+
+    /// (Re)computes the per-token scaling table (§V-D). Called by
+    /// [`CausalTad::fit`]; exposed for tests and for refreshing after
+    /// manual parameter updates.
+    pub fn precompute_scaling(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5ca1ab1e);
+        self.scaling =
+            Some(ScalingTable::compute(&self.rp, &self.store, self.cfg.scaling_mc_samples, &mut rng));
+    }
+
+    /// The precomputed scaling table, if available.
+    pub fn scaling(&self) -> Option<&ScalingTable> {
+        self.scaling.as_ref()
+    }
+
+    /// Overwrites parameters and scaling table (used by the model codec
+    /// when restoring a persisted model).
+    pub(crate) fn replace_state(&mut self, store: ParamStore, scaling: Option<ScalingTable>) {
+        self.store.copy_values_from(&store);
+        self.scaling = scaling;
+    }
+
+    /// Starts an online scorer for a trip with the given SD pair and
+    /// departure slot. Each [`OnlineScorer::push`] costs O(1) in trajectory
+    /// length.
+    ///
+    /// # Panics
+    /// Panics if the scaling table has not been computed
+    /// (call [`CausalTad::fit`] or [`CausalTad::precompute_scaling`] first).
+    pub fn online(&self, source: u32, dest: u32, time_slot: u8) -> OnlineScorer<'_> {
+        OnlineScorer::new(self, source, dest, time_slot)
+    }
+
+    /// Debiased anomaly score of a full trajectory (Eq. 10). Higher means
+    /// more anomalous.
+    pub fn score(&self, traj: &Trajectory) -> f64 {
+        self.score_prefix(traj, traj.len())
+    }
+
+    /// Score after observing only the first `prefix_len` segments (online
+    /// evaluation, §VI-E). The SD pair — known upfront in ride-hailing — is
+    /// always available to the model.
+    pub fn score_prefix(&self, traj: &Trajectory, prefix_len: usize) -> f64 {
+        let sd = traj.sd_pair();
+        let mut scorer = self.online(sd.source.0, sd.dest.0, traj.time_slot);
+        let n = prefix_len.clamp(1, traj.len());
+        for &seg in &traj.segments[..n] {
+            scorer.push(seg.0);
+        }
+        scorer.score()
+    }
+
+    /// Ablation score using only the TG-VAE likelihood (λ = 0): the
+    /// "TG-VAE" row of Table III.
+    pub fn score_tg_only(&self, traj: &Trajectory) -> f64 {
+        let sd = traj.sd_pair();
+        let mut scorer = self.online(sd.source.0, sd.dest.0, traj.time_slot);
+        for &seg in &traj.segments {
+            scorer.push(seg.0);
+        }
+        scorer.likelihood_nll()
+    }
+
+    /// Ablation score using only the RP-VAE segment likelihoods: the
+    /// "RP-VAE" row of Table III (`-Σ_i ELBO log P(t_i)`).
+    pub fn score_rp_only(&self, traj: &Trajectory) -> f64 {
+        let table = self.scaling.as_ref().expect("scaling table not computed; call fit()");
+        traj.segments.iter().map(|&s| -table.elbo(s.0, traj.time_slot)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tad_trajsim::{generate_city, CityConfig};
+
+    fn small_city() -> tad_trajsim::City {
+        generate_city(&CityConfig::test_scale(100))
+    }
+
+    fn quick_model(city: &tad_trajsim::City) -> CausalTad {
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 3;
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        model
+    }
+
+    #[test]
+    fn fit_produces_finite_scores() {
+        let city = small_city();
+        let model = quick_model(&city);
+        for t in city.data.test_id.iter().take(5) {
+            let s = model.score(t);
+            assert!(s.is_finite(), "score {s}");
+        }
+    }
+
+    #[test]
+    fn anomalies_score_higher_on_average() {
+        let city = small_city();
+        let model = quick_model(&city);
+        let mean = |ts: &[Trajectory]| {
+            ts.iter().map(|t| model.score(t)).sum::<f64>() / ts.len() as f64
+        };
+        let normal = mean(&city.data.test_id);
+        let detour = mean(&city.data.detour);
+        assert!(
+            detour > normal,
+            "detour anomalies should score higher: {detour:.2} vs {normal:.2}"
+        );
+    }
+
+    #[test]
+    fn online_equals_offline() {
+        let city = small_city();
+        let model = quick_model(&city);
+        for t in city.data.test_id.iter().take(5) {
+            let offline = model.score(t);
+            let sd = t.sd_pair();
+            let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+            let mut last = f64::NAN;
+            for &seg in &t.segments {
+                last = scorer.push(seg.0);
+            }
+            assert!((offline - last).abs() < 1e-9, "{offline} vs {last}");
+        }
+    }
+
+    #[test]
+    fn prefix_scores_are_monotone_in_information() {
+        // Not strictly monotone in value, but must be finite and defined for
+        // every prefix, and the full-prefix score must match score().
+        let city = small_city();
+        let model = quick_model(&city);
+        let t = &city.data.test_id[0];
+        for len in 1..=t.len() {
+            assert!(model.score_prefix(t, len).is_finite());
+        }
+        assert_eq!(model.score_prefix(t, t.len()), model.score(t));
+    }
+
+    #[test]
+    fn lambda_zero_equals_tg_only() {
+        let city = small_city();
+        let mut model = quick_model(&city);
+        let t = &city.data.test_id[0];
+        model.set_lambda(0.0);
+        let s = model.score(t);
+        let tg = model.score_tg_only(t);
+        assert!((s - tg).abs() < 1e-9, "{s} vs {tg}");
+    }
+
+    #[test]
+    fn tied_embedding_shares_parameters() {
+        let city = small_city();
+        let mut tied_cfg = CausalTadConfig::test_scale();
+        tied_cfg.tie_sd_embedding = true;
+        let tied = CausalTad::new(&city.net, tied_cfg);
+        let mut untied_cfg = CausalTadConfig::test_scale();
+        untied_cfg.tie_sd_embedding = false;
+        let untied = CausalTad::new(&city.net, untied_cfg);
+        // The untied model has one extra embedding table's worth of params.
+        let extra = city.net.num_segments() * untied.config().embed_dim;
+        assert_eq!(untied.store().num_scalars(), tied.store().num_scalars() + extra);
+    }
+
+    #[test]
+    fn sd_nll_flag_changes_score_for_unseen_pairs() {
+        let city = small_city();
+        let mut with_cfg = CausalTadConfig::test_scale();
+        with_cfg.epochs = 2;
+        with_cfg.score_includes_sd_nll = true;
+        let mut without_cfg = with_cfg.clone();
+        without_cfg.score_includes_sd_nll = false;
+        let mut with_sd = CausalTad::new(&city.net, with_cfg);
+        with_sd.fit(&city.data.train);
+        let mut without_sd = CausalTad::new(&city.net, without_cfg);
+        without_sd.fit(&city.data.train);
+        // Same training (same seed/config except the score flag), so the
+        // score difference is exactly the SD reconstruction NLL >= 0.
+        let t = &city.data.test_ood[0];
+        let diff = with_sd.score(t) - without_sd.score(t);
+        assert!(diff > 0.0, "SD NLL must add a positive term, diff {diff}");
+    }
+
+    #[test]
+    fn rp_only_scores_defined() {
+        let city = small_city();
+        let model = quick_model(&city);
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = rng.gen_range(0..city.data.test_id.len());
+        let s = model.score_rp_only(&city.data.test_id[idx]);
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,240 @@
+//! Precomputed debiasing scaling factors (paper §V-C / §V-D).
+//!
+//! For every token `v` the table stores the Monte-Carlo estimate of
+//! `log E_{e ~ Q2(E|v)}[1 / P(v | e)]`, evaluated in log domain for
+//! numerical safety:
+//!
+//! ```text
+//! log E[1/P] ≈ logsumexp_m(-log P_m(v)) - log M,   e_m ~ Q2(E | v)
+//! ```
+//!
+//! Because the scaling factor factorises over segments, the whole table is
+//! computed once after training ("the scaling factors can be calculated and
+//! stored in advance during inference to support online anomaly detection"),
+//! and each online update is a single lookup.
+//!
+//! The table also stores a per-token ELBO estimate of `log P(v)` so the
+//! RP-VAE can act as a stand-alone detector in the ablation study
+//! (Table III, row "RP-VAE").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rand::Rng;
+
+use tad_autodiff::{logsumexp, ParamStore, Tensor};
+
+use crate::rpvae::RpVae;
+
+/// Precomputed per-token scaling factors and RP-VAE likelihoods.
+#[derive(Clone, Debug)]
+pub struct ScalingTable {
+    /// `log E[1/P(v|e)]` per token.
+    log_scale: Vec<f64>,
+    /// ELBO estimate of `log P(v)` per token (reconstruction − KL).
+    elbo: Vec<f64>,
+    vocab: usize,
+    time_factorised: bool,
+    num_slots: usize,
+}
+
+impl ScalingTable {
+    /// Computes the table for every token of `rp` with `mc_samples` draws.
+    pub fn compute<R: Rng + ?Sized>(
+        rp: &RpVae,
+        store: &ParamStore,
+        mc_samples: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(mc_samples >= 1, "need at least one Monte-Carlo sample");
+        let tokens = rp.num_tokens();
+        let mut log_scale = Vec::with_capacity(tokens);
+        let mut elbo = Vec::with_capacity(tokens);
+
+        for v in 0..tokens as u32 {
+            let (mu, logvar) = rp.encode(store, &[v]);
+            let latent = mu.cols();
+            // KL(q(e|v) || N(0, I)) in closed form.
+            let kl: f64 = mu
+                .data()
+                .iter()
+                .zip(logvar.data())
+                .map(|(&m, &lv)| -0.5 * (1.0 + lv - m * m - lv.exp()) as f64)
+                .sum();
+            // Batch the M samples as rows.
+            let mut z = Tensor::zeros(mc_samples, latent);
+            for m in 0..mc_samples {
+                for c in 0..latent {
+                    let std = (0.5 * logvar.get(0, c)).exp();
+                    z.set(m, c, mu.get(0, c) + std * gauss(rng) as f32);
+                }
+            }
+            let logits = rp.decode_logits(store, &z);
+            let mut neg_logps = Vec::with_capacity(mc_samples);
+            let mut logp_sum = 0.0f64;
+            for m in 0..mc_samples {
+                let row = logits.row(m);
+                let logp = (row[v as usize] - logsumexp(row)) as f64;
+                neg_logps.push(-logp as f32);
+                logp_sum += logp;
+            }
+            log_scale.push(logsumexp(&neg_logps) as f64 - (mc_samples as f64).ln());
+            elbo.push(logp_sum / mc_samples as f64 - kl);
+        }
+
+        ScalingTable {
+            log_scale,
+            elbo,
+            vocab: rp.vocab(),
+            time_factorised: rp.is_time_factorised(),
+            num_slots: rp.num_slots(),
+        }
+    }
+
+    /// `log E[1/P(t_i|e_i)]` for a segment observed in a time slot.
+    #[inline]
+    pub fn log_scale(&self, seg: u32, slot: u8) -> f64 {
+        self.log_scale[self.token_index(seg, slot)]
+    }
+
+    /// ELBO estimate of `log P(t_i)` for the stand-alone RP-VAE detector.
+    #[inline]
+    pub fn elbo(&self, seg: u32, slot: u8) -> f64 {
+        self.elbo[self.token_index(seg, slot)]
+    }
+
+    fn token_index(&self, seg: u32, slot: u8) -> usize {
+        if self.time_factorised {
+            (slot as usize % self.num_slots) * self.vocab + seg as usize
+        } else {
+            seg as usize
+        }
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.log_scale.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log_scale.is_empty()
+    }
+
+    /// Serialises the table (little-endian; used by the model codec).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.log_scale.len() * 16);
+        buf.put_u32_le(self.vocab as u32);
+        buf.put_u8(self.time_factorised as u8);
+        buf.put_u32_le(self.num_slots as u32);
+        buf.put_u32_le(self.log_scale.len() as u32);
+        for (&ls, &e) in self.log_scale.iter().zip(self.elbo.iter()) {
+            buf.put_f64_le(ls);
+            buf.put_f64_le(e);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a table written by [`ScalingTable::to_bytes`].
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, &'static str> {
+        if bytes.remaining() < 13 {
+            return Err("truncated scaling header");
+        }
+        let vocab = bytes.get_u32_le() as usize;
+        let time_factorised = bytes.get_u8() != 0;
+        let num_slots = bytes.get_u32_le() as usize;
+        let n = bytes.get_u32_le() as usize;
+        if bytes.remaining() < n * 16 {
+            return Err("truncated scaling entries");
+        }
+        let mut log_scale = Vec::with_capacity(n);
+        let mut elbo = Vec::with_capacity(n);
+        for _ in 0..n {
+            log_scale.push(bytes.get_f64_le());
+            elbo.push(bytes.get_f64_le());
+        }
+        Ok(ScalingTable { log_scale, elbo, vocab, time_factorised, num_slots })
+    }
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CausalTadConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tad_autodiff::optim::Adam;
+    use tad_autodiff::Tape;
+
+    fn trained_rp(vocab: usize, freq: &[usize]) -> (ParamStore, RpVae) {
+        let cfg = CausalTadConfig::test_scale();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let rp = RpVae::new(&mut store, vocab, &cfg, &mut rng);
+        let mut adam = Adam::new(&store, 0.01);
+        let batch: Vec<u32> = freq
+            .iter()
+            .enumerate()
+            .flat_map(|(tok, &n)| std::iter::repeat(tok as u32).take(n))
+            .collect();
+        for _ in 0..120 {
+            let mut tape = Tape::new();
+            let loss = rp.loss(&mut tape, &store, &batch, &mut rng);
+            tape.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        (store, rp)
+    }
+
+    #[test]
+    fn popular_tokens_get_smaller_scaling() {
+        // Token 0 very popular, token 4 rare.
+        let (store, rp) = trained_rp(5, &[16, 4, 4, 4, 1]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let table = ScalingTable::compute(&rp, &store, 32, &mut rng);
+        assert_eq!(table.len(), 5);
+        assert!(
+            table.log_scale(0, 0) < table.log_scale(4, 0),
+            "popular {} vs rare {}",
+            table.log_scale(0, 0),
+            table.log_scale(4, 0)
+        );
+    }
+
+    #[test]
+    fn log_scale_nonnegative_ish() {
+        // E[1/P] >= 1 by Jensen whenever P <= 1, so log E[1/P] >= 0.
+        let (store, rp) = trained_rp(5, &[8, 8, 8, 8, 8]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let table = ScalingTable::compute(&rp, &store, 16, &mut rng);
+        for v in 0..5u32 {
+            assert!(table.log_scale(v, 0) > -1e-9, "v={v}: {}", table.log_scale(v, 0));
+        }
+    }
+
+    #[test]
+    fn elbo_ranks_popularity() {
+        let (store, rp) = trained_rp(5, &[16, 4, 4, 4, 1]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let table = ScalingTable::compute(&rp, &store, 32, &mut rng);
+        assert!(table.elbo(0, 0) > table.elbo(4, 0));
+    }
+
+    #[test]
+    fn time_factorised_table_has_slot_entries() {
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.time_factorised_scaling = true;
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let rp = RpVae::new(&mut store, 6, &cfg, &mut rng);
+        let table = ScalingTable::compute(&rp, &store, 4, &mut rng);
+        assert_eq!(table.len(), 6 * cfg.num_time_slots);
+        // Different slots may map to different entries without panicking.
+        let _ = table.log_scale(5, 0);
+        let _ = table.log_scale(5, 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Training loop for CausalTAD (and reused by the learning baselines'
+//! conventions): Adam, mini-batched trajectory losses, gradient clipping,
+//! NaN guards, and best-epoch checkpointing.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use tad_autodiff::optim::Adam;
+use tad_autodiff::{ParamStore, Tape};
+use tad_trajsim::Trajectory;
+
+use crate::config::CausalTadConfig;
+use crate::model::CausalTad;
+
+/// Summary of one training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Mean joint loss (`L1 + L2`, Eq. 9) per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Wall-clock time of the whole fit.
+    pub wall_time: Duration,
+    /// Number of trajectories used.
+    pub num_trajectories: usize,
+    /// True when non-finite losses forced an early stop.
+    pub diverged: bool,
+}
+
+impl TrainReport {
+    /// Final epoch loss (NaN when no epoch ran).
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Best (lowest) epoch loss.
+    pub fn best_loss(&self) -> f64 {
+        self.epoch_losses.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Drives the optimisation of a [`CausalTad`] model.
+pub struct Trainer {
+    cfg: CausalTadConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer from the model configuration.
+    pub fn new(cfg: CausalTadConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// Runs the full optimisation, restoring the best-epoch parameters at
+    /// the end (the paper reports the model performing best on validation).
+    pub fn fit(&self, model: &mut CausalTad, train: &[Trajectory]) -> TrainReport {
+        let start = Instant::now();
+        let mut report = TrainReport {
+            epoch_losses: Vec::with_capacity(self.cfg.epochs),
+            wall_time: Duration::ZERO,
+            num_trajectories: train.len(),
+            diverged: false,
+        };
+        if train.is_empty() {
+            report.wall_time = start.elapsed();
+            return report;
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7ea1);
+        let mut adam = Adam::new(&model.store, self.cfg.lr);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut best: Option<(f64, ParamStore)> = None;
+        let mut tape = Tape::new();
+
+        'epochs: for _epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut counted = 0usize;
+            let mut bad_batches = 0usize;
+
+            for batch in order.chunks(self.cfg.batch_size) {
+                let scale = 1.0 / batch.len() as f32;
+                let mut batch_loss = 0.0f64;
+                let mut batch_ok = true;
+                for &idx in batch {
+                    let t = &train[idx];
+                    if t.len() < 2 {
+                        continue;
+                    }
+                    let segments: Vec<u32> = t.segments.iter().map(|s| s.0).collect();
+                    tape.reset();
+                    let loss = model.trajectory_loss(&mut tape, &segments, t.time_slot, &mut rng);
+                    let v = tape.value(loss).get(0, 0) as f64;
+                    if !v.is_finite() {
+                        batch_ok = false;
+                        break;
+                    }
+                    let scaled = tape.scale(loss, scale);
+                    tape.backward(scaled, &mut model.store);
+                    batch_loss += v;
+                    counted += 1;
+                }
+                if !batch_ok {
+                    // NaN guard: drop the poisoned gradients entirely.
+                    model.store.zero_grads();
+                    bad_batches += 1;
+                    if bad_batches > 3 {
+                        report.diverged = true;
+                        break 'epochs;
+                    }
+                    continue;
+                }
+                if self.cfg.grad_clip > 0.0 {
+                    model.store.clip_grad_norm(self.cfg.grad_clip);
+                }
+                adam.step(&mut model.store);
+                epoch_loss += batch_loss;
+            }
+
+            let mean = if counted > 0 { epoch_loss / counted as f64 } else { f64::NAN };
+            report.epoch_losses.push(mean);
+            if mean.is_finite() && best.as_ref().is_none_or(|(b, _)| mean < *b) {
+                best = Some((mean, model.store.clone()));
+            }
+        }
+
+        if let Some((_, best_store)) = best {
+            model.store.copy_values_from(&best_store);
+        }
+        report.wall_time = start.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tad_trajsim::{generate_city, CityConfig};
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let city = generate_city(&CityConfig::test_scale(300));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 5;
+        let mut model = CausalTad::new(&city.net, cfg);
+        let report = model.fit(&city.data.train);
+        assert_eq!(report.epoch_losses.len(), 5);
+        assert!(!report.diverged);
+        assert!(
+            report.final_loss() < report.epoch_losses[0],
+            "losses: {:?}",
+            report.epoch_losses
+        );
+        assert!(report.best_loss() <= report.final_loss() + 1e-9);
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let city = generate_city(&CityConfig::test_scale(301));
+        let mut model = CausalTad::new(&city.net, CausalTadConfig::test_scale());
+        let report = Trainer::new(CausalTadConfig::test_scale()).fit(&mut model, &[]);
+        assert!(report.epoch_losses.is_empty());
+        assert_eq!(report.num_trajectories, 0);
+        assert!(!report.diverged);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let city = generate_city(&CityConfig::test_scale(302));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 2;
+        let run = |cfg: CausalTadConfig| {
+            let mut model = CausalTad::new(&city.net, cfg);
+            model.fit(&city.data.train).final_loss()
+        };
+        assert_eq!(run(cfg.clone()), run(cfg));
+    }
+
+    #[test]
+    fn parameters_stay_finite() {
+        let city = generate_city(&CityConfig::test_scale(303));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 3;
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        assert!(model.store().all_finite());
+    }
+}

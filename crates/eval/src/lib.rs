@@ -1,0 +1,23 @@
+//! # tad-eval
+//!
+//! Metrics, experiment harness, and standard workloads for the CausalTAD
+//! reproduction:
+//!
+//! * [`metrics`] — ROC-AUC (Mann-Whitney) and PR-AUC (average precision),
+//!   the paper's two metrics.
+//! * [`cities`] — the two standard synthetic cities ("xian-s",
+//!   "chengdu-s") in `Quick` and `Paper` scales.
+//! * [`harness`] — dataset-combination evaluation, observed-ratio
+//!   (online) evaluation, ID/OOD mixtures for the stability study, and a
+//!   small ordered `parallel_map` for training several detectors at once.
+//! * [`wrappers`] — [`wrappers::CausalTadDetector`] adapts [`causaltad`]
+//!   (full model and its two ablations) to the shared
+//!   [`tad_baselines::Detector`] trait.
+//! * [`report`] — Markdown/CSV table rendering for the experiment
+//!   binaries.
+
+pub mod cities;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod wrappers;

@@ -1,0 +1,217 @@
+//! Threshold-free detection metrics: ROC-AUC and PR-AUC, the two metrics of
+//! the paper (§VI-A3).
+
+/// Area under the ROC curve via the Mann-Whitney U statistic: the
+/// probability that a random anomaly outscores a random normal, with ties
+/// counting half. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut ranked: Vec<(f64, bool)> =
+        scores.iter().copied().zip(labels.iter().copied()).collect();
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+
+    // Sum of ranks of positives, with average ranks over tied groups.
+    let mut rank_sum = 0.0f64;
+    let mut i = 0usize;
+    while i < ranked.len() {
+        let mut j = i;
+        while j + 1 < ranked.len() && ranked[j + 1].0 == ranked[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; the tied group [i, j] shares the average rank.
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for item in &ranked[i..=j] {
+            if item.1 {
+                rank_sum += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum - (pos * (pos + 1)) as f64 / 2.0) / (pos as f64 * neg as f64)
+}
+
+/// Area under the precision-recall curve computed as average precision
+/// (the standard step-wise interpolation). Anomalies are the positive
+/// class. Returns the positive rate when either class is empty.
+pub fn pr_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    if pos == labels.len() {
+        return 1.0;
+    }
+    let mut ranked: Vec<(f64, bool)> =
+        scores.iter().copied().zip(labels.iter().copied()).collect();
+    // Descending by score; ties broken so that positives come *after*
+    // negatives at the same score (pessimistic, avoids optimistic bias).
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (k, &(_, is_pos)) in ranked.iter().enumerate() {
+        if is_pos {
+            tp += 1;
+            ap += tp as f64 / (k + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+/// A bootstrap confidence interval for a metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+/// Percentile-bootstrap confidence interval for ROC-AUC: resamples the
+/// scored population with replacement `resamples` times and takes the
+/// `alpha/2` and `1 - alpha/2` percentiles. Deterministic given `seed`.
+pub fn roc_auc_ci(
+    scores: &[f64],
+    labels: &[bool],
+    resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(resamples >= 10, "need at least 10 resamples");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let estimate = roc_auc(scores, labels);
+    let n = scores.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut s = Vec::with_capacity(n);
+    let mut l = Vec::with_capacity(n);
+    for _ in 0..resamples {
+        s.clear();
+        l.clear();
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            s.push(scores[i]);
+            l.push(labels[i]);
+        }
+        stats.push(roc_auc(&s, &l));
+    }
+    stats.sort_by(f64::total_cmp);
+    let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(resamples - 1);
+    ConfidenceInterval { estimate, lo: stats[lo_idx], hi: stats[hi_idx] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert_eq!(pr_auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_zero_roc() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+        assert!(pr_auc(&scores, &labels) < 0.6);
+    }
+
+    #[test]
+    fn symmetric_interleaving_is_exactly_half() {
+        // Positives at ranks {2,3,6,7}: rank sum 18, AUC = (18-10)/16 = 0.5.
+        let scores = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let labels = [false, true, true, false, false, true, true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn alternating_interleaving_known_value() {
+        // Positives at ranks {1,3,5,7}: rank sum 16, AUC = (16-10)/16.
+        let scores = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let labels = [true, false, true, false, true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.375);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        let scores = [1.0, 1.0];
+        let labels = [true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn roc_invariant_under_monotone_transform() {
+        let scores = [0.1, 0.5, 0.3, 0.9, 0.7];
+        let labels = [false, true, false, true, true];
+        let transformed: Vec<f64> = scores.iter().map(|s| f64::exp(s * 10.0)).collect();
+        assert!((roc_auc(&scores, &labels) - roc_auc(&transformed, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_label_sets() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(pr_auc(&[1.0, 2.0], &[false, false]), 0.0);
+        assert_eq!(pr_auc(&[1.0, 2.0], &[true, true]), 1.0);
+    }
+
+    #[test]
+    fn pr_auc_known_value() {
+        // Ranking (desc): [T, F, T]; AP = (1/1 + 2/3) / 2 = 5/6.
+        let scores = [0.9, 0.8, 0.7];
+        let labels = [true, false, true];
+        assert!((pr_auc(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = roc_auc(&[1.0], &[true, false]);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_estimate_and_orders() {
+        // Noisy but separable scores.
+        let scores: Vec<f64> = (0..60).map(|i| i as f64 + if i % 2 == 0 { 15.0 } else { 0.0 }).collect();
+        let labels: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
+        let ci = roc_auc_ci(&scores, &labels, 200, 0.05, 7);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");
+        assert!(ci.hi - ci.lo < 0.5, "interval should be informative: {ci:?}");
+    }
+
+    #[test]
+    fn bootstrap_ci_deterministic_per_seed() {
+        let scores = [1.0, 3.0, 2.0, 5.0, 4.0, 6.0];
+        let labels = [false, true, false, true, false, true];
+        let a = roc_auc_ci(&scores, &labels, 100, 0.1, 3);
+        let b = roc_auc_ci(&scores, &labels, 100, 0.1, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_ci_perfect_separation_tight() {
+        let scores = [0.0, 0.1, 0.2, 10.0, 11.0, 12.0];
+        let labels = [false, false, false, true, true, true];
+        let ci = roc_auc_ci(&scores, &labels, 100, 0.05, 1);
+        assert_eq!(ci.estimate, 1.0);
+        assert_eq!(ci.hi, 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Compact binary persistence for road networks.
+//!
+//! `serde_json` is not on the allowed dependency list, so networks are
+//! stored in a little-endian binary layout built on `bytes`:
+//!
+//! ```text
+//! magic "TADR", version u16
+//! u32 node_count, node_count x (f64 x, f64 y)
+//! u32 segment_count, segment_count x (u32 from, u32 to, f64 length, u8 class)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::geometry::Point;
+use crate::graph::{NodeId, RoadClass, RoadNetwork};
+
+const MAGIC: &[u8; 4] = b"TADR";
+const VERSION: u16 = 1;
+
+/// Errors produced when decoding a serialized network.
+#[derive(Debug, PartialEq, Eq)]
+pub enum NetCodecError {
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended before the named field could be read.
+    Truncated(&'static str),
+    /// Unknown road class byte.
+    BadClass(u8),
+    /// A segment referenced a node index past the node table.
+    DanglingNode(u32),
+}
+
+impl std::fmt::Display for NetCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetCodecError::BadMagic => write!(f, "bad magic bytes"),
+            NetCodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            NetCodecError::Truncated(what) => write!(f, "truncated input at {what}"),
+            NetCodecError::BadClass(c) => write!(f, "unknown road class {c}"),
+            NetCodecError::DanglingNode(n) => write!(f, "segment references missing node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for NetCodecError {}
+
+/// Serialises a road network.
+pub fn network_to_bytes(net: &RoadNetwork) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + net.num_nodes() * 16 + net.num_segments() * 17);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(net.num_nodes() as u32);
+    for n in net.node_ids() {
+        let p = net.node(n).pos;
+        buf.put_f64_le(p.x);
+        buf.put_f64_le(p.y);
+    }
+    buf.put_u32_le(net.num_segments() as u32);
+    for s in net.segment_ids() {
+        let seg = net.segment(s);
+        buf.put_u32_le(seg.from.0);
+        buf.put_u32_le(seg.to.0);
+        buf.put_f64_le(seg.length);
+        buf.put_u8(seg.class.as_u8());
+    }
+    buf.freeze()
+}
+
+/// Deserialises a road network written by [`network_to_bytes`].
+pub fn network_from_bytes(mut bytes: Bytes) -> Result<RoadNetwork, NetCodecError> {
+    if bytes.remaining() < 6 {
+        return Err(NetCodecError::Truncated("header"));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(NetCodecError::BadMagic);
+    }
+    let version = bytes.get_u16_le();
+    if version != VERSION {
+        return Err(NetCodecError::BadVersion(version));
+    }
+    if bytes.remaining() < 4 {
+        return Err(NetCodecError::Truncated("node count"));
+    }
+    let node_count = bytes.get_u32_le() as usize;
+    let mut net = RoadNetwork::new();
+    for _ in 0..node_count {
+        if bytes.remaining() < 16 {
+            return Err(NetCodecError::Truncated("node"));
+        }
+        let x = bytes.get_f64_le();
+        let y = bytes.get_f64_le();
+        net.add_node(Point::new(x, y));
+    }
+    if bytes.remaining() < 4 {
+        return Err(NetCodecError::Truncated("segment count"));
+    }
+    let seg_count = bytes.get_u32_le() as usize;
+    for _ in 0..seg_count {
+        // Segment record: u32 from + u32 to + f64 length + u8 class = 17 bytes.
+        if bytes.remaining() < 17 {
+            return Err(NetCodecError::Truncated("segment"));
+        }
+        let from = bytes.get_u32_le();
+        let to = bytes.get_u32_le();
+        let length = bytes.get_f64_le();
+        let class = bytes.get_u8();
+        if from as usize >= node_count {
+            return Err(NetCodecError::DanglingNode(from));
+        }
+        if to as usize >= node_count {
+            return Err(NetCodecError::DanglingNode(to));
+        }
+        let class = RoadClass::from_u8(class).ok_or(NetCodecError::BadClass(class))?;
+        net.add_segment(NodeId(from), NodeId(to), length, class);
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{generate_grid_city, GridCityConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = generate_grid_city(&GridCityConfig::tiny(), &mut rng);
+        let restored = network_from_bytes(network_to_bytes(&net)).unwrap();
+        assert_eq!(restored.num_nodes(), net.num_nodes());
+        assert_eq!(restored.num_segments(), net.num_segments());
+        for s in net.segment_ids() {
+            assert_eq!(restored.segment(s), net.segment(s));
+        }
+        for n in net.node_ids() {
+            assert_eq!(restored.node(n).pos, net.node(n).pos);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = network_to_bytes(&RoadNetwork::new()).to_vec();
+        data[0] = b'X';
+        assert!(matches!(network_from_bytes(Bytes::from(data)), Err(NetCodecError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = generate_grid_city(&GridCityConfig::tiny(), &mut rng);
+        let data = network_to_bytes(&net);
+        let cut = data.slice(0..data.len() - 5);
+        assert!(matches!(network_from_bytes(cut), Err(NetCodecError::Truncated(_))));
+    }
+
+    #[test]
+    fn bad_class_rejected() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(Point::new(0.0, 0.0));
+        let b = net.add_node(Point::new(1.0, 0.0));
+        net.add_segment(a, b, 1.0, RoadClass::Local);
+        let mut data = network_to_bytes(&net).to_vec();
+        let last = data.len() - 1;
+        data[last] = 77;
+        assert!(matches!(network_from_bytes(Bytes::from(data)), Err(NetCodecError::BadClass(77))));
+    }
+}

@@ -1,0 +1,95 @@
+//! Planar geometry primitives used by the road network and map matcher.
+//!
+//! Coordinates are metres in a local planar frame; real-world datasets are
+//! assumed to be projected before entering the library (the paper's
+//! trajectories are map-matched city-scale data, where a planar
+//! approximation is standard).
+
+/// A point in the local planar frame (metres).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point { x: self.x + t * (other.x - self.x), y: self.y + t * (other.y - self.y) }
+    }
+}
+
+/// Distance from `p` to the line segment `a`-`b`, together with the
+/// projection parameter `t` in `[0, 1]` of the closest point.
+pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> (f64, f64) {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len_sq = dx * dx + dy * dy;
+    if len_sq == 0.0 {
+        return (p.dist(a), 0.0);
+    }
+    let t = (((p.x - a.x) * dx + (p.y - a.y) * dy) / len_sq).clamp(0.0, 1.0);
+    let proj = a.lerp(b, t);
+    (p.dist(&proj), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.x - 2.0).abs() < 1e-12 && (mid.y - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_segment_distance_interior_projection() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let p = Point::new(5.0, 3.0);
+        let (d, t) = point_segment_distance(&p, &a, &b);
+        assert!((d - 3.0).abs() < 1e-12);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_segment_distance_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let p = Point::new(-4.0, 3.0);
+        let (d, t) = point_segment_distance(&p, &a, &b);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let a = Point::new(2.0, 2.0);
+        let p = Point::new(2.0, 6.0);
+        let (d, t) = point_segment_distance(&p, &a, &a);
+        assert!((d - 4.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Uniform-grid spatial index over road segments.
+//!
+//! The HMM map matcher needs "all segments within radius r of a GPS point"
+//! for every observation; a linear scan over all segments per point would
+//! make matching quadratic in city size. This index buckets segments by the
+//! grid cells their bounding boxes touch and answers radius queries by
+//! scanning only nearby cells.
+
+use crate::geometry::{point_segment_distance, Point};
+use crate::graph::{RoadNetwork, SegmentId};
+
+/// A uniform-grid index over the segments of one road network.
+#[derive(Clone, Debug)]
+pub struct SegmentIndex {
+    cell_size: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// Per-cell list of segments whose bounding box intersects the cell.
+    cells: Vec<Vec<SegmentId>>,
+}
+
+impl SegmentIndex {
+    /// Builds an index with the given cell size (metres). A good default is
+    /// the nominal block length of the network.
+    pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for n in net.node_ids() {
+            let p = net.node(n).pos;
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if !min_x.is_finite() {
+            // Empty network: one empty cell.
+            return SegmentIndex { cell_size, min_x: 0.0, min_y: 0.0, cols: 1, rows: 1, cells: vec![Vec::new()] };
+        }
+        let cols = (((max_x - min_x) / cell_size).floor() as usize) + 1;
+        let rows = (((max_y - min_y) / cell_size).floor() as usize) + 1;
+        let mut cells = vec![Vec::new(); cols * rows];
+        for s in net.segment_ids() {
+            let seg = net.segment(s);
+            let a = net.node(seg.from).pos;
+            let b = net.node(seg.to).pos;
+            let (lo_x, hi_x) = (a.x.min(b.x), a.x.max(b.x));
+            let (lo_y, hi_y) = (a.y.min(b.y), a.y.max(b.y));
+            let c0 = (((lo_x - min_x) / cell_size).floor() as usize).min(cols - 1);
+            let c1 = (((hi_x - min_x) / cell_size).floor() as usize).min(cols - 1);
+            let r0 = (((lo_y - min_y) / cell_size).floor() as usize).min(rows - 1);
+            let r1 = (((hi_y - min_y) / cell_size).floor() as usize).min(rows - 1);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    cells[r * cols + c].push(s);
+                }
+            }
+        }
+        SegmentIndex { cell_size, min_x, min_y, cols, rows, cells }
+    }
+
+    /// Returns `(segment, distance)` for every segment within `radius` of
+    /// `p`, sorted by ascending distance.
+    pub fn query(&self, net: &RoadNetwork, p: &Point, radius: f64) -> Vec<(SegmentId, f64)> {
+        let reach = (radius / self.cell_size).ceil() as isize + 1;
+        let pc = ((p.x - self.min_x) / self.cell_size).floor() as isize;
+        let pr = ((p.y - self.min_y) / self.cell_size).floor() as isize;
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for r in (pr - reach).max(0)..=(pr + reach).min(self.rows as isize - 1) {
+            for c in (pc - reach).max(0)..=(pc + reach).min(self.cols as isize - 1) {
+                for &s in &self.cells[r as usize * self.cols + c as usize] {
+                    if !seen.insert(s) {
+                        continue;
+                    }
+                    let seg = net.segment(s);
+                    let a = net.node(seg.from).pos;
+                    let b = net.node(seg.to).pos;
+                    let (d, _) = point_segment_distance(p, &a, &b);
+                    if d <= radius {
+                        out.push((s, d));
+                    }
+                }
+            }
+        }
+        out.sort_by(|x, y| x.1.total_cmp(&y.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadClass;
+
+    fn line_net() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let mut prev = net.add_node(Point::new(0.0, 0.0));
+        for i in 1..=10 {
+            let n = net.add_node(Point::new(i as f64 * 100.0, 0.0));
+            net.add_segment(prev, n, 100.0, RoadClass::Local);
+            net.add_segment(n, prev, 100.0, RoadClass::Local);
+            prev = n;
+        }
+        net
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let net = line_net();
+        let index = SegmentIndex::build(&net, 150.0);
+        let p = Point::new(420.0, 30.0);
+        let radius = 120.0;
+        let fast: Vec<_> = index.query(&net, &p, radius).into_iter().map(|(s, _)| s).collect();
+        let mut brute: Vec<_> = net
+            .segment_ids()
+            .filter(|&s| {
+                let seg = net.segment(s);
+                let (d, _) =
+                    point_segment_distance(&p, &net.node(seg.from).pos, &net.node(seg.to).pos);
+                d <= radius
+            })
+            .collect();
+        let mut fast_sorted = fast.clone();
+        fast_sorted.sort();
+        brute.sort();
+        assert_eq!(fast_sorted, brute);
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let net = line_net();
+        let index = SegmentIndex::build(&net, 100.0);
+        let hits = index.query(&net, &Point::new(250.0, 10.0), 500.0);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn far_point_returns_nothing() {
+        let net = line_net();
+        let index = SegmentIndex::build(&net, 100.0);
+        assert!(index.query(&net, &Point::new(0.0, 10_000.0), 50.0).is_empty());
+    }
+
+    #[test]
+    fn empty_network_is_fine() {
+        let net = RoadNetwork::new();
+        let index = SegmentIndex::build(&net, 100.0);
+        assert!(index.query(&net, &Point::new(0.0, 0.0), 1000.0).is_empty());
+    }
+}

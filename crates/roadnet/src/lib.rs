@@ -1,0 +1,29 @@
+//! # tad-roadnet
+//!
+//! Road-network substrate for the CausalTAD reproduction (ICDE 2024):
+//!
+//! * [`RoadNetwork`] — a directed graph of road [`Segment`]s over dense ids,
+//!   with the segment-successor relation that road-constrained decoding and
+//!   online detection are built on.
+//! * [`grid`] — a synthetic city generator (road hierarchy, jitter, removed
+//!   edges) standing in for the paper's Xi'an/Chengdu road networks.
+//! * [`dijkstra`] — generalised-cost shortest paths in node and segment
+//!   space, with per-segment bans (used by the Detour anomaly generator).
+//! * [`kpaths`] — Yen's k-shortest loopless paths (route alternatives for
+//!   the Switch anomaly generator).
+//! * [`index`] / [`matching`] — a uniform-grid spatial index and an HMM
+//!   (Viterbi) map matcher turning raw GPS points into segment walks
+//!   (Definition 2 of the paper).
+//! * [`codec`] — compact binary persistence.
+
+pub mod codec;
+pub mod dijkstra;
+pub mod geometry;
+mod graph;
+pub mod grid;
+pub mod index;
+pub mod kpaths;
+pub mod matching;
+pub mod render;
+
+pub use graph::{Node, NodeId, RoadClass, RoadNetwork, Segment, SegmentId};

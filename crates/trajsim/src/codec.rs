@@ -1,0 +1,153 @@
+//! Binary persistence for trajectory datasets.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "TADT", version u16
+//! 5 x split:  u32 count, count x trajectory
+//! trajectory: u8 label, u8 time_slot, u32 len, len x u32 segment id
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tad_roadnet::SegmentId;
+
+use crate::dataset::{CityDatasets, Label, Trajectory};
+
+const MAGIC: &[u8; 4] = b"TADT";
+const VERSION: u16 = 1;
+
+/// Errors produced when decoding serialized datasets.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DataCodecError {
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended before the named field could be read.
+    Truncated(&'static str),
+    /// Unknown label byte.
+    BadLabel(u8),
+}
+
+impl std::fmt::Display for DataCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataCodecError::BadMagic => write!(f, "bad magic bytes"),
+            DataCodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DataCodecError::Truncated(what) => write!(f, "truncated input at {what}"),
+            DataCodecError::BadLabel(l) => write!(f, "unknown label {l}"),
+        }
+    }
+}
+
+impl std::error::Error for DataCodecError {}
+
+/// Serialises all five splits of a city's datasets.
+pub fn datasets_to_bytes(data: &CityDatasets) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    for split in [&data.train, &data.test_id, &data.test_ood, &data.detour, &data.switch] {
+        put_split(&mut buf, split);
+    }
+    buf.freeze()
+}
+
+/// Deserialises datasets written by [`datasets_to_bytes`].
+pub fn datasets_from_bytes(mut bytes: Bytes) -> Result<CityDatasets, DataCodecError> {
+    if bytes.remaining() < 6 {
+        return Err(DataCodecError::Truncated("header"));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DataCodecError::BadMagic);
+    }
+    let version = bytes.get_u16_le();
+    if version != VERSION {
+        return Err(DataCodecError::BadVersion(version));
+    }
+    let train = get_split(&mut bytes)?;
+    let test_id = get_split(&mut bytes)?;
+    let test_ood = get_split(&mut bytes)?;
+    let detour = get_split(&mut bytes)?;
+    let switch = get_split(&mut bytes)?;
+    Ok(CityDatasets { train, test_id, test_ood, detour, switch })
+}
+
+fn put_split(buf: &mut BytesMut, split: &[Trajectory]) {
+    buf.put_u32_le(split.len() as u32);
+    for t in split {
+        buf.put_u8(t.label.as_u8());
+        buf.put_u8(t.time_slot);
+        buf.put_u32_le(t.segments.len() as u32);
+        for s in &t.segments {
+            buf.put_u32_le(s.0);
+        }
+    }
+}
+
+fn get_split(bytes: &mut Bytes) -> Result<Vec<Trajectory>, DataCodecError> {
+    if bytes.remaining() < 4 {
+        return Err(DataCodecError::Truncated("split count"));
+    }
+    let count = bytes.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if bytes.remaining() < 6 {
+            return Err(DataCodecError::Truncated("trajectory header"));
+        }
+        let label = bytes.get_u8();
+        let label = Label::from_u8(label).ok_or(DataCodecError::BadLabel(label))?;
+        let time_slot = bytes.get_u8();
+        let len = bytes.get_u32_le() as usize;
+        if bytes.remaining() < len * 4 {
+            return Err(DataCodecError::Truncated("segments"));
+        }
+        let segments = (0..len).map(|_| SegmentId(bytes.get_u32_le())).collect();
+        out.push(Trajectory { segments, time_slot, label });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_city, CityConfig};
+
+    #[test]
+    fn roundtrip_preserves_all_splits() {
+        let city = generate_city(&CityConfig::test_scale(12));
+        let restored = datasets_from_bytes(datasets_to_bytes(&city.data)).unwrap();
+        assert_eq!(restored.train, city.data.train);
+        assert_eq!(restored.test_id, city.data.test_id);
+        assert_eq!(restored.test_ood, city.data.test_ood);
+        assert_eq!(restored.detour, city.data.detour);
+        assert_eq!(restored.switch, city.data.switch);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let city = generate_city(&CityConfig::test_scale(13));
+        let data = datasets_to_bytes(&city.data);
+        let cut = data.slice(0..data.len() / 2);
+        assert!(matches!(datasets_from_bytes(cut), Err(DataCodecError::Truncated(_))));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut raw = datasets_to_bytes(&CityDatasets::default()).to_vec();
+        raw[2] = b'!';
+        assert!(matches!(
+            datasets_from_bytes(Bytes::from(raw)),
+            Err(DataCodecError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn empty_datasets_roundtrip() {
+        let empty = CityDatasets::default();
+        let restored = datasets_from_bytes(datasets_to_bytes(&empty)).unwrap();
+        assert!(restored.train.is_empty() && restored.switch.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! The full raw-GPS pipeline (paper Definitions 1 & 2): noisy GPS points →
+//! HMM/Viterbi map matching → segment walk → online anomaly scoring.
+//!
+//! ```sh
+//! cargo run --release --example map_matching
+//! ```
+
+use causaltad::{CausalTad, CausalTadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tad_roadnet::index::SegmentIndex;
+use tad_roadnet::matching::{match_trajectory, synthesize_gps, MatchConfig};
+use tad_trajsim::{generate_city, CityConfig, Label, Trajectory};
+
+fn main() {
+    let city = generate_city(&CityConfig::test_scale(55));
+    let mut cfg = CausalTadConfig::default();
+    cfg.epochs = 6;
+    let mut model = CausalTad::new(&city.net, cfg);
+    println!("training CausalTAD ...");
+    model.fit(&city.data.train);
+
+    // Spatial index for candidate lookup (cell size ~ block length).
+    let index = SegmentIndex::build(&city.net, 200.0);
+    let match_cfg = MatchConfig::default();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    for (label, trip) in [
+        ("normal", &city.data.test_id[0]),
+        ("detour", &city.data.detour[0]),
+    ] {
+        // 1. A vehicle drives the route; we observe noisy GPS pings.
+        let gps = synthesize_gps(&city.net, &trip.segments, 40.0, 12.0, &mut rng);
+        println!("\n--- {label} trip: {} true segments, {} GPS points ---", trip.len(), gps.len());
+
+        // 2. Map-match the pings back onto the road network.
+        let matched = match_trajectory(&city.net, &index, &gps, &match_cfg)
+            .expect("matching should succeed on synthetic pings");
+        let true_set: std::collections::HashSet<_> = trip.segments.iter().collect();
+        let overlap = matched.iter().filter(|s| true_set.contains(s)).count();
+        println!(
+            "  matched {} segments, {:.0}% overlapping the true route",
+            matched.len(),
+            overlap as f64 / matched.len() as f64 * 100.0
+        );
+
+        // 3. Score the *matched* walk, as a production pipeline would.
+        let matched_trip = Trajectory { segments: matched, time_slot: trip.time_slot, label: Label::Normal };
+        let score_matched = model.score(&matched_trip);
+        let score_true = model.score(trip);
+        println!("  score(matched walk) = {score_matched:8.2}   score(true route) = {score_true:8.2}");
+    }
+
+    println!("\nGPS noise barely moves the score: matching recovers the walk,");
+    println!("so detection quality survives the raw-GPS path.");
+}

@@ -1,0 +1,57 @@
+//! The paper's headline claim in one run: on trajectories with *unseen*
+//! SD pairs, a conditional model (VSAE) degrades sharply, while CausalTAD's
+//! causal debiasing (Eq. 10) keeps detection usable. The debiasing term can
+//! be switched off (λ = 0) to watch the gap close.
+//!
+//! ```sh
+//! cargo run --release --example ood_generalization
+//! ```
+
+use causaltad::CausalTadConfig;
+use tad_baselines::{BaselineConfig, Detector, Vsae};
+use tad_eval::harness::evaluate;
+use tad_eval::wrappers::CausalTadDetector;
+use tad_trajsim::{generate_city, CityConfig};
+
+fn main() {
+    let mut city_cfg = CityConfig::test_scale(33);
+    city_cfg.num_candidate_pairs = 16;
+    city_cfg.trajs_per_pair = 12;
+    city_cfg.num_ood_pairs = 16;
+    city_cfg.trajs_per_ood_pair = 3;
+    let city = generate_city(&city_cfg);
+    println!("city: {} segments | {}", city.net.num_segments(), city.data.summary());
+
+    let mut vsae = Vsae::vsae(BaselineConfig { epochs: 10, ..Default::default() });
+    println!("training VSAE ...");
+    vsae.fit(&city.net, &city.data.train);
+
+    let mut causal = CausalTadDetector::new(CausalTadConfig { epochs: 10, ..Default::default() });
+    println!("training CausalTAD ...");
+    causal.fit(&city.net, &city.data.train);
+
+    println!("\n{:<22} {:>12} {:>12} {:>10}", "detector", "ID ROC-AUC", "OOD ROC-AUC", "drop");
+    let report = |name: &str, det: &dyn Detector| {
+        let id = evaluate(det, &city.data.test_id, &city.data.detour);
+        let ood = evaluate(det, &city.data.test_ood, &city.data.detour);
+        println!(
+            "{name:<22} {:>12.4} {:>12.4} {:>9.1}%",
+            id.roc_auc,
+            ood.roc_auc,
+            (id.roc_auc - ood.roc_auc) / id.roc_auc * 100.0
+        );
+    };
+    report("VSAE (P(T|C))", &vsae);
+    report("CausalTAD (P(T|do(C)))", &causal);
+
+    // Ablate the debiasing: λ = 0 degrades CausalTAD towards VSAE-like
+    // behaviour on OOD data (paper Fig. 8, observation 1).
+    causal.set_lambda(0.0);
+    report("CausalTAD (lambda = 0)", &causal);
+    causal.set_lambda(0.1);
+
+    println!(
+        "\nThe OOD drop is the confounding bias of road preference; CausalTAD's\n\
+         per-segment scaling factors compensate for it (paper §V-E.1)."
+    );
+}

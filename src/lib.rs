@@ -1,0 +1,24 @@
+//! # causaltad-suite
+//!
+//! Umbrella crate for the CausalTAD reproduction. It re-exports every
+//! workspace crate under one roof so the examples and integration tests can
+//! exercise the full pipeline with a single dependency:
+//!
+//! * [`autodiff`] — tensor + reverse-mode autodiff substrate.
+//! * [`roadnet`] — road-network graph, city generator, Dijkstra/Yen,
+//!   HMM map matching.
+//! * [`trajsim`] — confounded trajectory simulator and anomaly generators.
+//! * [`core`] — the CausalTAD model itself (TG-VAE + RP-VAE + online
+//!   detector).
+//! * [`baselines`] — the seven baselines from the paper.
+//! * [`eval`] — metrics, experiment harness, standard synthetic cities.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for a minimal
+//! end-to-end run.
+
+pub use causaltad as core;
+pub use tad_autodiff as autodiff;
+pub use tad_baselines as baselines;
+pub use tad_eval as eval;
+pub use tad_roadnet as roadnet;
+pub use tad_trajsim as trajsim;

