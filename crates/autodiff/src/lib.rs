@@ -41,12 +41,14 @@
 //! adam.step(&mut store);
 //! ```
 
+pub mod math;
 pub mod nn;
 pub mod optim;
 mod params;
 mod tape;
 mod tensor;
 
+pub use math::{fast_exp, fast_sigmoid, fast_tanh};
 pub use params::{CodecError, ParamId, ParamStore};
 pub use tape::{logsumexp, Tape, Var};
 pub use tensor::Tensor;

@@ -75,7 +75,13 @@ impl Linear {
     ///
     /// Requires the layer to have been created with [`Linear::new_rowmajor`]
     /// so that `W` is stored `out x in`.
-    pub fn forward_subset(&self, tape: &mut Tape, store: &ParamStore, x: Var, classes: &[u32]) -> Var {
+    pub fn forward_subset(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        classes: &[u32],
+    ) -> Var {
         debug_assert_eq!(
             store.value(self.w).cols(),
             self.in_dim,
@@ -277,24 +283,75 @@ impl GruCell {
         }
     }
 
-    /// Tape-free recurrence step for inference. Semantics identical to
-    /// [`BoundGru::step`].
+    /// Tape-free recurrence step for inference. Matches [`BoundGru::step`]
+    /// up to the fast-math gate tolerance: the gates use
+    /// [`crate::math::fast_sigmoid`]/[`crate::math::fast_tanh`] (absolute
+    /// error < 1e-6 per element) instead of `std` transcendentals.
     pub fn infer_step(&self, store: &ParamStore, x: &Tensor, h: &Tensor) -> Tensor {
-        let hd = self.hidden;
         let mut gx = x.matmul(store.value(self.w));
         add_bias_rows(&mut gx, store.value(self.b));
+        self.infer_step_pregated(store, &gx, h)
+    }
+
+    /// Tape-free recurrence step given the already-computed input gates
+    /// `gx = x · W + b` (`batch x 3h`). This is the kernel behind batched
+    /// fleet stepping: callers that cache the per-token input projection
+    /// skip the `x · W` matmul entirely and pay only `h · U`.
+    pub fn infer_step_pregated(&self, store: &ParamStore, gx: &Tensor, h: &Tensor) -> Tensor {
+        debug_assert_eq!(gx.rows(), h.rows(), "GruCell: batch mismatch");
+        self.infer_step_rows(store, |r| gx.row(r), h)
+    }
+
+    /// Batched recurrence step reading each row's pregated input through
+    /// `gx_of` — e.g. straight out of a precomputed per-token projection
+    /// table, skipping any gather copy.
+    pub fn infer_step_rows<'a>(
+        &self,
+        store: &ParamStore,
+        gx_of: impl Fn(usize) -> &'a [f32],
+        h: &Tensor,
+    ) -> Tensor {
+        let hd = self.hidden;
         let gh = h.matmul(store.value(self.u));
-        let rows = x.rows();
+        let rows = h.rows();
         let mut out = Tensor::zeros(rows, hd);
+        // Row-reused scratch for the z and r gates. Three separate
+        // elementwise passes (z, r, then n + blend) vectorise much better
+        // than one fused loop: each pass inlines a single polynomial and
+        // stays within the register budget.
+        let mut z_buf = vec![0.0f32; hd];
+        let mut r_buf = vec![0.0f32; hd];
         for r in 0..rows {
-            for c in 0..hd {
-                let z = sigmoid(gx.get(r, c) + gh.get(r, c));
-                let rr = sigmoid(gx.get(r, hd + c) + gh.get(r, hd + c));
-                let n = (gx.get(r, 2 * hd + c) + rr * gh.get(r, 2 * hd + c)).tanh();
-                out.set(r, c, n + z * (h.get(r, c) - n));
+            let gx_row = gx_of(r);
+            debug_assert_eq!(gx_row.len(), 3 * hd, "GruCell: pregated input width");
+            let (zx, gx_rest) = gx_row.split_at(hd);
+            let (rx, nx) = gx_rest.split_at(hd);
+            let gh_row = gh.row(r);
+            let (zh, gh_rest) = gh_row.split_at(hd);
+            let (rh, nh) = gh_rest.split_at(hd);
+            let h_row = h.row(r);
+            for (o, (&x, &g)) in z_buf.iter_mut().zip(zx.iter().zip(zh)) {
+                *o = crate::math::fast_sigmoid(x + g);
+            }
+            for (o, (&x, &g)) in r_buf.iter_mut().zip(rx.iter().zip(rh)) {
+                *o = crate::math::fast_sigmoid(x + g);
+            }
+            for (c, o) in out.row_mut(r).iter_mut().enumerate() {
+                let n = crate::math::fast_tanh(nx[c] + r_buf[c] * nh[c]);
+                *o = n + z_buf[c] * (h_row[c] - n);
             }
         }
         out
+    }
+
+    /// Input-gate weight parameter handle (`in x 3h`).
+    pub fn input_weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Gate bias parameter handle (`1 x 3h`).
+    pub fn gate_bias(&self) -> ParamId {
+        self.b
     }
 }
 

@@ -38,10 +38,7 @@ impl ParamStore {
     /// diagnostics and serialization and must be unique.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            !self.names.iter().any(|n| n == &name),
-            "duplicate parameter name {name:?}"
-        );
+        assert!(!self.names.iter().any(|n| n == &name), "duplicate parameter name {name:?}");
         let (r, c) = value.shape();
         self.names.push(name);
         self.values.push(value);

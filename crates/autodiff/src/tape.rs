@@ -33,10 +33,16 @@ enum Op {
     /// Leaf referencing a full parameter tensor.
     Param(ParamId),
     /// Leaf referencing a subset of a parameter's rows (embedding lookup).
-    GatherRows { param: ParamId, ids: Vec<u32> },
+    GatherRows {
+        param: ParamId,
+        ids: Vec<u32>,
+    },
     /// Leaf referencing a subset of a parameter's columns (bias subset for
     /// class-restricted projections).
-    GatherCols { param: ParamId, ids: Vec<u32> },
+    GatherCols {
+        param: ParamId,
+        ids: Vec<u32>,
+    },
     /// `C = A · B`.
     MatMul(Var, Var),
     /// `C = A · Bᵀ`.
@@ -61,14 +67,21 @@ enum Op {
     /// Horizontal concatenation `[a | b]` (same number of rows).
     ConcatCols(Var, Var),
     /// Columns `[start, start+len)` of `a`.
-    SliceCols { src: Var, start: usize, len: usize },
+    SliceCols {
+        src: Var,
+        start: usize,
+        len: usize,
+    },
     /// Sum of all elements, producing a `1 x 1` scalar.
     SumAll(Var),
     /// Mean of all elements, producing a `1 x 1` scalar.
     MeanAll(Var),
     /// Fused softmax + cross-entropy, summed over rows, producing `1 x 1`.
     /// `aux` caches the softmax probabilities for the backward pass.
-    SoftmaxCrossEntropy { logits: Var, targets: Vec<u32> },
+    SoftmaxCrossEntropy {
+        logits: Var,
+        targets: Vec<u32>,
+    },
     /// Row-wise `log(sum(exp(x)))`, producing `rows x 1`.
     LogSumExpRows(Var),
     /// Row-major reinterpretation to a new shape with the same element
@@ -93,7 +106,11 @@ impl Default for Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { ops: Vec::with_capacity(256), values: Vec::with_capacity(256), aux: Vec::with_capacity(256) }
+        Tape {
+            ops: Vec::with_capacity(256),
+            values: Vec::with_capacity(256),
+            aux: Vec::with_capacity(256),
+        }
     }
 
     /// Number of recorded nodes.

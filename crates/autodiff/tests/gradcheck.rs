@@ -21,7 +21,12 @@ fn eval_loss(store: &ParamStore, f: &dyn Fn(&mut Tape, &ParamStore) -> tad_autod
 /// Runs backward once, then checks every parameter scalar against a central
 /// finite difference. `h` is the perturbation, `tol` the mixed tolerance:
 /// `|analytic - numeric| <= tol * (1 + |analytic| + |numeric|)`.
-fn gradcheck(store: &mut ParamStore, f: impl Fn(&mut Tape, &ParamStore) -> tad_autodiff::Var, h: f32, tol: f64) {
+fn gradcheck(
+    store: &mut ParamStore,
+    f: impl Fn(&mut Tape, &ParamStore) -> tad_autodiff::Var,
+    h: f32,
+    tol: f64,
+) {
     store.zero_grads();
     let mut tape = Tape::new();
     let loss = f(&mut tape, store);

@@ -128,10 +128,20 @@ impl Detector for FactorVae {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut store = ParamStore::new();
         let core = SeqCore::new(&mut store, "fvae", net.num_segments(), &self.cfg, false, &mut rng);
-        let head =
-            GaussianHead::new(&mut store, "fvae.head", self.cfg.hidden_dim, self.cfg.latent_dim, &mut rng);
-        let dec_init =
-            Linear::new(&mut store, "fvae.dec_init", self.cfg.latent_dim, self.cfg.hidden_dim, &mut rng);
+        let head = GaussianHead::new(
+            &mut store,
+            "fvae.head",
+            self.cfg.hidden_dim,
+            self.cfg.latent_dim,
+            &mut rng,
+        );
+        let dec_init = Linear::new(
+            &mut store,
+            "fvae.dec_init",
+            self.cfg.latent_dim,
+            self.cfg.hidden_dim,
+            &mut rng,
+        );
         let mut disc = Discriminator::new(self.cfg.latent_dim, self.cfg.hidden_dim, &mut rng);
         let mut disc_adam = Adam::new(&disc.store, self.cfg.lr);
 

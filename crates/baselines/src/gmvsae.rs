@@ -91,11 +91,7 @@ impl GmVsae {
         let inner = self.inner();
         let latent = mu.cols();
         // log q(mu|x): the quadratic term vanishes at z = mu.
-        let log_q: f64 = logvar
-            .data()
-            .iter()
-            .map(|&lv| -0.5 * (LN_2PI + lv) as f64)
-            .sum();
+        let log_q: f64 = logvar.data().iter().map(|&lv| -0.5 * (LN_2PI + lv) as f64).sum();
         let means = inner.store.value(inner.mix_means);
         let mut comp = Vec::with_capacity(self.k);
         for kk in 0..self.k {
@@ -106,9 +102,8 @@ impl GmVsae {
             }
             comp.push(-0.5 * d2);
         }
-        let log_p = logsumexp(&comp) as f64
-            - 0.5 * latent as f64 * LN_2PI as f64
-            - (self.k as f64).ln();
+        let log_p =
+            logsumexp(&comp) as f64 - 0.5 * latent as f64 * LN_2PI as f64 - (self.k as f64).ln();
         log_q - log_p
     }
 }
@@ -122,15 +117,23 @@ impl Detector for GmVsae {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut store = ParamStore::new();
         let core = SeqCore::new(&mut store, "gmv", net.num_segments(), &self.cfg, false, &mut rng);
-        let head =
-            GaussianHead::new(&mut store, "gmv.head", self.cfg.hidden_dim, self.cfg.latent_dim, &mut rng);
-        let dec_init =
-            Linear::new(&mut store, "gmv.dec_init", self.cfg.latent_dim, self.cfg.hidden_dim, &mut rng);
-        // Spread the initial component means so they can specialise.
-        let mix_means = store.add(
-            "gmv.mix_means",
-            Tensor::randn(self.k, self.cfg.latent_dim, 0.0, 1.0, &mut rng),
+        let head = GaussianHead::new(
+            &mut store,
+            "gmv.head",
+            self.cfg.hidden_dim,
+            self.cfg.latent_dim,
+            &mut rng,
         );
+        let dec_init = Linear::new(
+            &mut store,
+            "gmv.dec_init",
+            self.cfg.latent_dim,
+            self.cfg.hidden_dim,
+            &mut rng,
+        );
+        // Spread the initial component means so they can specialise.
+        let mix_means = store
+            .add("gmv.mix_means", Tensor::randn(self.k, self.cfg.latent_dim, 0.0, 1.0, &mut rng));
         let (k, latent) = (self.k, self.cfg.latent_dim);
         train_loop(&mut store, &self.cfg, train, |tape, store, t, rng| {
             let toks = tokens(t);

@@ -153,15 +153,12 @@ mod tests {
         let train_t = &city.data.train[0];
         let replay = m.score(train_t);
         // A detour anomaly on the same distribution should be higher.
-        let mean_detour: f64 =
-            city.data.detour.iter().map(|t| m.score(t)).sum::<f64>() / city.data.detour.len() as f64;
+        let mean_detour: f64 = city.data.detour.iter().map(|t| m.score(t)).sum::<f64>()
+            / city.data.detour.len() as f64;
         let mean_id: f64 = city.data.test_id.iter().map(|t| m.score(t)).sum::<f64>()
             / city.data.test_id.len() as f64;
         assert!(replay.is_finite());
-        assert!(
-            mean_detour > mean_id,
-            "detour mean {mean_detour} vs id mean {mean_id}"
-        );
+        assert!(mean_detour > mean_id, "detour mean {mean_detour} vs id mean {mean_id}");
     }
 
     #[test]

@@ -53,10 +53,8 @@ mod tests {
 
     #[test]
     fn roster_matches_paper_order() {
-        let names: Vec<_> = paper_baselines(&BaselineConfig::test_scale())
-            .iter()
-            .map(|d| d.name())
-            .collect();
+        let names: Vec<_> =
+            paper_baselines(&BaselineConfig::test_scale()).iter().map(|d| d.name()).collect();
         assert_eq!(
             names,
             vec!["iBOAT", "VSAE", "SAE", "BetaVAE", "FactorVAE", "GM-VSAE", "DeepTEA"]

@@ -59,7 +59,13 @@ impl SeqCore {
             dec_gru: GruCell::new(store, &format!("{name}.dec_gru"), de + slot_dim, dh, rng),
             out: Linear::new_rowmajor(store, &format!("{name}.out"), dh, vocab, rng),
             slot_embed: if time_aware {
-                Some(Embedding::new(store, &format!("{name}.slot"), cfg.num_time_slots, slot_dim, rng))
+                Some(Embedding::new(
+                    store,
+                    &format!("{name}.slot"),
+                    cfg.num_time_slots,
+                    slot_dim,
+                    rng,
+                ))
             } else {
                 None
             },
@@ -154,7 +160,13 @@ impl SeqCore {
     }
 
     /// Tape-free reconstruction NLL from initial decoder state `h0`.
-    pub fn infer_decode_nll(&self, store: &ParamStore, h0: &Tensor, segments: &[u32], slot: u8) -> f64 {
+    pub fn infer_decode_nll(
+        &self,
+        store: &ParamStore,
+        h0: &Tensor,
+        segments: &[u32],
+        slot: u8,
+    ) -> f64 {
         let mut h = h0.clone();
         let mut total = 0.0f64;
         for w in segments.windows(2) {
@@ -249,7 +261,12 @@ mod tests {
         (0..6)
             .map(|i| {
                 Trajectory::normal(
-                    vec![SegmentId(i % 4), SegmentId((i + 1) % 4), SegmentId((i + 2) % 4), SegmentId((i + 3) % 4)],
+                    vec![
+                        SegmentId(i % 4),
+                        SegmentId((i + 1) % 4),
+                        SegmentId((i + 2) % 4),
+                        SegmentId((i + 3) % 4),
+                    ],
                     (i % 4) as u8,
                 )
             })

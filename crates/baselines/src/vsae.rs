@@ -84,10 +84,28 @@ impl Detector for Vsae {
     fn fit(&mut self, net: &RoadNetwork, train: &[Trajectory]) {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut store = ParamStore::new();
-        let core =
-            SeqCore::new(&mut store, "vsae", net.num_segments(), &self.cfg, self.time_aware, &mut rng);
-        let head = GaussianHead::new(&mut store, "vsae.head", self.cfg.hidden_dim, self.cfg.latent_dim, &mut rng);
-        let dec_init = Linear::new(&mut store, "vsae.dec_init", self.cfg.latent_dim, self.cfg.hidden_dim, &mut rng);
+        let core = SeqCore::new(
+            &mut store,
+            "vsae",
+            net.num_segments(),
+            &self.cfg,
+            self.time_aware,
+            &mut rng,
+        );
+        let head = GaussianHead::new(
+            &mut store,
+            "vsae.head",
+            self.cfg.hidden_dim,
+            self.cfg.latent_dim,
+            &mut rng,
+        );
+        let dec_init = Linear::new(
+            &mut store,
+            "vsae.dec_init",
+            self.cfg.latent_dim,
+            self.cfg.hidden_dim,
+            &mut rng,
+        );
         let beta = self.beta;
         let latent = self.cfg.latent_dim;
         train_loop(&mut store, &self.cfg, train, |tape, store, t, rng| {

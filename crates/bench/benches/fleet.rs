@@ -1,0 +1,176 @@
+//! Fleet-scoring throughput: micro-batched stepping vs naive per-session
+//! `push` looping across concurrent-session counts (64 / 512 / 4096).
+//!
+//! Two complementary views:
+//!
+//! * Criterion timings of one scoring *wave* (every session advances one
+//!   segment): `naive_wave` loops `OnlineScorer::push`, `batched_wave`
+//!   makes one `CausalTad::push_batch` call with a step cache.
+//! * An end-to-end events/sec summary (printed after the criterion runs)
+//!   replaying full interleaved streams through the naive loop, a 1-shard
+//!   `tad-serve` engine, and a default-shard engine — the acceptance
+//!   numbers for the serving subsystem.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use causaltad::{CausalTad, CausalTadConfig, ScorerState};
+use tad_bench::{fleet_walks, time_engine_fleet, time_naive_fleet};
+use tad_eval::cities::{xian_s, Scale};
+use tad_serve::FleetConfig;
+
+const SESSION_COUNTS: [usize; 3] = [64, 512, 4096];
+const WALK_LEN: usize = 24;
+
+fn trained_model() -> Arc<CausalTad> {
+    let city = tad_trajsim::generate_city(&xian_s(Scale::Quick));
+    // Serving-realistic widths; one epoch keeps bench start-up short.
+    let cfg = CausalTadConfig {
+        embed_dim: 64,
+        hidden_dim: 256,
+        latent_dim: 32,
+        epochs: 1,
+        ..CausalTadConfig::test_scale()
+    };
+    let mut model = CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    Arc::new(model)
+}
+
+/// Sessions mid-trip, ready to consume one more segment each.
+fn wave_fixture(model: &CausalTad, walks: &[Vec<u32>]) -> (Vec<ScorerState>, Vec<u32>) {
+    let states: Vec<ScorerState> = walks
+        .iter()
+        .map(|w| {
+            let mut st = model
+                .start_state(w[0], *w.last().expect("non-empty"), 0)
+                .expect("valid walk endpoints");
+            model.push_state(&mut st, w[0]);
+            st
+        })
+        .collect();
+    let segs: Vec<u32> = walks.iter().map(|w| w[1]).collect();
+    (states, segs)
+}
+
+fn bench_waves(c: &mut Criterion) {
+    let model = trained_model();
+    let cache = model.build_step_cache();
+
+    let mut group = c.benchmark_group("fleet_wave");
+    group.sample_size(20);
+    for &n in &SESSION_COUNTS {
+        let walks = fleet_walks(&model, n, 4, 11);
+        let (states, segs) = wave_fixture(&model, &walks);
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter_batched(
+                || states.clone(),
+                |mut states| {
+                    for (st, &seg) in states.iter_mut().zip(&segs) {
+                        model.push_state(st, seg);
+                    }
+                    states
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter_batched(
+                || states.clone(),
+                |mut states| {
+                    model.push_batch(Some(&cache), &mut states, &segs);
+                    states
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let model = trained_model();
+    let shards = FleetConfig::default().num_shards;
+
+    // One criterion entry so the scenario shows up in bench output...
+    let walks_512 = fleet_walks(&model, 512, WALK_LEN, 7);
+    c.bench_function("fleet_engine_512x24_events", |b| {
+        b.iter(|| time_engine_fleet(&model, &walks_512, shards))
+    });
+
+    // The headline acceptance number: events/sec of batched stepping vs
+    // the naive per-session push loop, measured over repeated full waves.
+    println!();
+    println!(
+        "{:>10} {:>16} {:>16} {:>10}   (pure stepping, one wave = one segment/session)",
+        "sessions", "naive ev/s", "batched ev/s", "speedup"
+    );
+    for &n in &SESSION_COUNTS {
+        let walks = fleet_walks(&model, n, 4, 11);
+        let (states, segs) = wave_fixture(&model, &walks);
+        let reps = (2048 / n).max(1);
+        let naive_t = {
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                let mut s = states.clone();
+                for (st, &seg) in s.iter_mut().zip(&segs) {
+                    model.push_state(st, seg);
+                }
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        };
+        let cache = model.build_step_cache();
+        let batched_t = {
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                let mut s = states.clone();
+                model.push_batch(Some(&cache), &mut s, &segs);
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        };
+        println!(
+            "{:>10} {:>16.0} {:>16.0} {:>9.2}x",
+            n,
+            n as f64 / naive_t,
+            n as f64 / batched_t,
+            naive_t / batched_t
+        );
+    }
+
+    // ...and the full end-to-end comparison (engine ingest + lifecycle +
+    // scoring). On a single-core host the multi-shard row cannot beat x1;
+    // on real multi-core serving hardware it scales with shards.
+    println!();
+    println!(
+        "{:>10} {:>10} {:>14} {:>16} {:>16} {:>10} {:>10}",
+        "sessions",
+        "events",
+        "naive ev/s",
+        "fleet x1 ev/s",
+        format!("fleet x{shards} ev/s"),
+        "x1 gain",
+        "xN gain"
+    );
+    for &n in &SESSION_COUNTS {
+        let walks = fleet_walks(&model, n, WALK_LEN, 7);
+        let events: usize = walks.iter().map(Vec::len).sum();
+        let naive = events as f64 / time_naive_fleet(&model, &walks);
+        let one = events as f64 / time_engine_fleet(&model, &walks, 1);
+        let many = events as f64 / time_engine_fleet(&model, &walks, shards);
+        println!(
+            "{:>10} {:>10} {:>14.0} {:>16.0} {:>16.0} {:>9.2}x {:>9.2}x",
+            n,
+            events,
+            naive,
+            one,
+            many,
+            one / naive,
+            many / naive
+        );
+    }
+}
+
+criterion_group!(fleet, bench_waves, bench_end_to_end);
+criterion_main!(fleet);

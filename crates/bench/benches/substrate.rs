@@ -68,9 +68,8 @@ fn bench_map_matching(c: &mut Criterion) {
         &mut rng,
     );
     let index = SegmentIndex::build(&net, 200.0);
-    let route = node_shortest_path(&net, NodeId(0), NodeId(35), length_cost(&net))
-        .unwrap()
-        .segments;
+    let route =
+        node_shortest_path(&net, NodeId(0), NodeId(35), length_cost(&net)).unwrap().segments;
     let gps = synthesize_gps(&net, &route, 40.0, 8.0, &mut rng);
     let cfg = MatchConfig::default();
     let mut group = c.benchmark_group("map_matching");
@@ -89,9 +88,7 @@ fn bench_scaling_precompute(c: &mut Criterion) {
     model.fit(&city.data.train);
     let mut group = c.benchmark_group("scaling_table");
     group.sample_size(10);
-    group.bench_function("precompute_all_segments", |bch| {
-        bch.iter(|| model.precompute_scaling())
-    });
+    group.bench_function("precompute_all_segments", |bch| bch.iter(|| model.precompute_scaling()));
     group.finish();
 }
 

@@ -1,7 +1,9 @@
 //! Reproduces Fig. 7: (a) training scalability vs train-set size and
-//! (b) mean inference runtime per trajectory vs observed ratio.
+//! (b) mean inference runtime per trajectory vs observed ratio; extends it
+//! with (c) fleet-scoring throughput of the `tad-serve` engine vs naive
+//! per-session looping.
 
-use tad_bench::{emit, fig7a, Opts, Study};
+use tad_bench::{emit, fig7a, fleet_throughput, Opts, Study};
 
 fn main() {
     let opts = Opts::from_args();
@@ -10,4 +12,6 @@ fn main() {
     let study = Study::run(opts.clone());
     let table_b = study.fig7b();
     emit(&opts, "fig7b_inference", &table_b);
+    let table_c = fleet_throughput(&opts);
+    emit(&opts, "fig7c_fleet", &table_c);
 }

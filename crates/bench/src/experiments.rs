@@ -16,7 +16,9 @@ use tad_eval::wrappers::CausalTadDetector;
 use tad_trajsim::Trajectory;
 
 use crate::opts::Opts;
-use crate::suite::{causaltad_config, selected_cities, train_ablation_roster, train_full_roster, TrainedSuite};
+use crate::suite::{
+    causaltad_config, selected_cities, train_ablation_roster, train_full_roster, TrainedSuite,
+};
 
 /// A full study: every selected city trained with the complete roster.
 pub struct Study {
@@ -27,13 +29,15 @@ pub struct Study {
 impl Study {
     /// Generates the cities and trains the roster on each.
     pub fn run(opts: Opts) -> Self {
-        let suites =
-            selected_cities(&opts).iter().map(|c| train_full_roster(c, &opts)).collect();
+        let suites = selected_cities(&opts).iter().map(|c| train_full_roster(c, &opts)).collect();
         Study { opts, suites }
     }
 
     /// The four test combinations of one suite, ID or OOD flavoured.
-    fn combos(suite: &TrainedSuite, ood: bool) -> [(&'static str, &[Trajectory], &[Trajectory]); 2] {
+    fn combos(
+        suite: &TrainedSuite,
+        ood: bool,
+    ) -> [(&'static str, &[Trajectory], &[Trajectory]); 2] {
         let normals: &[Trajectory] =
             if ood { &suite.city.data.test_ood } else { &suite.city.data.test_id };
         [
@@ -181,7 +185,11 @@ impl Study {
                     std::hint::black_box(det.score_prefix(t, n));
                 }
                 let mean_us = started.elapsed().as_micros() as f64 / sample.len() as f64;
-                table.push_row(vec![name.to_string(), format!("{ratio:.1}"), format!("{mean_us:.1}")]);
+                table.push_row(vec![
+                    name.to_string(),
+                    format!("{ratio:.1}"),
+                    format!("{mean_us:.1}"),
+                ]);
             }
         }
         // TG-VAE row: the likelihood-only online path.
@@ -198,7 +206,11 @@ impl Study {
                 std::hint::black_box(scorer.likelihood_nll());
             }
             let mean_us = started.elapsed().as_micros() as f64 / sample.len() as f64;
-            table.push_row(vec!["TG-VAE".to_string(), format!("{ratio:.1}"), format!("{mean_us:.1}")]);
+            table.push_row(vec![
+                "TG-VAE".to_string(),
+                format!("{ratio:.1}"),
+                format!("{mean_us:.1}"),
+            ]);
         }
         table
     }
@@ -291,13 +303,8 @@ pub fn fig4(opts: &Opts) -> Table {
     let lambda = model.config().lambda;
 
     // The visualised trip: the longest OOD normal trajectory.
-    let trip = suite
-        .city
-        .data
-        .test_ood
-        .iter()
-        .max_by_key(|t| t.len())
-        .expect("OOD split non-empty");
+    let trip =
+        suite.city.data.test_ood.iter().max_by_key(|t| t.len()).expect("OOD split non-empty");
 
     let mut table = Table::new(
         format!("Fig. 4 — Per-segment scores of a normal OOD trajectory ({})", city.name),
@@ -346,8 +353,7 @@ pub fn fig4(opts: &Opts) -> Table {
             let span = (hi - lo).max(1e-12);
             values.iter().map(|v| (v - lo) / span).collect()
         };
-        let causal_values: Vec<f64> =
-            scorer.trace().iter().map(|s| s.debiased(lambda)).collect();
+        let causal_values: Vec<f64> = scorer.trace().iter().map(|s| s.debiased(lambda)).collect();
         for (name, values) in [("fig4_vsae", &vsae_marginals), ("fig4_causaltad", &causal_values)] {
             let highlights: Vec<Highlight> = scorer
                 .trace()
@@ -491,6 +497,163 @@ pub fn training_times(study: &Study) -> Table {
         }
     }
     table
+}
+
+/// Fleet-scoring throughput (Fig. 7c, systems extension): events/sec of
+/// the `tad-serve` engine vs a naive loop that advances each session's
+/// `OnlineScorer` one `push` at a time, across concurrent-session counts.
+///
+/// "fleet x1" runs the engine with a single shard, isolating the gain of
+/// micro-batched stepping (matrix-matrix GRU steps + step cache);
+/// "fleet xN" adds shard parallelism on top.
+pub fn fleet_throughput(opts: &Opts) -> Table {
+    use tad_serve::FleetConfig;
+
+    let cities = selected_cities(opts);
+    let city = &cities[0];
+    let cfg = causaltad_config(opts.scale, opts.epochs.or(Some(2)));
+    let mut model = causaltad::CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    let model = std::sync::Arc::new(model);
+    let shards = FleetConfig::default().num_shards;
+
+    let mut table = Table::new(
+        format!("Fig. 7c — Fleet scoring throughput ({})", city.name),
+        &[
+            "sessions",
+            "events",
+            "naive events/s",
+            "fleet x1 events/s",
+            &format!("fleet x{shards} events/s"),
+            "speedup x1",
+            &format!("speedup x{shards}"),
+        ],
+    );
+
+    for &sessions in &[64usize, 512, 4096] {
+        let walks = fleet_walks(&model, sessions, 24, 9);
+        let events: usize = walks.iter().map(|w| w.len()).sum();
+
+        let naive_eps = events as f64 / time_naive_fleet(&model, &walks);
+        let one_eps = events as f64 / time_engine_fleet(&model, &walks, 1);
+        let many_eps = events as f64 / time_engine_fleet(&model, &walks, shards);
+
+        table.push_row(vec![
+            sessions.to_string(),
+            events.to_string(),
+            format!("{naive_eps:.0}"),
+            format!("{one_eps:.0}"),
+            format!("{many_eps:.0}"),
+            format!("{:.2}x", one_eps / naive_eps),
+            format!("{:.2}x", many_eps / naive_eps),
+        ]);
+    }
+    table
+}
+
+/// Valid successor-following walks for `sessions` concurrent trips.
+pub fn fleet_walks(
+    model: &causaltad::CausalTad,
+    sessions: usize,
+    len: usize,
+    seed: u64,
+) -> Vec<Vec<u32>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..sessions)
+        .map(|i| {
+            let mut walk = vec![(i % model.vocab()) as u32];
+            while walk.len() < len {
+                let succ = model.successors_of(*walk.last().expect("non-empty"));
+                if succ.is_empty() {
+                    break;
+                }
+                walk.push(succ[rng.gen_range(0..succ.len())]);
+            }
+            walk
+        })
+        .collect()
+}
+
+/// Seconds to replay every walk through per-session `OnlineScorer::push`
+/// loops (the pre-`tad-serve` serving strategy), interleaved round-robin
+/// like real fleet telemetry.
+pub fn time_naive_fleet(model: &causaltad::CausalTad, walks: &[Vec<u32>]) -> f64 {
+    let started = Instant::now();
+    let mut scorers: Vec<_> =
+        walks.iter().map(|w| model.online(w[0], *w.last().expect("non-empty"), 0)).collect();
+    let longest = walks.iter().map(Vec::len).max().unwrap_or(0);
+    for step in 0..longest {
+        for (scorer, walk) in scorers.iter_mut().zip(walks) {
+            if let Some(&seg) = walk.get(step) {
+                scorer.push(seg);
+            }
+        }
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// Seconds for the `tad-serve` engine to ingest and score the same
+/// interleaved stream and drain (including channel + thread overhead).
+/// Events are fed from several producer threads, as gateway frontends
+/// would; each producer owns a disjoint slice of the fleet so per-trip
+/// order is preserved.
+pub fn time_engine_fleet(
+    model: &std::sync::Arc<causaltad::CausalTad>,
+    walks: &[Vec<u32>],
+    shards: usize,
+) -> f64 {
+    use tad_serve::{Event, FleetConfig, FleetEngine};
+    const PRODUCERS: usize = 4;
+    let started = Instant::now();
+    let engine = FleetEngine::builder(std::sync::Arc::clone(model))
+        .config(FleetConfig {
+            num_shards: shards,
+            queue_capacity: 8192,
+            max_sessions_per_shard: walks.len().max(16),
+            ..FleetConfig::default()
+        })
+        .build()
+        .expect("trained model");
+    let chunk = walks.len().div_ceil(PRODUCERS);
+    std::thread::scope(|scope| {
+        for (p, slice) in walks.chunks(chunk).enumerate() {
+            let engine = &engine;
+            scope.spawn(move || {
+                let base = (p * chunk) as u64;
+                let mut buf: Vec<Event> = Vec::with_capacity(2048);
+                let flush = |buf: &mut Vec<Event>, force: bool| {
+                    if buf.len() >= 1024 || (force && !buf.is_empty()) {
+                        engine.submit_all(buf.drain(..)).expect("engine live");
+                    }
+                };
+                for (i, walk) in slice.iter().enumerate() {
+                    buf.push(Event::TripStart {
+                        id: base + i as u64,
+                        source: walk[0],
+                        dest: *walk.last().expect("non-empty"),
+                        time_slot: 0,
+                    });
+                }
+                flush(&mut buf, true);
+                let longest = slice.iter().map(Vec::len).max().unwrap_or(0);
+                for step in 0..longest {
+                    for (i, walk) in slice.iter().enumerate() {
+                        if let Some(&seg) = walk.get(step) {
+                            buf.push(Event::Segment { id: base + i as u64, seg });
+                            flush(&mut buf, false);
+                        }
+                    }
+                }
+                for i in 0..slice.len() {
+                    buf.push(Event::TripEnd { id: base + i as u64 });
+                }
+                flush(&mut buf, true);
+            });
+        }
+    });
+    engine.shutdown();
+    started.elapsed().as_secs_f64()
 }
 
 /// Prints a table to stdout and writes its CSV artefact.

@@ -27,5 +27,8 @@ pub mod experiments;
 pub mod opts;
 pub mod suite;
 
-pub use experiments::{ablation_design, emit, fig4, fig7a, table3, training_times, Study};
+pub use experiments::{
+    ablation_design, emit, fig4, fig7a, fleet_throughput, fleet_walks, table3, time_engine_fleet,
+    time_naive_fleet, training_times, Study,
+};
 pub use opts::{CityChoice, Opts};

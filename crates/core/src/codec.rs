@@ -136,7 +136,10 @@ pub fn model_from_bytes(net: &RoadNetwork, mut bytes: Bytes) -> Result<CausalTad
             return Err(ModelCodecError::Truncated("scaling blob"));
         }
         let blob = bytes.copy_to_bytes(len);
-        Some(ScalingTable::from_bytes(blob).map_err(|_| ModelCodecError::Truncated("scaling table"))?)
+        Some(
+            ScalingTable::from_bytes(blob)
+                .map_err(|_| ModelCodecError::Truncated("scaling table"))?,
+        )
     } else {
         None
     };

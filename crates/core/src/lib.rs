@@ -47,8 +47,8 @@ mod train;
 pub use codec::{model_from_bytes, model_to_bytes, ModelCodecError};
 pub use config::CausalTadConfig;
 pub use model::CausalTad;
-pub use online::{OnlineScorer, SegmentTrace};
+pub use online::{OnlineError, OnlineScorer, ScorerState, SegmentTrace};
 pub use rpvae::RpVae;
 pub use scaling::ScalingTable;
-pub use tgvae::{TgVae, OFF_GRAPH_NLL};
+pub use tgvae::{StepCache, TgVae, OFF_GRAPH_NLL};
 pub use train::{TrainReport, Trainer};

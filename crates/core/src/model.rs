@@ -87,8 +87,7 @@ impl CausalTad {
         time_slot: u8,
         rng: &mut StdRng,
     ) -> tad_autodiff::Var {
-        let tg_loss =
-            self.tg.loss(tape, &self.store, segments, &self.successors, &self.cfg, rng);
+        let tg_loss = self.tg.loss(tape, &self.store, segments, &self.successors, &self.cfg, rng);
         let tokens: Vec<u32> = segments.iter().map(|&s| self.rp.token(s, time_slot)).collect();
         let rp_loss = self.rp.loss(tape, &self.store, &tokens, rng);
         tape.add(tg_loss.total, rp_loss)
@@ -106,8 +105,12 @@ impl CausalTad {
     /// manual parameter updates.
     pub fn precompute_scaling(&mut self) {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5ca1ab1e);
-        self.scaling =
-            Some(ScalingTable::compute(&self.rp, &self.store, self.cfg.scaling_mc_samples, &mut rng));
+        self.scaling = Some(ScalingTable::compute(
+            &self.rp,
+            &self.store,
+            self.cfg.scaling_mc_samples,
+            &mut rng,
+        ));
     }
 
     /// The precomputed scaling table, if available.
@@ -131,6 +134,19 @@ impl CausalTad {
     /// (call [`CausalTad::fit`] or [`CausalTad::precompute_scaling`] first).
     pub fn online(&self, source: u32, dest: u32, time_slot: u8) -> OnlineScorer<'_> {
         OnlineScorer::new(self, source, dest, time_slot)
+    }
+
+    /// Fallible variant of [`CausalTad::online`]: returns an error instead
+    /// of panicking when the model is not ready or the SD pair is not on
+    /// the road network, so serving layers can reject bad requests without
+    /// crashing a worker.
+    pub fn try_online(
+        &self,
+        source: u32,
+        dest: u32,
+        time_slot: u8,
+    ) -> Result<OnlineScorer<'_>, crate::online::OnlineError> {
+        OnlineScorer::try_new(self, source, dest, time_slot)
     }
 
     /// Debiased anomaly score of a full trajectory (Eq. 10). Higher means
@@ -203,9 +219,8 @@ mod tests {
     fn anomalies_score_higher_on_average() {
         let city = small_city();
         let model = quick_model(&city);
-        let mean = |ts: &[Trajectory]| {
-            ts.iter().map(|t| model.score(t)).sum::<f64>() / ts.len() as f64
-        };
+        let mean =
+            |ts: &[Trajectory]| ts.iter().map(|t| model.score(t)).sum::<f64>() / ts.len() as f64;
         let normal = mean(&city.data.test_id);
         let detour = mean(&city.data.detour);
         assert!(

@@ -6,10 +6,20 @@
 //! projection, and one scaling-table lookup — independent of how much of
 //! the trajectory has been seen, which is the paper's O(1) efficiency
 //! requirement.
+//!
+//! Two ways to drive it:
+//!
+//! * [`OnlineScorer`] — the borrowing, one-trip-at-a-time API.
+//! * [`ScorerState`] — the owned, snapshotable state behind it. A serving
+//!   layer (see the `tad-serve` crate) keeps thousands of these alive and
+//!   advances whole cohorts at once through [`CausalTad::push_batch`],
+//!   turning the per-segment GRU step and successor projection into
+//!   matrix-matrix products.
 
 use tad_autodiff::Tensor;
 
 use crate::model::CausalTad;
+use crate::tgvae::StepCache;
 
 /// Per-segment contribution to the anomaly score (Fig. 4's data).
 #[derive(Clone, Copy, Debug)]
@@ -29,78 +39,87 @@ impl SegmentTrace {
     }
 }
 
-/// Streaming scorer for one ongoing trajectory.
-pub struct OnlineScorer<'m> {
-    model: &'m CausalTad,
-    /// Decoder hidden state after consuming all pushed segments.
-    h: Tensor,
-    /// Fixed at trip start: the KL term, plus `-log P(c|r)` when
-    /// `score_includes_sd_nll` is enabled.
-    base_nll: f64,
-    /// Accumulated `-log P(t_i | ...)`.
-    traj_nll: f64,
-    /// Accumulated `log E[1/P(t_i|e_i)]`.
-    scale_log_sum: f64,
-    /// Previously pushed segment (None before the first push).
-    last: Option<u32>,
-    time_slot: u8,
-    trace: Vec<SegmentTrace>,
+/// Why a scoring session could not be started.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The scaling table has not been computed yet (`fit()` /
+    /// `precompute_scaling()` not called).
+    MissingScalingTable,
+    /// An SD endpoint is not a segment of the model's road network.
+    SegmentOutOfRange {
+        /// The offending segment id.
+        segment: u32,
+        /// The model vocabulary (number of road segments).
+        vocab: usize,
+    },
 }
 
-impl<'m> OnlineScorer<'m> {
-    pub(crate) fn new(model: &'m CausalTad, source: u32, dest: u32, time_slot: u8) -> Self {
-        assert!(
-            model.scaling().is_some(),
-            "scaling table not computed; call fit() or precompute_scaling() first"
-        );
-        let (r, kl) = model.tg.encode_mean(&model.store, source, dest);
-        let sd_nll = if model.config().score_includes_sd_nll {
-            model.tg.sd_nll(&model.store, &r, source, dest)
-        } else {
-            0.0
-        };
-        let h = model.tg.init_hidden(&model.store, &r);
-        OnlineScorer {
-            model,
-            h,
-            base_nll: kl + sd_nll,
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::MissingScalingTable => {
+                write!(f, "scaling table not computed; call fit() or precompute_scaling() first")
+            }
+            OnlineError::SegmentOutOfRange { segment, vocab } => {
+                write!(f, "segment {segment} out of range for vocabulary of {vocab} segments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Owned streaming state of one ongoing trajectory, detached from the
+/// model borrow so a serving layer can store it, snapshot it, and advance
+/// many of them in one batch.
+#[derive(Clone, Debug)]
+pub struct ScorerState {
+    /// Decoder hidden state (`1 x hidden`) after consuming all pushed
+    /// segments.
+    pub(crate) h: Tensor,
+    /// Fixed at trip start: the KL term, plus `-log P(c|r)` when
+    /// `score_includes_sd_nll` is enabled.
+    pub(crate) base_nll: f64,
+    /// Accumulated `-log P(t_i | ...)`.
+    pub(crate) traj_nll: f64,
+    /// Accumulated `log E[1/P(t_i|e_i)]`.
+    pub(crate) scale_log_sum: f64,
+    /// Previously pushed segment (None before the first push).
+    pub(crate) last: Option<u32>,
+    pub(crate) time_slot: u8,
+    pub(crate) trace: Vec<SegmentTrace>,
+}
+
+impl Default for ScorerState {
+    /// An inert placeholder (useful for `mem::take`-style slot swapping in
+    /// serving code); not a valid session until replaced.
+    fn default() -> Self {
+        ScorerState {
+            h: Tensor::zeros(1, 0),
+            base_nll: 0.0,
             traj_nll: 0.0,
             scale_log_sum: 0.0,
             last: None,
-            time_slot,
+            time_slot: 0,
             trace: Vec::new(),
         }
     }
+}
 
-    /// Consumes the next observed segment and returns the updated anomaly
-    /// score. O(1) in the number of segments seen so far.
-    pub fn push(&mut self, seg: u32) -> f64 {
-        let table = self.model.scaling().expect("checked in new()");
-        let nll = match self.last {
-            // t_1 is the source — fixed by the condition c, so no
-            // prediction loss is charged for it.
-            None => 0.0,
-            Some(prev) => {
-                let cands = self.model.successors_of(prev);
-                self.model.tg.step_nll(&self.model.store, &self.h, cands, seg)
-            }
-        };
-        self.traj_nll += nll;
-        let log_scale = table.log_scale(seg, self.time_slot);
-        self.scale_log_sum += log_scale;
-        self.h = self.model.tg.advance(&self.model.store, &self.h, seg);
-        self.last = Some(seg);
-        self.trace.push(SegmentTrace { segment: seg, nll, log_scale });
-        self.score()
+impl AsMut<ScorerState> for ScorerState {
+    fn as_mut(&mut self) -> &mut ScorerState {
+        self
+    }
+}
+
+impl ScorerState {
+    /// Current debiased anomaly score (Eq. 10) under the given λ. Higher =
+    /// more anomalous.
+    pub fn score(&self, lambda: f64) -> f64 {
+        self.likelihood_nll() - lambda * self.scale_log_sum
     }
 
-    /// Current debiased anomaly score (Eq. 10). Higher = more anomalous.
-    pub fn score(&self) -> f64 {
-        self.likelihood_nll() - self.model.config().lambda * self.scale_log_sum
-    }
-
-    /// The un-debiased likelihood part `-ELBO ≈ -log P(c, t)`; this is the
-    /// TG-VAE-only score used in the ablation study.
+    /// The un-debiased likelihood part `-ELBO ≈ -log P(c, t)`.
     pub fn likelihood_nll(&self) -> f64 {
         self.base_nll + self.traj_nll
     }
@@ -108,6 +127,16 @@ impl<'m> OnlineScorer<'m> {
     /// Accumulated scaling sum `Σ_i log E[1/P(t_i|e_i)]`.
     pub fn scale_log_sum(&self) -> f64 {
         self.scale_log_sum
+    }
+
+    /// Segment most recently pushed (None before the first push).
+    pub fn last_segment(&self) -> Option<u32> {
+        self.last
+    }
+
+    /// Departure time slot fixed at trip start.
+    pub fn time_slot(&self) -> u8 {
+        self.time_slot
     }
 
     /// Number of segments consumed so far.
@@ -123,6 +152,232 @@ impl<'m> OnlineScorer<'m> {
     /// Per-segment contributions (the data behind Fig. 4).
     pub fn trace(&self) -> &[SegmentTrace] {
         &self.trace
+    }
+
+    /// Consumes the state, returning the trace.
+    pub fn into_trace(self) -> Vec<SegmentTrace> {
+        self.trace
+    }
+}
+
+impl CausalTad {
+    /// Creates the owned streaming state for a trip, validating the request
+    /// instead of panicking — the entry point for serving layers.
+    pub fn start_state(
+        &self,
+        source: u32,
+        dest: u32,
+        time_slot: u8,
+    ) -> Result<ScorerState, OnlineError> {
+        if self.scaling().is_none() {
+            return Err(OnlineError::MissingScalingTable);
+        }
+        let vocab = self.vocab();
+        for seg in [source, dest] {
+            if seg as usize >= vocab {
+                return Err(OnlineError::SegmentOutOfRange { segment: seg, vocab });
+            }
+        }
+        let (r, kl) = self.tg.encode_mean(&self.store, source, dest);
+        let sd_nll = if self.config().score_includes_sd_nll {
+            self.tg.sd_nll(&self.store, &r, source, dest)
+        } else {
+            0.0
+        };
+        let h = self.tg.init_hidden(&self.store, &r);
+        Ok(ScorerState {
+            h,
+            base_nll: kl + sd_nll,
+            traj_nll: 0.0,
+            scale_log_sum: 0.0,
+            last: None,
+            time_slot,
+            trace: Vec::new(),
+        })
+    }
+
+    /// Consumes the next observed segment of `state`, returning the updated
+    /// debiased score. O(1) in the number of segments seen so far.
+    ///
+    /// # Panics
+    /// Panics if `seg` is outside the model vocabulary or the state was not
+    /// produced by [`CausalTad::start_state`] on this model.
+    pub fn push_state(&self, state: &mut ScorerState, seg: u32) -> f64 {
+        let table = self.scaling().expect("state was started, so the table exists");
+        let nll = match state.last {
+            // t_1 is the source — fixed by the condition c, so no
+            // prediction loss is charged for it.
+            None => 0.0,
+            Some(prev) => {
+                let cands = self.successors_of(prev);
+                self.tg.step_nll(&self.store, &state.h, cands, seg)
+            }
+        };
+        state.traj_nll += nll;
+        let log_scale = table.log_scale(seg, state.time_slot);
+        state.scale_log_sum += log_scale;
+        state.h = self.tg.advance(&self.store, &state.h, seg);
+        state.last = Some(seg);
+        state.trace.push(SegmentTrace { segment: seg, nll, log_scale });
+        state.score(self.config().lambda)
+    }
+
+    /// Advances many live sessions by one segment each in a single
+    /// micro-batch: session `i` consumes `segs[i]`. The GRU step runs as one
+    /// `batch x hidden` matrix product (and, with a [`StepCache`], skips the
+    /// input-gate matmul entirely); sessions sharing a successor set share
+    /// one projection product. Returns the updated debiased score per
+    /// session, numerically identical to calling
+    /// [`CausalTad::push_state`] per session in isolation.
+    ///
+    /// `states` may hold the states inline (`&mut [ScorerState]`) or by
+    /// mutable reference (`&mut [&mut ScorerState]`), so callers can batch
+    /// sessions scattered across a store without moving them.
+    ///
+    /// # Panics
+    /// Panics if `states` and `segs` differ in length, or any segment is
+    /// outside the model vocabulary.
+    pub fn push_batch<S: AsMut<ScorerState>>(
+        &self,
+        cache: Option<&StepCache>,
+        states: &mut [S],
+        segs: &[u32],
+    ) -> Vec<f64> {
+        assert_eq!(states.len(), segs.len(), "push_batch: states vs segs length");
+        let table = self.scaling().expect("states were started, so the table exists");
+        let n = states.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let hidden = states[0].as_mut().h.cols();
+
+        // Stack hidden states: one `n x hidden` matrix.
+        let mut hs = Tensor::zeros(n, hidden);
+        for (i, st) in states.iter_mut().enumerate() {
+            hs.row_mut(i).copy_from_slice(st.as_mut().h.row(0));
+        }
+
+        // Next-segment NLLs for sessions past their first segment.
+        let live: Vec<usize> = (0..n).filter(|&i| states[i].as_mut().last.is_some()).collect();
+        let mut nlls = vec![0.0f64; n];
+        if !live.is_empty() {
+            let idx: Vec<u32> = live.iter().map(|&i| i as u32).collect();
+            let sub = hs.gather_rows(&idx);
+            let cands: Vec<&[u32]> = live
+                .iter()
+                .map(|&i| self.successors_of(states[i].as_mut().last.expect("filtered")))
+                .collect();
+            let next: Vec<u32> = live.iter().map(|&i| segs[i]).collect();
+            let batch_nlls = self.tg.step_nll_batch(&self.store, &sub, &cands, &next);
+            for (&i, nll) in live.iter().zip(batch_nlls) {
+                nlls[i] = nll;
+            }
+        }
+
+        // One batched GRU advance for every session.
+        let new_hs = self.tg.advance_batch(&self.store, cache, &hs, segs);
+
+        let lambda = self.config().lambda;
+        let mut scores = Vec::with_capacity(n);
+        for (i, st) in states.iter_mut().enumerate() {
+            let st = st.as_mut();
+            let seg = segs[i];
+            st.traj_nll += nlls[i];
+            let log_scale = table.log_scale(seg, st.time_slot);
+            st.scale_log_sum += log_scale;
+            st.h.row_mut(0).copy_from_slice(new_hs.row(i));
+            st.last = Some(seg);
+            st.trace.push(SegmentTrace { segment: seg, nll: nlls[i], log_scale });
+            scores.push(st.score(lambda));
+        }
+        scores
+    }
+
+    /// Precomputes the decoder's per-token input-gate projections so batched
+    /// stepping skips the `x · W` matmul. Rebuild after parameter updates.
+    pub fn build_step_cache(&self) -> StepCache {
+        self.tg.build_step_cache(&self.store)
+    }
+}
+
+/// Streaming scorer for one ongoing trajectory: a [`ScorerState`] borrowing
+/// its model.
+pub struct OnlineScorer<'m> {
+    model: &'m CausalTad,
+    state: ScorerState,
+}
+
+impl<'m> OnlineScorer<'m> {
+    pub(crate) fn new(model: &'m CausalTad, source: u32, dest: u32, time_slot: u8) -> Self {
+        assert!(
+            model.scaling().is_some(),
+            "scaling table not computed; call fit() or precompute_scaling() first"
+        );
+        let state = model
+            .start_state(source, dest, time_slot)
+            .expect("scaling checked; SD segments validated by caller");
+        OnlineScorer { model, state }
+    }
+
+    pub(crate) fn try_new(
+        model: &'m CausalTad,
+        source: u32,
+        dest: u32,
+        time_slot: u8,
+    ) -> Result<Self, OnlineError> {
+        Ok(OnlineScorer { model, state: model.start_state(source, dest, time_slot)? })
+    }
+
+    /// Resumes a scorer from a previously detached state.
+    pub fn from_state(model: &'m CausalTad, state: ScorerState) -> Self {
+        OnlineScorer { model, state }
+    }
+
+    /// Detaches the owned state (e.g. to park a session).
+    pub fn into_state(self) -> ScorerState {
+        self.state
+    }
+
+    /// The owned state behind this scorer.
+    pub fn state(&self) -> &ScorerState {
+        &self.state
+    }
+
+    /// Consumes the next observed segment and returns the updated anomaly
+    /// score. O(1) in the number of segments seen so far.
+    pub fn push(&mut self, seg: u32) -> f64 {
+        self.model.push_state(&mut self.state, seg)
+    }
+
+    /// Current debiased anomaly score (Eq. 10). Higher = more anomalous.
+    pub fn score(&self) -> f64 {
+        self.state.score(self.model.config().lambda)
+    }
+
+    /// The un-debiased likelihood part `-ELBO ≈ -log P(c, t)`; this is the
+    /// TG-VAE-only score used in the ablation study.
+    pub fn likelihood_nll(&self) -> f64 {
+        self.state.likelihood_nll()
+    }
+
+    /// Accumulated scaling sum `Σ_i log E[1/P(t_i|e_i)]`.
+    pub fn scale_log_sum(&self) -> f64 {
+        self.state.scale_log_sum()
+    }
+
+    /// Number of segments consumed so far.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Per-segment contributions (the data behind Fig. 4).
+    pub fn trace(&self) -> &[SegmentTrace] {
+        self.state.trace()
     }
 }
 
@@ -177,6 +432,96 @@ mod tests {
     }
 
     #[test]
+    fn try_online_reports_errors_instead_of_panicking() {
+        let city = generate_city(&CityConfig::test_scale(202));
+        let untrained = CausalTad::new(&city.net, CausalTadConfig::test_scale());
+        assert_eq!(untrained.try_online(0, 1, 0).err(), Some(OnlineError::MissingScalingTable));
+
+        let (_city, model) = trained();
+        let vocab = model.vocab() as u32;
+        match model.try_online(vocab + 7, 1, 0).err() {
+            Some(OnlineError::SegmentOutOfRange { segment, .. }) => assert_eq!(segment, vocab + 7),
+            other => panic!("expected SegmentOutOfRange, got {other:?}"),
+        }
+        assert!(model.try_online(0, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn state_detach_and_resume_matches_straight_run() {
+        let (city, model) = trained();
+        let t = &city.data.test_id[0];
+        let sd = t.sd_pair();
+
+        let mut straight = model.online(sd.source.0, sd.dest.0, t.time_slot);
+        for &seg in &t.segments {
+            straight.push(seg.0);
+        }
+
+        let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+        let mid = t.len() / 2;
+        for &seg in &t.segments[..mid] {
+            scorer.push(seg.0);
+        }
+        let parked = scorer.into_state();
+        let mut resumed = OnlineScorer::from_state(&model, parked);
+        for &seg in &t.segments[mid..] {
+            resumed.push(seg.0);
+        }
+        assert_eq!(resumed.score(), straight.score());
+        assert_eq!(resumed.len(), straight.len());
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_push() {
+        let (city, model) = trained();
+        let cache = model.build_step_cache();
+        let trips: Vec<_> = city.data.test_id.iter().take(8).collect();
+
+        // Sequential reference scores.
+        let reference: Vec<f64> = trips
+            .iter()
+            .map(|t| {
+                let sd = t.sd_pair();
+                let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+                let mut last = f64::NAN;
+                for &seg in &t.segments {
+                    last = scorer.push(seg.0);
+                }
+                last
+            })
+            .collect();
+
+        // Batched: advance all sessions in lockstep waves.
+        let mut states: Vec<ScorerState> = trips
+            .iter()
+            .map(|t| {
+                let sd = t.sd_pair();
+                model.start_state(sd.source.0, sd.dest.0, t.time_slot).expect("valid request")
+            })
+            .collect();
+        let mut final_scores = vec![f64::NAN; trips.len()];
+        let max_len = trips.iter().map(|t| t.len()).max().unwrap();
+        for step in 0..max_len {
+            let wave: Vec<usize> = (0..trips.len()).filter(|&i| step < trips[i].len()).collect();
+            let segs: Vec<u32> = wave.iter().map(|&i| trips[i].segments[step].0).collect();
+            let mut wave_states: Vec<ScorerState> =
+                wave.iter().map(|&i| std::mem::take(&mut states[i])).collect();
+            let scores = model.push_batch(Some(&cache), &mut wave_states, &segs);
+            for ((&i, st), score) in wave.iter().zip(wave_states).zip(scores) {
+                states[i] = st;
+                final_scores[i] = score;
+            }
+        }
+
+        for (batched, sequential) in final_scores.iter().zip(&reference) {
+            assert!(
+                (batched - sequential).abs() < 1e-9,
+                "batched {batched} vs sequential {sequential}"
+            );
+        }
+    }
+
+    #[test]
     fn score_components_add_up() {
         let (city, model) = trained();
         let t = &city.data.test_id[1];
@@ -185,13 +530,12 @@ mod tests {
         for &seg in &t.segments {
             scorer.push(seg.0);
         }
-        let recomposed =
-            scorer.likelihood_nll() - model.config().lambda * scorer.scale_log_sum();
+        let recomposed = scorer.likelihood_nll() - model.config().lambda * scorer.scale_log_sum();
         assert!((scorer.score() - recomposed).abs() < 1e-12);
         // Trace sums must equal the accumulators.
         let nll_sum: f64 = scorer.trace().iter().map(|s| s.nll).sum();
         let scale_sum: f64 = scorer.trace().iter().map(|s| s.log_scale).sum();
-        assert!((scorer.likelihood_nll() - (nll_sum + scorer.base_nll)).abs() < 1e-9);
+        assert!((scorer.likelihood_nll() - (nll_sum + scorer.state().base_nll)).abs() < 1e-9);
         assert!((scorer.scale_log_sum() - scale_sum).abs() < 1e-9);
     }
 }

@@ -182,7 +182,7 @@ mod tests {
         let (mut store, rp, mut rng) = build(false);
         let mut adam = Adam::new(&store, 0.01);
         // Token 3 appears 8x as often as token 7.
-        let batch: Vec<u32> = std::iter::repeat(3u32).take(8).chain(std::iter::once(7u32)).collect();
+        let batch: Vec<u32> = std::iter::repeat_n(3u32, 8).chain(std::iter::once(7u32)).collect();
         for _ in 0..150 {
             let mut tape = Tape::new();
             let loss = rp.loss(&mut tape, &store, &batch, &mut rng);

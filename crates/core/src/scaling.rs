@@ -179,7 +179,7 @@ mod tests {
         let batch: Vec<u32> = freq
             .iter()
             .enumerate()
-            .flat_map(|(tok, &n)| std::iter::repeat(tok as u32).take(n))
+            .flat_map(|(tok, &n)| std::iter::repeat_n(tok as u32, n))
             .collect();
         for _ in 0..120 {
             let mut tape = Tape::new();

@@ -146,12 +146,14 @@ mod tests {
         let report = model.fit(&city.data.train);
         assert_eq!(report.epoch_losses.len(), 5);
         assert!(!report.diverged);
+        assert!(report.final_loss() < report.epoch_losses[0], "losses: {:?}", report.epoch_losses);
         assert!(
-            report.final_loss() < report.epoch_losses[0],
-            "losses: {:?}",
+            report.best_loss() <= report.final_loss() + 1e-9,
+            "best {} vs final {} (losses: {:?})",
+            report.best_loss(),
+            report.final_loss(),
             report.epoch_losses
         );
-        assert!(report.best_loss() <= report.final_loss() + 1e-9);
     }
 
     #[test]

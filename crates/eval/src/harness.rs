@@ -18,7 +18,11 @@ pub struct ComboResult {
 
 /// Scores `normals` (label false) against `anomalies` (label true) with a
 /// fitted detector and computes both AUCs.
-pub fn evaluate(det: &dyn Detector, normals: &[Trajectory], anomalies: &[Trajectory]) -> ComboResult {
+pub fn evaluate(
+    det: &dyn Detector,
+    normals: &[Trajectory],
+    anomalies: &[Trajectory],
+) -> ComboResult {
     evaluate_with(|t| det.score(t), normals, anomalies)
 }
 
@@ -91,39 +95,26 @@ where
     F: FnOnce() -> T + Send,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     let n = jobs.len();
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let jobs: Vec<parking_lot::Mutex<Option<F>>> =
-        jobs.into_iter().map(|j| parking_lot::Mutex::new(Some(j))).collect();
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let slots_ptr = parking_lot::Mutex::new(&mut slots);
 
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
+    std::thread::scope(|scope| {
         for _ in 0..workers.max(1).min(n.max(1)) {
-            handles.push(scope.spawn(|_| {
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let job = jobs[i].lock().take().expect("job taken twice");
-                    local.push((i, job()));
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
-                let mut guard = slots_ptr.lock();
-                for (i, v) in local {
-                    guard[i] = Some(v);
-                }
-            }));
+                let job = jobs[i].lock().unwrap().take().expect("job taken twice");
+                *slots[i].lock().unwrap() = Some(job());
+            });
         }
-        for h in handles {
-            h.join().expect("worker panicked");
-        }
-    })
-    .expect("scope failed");
+    });
 
-    slots.into_iter().map(|s| s.expect("job did not run")).collect()
+    slots.into_iter().map(|s| s.into_inner().unwrap().expect("job did not run")).collect()
 }
 
 #[cfg(test)]
@@ -187,9 +178,7 @@ mod tests {
 
     #[test]
     fn parallel_map_preserves_order() {
-        let jobs: Vec<_> = (0..17)
-            .map(|i| move || i * i)
-            .collect();
+        let jobs: Vec<_> = (0..17).map(|i| move || i * i).collect();
         let out = parallel_map(jobs, 4);
         assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
     }

@@ -6,8 +6,7 @@
 /// counting half. Returns 0.5 when either class is empty.
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
-    let mut ranked: Vec<(f64, bool)> =
-        scores.iter().copied().zip(labels.iter().copied()).collect();
+    let mut ranked: Vec<(f64, bool)> = scores.iter().copied().zip(labels.iter().copied()).collect();
     ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let pos = labels.iter().filter(|&&l| l).count();
@@ -48,8 +47,7 @@ pub fn pr_auc(scores: &[f64], labels: &[bool]) -> f64 {
     if pos == labels.len() {
         return 1.0;
     }
-    let mut ranked: Vec<(f64, bool)> =
-        scores.iter().copied().zip(labels.iter().copied()).collect();
+    let mut ranked: Vec<(f64, bool)> = scores.iter().copied().zip(labels.iter().copied()).collect();
     // Descending by score; ties broken so that positives come *after*
     // negatives at the same score (pessimistic, avoids optimistic bias).
     ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -190,7 +188,8 @@ mod tests {
     #[test]
     fn bootstrap_ci_contains_estimate_and_orders() {
         // Noisy but separable scores.
-        let scores: Vec<f64> = (0..60).map(|i| i as f64 + if i % 2 == 0 { 15.0 } else { 0.0 }).collect();
+        let scores: Vec<f64> =
+            (0..60).map(|i| i as f64 + if i % 2 == 0 { 15.0 } else { 0.0 }).collect();
         let labels: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
         let ci = roc_auc_ci(&scores, &labels, 200, 0.05, 7);
         assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");

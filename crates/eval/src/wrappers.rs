@@ -84,10 +84,7 @@ impl Detector for CausalTadDetector {
             CausalTadVariant::RpOnly => {
                 let table = model.scaling().expect("fitted model has a scaling table");
                 let n = prefix_len.clamp(1, traj.len());
-                traj.segments[..n]
-                    .iter()
-                    .map(|s| -table.elbo(s.0, traj.time_slot))
-                    .sum()
+                traj.segments[..n].iter().map(|s| -table.elbo(s.0, traj.time_slot)).sum()
             }
         }
     }
@@ -103,7 +100,8 @@ mod tests {
         let city = generate_city(&CityConfig::test_scale(500));
         let mut cfg = CausalTadConfig::test_scale();
         cfg.epochs = 2;
-        for variant in [CausalTadVariant::Full, CausalTadVariant::TgOnly, CausalTadVariant::RpOnly] {
+        for variant in [CausalTadVariant::Full, CausalTadVariant::TgOnly, CausalTadVariant::RpOnly]
+        {
             let mut det = CausalTadDetector::variant(cfg.clone(), variant);
             det.fit(&city.net, &city.data.train);
             let s = det.score(&city.data.test_id[0]);
@@ -119,10 +117,7 @@ mod tests {
             CausalTadDetector::variant(cfg.clone(), CausalTadVariant::TgOnly).name(),
             "TG-VAE"
         );
-        assert_eq!(
-            CausalTadDetector::variant(cfg, CausalTadVariant::RpOnly).name(),
-            "RP-VAE"
-        );
+        assert_eq!(CausalTadDetector::variant(cfg, CausalTadVariant::RpOnly).name(), "RP-VAE");
     }
 
     #[test]

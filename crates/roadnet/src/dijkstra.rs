@@ -311,9 +311,8 @@ mod tests {
         let (net, nodes) = grid3();
         // Make horizontal moves on the bottom row expensive; the search
         // should route through the middle row instead.
-        let expensive: Vec<_> = (0..2)
-            .map(|x| net.segment_between(nodes[x], nodes[x + 1]).unwrap())
-            .collect();
+        let expensive: Vec<_> =
+            (0..2).map(|x| net.segment_between(nodes[x], nodes[x + 1]).unwrap()).collect();
         let r = node_shortest_path(&net, nodes[0], nodes[2], |s| {
             if expensive.contains(&s) {
                 Some(100.0)

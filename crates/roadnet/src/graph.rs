@@ -123,7 +123,13 @@ impl RoadNetwork {
     ///
     /// # Panics
     /// Panics if either endpoint is unknown or the segment is a self-loop.
-    pub fn add_segment(&mut self, from: NodeId, to: NodeId, length: f64, class: RoadClass) -> SegmentId {
+    pub fn add_segment(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        length: f64,
+        class: RoadClass,
+    ) -> SegmentId {
         assert!(from.index() < self.nodes.len(), "unknown from node");
         assert!(to.index() < self.nodes.len(), "unknown to node");
         assert_ne!(from, to, "self-loop segments are not allowed");
@@ -175,10 +181,9 @@ impl RoadNetwork {
     pub fn successors(&self, seg: SegmentId) -> impl Iterator<Item = SegmentId> + '_ {
         let s = self.segment(seg);
         let (from, to) = (s.from, s.to);
-        self.out_segments[to.index()]
-            .iter()
-            .copied()
-            .filter(move |&n| self.segment(n).to != from || self.out_segments[to.index()].len() == 1)
+        self.out_segments[to.index()].iter().copied().filter(move |&n| {
+            self.segment(n).to != from || self.out_segments[to.index()].len() == 1
+        })
     }
 
     /// Successors of `seg` collected into a vector of raw `u32` ids, the
@@ -244,7 +249,8 @@ impl RoadNetwork {
         seen[start.index()] = true;
         queue.push_back(start);
         while let Some(n) = queue.pop_front() {
-            let edges = if reversed { &self.in_segments[n.index()] } else { &self.out_segments[n.index()] };
+            let edges =
+                if reversed { &self.in_segments[n.index()] } else { &self.out_segments[n.index()] };
             for &s in edges {
                 let next = if reversed { self.segment(s).from } else { self.segment(s).to };
                 if !seen[next.index()] {

@@ -137,7 +137,8 @@ pub fn generate_grid_city<R: Rng + ?Sized>(cfg: &GridCityConfig, rng: &mut R) ->
 
 /// Rebuilds `net` with the given undirected node pairs removed.
 fn rebuild_without(net: &RoadNetwork, removed: &[(NodeId, NodeId)]) -> RoadNetwork {
-    let banned = |a: NodeId, b: NodeId| removed.iter().any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b));
+    let banned =
+        |a: NodeId, b: NodeId| removed.iter().any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b));
     let mut out = RoadNetwork::new();
     for n in net.node_ids() {
         out.add_node(net.node(n).pos);

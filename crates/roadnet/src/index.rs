@@ -39,7 +39,14 @@ impl SegmentIndex {
         }
         if !min_x.is_finite() {
             // Empty network: one empty cell.
-            return SegmentIndex { cell_size, min_x: 0.0, min_y: 0.0, cols: 1, rows: 1, cells: vec![Vec::new()] };
+            return SegmentIndex {
+                cell_size,
+                min_x: 0.0,
+                min_y: 0.0,
+                cols: 1,
+                rows: 1,
+                cells: vec![Vec::new()],
+            };
         }
         let cols = (((max_x - min_x) / cell_size).floor() as usize) + 1;
         let rows = (((max_y - min_y) / cell_size).floor() as usize) + 1;

@@ -39,7 +39,8 @@ pub fn k_shortest_paths(
             // Ban the edges that previous paths take out of this root, so the
             // spur search is forced onto a new continuation.
             let mut banned_next: Vec<SegmentId> = Vec::new();
-            for p in found.iter().map(|p| &p.segments).chain(candidates.iter().map(|c| &c.segments)) {
+            for p in found.iter().map(|p| &p.segments).chain(candidates.iter().map(|c| &c.segments))
+            {
                 if p.len() > spur_idx + 1 && p[..=spur_idx] == *root {
                     banned_next.push(p[spur_idx + 1]);
                 }
@@ -64,7 +65,8 @@ pub fn k_shortest_paths(
             if !segments.iter().all(|s| seen.insert(*s)) {
                 continue;
             }
-            let total_cost: f64 = segments[1..].iter().map(|&s| cost(s).expect("path uses banned segment")).sum();
+            let total_cost: f64 =
+                segments[1..].iter().map(|&s| cost(s).expect("path uses banned segment")).sum();
             let candidate = PathResult { segments, cost: total_cost };
             if !candidates.iter().any(|c| c.segments == candidate.segments)
                 && !found.iter().any(|f| f.segments == candidate.segments)

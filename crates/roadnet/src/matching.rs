@@ -91,10 +91,8 @@ pub fn match_trajectory(
         if cands.is_empty() {
             return Err(MatchError::NoCandidates { point_index: i });
         }
-        let emis: Vec<(SegmentId, f64)> = cands
-            .into_iter()
-            .map(|(s, d)| (s, -0.5 * (d / cfg.gps_sigma).powi(2)))
-            .collect();
+        let emis: Vec<(SegmentId, f64)> =
+            cands.into_iter().map(|(s, d)| (s, -0.5 * (d / cfg.gps_sigma).powi(2))).collect();
         candidates.push(emis);
     }
 
@@ -140,7 +138,8 @@ pub fn match_trajectory(
         best = back[t][best];
         states[t - 1] = best;
     }
-    let matched: Vec<SegmentId> = states.iter().enumerate().map(|(t, &i)| candidates[t][i].0).collect();
+    let matched: Vec<SegmentId> =
+        states.iter().enumerate().map(|(t, &i)| candidates[t][i].0).collect();
 
     Ok(connect_walk(net, &matched))
 }
@@ -238,8 +237,8 @@ fn gauss<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
 mod tests {
     use super::*;
     use crate::dijkstra::{length_cost, node_shortest_path};
-    use crate::grid::{generate_grid_city, GridCityConfig};
     use crate::graph::NodeId;
+    use crate::grid::{generate_grid_city, GridCityConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

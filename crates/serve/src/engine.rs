@@ -1,0 +1,282 @@
+//! The public fleet-engine API: configuration, builder, bounded sharded
+//! ingest, stats access, and drain-on-shutdown.
+
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use causaltad::{CausalTad, StepCache};
+
+use crate::event::{Event, TripOutcome};
+use crate::shard::{run_shard, Ingest, ShardCtx};
+use crate::stats::{FleetSnapshot, FleetStats};
+
+/// Completion callback invoked by shard workers with each finished trip.
+pub type CompletionCallback = Arc<dyn Fn(TripOutcome) + Send + Sync>;
+
+/// Tunables of the fleet engine.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Shard worker threads; trips are hash-routed so one trip's events
+    /// always land on the same shard.
+    pub num_shards: usize,
+    /// Bounded queue capacity per shard. When full, `submit` blocks and
+    /// `try_submit` returns [`SubmitError::Full`] (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum events drained into one micro-batch.
+    pub max_batch: usize,
+    /// Idle time after which a live session is evicted and reported as
+    /// [`crate::Completion::EvictedTtl`].
+    pub session_ttl: Duration,
+    /// Hard cap on live sessions per shard; beyond it the least recently
+    /// active trip is evicted ([`crate::Completion::EvictedLru`]). The
+    /// eviction scan is O(sessions), so size the cap above the expected
+    /// steady state — it is a memory guard, not a working-set manager.
+    pub max_sessions_per_shard: usize,
+    /// Precompute the decoder's per-token input projections
+    /// ([`CausalTad::build_step_cache`]) so each batched step skips the
+    /// input-gate matmul. Costs `vocab x 3·hidden` floats of memory.
+    pub use_step_cache: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+        FleetConfig {
+            num_shards: shards,
+            queue_capacity: 4096,
+            max_batch: 2048,
+            session_ttl: Duration::from_secs(300),
+            max_sessions_per_shard: 8192,
+            use_step_cache: true,
+        }
+    }
+}
+
+/// Why the engine could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The model has no scaling table — call `fit()` or
+    /// `precompute_scaling()` before serving.
+    ModelNotReady,
+    /// A config field is out of range.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ModelNotReady => {
+                write!(f, "model has no scaling table; call fit() or precompute_scaling() first")
+            }
+            ServeError::InvalidConfig(what) => write!(f, "invalid fleet config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why an event was not accepted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The target shard's queue is full; the event is handed back so the
+    /// caller can retry or shed load.
+    Full(Event),
+    /// The engine has shut down; the event is handed back.
+    Closed(Event),
+    /// The engine shut down during [`FleetEngine::submit_all`]; carries
+    /// every event of the call that was not accepted.
+    ClosedChunk(Vec<Event>),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(ev) => write!(f, "shard queue full for trip {}", ev.trip_id()),
+            SubmitError::Closed(ev) => {
+                write!(f, "engine closed; returned event for trip {}", ev.trip_id())
+            }
+            SubmitError::ClosedChunk(evs) => {
+                write!(f, "engine closed; returned {} unaccepted events", evs.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Builder for [`FleetEngine`].
+pub struct FleetEngineBuilder {
+    model: Arc<CausalTad>,
+    cfg: FleetConfig,
+    on_complete: Option<CompletionCallback>,
+}
+
+impl FleetEngineBuilder {
+    /// Overrides the default [`FleetConfig`].
+    pub fn config(mut self, cfg: FleetConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Called by shard workers with every finished trip (ended, evicted,
+    /// or flushed at shutdown). Must be cheap or hand off to a channel —
+    /// it runs on the scoring threads.
+    pub fn on_complete(mut self, cb: impl Fn(TripOutcome) + Send + Sync + 'static) -> Self {
+        self.on_complete = Some(Arc::new(cb));
+        self
+    }
+
+    /// Validates the config, spawns the shard workers, and starts serving.
+    pub fn build(self) -> Result<FleetEngine, ServeError> {
+        let FleetEngineBuilder { model, cfg, on_complete } = self;
+        if model.scaling().is_none() {
+            return Err(ServeError::ModelNotReady);
+        }
+        if cfg.num_shards == 0 {
+            return Err(ServeError::InvalidConfig("num_shards must be >= 1"));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig("queue_capacity must be >= 1"));
+        }
+        if cfg.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1"));
+        }
+        let cache: Option<Arc<StepCache>> =
+            cfg.use_step_cache.then(|| Arc::new(model.build_step_cache()));
+        let stats = Arc::new(FleetStats::new());
+        let mut senders = Vec::with_capacity(cfg.num_shards);
+        let mut workers = Vec::with_capacity(cfg.num_shards);
+        for shard in 0..cfg.num_shards {
+            let (tx, rx) = sync_channel::<Ingest>(cfg.queue_capacity);
+            let ctx = ShardCtx {
+                model: Arc::clone(&model),
+                cache: cache.clone(),
+                cfg: cfg.clone(),
+                stats: Arc::clone(&stats),
+                on_complete: on_complete.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("tad-serve-shard-{shard}"))
+                .spawn(move || run_shard(ctx, rx))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Ok(FleetEngine { senders, workers, stats })
+    }
+}
+
+/// The concurrent fleet-scoring engine. See the crate docs for the data
+/// flow; construct through [`FleetEngine::builder`].
+pub struct FleetEngine {
+    senders: Vec<SyncSender<Ingest>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<FleetStats>,
+}
+
+impl FleetEngine {
+    /// Starts building an engine over a trained model.
+    pub fn builder(model: Arc<CausalTad>) -> FleetEngineBuilder {
+        FleetEngineBuilder { model, cfg: FleetConfig::default(), on_complete: None }
+    }
+
+    fn shard_of(&self, ev: &Event) -> usize {
+        // Fibonacci hashing of the trip id.
+        let h = ev.trip_id().wrapping_mul(0x9E3779B97F4A7C15);
+        (h % self.senders.len() as u64) as usize
+    }
+
+    /// Enqueues an event, blocking while the target shard's queue is full.
+    pub fn submit(&self, ev: Event) -> Result<(), SubmitError> {
+        let shard = self.shard_of(&ev);
+        match self.senders[shard].send(Ingest::One(ev)) {
+            Ok(()) => {
+                FleetStats::bump(&self.stats.events_ingested);
+                Ok(())
+            }
+            Err(e) => Err(SubmitError::Closed(e.0.into_single())),
+        }
+    }
+
+    /// Non-blocking enqueue; hands the event back when the shard is full.
+    pub fn try_submit(&self, ev: Event) -> Result<(), SubmitError> {
+        let shard = self.shard_of(&ev);
+        match self.senders[shard].try_send(Ingest::One(ev)) {
+            Ok(()) => {
+                FleetStats::bump(&self.stats.events_ingested);
+                Ok(())
+            }
+            Err(TrySendError::Full(msg)) => Err(SubmitError::Full(msg.into_single())),
+            Err(TrySendError::Disconnected(msg)) => Err(SubmitError::Closed(msg.into_single())),
+        }
+    }
+
+    /// Bulk enqueue: groups `events` by shard (preserving per-trip order)
+    /// and hands each shard its group as one queue message. High-volume
+    /// producers should prefer this — it amortises the per-message channel
+    /// synchronisation across the whole chunk. Blocks while queues are
+    /// full.
+    /// On engine shutdown mid-call, every not-yet-accepted event (the
+    /// failing shard's group plus all unsent groups) is handed back in
+    /// [`SubmitError::ClosedChunk`]; groups already delivered to other
+    /// shards stay delivered.
+    pub fn submit_all(&self, events: impl IntoIterator<Item = Event>) -> Result<(), SubmitError> {
+        let mut per_shard: Vec<Vec<Event>> = vec![Vec::new(); self.senders.len()];
+        for ev in events {
+            per_shard[self.shard_of(&ev)].push(ev);
+        }
+        let mut groups = per_shard.into_iter().enumerate();
+        for (shard, group) in &mut groups {
+            if group.is_empty() {
+                continue;
+            }
+            let len = group.len() as u64;
+            if let Err(e) = self.senders[shard].send(Ingest::Many(group)) {
+                let mut unaccepted = e.0.into_events();
+                unaccepted.extend(groups.flat_map(|(_, g)| g));
+                return Err(SubmitError::ClosedChunk(unaccepted));
+            }
+            FleetStats::add(&self.stats.events_ingested, len);
+        }
+        Ok(())
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Point-in-time fleet counters.
+    pub fn stats(&self) -> FleetSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Shared handle to the live counters (e.g. for a metrics exporter).
+    pub fn stats_handle(&self) -> Arc<FleetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops ingest, drains every queue, flushes still-live sessions to the
+    /// completion callback (as [`crate::Completion::Shutdown`]), joins the
+    /// workers, and returns the final counters.
+    pub fn shutdown(mut self) -> FleetSnapshot {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("shard worker panicked");
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for FleetEngine {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            // Propagating a panic out of drop would abort; losing the
+            // worker's panic message here is acceptable.
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The ingest event model: what the outside world sends the engine and
+//! what the engine reports back when a trip leaves it.
+
+use causaltad::SegmentTrace;
+
+/// Unique identifier of an in-flight trip (e.g. the ride-hailing order id).
+pub type TripId = u64;
+
+/// One element of the interleaved fleet telemetry stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A new trip: the SD pair and departure slot are known at order time.
+    TripStart {
+        id: TripId,
+        /// Source road segment.
+        source: u32,
+        /// Destination road segment.
+        dest: u32,
+        /// Departure time slot.
+        time_slot: u8,
+    },
+    /// The trip traversed one more road segment.
+    Segment { id: TripId, seg: u32 },
+    /// The trip finished; its final score should be delivered.
+    TripEnd { id: TripId },
+}
+
+impl Event {
+    /// The trip this event belongs to (the shard-routing key).
+    pub fn trip_id(&self) -> TripId {
+        match *self {
+            Event::TripStart { id, .. } | Event::Segment { id, .. } | Event::TripEnd { id } => id,
+        }
+    }
+}
+
+/// Why a trip left the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completion {
+    /// A `TripEnd` event arrived.
+    Ended,
+    /// The trip went silent for longer than the session TTL.
+    EvictedTtl,
+    /// The shard hit its session cap and this was the least recently
+    /// active trip.
+    EvictedLru,
+    /// The engine shut down while the trip was still live.
+    Shutdown,
+}
+
+/// Final scoring result for a trip, delivered to the completion callback.
+#[derive(Clone, Debug)]
+pub struct TripOutcome {
+    pub id: TripId,
+    pub completion: Completion,
+    /// Debiased anomaly score (Eq. 10) after the last consumed segment.
+    pub score: f64,
+    /// The un-debiased likelihood part of the score.
+    pub likelihood_nll: f64,
+    /// Accumulated scaling sum `Σ_i log E[1/P(t_i|e_i)]`.
+    pub scale_log_sum: f64,
+    /// Number of segments consumed.
+    pub segments: usize,
+    /// Per-segment score decomposition.
+    pub trace: Vec<SegmentTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_id_extracts_routing_key() {
+        assert_eq!(Event::TripStart { id: 7, source: 0, dest: 1, time_slot: 0 }.trip_id(), 7);
+        assert_eq!(Event::Segment { id: 8, seg: 3 }.trip_id(), 8);
+        assert_eq!(Event::TripEnd { id: 9 }.trip_id(), 9);
+    }
+}

@@ -1,0 +1,55 @@
+//! # tad-serve
+//!
+//! A concurrent fleet-scoring engine for the CausalTAD detector: the
+//! serving layer that turns the paper's O(1) per-segment online scorer
+//! into a system that handles **thousands of in-flight trips at once**.
+//!
+//! Ride-hailing telemetry arrives as one interleaved stream of events —
+//! trip starts (the SD pair is the order), GPS-matched road segments, and
+//! trip ends. [`FleetEngine`] ingests that stream through a bounded,
+//! sharded queue:
+//!
+//! * **Sharding** — trips are routed by id hash to one of N shard workers;
+//!   per-trip event order is preserved, shards run in parallel.
+//! * **Micro-batched stepping** — each worker drains its queue in waves
+//!   and advances every live session in the wave through
+//!   [`causaltad::CausalTad::push_batch`]: the GRU step and the
+//!   successor-set projection become matrix-matrix products over the whole
+//!   cohort instead of per-session matrix-vector products, and the
+//!   precomputed [`causaltad::StepCache`] eliminates the input-gate matmul
+//!   entirely. Scores are numerically identical to running each trip
+//!   through its own [`causaltad::OnlineScorer`].
+//! * **Session lifecycle** — live [`causaltad::ScorerState`]s are kept in
+//!   a per-shard store with TTL sweeps for trips that went silent and an
+//!   LRU cap bounding memory; completed and evicted trips are delivered to
+//!   a completion callback with their final score and full
+//!   [`causaltad::SegmentTrace`].
+//! * **Observability** — [`FleetStats`] counts events, scored segments,
+//!   active sessions, evictions, rejects, off-graph hits, and batch sizes.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tad_serve::{Event, FleetConfig, FleetEngine};
+//! # let model: causaltad::CausalTad = unimplemented!();
+//!
+//! let engine = FleetEngine::builder(Arc::new(model))
+//!     .config(FleetConfig::default())
+//!     .on_complete(|outcome| println!("trip {} scored {:.2}", outcome.id, outcome.score))
+//!     .build()
+//!     .expect("model is trained");
+//! engine.submit(Event::TripStart { id: 1, source: 0, dest: 9, time_slot: 3 }).unwrap();
+//! engine.submit(Event::Segment { id: 1, seg: 0 }).unwrap();
+//! engine.submit(Event::TripEnd { id: 1 }).unwrap();
+//! let stats = engine.shutdown();
+//! assert_eq!(stats.trips_completed, 1);
+//! ```
+
+mod engine;
+mod event;
+mod session;
+mod shard;
+mod stats;
+
+pub use engine::{FleetConfig, FleetEngine, FleetEngineBuilder, ServeError, SubmitError};
+pub use event::{Completion, Event, TripId, TripOutcome};
+pub use stats::{FleetSnapshot, FleetStats};

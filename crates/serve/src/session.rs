@@ -1,0 +1,136 @@
+//! Per-shard session store: the live [`ScorerState`]s keyed by trip id,
+//! with TTL sweeps and an LRU cap.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use causaltad::ScorerState;
+
+use crate::event::TripId;
+
+/// One live trip inside a shard.
+pub(crate) struct Session {
+    /// The owned scorer state; temporarily `mem::take`n out during a
+    /// micro-batch and written back after.
+    pub state: ScorerState,
+    /// Segments received but not yet scored (same-trip events inside one
+    /// drained micro-batch queue up here and are consumed wave by wave).
+    pub pending: VecDeque<u32>,
+    /// A `TripEnd` arrived; finalize once `pending` drains. Later segment
+    /// events are rejected.
+    pub ending: bool,
+    /// Last time an event touched this trip (TTL/LRU clock).
+    pub last_touch: Instant,
+}
+
+impl Session {
+    pub fn new(state: ScorerState, now: Instant) -> Self {
+        Session { state, pending: VecDeque::new(), ending: false, last_touch: now }
+    }
+}
+
+/// Trip-id keyed session map with bounded size.
+pub(crate) struct SessionStore {
+    sessions: HashMap<TripId, Session>,
+    max_sessions: usize,
+}
+
+impl SessionStore {
+    pub fn new(max_sessions: usize) -> Self {
+        SessionStore { sessions: HashMap::new(), max_sessions: max_sessions.max(1) }
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub fn contains(&self, id: TripId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    pub fn get_mut(&mut self, id: TripId) -> Option<&mut Session> {
+        self.sessions.get_mut(&id)
+    }
+
+    pub fn remove(&mut self, id: TripId) -> Option<Session> {
+        self.sessions.remove(&id)
+    }
+
+    /// Inserts a new session. When the store is at capacity, the least
+    /// recently touched session is evicted and returned.
+    pub fn insert(&mut self, id: TripId, session: Session) -> Option<(TripId, Session)> {
+        let evicted = if self.sessions.len() >= self.max_sessions {
+            self.oldest().and_then(|victim| self.sessions.remove(&victim).map(|s| (victim, s)))
+        } else {
+            None
+        };
+        self.sessions.insert(id, session);
+        evicted
+    }
+
+    fn oldest(&self) -> Option<TripId> {
+        self.sessions.iter().min_by_key(|(_, s)| s.last_touch).map(|(&id, _)| id)
+    }
+
+    /// Removes and returns every session idle for longer than `ttl`.
+    pub fn sweep_ttl(&mut self, ttl: Duration, now: Instant) -> Vec<(TripId, Session)> {
+        let stale: Vec<TripId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| now.duration_since(s.last_touch) > ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        stale.into_iter().filter_map(|id| self.sessions.remove(&id).map(|s| (id, s))).collect()
+    }
+
+    /// Drains every session (shutdown flush).
+    pub fn drain(&mut self) -> Vec<(TripId, Session)> {
+        self.sessions.drain().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(now: Instant) -> Session {
+        Session::new(ScorerState::default(), now)
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_touched() {
+        let t0 = Instant::now();
+        let mut store = SessionStore::new(2);
+        store.insert(1, session(t0));
+        store.insert(2, session(t0 + Duration::from_secs(1)));
+        // Touch trip 1 so trip 2 becomes the LRU victim.
+        store.get_mut(1).unwrap().last_touch = t0 + Duration::from_secs(5);
+        let evicted = store.insert(3, session(t0 + Duration::from_secs(6)));
+        assert_eq!(evicted.map(|(id, _)| id), Some(2));
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(1) && store.contains(3));
+    }
+
+    #[test]
+    fn ttl_sweep_removes_only_stale_sessions() {
+        let t0 = Instant::now();
+        let mut store = SessionStore::new(8);
+        store.insert(1, session(t0));
+        store.insert(2, session(t0 + Duration::from_secs(50)));
+        let swept = store.sweep_ttl(Duration::from_secs(30), t0 + Duration::from_secs(60));
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].0, 1);
+        assert!(store.contains(2));
+    }
+
+    #[test]
+    fn drain_empties_the_store() {
+        let now = Instant::now();
+        let mut store = SessionStore::new(4);
+        store.insert(1, session(now));
+        store.insert(2, session(now));
+        assert_eq!(store.drain().len(), 2);
+        assert_eq!(store.len(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The shard worker: drains its bounded queue in micro-batches, advances
+//! every touched session through one batched model step per wave, and
+//! drives the session lifecycle (start, end, TTL/LRU eviction, shutdown
+//! flush).
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use causaltad::{CausalTad, ScorerState, StepCache, OFF_GRAPH_NLL};
+
+use crate::engine::{CompletionCallback, FleetConfig};
+use crate::event::{Completion, Event, TripId, TripOutcome};
+use crate::session::{Session, SessionStore};
+use crate::stats::FleetStats;
+
+/// A queue message: one event, or a producer-side chunk that amortises the
+/// channel synchronisation.
+pub(crate) enum Ingest {
+    One(Event),
+    Many(Vec<Event>),
+}
+
+impl Ingest {
+    /// A representative event for error reporting.
+    pub(crate) fn into_single(self) -> Event {
+        match self {
+            Ingest::One(ev) => ev,
+            Ingest::Many(mut evs) => evs.pop().expect("submit_all never sends empty chunks"),
+        }
+    }
+
+    /// All carried events (for handing a failed chunk back to the caller).
+    pub(crate) fn into_events(self) -> Vec<Event> {
+        match self {
+            Ingest::One(ev) => vec![ev],
+            Ingest::Many(evs) => evs,
+        }
+    }
+
+    fn append_to(self, batch: &mut Vec<Event>) {
+        match self {
+            Ingest::One(ev) => batch.push(ev),
+            Ingest::Many(mut evs) => batch.append(&mut evs),
+        }
+    }
+}
+
+/// Everything a shard worker needs, cloned per shard.
+pub(crate) struct ShardCtx {
+    pub model: Arc<CausalTad>,
+    pub cache: Option<Arc<StepCache>>,
+    pub cfg: FleetConfig,
+    pub stats: Arc<FleetStats>,
+    pub on_complete: Option<CompletionCallback>,
+}
+
+impl ShardCtx {
+    fn finish(&self, id: TripId, session: Session, completion: Completion) {
+        if completion == Completion::Ended {
+            FleetStats::bump(&self.stats.trips_completed);
+        }
+        self.stats.active_sessions.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(cb) = &self.on_complete {
+            let state = session.state;
+            cb(TripOutcome {
+                id,
+                completion,
+                score: state.score(self.model.config().lambda),
+                likelihood_nll: state.likelihood_nll(),
+                scale_log_sum: state.scale_log_sum(),
+                segments: state.len(),
+                trace: state.into_trace(),
+            });
+        }
+    }
+}
+
+/// Worker entry point; returns when every sender is dropped and the queue
+/// has been fully drained.
+pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
+    let mut store = SessionStore::new(ctx.cfg.max_sessions_per_shard);
+    let mut batch: Vec<Event> = Vec::with_capacity(ctx.cfg.max_batch);
+    let sweep_every = sweep_interval(ctx.cfg.session_ttl);
+    let mut last_sweep = Instant::now();
+
+    loop {
+        match rx.recv_timeout(sweep_every) {
+            Ok(msg) => msg.append_to(&mut batch),
+            Err(RecvTimeoutError::Timeout) => {
+                sweep(&ctx, &mut store, &mut last_sweep, sweep_every);
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        while batch.len() < ctx.cfg.max_batch {
+            match rx.try_recv() {
+                Ok(msg) => msg.append_to(&mut batch),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        process_batch(&ctx, &mut store, &mut batch);
+        sweep(&ctx, &mut store, &mut last_sweep, sweep_every);
+    }
+
+    // Engine dropped: flush whatever is still live.
+    for (id, session) in store.drain() {
+        ctx.finish(id, session, Completion::Shutdown);
+    }
+}
+
+fn sweep_interval(ttl: Duration) -> Duration {
+    (ttl / 4).clamp(Duration::from_millis(10), Duration::from_secs(1))
+}
+
+fn sweep(ctx: &ShardCtx, store: &mut SessionStore, last_sweep: &mut Instant, every: Duration) {
+    if last_sweep.elapsed() < every {
+        return;
+    }
+    *last_sweep = Instant::now();
+    for (id, session) in store.sweep_ttl(ctx.cfg.session_ttl, *last_sweep) {
+        FleetStats::bump(&ctx.stats.evictions_ttl);
+        ctx.finish(id, session, Completion::EvictedTtl);
+    }
+}
+
+/// Applies one drained micro-batch of events: lifecycle bookkeeping first,
+/// then the pending segments of every touched session in batched waves
+/// (wave `k` scores the `k`-th queued segment of each touched trip, so
+/// per-trip order is preserved while the model work is matrix-matrix).
+fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event>) {
+    let now = Instant::now();
+    let vocab = ctx.model.vocab() as u32;
+    let mut touched: Vec<TripId> = Vec::new();
+    let mut ended: Vec<TripId> = Vec::new();
+
+    for ev in batch.drain(..) {
+        match ev {
+            Event::TripStart { id, source, dest, time_slot } => {
+                if store.contains(id) {
+                    FleetStats::bump(&ctx.stats.rejected);
+                    continue;
+                }
+                match ctx.model.start_state(source, dest, time_slot) {
+                    Ok(state) => {
+                        FleetStats::bump(&ctx.stats.trips_started);
+                        FleetStats::bump(&ctx.stats.active_sessions);
+                        if let Some((victim, session)) = store.insert(id, Session::new(state, now))
+                        {
+                            FleetStats::bump(&ctx.stats.evictions_lru);
+                            ctx.finish(victim, session, Completion::EvictedLru);
+                        }
+                    }
+                    Err(_) => FleetStats::bump(&ctx.stats.rejected),
+                }
+            }
+            Event::Segment { id, seg } => {
+                if seg >= vocab {
+                    FleetStats::bump(&ctx.stats.rejected);
+                    continue;
+                }
+                match store.get_mut(id) {
+                    Some(session) if !session.ending => {
+                        if session.pending.is_empty() {
+                            touched.push(id);
+                        }
+                        session.pending.push_back(seg);
+                        session.last_touch = now;
+                    }
+                    _ => FleetStats::bump(&ctx.stats.rejected),
+                }
+            }
+            Event::TripEnd { id } => match store.get_mut(id) {
+                Some(session) if !session.ending => {
+                    session.ending = true;
+                    session.last_touch = now;
+                    ended.push(id);
+                }
+                _ => FleetStats::bump(&ctx.stats.rejected),
+            },
+        }
+    }
+
+    // Batched waves over the pending segments: take each touched
+    // session's state and queue out of the store once, run every wave on
+    // the local list (wave `k` = the `k`-th queued segment of each trip),
+    // then write back — the per-event cost is one queue pop, not repeated
+    // map lookups.
+    //
+    // A touched session can have disappeared only through LRU eviction
+    // above; its queued segments die with it.
+    let mut work: Vec<(TripId, ScorerState, std::collections::VecDeque<u32>)> = touched
+        .iter()
+        .filter_map(|&id| {
+            let session = store.get_mut(id)?;
+            Some((id, std::mem::take(&mut session.state), std::mem::take(&mut session.pending)))
+        })
+        .collect();
+    let mut wave_segs: Vec<u32> = Vec::with_capacity(work.len());
+    loop {
+        let mut wave: Vec<&mut ScorerState> = Vec::with_capacity(work.len());
+        wave_segs.clear();
+        for (_, state, pending) in work.iter_mut() {
+            if let Some(seg) = pending.pop_front() {
+                wave_segs.push(seg);
+                wave.push(state);
+            }
+        }
+        if wave.is_empty() {
+            break;
+        }
+        ctx.model.push_batch(ctx.cache.as_deref(), &mut wave, &wave_segs);
+        FleetStats::bump(&ctx.stats.batches);
+        FleetStats::add(&ctx.stats.segments_scored, wave.len() as u64);
+        for state in &wave {
+            if state.trace().last().is_some_and(|t| t.nll == OFF_GRAPH_NLL) {
+                FleetStats::bump(&ctx.stats.off_graph_hits);
+            }
+        }
+    }
+    for (id, state, pending) in work {
+        if let Some(session) = store.get_mut(id) {
+            session.state = state;
+            session.pending = pending;
+        }
+    }
+
+    for id in ended {
+        if let Some(session) = store.remove(id) {
+            ctx.finish(id, session, Completion::Ended);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Fleet-wide counters, updated lock-free by the shard workers and readable
+//! at any time through [`FleetStats::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Live counters shared by every shard worker.
+///
+/// All counters are monotonically increasing except `active_sessions`,
+/// which tracks the current number of live trips.
+#[derive(Debug)]
+pub struct FleetStats {
+    started_at: Instant,
+    pub(crate) events_ingested: AtomicU64,
+    pub(crate) segments_scored: AtomicU64,
+    pub(crate) trips_started: AtomicU64,
+    pub(crate) trips_completed: AtomicU64,
+    pub(crate) evictions_ttl: AtomicU64,
+    pub(crate) evictions_lru: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) off_graph_hits: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) active_sessions: AtomicU64,
+}
+
+impl FleetStats {
+    pub(crate) fn new() -> Self {
+        FleetStats {
+            started_at: Instant::now(),
+            events_ingested: AtomicU64::new(0),
+            segments_scored: AtomicU64::new(0),
+            trips_started: AtomicU64::new(0),
+            trips_completed: AtomicU64::new(0),
+            evictions_ttl: AtomicU64::new(0),
+            evictions_lru: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            off_graph_hits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            active_sessions: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let segments_scored = self.segments_scored.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let elapsed = self.started_at.elapsed().as_secs_f64();
+        FleetSnapshot {
+            events_ingested: self.events_ingested.load(Ordering::Relaxed),
+            segments_scored,
+            trips_started: self.trips_started.load(Ordering::Relaxed),
+            trips_completed: self.trips_completed.load(Ordering::Relaxed),
+            evictions_ttl: self.evictions_ttl.load(Ordering::Relaxed),
+            evictions_lru: self.evictions_lru.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            off_graph_hits: self.off_graph_hits.load(Ordering::Relaxed),
+            batches,
+            active_sessions: self.active_sessions.load(Ordering::Relaxed),
+            uptime_secs: elapsed,
+            events_per_sec: if elapsed > 0.0 {
+                self.events_ingested.load(Ordering::Relaxed) as f64 / elapsed
+            } else {
+                0.0
+            },
+            mean_batch_size: if batches > 0 {
+                segments_scored as f64 / batches as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Point-in-time view of the fleet counters.
+#[derive(Clone, Debug)]
+pub struct FleetSnapshot {
+    /// Events accepted by `submit`/`try_submit`.
+    pub events_ingested: u64,
+    /// Segment events actually scored by a model step.
+    pub segments_scored: u64,
+    pub trips_started: u64,
+    /// Trips that left through a `TripEnd` event.
+    pub trips_completed: u64,
+    /// Sessions evicted for idling past the TTL.
+    pub evictions_ttl: u64,
+    /// Sessions evicted by the per-shard LRU cap.
+    pub evictions_lru: u64,
+    /// Events dropped as invalid (unknown trip, duplicate start, bad
+    /// segment or SD pair).
+    pub rejected: u64,
+    /// Scored segments that were not successors of the previous segment.
+    pub off_graph_hits: u64,
+    /// Micro-batched model steps executed.
+    pub batches: u64,
+    /// Currently live sessions across all shards.
+    pub active_sessions: u64,
+    pub uptime_secs: f64,
+    /// Ingested events per second of engine uptime.
+    pub events_per_sec: f64,
+    /// Average scored segments per micro-batch.
+    pub mean_batch_size: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_rates() {
+        let stats = FleetStats::new();
+        FleetStats::add(&stats.segments_scored, 100);
+        FleetStats::add(&stats.batches, 4);
+        FleetStats::bump(&stats.events_ingested);
+        let snap = stats.snapshot();
+        assert_eq!(snap.segments_scored, 100);
+        assert_eq!(snap.batches, 4);
+        assert!((snap.mean_batch_size - 25.0).abs() < 1e-12);
+        assert!(snap.uptime_secs >= 0.0);
+    }
+}

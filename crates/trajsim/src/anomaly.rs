@@ -189,7 +189,12 @@ mod tests {
     fn setup() -> (RoadNetwork, RoadPreference, StdRng) {
         let mut rng = StdRng::seed_from_u64(40);
         let net = generate_grid_city(
-            &GridCityConfig { width: 8, height: 8, missing_edge_prob: 0.0, ..GridCityConfig::tiny() },
+            &GridCityConfig {
+                width: 8,
+                height: 8,
+                missing_edge_prob: 0.0,
+                ..GridCityConfig::tiny()
+            },
             &mut rng,
         );
         let pref = RoadPreference::generate(&net, &PreferenceConfig::default(), &mut rng);

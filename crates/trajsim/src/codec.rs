@@ -138,10 +138,7 @@ mod tests {
     fn bad_magic_detected() {
         let mut raw = datasets_to_bytes(&CityDatasets::default()).to_vec();
         raw[2] = b'!';
-        assert!(matches!(
-            datasets_from_bytes(Bytes::from(raw)),
-            Err(DataCodecError::BadMagic)
-        ));
+        assert!(matches!(datasets_from_bytes(Bytes::from(raw)), Err(DataCodecError::BadMagic)));
     }
 
     #[test]

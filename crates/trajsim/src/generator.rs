@@ -92,7 +92,8 @@ pub fn generate_city(cfg: &CityConfig) -> City {
     let net = generate_grid_city(&cfg.grid, &mut rng);
     let pref = RoadPreference::generate(&net, &cfg.pref, &mut rng);
 
-    let candidate_pairs = sample_candidate_pairs(&net, &pref, cfg.num_candidate_pairs, &cfg.sd, &mut rng);
+    let candidate_pairs =
+        sample_candidate_pairs(&net, &pref, cfg.num_candidate_pairs, &cfg.sd, &mut rng);
     assert!(
         !candidate_pairs.is_empty(),
         "no candidate SD pairs found; relax SdConfig::min_segments or grow the grid"
@@ -191,7 +192,9 @@ mod tests {
     fn all_trajectories_are_valid_walks() {
         let city = generate_city(&CityConfig::test_scale(8));
         let d = &city.data;
-        for t in d.train.iter().chain(&d.test_id).chain(&d.test_ood).chain(&d.detour).chain(&d.switch) {
+        for t in
+            d.train.iter().chain(&d.test_id).chain(&d.test_ood).chain(&d.detour).chain(&d.switch)
+        {
             assert!(city.net.is_connected_path(&t.segments), "broken walk");
             assert!(!t.segments.is_empty());
             assert!((t.time_slot as usize) < city.pref.num_time_slots());

@@ -67,7 +67,11 @@ pub struct RoadPreference {
 
 impl RoadPreference {
     /// Samples a preference field for `net`.
-    pub fn generate<R: Rng + ?Sized>(net: &RoadNetwork, cfg: &PreferenceConfig, rng: &mut R) -> Self {
+    pub fn generate<R: Rng + ?Sized>(
+        net: &RoadNetwork,
+        cfg: &PreferenceConfig,
+        rng: &mut R,
+    ) -> Self {
         assert!(cfg.num_time_slots >= 1, "need at least one time slot");
         // POI hotspots at random intersections.
         let pois: Vec<Point> = (0..cfg.num_pois)
@@ -86,7 +90,8 @@ impl RoadPreference {
                 .iter()
                 .map(|p| {
                     let d = mid.dist(p);
-                    1.0 + (cfg.poi_boost - 1.0) * (-d * d / (2.0 * cfg.poi_radius * cfg.poi_radius)).exp()
+                    1.0 + (cfg.poi_boost - 1.0)
+                        * (-d * d / (2.0 * cfg.poi_radius * cfg.poi_radius)).exp()
                 })
                 .fold(1.0, f64::max);
             let noise = (cfg.noise_std * gauss(rng)).exp();
@@ -219,10 +224,8 @@ mod tests {
     fn route_cost_monotone_in_gamma_for_popular_segments() {
         let (net, pref) = setup();
         // Pick the most popular segment: cost must fall as gamma rises.
-        let best = net
-            .segment_ids()
-            .max_by(|&a, &b| pref.weight(a).total_cmp(&pref.weight(b)))
-            .unwrap();
+        let best =
+            net.segment_ids().max_by(|&a, &b| pref.weight(a).total_cmp(&pref.weight(b))).unwrap();
         assert!(pref.weight(best) > 1.0, "most popular weight should exceed 1");
         let c0 = pref.route_cost(&net, best, 0, 0.0);
         let c1 = pref.route_cost(&net, best, 0, 1.0);
@@ -232,10 +235,7 @@ mod tests {
     #[test]
     fn relative_popularity_normalised() {
         let (net, pref) = setup();
-        let max = net
-            .segment_ids()
-            .map(|s| pref.relative_popularity(s))
-            .fold(f64::MIN, f64::max);
+        let max = net.segment_ids().map(|s| pref.relative_popularity(s)).fold(f64::MIN, f64::max);
         assert!((max - 1.0).abs() < 1e-12);
         for s in net.segment_ids() {
             let p = pref.relative_popularity(s);

@@ -45,9 +45,8 @@ pub fn choose_route<R: Rng + ?Sized>(
 ) -> Option<Vec<SegmentId>> {
     // One noise draw per segment per trip: the driver's idiosyncratic view
     // of the network on this day.
-    let noise: Vec<f64> = (0..net.num_segments())
-        .map(|_| (cfg.utility_noise * gauss(rng)).exp())
-        .collect();
+    let noise: Vec<f64> =
+        (0..net.num_segments()).map(|_| (cfg.utility_noise * gauss(rng)).exp()).collect();
     let result = segment_shortest_path(net, source, dest, |s| {
         Some(pref.route_cost(net, s, slot, cfg.gamma) * noise[s.index()])
     })?;

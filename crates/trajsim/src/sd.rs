@@ -46,7 +46,8 @@ pub fn sample_candidate_pairs<R: Rng + ?Sized>(
     cfg: &SdConfig,
     rng: &mut R,
 ) -> Vec<SdPair> {
-    let weights: Vec<f64> = net.segment_ids().map(|s| pref.weight(s).powf(cfg.popularity_bias)).collect();
+    let weights: Vec<f64> =
+        net.segment_ids().map(|s| pref.weight(s).powf(cfg.popularity_bias)).collect();
     sample_pairs(net, count, cfg, rng, |rng| weighted_draw(&weights, rng))
 }
 
@@ -166,10 +167,7 @@ mod tests {
         let (net, pref) = setup();
         let mut rng = StdRng::seed_from_u64(3);
         let mean_weight = |pairs: &[SdPair]| -> f64 {
-            pairs
-                .iter()
-                .flat_map(|p| [pref.weight(p.source), pref.weight(p.dest)])
-                .sum::<f64>()
+            pairs.iter().flat_map(|p| [pref.weight(p.source), pref.weight(p.dest)]).sum::<f64>()
                 / (2 * pairs.len()) as f64
         };
         let cfg = SdConfig { min_segments: 5, ..Default::default() };

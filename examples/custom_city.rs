@@ -19,7 +19,16 @@ use tad_trajsim::Trajectory;
 fn fig1_network() -> (RoadNetwork, Vec<NodeId>) {
     let mut net = RoadNetwork::new();
     // Index:        0=m     1=p1    2=p2    3=p3    4=p4    5=p5    6=p6    7=p7
-    let coords = [(-1.0, 1.0), (0.0, 2.0), (0.0, 1.0), (1.0, 1.0), (0.0, 0.0), (1.0, 0.0), (0.0, -1.0), (1.0, -1.0)];
+    let coords = [
+        (-1.0, 1.0),
+        (0.0, 2.0),
+        (0.0, 1.0),
+        (1.0, 1.0),
+        (0.0, 0.0),
+        (1.0, 0.0),
+        (0.0, -1.0),
+        (1.0, -1.0),
+    ];
     let nodes: Vec<NodeId> =
         coords.iter().map(|&(x, y)| net.add_node(Point::new(x * 300.0, y * 300.0))).collect();
     let mut link = |a: usize, b: usize, class: RoadClass| {

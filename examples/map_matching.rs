@@ -14,8 +14,7 @@ use tad_trajsim::{generate_city, CityConfig, Label, Trajectory};
 
 fn main() {
     let city = generate_city(&CityConfig::test_scale(55));
-    let mut cfg = CausalTadConfig::default();
-    cfg.epochs = 6;
+    let cfg = CausalTadConfig { epochs: 6, ..Default::default() };
     let mut model = CausalTad::new(&city.net, cfg);
     println!("training CausalTAD ...");
     model.fit(&city.data.train);
@@ -25,10 +24,7 @@ fn main() {
     let match_cfg = MatchConfig::default();
     let mut rng = StdRng::seed_from_u64(99);
 
-    for (label, trip) in [
-        ("normal", &city.data.test_id[0]),
-        ("detour", &city.data.detour[0]),
-    ] {
+    for (label, trip) in [("normal", &city.data.test_id[0]), ("detour", &city.data.detour[0])] {
         // 1. A vehicle drives the route; we observe noisy GPS pings.
         let gps = synthesize_gps(&city.net, &trip.segments, 40.0, 12.0, &mut rng);
         println!("\n--- {label} trip: {} true segments, {} GPS points ---", trip.len(), gps.len());
@@ -45,10 +41,13 @@ fn main() {
         );
 
         // 3. Score the *matched* walk, as a production pipeline would.
-        let matched_trip = Trajectory { segments: matched, time_slot: trip.time_slot, label: Label::Normal };
+        let matched_trip =
+            Trajectory { segments: matched, time_slot: trip.time_slot, label: Label::Normal };
         let score_matched = model.score(&matched_trip);
         let score_true = model.score(trip);
-        println!("  score(matched walk) = {score_matched:8.2}   score(true route) = {score_true:8.2}");
+        println!(
+            "  score(matched walk) = {score_matched:8.2}   score(true route) = {score_true:8.2}"
+        );
     }
 
     println!("\nGPS noise barely moves the score: matching recovers the walk,");

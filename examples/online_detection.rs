@@ -11,7 +11,12 @@ use tad_trajsim::{generate_city, CityConfig, Trajectory};
 fn stream(model: &CausalTad, trip: &Trajectory, label: &str, alarm: f64) {
     let sd = trip.sd_pair();
     let mut scorer = model.online(sd.source.0, sd.dest.0, trip.time_slot);
-    println!("\n--- streaming {label} ({} segments, SD {:?} -> {:?}) ---", trip.len(), sd.source, sd.dest);
+    println!(
+        "\n--- streaming {label} ({} segments, SD {:?} -> {:?}) ---",
+        trip.len(),
+        sd.source,
+        sd.dest
+    );
     let mut alarmed = false;
     for (i, &seg) in trip.segments.iter().enumerate() {
         let score = scorer.push(seg.0);
@@ -34,8 +39,7 @@ fn stream(model: &CausalTad, trip: &Trajectory, label: &str, alarm: f64) {
 
 fn main() {
     let city = generate_city(&CityConfig::test_scale(21));
-    let mut cfg = CausalTadConfig::default();
-    cfg.epochs = 8;
+    let cfg = CausalTadConfig { epochs: 8, ..Default::default() };
     let mut model = CausalTad::new(&city.net, cfg);
     println!("training on {} trajectories ...", city.data.train.len());
     model.fit(&city.data.train);

@@ -21,8 +21,7 @@ fn main() {
     );
 
     // 2. Train CausalTAD (TG-VAE + RP-VAE, jointly; Eq. 9 of the paper).
-    let mut cfg = CausalTadConfig::default();
-    cfg.epochs = 8;
+    let cfg = CausalTadConfig { epochs: 8, ..Default::default() };
     let mut model = CausalTad::new(&city.net, cfg);
     println!("training CausalTAD for {} epochs ...", model.config().epochs);
     let report = model.fit(&city.data.train);
@@ -50,5 +49,9 @@ fn main() {
         scores.push(model.score(t));
         labels.push(true);
     }
-    println!("\nID & Detour:  ROC-AUC {:.4}  PR-AUC {:.4}", roc_auc(&scores, &labels), pr_auc(&scores, &labels));
+    println!(
+        "\nID & Detour:  ROC-AUC {:.4}  PR-AUC {:.4}",
+        roc_auc(&scores, &labels),
+        pr_auc(&scores, &labels)
+    );
 }

@@ -12,13 +12,18 @@
 //!   detector).
 //! * [`baselines`] — the seven baselines from the paper.
 //! * [`eval`] — metrics, experiment harness, standard synthetic cities.
+//! * [`serve`] — the concurrent fleet-scoring engine multiplexing
+//!   thousands of live online-scoring sessions with micro-batched model
+//!   stepping.
 //!
-//! See `README.md` for a tour and `examples/quickstart.rs` for a minimal
-//! end-to-end run.
+//! See `README.md` for a tour, `examples/quickstart.rs` for a minimal
+//! end-to-end run, and `examples/fleet_streaming.rs` for the serving
+//! layer.
 
 pub use causaltad as core;
 pub use tad_autodiff as autodiff;
 pub use tad_baselines as baselines;
 pub use tad_eval as eval;
 pub use tad_roadnet as roadnet;
+pub use tad_serve as serve;
 pub use tad_trajsim as trajsim;

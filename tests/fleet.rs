@@ -1,0 +1,81 @@
+//! Umbrella-level integration: the fleet engine re-exported through
+//! `causaltad_suite::serve` scores interleaved trips identically to the
+//! sequential `OnlineScorer`, and the fallible `try_online` API rejects
+//! bad requests without panicking.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use causaltad_suite::core::{CausalTad, CausalTadConfig, OnlineError};
+use causaltad_suite::serve::{Completion, Event, FleetConfig, FleetEngine};
+use causaltad_suite::trajsim::{generate_city, CityConfig, Trajectory};
+
+#[test]
+fn umbrella_fleet_matches_sequential_and_rejects_bad_requests() {
+    let city = generate_city(&CityConfig::test_scale(321));
+    let mut cfg = CausalTadConfig::test_scale();
+    cfg.epochs = 1;
+    let mut model = CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    let model = Arc::new(model);
+
+    // try_online satellite: bad requests come back as errors, not panics.
+    let vocab = model.vocab() as u32;
+    assert!(matches!(
+        model.try_online(vocab + 1, 0, 0),
+        Err(OnlineError::SegmentOutOfRange { .. })
+    ));
+    assert!(model.try_online(0, 1, 0).is_ok());
+
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(12).collect();
+    let outcomes: Arc<Mutex<HashMap<u64, (f64, Completion)>>> = Arc::default();
+    let sink = Arc::clone(&outcomes);
+    let engine = FleetEngine::builder(Arc::clone(&model))
+        .config(FleetConfig { num_shards: 2, ..FleetConfig::default() })
+        .on_complete(move |o| {
+            sink.lock().unwrap().insert(o.id, (o.score, o.completion));
+        })
+        .build()
+        .expect("trained model");
+
+    for (id, t) in trips.iter().enumerate() {
+        let sd = t.sd_pair();
+        engine
+            .submit(Event::TripStart {
+                id: id as u64,
+                source: sd.source.0,
+                dest: sd.dest.0,
+                time_slot: t.time_slot,
+            })
+            .unwrap();
+    }
+    let longest = trips.iter().map(|t| t.len()).max().unwrap();
+    for step in 0..longest {
+        for (id, t) in trips.iter().enumerate() {
+            if let Some(seg) = t.segments.get(step) {
+                engine.submit(Event::Segment { id: id as u64, seg: seg.0 }).unwrap();
+            }
+            if step + 1 == t.len() {
+                engine.submit(Event::TripEnd { id: id as u64 }).unwrap();
+            }
+        }
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.trips_completed, trips.len() as u64);
+
+    let outcomes = outcomes.lock().unwrap();
+    for (id, t) in trips.iter().enumerate() {
+        let sd = t.sd_pair();
+        let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+        let mut reference = f64::NAN;
+        for &seg in &t.segments {
+            reference = scorer.push(seg.0);
+        }
+        let (fleet_score, completion) = outcomes[&(id as u64)];
+        assert_eq!(completion, Completion::Ended);
+        assert!(
+            (fleet_score - reference).abs() < 1e-6,
+            "trip {id}: fleet {fleet_score} vs sequential {reference}"
+        );
+    }
+}

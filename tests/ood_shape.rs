@@ -82,8 +82,5 @@ fn debiasing_term_helps_ood_detection() {
         ood_mid > ood_zero,
         "moderate lambda must help OOD: {ood_mid:.3} vs {ood_zero:.3} at zero"
     );
-    assert!(
-        ood_huge < ood_mid,
-        "overblown lambda must hurt: {ood_huge:.3} vs {ood_mid:.3}"
-    );
+    assert!(ood_huge < ood_mid, "overblown lambda must hurt: {ood_huge:.3} vs {ood_mid:.3}");
 }

@@ -16,8 +16,7 @@ fn quick_city(seed: u64) -> City {
 }
 
 fn quick_model(city: &City, epochs: usize) -> CausalTad {
-    let mut cfg = CausalTadConfig::default();
-    cfg.epochs = epochs;
+    let cfg = CausalTadConfig { epochs, ..Default::default() };
     let mut model = CausalTad::new(&city.net, cfg);
     let report = model.fit(&city.data.train);
     assert!(!report.diverged, "training diverged: {:?}", report.epoch_losses);
