@@ -1,23 +1,120 @@
-//! Binary persistence for trained CausalTAD models.
+//! Binary persistence for trained CausalTAD models and live scorer
+//! sessions.
 //!
-//! Serialises the configuration, every parameter tensor, and the
-//! precomputed scaling table, so a model trained offline can be shipped to
-//! an online-detection service. The road network is *not* embedded — the
-//! caller supplies it at load time (it defines the successor sets), and the
-//! codec verifies the vocabulary matches.
+//! Two codecs live here:
 //!
-//! Layout (little-endian): magic `TADM`, version u16, config block,
-//! scaling-table block (optional), then the [`ParamStore`] blob.
+//! * **Model codec** ([`model_to_bytes`] / [`model_from_bytes`]) —
+//!   serialises the configuration, every parameter tensor, and the
+//!   precomputed scaling table, so a model trained offline can be shipped
+//!   to an online-detection service. The road network is *not* embedded —
+//!   the caller supplies it at load time (it defines the successor sets),
+//!   and the codec verifies the vocabulary matches. Layout
+//!   (little-endian): magic `TADM`, version u16, config block,
+//!   scaling-table block (optional), then the [`ParamStore`] blob.
+//! * **Session codec** ([`state_to_bytes`] / [`state_from_bytes`]) —
+//!   serialises one in-flight [`ScorerState`] so a serving layer can
+//!   persist live sessions across a restart (see `tad-serve`'s fleet
+//!   snapshots, which embed these blobs). The blob is a standard
+//!   checksummed envelope ([`seal_envelope`]/[`open_envelope`], shared
+//!   with the fleet-snapshot codec): magic `TADC`, version u16, u64
+//!   payload length, payload (hidden row, score accumulators, last
+//!   segment, time slot, per-segment trace), then a FNV-1a 64 checksum of
+//!   the payload. Decoding hostile bytes returns a typed
+//!   [`StateCodecError`]; no input can panic the decoder.
+//!
+//! [`ParamStore`]: tad_autodiff::ParamStore
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tad_roadnet::RoadNetwork;
 
 use crate::config::CausalTadConfig;
 use crate::model::CausalTad;
+use crate::online::{ScorerState, SegmentTrace};
 use crate::scaling::ScalingTable;
 
 const MAGIC: &[u8; 4] = b"TADM";
 const VERSION: u16 = 1;
+
+const STATE_MAGIC: &[u8; 4] = b"TADC";
+const STATE_VERSION: u16 = 1;
+
+/// FNV-1a 64-bit checksum used by the session and fleet-snapshot codecs.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Failures shared by every checksummed-envelope codec (the session codec
+/// here and `tad-serve`'s fleet-snapshot codec). Each codec maps these
+/// into its own error type so callers see one taxonomy per format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended before the named field could be read.
+    Truncated(&'static str),
+    /// The payload checksum did not match (bit rot or tampering).
+    ChecksumMismatch,
+    /// Bytes followed the checksum.
+    TrailingBytes,
+}
+
+/// Wraps `payload` in the workspace's standard binary envelope
+/// (little-endian): `magic`, `version` u16, u64 payload length, the
+/// payload, then a FNV-1a 64 checksum of the payload.
+pub fn seal_envelope(magic: &[u8; 4], version: u16, payload: Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(payload.len() + 22);
+    buf.put_slice(magic);
+    buf.put_u16_le(version);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(&payload);
+    buf.put_u64_le(checksum64(&payload));
+    buf.freeze()
+}
+
+/// Opens an envelope written by [`seal_envelope`], returning the verified
+/// payload. The whole input must be one envelope (trailing bytes are
+/// rejected); all length arithmetic is checked, so no input can panic —
+/// the guarantee every codec built on this inherits.
+pub fn open_envelope(
+    magic: &[u8; 4],
+    version: u16,
+    mut bytes: Bytes,
+) -> Result<Bytes, EnvelopeError> {
+    if bytes.remaining() < 14 {
+        return Err(EnvelopeError::Truncated("header"));
+    }
+    let mut found = [0u8; 4];
+    bytes.copy_to_slice(&mut found);
+    if &found != magic {
+        return Err(EnvelopeError::BadMagic);
+    }
+    let found_version = bytes.get_u16_le();
+    if found_version != version {
+        return Err(EnvelopeError::BadVersion(found_version));
+    }
+    let plen = bytes.get_u64_le();
+    // Checked arithmetic: a crafted plen near u64::MAX must fail the
+    // guard, not wrap it.
+    if plen.checked_add(8).is_none_or(|need| (bytes.remaining() as u64) < need) {
+        return Err(EnvelopeError::Truncated("payload"));
+    }
+    let payload = bytes.copy_to_bytes(plen as usize);
+    let stored = bytes.get_u64_le();
+    if bytes.remaining() != 0 {
+        return Err(EnvelopeError::TrailingBytes);
+    }
+    if checksum64(payload.as_ref()) != stored {
+        return Err(EnvelopeError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
 
 /// Errors produced when decoding a serialized model.
 #[derive(Debug, PartialEq, Eq)]
@@ -160,6 +257,136 @@ pub fn model_from_bytes(net: &RoadNetwork, mut bytes: Bytes) -> Result<CausalTad
     Ok(model)
 }
 
+/// Errors produced when decoding a serialized [`ScorerState`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateCodecError {
+    /// Magic bytes did not match `TADC`.
+    BadMagic,
+    /// Unsupported session-format version.
+    BadVersion(u16),
+    /// Input ended before the named field could be read.
+    Truncated(&'static str),
+    /// The payload checksum did not match (bit rot or tampering).
+    ChecksumMismatch,
+    /// The payload parsed but violated a structural invariant.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for StateCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateCodecError::BadMagic => write!(f, "bad session magic bytes"),
+            StateCodecError::BadVersion(v) => write!(f, "unsupported session version {v}"),
+            StateCodecError::Truncated(what) => write!(f, "truncated session input at {what}"),
+            StateCodecError::ChecksumMismatch => write!(f, "session payload checksum mismatch"),
+            StateCodecError::Malformed(what) => write!(f, "malformed session payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StateCodecError {}
+
+impl From<EnvelopeError> for StateCodecError {
+    fn from(e: EnvelopeError) -> Self {
+        match e {
+            EnvelopeError::BadMagic => StateCodecError::BadMagic,
+            EnvelopeError::BadVersion(v) => StateCodecError::BadVersion(v),
+            EnvelopeError::Truncated(what) => StateCodecError::Truncated(what),
+            EnvelopeError::ChecksumMismatch => StateCodecError::ChecksumMismatch,
+            EnvelopeError::TrailingBytes => {
+                StateCodecError::Malformed("trailing bytes after checksum")
+            }
+        }
+    }
+}
+
+/// Serialises one live [`ScorerState`]. The blob is self-describing
+/// (magic, version, length-prefixed payload, checksum) so it can be stored
+/// standalone or embedded length-prefixed inside a larger snapshot.
+pub fn state_to_bytes(state: &ScorerState) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64 + state.h.len() * 4 + state.trace.len() * 20);
+    payload.put_u32_le(state.h.cols() as u32);
+    for &x in state.h.data() {
+        payload.put_f32_le(x);
+    }
+    payload.put_f64_le(state.base_nll);
+    payload.put_f64_le(state.traj_nll);
+    payload.put_f64_le(state.scale_log_sum);
+    match state.last {
+        Some(seg) => {
+            payload.put_u8(1);
+            payload.put_u32_le(seg);
+        }
+        None => payload.put_u8(0),
+    }
+    payload.put_u8(state.time_slot);
+    payload.put_u32_le(state.trace.len() as u32);
+    for step in &state.trace {
+        payload.put_u32_le(step.segment);
+        payload.put_f64_le(step.nll);
+        payload.put_f64_le(step.log_scale);
+    }
+    seal_envelope(STATE_MAGIC, STATE_VERSION, payload.freeze())
+}
+
+/// Restores a state serialized by [`state_to_bytes`]. The whole input must
+/// be one session blob (trailing bytes are rejected); decoding never
+/// panics, whatever the input.
+pub fn state_from_bytes(bytes: Bytes) -> Result<ScorerState, StateCodecError> {
+    let mut payload = open_envelope(STATE_MAGIC, STATE_VERSION, bytes)?;
+    let state = parse_state_payload(&mut payload)?;
+    if payload.remaining() != 0 {
+        return Err(StateCodecError::Malformed("trailing payload bytes"));
+    }
+    Ok(state)
+}
+
+fn parse_state_payload(payload: &mut Bytes) -> Result<ScorerState, StateCodecError> {
+    if payload.remaining() < 4 {
+        return Err(StateCodecError::Truncated("hidden width"));
+    }
+    let hidden_cols = payload.get_u32_le() as usize;
+    if hidden_cols.checked_mul(4).is_none_or(|need| payload.remaining() < need) {
+        return Err(StateCodecError::Truncated("hidden row"));
+    }
+    let mut hidden = Vec::with_capacity(hidden_cols);
+    for _ in 0..hidden_cols {
+        hidden.push(payload.get_f32_le());
+    }
+    if payload.remaining() < 8 * 3 + 1 {
+        return Err(StateCodecError::Truncated("accumulators"));
+    }
+    let base_nll = payload.get_f64_le();
+    let traj_nll = payload.get_f64_le();
+    let scale_log_sum = payload.get_f64_le();
+    let last = match payload.get_u8() {
+        0 => None,
+        1 => {
+            if payload.remaining() < 4 {
+                return Err(StateCodecError::Truncated("last segment"));
+            }
+            Some(payload.get_u32_le())
+        }
+        _ => return Err(StateCodecError::Malformed("last-segment flag")),
+    };
+    if payload.remaining() < 1 + 4 {
+        return Err(StateCodecError::Truncated("trace length"));
+    }
+    let time_slot = payload.get_u8();
+    let trace_len = payload.get_u32_le() as usize;
+    if trace_len.checked_mul(20).is_none_or(|need| payload.remaining() < need) {
+        return Err(StateCodecError::Truncated("trace entries"));
+    }
+    let mut trace = Vec::with_capacity(trace_len);
+    for _ in 0..trace_len {
+        let segment = payload.get_u32_le();
+        let nll = payload.get_f64_le();
+        let log_scale = payload.get_f64_le();
+        trace.push(SegmentTrace { segment, nll, log_scale });
+    }
+    Ok(ScorerState::from_parts(hidden, base_nll, traj_nll, scale_log_sum, last, time_slot, trace))
+}
+
 fn flag_bits(cfg: &CausalTadConfig) -> u8 {
     (cfg.time_factorised_scaling as u8)
         | ((cfg.disable_sd_decoder as u8) << 1)
@@ -181,19 +408,25 @@ mod tests {
     use super::*;
     use tad_trajsim::{generate_city, CityConfig};
 
-    fn trained() -> (tad_trajsim::City, CausalTad) {
-        let city = generate_city(&CityConfig::test_scale(700));
-        let mut cfg = CausalTadConfig::test_scale();
-        cfg.epochs = 2;
-        let mut model = CausalTad::new(&city.net, cfg);
-        model.fit(&city.data.train);
-        (city, model)
+    /// One trained model shared by every test in this module (training in
+    /// debug mode is expensive).
+    fn trained() -> &'static (tad_trajsim::City, CausalTad) {
+        static SHARED: std::sync::OnceLock<(tad_trajsim::City, CausalTad)> =
+            std::sync::OnceLock::new();
+        SHARED.get_or_init(|| {
+            let city = generate_city(&CityConfig::test_scale(700));
+            let mut cfg = CausalTadConfig::test_scale();
+            cfg.epochs = 2;
+            let mut model = CausalTad::new(&city.net, cfg);
+            model.fit(&city.data.train);
+            (city, model)
+        })
     }
 
     #[test]
     fn roundtrip_preserves_scores_exactly() {
         let (city, model) = trained();
-        let blob = model_to_bytes(&model);
+        let blob = model_to_bytes(model);
         let restored = model_from_bytes(&city.net, blob).expect("decode");
         for t in city.data.test_id.iter().take(5).chain(city.data.detour.iter().take(5)) {
             assert_eq!(model.score(t), restored.score(t));
@@ -204,7 +437,7 @@ mod tests {
     fn vocab_mismatch_rejected() {
         let (_, model) = trained();
         let other = generate_city(&CityConfig::test_scale(701));
-        let blob = model_to_bytes(&model);
+        let blob = model_to_bytes(model);
         match model_from_bytes(&other.net, blob) {
             Err(ModelCodecError::VocabMismatch { .. }) => {}
             other => panic!("expected VocabMismatch, got {other:?}"),
@@ -214,7 +447,7 @@ mod tests {
     #[test]
     fn truncated_blob_rejected() {
         let (city, model) = trained();
-        let blob = model_to_bytes(&model);
+        let blob = model_to_bytes(model);
         let cut = blob.slice(0..blob.len() / 2);
         assert!(model_from_bytes(&city.net, cut).is_err());
     }
@@ -222,12 +455,113 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let (city, model) = trained();
-        let mut raw = model_to_bytes(&model).to_vec();
+        let mut raw = model_to_bytes(model).to_vec();
         raw[0] = b'Z';
         assert!(matches!(
             model_from_bytes(&city.net, Bytes::from(raw)),
             Err(ModelCodecError::BadMagic)
         ));
+    }
+
+    fn live_state(model: &CausalTad, t: &tad_trajsim::Trajectory, upto: usize) -> ScorerState {
+        let sd = t.sd_pair();
+        let mut state =
+            model.start_state(sd.source.0, sd.dest.0, t.time_slot).expect("valid request");
+        for &seg in &t.segments[..upto] {
+            model.push_state(&mut state, seg.0);
+        }
+        state
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact_and_resumable() {
+        let (city, model) = trained();
+        let t = &city.data.test_id[0];
+        let mid = t.len() / 2;
+        let state = live_state(model, t, mid);
+        let blob = state_to_bytes(&state);
+        let mut restored = state_from_bytes(blob.clone()).expect("decode");
+        assert_eq!(restored, state);
+        // Canonical encoding: re-encoding the decoded state is byte-for-byte
+        // identical.
+        assert_eq!(state_to_bytes(&restored).to_vec(), blob.to_vec());
+        // Resuming the restored state matches resuming the original exactly.
+        let mut original = state;
+        for &seg in &t.segments[mid..] {
+            let a = model.push_state(&mut original, seg.0);
+            let b = model.push_state(&mut restored, seg.0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn default_state_roundtrips() {
+        let state = ScorerState::default();
+        let restored = state_from_bytes(state_to_bytes(&state)).expect("decode");
+        assert_eq!(restored, state);
+        assert_eq!(restored.hidden_width(), 0);
+    }
+
+    #[test]
+    fn state_decode_rejects_corruption_without_panicking() {
+        let (city, model) = trained();
+        let state = live_state(model, &city.data.test_id[0], 3);
+        let blob = state_to_bytes(&state).to_vec();
+
+        // Wrong magic.
+        let mut raw = blob.clone();
+        raw[0] ^= 0xFF;
+        assert_eq!(state_from_bytes(Bytes::from(raw)), Err(StateCodecError::BadMagic));
+
+        // Wrong version.
+        let mut raw = blob.clone();
+        raw[4] = 0xEE;
+        assert!(matches!(state_from_bytes(Bytes::from(raw)), Err(StateCodecError::BadVersion(_))));
+
+        // Every truncation point errors instead of panicking.
+        for cut in 0..blob.len() {
+            assert!(state_from_bytes(Bytes::from(blob[..cut].to_vec())).is_err(), "cut={cut}");
+        }
+
+        // Any single-bit flip in the body is caught (magic/version flips are
+        // caught by the header checks above; the rest by the checksum).
+        for byte in 6..blob.len() {
+            let mut raw = blob.clone();
+            raw[byte] ^= 1;
+            assert!(state_from_bytes(Bytes::from(raw)).is_err(), "byte={byte}");
+        }
+
+        // Trailing garbage is rejected.
+        let mut raw = blob.clone();
+        raw.push(0);
+        assert_eq!(
+            state_from_bytes(Bytes::from(raw)),
+            Err(StateCodecError::Malformed("trailing bytes after checksum"))
+        );
+    }
+
+    #[test]
+    fn huge_crafted_state_lengths_error_instead_of_panicking() {
+        // Payload length u64::MAX with almost no bytes behind it: the
+        // checked envelope guard must fail, not wrap.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(STATE_MAGIC);
+        raw.extend_from_slice(&STATE_VERSION.to_le_bytes());
+        raw.extend_from_slice(&u64::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 16]);
+        assert_eq!(state_from_bytes(Bytes::from(raw)), Err(StateCodecError::Truncated("payload")));
+        // A checksummed payload claiming a near-u32::MAX hidden width.
+        let payload = u32::MAX.to_le_bytes().to_vec();
+        let blob = seal_envelope(STATE_MAGIC, STATE_VERSION, Bytes::from(payload));
+        assert_eq!(state_from_bytes(blob), Err(StateCodecError::Truncated("hidden row")));
+    }
+
+    #[test]
+    fn checksum64_is_stable() {
+        // FNV-1a 64 reference values.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(checksum64(b"ab"), checksum64(b"ba"));
     }
 
     #[test]

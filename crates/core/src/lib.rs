@@ -44,7 +44,10 @@ mod scaling;
 mod tgvae;
 mod train;
 
-pub use codec::{model_from_bytes, model_to_bytes, ModelCodecError};
+pub use codec::{
+    checksum64, model_from_bytes, model_to_bytes, open_envelope, seal_envelope, state_from_bytes,
+    state_to_bytes, EnvelopeError, ModelCodecError, StateCodecError,
+};
 pub use config::CausalTadConfig;
 pub use model::CausalTad;
 pub use online::{OnlineError, OnlineScorer, ScorerState, SegmentTrace};

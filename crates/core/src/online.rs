@@ -22,7 +22,7 @@ use crate::model::CausalTad;
 use crate::tgvae::StepCache;
 
 /// Per-segment contribution to the anomaly score (Fig. 4's data).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SegmentTrace {
     /// The road segment.
     pub segment: u32,
@@ -71,8 +71,9 @@ impl std::error::Error for OnlineError {}
 
 /// Owned streaming state of one ongoing trajectory, detached from the
 /// model borrow so a serving layer can store it, snapshot it, and advance
-/// many of them in one batch.
-#[derive(Clone, Debug)]
+/// many of them in one batch. Persist it with
+/// [`crate::state_to_bytes`] / [`crate::state_from_bytes`].
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScorerState {
     /// Decoder hidden state (`1 x hidden`) after consuming all pushed
     /// segments.
@@ -113,6 +114,43 @@ impl AsMut<ScorerState> for ScorerState {
 }
 
 impl ScorerState {
+    /// Reassembles a state from its raw components (the inverse of the
+    /// field-by-field view a persistence layer serialises). The hidden
+    /// vector becomes a `1 x hidden.len()` row. A state built from parts is
+    /// only meaningful for the model whose `start_state`/push calls
+    /// produced those components — nothing is validated here.
+    pub fn from_parts(
+        hidden: Vec<f32>,
+        base_nll: f64,
+        traj_nll: f64,
+        scale_log_sum: f64,
+        last: Option<u32>,
+        time_slot: u8,
+        trace: Vec<SegmentTrace>,
+    ) -> ScorerState {
+        let h = Tensor::from_vec(1, hidden.len(), hidden);
+        ScorerState { h, base_nll, traj_nll, scale_log_sum, last, time_slot, trace }
+    }
+
+    /// Width of the decoder hidden state (0 for the inert
+    /// [`ScorerState::default`] placeholder). A serving layer uses this to
+    /// check a restored state against its model's `hidden_dim` before
+    /// resuming.
+    pub fn hidden_width(&self) -> usize {
+        self.h.cols()
+    }
+
+    /// The decoder hidden vector (row-major, `hidden_width()` floats).
+    pub fn hidden(&self) -> &[f32] {
+        self.h.data()
+    }
+
+    /// Fixed-at-start part of the likelihood NLL (KL term, plus the SD NLL
+    /// when enabled).
+    pub fn base_nll(&self) -> f64 {
+        self.base_nll
+    }
+
     /// Current debiased anomaly score (Eq. 10) under the given λ. Higher =
     /// more anomalous.
     pub fn score(&self, lambda: f64) -> f64 {

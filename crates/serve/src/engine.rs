@@ -6,10 +6,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use causaltad::{CausalTad, StepCache};
 
-use crate::event::{Event, TripOutcome};
+use crate::event::{Event, TripId, TripOutcome};
 use crate::shard::{run_shard, Ingest, ShardCtx};
+use crate::snapshot::{image_to_bytes, FleetImage, SessionRecord, SnapshotError};
 use crate::stats::{FleetSnapshot, FleetStats};
 
 /// Completion callback invoked by shard workers with each finished trip.
@@ -31,8 +33,9 @@ pub struct FleetConfig {
     pub session_ttl: Duration,
     /// Hard cap on live sessions per shard; beyond it the least recently
     /// active trip is evicted ([`crate::Completion::EvictedLru`]). The
-    /// eviction scan is O(sessions), so size the cap above the expected
-    /// steady state — it is a memory guard, not a working-set manager.
+    /// session store keeps an intrusive recency list, so the eviction is
+    /// O(1) — the cap can sit at the working-set size without throughput
+    /// falling off a cliff when it is hit.
     pub max_sessions_per_shard: usize,
     /// Precompute the decoder's per-token input projections
     /// ([`CausalTad::build_step_cache`]) so each batched step skips the
@@ -62,6 +65,14 @@ pub enum ServeError {
     ModelNotReady,
     /// A config field is out of range.
     InvalidConfig(&'static str),
+    /// A session in the resume snapshot does not fit the model (it was
+    /// captured against a different vocabulary or hidden width).
+    SnapshotMismatch {
+        /// The offending session's trip id.
+        trip: TripId,
+        /// Which invariant it violated.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -71,6 +82,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "model has no scaling table; call fit() or precompute_scaling() first")
             }
             ServeError::InvalidConfig(what) => write!(f, "invalid fleet config: {what}"),
+            ServeError::SnapshotMismatch { trip, what } => {
+                write!(f, "snapshot session for trip {trip} does not fit the model: {what}")
+            }
         }
     }
 }
@@ -111,6 +125,7 @@ pub struct FleetEngineBuilder {
     model: Arc<CausalTad>,
     cfg: FleetConfig,
     on_complete: Option<CompletionCallback>,
+    resume: Option<FleetImage>,
 }
 
 impl FleetEngineBuilder {
@@ -128,9 +143,21 @@ impl FleetEngineBuilder {
         self
     }
 
-    /// Validates the config, spawns the shard workers, and starts serving.
+    /// Seeds the engine with the sessions of a [`FleetImage`] (warm
+    /// restart). The image may come from an engine with a different shard
+    /// count — sessions are re-partitioned for this engine's
+    /// `num_shards`. `build()` validates every session against the model
+    /// and delivers the seeds to the shards before any traffic, so scoring
+    /// resumes bit-identically to the captured engine.
+    pub fn resume(mut self, image: FleetImage) -> Self {
+        self.resume = Some(image);
+        self
+    }
+
+    /// Validates the config, spawns the shard workers, seeds any resume
+    /// sessions, and starts serving.
     pub fn build(self) -> Result<FleetEngine, ServeError> {
-        let FleetEngineBuilder { model, cfg, on_complete } = self;
+        let FleetEngineBuilder { model, cfg, on_complete, resume } = self;
         if model.scaling().is_none() {
             return Err(ServeError::ModelNotReady);
         }
@@ -143,6 +170,10 @@ impl FleetEngineBuilder {
         if cfg.max_batch == 0 {
             return Err(ServeError::InvalidConfig("max_batch must be >= 1"));
         }
+        let seeds = match resume {
+            Some(image) => Some(partition_image(&model, image, cfg.num_shards)?),
+            None => None,
+        };
         let cache: Option<Arc<StepCache>> =
             cfg.use_step_cache.then(|| Arc::new(model.build_step_cache()));
         let stats = Arc::new(FleetStats::new());
@@ -164,8 +195,56 @@ impl FleetEngineBuilder {
             senders.push(tx);
             workers.push(handle);
         }
+        if let Some(groups) = seeds {
+            for (shard, group) in groups.into_iter().enumerate() {
+                if !group.is_empty() {
+                    senders[shard].send(Ingest::Restore(group)).expect("worker just spawned");
+                }
+            }
+        }
         Ok(FleetEngine { senders, workers, stats })
     }
+}
+
+/// Validates every snapshot session against `model` and groups them by
+/// target shard, oldest first within each group (the order the shard's
+/// recency list is rebuilt in).
+fn partition_image(
+    model: &CausalTad,
+    image: FleetImage,
+    num_shards: usize,
+) -> Result<Vec<Vec<SessionRecord>>, ServeError> {
+    let hidden = model.config().hidden_dim;
+    let vocab = model.vocab() as u32;
+    let mut groups: Vec<Vec<SessionRecord>> = vec![Vec::new(); num_shards];
+    for rec in image.sessions {
+        let trip = rec.id;
+        if rec.state.hidden_width() != hidden {
+            return Err(ServeError::SnapshotMismatch { trip, what: "hidden width" });
+        }
+        if rec.state.last_segment().is_some_and(|seg| seg >= vocab) {
+            return Err(ServeError::SnapshotMismatch { trip, what: "last segment out of vocab" });
+        }
+        if rec.pending.iter().any(|&seg| seg >= vocab) {
+            return Err(ServeError::SnapshotMismatch {
+                trip,
+                what: "pending segment out of vocab",
+            });
+        }
+        groups[shard_index(trip, num_shards)].push(rec);
+    }
+    for group in &mut groups {
+        // Oldest (largest idle) first; a stable sort keeps capture order
+        // between equal ages.
+        group.sort_by_key(|rec| std::cmp::Reverse(rec.idle_micros));
+    }
+    Ok(groups)
+}
+
+/// Fibonacci hashing of the trip id onto a shard.
+fn shard_index(id: TripId, num_shards: usize) -> usize {
+    let h = id.wrapping_mul(0x9E3779B97F4A7C15);
+    (h % num_shards as u64) as usize
 }
 
 /// The concurrent fleet-scoring engine. See the crate docs for the data
@@ -179,13 +258,19 @@ pub struct FleetEngine {
 impl FleetEngine {
     /// Starts building an engine over a trained model.
     pub fn builder(model: Arc<CausalTad>) -> FleetEngineBuilder {
-        FleetEngineBuilder { model, cfg: FleetConfig::default(), on_complete: None }
+        FleetEngineBuilder { model, cfg: FleetConfig::default(), on_complete: None, resume: None }
+    }
+
+    /// Starts building an engine that resumes the sessions of a previously
+    /// captured [`FleetImage`] — shorthand for
+    /// `FleetEngine::builder(model).resume(image)`. Attach a config and
+    /// completion callback as usual, then `build()`.
+    pub fn restore(model: Arc<CausalTad>, image: FleetImage) -> FleetEngineBuilder {
+        FleetEngine::builder(model).resume(image)
     }
 
     fn shard_of(&self, ev: &Event) -> usize {
-        // Fibonacci hashing of the trip id.
-        let h = ev.trip_id().wrapping_mul(0x9E3779B97F4A7C15);
-        (h % self.senders.len() as u64) as usize
+        shard_index(ev.trip_id(), self.senders.len())
     }
 
     /// Enqueues an event, blocking while the target shard's queue is full.
@@ -246,6 +331,41 @@ impl FleetEngine {
     /// Number of shard workers.
     pub fn num_shards(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Captures every live session into a [`FleetImage`] while the engine
+    /// keeps serving.
+    ///
+    /// Each shard quiesces independently: it finishes every event that was
+    /// queued ahead of the capture request, replies with clones of its
+    /// live sessions, and goes straight back to serving. Events submitted
+    /// after this call returns are never part of the image; events racing
+    /// with the call land on one side or the other of each shard's quiesce
+    /// point, with per-trip ordering preserved either way.
+    ///
+    /// Blocks until every shard has replied (bounded by the time it takes
+    /// the shards to drain what is already queued).
+    pub fn snapshot(&self) -> Result<FleetImage, SnapshotError> {
+        // Fan the requests out first so the shards quiesce in parallel.
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            tx.send(Ingest::Snapshot(reply_tx))
+                .map_err(|_| SnapshotError::ShardUnavailable { shard })?;
+            replies.push(reply_rx);
+        }
+        let mut sessions = Vec::new();
+        for (shard, reply_rx) in replies.into_iter().enumerate() {
+            let records = reply_rx.recv().map_err(|_| SnapshotError::ShardUnavailable { shard })?;
+            sessions.extend(records);
+        }
+        Ok(FleetImage { num_shards: self.senders.len() as u32, sessions })
+    }
+
+    /// [`FleetEngine::snapshot`] serialized with
+    /// [`crate::image_to_bytes`] — the blob to write to durable storage.
+    pub fn snapshot_bytes(&self) -> Result<Bytes, SnapshotError> {
+        self.snapshot().map(|image| image_to_bytes(&image))
     }
 
     /// Point-in-time fleet counters.

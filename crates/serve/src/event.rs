@@ -37,14 +37,19 @@ impl Event {
 /// Why a trip left the engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Completion {
-    /// A `TripEnd` event arrived.
+    /// A `TripEnd` event arrived — either on this engine, or before a
+    /// fleet snapshot whose restore into this engine finalised the trip.
     Ended,
-    /// The trip went silent for longer than the session TTL.
+    /// The trip went silent for longer than the session TTL. Idle ages
+    /// persist through snapshot/restore, so a restored trip's TTL clock
+    /// continues where the captured engine left off.
     EvictedTtl,
     /// The shard hit its session cap and this was the least recently
     /// active trip.
     EvictedLru,
-    /// The engine shut down while the trip was still live.
+    /// The engine shut down while the trip was still live. On a planned
+    /// restart, capture a [`crate::FleetImage`] first — sessions flushed
+    /// here are gone, restored ones resume score-exactly.
     Shutdown,
 }
 

@@ -21,11 +21,17 @@
 //!   through its own [`causaltad::OnlineScorer`].
 //! * **Session lifecycle** — live [`causaltad::ScorerState`]s are kept in
 //!   a per-shard store with TTL sweeps for trips that went silent and an
-//!   LRU cap bounding memory; completed and evicted trips are delivered to
-//!   a completion callback with their final score and full
+//!   O(1) LRU cap bounding memory; completed and evicted trips are
+//!   delivered to a completion callback with their final score and full
 //!   [`causaltad::SegmentTrace`].
+//! * **Session persistence** — [`FleetEngine::snapshot`] captures every
+//!   live session into a versioned, checksummed [`FleetImage`] while the
+//!   engine keeps serving; [`FleetEngine::restore`] seeds a fresh engine
+//!   from one, and scoring resumes bit-identically to an uninterrupted
+//!   run (warm restart).
 //! * **Observability** — [`FleetStats`] counts events, scored segments,
-//!   active sessions, evictions, rejects, off-graph hits, and batch sizes.
+//!   active sessions, evictions, rejects, off-graph hits, batch sizes,
+//!   and restored sessions.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,10 +52,15 @@
 
 mod engine;
 mod event;
-mod session;
+#[doc(hidden)]
+pub mod session; // exposed for the workspace micro-benches; not a stable API
 mod shard;
+mod snapshot;
 mod stats;
 
 pub use engine::{FleetConfig, FleetEngine, FleetEngineBuilder, ServeError, SubmitError};
 pub use event::{Completion, Event, TripId, TripOutcome};
+pub use snapshot::{
+    image_from_bytes, image_to_bytes, FleetImage, SessionRecord, SnapshotCodecError, SnapshotError,
+};
 pub use stats::{FleetSnapshot, FleetStats};

@@ -1,5 +1,13 @@
 //! Per-shard session store: the live [`ScorerState`]s keyed by trip id,
-//! with TTL sweeps and an LRU cap.
+//! with TTL sweeps and an **O(1) LRU** cap.
+//!
+//! Sessions live in a slab (`Vec` of slots with a free list) threaded by an
+//! intrusive doubly-linked recency list: the head is the most recently
+//! touched session, the tail the least. `insert`, `touch`, `remove`, and a
+//! cap eviction are all O(1); a TTL sweep walks from the tail and stops at
+//! the first fresh session, so it is O(evicted + 1). Because `last_touch`
+//! only changes through [`SessionStore::touch`] (which moves the session to
+//! the head), list order always equals recency order.
 
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -9,7 +17,7 @@ use causaltad::ScorerState;
 use crate::event::TripId;
 
 /// One live trip inside a shard.
-pub(crate) struct Session {
+pub struct Session {
     /// The owned scorer state; temporarily `mem::take`n out during a
     /// micro-batch and written back after.
     pub state: ScorerState,
@@ -19,7 +27,8 @@ pub(crate) struct Session {
     /// A `TripEnd` arrived; finalize once `pending` drains. Later segment
     /// events are rejected.
     pub ending: bool,
-    /// Last time an event touched this trip (TTL/LRU clock).
+    /// Last time an event touched this trip (TTL/LRU clock). Updated
+    /// through [`SessionStore::touch`] so the recency list stays ordered.
     pub last_touch: Instant,
 }
 
@@ -29,64 +38,196 @@ impl Session {
     }
 }
 
-/// Trip-id keyed session map with bounded size.
-pub(crate) struct SessionStore {
-    sessions: HashMap<TripId, Session>,
+/// Sentinel for "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    id: TripId,
+    session: Session,
+    /// Towards the head (more recently touched).
+    prev: usize,
+    /// Towards the tail (less recently touched).
+    next: usize,
+}
+
+/// Trip-id keyed session map with bounded size and O(1) LRU maintenance.
+pub struct SessionStore {
+    map: HashMap<TripId, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    /// Most recently touched slot index (NIL when empty).
+    head: usize,
+    /// Least recently touched slot index (NIL when empty).
+    tail: usize,
     max_sessions: usize,
 }
 
 impl SessionStore {
     pub fn new(max_sessions: usize) -> Self {
-        SessionStore { sessions: HashMap::new(), max_sessions: max_sessions.max(1) }
+        SessionStore {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            max_sessions: max_sessions.max(1),
+        }
     }
 
-    #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 
     pub fn contains(&self, id: TripId) -> bool {
-        self.sessions.contains_key(&id)
+        self.map.contains_key(&id)
     }
 
+    /// Accesses a session without touching its recency (micro-batch state
+    /// write-backs must not reorder the LRU list).
     pub fn get_mut(&mut self, id: TripId) -> Option<&mut Session> {
-        self.sessions.get_mut(&id)
+        let &slot = self.map.get(&id)?;
+        Some(&mut self.slots[slot].as_mut().expect("mapped slot is live").session)
+    }
+
+    /// Marks a session as just-used: updates its TTL clock and moves it to
+    /// the head of the recency list, then hands it out. O(1).
+    pub fn touch(&mut self, id: TripId, now: Instant) -> Option<&mut Session> {
+        let &slot = self.map.get(&id)?;
+        self.unlink(slot);
+        self.link_front(slot);
+        let session = &mut self.slots[slot].as_mut().expect("mapped slot is live").session;
+        session.last_touch = now;
+        Some(session)
     }
 
     pub fn remove(&mut self, id: TripId) -> Option<Session> {
-        self.sessions.remove(&id)
+        let slot = self.map.remove(&id)?;
+        self.unlink(slot);
+        self.free.push(slot);
+        Some(self.slots[slot].take().expect("mapped slot is live").session)
     }
 
-    /// Inserts a new session. When the store is at capacity, the least
-    /// recently touched session is evicted and returned.
+    /// Inserts a new session as the most recently touched. When the store
+    /// is at capacity, the least recently touched session is evicted and
+    /// returned. O(1).
+    ///
+    /// # Panics
+    /// Panics if `id` is already present (callers check `contains` first).
     pub fn insert(&mut self, id: TripId, session: Session) -> Option<(TripId, Session)> {
-        let evicted = if self.sessions.len() >= self.max_sessions {
-            self.oldest().and_then(|victim| self.sessions.remove(&victim).map(|s| (victim, s)))
+        assert!(!self.map.contains_key(&id), "duplicate session insert for trip {id}");
+        let evicted = if self.map.len() >= self.max_sessions {
+            let victim_slot = self.tail;
+            debug_assert_ne!(victim_slot, NIL, "cap >= 1 and store full, so a tail exists");
+            let victim_id = self.slots[victim_slot].as_ref().expect("tail slot is live").id;
+            self.remove(victim_id).map(|s| (victim_id, s))
         } else {
             None
         };
-        self.sessions.insert(id, session);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(Slot { id, session, prev: NIL, next: NIL });
+                slot
+            }
+            None => {
+                self.slots.push(Some(Slot { id, session, prev: NIL, next: NIL }));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(id, slot);
+        self.link_front(slot);
         evicted
     }
 
-    fn oldest(&self) -> Option<TripId> {
-        self.sessions.iter().min_by_key(|(_, s)| s.last_touch).map(|(&id, _)| id)
-    }
-
-    /// Removes and returns every session idle for longer than `ttl`.
+    /// Removes and returns every session idle for longer than `ttl`,
+    /// oldest first. Walks from the tail of the recency list and stops at
+    /// the first fresh session — O(evicted + 1), not O(sessions).
     pub fn sweep_ttl(&mut self, ttl: Duration, now: Instant) -> Vec<(TripId, Session)> {
-        let stale: Vec<TripId> = self
-            .sessions
-            .iter()
-            .filter(|(_, s)| now.duration_since(s.last_touch) > ttl)
-            .map(|(&id, _)| id)
-            .collect();
-        stale.into_iter().filter_map(|id| self.sessions.remove(&id).map(|s| (id, s))).collect()
+        let mut swept = Vec::new();
+        while self.tail != NIL {
+            let slot = self.slots[self.tail].as_ref().expect("tail slot is live");
+            if now.saturating_duration_since(slot.session.last_touch) <= ttl {
+                break;
+            }
+            let id = slot.id;
+            let session = self.remove(id).expect("tail id is mapped");
+            swept.push((id, session));
+        }
+        swept
     }
 
-    /// Drains every session (shutdown flush).
+    /// Visits every live session from least to most recently touched (the
+    /// order a fleet snapshot records, so a restore that re-inserts in
+    /// iteration order reproduces the recency list).
+    pub fn iter_lru(&self) -> impl Iterator<Item = (TripId, &Session)> {
+        let mut cursor = self.tail;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let slot = self.slots[cursor].as_ref().expect("linked slot is live");
+            cursor = slot.prev;
+            Some((slot.id, &slot.session))
+        })
+    }
+
+    /// Drains every session (shutdown flush), least recently touched first.
     pub fn drain(&mut self) -> Vec<(TripId, Session)> {
-        self.sessions.drain().collect()
+        let mut out = Vec::with_capacity(self.map.len());
+        while self.tail != NIL {
+            let id = self.slots[self.tail].as_ref().expect("tail slot is live").id;
+            let session = self.remove(id).expect("tail id is mapped");
+            out.push((id, session));
+        }
+        out
+    }
+
+    /// Detaches `slot` from the recency list (no-op bookkeeping if it is
+    /// not linked).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let s = self.slots[slot].as_ref().expect("unlink of a live slot");
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => {
+                if self.head == slot {
+                    self.head = next;
+                }
+            }
+            p => self.slots[p].as_mut().expect("linked slot is live").next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == slot {
+                    self.tail = prev;
+                }
+            }
+            n => self.slots[n].as_mut().expect("linked slot is live").prev = prev,
+        }
+        let s = self.slots[slot].as_mut().expect("unlink of a live slot");
+        s.prev = NIL;
+        s.next = NIL;
+    }
+
+    /// Links `slot` in as the new head (most recently touched).
+    fn link_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slots[slot].as_mut().expect("link of a live slot");
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head].as_mut().expect("linked slot is live").prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
     }
 }
 
@@ -98,6 +239,11 @@ mod tests {
         Session::new(ScorerState::default(), now)
     }
 
+    /// The store's recency list, least recent first (test oracle).
+    fn lru_order(store: &SessionStore) -> Vec<TripId> {
+        store.iter_lru().map(|(id, _)| id).collect()
+    }
+
     #[test]
     fn lru_cap_evicts_least_recently_touched() {
         let t0 = Instant::now();
@@ -105,11 +251,63 @@ mod tests {
         store.insert(1, session(t0));
         store.insert(2, session(t0 + Duration::from_secs(1)));
         // Touch trip 1 so trip 2 becomes the LRU victim.
-        store.get_mut(1).unwrap().last_touch = t0 + Duration::from_secs(5);
+        store.touch(1, t0 + Duration::from_secs(5)).unwrap();
         let evicted = store.insert(3, session(t0 + Duration::from_secs(6)));
         assert_eq!(evicted.map(|(id, _)| id), Some(2));
         assert_eq!(store.len(), 2);
         assert!(store.contains(1) && store.contains(3));
+    }
+
+    #[test]
+    fn touch_reorders_and_evict_pops_true_oldest() {
+        let t0 = Instant::now();
+        let mut store = SessionStore::new(4);
+        for id in 1..=4 {
+            store.insert(id, session(t0 + Duration::from_secs(id)));
+        }
+        assert_eq!(lru_order(&store), vec![1, 2, 3, 4]);
+        // Touching the current tail and a middle element reorders them.
+        store.touch(1, t0 + Duration::from_secs(10)).unwrap();
+        store.touch(3, t0 + Duration::from_secs(11)).unwrap();
+        assert_eq!(lru_order(&store), vec![2, 4, 1, 3]);
+        // At cap, successive inserts evict in exactly that recency order.
+        let mut victims = Vec::new();
+        for id in 5..=7 {
+            let (victim, _) = store.insert(id, session(t0 + Duration::from_secs(20 + id))).unwrap();
+            victims.push(victim);
+        }
+        assert_eq!(victims, vec![2, 4, 1]);
+        assert_eq!(lru_order(&store), vec![3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn get_mut_does_not_reorder() {
+        let t0 = Instant::now();
+        let mut store = SessionStore::new(4);
+        store.insert(1, session(t0));
+        store.insert(2, session(t0 + Duration::from_secs(1)));
+        store.get_mut(1).unwrap().ending = true;
+        assert_eq!(lru_order(&store), vec![1, 2]);
+        assert!(store.get_mut(99).is_none());
+    }
+
+    #[test]
+    fn remove_relinks_neighbours_and_frees_slots() {
+        let t0 = Instant::now();
+        let mut store = SessionStore::new(8);
+        for id in 1..=5 {
+            store.insert(id, session(t0 + Duration::from_secs(id)));
+        }
+        assert!(store.remove(3).is_some()); // middle
+        assert!(store.remove(1).is_some()); // tail
+        assert!(store.remove(5).is_some()); // head
+        assert!(store.remove(3).is_none()); // already gone
+        assert_eq!(lru_order(&store), vec![2, 4]);
+        // Freed slots are reused; recency is insertion order again.
+        store.insert(6, session(t0 + Duration::from_secs(30)));
+        store.insert(7, session(t0 + Duration::from_secs(31)));
+        assert_eq!(lru_order(&store), vec![2, 4, 6, 7]);
+        assert_eq!(store.len(), 4);
     }
 
     #[test]
@@ -125,12 +323,31 @@ mod tests {
     }
 
     #[test]
-    fn drain_empties_the_store() {
+    fn ttl_sweep_interops_with_touch() {
+        let t0 = Instant::now();
+        let mut store = SessionStore::new(8);
+        for id in 1..=3 {
+            store.insert(id, session(t0));
+        }
+        // A touch rescues trip 2 from the sweep below.
+        store.touch(2, t0 + Duration::from_secs(55)).unwrap();
+        let swept = store.sweep_ttl(Duration::from_secs(30), t0 + Duration::from_secs(60));
+        let swept_ids: Vec<TripId> = swept.iter().map(|&(id, _)| id).collect();
+        assert_eq!(swept_ids, vec![1, 3]);
+        assert_eq!(lru_order(&store), vec![2]);
+        // Nothing further to sweep.
+        assert!(store.sweep_ttl(Duration::from_secs(30), t0 + Duration::from_secs(61)).is_empty());
+    }
+
+    #[test]
+    fn drain_empties_the_store_oldest_first() {
         let now = Instant::now();
         let mut store = SessionStore::new(4);
         store.insert(1, session(now));
         store.insert(2, session(now));
-        assert_eq!(store.drain().len(), 2);
+        let drained: Vec<TripId> = store.drain().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(drained, vec![1, 2]);
         assert_eq!(store.len(), 0);
+        assert_eq!(lru_order(&store), Vec::<TripId>::new());
     }
 }

@@ -3,7 +3,7 @@
 //! drives the session lifecycle (start, end, TTL/LRU eviction, shutdown
 //! flush).
 
-use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -12,13 +12,20 @@ use causaltad::{CausalTad, ScorerState, StepCache, OFF_GRAPH_NLL};
 use crate::engine::{CompletionCallback, FleetConfig};
 use crate::event::{Completion, Event, TripId, TripOutcome};
 use crate::session::{Session, SessionStore};
+use crate::snapshot::SessionRecord;
 use crate::stats::FleetStats;
 
-/// A queue message: one event, or a producer-side chunk that amortises the
-/// channel synchronisation.
+/// A queue message: one event, a producer-side chunk that amortises the
+/// channel synchronisation, or a persistence control message.
 pub(crate) enum Ingest {
     One(Event),
     Many(Vec<Event>),
+    /// Quiesce: finish every event already queued ahead of this message,
+    /// then reply with clones of all live sessions, oldest first.
+    Snapshot(SyncSender<Vec<SessionRecord>>),
+    /// Seed the store with restored sessions (sent at build time, ahead of
+    /// any traffic; records arrive oldest first).
+    Restore(Vec<SessionRecord>),
 }
 
 impl Ingest {
@@ -27,6 +34,7 @@ impl Ingest {
         match self {
             Ingest::One(ev) => ev,
             Ingest::Many(mut evs) => evs.pop().expect("submit_all never sends empty chunks"),
+            _ => unreachable!("control messages never travel submit paths"),
         }
     }
 
@@ -35,13 +43,7 @@ impl Ingest {
         match self {
             Ingest::One(ev) => vec![ev],
             Ingest::Many(evs) => evs,
-        }
-    }
-
-    fn append_to(self, batch: &mut Vec<Event>) {
-        match self {
-            Ingest::One(ev) => batch.push(ev),
-            Ingest::Many(mut evs) => batch.append(&mut evs),
+            _ => unreachable!("control messages never travel submit paths"),
         }
     }
 }
@@ -85,27 +87,117 @@ pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
     let mut last_sweep = Instant::now();
 
     loop {
+        // A control message (snapshot/restore) breaks batching: everything
+        // received ahead of it is processed first, then it is handled at
+        // the resulting quiesce point.
+        let mut control: Option<Ingest> = None;
         match rx.recv_timeout(sweep_every) {
-            Ok(msg) => msg.append_to(&mut batch),
+            Ok(Ingest::One(ev)) => batch.push(ev),
+            Ok(Ingest::Many(mut evs)) => batch.append(&mut evs),
+            Ok(ctrl) => control = Some(ctrl),
             Err(RecvTimeoutError::Timeout) => {
                 sweep(&ctx, &mut store, &mut last_sweep, sweep_every);
                 continue;
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        while batch.len() < ctx.cfg.max_batch {
+        while control.is_none() && batch.len() < ctx.cfg.max_batch {
             match rx.try_recv() {
-                Ok(msg) => msg.append_to(&mut batch),
+                Ok(Ingest::One(ev)) => batch.push(ev),
+                Ok(Ingest::Many(mut evs)) => batch.append(&mut evs),
+                Ok(ctrl) => control = Some(ctrl),
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
         process_batch(&ctx, &mut store, &mut batch);
+        match control {
+            Some(Ingest::Snapshot(reply)) => {
+                // The engine side may have given up waiting; a dead reply
+                // channel is not the shard's problem.
+                let _ = reply.send(capture_sessions(&store));
+            }
+            Some(Ingest::Restore(records)) => restore_sessions(&ctx, &mut store, records),
+            _ => {}
+        }
         sweep(&ctx, &mut store, &mut last_sweep, sweep_every);
     }
 
     // Engine dropped: flush whatever is still live.
     for (id, session) in store.drain() {
         ctx.finish(id, session, Completion::Shutdown);
+    }
+}
+
+/// Clones every live session into snapshot records, oldest first (so a
+/// restore that re-inserts in order reproduces the recency list).
+fn capture_sessions(store: &SessionStore) -> Vec<SessionRecord> {
+    let now = Instant::now();
+    store
+        .iter_lru()
+        .map(|(id, session)| SessionRecord {
+            id,
+            state: session.state.clone(),
+            pending: session.pending.iter().copied().collect(),
+            ending: session.ending,
+            idle_micros: now.saturating_duration_since(session.last_touch).as_micros() as u64,
+        })
+        .collect()
+}
+
+/// Seeds the store from snapshot records (validated against the model by
+/// the engine builder). Records arrive oldest first; each is inserted at
+/// the recency head, so the restored LRU order matches the captured one.
+/// Sessions already idle past the TTL are evicted on arrival (the
+/// captured engine would have swept them had it lived), and the remaining
+/// `last_touch` values are kept monotonic even when an idle age is not
+/// representable on this host's monotonic clock (e.g. restoring soon
+/// after boot) — `sweep_ttl`'s stop-at-first-fresh walk depends on it.
+fn restore_sessions(ctx: &ShardCtx, store: &mut SessionStore, records: Vec<SessionRecord>) {
+    let now = Instant::now();
+    let ttl = ctx.cfg.session_ttl;
+    let mut newest: Option<Instant> = None;
+    for rec in records {
+        let SessionRecord { id, mut state, pending, ending, idle_micros } = rec;
+        if store.contains(id) {
+            FleetStats::bump(&ctx.stats.rejected);
+            continue;
+        }
+        // Segments that were pending at capture time would stall in the
+        // store (only freshly touched trips drain their queues), so score
+        // them now — push_state is bit-identical to the batched path,
+        // including the off-graph accounting.
+        for &seg in &pending {
+            ctx.model.push_state(&mut state, seg);
+            FleetStats::bump(&ctx.stats.segments_scored);
+            if state.trace().last().is_some_and(|t| t.nll == OFF_GRAPH_NLL) {
+                FleetStats::bump(&ctx.stats.off_graph_hits);
+            }
+        }
+        FleetStats::bump(&ctx.stats.sessions_restored);
+        FleetStats::bump(&ctx.stats.active_sessions);
+        let idle = Duration::from_micros(idle_micros);
+        if ending {
+            // Its TripEnd arrived before the capture; deliver immediately.
+            ctx.finish(id, Session::new(state, now), Completion::Ended);
+            continue;
+        }
+        if idle > ttl {
+            FleetStats::bump(&ctx.stats.evictions_ttl);
+            ctx.finish(id, Session::new(state, now), Completion::EvictedTtl);
+            continue;
+        }
+        // Oldest-first arrival means ages descend; `max(newest)` repairs
+        // the order when a clamped (unrepresentable) age would otherwise
+        // land a fresh-looking session at the tail.
+        let mut last_touch = now.checked_sub(idle).unwrap_or(now);
+        if let Some(prev) = newest {
+            last_touch = last_touch.max(prev);
+        }
+        newest = Some(last_touch);
+        if let Some((victim, evicted)) = store.insert(id, Session::new(state, last_touch)) {
+            FleetStats::bump(&ctx.stats.evictions_lru);
+            ctx.finish(victim, evicted, Completion::EvictedLru);
+        }
     }
 }
 
@@ -159,21 +251,23 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
                     FleetStats::bump(&ctx.stats.rejected);
                     continue;
                 }
-                match store.get_mut(id) {
+                // `touch` refreshes the TTL clock and recency in O(1); a
+                // session marked `ending` is removed at the end of this
+                // very batch, so the spurious reorder on the reject path
+                // is unobservable.
+                match store.touch(id, now) {
                     Some(session) if !session.ending => {
                         if session.pending.is_empty() {
                             touched.push(id);
                         }
                         session.pending.push_back(seg);
-                        session.last_touch = now;
                     }
                     _ => FleetStats::bump(&ctx.stats.rejected),
                 }
             }
-            Event::TripEnd { id } => match store.get_mut(id) {
+            Event::TripEnd { id } => match store.touch(id, now) {
                 Some(session) if !session.ending => {
                     session.ending = true;
-                    session.last_touch = now;
                     ended.push(id);
                 }
                 _ => FleetStats::bump(&ctx.stats.rejected),

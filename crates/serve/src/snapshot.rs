@@ -1,0 +1,344 @@
+//! Fleet snapshot/restore: versioned session persistence for warm
+//! restarts.
+//!
+//! A [`FleetImage`] is a point-in-time capture of every live session in a
+//! [`crate::FleetEngine`] — trip id, full [`ScorerState`], any
+//! not-yet-scored pending segments, the `ending` flag, and the session's
+//! idle age (how long since its last event, so TTL/LRU ordering survives
+//! the restart even though `Instant`s do not serialize). Taking one
+//! quiesces each shard: the shard finishes every event already queued
+//! ahead of the snapshot request, then replies with clones of its live
+//! sessions, oldest first.
+//!
+//! The binary format is the workspace's standard checksummed envelope
+//! ([`causaltad::seal_envelope`]/[`causaltad::open_envelope`], shared with
+//! the session codec; little-endian): magic `TADF`, version u16, u64
+//! payload length, payload (shard count, session count, then per-session
+//! records embedding each state as a length-prefixed
+//! [`causaltad::state_to_bytes`] blob), and a trailing FNV-1a 64 checksum
+//! of the payload. Decoding hostile bytes returns a typed
+//! [`SnapshotCodecError`]; no input can panic the decoder.
+//!
+//! A restored engine resumes scoring **bit-identically**: restoring a
+//! snapshot into a fresh engine and replaying the remaining events yields
+//! exactly the scores of an uninterrupted run (the umbrella `fleet.rs`
+//! integration test enforces this).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use causaltad::{
+    open_envelope, seal_envelope, state_from_bytes, state_to_bytes, EnvelopeError, ScorerState,
+    StateCodecError,
+};
+
+use crate::event::TripId;
+
+const MAGIC: &[u8; 4] = b"TADF";
+const VERSION: u16 = 1;
+
+/// One live session captured by [`crate::FleetEngine::snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionRecord {
+    /// The trip this session belongs to.
+    pub id: TripId,
+    /// The full scorer state at capture time.
+    pub state: ScorerState,
+    /// Segments received but not yet scored (empty at every quiesce point;
+    /// kept in the format so a future mid-batch capture stays decodable).
+    pub pending: Vec<u32>,
+    /// A `TripEnd` had arrived but the trip was not yet finalised.
+    pub ending: bool,
+    /// How long the session had been idle at capture time, in
+    /// microseconds. Restore subtracts this from its own clock so TTL
+    /// eviction and LRU ordering carry across the restart.
+    pub idle_micros: u64,
+}
+
+/// A point-in-time capture of every live session of a fleet engine.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetImage {
+    /// Shard count of the engine that took the snapshot (informational —
+    /// restore re-partitions sessions for the new engine's shard count).
+    pub num_shards: u32,
+    /// Every live session, grouped by source shard, oldest first within
+    /// each group.
+    pub sessions: Vec<SessionRecord>,
+}
+
+/// Errors produced when decoding a serialized [`FleetImage`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotCodecError {
+    /// Magic bytes did not match `TADF`.
+    BadMagic,
+    /// Unsupported snapshot-format version.
+    BadVersion(u16),
+    /// Input ended before the named field could be read.
+    Truncated(&'static str),
+    /// The payload checksum did not match (bit rot or tampering).
+    ChecksumMismatch,
+    /// The payload parsed but violated a structural invariant.
+    Malformed(&'static str),
+    /// An embedded session state blob failed to decode.
+    BadSession {
+        /// Position of the offending record in the session list.
+        index: usize,
+        /// The underlying state-codec failure.
+        source: StateCodecError,
+    },
+}
+
+impl std::fmt::Display for SnapshotCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotCodecError::BadMagic => write!(f, "bad snapshot magic bytes"),
+            SnapshotCodecError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotCodecError::Truncated(what) => write!(f, "truncated snapshot at {what}"),
+            SnapshotCodecError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
+            SnapshotCodecError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotCodecError::BadSession { index, source } => {
+                write!(f, "session record {index} failed to decode: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotCodecError {}
+
+impl From<EnvelopeError> for SnapshotCodecError {
+    fn from(e: EnvelopeError) -> Self {
+        match e {
+            EnvelopeError::BadMagic => SnapshotCodecError::BadMagic,
+            EnvelopeError::BadVersion(v) => SnapshotCodecError::BadVersion(v),
+            EnvelopeError::Truncated(what) => SnapshotCodecError::Truncated(what),
+            EnvelopeError::ChecksumMismatch => SnapshotCodecError::ChecksumMismatch,
+            EnvelopeError::TrailingBytes => {
+                SnapshotCodecError::Malformed("trailing bytes after checksum")
+            }
+        }
+    }
+}
+
+/// Why a live snapshot could not be taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The shard's worker is gone (it panicked or the engine is shutting
+    /// down), so its sessions cannot be captured.
+    ShardUnavailable {
+        /// Index of the unresponsive shard.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable; cannot capture its sessions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialises a fleet image (the persistent artifact of a warm restart).
+pub fn image_to_bytes(image: &FleetImage) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64 + image.sessions.len() * 256);
+    payload.put_u32_le(image.num_shards);
+    payload.put_u32_le(image.sessions.len() as u32);
+    for rec in &image.sessions {
+        payload.put_u64_le(rec.id);
+        payload.put_u64_le(rec.idle_micros);
+        payload.put_u8(rec.ending as u8);
+        payload.put_u32_le(rec.pending.len() as u32);
+        for &seg in &rec.pending {
+            payload.put_u32_le(seg);
+        }
+        let state = state_to_bytes(&rec.state);
+        payload.put_u32_le(state.len() as u32);
+        payload.put_slice(&state);
+    }
+
+    seal_envelope(MAGIC, VERSION, payload.freeze())
+}
+
+/// Restores a fleet image serialized by [`image_to_bytes`]. The whole
+/// input must be one snapshot (trailing bytes are rejected); decoding
+/// never panics, whatever the input.
+pub fn image_from_bytes(bytes: Bytes) -> Result<FleetImage, SnapshotCodecError> {
+    let mut payload = open_envelope(MAGIC, VERSION, bytes)?;
+    if payload.remaining() < 8 {
+        return Err(SnapshotCodecError::Truncated("session count"));
+    }
+    let num_shards = payload.get_u32_le();
+    let count = payload.get_u32_le() as usize;
+    // 25 bytes is the smallest possible record (empty pending, whose state
+    // blob length would still be >= 0); bounding `count` by it caps the
+    // allocation below at the actual input size. Checked math keeps the
+    // guard honest on 32-bit targets too.
+    if count.checked_mul(25).is_none_or(|need| payload.remaining() < need) {
+        return Err(SnapshotCodecError::Truncated("session records"));
+    }
+    let mut sessions = Vec::with_capacity(count);
+    for index in 0..count {
+        if payload.remaining() < 8 + 8 + 1 + 4 {
+            return Err(SnapshotCodecError::Truncated("record header"));
+        }
+        let id = payload.get_u64_le();
+        let idle_micros = payload.get_u64_le();
+        let ending = match payload.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotCodecError::Malformed("ending flag")),
+        };
+        let pending_len = payload.get_u32_le() as usize;
+        if pending_len.checked_mul(4).is_none_or(|need| payload.remaining() < need) {
+            return Err(SnapshotCodecError::Truncated("pending segments"));
+        }
+        let mut pending = Vec::with_capacity(pending_len);
+        for _ in 0..pending_len {
+            pending.push(payload.get_u32_le());
+        }
+        if payload.remaining() < 4 {
+            return Err(SnapshotCodecError::Truncated("state length"));
+        }
+        let state_len = payload.get_u32_le() as usize;
+        if payload.remaining() < state_len {
+            return Err(SnapshotCodecError::Truncated("state blob"));
+        }
+        let blob = payload.copy_to_bytes(state_len);
+        let state = state_from_bytes(blob)
+            .map_err(|source| SnapshotCodecError::BadSession { index, source })?;
+        sessions.push(SessionRecord { id, state, pending, ending, idle_micros });
+    }
+    if payload.remaining() != 0 {
+        return Err(SnapshotCodecError::Malformed("trailing payload bytes"));
+    }
+    Ok(FleetImage { num_shards, sessions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causaltad::checksum64;
+
+    fn record(id: TripId, idle_micros: u64) -> SessionRecord {
+        SessionRecord {
+            id,
+            state: ScorerState::from_parts(
+                vec![0.25, -1.5, 3.0],
+                1.25,
+                2.5,
+                -0.75,
+                Some(4),
+                2,
+                vec![causaltad::SegmentTrace { segment: 4, nll: 0.5, log_scale: 0.1 }],
+            ),
+            pending: vec![7, 9],
+            ending: false,
+            idle_micros,
+        }
+    }
+
+    fn image(n: usize) -> FleetImage {
+        FleetImage {
+            num_shards: 3,
+            sessions: (0..n).map(|i| record(i as TripId, (n - i) as u64 * 1000)).collect(),
+        }
+    }
+
+    #[test]
+    fn image_roundtrips_exactly() {
+        for n in [0, 1, 5] {
+            let img = image(n);
+            let blob = image_to_bytes(&img);
+            let restored = image_from_bytes(blob.clone()).expect("decode");
+            assert_eq!(restored, img);
+            // Canonical encoding: re-encoding is byte-for-byte identical.
+            assert_eq!(image_to_bytes(&restored).to_vec(), blob.to_vec());
+        }
+    }
+
+    #[test]
+    fn image_decode_rejects_corruption_without_panicking() {
+        let blob = image_to_bytes(&image(3)).to_vec();
+
+        let mut raw = blob.clone();
+        raw[0] ^= 0xFF;
+        assert_eq!(image_from_bytes(Bytes::from(raw)), Err(SnapshotCodecError::BadMagic));
+
+        let mut raw = blob.clone();
+        raw[4] = 0x7F;
+        assert!(matches!(
+            image_from_bytes(Bytes::from(raw)),
+            Err(SnapshotCodecError::BadVersion(_))
+        ));
+
+        for cut in 0..blob.len() {
+            assert!(image_from_bytes(Bytes::from(blob[..cut].to_vec())).is_err(), "cut={cut}");
+        }
+
+        for byte in 6..blob.len() {
+            let mut raw = blob.clone();
+            raw[byte] ^= 1;
+            assert!(image_from_bytes(Bytes::from(raw)).is_err(), "byte={byte}");
+        }
+
+        let mut raw = blob.clone();
+        raw.push(0);
+        assert_eq!(
+            image_from_bytes(Bytes::from(raw)),
+            Err(SnapshotCodecError::Malformed("trailing bytes after checksum"))
+        );
+    }
+
+    #[test]
+    fn huge_crafted_lengths_error_instead_of_panicking() {
+        // A payload length near u64::MAX must not wrap the bounds guard.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&u64::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            image_from_bytes(Bytes::from(raw)),
+            Err(SnapshotCodecError::Truncated("payload"))
+        );
+        // Same for an absurd session count inside a checksummed payload.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes()); // num_shards
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        raw.extend_from_slice(&payload);
+        raw.extend_from_slice(&checksum64(&payload).to_le_bytes());
+        assert_eq!(
+            image_from_bytes(Bytes::from(raw)),
+            Err(SnapshotCodecError::Truncated("session records"))
+        );
+    }
+
+    #[test]
+    fn embedded_state_errors_carry_their_index() {
+        let img = image(2);
+        let blob = image_to_bytes(&img).to_vec();
+        // Corrupt the second record's embedded state magic, then re-seal
+        // the envelope checksum so only the nested decode fails.
+        let needle = b"TADC";
+        let positions: Vec<usize> =
+            (0..blob.len() - 3).filter(|&i| &blob[i..i + 4] == needle).collect();
+        assert_eq!(positions.len(), 2);
+        let mut raw = blob;
+        raw[positions[1]] ^= 0xFF;
+        let payload_start = 14;
+        let payload_end = raw.len() - 8;
+        let fixed = checksum64(&raw[payload_start..payload_end]);
+        raw.splice(payload_end.., fixed.to_le_bytes());
+        match image_from_bytes(Bytes::from(raw)) {
+            Err(SnapshotCodecError::BadSession { index: 1, source: StateCodecError::BadMagic }) => {
+            }
+            other => panic!("expected BadSession at index 1, got {other:?}"),
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub struct FleetStats {
     pub(crate) off_graph_hits: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) active_sessions: AtomicU64,
+    pub(crate) sessions_restored: AtomicU64,
 }
 
 impl FleetStats {
@@ -37,6 +38,7 @@ impl FleetStats {
             off_graph_hits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             active_sessions: AtomicU64::new(0),
+            sessions_restored: AtomicU64::new(0),
         }
     }
 
@@ -64,6 +66,7 @@ impl FleetStats {
             off_graph_hits: self.off_graph_hits.load(Ordering::Relaxed),
             batches,
             active_sessions: self.active_sessions.load(Ordering::Relaxed),
+            sessions_restored: self.sessions_restored.load(Ordering::Relaxed),
             uptime_secs: elapsed,
             events_per_sec: if elapsed > 0.0 {
                 self.events_ingested.load(Ordering::Relaxed) as f64 / elapsed
@@ -102,6 +105,8 @@ pub struct FleetSnapshot {
     pub batches: u64,
     /// Currently live sessions across all shards.
     pub active_sessions: u64,
+    /// Sessions seeded from a fleet snapshot at build time (warm restart).
+    pub sessions_restored: u64,
     pub uptime_secs: f64,
     /// Ingested events per second of engine uptime.
     pub events_per_sec: f64,

@@ -197,6 +197,106 @@ fn shutdown_flushes_live_sessions() {
 }
 
 #[test]
+fn live_snapshot_is_nonintrusive_and_restores_across_shard_counts() {
+    let (city, model) = trained();
+    let model = Arc::clone(model);
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(8).collect();
+    let events = interleave(&trips);
+    // Split after every trip has started and consumed roughly half its
+    // segments.
+    let split = trips.len() + (events.len() - trips.len()) / 2;
+
+    let (engine, outcomes) = collecting_engine(
+        Arc::clone(&model),
+        FleetConfig { num_shards: 2, max_batch: 32, ..FleetConfig::default() },
+    );
+    for ev in &events[..split] {
+        engine.submit(*ev).expect("engine is live");
+    }
+    let image = engine.snapshot().expect("all shards live");
+    assert_eq!(image.num_shards, 2);
+    // Trips short enough to have ended before the split are complete, not
+    // captured; everything else must be in the image.
+    let live_ids: std::collections::HashSet<u64> =
+        image.sessions.iter().map(|rec| rec.id).collect();
+    let live = image.sessions.len();
+    assert!(live > 0 && live <= trips.len(), "unexpected live-session count {live}");
+
+    // The capture must not disturb the donor engine: finish the stream on
+    // it and check every score against the sequential reference.
+    for ev in &events[split..] {
+        engine.submit(*ev).expect("engine is live");
+    }
+    engine.shutdown();
+    {
+        let outcomes = outcomes.lock().unwrap();
+        for (i, t) in trips.iter().enumerate() {
+            let outcome = &outcomes[&(i as u64)];
+            assert_eq!(outcome.completion, Completion::Ended);
+            let reference = sequential_score(&model, t);
+            assert!(
+                (outcome.score - reference).abs() < 1e-6,
+                "donor trip {i}: {} vs {reference}",
+                outcome.score
+            );
+        }
+    }
+
+    // Restoring onto a different shard count replays the tail of the
+    // stream to the same final scores.
+    let restored_outcomes: Arc<Mutex<HashMap<u64, TripOutcome>>> = Arc::default();
+    let sink = Arc::clone(&restored_outcomes);
+    let restored = FleetEngine::restore(Arc::clone(&model), image)
+        .config(FleetConfig { num_shards: 3, ..FleetConfig::default() })
+        .on_complete(move |outcome| {
+            sink.lock().unwrap().insert(outcome.id, outcome);
+        })
+        .build()
+        .expect("snapshot fits the model");
+    for ev in &events[split..] {
+        restored.submit(*ev).expect("engine is live");
+    }
+    let stats = restored.shutdown();
+    assert_eq!(stats.sessions_restored, live as u64);
+    assert_eq!(stats.active_sessions, 0);
+    let restored_outcomes = restored_outcomes.lock().unwrap();
+    assert_eq!(restored_outcomes.len(), live);
+    for (i, t) in trips.iter().enumerate() {
+        if !live_ids.contains(&(i as u64)) {
+            continue; // ended on the donor before the capture
+        }
+        let outcome = &restored_outcomes[&(i as u64)];
+        assert_eq!(outcome.completion, Completion::Ended, "trip {i}");
+        assert_eq!(outcome.segments, t.len());
+        let reference = sequential_score(&model, t);
+        assert!(
+            (outcome.score - reference).abs() < 1e-6,
+            "restored trip {i}: {} vs {reference}",
+            outcome.score
+        );
+    }
+}
+
+#[test]
+fn snapshot_that_does_not_fit_the_model_is_refused() {
+    let (_city, model) = trained();
+    let model = Arc::clone(model);
+    use causaltad::ScorerState;
+    use tad_serve::{FleetImage, ServeError, SessionRecord};
+    let alien = SessionRecord {
+        id: 7,
+        // Three hidden units can never match a real model's hidden_dim.
+        state: ScorerState::from_parts(vec![0.0, 1.0, 2.0], 0.0, 0.0, 0.0, None, 0, Vec::new()),
+        pending: Vec::new(),
+        ending: false,
+        idle_micros: 0,
+    };
+    let image = FleetImage { num_shards: 1, sessions: vec![alien] };
+    let err = FleetEngine::restore(model, image).build().err();
+    assert_eq!(err, Some(ServeError::SnapshotMismatch { trip: 7, what: "hidden width" }));
+}
+
+#[test]
 fn untrained_model_is_refused_at_build_time() {
     let city = generate_city(&CityConfig::test_scale(78));
     let model = Arc::new(CausalTad::new(&city.net, CausalTadConfig::test_scale()));

@@ -1,0 +1,121 @@
+//! Warm restart: surviving a detector crash without losing in-flight
+//! trips.
+//!
+//! Trains a quick CausalTAD model, streams a fleet of trips into a
+//! `tad-serve` engine, and mid-stream captures a fleet snapshot — the
+//! versioned, checksummed byte blob an operator would write to durable
+//! storage on every checkpoint tick. The engine is then shut down (the
+//! "crash"), a fresh engine is restored from the blob, and the rest of the
+//! stream is replayed into it. Every trip's final anomaly score matches an
+//! uninterrupted sequential run bit-for-bit.
+//!
+//! Run with: `cargo run --release --example warm_restart`
+
+use std::sync::{mpsc, Arc};
+
+use causaltad::{CausalTad, CausalTadConfig};
+use causaltad_suite::serve::{
+    image_from_bytes, Completion, Event, FleetConfig, FleetEngine, TripOutcome,
+};
+use causaltad_suite::trajsim::{generate_city, CityConfig, Trajectory};
+
+fn main() {
+    // --- Train a quick model --------------------------------------------
+    let city = generate_city(&CityConfig::test_scale(1717));
+    let mut cfg = CausalTadConfig::test_scale();
+    cfg.epochs = 3;
+    println!("training on {} trajectories ...", city.data.train.len());
+    let mut model = CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    let model = Arc::new(model);
+
+    // --- The event stream: an interleaved fleet of trips ----------------
+    let fleet: Vec<&Trajectory> = city.data.test_id.iter().take(64).collect();
+    let mut events = Vec::new();
+    for (id, trip) in fleet.iter().enumerate() {
+        let sd = trip.sd_pair();
+        events.push(Event::TripStart {
+            id: id as u64,
+            source: sd.source.0,
+            dest: sd.dest.0,
+            time_slot: trip.time_slot,
+        });
+    }
+    let longest = fleet.iter().map(|t| t.len()).max().unwrap_or(0);
+    for step in 0..longest {
+        for (id, trip) in fleet.iter().enumerate() {
+            if let Some(seg) = trip.segments.get(step) {
+                events.push(Event::Segment { id: id as u64, seg: seg.0 });
+            }
+            if step + 1 == trip.len() {
+                events.push(Event::TripEnd { id: id as u64 });
+            }
+        }
+    }
+    let split = fleet.len() + (events.len() - fleet.len()) / 2;
+
+    let (tx, rx) = mpsc::channel::<TripOutcome>();
+    let finished_only = move |outcome: TripOutcome| {
+        // The crash below flushes live sessions as Completion::Shutdown;
+        // only genuine trip ends are final scores.
+        if outcome.completion == Completion::Ended {
+            let _ = tx.send(outcome);
+        }
+    };
+
+    // --- First life: serve half the stream, checkpoint, "crash" ---------
+    let engine = FleetEngine::builder(Arc::clone(&model))
+        .config(FleetConfig { max_batch: 256, ..FleetConfig::default() })
+        .on_complete(finished_only.clone())
+        .build()
+        .expect("model is trained");
+    println!("engine up: {} shards", engine.num_shards());
+    for ev in &events[..split] {
+        engine.submit(*ev).expect("engine is live");
+    }
+    let blob = engine.snapshot_bytes().expect("all shards live");
+    println!(
+        "checkpoint: {} of {} events served, snapshot is {} bytes",
+        split,
+        events.len(),
+        blob.len()
+    );
+    engine.shutdown();
+    println!("engine killed mid-stream (simulated crash)");
+
+    // --- Second life: restore the snapshot, finish the stream -----------
+    let image = image_from_bytes(blob).expect("snapshot decodes");
+    println!("restoring {} live sessions", image.sessions.len());
+    let restored = FleetEngine::restore(Arc::clone(&model), image)
+        .config(FleetConfig { max_batch: 256, ..FleetConfig::default() })
+        .on_complete(finished_only)
+        .build()
+        .expect("snapshot fits the model");
+    for ev in &events[split..] {
+        restored.submit(*ev).expect("engine is live");
+    }
+    let stats = restored.shutdown();
+
+    // --- Verify against uninterrupted sequential scoring ----------------
+    let outcomes: Vec<TripOutcome> = rx.iter().collect();
+    let mut worst: f64 = 0.0;
+    for outcome in &outcomes {
+        let trip = fleet[outcome.id as usize];
+        let sd = trip.sd_pair();
+        let mut scorer = model.online(sd.source.0, sd.dest.0, trip.time_slot);
+        let mut reference = f64::NAN;
+        for &seg in &trip.segments {
+            reference = scorer.push(seg.0);
+        }
+        worst = worst.max((outcome.score - reference).abs());
+    }
+    println!(
+        "\n{} trips finished across the restart boundary ({} resumed from the snapshot)",
+        outcomes.len(),
+        stats.sessions_restored
+    );
+    println!("max |across-restart - uninterrupted| score gap: {worst:e}");
+    assert_eq!(outcomes.len(), fleet.len(), "every trip must get exactly one final score");
+    assert!(worst < 1e-9, "restart must not perturb scores");
+    println!("warm restart is score-exact ✔");
+}

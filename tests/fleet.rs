@@ -1,23 +1,75 @@
 //! Umbrella-level integration: the fleet engine re-exported through
 //! `causaltad_suite::serve` scores interleaved trips identically to the
-//! sequential `OnlineScorer`, and the fallible `try_online` API rejects
-//! bad requests without panicking.
+//! sequential `OnlineScorer`, the fallible `try_online` API rejects bad
+//! requests without panicking, and a trip scored across a
+//! snapshot/restore boundary produces the same final score as one scored
+//! in a single uninterrupted engine.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use causaltad_suite::core::{CausalTad, CausalTadConfig, OnlineError};
-use causaltad_suite::serve::{Completion, Event, FleetConfig, FleetEngine};
-use causaltad_suite::trajsim::{generate_city, CityConfig, Trajectory};
+use causaltad_suite::serve::{
+    image_from_bytes, image_to_bytes, Completion, Event, FleetConfig, FleetEngine,
+};
+use causaltad_suite::trajsim::{generate_city, City, CityConfig, Trajectory};
+
+/// One trained model shared by every test in this file (training in debug
+/// mode is expensive).
+fn trained() -> &'static (City, Arc<CausalTad>) {
+    static SHARED: OnceLock<(City, Arc<CausalTad>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let city = generate_city(&CityConfig::test_scale(321));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 1;
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        (city, Arc::new(model))
+    })
+}
+
+fn sequential_score(model: &CausalTad, t: &Trajectory) -> f64 {
+    let sd = t.sd_pair();
+    let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+    let mut last = f64::NAN;
+    for &seg in &t.segments {
+        last = scorer.push(seg.0);
+    }
+    last
+}
+
+/// Round-robin interleaving of complete trip streams: all starts first,
+/// then one segment per live trip per step, each trip's end right after
+/// its last segment.
+fn interleave(trips: &[&Trajectory]) -> Vec<Event> {
+    let mut events = Vec::new();
+    for (id, t) in trips.iter().enumerate() {
+        let sd = t.sd_pair();
+        events.push(Event::TripStart {
+            id: id as u64,
+            source: sd.source.0,
+            dest: sd.dest.0,
+            time_slot: t.time_slot,
+        });
+    }
+    let longest = trips.iter().map(|t| t.len()).max().unwrap_or(0);
+    for step in 0..longest {
+        for (id, t) in trips.iter().enumerate() {
+            if let Some(seg) = t.segments.get(step) {
+                events.push(Event::Segment { id: id as u64, seg: seg.0 });
+            }
+            if step + 1 == t.len() {
+                events.push(Event::TripEnd { id: id as u64 });
+            }
+        }
+    }
+    events
+}
 
 #[test]
 fn umbrella_fleet_matches_sequential_and_rejects_bad_requests() {
-    let city = generate_city(&CityConfig::test_scale(321));
-    let mut cfg = CausalTadConfig::test_scale();
-    cfg.epochs = 1;
-    let mut model = CausalTad::new(&city.net, cfg);
-    model.fit(&city.data.train);
-    let model = Arc::new(model);
+    let (city, model) = trained();
+    let model = Arc::clone(model);
 
     // try_online satellite: bad requests come back as errors, not panics.
     let vocab = model.vocab() as u32;
@@ -38,44 +90,95 @@ fn umbrella_fleet_matches_sequential_and_rejects_bad_requests() {
         .build()
         .expect("trained model");
 
-    for (id, t) in trips.iter().enumerate() {
-        let sd = t.sd_pair();
-        engine
-            .submit(Event::TripStart {
-                id: id as u64,
-                source: sd.source.0,
-                dest: sd.dest.0,
-                time_slot: t.time_slot,
-            })
-            .unwrap();
-    }
-    let longest = trips.iter().map(|t| t.len()).max().unwrap();
-    for step in 0..longest {
-        for (id, t) in trips.iter().enumerate() {
-            if let Some(seg) = t.segments.get(step) {
-                engine.submit(Event::Segment { id: id as u64, seg: seg.0 }).unwrap();
-            }
-            if step + 1 == t.len() {
-                engine.submit(Event::TripEnd { id: id as u64 }).unwrap();
-            }
-        }
+    for ev in interleave(&trips) {
+        engine.submit(ev).unwrap();
     }
     let stats = engine.shutdown();
     assert_eq!(stats.trips_completed, trips.len() as u64);
 
     let outcomes = outcomes.lock().unwrap();
     for (id, t) in trips.iter().enumerate() {
-        let sd = t.sd_pair();
-        let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
-        let mut reference = f64::NAN;
-        for &seg in &t.segments {
-            reference = scorer.push(seg.0);
-        }
+        let reference = sequential_score(&model, t);
         let (fleet_score, completion) = outcomes[&(id as u64)];
         assert_eq!(completion, Completion::Ended);
         assert!(
             (fleet_score - reference).abs() < 1e-6,
             "trip {id}: fleet {fleet_score} vs sequential {reference}"
+        );
+    }
+}
+
+/// The warm-restart acceptance test: stream interleaved trips into an
+/// engine, capture a fleet snapshot mid-flight, kill the engine, restore
+/// the snapshot **through its serialized bytes** into a fresh engine with
+/// a different shard count, finish the stream there, and require every
+/// final score to match an uninterrupted sequential run.
+#[test]
+fn trip_scored_across_snapshot_restore_boundary_matches_uninterrupted_run() {
+    let (city, model) = trained();
+    let model = Arc::clone(model);
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(10).collect();
+    let events = interleave(&trips);
+    // Cut after all starts plus roughly 40% of the remaining traffic, so
+    // the capture happens genuinely mid-trip for most sessions.
+    let split = trips.len() + (events.len() - trips.len()) * 2 / 5;
+
+    type FinalScores = Arc<Mutex<HashMap<u64, (f64, usize, Completion)>>>;
+    let outcomes: FinalScores = Arc::default();
+    let record = |sink: &FinalScores| {
+        let sink = Arc::clone(sink);
+        move |o: causaltad_suite::serve::TripOutcome| {
+            // Shutdown flushes of the donor engine are not final results;
+            // keep only genuine completions.
+            if o.completion == Completion::Ended {
+                sink.lock().unwrap().insert(o.id, (o.score, o.segments, o.completion));
+            }
+        }
+    };
+
+    let donor = FleetEngine::builder(Arc::clone(&model))
+        .config(FleetConfig { num_shards: 2, max_batch: 32, ..FleetConfig::default() })
+        .on_complete(record(&outcomes))
+        .build()
+        .expect("trained model");
+    for ev in &events[..split] {
+        donor.submit(*ev).unwrap();
+    }
+    let blob = donor.snapshot_bytes().expect("all shards live");
+    donor.shutdown(); // the "crash": live sessions on the donor are gone
+
+    let image = image_from_bytes(blob.clone()).expect("snapshot decodes");
+    // The persisted artifact is stable: re-encoding reproduces it.
+    assert_eq!(image_to_bytes(&image).to_vec(), blob.to_vec());
+    let live: Vec<u64> = image.sessions.iter().map(|rec| rec.id).collect();
+    assert!(!live.is_empty(), "capture point should leave sessions in flight");
+
+    let restored = FleetEngine::restore(Arc::clone(&model), image)
+        .config(FleetConfig { num_shards: 3, max_batch: 32, ..FleetConfig::default() })
+        .on_complete(record(&outcomes))
+        .build()
+        .expect("snapshot fits the model");
+    for ev in &events[split..] {
+        restored.submit(*ev).unwrap();
+    }
+    let stats = restored.shutdown();
+    assert_eq!(stats.sessions_restored, live.len() as u64);
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(stats.rejected, 0);
+
+    // Between the donor (trips ended pre-capture) and the restored engine
+    // (everything else), every trip must have exactly one final score —
+    // equal to the uninterrupted sequential reference.
+    let outcomes = outcomes.lock().unwrap();
+    assert_eq!(outcomes.len(), trips.len());
+    for (id, t) in trips.iter().enumerate() {
+        let reference = sequential_score(&model, t);
+        let (score, segments, completion) = outcomes[&(id as u64)];
+        assert_eq!(completion, Completion::Ended, "trip {id}");
+        assert_eq!(segments, t.len(), "trip {id}");
+        assert!(
+            (score - reference).abs() < 1e-6,
+            "trip {id}: across-restart {score} vs uninterrupted {reference}"
         );
     }
 }

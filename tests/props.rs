@@ -1,14 +1,68 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! generated city, trajectory, or parameter setting.
 
+use causaltad_suite::core::{
+    state_from_bytes, state_to_bytes, ScorerState, SegmentTrace, StateCodecError,
+};
+use causaltad_suite::serve::{
+    image_from_bytes, image_to_bytes, FleetImage, SessionRecord, SnapshotCodecError,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use tad_roadnet::dijkstra::{length_cost, node_shortest_path, segment_shortest_path};
 use tad_roadnet::grid::{generate_grid_city, GridCityConfig};
 use tad_roadnet::NodeId;
 use tad_trajsim::codec::{datasets_from_bytes, datasets_to_bytes};
 use tad_trajsim::{generate_city, CityConfig};
+
+/// Largest fleet the snapshot property tests exercise (the codec itself
+/// has no cap below `u32::MAX` sessions).
+const MAX_SNAPSHOT_SESSIONS: usize = 64;
+
+/// Deterministically builds an arbitrary live-looking scorer state: random
+/// hidden width (including the inert zero-width placeholder), random score
+/// accumulators, and a random-length trace.
+fn arb_state(rng: &mut StdRng) -> ScorerState {
+    let hidden_width = rng.gen_range(0usize..48);
+    let hidden: Vec<f32> = (0..hidden_width).map(|_| rng.gen_range(-8.0f32..8.0)).collect();
+    let last = if rng.gen_bool(0.8) { Some(rng.gen_range(0u32..10_000)) } else { None };
+    let trace_len = rng.gen_range(0usize..24);
+    let trace: Vec<SegmentTrace> = (0..trace_len)
+        .map(|_| SegmentTrace {
+            segment: rng.gen_range(0u32..10_000),
+            nll: rng.gen_range(-50.0f64..50.0),
+            log_scale: rng.gen_range(-5.0f64..5.0),
+        })
+        .collect();
+    ScorerState::from_parts(
+        hidden,
+        rng.gen_range(-100.0f64..100.0),
+        rng.gen_range(-100.0f64..100.0),
+        rng.gen_range(-100.0f64..100.0),
+        last,
+        rng.gen_range(0u8..96),
+        trace,
+    )
+}
+
+fn arb_record(id: u64, rng: &mut StdRng) -> SessionRecord {
+    let pending_len = rng.gen_range(0usize..6);
+    SessionRecord {
+        id,
+        state: arb_state(rng),
+        pending: (0..pending_len).map(|_| rng.gen_range(0u32..10_000)).collect(),
+        ending: rng.gen_bool(0.1),
+        idle_micros: rng.gen_range(0u64..600_000_000),
+    }
+}
+
+fn arb_image(sessions: usize, rng: &mut StdRng) -> FleetImage {
+    FleetImage {
+        num_shards: rng.gen_range(1u32..16),
+        sessions: (0..sessions as u64).map(|id| arb_record(id, rng)).collect(),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -121,5 +175,104 @@ proptest! {
         // Average precision of any ranking is at least ~pos_rate * k factor;
         // use the loose lower bound AP >= pos_rate / n.
         prop_assert!(ap >= pos_rate / labels.len() as f64);
+    }
+
+    /// Arbitrary scorer states round-trip through the session codec
+    /// byte-for-byte: `decode(encode(x)) == x` and re-encoding the decoded
+    /// state reproduces the exact blob.
+    #[test]
+    fn scorer_state_codec_roundtrips(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = arb_state(&mut rng);
+        let blob = state_to_bytes(&state);
+        let decoded = state_from_bytes(blob.clone());
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(&decoded, &state);
+        prop_assert_eq!(state_to_bytes(&decoded).to_vec(), blob.to_vec());
+    }
+
+    /// Fleet snapshots round-trip for any session count, including the
+    /// empty fleet and the strategy's maximum.
+    #[test]
+    fn fleet_snapshot_codec_roundtrips(seed in 0u64..10_000, n in 0usize..17) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Always exercise the boundary counts alongside the drawn one.
+        for sessions in [0, n, MAX_SNAPSHOT_SESSIONS] {
+            let image = arb_image(sessions, &mut rng);
+            let blob = image_to_bytes(&image);
+            let decoded = image_from_bytes(blob.clone());
+            prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+            let decoded = decoded.unwrap();
+            prop_assert_eq!(&decoded, &image);
+            prop_assert_eq!(image_to_bytes(&decoded).to_vec(), blob.to_vec());
+        }
+    }
+
+    /// Corrupt session blobs — truncated anywhere, or with any single bit
+    /// flipped — always come back as a typed error, never a panic, and
+    /// header corruption maps to the matching variant.
+    #[test]
+    fn corrupt_state_blobs_decode_to_typed_errors(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blob = state_to_bytes(&arb_state(&mut rng)).to_vec();
+
+        let cut = rng.gen_range(0usize..blob.len());
+        prop_assert!(state_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut}");
+
+        let byte = rng.gen_range(0usize..blob.len());
+        let bit = rng.gen_range(0u32..8);
+        let mut flipped = blob.clone();
+        flipped[byte] ^= 1 << bit;
+        let err = state_from_bytes(flipped.into());
+        prop_assert!(err.is_err(), "flip byte {byte} bit {bit} was accepted");
+        match (byte, err.unwrap_err()) {
+            (0..=3, StateCodecError::BadMagic) => {}
+            (0..=3, other) => {
+                return Err(TestCaseError::fail(format!("magic flip gave {other:?}")));
+            }
+            (4..=5, StateCodecError::BadVersion(_)) => {}
+            (4..=5, other) => {
+                return Err(TestCaseError::fail(format!("version flip gave {other:?}")));
+            }
+            _ => {} // body flips: Truncated or ChecksumMismatch, both fine
+        }
+    }
+
+    /// The same battery for whole fleet snapshots: wrong magic, wrong
+    /// version, every truncation, and random bit flips are all typed
+    /// errors — `cargo test` proving the absence of any panic path.
+    #[test]
+    fn corrupt_fleet_snapshots_decode_to_typed_errors(seed in 0u64..10_000, n in 0usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blob = image_to_bytes(&arb_image(n, &mut rng)).to_vec();
+
+        let mut wrong_magic = blob.clone();
+        wrong_magic[1] = b'X';
+        prop_assert_eq!(
+            image_from_bytes(wrong_magic.into()).unwrap_err(),
+            SnapshotCodecError::BadMagic
+        );
+
+        let mut wrong_version = blob.clone();
+        wrong_version[4] = 0x42;
+        match image_from_bytes(wrong_version.into()).unwrap_err() {
+            SnapshotCodecError::BadVersion(0x42) => {}
+            other => return Err(TestCaseError::fail(format!("version flip gave {other:?}"))),
+        }
+
+        let cut = rng.gen_range(0usize..blob.len());
+        prop_assert!(image_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut}");
+
+        for _ in 0..8 {
+            let byte = rng.gen_range(0usize..blob.len());
+            let bit = rng.gen_range(0u32..8);
+            let mut flipped = blob.clone();
+            flipped[byte] ^= 1 << bit;
+            prop_assert!(
+                image_from_bytes(flipped.into()).is_err(),
+                "flip byte {byte} bit {bit} was accepted"
+            );
+        }
     }
 }
