@@ -45,10 +45,12 @@ pub mod math;
 pub mod nn;
 pub mod optim;
 mod params;
+mod pool;
 mod tape;
 mod tensor;
 
 pub use math::{fast_exp, fast_sigmoid, fast_tanh};
 pub use params::{CodecError, ParamId, ParamStore};
+pub use pool::TensorPool;
 pub use tape::{logsumexp, Tape, Var};
 pub use tensor::Tensor;

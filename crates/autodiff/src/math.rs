@@ -1,4 +1,4 @@
-//! Fast, branch-free transcendental approximations for inference hot
+//! Fast, branch-free transcendental approximations for the GRU gate hot
 //! loops.
 //!
 //! `libm` calls dominate the per-cell cost of batched GRU stepping (two
@@ -6,8 +6,11 @@
 //! into the gate loops, cost ~20 flops each, and auto-vectorise. Maximum
 //! relative error is ~1e-7 (verified by tests against `std`), far inside
 //! the 1e-5 tolerance the tape-vs-inference consistency tests demand.
-//! Training-time tape ops keep using `std` — only tape-free inference
-//! paths opt in.
+//! Both the tape-free inference paths and the fused training-time GRU op
+//! ([`crate::Tape::gru_step`]) use them — with identical loop structure,
+//! so taped hidden states match inference bit for bit. The remaining
+//! elementwise tape ops (`sigmoid`/`tanh`/`exp`) keep `std`
+//! transcendentals.
 // The polynomial constants are the exact Cephes coefficients; extra digits
 // document provenance even where f32 rounds them.
 #![allow(clippy::excessive_precision)]

@@ -59,13 +59,13 @@ impl Linear {
         Linear { w, b, in_dim, out_dim }
     }
 
-    /// Applies the layer to a `batch x in_dim` input.
+    /// Applies the layer to a `batch x in_dim` input (one fused
+    /// matmul+bias node).
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         debug_assert_eq!(tape.value(x).cols(), self.in_dim, "Linear: input dim");
         let w = tape.param(store, self.w);
         let b = tape.param(store, self.b);
-        let h = tape.matmul(x, w);
-        tape.add(h, b)
+        tape.linear(x, w, b, false)
     }
 
     /// Projects onto a *subset* of output classes: gathers rows `classes` of
@@ -93,13 +93,40 @@ impl Linear {
         tape.add(logits, b)
     }
 
+    /// Grouped class-subset softmax cross-entropy for a row-major layer:
+    /// row `i` of `x` is scored against classes
+    /// `cands[offsets[i]..offsets[i+1]]` with `targets[i]` indexing into
+    /// its span; returns the summed CE loss as one fused tape node
+    /// ([`Tape::subset_softmax_ce`]). This is the batched training-side
+    /// counterpart of [`Linear::forward_subset`]: a micro-batch's entire
+    /// road-constrained head records one node instead of several per
+    /// transition.
+    pub fn subset_cross_entropy(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        cands: &[u32],
+        offsets: &[u32],
+        targets: &[u32],
+    ) -> Var {
+        debug_assert_eq!(
+            store.value(self.w).cols(),
+            self.in_dim,
+            "subset_cross_entropy requires a row-major (out x in) weight; use new_rowmajor"
+        );
+        tape.subset_softmax_ce(store, x, self.w, self.b, cands, offsets, targets)
+    }
+
     /// Full projection for a layer created with [`Linear::new_rowmajor`]:
-    /// `y = x · Wᵀ + b` with `W: out x in`.
+    /// `y = x · Wᵀ + b` with `W: out x in` (one fused matmul+bias node —
+    /// the full-vocab heads produce `batch x vocab` outputs, so skipping
+    /// the separate broadcast-add node saves a full-size copy in both
+    /// passes).
     pub fn forward_rowmajor(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         let w = tape.param(store, self.w);
-        let h = tape.matmul_t(x, w);
         let b = tape.param(store, self.b);
-        tape.add(h, b)
+        tape.linear(x, w, b, true)
     }
 
     /// Registers a layer whose weight is stored `out x in` (one contiguous
@@ -283,10 +310,10 @@ impl GruCell {
         }
     }
 
-    /// Tape-free recurrence step for inference. Matches [`BoundGru::step`]
-    /// up to the fast-math gate tolerance: the gates use
-    /// [`crate::math::fast_sigmoid`]/[`crate::math::fast_tanh`] (absolute
-    /// error < 1e-6 per element) instead of `std` transcendentals.
+    /// Tape-free recurrence step for inference. Bit-identical to
+    /// [`BoundGru::step`]: both use the vectorised
+    /// [`crate::math::fast_sigmoid`]/[`crate::math::fast_tanh`] gate
+    /// kernels with the same three-pass loop structure.
     pub fn infer_step(&self, store: &ParamStore, x: &Tensor, h: &Tensor) -> Tensor {
         let mut gx = x.matmul(store.value(self.w));
         add_bias_rows(&mut gx, store.value(self.b));
@@ -371,7 +398,35 @@ pub struct BoundGru {
 
 impl BoundGru {
     /// One recurrence step: `x` is `batch x in_dim`, `h` is `batch x hidden`.
+    ///
+    /// Records a single fused [`Tape::gru_step`] node (vectorised gate
+    /// kernels, hand-fused backward) instead of the ~18 primitive ops of
+    /// [`BoundGru::step_unfused`]. Hidden states are bit-identical to
+    /// [`GruCell::infer_step`] and match the unfused formulation within the
+    /// fast-math gate tolerance (absolute error < 1e-6 per element).
     pub fn step(&self, tape: &mut Tape, x: Var, h: Var) -> Var {
+        tape.gru_step(x, h, self.w, self.u, self.b)
+    }
+
+    /// Computes the input-gate projections `x·W + b` for a whole
+    /// row-stacked sequence in one fused GEMM — the training-side
+    /// counterpart of the inference `StepCache`. Feed slices of the result
+    /// to [`BoundGru::step_pregated`].
+    pub fn input_gates(&self, tape: &mut Tape, x_all: Var) -> Var {
+        tape.linear(x_all, self.w, self.b, false)
+    }
+
+    /// One recurrence step consuming rows `[start, start + h.rows)` of a
+    /// precomputed [`BoundGru::input_gates`] block: only the `h·U` product
+    /// runs inside the recurrence. Bit-identical to [`BoundGru::step`].
+    pub fn step_pregated(&self, tape: &mut Tape, gx_all: Var, start: usize, h: Var) -> Var {
+        tape.gru_step_pregated(gx_all, start, h, self.u)
+    }
+
+    /// The op-by-op GRU formulation using only primitive tape ops. Kept as
+    /// the scalar reference path for equivalence tests and benchmarks of
+    /// the fused step.
+    pub fn step_unfused(&self, tape: &mut Tape, x: Var, h: Var) -> Var {
         let hd = self.hidden;
         let gx0 = tape.matmul(x, self.w);
         let gx = tape.add(gx0, self.b);

@@ -50,9 +50,8 @@ impl Adam {
         for (i, id) in store.ids().enumerate().collect::<Vec<_>>() {
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            // Split borrows: read grad, write value.
-            let grad = store.grad(id).clone();
-            let value = store.value_mut(id);
+            // Split borrow: read grad, write value — no gradient clone.
+            let (value, grad) = store.value_grad_mut(id);
             for (((p, g), mi), vi) in value
                 .data_mut()
                 .iter_mut()
@@ -89,8 +88,8 @@ impl Sgd {
     /// Applies one update from the gradients in `store`, then zeroes them.
     pub fn step(&self, store: &mut ParamStore) {
         for id in store.ids().collect::<Vec<_>>() {
-            let grad = store.grad(id).clone();
-            store.value_mut(id).add_scaled(&grad, -self.lr);
+            let (value, grad) = store.value_grad_mut(id);
+            value.add_scaled(grad, -self.lr);
         }
         store.zero_grads();
     }
@@ -117,7 +116,7 @@ mod tests {
         let id = store.add("x", Tensor::from_vec(1, 1, vec![-5.0]));
         let mut adam = Adam::new(&store, 0.2);
         for _ in 0..200 {
-            let (tape, loss) = quadratic_loss(&store, id);
+            let (mut tape, loss) = quadratic_loss(&store, id);
             tape.backward(loss, &mut store);
             adam.step(&mut store);
         }
@@ -132,7 +131,7 @@ mod tests {
         let id = store.add("x", Tensor::from_vec(1, 1, vec![10.0]));
         let sgd = Sgd::new(0.1);
         for _ in 0..100 {
-            let (tape, loss) = quadratic_loss(&store, id);
+            let (mut tape, loss) = quadratic_loss(&store, id);
             tape.backward(loss, &mut store);
             sgd.step(&mut store);
         }
@@ -145,7 +144,7 @@ mod tests {
         let mut store = ParamStore::new();
         let id = store.add("x", Tensor::from_vec(1, 1, vec![1.0]));
         let mut adam = Adam::new(&store, 0.1);
-        let (tape, loss) = quadratic_loss(&store, id);
+        let (mut tape, loss) = quadratic_loss(&store, id);
         tape.backward(loss, &mut store);
         assert!(store.grad_norm() > 0.0);
         adam.step(&mut store);

@@ -85,6 +85,20 @@ impl ParamStore {
         &mut self.grads[id.index()]
     }
 
+    /// Split borrow for optimisers: the mutable value and the (shared)
+    /// gradient of `id` at once, so update loops need no gradient clone.
+    #[inline]
+    pub fn value_grad_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        (&mut self.values[id.index()], &self.grads[id.index()])
+    }
+
+    /// Split borrow for scatter-style backward rules: the (shared) value
+    /// and the mutable gradient of `id` at once.
+    #[inline]
+    pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&Tensor, &mut Tensor) {
+        (&self.values[id.index()], &mut self.grads[id.index()])
+    }
+
     /// Parameter name.
     pub fn name(&self, id: ParamId) -> &str {
         &self.names[id.index()]

@@ -1,0 +1,188 @@
+//! Shape-keyed tensor buffer pool.
+//!
+//! The tape's forward pass and `backward()` both churn through short-lived
+//! tensors whose shapes repeat every trajectory (gate activations, logits,
+//! gradients). [`TensorPool`] keeps the freed buffers keyed by element
+//! count so steady-state training performs no heap allocation: the pool
+//! warms up on the first tape pass of an epoch and is hit-only afterwards.
+//!
+//! Buffers are keyed by *element count*, not `(rows, cols)` — a freed
+//! `4 x 12` gradient can come back as a `1 x 48` bias row. Small counts
+//! (training shapes repeat exactly) key by their exact size; large counts
+//! share power-of-two buckets, so the ragged micro-batch sizes of the
+//! vocab-wide CE buffers (a different `tokens x vocab` every chunk) reuse
+//! one buffer family instead of parking a new multi-MB allocation per
+//! distinct size. Each bucket also caps its idle list, bounding worst-case
+//! retention. Contents of a recycled buffer are arbitrary;
+//! [`TensorPool::take_scratch`] hands them out as-is for callers that
+//! overwrite every element, while [`TensorPool::take_zeroed`] /
+//! [`TensorPool::take_full`] clear them first.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Element counts up to this size use exact-size buckets; larger buffers
+/// share power-of-two buckets (and get resized on take).
+const EXACT_BUCKET_MAX: usize = 4096;
+/// Idle buffers retained per bucket; excess recycles are dropped.
+const BUCKET_CAP: usize = 32;
+
+/// Bucket key for an element count.
+#[inline]
+fn bucket(n: usize) -> usize {
+    if n <= EXACT_BUCKET_MAX {
+        n
+    } else {
+        n.next_power_of_two()
+    }
+}
+
+/// Reusable buffer pool for [`Tensor`]s, keyed by bucketed element count.
+#[derive(Debug, Default)]
+pub struct TensorPool {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TensorPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A `rows x cols` tensor with **arbitrary contents** (recycled data or
+    /// zeros). Only use when every element is overwritten before being read.
+    pub fn take_scratch(&mut self, rows: usize, cols: usize) -> Tensor {
+        let n = rows * cols;
+        match self.free.get_mut(&bucket(n)).and_then(Vec::pop) {
+            Some(mut buf) => {
+                self.hits += 1;
+                // Large buckets hold mixed sizes within one power of two;
+                // the resize stays inside the buffer's capacity family and
+                // settles after the first few chunks.
+                if buf.len() != n {
+                    buf.resize(n, 0.0);
+                }
+                Tensor::from_vec(rows, cols, buf)
+            }
+            None => {
+                self.misses += 1;
+                Tensor::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// A zero-filled `rows x cols` tensor.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        let mut t = self.take_scratch(rows, cols);
+        t.fill_zero();
+        t
+    }
+
+    /// A `rows x cols` tensor with every element set to `value`.
+    pub fn take_full(&mut self, rows: usize, cols: usize, value: f32) -> Tensor {
+        let mut t = self.take_scratch(rows, cols);
+        t.data_mut().iter_mut().for_each(|x| *x = value);
+        t
+    }
+
+    /// A pooled copy of `src`.
+    pub fn take_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.take_scratch(src.rows(), src.cols());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+
+    /// Returns a tensor's buffer to the pool for reuse. Buffers beyond the
+    /// per-bucket cap are dropped, so idle retention stays bounded even
+    /// under adversarial shape sequences.
+    pub fn recycle(&mut self, t: Tensor) {
+        let n = t.len();
+        if n == 0 {
+            return;
+        }
+        let idle = self.free.entry(bucket(n)).or_default();
+        if idle.len() < BUCKET_CAP {
+            idle.push(t.into_data());
+        }
+    }
+
+    /// Number of times a take was served from the free list.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of times a take had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn idle_buffers(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycle_then_take_reuses_buffer() {
+        let mut pool = TensorPool::new();
+        let t = pool.take_zeroed(2, 3);
+        assert_eq!(pool.misses(), 1);
+        pool.recycle(t);
+        assert_eq!(pool.idle_buffers(), 1);
+        // Same element count, different shape: still a hit.
+        let t2 = pool.take_zeroed(3, 2);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(t2.shape(), (3, 2));
+        assert!(t2.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_full_and_copy_initialise() {
+        let mut pool = TensorPool::new();
+        let dirty = pool.take_full(1, 4, 7.5);
+        assert!(dirty.data().iter().all(|&x| x == 7.5));
+        pool.recycle(dirty);
+        let ones = pool.take_full(2, 2, 1.0);
+        assert!(ones.data().iter().all(|&x| x == 1.0));
+        let copy = pool.take_copy(&ones);
+        assert_eq!(copy.data(), ones.data());
+    }
+
+    #[test]
+    fn zero_sized_tensors_are_not_pooled() {
+        let mut pool = TensorPool::new();
+        pool.recycle(Tensor::zeros(0, 5));
+        assert_eq!(pool.idle_buffers(), 0);
+    }
+
+    #[test]
+    fn large_ragged_sizes_share_one_bucket() {
+        // Ragged micro-batch CE shapes (tokens x vocab) differ every chunk;
+        // power-of-two bucketing must reuse the same buffer family instead
+        // of parking one buffer per distinct size.
+        let mut pool = TensorPool::new();
+        let t = pool.take_zeroed(130, 514);
+        pool.recycle(t);
+        // Different element count, same power-of-two class.
+        let t2 = pool.take_zeroed(140, 514);
+        assert_eq!(pool.hits(), 1, "ragged large take should hit the bucket");
+        assert_eq!(t2.shape(), (140, 514));
+        assert!(t2.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn bucket_cap_bounds_idle_retention() {
+        let mut pool = TensorPool::new();
+        for _ in 0..(BUCKET_CAP + 10) {
+            pool.recycle(Tensor::zeros(1, 8));
+        }
+        assert_eq!(pool.idle_buffers(), BUCKET_CAP);
+    }
+}

@@ -7,11 +7,23 @@
 //!
 //! The op set is exactly what the paper's models need: dense matmuls (plus
 //! the `A·Bᵀ` variant used for projecting onto gathered embedding rows),
-//! elementwise nonlinearities, row-broadcast addition for biases, column
-//! slicing/concatenation for packed GRU gates, fused softmax cross-entropy,
-//! and a row-wise log-sum-exp for mixture priors.
+//! elementwise nonlinearities, a fused GRU recurrence step, row/column
+//! slicing and concatenation for packed gates and micro-batched sequence
+//! training, fused softmax cross-entropy, and a row-wise log-sum-exp for
+//! mixture priors.
+//!
+//! ## Memory discipline
+//!
+//! Every forward value and every backward gradient is drawn from an
+//! internal [`TensorPool`] that survives [`Tape::reset`]: after the first
+//! trajectory of an epoch warms the pool, steady-state training performs no
+//! heap allocation on the tape. Matmul gradients route through the
+//! transpose-aware kernels ([`Tensor::matmul_t_into`],
+//! [`Tensor::matmul_tn_into`]) instead of materialising `transpose()`
+//! copies.
 
 use crate::params::{ParamId, ParamStore};
+use crate::pool::TensorPool;
 use crate::tensor::Tensor;
 
 /// Handle to a node on the tape.
@@ -64,13 +76,51 @@ enum Op {
     Exp(Var),
     /// Natural log; inputs must be strictly positive.
     Ln(Var),
+    /// One fused GRU recurrence step `h' = GRU(x, h)` with packed gates
+    /// `[z | r | n]` in `w`/`u`/`b`. `aux` caches `[z | r | n | nh]` for the
+    /// backward pass.
+    GruStep {
+        x: Var,
+        h: Var,
+        w: Var,
+        u: Var,
+        b: Var,
+    },
+    /// GRU step consuming precomputed input gates: rows
+    /// `[start, start + h.rows)` of `gx` already hold `x·W + b`, so the
+    /// whole sequence's input projection runs as one GEMM outside the
+    /// recurrence. `aux` caches `[z | r | n | nh]`.
+    GruStepPregated {
+        gx: Var,
+        start: usize,
+        h: Var,
+        u: Var,
+    },
+    /// Fused affine projection `x·W + b` (`transposed = false`, `W: in x
+    /// out`) or `x·Wᵀ + b` (`transposed = true`, `W: out x in`), with the
+    /// bias added in place — no separate broadcast-add node or full-size
+    /// gradient copy.
+    Linear {
+        x: Var,
+        w: Var,
+        b: Var,
+        transposed: bool,
+    },
     /// Horizontal concatenation `[a | b]` (same number of rows).
     ConcatCols(Var, Var),
+    /// Vertical concatenation of several nodes (same number of columns).
+    ConcatRows(Vec<Var>),
     /// Columns `[start, start+len)` of `a`.
     SliceCols {
         src: Var,
         start: usize,
         len: usize,
+    },
+    /// Row gather from another node (micro-batch shrinking / regrouping);
+    /// rows may repeat. Gradients scatter-add back.
+    SelectRows {
+        src: Var,
+        ids: Vec<u32>,
     },
     /// Sum of all elements, producing a `1 x 1` scalar.
     SumAll(Var),
@@ -80,6 +130,20 @@ enum Op {
     /// `aux` caches the softmax probabilities for the backward pass.
     SoftmaxCrossEntropy {
         logits: Var,
+        targets: Vec<u32>,
+    },
+    /// Grouped class-subset projection + softmax cross-entropy against a
+    /// row-major (`out x in`) weight parameter and its bias, summed over
+    /// rows (`1 x 1`): row `i` of `x` is scored against weight rows
+    /// `cands[offsets[i]..offsets[i+1]]`, with `targets[i]` indexing into
+    /// that span. One node covers every transition of a micro-batch; `aux`
+    /// caches the flattened softmax probabilities.
+    SubsetSoftmaxCe {
+        x: Var,
+        w: ParamId,
+        b: ParamId,
+        cands: Vec<u32>,
+        offsets: Vec<u32>,
         targets: Vec<u32>,
     },
     /// Row-wise `log(sum(exp(x)))`, producing `rows x 1`.
@@ -93,8 +157,14 @@ enum Op {
 pub struct Tape {
     ops: Vec<Op>,
     values: Vec<Tensor>,
-    /// Cached softmax probabilities for `SoftmaxCrossEntropy` nodes.
+    /// Cached forward by-products (`SoftmaxCrossEntropy` probabilities,
+    /// `GruStep` gate activations).
     aux: Vec<Option<Tensor>>,
+    /// Buffer pool feeding forward values and backward gradients; persists
+    /// across [`Tape::reset`] so repeated passes reuse memory.
+    pool: TensorPool,
+    /// Reusable per-node gradient slots for [`Tape::backward`].
+    grad_slots: Vec<Option<Tensor>>,
 }
 
 impl Default for Tape {
@@ -110,6 +180,8 @@ impl Tape {
             ops: Vec::with_capacity(256),
             values: Vec::with_capacity(256),
             aux: Vec::with_capacity(256),
+            pool: TensorPool::new(),
+            grad_slots: Vec::new(),
         }
     }
 
@@ -123,12 +195,23 @@ impl Tape {
         self.ops.is_empty()
     }
 
-    /// Clears all recorded nodes so the tape can be reused without
-    /// reallocating its buffers.
+    /// Clears all recorded nodes so the tape can be reused. Value and aux
+    /// buffers are recycled into the internal pool, so subsequent passes of
+    /// the same model allocate nothing.
     pub fn reset(&mut self) {
         self.ops.clear();
-        self.values.clear();
-        self.aux.clear();
+        for t in self.values.drain(..) {
+            self.pool.recycle(t);
+        }
+        for t in self.aux.drain(..).flatten() {
+            self.pool.recycle(t);
+        }
+    }
+
+    /// `(hits, misses)` of the internal buffer pool — a steady-state
+    /// training loop stops missing after its first tape pass.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.hits(), self.pool.misses())
     }
 
     /// The value computed at `v`.
@@ -158,19 +241,27 @@ impl Tape {
 
     /// Records a `1 x 1` scalar constant.
     pub fn scalar(&mut self, x: f32) -> Var {
-        self.input(Tensor::from_vec(1, 1, vec![x]))
+        let v = self.pool.take_full(1, 1, x);
+        self.push(Op::Input, v)
     }
 
     /// Records a parameter leaf; the current value is copied onto the tape.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(Op::Param(id), store.value(id).clone())
+        let value = self.pool.take_copy(store.value(id));
+        self.push(Op::Param(id), value)
     }
 
     /// Records an embedding lookup: rows `ids` of parameter `id`.
     /// Gradients are scatter-added back into exactly those rows.
     pub fn gather_rows(&mut self, store: &ParamStore, id: ParamId, ids: &[u32]) -> Var {
-        let value = store.value(id).gather_rows(ids);
-        self.push(Op::GatherRows { param: id, ids: ids.to_vec() }, value)
+        let src = store.value(id);
+        let mut out = self.pool.take_scratch(ids.len(), src.cols());
+        for (i, &row_id) in ids.iter().enumerate() {
+            let row_id = row_id as usize;
+            assert!(row_id < src.rows(), "gather_rows: row {row_id} out of {}", src.rows());
+            out.row_mut(i).copy_from_slice(src.row(row_id));
+        }
+        self.push(Op::GatherRows { param: id, ids: ids.to_vec() }, out)
     }
 
     /// Records a column-subset lookup of parameter `id`: output has the same
@@ -179,7 +270,7 @@ impl Tape {
     pub fn gather_cols(&mut self, store: &ParamStore, id: ParamId, ids: &[u32]) -> Var {
         let src = store.value(id);
         let rows = src.rows();
-        let mut out = Tensor::zeros(rows, ids.len());
+        let mut out = self.pool.take_scratch(rows, ids.len());
         for (i, &c) in ids.iter().enumerate() {
             let c = c as usize;
             assert!(c < src.cols(), "gather_cols: column {c} out of {}", src.cols());
@@ -194,14 +285,20 @@ impl Tape {
 
     /// `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), value)
+        let m = self.value(a).rows();
+        let n = self.value(b).cols();
+        let mut out = self.pool.take_scratch(m, n);
+        self.values[a.index()].matmul_into(&self.values[b.index()], &mut out);
+        self.push(Op::MatMul(a, b), out)
     }
 
     /// `a · bᵀ`.
     pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul_t(self.value(b));
-        self.push(Op::MatMulT(a, b), value)
+        let m = self.value(a).rows();
+        let n = self.value(b).rows();
+        let mut out = self.pool.take_scratch(m, n);
+        self.values[a.index()].matmul_t_into(&self.values[b.index()], &mut out);
+        self.push(Op::MatMulT(a, b), out)
     }
 
     /// Elementwise addition. When `b` is a single row and `a` has several,
@@ -211,11 +308,11 @@ impl Tape {
         let (br, bc) = self.value(b).shape();
         assert_eq!(ac, bc, "add: column mismatch {ac} vs {bc}");
         assert!(br == ar || br == 1, "add: row mismatch {ar} vs {br}");
-        let mut out = self.value(a).clone();
+        let mut out = self.pool.take_copy(&self.values[a.index()]);
+        let b_val = &self.values[b.index()];
         if br == ar {
-            out.add_assign(self.value(b));
+            out.add_assign(b_val);
         } else {
-            let b_val = self.value(b).clone();
             for r in 0..ar {
                 for (o, &x) in out.row_mut(r).iter_mut().zip(b_val.row(0)) {
                     *o += x;
@@ -228,94 +325,257 @@ impl Tape {
     /// Elementwise subtraction (shapes must match exactly).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.value(a).shape(), self.value(b).shape(), "sub: shape mismatch");
-        let mut out = self.value(a).clone();
-        out.add_scaled(self.value(b), -1.0);
+        let mut out = self.pool.take_copy(&self.values[a.index()]);
+        out.add_scaled(&self.values[b.index()], -1.0);
         self.push(Op::Sub(a, b), out)
     }
 
     /// Elementwise product (shapes must match exactly).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul: shape mismatch");
-        let b_ref = self.value(b);
-        let out = Tensor::from_vec(
-            b_ref.rows(),
-            b_ref.cols(),
-            self.value(a).data().iter().zip(b_ref.data()).map(|(&x, &y)| x * y).collect(),
-        );
+        let (r, c) = self.value(a).shape();
+        let mut out = self.pool.take_scratch(r, c);
+        for ((o, &x), &y) in out
+            .data_mut()
+            .iter_mut()
+            .zip(self.values[a.index()].data())
+            .zip(self.values[b.index()].data())
+        {
+            *o = x * y;
+        }
         self.push(Op::Mul(a, b), out)
     }
 
     /// `a + c` with a scalar constant.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let out = self.value(a).map(|x| x + c);
+        let out = self.pooled_map(a, |x| x + c);
         self.push(Op::AddScalar(a), out)
     }
 
     /// `c * a` with a scalar constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let out = self.value(a).map(|x| c * x);
+        let out = self.pooled_map(a, |x| c * x);
         self.push(Op::Scale(a, c), out)
+    }
+
+    /// Elementwise map of `a`'s value into a pooled tensor.
+    fn pooled_map(&mut self, a: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let (r, c) = self.value(a).shape();
+        let mut out = self.pool.take_scratch(r, c);
+        for (o, &x) in out.data_mut().iter_mut().zip(self.values[a.index()].data()) {
+            *o = f(x);
+        }
+        out
     }
 
     // ----- nonlinearities ---------------------------------------------------
 
-    /// Elementwise logistic sigmoid.
+    /// Elementwise logistic sigmoid (vectorised
+    /// [`crate::math::fast_sigmoid`], absolute error < 1e-6).
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let out = self.pooled_map(a, crate::math::fast_sigmoid);
         self.push(Op::Sigmoid(a), out)
     }
 
-    /// Elementwise hyperbolic tangent.
+    /// Elementwise hyperbolic tangent (vectorised
+    /// [`crate::math::fast_tanh`], absolute error < 1e-6).
     pub fn tanh(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f32::tanh);
+        let out = self.pooled_map(a, crate::math::fast_tanh);
         self.push(Op::Tanh(a), out)
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(|x| x.max(0.0));
+        let out = self.pooled_map(a, |x| x.max(0.0));
         self.push(Op::Relu(a), out)
     }
 
-    /// Elementwise exponential.
+    /// Elementwise exponential (vectorised [`crate::math::fast_exp`],
+    /// relative error ~1e-7).
     pub fn exp(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f32::exp);
+        let out = self.pooled_map(a, crate::math::fast_exp);
         self.push(Op::Exp(a), out)
     }
 
     /// Elementwise natural logarithm (inputs must be positive).
     pub fn ln(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f32::ln);
+        let out = self.pooled_map(a, f32::ln);
         self.push(Op::Ln(a), out)
+    }
+
+    // ----- recurrence -------------------------------------------------------
+
+    /// One fused GRU step `h' = GRU(x, h)` with packed `[z | r | n]` gates:
+    ///
+    /// ```text
+    /// z = sigmoid(xWz + hUz + bz)
+    /// r = sigmoid(xWr + hUr + br)
+    /// n = tanh  (xWn + r * (hUn) + bn)
+    /// h' = n + z * (h - n)
+    /// ```
+    ///
+    /// `w: in x 3h`, `u: h x 3h`, `b: 1 x 3h` are tape nodes (usually
+    /// [`Op::Param`] leaves). A single node replaces the ~18 primitive ops
+    /// of the composed formulation, with a hand-fused backward. The gate
+    /// nonlinearities use the vectorised [`crate::math::fast_sigmoid`] /
+    /// [`crate::math::fast_tanh`] kernels and the same three-pass loop
+    /// structure as [`crate::nn::GruCell::infer_step`], so taped training
+    /// steps and tape-free inference steps produce bit-identical hidden
+    /// states.
+    pub fn gru_step(&mut self, x: Var, h: Var, w: Var, u: Var, b: Var) -> Var {
+        let (bsz, hd) = self.value(h).shape();
+        let in_dim = self.value(x).cols();
+        debug_assert_eq!(self.value(x).rows(), bsz, "gru_step: batch mismatch");
+        debug_assert_eq!(self.value(w).shape(), (in_dim, 3 * hd), "gru_step: W shape");
+        debug_assert_eq!(self.value(u).shape(), (hd, 3 * hd), "gru_step: U shape");
+        debug_assert_eq!(self.value(b).shape(), (1, 3 * hd), "gru_step: bias shape");
+
+        let mut gx = self.pool.take_scratch(bsz, 3 * hd);
+        self.values[x.index()].matmul_into(&self.values[w.index()], &mut gx);
+        {
+            let bias = &self.values[b.index()];
+            for r in 0..bsz {
+                for (o, &bb) in gx.row_mut(r).iter_mut().zip(bias.row(0)) {
+                    *o += bb;
+                }
+            }
+        }
+        let mut gh = self.pool.take_scratch(bsz, 3 * hd);
+        self.values[h.index()].matmul_into(&self.values[u.index()], &mut gh);
+
+        let mut out = self.pool.take_scratch(bsz, hd);
+        // aux layout: [z | r | n | nh] per row (nh = the hUn slice, needed
+        // by the backward pass of the n gate).
+        let mut packed = self.pool.take_scratch(bsz, 4 * hd);
+        gru_gate_forward(&gx, 0, &gh, &self.values[h.index()], &mut out, &mut packed);
+        self.pool.recycle(gx);
+        self.pool.recycle(gh);
+        self.push_with_aux(Op::GruStep { x, h, w, u, b }, out, Some(packed))
+    }
+
+    /// [`Tape::gru_step`] with the input-gate projection hoisted out of the
+    /// recurrence: rows `[start, start + h.rows)` of `gx_all` must already
+    /// hold `x·W + b` for this step (typically one [`Tape::linear`] GEMM
+    /// over every timestep of the sequence). Only the recurrent `h·U`
+    /// product remains inside the loop. Hidden states are bit-identical to
+    /// [`Tape::gru_step`] — the big GEMM row-stacks the same ascending-`k`
+    /// accumulation.
+    pub fn gru_step_pregated(&mut self, gx_all: Var, start: usize, h: Var, u: Var) -> Var {
+        let (bsz, hd) = self.value(h).shape();
+        debug_assert_eq!(self.value(gx_all).cols(), 3 * hd, "gru_step_pregated: gx width");
+        debug_assert!(start + bsz <= self.value(gx_all).rows(), "gru_step_pregated: gx row range");
+        debug_assert_eq!(self.value(u).shape(), (hd, 3 * hd), "gru_step_pregated: U shape");
+        let mut gh = self.pool.take_scratch(bsz, 3 * hd);
+        self.values[h.index()].matmul_into(&self.values[u.index()], &mut gh);
+        let mut out = self.pool.take_scratch(bsz, hd);
+        let mut packed = self.pool.take_scratch(bsz, 4 * hd);
+        gru_gate_forward(
+            &self.values[gx_all.index()],
+            start,
+            &gh,
+            &self.values[h.index()],
+            &mut out,
+            &mut packed,
+        );
+        self.pool.recycle(gh);
+        self.push_with_aux(Op::GruStepPregated { gx: gx_all, start, h, u }, out, Some(packed))
+    }
+
+    /// Fused affine projection: `x·W + b` (`transposed = false`, `W` is
+    /// `in x out`) or `x·Wᵀ + b` (`transposed = true`, `W` is `out x in`,
+    /// one contiguous row per output class). The bias lands in the matmul
+    /// output in place, so there is no broadcast-add node and no full-size
+    /// gradient copy in backward.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var, transposed: bool) -> Var {
+        let (m, k) = self.value(x).shape();
+        let (wr, wc) = self.value(w).shape();
+        let out_dim = if transposed {
+            assert_eq!(wc, k, "linear: transposed weight inner dim {wc} vs {k}");
+            wr
+        } else {
+            assert_eq!(wr, k, "linear: weight inner dim {wr} vs {k}");
+            wc
+        };
+        assert_eq!(self.value(b).shape(), (1, out_dim), "linear: bias shape");
+        let mut out = self.pool.take_scratch(m, out_dim);
+        if transposed {
+            self.values[x.index()].matmul_t_into(&self.values[w.index()], &mut out);
+        } else {
+            self.values[x.index()].matmul_into(&self.values[w.index()], &mut out);
+        }
+        {
+            let bias = &self.values[b.index()];
+            for r in 0..m {
+                for (o, &bb) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+                    *o += bb;
+                }
+            }
+        }
+        self.push(Op::Linear { x, w, b, transposed }, out)
     }
 
     // ----- shape ops --------------------------------------------------------
 
     /// `[a | b]` concatenated along columns.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let av = self.value(a);
-        let bv = self.value(b);
-        assert_eq!(av.rows(), bv.rows(), "concat_cols: row mismatch");
-        let rows = av.rows();
-        let (ac, bc) = (av.cols(), bv.cols());
-        let mut out = Tensor::zeros(rows, ac + bc);
+        let (rows, ac) = self.value(a).shape();
+        let bc = self.value(b).cols();
+        assert_eq!(rows, self.value(b).rows(), "concat_cols: row mismatch");
+        let mut out = self.pool.take_scratch(rows, ac + bc);
         for r in 0..rows {
-            out.row_mut(r)[..ac].copy_from_slice(av.row(r));
-            out.row_mut(r)[ac..].copy_from_slice(bv.row(r));
+            let row = out.row_mut(r);
+            row[..ac].copy_from_slice(self.values[a.index()].row(r));
+            row[ac..].copy_from_slice(self.values[b.index()].row(r));
         }
         self.push(Op::ConcatCols(a, b), out)
     }
 
+    /// Vertical concatenation of `parts` (all must share a column count).
+    /// The backward pass slices the gradient back to each part.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows: empty part list");
+        let cols = self.value(parts[0]).cols();
+        let total: usize = parts
+            .iter()
+            .map(|&p| {
+                assert_eq!(self.value(p).cols(), cols, "concat_rows: column mismatch");
+                self.value(p).rows()
+            })
+            .sum();
+        let mut out = self.pool.take_scratch(total, cols);
+        let mut off = 0;
+        for &p in parts {
+            let v = &self.values[p.index()];
+            out.data_mut()[off..off + v.len()].copy_from_slice(v.data());
+            off += v.len();
+        }
+        self.push(Op::ConcatRows(parts.to_vec()), out)
+    }
+
     /// Columns `[start, start + len)` of `a`.
     pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
-        let av = self.value(a);
-        assert!(start + len <= av.cols(), "slice_cols out of range");
-        let rows = av.rows();
-        let mut out = Tensor::zeros(rows, len);
+        let (rows, cols) = self.value(a).shape();
+        assert!(start + len <= cols, "slice_cols out of range");
+        let mut out = self.pool.take_scratch(rows, len);
         for r in 0..rows {
-            out.row_mut(r).copy_from_slice(&av.row(r)[start..start + len]);
+            out.row_mut(r).copy_from_slice(&self.values[a.index()].row(r)[start..start + len]);
         }
         self.push(Op::SliceCols { src: a, start, len }, out)
+    }
+
+    /// Gathers rows `ids` of node `src` (rows may repeat, order is free).
+    /// This is the micro-batching workhorse: shrinking the active row set
+    /// when trajectories end, and regrouping prediction rows that share a
+    /// candidate set. Gradients scatter-add back into `src`.
+    pub fn select_rows(&mut self, src: Var, ids: &[u32]) -> Var {
+        let (rows, cols) = self.value(src).shape();
+        let mut out = self.pool.take_scratch(ids.len(), cols);
+        for (i, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            assert!(id < rows, "select_rows: row {id} out of {rows}");
+            out.row_mut(i).copy_from_slice(self.values[src.index()].row(id));
+        }
+        self.push(Op::SelectRows { src, ids: ids.to_vec() }, out)
     }
 
     /// Reinterprets `a`'s row-major data as a `rows x cols` tensor.
@@ -323,9 +583,9 @@ impl Tape {
     /// # Panics
     /// Panics when the element count changes.
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
-        let av = self.value(a);
-        assert_eq!(av.len(), rows * cols, "reshape: element count mismatch");
-        let out = Tensor::from_vec(rows, cols, av.data().to_vec());
+        assert_eq!(self.value(a).len(), rows * cols, "reshape: element count mismatch");
+        let mut out = self.pool.take_scratch(rows, cols);
+        out.data_mut().copy_from_slice(self.values[a.index()].data());
         self.push(Op::Reshape(a), out)
     }
 
@@ -334,24 +594,26 @@ impl Tape {
     /// Sum of all elements (`1 x 1`).
     pub fn sum_all(&mut self, a: Var) -> Var {
         let s = self.value(a).sum() as f32;
-        self.push(Op::SumAll(a), Tensor::from_vec(1, 1, vec![s]))
+        let out = self.pool.take_full(1, 1, s);
+        self.push(Op::SumAll(a), out)
     }
 
     /// Mean of all elements (`1 x 1`).
     pub fn mean_all(&mut self, a: Var) -> Var {
         let v = self.value(a);
         let m = (v.sum() / v.len() as f64) as f32;
-        self.push(Op::MeanAll(a), Tensor::from_vec(1, 1, vec![m]))
+        let out = self.pool.take_full(1, 1, m);
+        self.push(Op::MeanAll(a), out)
     }
 
     /// Row-wise `log(sum_j exp(x_ij)))`, producing a `rows x 1` column.
     /// Numerically stabilised by subtracting the row max.
     pub fn logsumexp_rows(&mut self, a: Var) -> Var {
-        let av = self.value(a);
-        let rows = av.rows();
-        let mut out = Tensor::zeros(rows, 1);
+        let rows = self.value(a).rows();
+        let mut out = self.pool.take_scratch(rows, 1);
         for r in 0..rows {
-            out.set(r, 0, logsumexp(av.row(r)));
+            let lse = logsumexp(self.values[a.index()].row(r));
+            out.set(r, 0, lse);
         }
         self.push(Op::LogSumExpRows(a), out)
     }
@@ -359,27 +621,136 @@ impl Tape {
     /// Fused softmax + cross-entropy loss, summed over rows (`1 x 1`).
     ///
     /// `targets[r]` is the class index for row `r` of `logits`. The softmax
-    /// probabilities are cached for the backward pass. The per-row negative
-    /// log-likelihoods can be recovered via [`Tape::ce_row_nll`].
+    /// probabilities are cached for the backward pass (never recomputed).
+    /// The per-row negative log-likelihoods can be recovered via
+    /// [`Tape::ce_row_nll`].
+    ///
+    /// One [`crate::math::fast_exp`] per element (numerically stabilised by
+    /// the row max, summed in `f64`, normalised by the reciprocal) replaces
+    /// the two `libm` exponentials of the naive `logsumexp`-then-softmax
+    /// formulation — the full-vocab heads make this the single largest
+    /// training node. Values match the `std` formulation within fast-math
+    /// tolerance (~3e-7 relative).
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[u32]) -> Var {
-        let lv = self.value(logits);
-        assert_eq!(lv.rows(), targets.len(), "softmax_ce: row/target mismatch");
-        let (rows, cols) = lv.shape();
-        let mut probs = Tensor::zeros(rows, cols);
+        let (rows, cols) = self.value(logits).shape();
+        assert_eq!(rows, targets.len(), "softmax_ce: row/target mismatch");
+        let mut probs = self.pool.take_scratch(rows, cols);
         let mut loss = 0.0f64;
-        for (r, &target) in targets.iter().enumerate() {
-            let row = lv.row(r);
-            let lse = logsumexp(row);
-            let t = target as usize;
-            assert!(t < cols, "softmax_ce: target {t} out of {cols} classes");
-            loss += (lse - row[t]) as f64;
-            for (p, &x) in probs.row_mut(r).iter_mut().zip(row.iter()) {
-                *p = (x - lse).exp();
+        {
+            let lv = &self.values[logits.index()];
+            for (r, &target) in targets.iter().enumerate() {
+                let row = lv.row(r);
+                let t = target as usize;
+                assert!(t < cols, "softmax_ce: target {t} out of {cols} classes");
+                let max = fold_max(row);
+                let p_row = probs.row_mut(r);
+                let sum = stable_exp_sum_into(row, max, p_row);
+                let lse = max + (sum as f32).ln();
+                loss += (lse - row[t]) as f64;
+                let inv = (1.0 / sum) as f32;
+                for p in p_row.iter_mut() {
+                    *p *= inv;
+                }
             }
         }
+        let out = self.pool.take_full(1, 1, loss as f32);
         self.push_with_aux(
             Op::SoftmaxCrossEntropy { logits, targets: targets.to_vec() },
-            Tensor::from_vec(1, 1, vec![loss as f32]),
+            out,
+            Some(probs),
+        )
+    }
+
+    /// Grouped class-subset softmax cross-entropy, summed over rows
+    /// (`1 x 1`).
+    ///
+    /// Row `i` of `x` (`rows x in`) is projected onto the weight rows
+    /// `cands[offsets[i]..offsets[i+1]]` of the row-major parameter `w`
+    /// (`out x in`) plus the matching entries of bias `b` (`1 x out`), and
+    /// scored by a stabilised softmax CE against `targets[i]` (an index
+    /// *within* the row's candidate span).
+    ///
+    /// This is the road-constrained decoder head as **one** tape node:
+    /// candidate sets are tiny (a handful of successors), so the composed
+    /// per-group formulation (row gather, weight gather, matmul, bias
+    /// gather, add, CE) drowned in per-node bookkeeping. The fused backward
+    /// scatter-adds straight into the parameter gradients. Per-row NLLs are
+    /// bit-identical to the composed ops (same ascending-`k` dot, same
+    /// stabilised softmax); only the final summation order differs (one
+    /// `f64` accumulation instead of an f32 add chain).
+    #[allow(clippy::too_many_arguments)]
+    pub fn subset_softmax_ce(
+        &mut self,
+        store: &ParamStore,
+        x: Var,
+        w: ParamId,
+        b: ParamId,
+        cands: &[u32],
+        offsets: &[u32],
+        targets: &[u32],
+    ) -> Var {
+        let (rows, in_dim) = self.value(x).shape();
+        assert!(rows > 0, "subset_ce: needs at least one row");
+        assert_eq!(offsets.len(), rows + 1, "subset_ce: offsets length");
+        assert_eq!(targets.len(), rows, "subset_ce: targets length");
+        let wv = store.value(w);
+        let bv = store.value(b);
+        assert_eq!(wv.cols(), in_dim, "subset_ce: weight must be row-major out x in");
+        assert_eq!(bv.shape(), (1, wv.rows()), "subset_ce: bias shape");
+        assert_eq!(offsets[0], 0, "subset_ce: offsets must start at 0");
+        assert_eq!(offsets[rows] as usize, cands.len(), "subset_ce: offsets must cover cands");
+
+        let mut probs = self.pool.take_scratch(1, cands.len());
+        let mut loss = 0.0f64;
+        {
+            let xv = &self.values[x.index()];
+            let flat = probs.data_mut();
+            for i in 0..rows {
+                let span = offsets[i] as usize..offsets[i + 1] as usize;
+                let width = span.len();
+                assert!(width > 0, "subset_ce: empty candidate span at row {i}");
+                let t = targets[i] as usize;
+                assert!(t < width, "subset_ce: target {t} out of span {width}");
+                let x_row = xv.row(i);
+                let mut max = f32::NEG_INFINITY;
+                for (slot, &c) in flat[span.clone()].iter_mut().zip(&cands[span.clone()]) {
+                    let c = c as usize;
+                    assert!(c < wv.rows(), "subset_ce: class {c} out of {}", wv.rows());
+                    let w_row = wv.row(c);
+                    let mut acc = 0.0f32;
+                    for (&a, &wk) in x_row.iter().zip(w_row.iter()) {
+                        acc = a.mul_add(wk, acc);
+                    }
+                    let logit = acc + bv.get(0, c);
+                    *slot = logit;
+                    max = max.max(logit);
+                }
+                let target_logit = flat[span.start + t];
+                let mut sum = 0.0f64;
+                for p in flat[span.clone()].iter_mut() {
+                    let e = crate::math::fast_exp(*p - max);
+                    *p = e;
+                    sum += e as f64;
+                }
+                let lse = max + (sum as f32).ln();
+                loss += (lse - target_logit) as f64;
+                let inv = (1.0 / sum) as f32;
+                for p in flat[span].iter_mut() {
+                    *p *= inv;
+                }
+            }
+        }
+        let out = self.pool.take_full(1, 1, loss as f32);
+        self.push_with_aux(
+            Op::SubsetSoftmaxCe {
+                x,
+                w,
+                b,
+                cands: cands.to_vec(),
+                offsets: offsets.to_vec(),
+                targets: targets.to_vec(),
+            },
+            out,
             Some(probs),
         )
     }
@@ -429,22 +800,26 @@ impl Tape {
     // ----- backward ---------------------------------------------------------
 
     /// Runs the backward pass from scalar node `loss`, accumulating parameter
-    /// gradients into `store.grads`.
+    /// gradients into `store.grads`. All intermediate gradient buffers come
+    /// from (and return to) the tape's pool.
     ///
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
-    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
         assert_eq!(self.value(loss).shape(), (1, 1), "backward: loss must be scalar");
         let n = loss.index() + 1;
-        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
-        grads[loss.index()] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        let Tape { ops, values, aux, pool, grad_slots } = self;
+        grad_slots.clear();
+        grad_slots.resize_with(n, || None);
+        grad_slots[loss.index()] = Some(pool.take_full(1, 1, 1.0));
 
         for idx in (0..n).rev() {
-            let Some(g) = grads[idx].take() else { continue };
-            match &self.ops[idx] {
-                Op::Input => {}
+            let Some(mut g) = grad_slots[idx].take() else { continue };
+            match &ops[idx] {
+                Op::Input => pool.recycle(g),
                 Op::Param(id) => {
                     store.grad_mut(*id).add_assign(&g);
+                    pool.recycle(g);
                 }
                 Op::GatherRows { param, ids } => {
                     let gp = store.grad_mut(*param);
@@ -454,6 +829,7 @@ impl Tape {
                             *d += x;
                         }
                     }
+                    pool.recycle(g);
                 }
                 Op::GatherCols { param, ids } => {
                     let gp = store.grad_mut(*param);
@@ -464,147 +840,572 @@ impl Tape {
                             gp.set(r, c, cur + g.get(r, i));
                         }
                     }
+                    pool.recycle(g);
                 }
                 Op::MatMul(a, b) => {
-                    // dA += g · Bᵀ ; dB += Aᵀ · g
-                    let da = g.matmul_t(self.value(*b));
-                    let db = self.value(*a).transpose().matmul(&g);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    // dA += g · Bᵀ ; dB += Aᵀ · g — both through the
+                    // transpose-aware kernels, no transposed copies.
+                    let av = &values[a.index()];
+                    let bv = &values[b.index()];
+                    let mut da = pool.take_scratch(g.rows(), bv.rows());
+                    g.matmul_t_into(bv, &mut da);
+                    let mut db = pool.take_scratch(av.cols(), g.cols());
+                    av.matmul_tn_into(&g, &mut db);
+                    accumulate(grad_slots, pool, *a, da);
+                    accumulate(grad_slots, pool, *b, db);
+                    pool.recycle(g);
                 }
                 Op::MatMulT(a, b) => {
                     // C = A·Bᵀ : dA += g · B ; dB += gᵀ · A
-                    let da = g.matmul(self.value(*b));
-                    let db = g.transpose().matmul(self.value(*a));
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let av = &values[a.index()];
+                    let bv = &values[b.index()];
+                    let mut da = pool.take_scratch(g.rows(), bv.cols());
+                    g.matmul_into(bv, &mut da);
+                    let mut db = pool.take_scratch(g.cols(), av.cols());
+                    g.matmul_tn_into(av, &mut db);
+                    accumulate(grad_slots, pool, *a, da);
+                    accumulate(grad_slots, pool, *b, db);
+                    pool.recycle(g);
                 }
                 Op::Add(a, b) => {
-                    let (ar, _) = self.value(*a).shape();
-                    let (br, bc) = self.value(*b).shape();
-                    accumulate(&mut grads, *a, g.clone());
+                    let ar = values[a.index()].rows();
+                    let (br, bc) = values[b.index()].shape();
                     if br == ar {
-                        accumulate(&mut grads, *b, g);
+                        let db = pool.take_copy(&g);
+                        accumulate(grad_slots, pool, *b, db);
                     } else {
                         // Broadcast bias: sum gradient over rows.
-                        let mut db = Tensor::zeros(1, bc);
+                        let mut db = pool.take_zeroed(1, bc);
                         for r in 0..g.rows() {
                             for (d, &x) in db.row_mut(0).iter_mut().zip(g.row(r)) {
                                 *d += x;
                             }
                         }
-                        accumulate(&mut grads, *b, db);
+                        accumulate(grad_slots, pool, *b, db);
                     }
+                    accumulate(grad_slots, pool, *a, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    let mut db = g;
-                    for x in db.data_mut() {
-                        *x = -*x;
+                    let mut db = pool.take_scratch(g.rows(), g.cols());
+                    for (d, &x) in db.data_mut().iter_mut().zip(g.data()) {
+                        *d = -x;
                     }
-                    accumulate(&mut grads, *b, db);
+                    accumulate(grad_slots, pool, *b, db);
+                    accumulate(grad_slots, pool, *a, g);
                 }
                 Op::Mul(a, b) => {
-                    let da = elementwise_mul(&g, self.value(*b));
-                    let db = elementwise_mul(&g, self.value(*a));
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let mut da = pool.take_scratch(g.rows(), g.cols());
+                    for ((d, &x), &y) in
+                        da.data_mut().iter_mut().zip(g.data()).zip(values[b.index()].data())
+                    {
+                        *d = x * y;
+                    }
+                    // Reuse g in place for dB = g * A.
+                    for (x, &y) in g.data_mut().iter_mut().zip(values[a.index()].data()) {
+                        *x *= y;
+                    }
+                    accumulate(grad_slots, pool, *a, da);
+                    accumulate(grad_slots, pool, *b, g);
                 }
-                Op::AddScalar(a) => accumulate(&mut grads, *a, g),
+                Op::AddScalar(a) => accumulate(grad_slots, pool, *a, g),
                 Op::Scale(a, c) => {
-                    let mut da = g;
-                    for x in da.data_mut() {
+                    for x in g.data_mut() {
                         *x *= c;
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(grad_slots, pool, *a, g);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.values[idx];
-                    let da = zip3(&g, y, |g, y| g * y * (1.0 - y));
-                    accumulate(&mut grads, *a, da);
+                    for (x, &y) in g.data_mut().iter_mut().zip(values[idx].data()) {
+                        *x = *x * y * (1.0 - y);
+                    }
+                    accumulate(grad_slots, pool, *a, g);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.values[idx];
-                    let da = zip3(&g, y, |g, y| g * (1.0 - y * y));
-                    accumulate(&mut grads, *a, da);
+                    for (x, &y) in g.data_mut().iter_mut().zip(values[idx].data()) {
+                        *x *= 1.0 - y * y;
+                    }
+                    accumulate(grad_slots, pool, *a, g);
                 }
                 Op::Relu(a) => {
-                    let y = &self.values[idx];
-                    let da = zip3(&g, y, |g, y| if y > 0.0 { g } else { 0.0 });
-                    accumulate(&mut grads, *a, da);
+                    for (x, &y) in g.data_mut().iter_mut().zip(values[idx].data()) {
+                        if y <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    accumulate(grad_slots, pool, *a, g);
                 }
                 Op::Exp(a) => {
-                    let y = &self.values[idx];
-                    let da = zip3(&g, y, |g, y| g * y);
-                    accumulate(&mut grads, *a, da);
+                    for (x, &y) in g.data_mut().iter_mut().zip(values[idx].data()) {
+                        *x *= y;
+                    }
+                    accumulate(grad_slots, pool, *a, g);
                 }
                 Op::Ln(a) => {
-                    let x = self.value(*a);
-                    let da = zip3(&g, x, |g, x| g / x);
-                    accumulate(&mut grads, *a, da);
+                    for (x, &y) in g.data_mut().iter_mut().zip(values[a.index()].data()) {
+                        *x /= y;
+                    }
+                    accumulate(grad_slots, pool, *a, g);
+                }
+                Op::GruStep { x, h, w, u, b } => {
+                    gru_step_backward(values, aux, pool, grad_slots, idx, &g, *x, *h, *w, *u, *b);
+                    pool.recycle(g);
+                }
+                Op::GruStepPregated { gx, start, h, u } => {
+                    gru_pregated_backward(
+                        values, aux, pool, grad_slots, idx, &g, *gx, *start, *h, *u,
+                    );
+                    pool.recycle(g);
+                }
+                Op::Linear { x, w, b, transposed } => {
+                    let xv = &values[x.index()];
+                    let wv = &values[w.index()];
+                    // db = column sums of g.
+                    let bc = values[b.index()].cols();
+                    let mut db = pool.take_zeroed(1, bc);
+                    for r in 0..g.rows() {
+                        for (d, &v) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *d += v;
+                        }
+                    }
+                    let mut dw = pool.take_scratch(wv.rows(), wv.cols());
+                    let dx = if *transposed {
+                        // y = x·Wᵀ: dx = g·W ; dW = gᵀ·x
+                        let mut d = pool.take_scratch(g.rows(), wv.cols());
+                        g.matmul_into(wv, &mut d);
+                        g.matmul_tn_into(xv, &mut dw);
+                        d
+                    } else {
+                        // y = x·W: dx = g·Wᵀ ; dW = xᵀ·g
+                        let mut d = pool.take_scratch(g.rows(), wv.rows());
+                        g.matmul_t_into(wv, &mut d);
+                        xv.matmul_tn_into(&g, &mut dw);
+                        d
+                    };
+                    accumulate(grad_slots, pool, *x, dx);
+                    accumulate(grad_slots, pool, *w, dw);
+                    accumulate(grad_slots, pool, *b, db);
+                    pool.recycle(g);
                 }
                 Op::ConcatCols(a, b) => {
-                    let (rows, ac) = self.value(*a).shape();
-                    let bc = self.value(*b).cols();
-                    let mut da = Tensor::zeros(rows, ac);
-                    let mut db = Tensor::zeros(rows, bc);
+                    let (rows, ac) = values[a.index()].shape();
+                    let bc = values[b.index()].cols();
+                    let mut da = pool.take_scratch(rows, ac);
+                    let mut db = pool.take_scratch(rows, bc);
                     for r in 0..rows {
                         da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
                         db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
                     }
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    accumulate(grad_slots, pool, *a, da);
+                    accumulate(grad_slots, pool, *b, db);
+                    pool.recycle(g);
+                }
+                Op::ConcatRows(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let (rows, cols) = values[p.index()].shape();
+                        let mut dp = pool.take_scratch(rows, cols);
+                        dp.data_mut().copy_from_slice(&g.data()[off..off + rows * cols]);
+                        off += rows * cols;
+                        accumulate(grad_slots, pool, p, dp);
+                    }
+                    pool.recycle(g);
                 }
                 Op::SliceCols { src, start, len } => {
-                    let (rows, cols) = self.value(*src).shape();
-                    let mut da = Tensor::zeros(rows, cols);
+                    let (rows, cols) = values[src.index()].shape();
+                    let mut da = pool.take_zeroed(rows, cols);
                     for r in 0..rows {
                         da.row_mut(r)[*start..start + len].copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, *src, da);
+                    accumulate(grad_slots, pool, *src, da);
+                    pool.recycle(g);
+                }
+                Op::SelectRows { src, ids } => {
+                    let (rows, cols) = values[src.index()].shape();
+                    let mut da = pool.take_zeroed(rows, cols);
+                    for (i, &id) in ids.iter().enumerate() {
+                        for (d, &x) in da.row_mut(id as usize).iter_mut().zip(g.row(i)) {
+                            *d += x;
+                        }
+                    }
+                    accumulate(grad_slots, pool, *src, da);
+                    pool.recycle(g);
                 }
                 Op::SumAll(a) => {
                     let gv = g.get(0, 0);
-                    let (r, c) = self.value(*a).shape();
-                    accumulate(&mut grads, *a, Tensor::full(r, c, gv));
+                    let (r, c) = values[a.index()].shape();
+                    let da = pool.take_full(r, c, gv);
+                    accumulate(grad_slots, pool, *a, da);
+                    pool.recycle(g);
                 }
                 Op::MeanAll(a) => {
-                    let (r, c) = self.value(*a).shape();
+                    let (r, c) = values[a.index()].shape();
                     let gv = g.get(0, 0) / (r * c) as f32;
-                    accumulate(&mut grads, *a, Tensor::full(r, c, gv));
+                    let da = pool.take_full(r, c, gv);
+                    accumulate(grad_slots, pool, *a, da);
+                    pool.recycle(g);
                 }
                 Op::SoftmaxCrossEntropy { logits, targets } => {
                     let gv = g.get(0, 0);
-                    let probs = self.aux[idx].as_ref().expect("ce aux missing");
-                    let mut da = probs.clone();
+                    let probs = aux[idx].as_ref().expect("ce aux missing");
+                    let mut da = pool.take_scratch(probs.rows(), probs.cols());
+                    for (d, &p) in da.data_mut().iter_mut().zip(probs.data()) {
+                        *d = p * gv;
+                    }
                     for (r, &t) in targets.iter().enumerate() {
-                        da.row_mut(r)[t as usize] -= 1.0;
+                        let p = probs.get(r, t as usize);
+                        da.row_mut(r)[t as usize] = (p - 1.0) * gv;
                     }
-                    for x in da.data_mut() {
-                        *x *= gv;
+                    accumulate(grad_slots, pool, *logits, da);
+                    pool.recycle(g);
+                }
+                Op::SubsetSoftmaxCe { x, w, b, cands, offsets, targets } => {
+                    let gv = g.get(0, 0);
+                    let probs = aux[idx].as_ref().expect("subset ce aux missing");
+                    let xv = &values[x.index()];
+                    let (rows, in_dim) = xv.shape();
+                    // dlogits (flattened) = (p - onehot) * gv.
+                    let mut dl = pool.take_scratch(1, cands.len());
+                    for (d, &p) in dl.data_mut().iter_mut().zip(probs.data()) {
+                        *d = p * gv;
                     }
-                    accumulate(&mut grads, *logits, da);
+                    for (i, &t) in targets.iter().enumerate() {
+                        let at = offsets[i] as usize + t as usize;
+                        dl.data_mut()[at] = (probs.data()[at] - 1.0) * gv;
+                    }
+                    // dx rows + dW scatter share one pass over the spans.
+                    let mut dx = pool.take_zeroed(rows, in_dim);
+                    {
+                        let (wv, wg) = store.value_and_grad_mut(*w);
+                        for i in 0..rows {
+                            let span = offsets[i] as usize..offsets[i + 1] as usize;
+                            let x_row = xv.row(i);
+                            let dx_row = dx.row_mut(i);
+                            for (&c, &d) in cands[span.clone()].iter().zip(&dl.data()[span]) {
+                                let w_row = wv.row(c as usize);
+                                let g_row = wg.row_mut(c as usize);
+                                for k in 0..in_dim {
+                                    dx_row[k] = d.mul_add(w_row[k], dx_row[k]);
+                                    g_row[k] = d.mul_add(x_row[k], g_row[k]);
+                                }
+                            }
+                        }
+                    }
+                    {
+                        let bg = store.grad_mut(*b);
+                        for (&c, &d) in cands.iter().zip(dl.data()) {
+                            bg.data_mut()[c as usize] += d;
+                        }
+                    }
+                    accumulate(grad_slots, pool, *x, dx);
+                    pool.recycle(dl);
+                    pool.recycle(g);
                 }
                 Op::Reshape(a) => {
-                    let (r, c) = self.value(*a).shape();
-                    accumulate(&mut grads, *a, Tensor::from_vec(r, c, g.into_data()));
+                    let (r, c) = values[a.index()].shape();
+                    accumulate(grad_slots, pool, *a, Tensor::from_vec(r, c, g.into_data()));
                 }
                 Op::LogSumExpRows(a) => {
-                    let x = self.value(*a);
+                    let x = &values[a.index()];
                     let (rows, cols) = x.shape();
-                    let mut da = Tensor::zeros(rows, cols);
+                    let mut da = pool.take_scratch(rows, cols);
                     for r in 0..rows {
-                        let lse = self.values[idx].get(r, 0);
+                        let lse = values[idx].get(r, 0);
                         let gr = g.get(r, 0);
                         for (d, &xi) in da.row_mut(r).iter_mut().zip(x.row(r)) {
                             *d = gr * (xi - lse).exp();
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(grad_slots, pool, *a, da);
+                    pool.recycle(g);
                 }
             }
         }
     }
+}
+
+/// Shared fused-GRU gate pass: reads pregated inputs from rows
+/// `[gx_start, gx_start + batch)` of `gx`, the recurrent projection from
+/// `gh`, and fills `out` (`h'`) plus `packed` (`[z | r | n | nh]`). Same
+/// three-pass loop structure as `GruCell::infer_step_rows`, so taped and
+/// tape-free steps produce bit-identical hidden states.
+fn gru_gate_forward(
+    gx: &Tensor,
+    gx_start: usize,
+    gh: &Tensor,
+    hv: &Tensor,
+    out: &mut Tensor,
+    packed: &mut Tensor,
+) {
+    let (bsz, hd) = hv.shape();
+    for r in 0..bsz {
+        let gx_row = gx.row(gx_start + r);
+        let gh_row = gh.row(r);
+        let h_row = hv.row(r);
+        let (z_buf, rest) = packed.row_mut(r).split_at_mut(hd);
+        let (r_buf, rest) = rest.split_at_mut(hd);
+        let (n_buf, nh_buf) = rest.split_at_mut(hd);
+        for (c, o) in z_buf.iter_mut().enumerate() {
+            *o = crate::math::fast_sigmoid(gx_row[c] + gh_row[c]);
+        }
+        for (c, o) in r_buf.iter_mut().enumerate() {
+            *o = crate::math::fast_sigmoid(gx_row[hd + c] + gh_row[hd + c]);
+        }
+        nh_buf.copy_from_slice(&gh_row[2 * hd..3 * hd]);
+        let out_row = out.row_mut(r);
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let n = crate::math::fast_tanh(gx_row[2 * hd + c] + r_buf[c] * nh_buf[c]);
+            n_buf[c] = n;
+            *o = n + z_buf[c] * (h_row[c] - n);
+        }
+    }
+}
+
+/// Per-row chain rule of the fused GRU gates, shared by both backward
+/// variants (the delicate dn/dz/dr derivation lives once, mirroring
+/// [`gru_gate_forward`]): fills the input-gate gradients
+/// `dgx_row = [dzx | drx | dnx]` (`ACC_GX` selects plain writes vs
+/// accumulation into a shared slot row, for the pregated variant), writes
+/// the recurrent-gate gradients `dgh_row = [dz_in | dr_in | dn_in·r]`, and
+/// adds the direct `g⊙z` term into `dh_row`.
+fn gru_gate_backward_row<const ACC_GX: bool>(
+    pk: &[f32],
+    g_row: &[f32],
+    h_row: &[f32],
+    hd: usize,
+    dgx_row: &mut [f32],
+    dgh_row: &mut [f32],
+    dh_row: &mut [f32],
+) {
+    let (z, rest) = pk.split_at(hd);
+    let (rg, rest) = rest.split_at(hd);
+    let (nn, nh) = rest.split_at(hd);
+    let (dzx, rest) = dgx_row.split_at_mut(hd);
+    let (drx, dnx) = rest.split_at_mut(hd);
+    let (ghz, rest) = dgh_row.split_at_mut(hd);
+    let (ghr, ghn) = rest.split_at_mut(hd);
+    for c in 0..hd {
+        let gv = g_row[c];
+        let zc = z[c];
+        let nc = nn[c];
+        let rc = rg[c];
+        // h' = n + z (h - n)
+        let dn = gv * (1.0 - zc);
+        let dz = gv * (h_row[c] - nc);
+        let dn_in = dn * (1.0 - nc * nc);
+        let dz_in = dz * zc * (1.0 - zc);
+        let dr = dn_in * nh[c];
+        let dr_in = dr * rc * (1.0 - rc);
+        if ACC_GX {
+            dzx[c] += dz_in;
+            drx[c] += dr_in;
+            dnx[c] += dn_in;
+        } else {
+            dzx[c] = dz_in;
+            drx[c] = dr_in;
+            dnx[c] = dn_in;
+        }
+        ghz[c] = dz_in;
+        ghr[c] = dr_in;
+        ghn[c] = dn_in * rc;
+        dh_row[c] += gv * zc;
+    }
+}
+
+/// Mutable access to two distinct gradient slots at once.
+fn two_slots_mut(
+    slots: &mut [Option<Tensor>],
+    a: usize,
+    b: usize,
+) -> (&mut Option<Tensor>, &mut Option<Tensor>) {
+    debug_assert_ne!(a, b, "two_slots_mut: aliasing slots");
+    if a < b {
+        let (left, right) = slots.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = slots.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}
+
+/// Backward of the fused GRU step: recovers the gate gradients from the
+/// cached `[z | r | n | nh]` activations, then routes the input / recurrent
+/// weight gradients through the transpose-aware matmul kernels.
+#[allow(clippy::too_many_arguments)]
+fn gru_step_backward(
+    values: &[Tensor],
+    aux: &[Option<Tensor>],
+    pool: &mut TensorPool,
+    grad_slots: &mut [Option<Tensor>],
+    idx: usize,
+    g: &Tensor,
+    x: Var,
+    h: Var,
+    w: Var,
+    u: Var,
+    b: Var,
+) {
+    let packed = aux[idx].as_ref().expect("gru aux missing");
+    let hv = &values[h.index()];
+    let (bsz, hd) = hv.shape();
+
+    // The recurrence reuses h / w / u / b across every step of a sequence,
+    // so their gradient slots almost always exist already — accumulate
+    // straight into them with the `*_acc_into` kernels instead of
+    // materialising per-step products plus an add pass.
+    let ensure =
+        |grad_slots: &mut [Option<Tensor>], pool: &mut TensorPool, v: Var, r: usize, c: usize| {
+            if grad_slots[v.index()].is_none() {
+                grad_slots[v.index()] = Some(pool.take_zeroed(r, c));
+            }
+        };
+
+    let mut dgx = pool.take_scratch(bsz, 3 * hd);
+    let mut dgh = pool.take_scratch(bsz, 3 * hd);
+    ensure(grad_slots, pool, h, bsz, hd);
+    {
+        let dh = grad_slots[h.index()].as_mut().expect("h slot");
+        for row in 0..bsz {
+            gru_gate_backward_row::<false>(
+                packed.row(row),
+                g.row(row),
+                hv.row(row),
+                hd,
+                dgx.row_mut(row),
+                dgh.row_mut(row),
+                dh.row_mut(row),
+            );
+        }
+    }
+
+    let wv = &values[w.index()];
+    let uv = &values[u.index()];
+    let xv = &values[x.index()];
+
+    // dx = dgx · Wᵀ (x is a per-step embedding gather — fresh slot).
+    let mut dx = pool.take_scratch(bsz, wv.rows());
+    dgx.matmul_t_into(wv, &mut dx);
+    // dh += dgh · Uᵀ (the direct g·z part is already in the slot).
+    dgh.matmul_t_acc_into(uv, grad_slots[h.index()].as_mut().expect("h slot"));
+    // dW += Xᵀ · dgx
+    ensure(grad_slots, pool, w, wv.rows(), wv.cols());
+    xv.matmul_tn_acc_into(&dgx, grad_slots[w.index()].as_mut().expect("w slot"));
+    // dU += Hᵀ · dgh
+    ensure(grad_slots, pool, u, uv.rows(), uv.cols());
+    hv.matmul_tn_acc_into(&dgh, grad_slots[u.index()].as_mut().expect("u slot"));
+    // db += column sums of dgx
+    ensure(grad_slots, pool, b, 1, 3 * hd);
+    {
+        let db = grad_slots[b.index()].as_mut().expect("b slot");
+        for row in 0..bsz {
+            for (d, &v) in db.row_mut(0).iter_mut().zip(dgx.row(row)) {
+                *d += v;
+            }
+        }
+    }
+
+    pool.recycle(dgx);
+    pool.recycle(dgh);
+    accumulate(grad_slots, pool, x, dx);
+}
+
+/// Backward of the pregated GRU step: gate input gradients land directly
+/// in the matching rows of the `gx` slot (the hoisted input-projection
+/// GEMM's own backward handles `W`/`b`); the recurrent terms accumulate in
+/// place like [`gru_step_backward`].
+#[allow(clippy::too_many_arguments)]
+fn gru_pregated_backward(
+    values: &[Tensor],
+    aux: &[Option<Tensor>],
+    pool: &mut TensorPool,
+    grad_slots: &mut [Option<Tensor>],
+    idx: usize,
+    g: &Tensor,
+    gx: Var,
+    start: usize,
+    h: Var,
+    u: Var,
+) {
+    let packed = aux[idx].as_ref().expect("gru aux missing");
+    let hv = &values[h.index()];
+    let (bsz, hd) = hv.shape();
+    let (gxr, gxc) = values[gx.index()].shape();
+
+    let mut dgh = pool.take_scratch(bsz, 3 * hd);
+    {
+        let (gx_slot, h_slot) = two_slots_mut(grad_slots, gx.index(), h.index());
+        if gx_slot.is_none() {
+            *gx_slot = Some(pool.take_zeroed(gxr, gxc));
+        }
+        if h_slot.is_none() {
+            *h_slot = Some(pool.take_zeroed(bsz, hd));
+        }
+        let dgx = gx_slot.as_mut().expect("gx slot");
+        let dh = h_slot.as_mut().expect("h slot");
+        for row in 0..bsz {
+            gru_gate_backward_row::<true>(
+                packed.row(row),
+                g.row(row),
+                hv.row(row),
+                hd,
+                dgx.row_mut(start + row),
+                dgh.row_mut(row),
+                dh.row_mut(row),
+            );
+        }
+    }
+
+    let uv = &values[u.index()];
+    // dh += dgh · Uᵀ
+    dgh.matmul_t_acc_into(uv, grad_slots[h.index()].as_mut().expect("h slot"));
+    // dU += Hᵀ · dgh
+    if grad_slots[u.index()].is_none() {
+        grad_slots[u.index()] = Some(pool.take_zeroed(uv.rows(), uv.cols()));
+    }
+    hv.matmul_tn_acc_into(&dgh, grad_slots[u.index()].as_mut().expect("u slot"));
+    pool.recycle(dgh);
+}
+
+/// Exact maximum of a slice via 8 parallel lanes. `max` is associative, so
+/// the result is identical to a serial fold — the lanes only break the
+/// loop-carried dependency so the compiler can vectorise.
+fn fold_max(xs: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    let mut chunks = xs.chunks_exact(8);
+    for ch in chunks.by_ref() {
+        for (l, &x) in lanes.iter_mut().zip(ch) {
+            *l = l.max(x);
+        }
+    }
+    let mut m = f32::NEG_INFINITY;
+    for &x in chunks.remainder() {
+        m = m.max(x);
+    }
+    for &l in &lanes {
+        m = m.max(l);
+    }
+    m
+}
+
+/// Writes `fast_exp(x - max)` into `out` and returns the sum of the written
+/// values. Two passes so each vectorises: a pure-`f32` exponential sweep,
+/// then a 4-lane `f64` reduction (the sum reassociation is inside the CE
+/// node's documented fast-math tolerance).
+fn stable_exp_sum_into(xs: &[f32], max: f32, out: &mut [f32]) -> f64 {
+    debug_assert_eq!(xs.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = crate::math::fast_exp(x - max);
+    }
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = out.chunks_exact(4);
+    for ch in chunks.by_ref() {
+        for (l, &e) in lanes.iter_mut().zip(ch) {
+            *l += e as f64;
+        }
+    }
+    for &e in chunks.remainder() {
+        lanes[0] += e as f64;
+    }
+    lanes.iter().sum()
 }
 
 /// Numerically stable `log(sum(exp(xs)))` over a slice.
@@ -617,29 +1418,16 @@ pub fn logsumexp(xs: &[f32]) -> f32 {
     max + (sum as f32).ln()
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
-    match &mut grads[v.index()] {
-        Some(existing) => existing.add_assign(&g),
+/// Adds `g` into the gradient slot of `v`, recycling `g` when the slot is
+/// already occupied.
+fn accumulate(grad_slots: &mut [Option<Tensor>], pool: &mut TensorPool, v: Var, g: Tensor) {
+    match &mut grad_slots[v.index()] {
+        Some(existing) => {
+            existing.add_assign(&g);
+            pool.recycle(g);
+        }
         slot @ None => *slot = Some(g),
     }
-}
-
-fn elementwise_mul(a: &Tensor, b: &Tensor) -> Tensor {
-    debug_assert_eq!(a.shape(), b.shape());
-    Tensor::from_vec(
-        a.rows(),
-        a.cols(),
-        a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).collect(),
-    )
-}
-
-fn zip3(g: &Tensor, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-    debug_assert_eq!(g.shape(), other.shape());
-    Tensor::from_vec(
-        g.rows(),
-        g.cols(),
-        g.data().iter().zip(other.data()).map(|(&x, &y)| f(x, y)).collect(),
-    )
 }
 
 #[cfg(test)]
@@ -791,5 +1579,130 @@ mod tests {
         assert!(tape.is_empty());
         let b = tape.scalar(2.0);
         assert_eq!(tape.value(b).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn repeated_passes_stop_allocating() {
+        let (mut store, w_id) =
+            store_with("w", Tensor::from_vec(3, 3, (0..9).map(|i| i as f32 * 0.1).collect()));
+        let mut tape = Tape::new();
+        let run = |tape: &mut Tape, store: &mut ParamStore| {
+            tape.reset();
+            let x = tape.input(Tensor::from_vec(2, 3, vec![0.5; 6]));
+            let w = tape.param(store, w_id);
+            let y = tape.matmul(x, w);
+            let s = tape.sigmoid(y);
+            let loss = tape.softmax_cross_entropy(s, &[0, 2]);
+            tape.backward(loss, store);
+        };
+        run(&mut tape, &mut store);
+        run(&mut tape, &mut store); // second pass may still grow the pool
+        let (_, misses_after_warmup) = tape.pool_stats();
+        for _ in 0..5 {
+            run(&mut tape, &mut store);
+        }
+        let (hits, misses) = tape.pool_stats();
+        assert_eq!(misses, misses_after_warmup, "steady-state pass allocated");
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn concat_rows_stacks_and_routes_gradients() {
+        let (mut store, id) = store_with("x", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let y = tape.scale(x, 2.0);
+        let stacked = tape.concat_rows(&[x, y]);
+        assert_eq!(tape.value(stacked).shape(), (4, 2));
+        assert_eq!(tape.value(stacked).data(), &[1.0, 2.0, 3.0, 4.0, 2.0, 4.0, 6.0, 8.0]);
+        let loss = tape.sum_all(stacked);
+        tape.backward(loss, &mut store);
+        // d/dx of sum(x) + sum(2x) = 1 + 2.
+        assert_eq!(store.grad(id).data(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers_and_scatter_adds() {
+        let (mut store, id) =
+            store_with("x", Tensor::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]));
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let picked = tape.select_rows(x, &[2, 0, 2]);
+        assert_eq!(tape.value(picked).data(), &[20., 21., 0., 1., 20., 21.]);
+        let loss = tape.sum_all(picked);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(id).data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gru_step_matches_composed_ops() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let hd = 5;
+        let in_dim = 3;
+        let bsz = 4;
+        let mut store = ParamStore::new();
+        let w_id = store.add("w", Tensor::rand_uniform(in_dim, 3 * hd, -0.7, 0.7, &mut rng));
+        let u_id = store.add("u", Tensor::rand_uniform(hd, 3 * hd, -0.7, 0.7, &mut rng));
+        let b_id = store.add("b", Tensor::rand_uniform(1, 3 * hd, -0.3, 0.3, &mut rng));
+        let x_t = Tensor::rand_uniform(bsz, in_dim, -1.0, 1.0, &mut rng);
+        let h_t = Tensor::rand_uniform(bsz, hd, -0.9, 0.9, &mut rng);
+
+        // Composed reference: the op-by-op GRU formulation.
+        let composed = |tape: &mut Tape, store: &ParamStore| -> Var {
+            let x = tape.input(x_t.clone());
+            let h = tape.input(h_t.clone());
+            let w = tape.param(store, w_id);
+            let u = tape.param(store, u_id);
+            let b = tape.param(store, b_id);
+            let gx0 = tape.matmul(x, w);
+            let gx = tape.add(gx0, b);
+            let gh = tape.matmul(h, u);
+            let zx = tape.slice_cols(gx, 0, hd);
+            let zh = tape.slice_cols(gh, 0, hd);
+            let z_in = tape.add(zx, zh);
+            let z = tape.sigmoid(z_in);
+            let rx = tape.slice_cols(gx, hd, hd);
+            let rh = tape.slice_cols(gh, hd, hd);
+            let r_in = tape.add(rx, rh);
+            let r = tape.sigmoid(r_in);
+            let nx = tape.slice_cols(gx, 2 * hd, hd);
+            let nh = tape.slice_cols(gh, 2 * hd, hd);
+            let rnh = tape.mul(r, nh);
+            let n_in = tape.add(nx, rnh);
+            let n = tape.tanh(n_in);
+            let h_minus_n = tape.sub(h, n);
+            let gated = tape.mul(z, h_minus_n);
+            tape.add(n, gated)
+        };
+
+        let mut tape_ref = Tape::new();
+        let out_ref = composed(&mut tape_ref, &store);
+        let loss_ref = tape_ref.sum_all(out_ref);
+        let mut store_ref = store.clone();
+        tape_ref.backward(loss_ref, &mut store_ref);
+
+        let mut tape_fused = Tape::new();
+        let x = tape_fused.input(x_t.clone());
+        let h = tape_fused.input(h_t.clone());
+        let w = tape_fused.param(&store, w_id);
+        let u = tape_fused.param(&store, u_id);
+        let b = tape_fused.param(&store, b_id);
+        let out = tape_fused.gru_step(x, h, w, u, b);
+        let loss = tape_fused.sum_all(out);
+        let mut store_fused = store.clone();
+        tape_fused.backward(loss, &mut store_fused);
+
+        // Values: fast-math gates vs std gates, abs error < 1e-6 each.
+        for (a, b) in tape_fused.value(out).data().iter().zip(tape_ref.value(out_ref).data()) {
+            assert!((a - b).abs() < 1e-5, "forward {a} vs {b}");
+        }
+        // Gradients agree to combined fast-math + reassociation tolerance.
+        for id in store.ids() {
+            for (a, b) in store_fused.grad(id).data().iter().zip(store_ref.grad(id).data()) {
+                assert!((a - b).abs() < 1e-4, "grad {}: {a} vs {b}", store.name(id));
+            }
+        }
     }
 }

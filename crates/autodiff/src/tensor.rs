@@ -1,10 +1,16 @@
 //! Dense row-major 2-D `f32` tensor.
 //!
 //! This is the single value type flowing through the autodiff [`crate::Tape`].
-//! Vectors are represented as `1 x n` tensors. The implementation favours
-//! simple, allocation-conscious loops: the hot kernels (`matmul_into`,
-//! `matmul_t_into`) use the cache-friendly `ikj` ordering so the inner loop
-//! vectorises.
+//! Vectors are represented as `1 x n` tensors. The three matmul layouts the
+//! models need — `A·B` ([`Tensor::matmul_into`]), `A·Bᵀ`
+//! ([`Tensor::matmul_t_into`]) and `Aᵀ·B` ([`Tensor::matmul_tn_into`]) — all
+//! share the same register-tiled, panel-packed FMA micro-kernel for
+//! multi-row shapes and fall back to streaming `ikj`-style loops otherwise.
+//!
+//! Every kernel accumulates each output element over the inner dimension in
+//! ascending order with `mul_add`, in both the tiled and the scalar paths,
+//! so results are **bit-identical** across paths and across batch
+//! row-stacking (verified by the `matmul_kernels` proptest battery).
 
 use rand::Rng;
 
@@ -14,6 +20,25 @@ const MR: usize = 4;
 /// 256-bit vectors of `f32`; with `MR = 4` the 8 accumulators fit the
 /// AVX2 register file without spills).
 const NR: usize = 16;
+
+std::thread_local! {
+    /// Reusable packing panel for the tiled kernels. Training issues
+    /// thousands of small tiled matmuls per epoch (GRU steps, head
+    /// gradients); a per-call `vec![0.0; k * NR]` was measurable churn.
+    static PACK_PANEL: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a zero-free scratch panel of at least `len` floats
+/// (contents arbitrary; the packing loops overwrite what they read).
+fn with_panel<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    PACK_PANEL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
 
 /// A dense, row-major `rows x cols` matrix of `f32`.
 #[derive(Clone, Debug, PartialEq)]
@@ -195,9 +220,21 @@ impl Tensor {
         self.data.iter().map(|&x| x as f64).sum()
     }
 
-    /// Squared L2 norm of all elements (accumulated in `f64`).
+    /// Squared L2 norm of all elements (accumulated in `f64`, four
+    /// parallel lanes so the reduction vectorises — gradient clipping
+    /// walks every parameter once per optimiser step).
     pub fn sq_norm(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = self.data.chunks_exact(4);
+        for ch in chunks.by_ref() {
+            for (l, &x) in lanes.iter_mut().zip(ch) {
+                *l += (x as f64) * (x as f64);
+            }
+        }
+        for &x in chunks.remainder() {
+            lanes[0] += (x as f64) * (x as f64);
+        }
+        lanes.iter().sum()
     }
 
     /// Returns the transposed tensor.
@@ -261,35 +298,37 @@ impl Tensor {
         // of `b` per row block (`b` is the large operand in the batched
         // GRU/projection shapes). Packing makes the panel's loads
         // contiguous and cache-line aligned regardless of `n`.
-        let mut panel = vec![0.0f32; k * NR];
-        let mut j0 = 0;
-        while j0 < main_n {
-            for p in 0..k {
-                panel[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
-            }
-            let mut i0 = 0;
-            while i0 < main_m {
-                // Fixed-length row views let the compiler elide bounds
-                // checks in the p-loop below.
-                let a_rows: [&[f32]; MR] =
-                    std::array::from_fn(|di| &a[(i0 + di) * k..(i0 + di) * k + k]);
-                let mut acc = [[0.0f32; NR]; MR];
-                for (p, b_chunk) in panel.chunks_exact(NR).enumerate() {
-                    let b_chunk: &[f32; NR] = b_chunk.try_into().expect("NR-wide");
-                    for (di, acc_row) in acc.iter_mut().enumerate() {
-                        let av = a_rows[di][p];
-                        for (o, &bv) in acc_row.iter_mut().zip(b_chunk) {
-                            *o = av.mul_add(bv, *o);
+        with_panel(k * NR, |panel| {
+            let mut j0 = 0;
+            while j0 < main_n {
+                for p in 0..k {
+                    panel[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
+                }
+                let mut i0 = 0;
+                while i0 < main_m {
+                    // Fixed-length row views let the compiler elide bounds
+                    // checks in the p-loop below.
+                    let a_rows: [&[f32]; MR] =
+                        std::array::from_fn(|di| &a[(i0 + di) * k..(i0 + di) * k + k]);
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (p, b_chunk) in panel.chunks_exact(NR).enumerate() {
+                        let b_chunk: &[f32; NR] = b_chunk.try_into().expect("NR-wide");
+                        for (di, acc_row) in acc.iter_mut().enumerate() {
+                            let av = a_rows[di][p];
+                            for (o, &bv) in acc_row.iter_mut().zip(b_chunk) {
+                                *o = av.mul_add(bv, *o);
+                            }
                         }
                     }
+                    for (di, acc_row) in acc.iter().enumerate() {
+                        out.data[(i0 + di) * n + j0..(i0 + di) * n + j0 + NR]
+                            .copy_from_slice(acc_row);
+                    }
+                    i0 += MR;
                 }
-                for (di, acc_row) in acc.iter().enumerate() {
-                    out.data[(i0 + di) * n + j0..(i0 + di) * n + j0 + NR].copy_from_slice(acc_row);
-                }
-                i0 += MR;
+                j0 += NR;
             }
-            j0 += NR;
-        }
+        });
 
         // Right edge (all rows, trailing columns) and bottom edge
         // (trailing rows, all columns): plain k-ascending loops.
@@ -325,11 +364,19 @@ impl Tensor {
     /// Both operands are walked along contiguous rows, so this is the
     /// preferred kernel when the right operand is naturally stored row-major
     /// per output class (e.g. projecting onto a subset of embedding rows).
+    /// Multi-row inputs go through the same register-tiled micro-kernel as
+    /// [`Tensor::matmul_into`] (the `NR`-wide panel of `other` is packed
+    /// transposed); single rows keep the streaming dot-product loop. Both
+    /// paths accumulate over `k` in ascending order, so results are
+    /// bit-identical.
     pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = self.shape();
         let (n, k2) = other.shape();
         assert_eq!(k, k2, "matmul_t: inner dimensions {k} vs {k2}");
         assert_eq!(out.shape(), (m, n), "matmul_t: bad output shape");
+        if m >= MR && n >= NR {
+            return self.matmul_t_into_tiled::<false>(other, out);
+        }
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             for j in 0..n {
@@ -343,10 +390,245 @@ impl Tensor {
         }
     }
 
+    /// Register-tiled `A·Bᵀ`: identical tile structure to
+    /// [`Tensor::matmul_into_tiled`], except the `k x NR` panel is packed
+    /// from `NR` *rows* of `other` (a small transpose) instead of `NR`
+    /// columns. The packing is the only difference — the micro-kernel and
+    /// its accumulation order are shared, so `a.matmul_t(b)` equals
+    /// `a.matmul(&b.transpose())` bit for bit.
+    fn matmul_t_into_tiled<const ACC: bool>(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, k) = self.shape();
+        let n = other.rows();
+        let a = &self.data;
+        let b = &other.data;
+        let main_m = m - m % MR;
+        let main_n = n - n % NR;
+
+        with_panel(k * NR, |panel| {
+            let mut j0 = 0;
+            while j0 < main_n {
+                // panel[p][jj] = b[(j0 + jj)][p]: transpose NR rows of
+                // `other` into the k-major layout the shared micro-kernel
+                // streams.
+                for jj in 0..NR {
+                    let b_row = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &bv) in b_row.iter().enumerate() {
+                        panel[p * NR + jj] = bv;
+                    }
+                }
+                let mut i0 = 0;
+                while i0 < main_m {
+                    let a_rows: [&[f32]; MR] =
+                        std::array::from_fn(|di| &a[(i0 + di) * k..(i0 + di) * k + k]);
+                    let mut acc = [[0.0f32; NR]; MR];
+                    if ACC {
+                        for (di, acc_row) in acc.iter_mut().enumerate() {
+                            acc_row.copy_from_slice(
+                                &out.data[(i0 + di) * n + j0..(i0 + di) * n + j0 + NR],
+                            );
+                        }
+                    }
+                    for (p, b_chunk) in panel.chunks_exact(NR).enumerate() {
+                        let b_chunk: &[f32; NR] = b_chunk.try_into().expect("NR-wide");
+                        for (di, acc_row) in acc.iter_mut().enumerate() {
+                            let av = a_rows[di][p];
+                            for (o, &bv) in acc_row.iter_mut().zip(b_chunk) {
+                                *o = av.mul_add(bv, *o);
+                            }
+                        }
+                    }
+                    for (di, acc_row) in acc.iter().enumerate() {
+                        out.data[(i0 + di) * n + j0..(i0 + di) * n + j0 + NR]
+                            .copy_from_slice(acc_row);
+                    }
+                    i0 += MR;
+                }
+                j0 += NR;
+            }
+        });
+
+        // Right edge (all rows, trailing columns of `out` = trailing rows of
+        // `other`) and bottom edge: contiguous-row dot products, identical
+        // accumulation order to the single-row path.
+        for i in 0..m {
+            let (j_start, j_end) = if i < main_m { (main_n, n) } else { (0, n) };
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in j_start..j_end {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = if ACC { out.data[i * n + j] } else { 0.0f32 };
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc = av.mul_add(bv, acc);
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+    }
+
     /// Convenience allocating wrapper around [`Tensor::matmul_t_into`].
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         let mut out = Tensor::zeros(self.rows, other.rows);
         self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `out += self * other^T` (accumulating [`Tensor::matmul_t_into`]).
+    ///
+    /// Gradient accumulation form: recurrent backward steps add straight
+    /// into the shared gradient slot instead of materialising a fresh
+    /// product and an extra add pass. The running value continues the same
+    /// ascending-`k` `mul_add` chain.
+    pub fn matmul_t_acc_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, k) = self.shape();
+        let (n, k2) = other.shape();
+        assert_eq!(k, k2, "matmul_t_acc: inner dimensions {k} vs {k2}");
+        assert_eq!(out.shape(), (m, n), "matmul_t_acc: bad output shape");
+        if m >= MR && n >= NR {
+            return self.matmul_t_into_tiled::<true>(other, out);
+        }
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = out.data[i * n + j];
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc = a.mul_add(b, acc);
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// `out += self^T * other` (accumulating [`Tensor::matmul_tn_into`]).
+    /// Same outer-product loop; the existing `out` contents seed the
+    /// accumulators.
+    pub fn matmul_tn_acc_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (p, m) = self.shape();
+        let (p2, n) = other.shape();
+        assert_eq!(p, p2, "matmul_tn_acc: outer dimensions {p} vs {p2}");
+        assert_eq!(out.shape(), (m, n), "matmul_tn_acc: bad output shape");
+        if m >= MR && n >= NR {
+            return self.matmul_tn_into_tiled::<true>(other, out);
+        }
+        for q in 0..p {
+            let a_row = &self.data[q * m..(q + 1) * m];
+            let b_row = &other.data[q * n..(q + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = av.mul_add(bv, *o);
+                }
+            }
+        }
+    }
+
+    /// `out = self^T * other` where `self` is `p x m` and `other` is `p x n`.
+    ///
+    /// This is the gradient kernel of the tape's matmul rules
+    /// (`dB = Aᵀ·g`, `dBᵀ = gᵀ·A`): it reads both operands in their stored
+    /// row-major layout, so the backward pass never materialises an explicit
+    /// [`Tensor::transpose`] copy. Accumulation per output element runs over
+    /// `p` in ascending order with `mul_add` in every path, making the
+    /// result bit-identical to `self.transpose().matmul(other)`.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (p, m) = self.shape();
+        let (p2, n) = other.shape();
+        assert_eq!(p, p2, "matmul_tn: outer dimensions {p} vs {p2}");
+        assert_eq!(out.shape(), (m, n), "matmul_tn: bad output shape");
+        if m >= MR && n >= NR {
+            return self.matmul_tn_into_tiled::<false>(other, out);
+        }
+        out.fill_zero();
+        // Outer-product accumulation: each `p`-row of `self` scales the
+        // matching row of `other` into `m` output rows (inner axpy over `n`
+        // vectorises; `p` stays outermost so the per-element order is
+        // `p`-ascending).
+        for q in 0..p {
+            let a_row = &self.data[q * m..(q + 1) * m];
+            let b_row = &other.data[q * n..(q + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = av.mul_add(bv, *o);
+                }
+            }
+        }
+    }
+
+    /// Register-tiled `Aᵀ·B`: `MR x NR` output tiles accumulate in
+    /// registers over the whole shared dimension `p`; the `p x NR` panel of
+    /// `other` is packed once per column block and reused by every row
+    /// block, and `out` is written exactly once (the untiled loop would
+    /// re-stream the whole output `p` times). Edges fall back to scalar
+    /// `p`-ascending dots.
+    fn matmul_tn_into_tiled<const ACC: bool>(&self, other: &Tensor, out: &mut Tensor) {
+        let (p, m) = self.shape();
+        let n = other.cols();
+        let a = &self.data;
+        let b = &other.data;
+        let main_m = m - m % MR;
+        let main_n = n - n % NR;
+
+        with_panel(p * NR, |panel| {
+            let mut j0 = 0;
+            while j0 < main_n {
+                for q in 0..p {
+                    panel[q * NR..(q + 1) * NR].copy_from_slice(&b[q * n + j0..q * n + j0 + NR]);
+                }
+                let mut i0 = 0;
+                while i0 < main_m {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    if ACC {
+                        for (di, acc_row) in acc.iter_mut().enumerate() {
+                            acc_row.copy_from_slice(
+                                &out.data[(i0 + di) * n + j0..(i0 + di) * n + j0 + NR],
+                            );
+                        }
+                    }
+                    for (q, b_chunk) in panel.chunks_exact(NR).enumerate() {
+                        let b_chunk: &[f32; NR] = b_chunk.try_into().expect("NR-wide");
+                        // a[q][i0 + di]: one strided load per tile row.
+                        let a_row = &a[q * m + i0..q * m + i0 + MR];
+                        for (di, acc_row) in acc.iter_mut().enumerate() {
+                            let av = a_row[di];
+                            for (o, &bv) in acc_row.iter_mut().zip(b_chunk) {
+                                *o = av.mul_add(bv, *o);
+                            }
+                        }
+                    }
+                    for (di, acc_row) in acc.iter().enumerate() {
+                        out.data[(i0 + di) * n + j0..(i0 + di) * n + j0 + NR]
+                            .copy_from_slice(acc_row);
+                    }
+                    i0 += MR;
+                }
+                j0 += NR;
+            }
+        });
+
+        // Edges: scalar dots over `p` (both loads strided; edge areas are
+        // at most `MR - 1` rows / `NR - 1` columns wide).
+        for i in 0..m {
+            let (j_start, j_end) = if i < main_m { (main_n, n) } else { (0, n) };
+            for j in j_start..j_end {
+                let mut acc = if ACC { out.data[i * n + j] } else { 0.0f32 };
+                for q in 0..p {
+                    acc = a[q * m + i].mul_add(b[q * n + j], acc);
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// Convenience allocating wrapper around [`Tensor::matmul_tn_into`].
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.matmul_tn_into(other, &mut out);
         out
     }
 
@@ -423,6 +705,37 @@ mod tests {
         let direct = a.matmul_t(&b);
         for (x, y) in via_t.data().iter().zip(direct.data().iter()) {
             assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_t_tiled_matches_naive_bitwise() {
+        // Shapes straddling the MR/NR boundaries force both the tiled main
+        // loop and its edge paths; the naive single-row path must agree
+        // exactly.
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, k, n) in [(4, 3, 16), (5, 7, 17), (8, 1, 33), (4, 9, 16), (7, 5, 19)] {
+            let a = Tensor::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(n, k, -1.0, 1.0, &mut rng);
+            let tiled = a.matmul_t(&b);
+            for i in 0..m {
+                let row = Tensor::from_vec(1, k, a.row(i).to_vec());
+                let naive = row.matmul_t(&b);
+                assert_eq!(tiled.row(i), naive.row(0), "({m},{k},{n}) row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_matmul_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for (p, m, n) in [(3, 2, 2), (5, 4, 16), (7, 5, 17), (1, 4, 16), (6, 3, 33)] {
+            let a = Tensor::rand_uniform(p, m, -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(p, n, -1.0, 1.0, &mut rng);
+            let direct = a.matmul_tn(&b);
+            let via_t = a.transpose().matmul(&b);
+            assert_eq!(direct.shape(), (m, n));
+            assert_eq!(direct.data(), via_t.data(), "({p},{m},{n})");
         }
     }
 

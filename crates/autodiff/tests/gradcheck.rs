@@ -216,6 +216,75 @@ proptest! {
     }
 
     #[test]
+    fn subset_softmax_ce_gradients(seed in 0u64..1000) {
+        // The fused road-constrained head: x rows scored against ragged
+        // candidate spans of a row-major projection. x, W and b all get
+        // finite-difference-checked.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let head = Linear::new_rowmajor(&mut store, "head", 3, 6, &mut rng);
+        let x_init = Tensor::rand_uniform(3, 3, -1.0, 1.0, &mut rng);
+        let x_id = store.add("x", x_init);
+        gradcheck(&mut store, move |tape, store| {
+            let x = tape.param(store, x_id);
+            // Spans of width 3 / 2 / 4 with repeated classes across rows.
+            head.subset_cross_entropy(
+                tape,
+                store,
+                x,
+                &[0, 2, 5, 1, 3, 5, 4, 0, 2],
+                &[0, 3, 5, 9],
+                &[1, 0, 2],
+            )
+        }, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn subset_softmax_ce_matches_composed_ops(seed in 0u64..1000) {
+        // Fused node vs the composed formulation (subset projection +
+        // per-row CE): values and parameter gradients must agree.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xcafe);
+        let mut store = ParamStore::new();
+        let head = Linear::new_rowmajor(&mut store, "head", 4, 7, &mut rng);
+        let x_t = Tensor::rand_uniform(2, 4, -1.0, 1.0, &mut rng);
+        let spans: [&[u32]; 2] = [&[1, 4, 6], &[0, 2]];
+        let targets = [2u32, 1];
+
+        let mut fused_store = store.clone();
+        let mut tape_f = Tape::new();
+        let x = tape_f.input(x_t.clone());
+        let fused = head.subset_cross_entropy(
+            &mut tape_f, &store, x, &[1, 4, 6, 0, 2], &[0, 3, 5], &targets,
+        );
+        tape_f.backward(fused, &mut fused_store);
+
+        let mut composed_store = store.clone();
+        let mut tape_c = Tape::new();
+        let x = tape_c.input(x_t.clone());
+        let mut total = None;
+        for (i, (cands, &t)) in spans.iter().zip(&targets).enumerate() {
+            let row = tape_c.select_rows(x, &[i as u32]);
+            let logits = head.forward_subset(&mut tape_c, &store, row, cands);
+            let ce = tape_c.softmax_cross_entropy(logits, &[t]);
+            total = Some(match total {
+                None => ce,
+                Some(acc) => tape_c.add(acc, ce),
+            });
+        }
+        let total = total.unwrap();
+        tape_c.backward(total, &mut composed_store);
+
+        let fv = tape_f.value(fused).get(0, 0) as f64;
+        let cv = tape_c.value(total).get(0, 0) as f64;
+        prop_assert!((fv - cv).abs() < 1e-5 * cv.abs().max(1.0), "loss {fv} vs {cv}");
+        for id in store.ids() {
+            for (a, b) in fused_store.grad(id).data().iter().zip(composed_store.grad(id).data()) {
+                prop_assert!((a - b).abs() < 1e-4, "grad {}: {a} vs {b}", store.name(id));
+            }
+        }
+    }
+
+    #[test]
     fn reshape_and_gather_cols_gradients(seed in 0u64..1000) {
         let mut store = seeded_store(seed, &[("x", 2, 6), ("bias", 1, 5)]);
         gradcheck(&mut store, |tape, store| {

@@ -1,0 +1,157 @@
+//! Equivalence battery for every matmul kernel variant.
+//!
+//! All three layouts (`A·B`, `A·Bᵀ`, `Aᵀ·B`) pin the same accumulation
+//! order: each output element accumulates over the shared dimension in
+//! ascending order with `mul_add`, in the register-tiled paths, the
+//! streaming fallbacks, and the scalar references below. That makes the
+//! kernels **exactly** equal (bit for bit) to the naive reference — the
+//! property the batched inference/training equivalence guarantees build on.
+//!
+//! Shapes are drawn to straddle the tile boundaries (`MR = 4` rows,
+//! `NR = 16` columns): degenerate 1×1 / one-row / one-column operands,
+//! sizes just below/at/above the tile edges, and ragged combinations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tad_autodiff::Tensor;
+
+/// Scalar reference for `A·B`: ascending-k `mul_add`, one accumulator per
+/// output element.
+fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc = a.get(i, p).mul_add(b.get(p, j), acc);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Scalar reference for `A·Bᵀ` (`b` is `n x k`).
+fn reference_matmul_t(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc = a.get(i, p).mul_add(b.get(j, p), acc);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Scalar reference for `Aᵀ·B` (`a` is `p x m`, `b` is `p x n`).
+fn reference_matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (p, m) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for q in 0..p {
+                acc = a.get(q, i).mul_add(b.get(q, j), acc);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Dimension values straddling the MR (4) and NR (16) tile boundaries plus
+/// degenerate sizes.
+const DIMS: [usize; 10] = [1, 2, 3, 4, 5, 8, 15, 16, 17, 33];
+
+fn rand_tensor(seed: u64, rows: usize, cols: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(rows, cols, -2.0, 2.0, &mut rng)
+}
+
+fn assert_bits_equal(got: &Tensor, want: &Tensor, what: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        got.shape() == want.shape(),
+        "{what}: shape {:?} vs {:?}",
+        got.shape(),
+        want.shape()
+    );
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        prop_assert!(x.to_bits() == y.to_bits(), "{what}: element {i} differs: {x} vs {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `matmul_into` (tiled + streaming paths) is bit-exact vs the scalar
+    /// reference for every shape class.
+    #[test]
+    fn matmul_matches_reference_exactly(seed in 0u64..10_000, mi in 0usize..10, ki in 0usize..10, ni in 0usize..10) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = rand_tensor(seed, m, k);
+        let b = rand_tensor(seed ^ 0xa5a5, k, n);
+        assert_bits_equal(&a.matmul(&b), &reference_matmul(&a, &b), "matmul")?;
+    }
+
+    /// `matmul_t_into` (tiled + dot-product paths) is bit-exact vs the
+    /// scalar reference.
+    #[test]
+    fn matmul_t_matches_reference_exactly(seed in 0u64..10_000, mi in 0usize..10, ki in 0usize..10, ni in 0usize..10) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = rand_tensor(seed, m, k);
+        let b = rand_tensor(seed ^ 0x5a5a, n, k);
+        assert_bits_equal(&a.matmul_t(&b), &reference_matmul_t(&a, &b), "matmul_t")?;
+    }
+
+    /// `matmul_tn_into` (tiled + outer-product paths) is bit-exact vs the
+    /// scalar reference.
+    #[test]
+    fn matmul_tn_matches_reference_exactly(seed in 0u64..10_000, pi in 0usize..10, mi in 0usize..10, ni in 0usize..10) {
+        let (p, m, n) = (DIMS[pi], DIMS[mi], DIMS[ni]);
+        let a = rand_tensor(seed, p, m);
+        let b = rand_tensor(seed ^ 0x3c3c, p, n);
+        assert_bits_equal(&a.matmul_tn(&b), &reference_matmul_tn(&a, &b), "matmul_tn")?;
+    }
+
+    /// The three layouts agree with each other through explicit transposes
+    /// — exactly, because they share the accumulation order.
+    #[test]
+    fn layouts_agree_through_transposes(seed in 0u64..10_000, mi in 0usize..10, ki in 0usize..10, ni in 0usize..10) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = rand_tensor(seed, m, k);
+        let b = rand_tensor(seed ^ 0x7171, k, n);
+        let plain = a.matmul(&b);
+        assert_bits_equal(&a.matmul_t(&b.transpose()), &plain, "matmul_t vs matmul")?;
+        assert_bits_equal(&a.transpose().matmul_tn(&b), &plain, "matmul_tn vs matmul")?;
+    }
+
+    /// Row-stacking invariance: row `i` of a batched product equals the
+    /// product of row `i` alone (the property batched training and fleet
+    /// inference rely on).
+    #[test]
+    fn batched_rows_match_single_rows(seed in 0u64..10_000, mi in 0usize..10, ki in 0usize..10, ni in 0usize..10) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = rand_tensor(seed, m, k);
+        let b = rand_tensor(seed ^ 0x1b1b, k, n);
+        let bt = rand_tensor(seed ^ 0x2d2d, n, k);
+        let full = a.matmul(&b);
+        let full_t = a.matmul_t(&bt);
+        for i in 0..m {
+            let row = Tensor::from_vec(1, k, a.row(i).to_vec());
+            let single = row.matmul(&b);
+            assert_bits_equal(&Tensor::from_vec(1, n, full.row(i).to_vec()), &single, "matmul row")?;
+            let single_t = row.matmul_t(&bt);
+            assert_bits_equal(&Tensor::from_vec(1, n, full_t.row(i).to_vec()), &single_t, "matmul_t row")?;
+        }
+    }
+}

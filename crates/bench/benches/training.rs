@@ -1,0 +1,356 @@
+//! Training-path benchmarks: epoch wall-clock, tokens/s and GMAC/s for
+//! forward+backward on the fig7 workload, plus kernel-level GMAC/s for the
+//! three matmul layouts at training shapes.
+//!
+//! Three trainers run the same data with identical rng streams:
+//!
+//! * `reference_scalar` — the pre-vectorisation path: one trajectory per
+//!   tape, unfused GRU steps, per-transition CE nodes
+//!   (`CausalTad::trajectory_loss_reference`).
+//! * `microbatch_1` — the fused sequential path (one trajectory per tape,
+//!   fused GRU op, pooled tape memory).
+//! * `microbatch_8` — the production path: 8 trajectories row-stacked per
+//!   tape pass.
+//!
+//! Besides the Criterion report, the run writes machine-readable
+//! `BENCH_train.json` (override the path with `BENCH_TRAIN_OUT`) so the
+//! perf trajectory is tracked PR-over-PR, and **asserts** that the
+//! micro-batched epoch losses track the scalar reference — a kernel
+//! regression fails the bench run, not just the numbers.
+//!
+//! `CRITERION_QUICK=1` shrinks the workload for CI smoke runs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use causaltad::{CausalTad, CausalTadConfig};
+use tad_autodiff::optim::Adam;
+use tad_autodiff::{Tape, Tensor};
+use tad_eval::cities::{xian_s, Scale};
+use tad_trajsim::{generate_city, Trajectory};
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The true pre-vectorisation epoch time on this workload, measured at the
+/// seed of this PR (commit b660a21: unblocked scalar kernels,
+/// allocation-per-node tape, per-trajectory training). `reference_scalar`
+/// below reconstructs that *formulation* but runs on the post-PR substrate
+/// (tiled kernels, pooled tape), so it is faster than the real pre-PR path
+/// — compare against this constant for the honest PR-over-PR trajectory.
+const PRE_PR_SECONDS_PER_EPOCH: f64 = 0.567;
+
+/// The fig7 workload: the xian-s quick-scale city (600 training
+/// trajectories at full size; CI smoke uses a 100-trajectory slice).
+fn workload() -> (tad_trajsim::City, usize, usize) {
+    let city = generate_city(&xian_s(Scale::Quick));
+    let take = if quick_mode() { 100.min(city.data.train.len()) } else { city.data.train.len() };
+    let epochs = if quick_mode() { 2 } else { 4 };
+    (city, take, epochs)
+}
+
+fn config() -> CausalTadConfig {
+    CausalTadConfig::default()
+}
+
+/// One optimiser epoch of the pre-vectorisation scalar path, mirroring the
+/// `Trainer` loop structure (same shuffle stream, same 1/batch scaling).
+fn epoch_reference(
+    model: &mut CausalTad,
+    train: &[Trajectory],
+    order: &mut [usize],
+    tape: &mut Tape,
+    adam: &mut Adam,
+    rng: &mut StdRng,
+) -> f64 {
+    let cfg = model.config().clone();
+    order.shuffle(rng);
+    let mut epoch_loss = 0.0f64;
+    let mut counted = 0usize;
+    for batch in order.chunks(cfg.batch_size) {
+        let scale = 1.0 / batch.len() as f32;
+        for &idx in batch {
+            let t = &train[idx];
+            if t.len() < 2 {
+                continue;
+            }
+            let segments: Vec<u32> = t.segments.iter().map(|s| s.0).collect();
+            tape.reset();
+            let loss = model.trajectory_loss_reference(tape, &segments, t.time_slot, rng);
+            epoch_loss += tape.value(loss).get(0, 0) as f64;
+            counted += 1;
+            let scaled = tape.scale(loss, scale);
+            tape.backward(scaled, model.store_mut());
+        }
+        if cfg.grad_clip > 0.0 {
+            model.store_mut().clip_grad_norm(cfg.grad_clip);
+        }
+        adam.step(model.store_mut());
+    }
+    epoch_loss / counted.max(1) as f64
+}
+
+/// One optimiser epoch of the micro-batched path (same loop skeleton).
+fn epoch_microbatch(
+    model: &mut CausalTad,
+    train: &[Trajectory],
+    order: &mut [usize],
+    tape: &mut Tape,
+    adam: &mut Adam,
+    rng: &mut StdRng,
+    micro_batch: usize,
+) -> f64 {
+    let cfg = model.config().clone();
+    order.shuffle(rng);
+    let mut epoch_loss = 0.0f64;
+    let mut counted = 0usize;
+    for batch in order.chunks(cfg.batch_size) {
+        let scale = 1.0 / batch.len() as f32;
+        let eligible: Vec<&Trajectory> =
+            batch.iter().map(|&idx| &train[idx]).filter(|t| t.len() >= 2).collect();
+        for chunk in eligible.chunks(micro_batch) {
+            tape.reset();
+            let loss = model.trajectory_loss_batch(tape, chunk, rng);
+            epoch_loss += tape.value(loss).get(0, 0) as f64;
+            counted += chunk.len();
+            let scaled = tape.scale(loss, scale);
+            tape.backward(scaled, model.store_mut());
+        }
+        if cfg.grad_clip > 0.0 {
+            model.store_mut().clip_grad_norm(cfg.grad_clip);
+        }
+        adam.step(model.store_mut());
+    }
+    epoch_loss / counted.max(1) as f64
+}
+
+/// Analytic MAC count of forward+backward for one epoch. Backward of a
+/// `m·k·n` matmul costs two products of the same volume (`dA`, `dB`), so
+/// each forward MAC is counted three times. Elementwise work is excluded —
+/// this is the conventional "useful GEMM work" normalisation.
+fn epoch_macs(model: &CausalTad, train: &[Trajectory]) -> f64 {
+    let cfg = model.config();
+    let (de, dh, dl, rp_dl) = (cfg.embed_dim, cfg.hidden_dim, cfg.latent_dim, cfg.rp_latent_dim);
+    let vocab = model.vocab();
+    let mut fwd = 0.0f64;
+    for t in train {
+        if t.len() < 2 {
+            continue;
+        }
+        // TG-VAE fixed cost: encoder, Gaussian head, SD decoder (two
+        // full-vocab heads), decoder init.
+        fwd += (2 * de * dh + dh * 2 * dl + dl * dh + 2 * dh * vocab + dl * dh) as f64;
+        for w in t.segments.windows(2) {
+            // GRU step + road-constrained head.
+            let cands = model.successors_of(w[0].0).len();
+            fwd += (de * 3 * dh + dh * 3 * dh + dh * cands) as f64;
+        }
+        // RP-VAE per token: encoder, head, decoder hidden, full-vocab head.
+        fwd += (t.len() * (de * dh + dh * 2 * rp_dl + rp_dl * dh + dh * vocab)) as f64;
+    }
+    3.0 * fwd
+}
+
+struct TrainRun {
+    label: &'static str,
+    seconds_per_epoch: f64,
+    tokens_per_s: f64,
+    gmacs: f64,
+    epoch_losses: Vec<f64>,
+}
+
+fn run_trainer(
+    label: &'static str,
+    city: &tad_trajsim::City,
+    take: usize,
+    epochs: usize,
+    micro_batch: Option<usize>,
+) -> TrainRun {
+    let train = &city.data.train[..take];
+    let cfg = config();
+    let mut model = CausalTad::new(&city.net, cfg.clone());
+    let mut adam = Adam::new(model.store(), cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ea1);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut tape = Tape::new();
+    let tokens: usize = train.iter().map(|t| t.len()).sum();
+    let macs = epoch_macs(&model, train);
+    let mut epoch_losses = Vec::with_capacity(epochs);
+    let started = Instant::now();
+    for _ in 0..epochs {
+        let mean = match micro_batch {
+            None => epoch_reference(&mut model, train, &mut order, &mut tape, &mut adam, &mut rng),
+            Some(mb) => {
+                epoch_microbatch(&mut model, train, &mut order, &mut tape, &mut adam, &mut rng, mb)
+            }
+        };
+        epoch_losses.push(mean);
+    }
+    let secs = started.elapsed().as_secs_f64() / epochs as f64;
+    TrainRun {
+        label,
+        seconds_per_epoch: secs,
+        tokens_per_s: tokens as f64 / secs,
+        gmacs: macs / secs / 1e9,
+        epoch_losses,
+    }
+}
+
+fn json_escape_free(label: &str) -> &str {
+    // Labels are static identifiers; nothing to escape.
+    label
+}
+
+fn write_json(
+    runs: &[TrainRun],
+    take: usize,
+    tokens: usize,
+    epochs: usize,
+    kernels: &[(String, f64)],
+) {
+    // `cargo bench` runs with the package directory as cwd; default to the
+    // workspace root so the artefact lands next to README.md.
+    let path = std::env::var("BENCH_TRAIN_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json").to_string()
+    });
+    let reference = runs.iter().find(|r| r.label == "reference_scalar");
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"city\": \"xian-s\", \"scale\": \"quick\", \"trajectories\": {take}, \"tokens_per_epoch\": {tokens}, \"epochs\": {epochs}, \"quick_mode\": {}}},\n",
+        quick_mode()
+    ));
+    let cfg = config();
+    out.push_str(&format!(
+        "  \"config\": {{\"embed_dim\": {}, \"hidden_dim\": {}, \"latent_dim\": {}, \"rp_latent_dim\": {}, \"batch_size\": {}, \"micro_batch\": {}}},\n",
+        cfg.embed_dim, cfg.hidden_dim, cfg.latent_dim, cfg.rp_latent_dim, cfg.batch_size, cfg.micro_batch
+    ));
+    out.push_str(&format!(
+        "  \"baseline_pre_pr\": {{\"seconds_per_epoch\": {PRE_PR_SECONDS_PER_EPOCH}, \"note\": \"measured at seed commit b660a21 on the full (non-quick) workload\"}},\n",
+    ));
+    out.push_str("  \"trainers\": {\n");
+    for (i, r) in runs.iter().enumerate() {
+        let speedup = reference.map(|b| b.seconds_per_epoch / r.seconds_per_epoch).unwrap_or(1.0);
+        // The frozen pre-PR baseline was measured on the full workload;
+        // quick-mode slices are not comparable to it.
+        let vs_pre_pr = if quick_mode() {
+            "null".to_string()
+        } else {
+            format!("{:.2}", PRE_PR_SECONDS_PER_EPOCH / r.seconds_per_epoch)
+        };
+        out.push_str(&format!(
+            "    \"{}\": {{\"seconds_per_epoch\": {:.6}, \"tokens_per_s\": {:.1}, \"gmacs_fwd_bwd\": {:.3}, \"speedup_vs_reference\": {:.2}, \"speedup_vs_pre_pr\": {vs_pre_pr}, \"final_loss\": {:.9}}}{}\n",
+            json_escape_free(r.label),
+            r.seconds_per_epoch,
+            r.tokens_per_s,
+            r.gmacs,
+            speedup,
+            r.epoch_losses.last().copied().unwrap_or(f64::NAN),
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"kernels_gmacs\": {\n");
+    for (i, (name, gmacs)) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {gmacs:.2}{}\n",
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
+/// GMAC/s of one kernel at a fixed shape, measured over a time budget.
+fn kernel_gmacs(macs_per_call: usize, mut call: impl FnMut()) -> f64 {
+    // Warm-up.
+    call();
+    let budget = if quick_mode() { 0.02 } else { 0.25 };
+    let started = Instant::now();
+    let mut calls = 0u64;
+    while started.elapsed().as_secs_f64() < budget {
+        call();
+        calls += 1;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (macs_per_call as u64 * calls) as f64 / secs / 1e9
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (city, take, epochs) = workload();
+    let tokens: usize = city.data.train[..take].iter().map(|t| t.len()).sum();
+
+    let runs = vec![
+        run_trainer("reference_scalar", &city, take, epochs, None),
+        run_trainer("microbatch_1", &city, take, epochs, Some(1)),
+        run_trainer("microbatch_8", &city, take, epochs, Some(8)),
+    ];
+    for r in &runs {
+        println!(
+            "train_epoch/{:<18} {:>9.4} s/epoch  {:>9.0} tokens/s  {:>7.2} GMAC/s  final loss {:.6}",
+            r.label, r.seconds_per_epoch, r.tokens_per_s, r.gmacs, r.epoch_losses.last().unwrap()
+        );
+    }
+
+    // Regression guard: the micro-batched losses must track the scalar
+    // reference per epoch. A broken kernel or backward rule shows up here
+    // long before the timings drift.
+    let reference = &runs[0];
+    for r in &runs[1..] {
+        for (epoch, (a, b)) in r.epoch_losses.iter().zip(&reference.epoch_losses).enumerate() {
+            let rel = (a - b).abs() / b.abs().max(1e-12);
+            assert!(
+                rel < 1e-4,
+                "{}: epoch {epoch} loss {a} diverged from reference {b} (rel {rel:e})",
+                r.label
+            );
+        }
+    }
+
+    // Kernel-level GMAC/s at the training hot shapes: the full-vocab head
+    // (forward A·Bᵀ, backward dW = Aᵀ·B) and the batched GRU projection.
+    let mut rng = StdRng::seed_from_u64(7);
+    let vocab = city.net.num_segments();
+    let (n_rows, dh) = (128usize, 48usize);
+    let x = Tensor::rand_uniform(n_rows, dh, -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(vocab, dh, -1.0, 1.0, &mut rng);
+    let mut logits = Tensor::zeros(n_rows, vocab);
+    let g = Tensor::rand_uniform(n_rows, vocab, -1.0, 1.0, &mut rng);
+    let mut dw = Tensor::zeros(vocab, dh);
+    let gru_x = Tensor::rand_uniform(8, 24, -1.0, 1.0, &mut rng);
+    let gru_w = Tensor::rand_uniform(24, 144, -1.0, 1.0, &mut rng);
+    let mut gru_out = Tensor::zeros(8, 144);
+
+    let kernels = vec![
+        (
+            format!("matmul_t_{n_rows}x{dh}x{vocab}"),
+            kernel_gmacs(n_rows * dh * vocab, || x.matmul_t_into(&w, &mut logits)),
+        ),
+        (
+            format!("matmul_tn_{n_rows}x{vocab}x{dh}"),
+            kernel_gmacs(n_rows * vocab * dh, || g.matmul_tn_into(&x, &mut dw)),
+        ),
+        (
+            "matmul_8x24x144".to_string(),
+            kernel_gmacs(8 * 24 * 144, || gru_x.matmul_into(&gru_w, &mut gru_out)),
+        ),
+    ];
+    for (name, gmacs) in &kernels {
+        println!("kernel/{name:<28} {gmacs:>8.2} GMAC/s");
+    }
+
+    write_json(&runs, take, tokens, epochs, &kernels);
+
+    // Keep a Criterion entry so the harness records something per run.
+    c.bench_function("training/noop_marker", |b| b.iter(|| std::hint::black_box(0)));
+}
+
+criterion_group!(training, bench_training);
+criterion_main!(training);

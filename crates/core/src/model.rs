@@ -73,21 +73,76 @@ impl CausalTad {
         &self.store
     }
 
+    /// Mutable parameter store for custom optimisation loops (benches, the
+    /// scalar reference trainer). After changing parameters, call
+    /// [`CausalTad::precompute_scaling`] before scoring — the scaling table
+    /// caches values derived from them.
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
     /// Successor segments of `seg`.
     pub fn successors_of(&self, seg: u32) -> &[u32] {
         &self.successors[seg as usize]
     }
 
-    /// Builds the joint training loss `L1 + L2` (Eq. 9) for one trajectory
-    /// on `tape`, returning the loss node.
-    pub(crate) fn trajectory_loss(
+    /// Builds the summed joint training loss `Σ_i (L1 + L2)` (Eq. 9) for a
+    /// micro-batch of trajectories in one tape pass, returning the loss
+    /// node.
+    ///
+    /// The TG-VAE runs with row-stacked hidden states
+    /// ([`TgVae::loss_batch`]); the RP-VAE sees every trajectory's tokens
+    /// as one batch. Reparameterisation noise is drawn per trajectory in
+    /// batch order (TG then RP), so a micro-batch of size 1 consumes the
+    /// rng stream exactly like [`CausalTad::trajectory_loss_reference`] and
+    /// larger micro-batches draw the same values for the same
+    /// trajectories.
+    pub fn trajectory_loss_batch(
+        &self,
+        tape: &mut Tape,
+        batch: &[&Trajectory],
+        rng: &mut StdRng,
+    ) -> tad_autodiff::Var {
+        assert!(!batch.is_empty(), "trajectory_loss_batch: empty micro-batch");
+        let b = batch.len();
+        let dl = self.cfg.latent_dim;
+        let rp_dl = self.cfg.rp_latent_dim;
+        let total_tokens: usize = batch.iter().map(|t| t.len()).sum();
+        let mut tg_eps = tad_autodiff::Tensor::zeros(b, dl);
+        let mut rp_eps = tad_autodiff::Tensor::zeros(total_tokens, rp_dl);
+        let mut rp_tokens: Vec<u32> = Vec::with_capacity(total_tokens);
+        let mut seg_lists: Vec<Vec<u32>> = Vec::with_capacity(b);
+        let mut off = 0usize;
+        for (i, t) in batch.iter().enumerate() {
+            let e = tad_autodiff::Tensor::randn(1, dl, 0.0, 1.0, rng);
+            tg_eps.row_mut(i).copy_from_slice(e.row(0));
+            let re = tad_autodiff::Tensor::randn(t.len(), rp_dl, 0.0, 1.0, rng);
+            rp_eps.data_mut()[off * rp_dl..(off + t.len()) * rp_dl].copy_from_slice(re.data());
+            off += t.len();
+            rp_tokens.extend(t.segments.iter().map(|s| self.rp.token(s.0, t.time_slot)));
+            seg_lists.push(t.segments.iter().map(|s| s.0).collect());
+        }
+        let seg_slices: Vec<&[u32]> = seg_lists.iter().map(Vec::as_slice).collect();
+        let tg =
+            self.tg.loss_batch(tape, &self.store, &seg_slices, tg_eps, &self.successors, &self.cfg);
+        let rp = self.rp.loss_with_eps(tape, &self.store, &rp_tokens, rp_eps);
+        tape.add(tg.total, rp)
+    }
+
+    /// The pre-vectorisation scalar training loss for one trajectory:
+    /// unfused GRU steps, one tape node per primitive op, per-transition
+    /// CE. Exposed so the training bench and the equivalence tests can
+    /// compare the micro-batched trainer against the original formulation
+    /// (identical rng consumption per trajectory).
+    pub fn trajectory_loss_reference(
         &self,
         tape: &mut Tape,
         segments: &[u32],
         time_slot: u8,
         rng: &mut StdRng,
     ) -> tad_autodiff::Var {
-        let tg_loss = self.tg.loss(tape, &self.store, segments, &self.successors, &self.cfg, rng);
+        let tg_loss =
+            self.tg.loss_reference(tape, &self.store, segments, &self.successors, &self.cfg, rng);
         let tokens: Vec<u32> = segments.iter().map(|&s| self.rp.token(s, time_slot)).collect();
         let rp_loss = self.rp.loss(tape, &self.store, &tokens, rng);
         tape.add(tg_loss.total, rp_loss)

@@ -111,13 +111,29 @@ impl RpVae {
         tokens: &[u32],
         rng: &mut R,
     ) -> Var {
+        let eps = Tensor::randn(tokens.len(), self.latent_dim, 0.0, 1.0, rng);
+        self.loss_with_eps(tape, store, tokens, eps)
+    }
+
+    /// [`RpVae::loss`] with pre-drawn reparameterisation noise (one row per
+    /// token). Micro-batched training concatenates several trajectories'
+    /// token lists and stacks their per-trajectory eps blocks, keeping rng
+    /// consumption identical to the sequential path; the whole batch then
+    /// runs one encoder/decoder GEMM chain and one fused full-vocab CE.
+    pub fn loss_with_eps(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        tokens: &[u32],
+        eps: Tensor,
+    ) -> Var {
         assert!(!tokens.is_empty(), "RP-VAE loss needs at least one token");
+        assert_eq!(eps.shape(), (tokens.len(), self.latent_dim), "loss_with_eps: eps shape");
         let x = self.embed.lookup(tape, store, tokens);
         let enc_pre = self.enc.forward(tape, store, x);
         let enc_h = tape.tanh(enc_pre);
         let (mu, logvar) = self.head.forward(tape, store, enc_h);
         let kl = tape.kl_std_normal(mu, logvar);
-        let eps = Tensor::randn(tokens.len(), self.latent_dim, 0.0, 1.0, rng);
         let z = tape.gaussian_sample(mu, logvar, eps);
         let dec_pre = self.dec_hidden.forward(tape, store, z);
         let dec_h = tape.relu(dec_pre);
