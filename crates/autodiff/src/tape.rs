@@ -415,7 +415,7 @@ impl Tape {
     /// ```
     ///
     /// `w: in x 3h`, `u: h x 3h`, `b: 1 x 3h` are tape nodes (usually
-    /// [`Op::Param`] leaves). A single node replaces the ~18 primitive ops
+    /// `Op::Param` leaves). A single node replaces the ~18 primitive ops
     /// of the composed formulation, with a hand-fused backward. The gate
     /// nonlinearities use the vectorised [`crate::math::fast_sigmoid`] /
     /// [`crate::math::fast_tanh`] kernels and the same three-pass loop

@@ -1,0 +1,266 @@
+//! Network front-end benchmarks: frame-codec throughput (frames/s for the
+//! hot frame types) and end-to-end loopback scoring throughput
+//! (scored segments/s through `NetServer` + `Client` over 127.0.0.1).
+//!
+//! Besides the Criterion report, the run writes machine-readable
+//! `BENCH_net.json` (override the path with `BENCH_NET_OUT`) so the wire
+//! path's perf trajectory is tracked PR-over-PR, and **asserts** that
+//! every streamed segment came back scored — a routing or backpressure
+//! regression fails the bench run, not just the numbers.
+//!
+//! `CRITERION_QUICK=1` shrinks the workload for CI smoke runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use causaltad::{CausalTad, CausalTadConfig, SegmentTrace};
+use tad_bench::fleet_walks;
+use tad_eval::cities::{xian_s, Scale};
+use tad_net::{
+    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, Client,
+    NetServer, Request, Response, TripComplete,
+};
+use tad_serve::{Completion, FleetConfig, ScoreUpdate};
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The hot request on the wire: one segment event.
+fn segment_request() -> Request {
+    Request::Segment { id: 0x1234_5678, seg: 4242 }
+}
+
+/// The hot response on the wire: one per-segment score.
+fn score_response() -> Response {
+    Response::Score(ScoreUpdate {
+        id: 0x1234_5678,
+        seq: 17,
+        segment: 4242,
+        score: 3.25,
+        nll: 1.5,
+        log_scale: 0.125,
+    })
+}
+
+/// The big response: a finished trip with a serving-realistic 24-segment
+/// trace.
+fn trip_complete_response() -> Response {
+    Response::TripComplete(TripComplete {
+        id: 0x1234_5678,
+        completion: Completion::Ended,
+        score: 12.5,
+        likelihood_nll: 14.0,
+        scale_log_sum: 1.5,
+        trace: (0..24)
+            .map(|i| SegmentTrace { segment: i, nll: 0.25 * i as f64, log_scale: 0.125 })
+            .collect(),
+    })
+}
+
+/// Median-of-reps frames/s for one closure.
+fn frames_per_s(mut f: impl FnMut()) -> f64 {
+    let per_rep = if quick_mode() { 2_000 } else { 50_000 };
+    let reps = 5;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..per_rep {
+            f();
+        }
+        samples.push(per_rep as f64 / t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[reps / 2]
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+    let cases: Vec<(&str, Request)> = vec![("segment_request", segment_request())];
+    for (name, req) in &cases {
+        let blob = request_to_bytes(req);
+        group.bench_function(format!("encode/{name}"), |b| b.iter(|| request_to_bytes(req)));
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| request_from_bytes(blob.clone()).expect("valid frame"))
+        });
+    }
+    let responses: Vec<(&str, Response)> = vec![
+        ("score_response", score_response()),
+        ("trip_complete_24seg", trip_complete_response()),
+    ];
+    for (name, resp) in &responses {
+        let blob = response_to_bytes(resp);
+        group.bench_function(format!("encode/{name}"), |b| b.iter(|| response_to_bytes(resp)));
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| response_from_bytes(blob.clone()).expect("valid frame"))
+        });
+    }
+    group.finish();
+}
+
+fn trained_model() -> Arc<CausalTad> {
+    let city = tad_trajsim::generate_city(&xian_s(Scale::Quick));
+    let cfg = CausalTadConfig {
+        embed_dim: 64,
+        hidden_dim: 256,
+        latent_dim: 32,
+        epochs: 1,
+        ..CausalTadConfig::test_scale()
+    };
+    let mut model = CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    Arc::new(model)
+}
+
+/// One full loopback pass: stream every walk through a TCP client, flush,
+/// drain, and assert every segment came back scored. Returns
+/// (elapsed seconds, events sent, segments scored).
+fn loopback_pass(model: &Arc<CausalTad>, walks: &[Vec<u32>]) -> (f64, u64, u64) {
+    let server = NetServer::builder(Arc::clone(model))
+        .fleet_config(FleetConfig {
+            num_shards: 2,
+            queue_capacity: 65_536,
+            ..FleetConfig::default()
+        })
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let total_segments: usize = walks.iter().map(|w| w.len()).sum();
+    let start = Instant::now();
+    for (id, walk) in walks.iter().enumerate() {
+        client.trip_start(id as u64, walk[0], *walk.last().expect("non-empty"), 0).expect("write");
+    }
+    let longest = walks.iter().map(|w| w.len()).max().unwrap_or(0);
+    for step in 0..longest {
+        for (id, walk) in walks.iter().enumerate() {
+            if let Some(&seg) = walk.get(step) {
+                client.segment(id as u64, seg).expect("write");
+            }
+            if step + 1 == walk.len() {
+                client.trip_end(id as u64).expect("write");
+            }
+        }
+    }
+    let stats = client.flush().expect("barrier");
+    let mut scores = 0u64;
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(_) => scores += 1,
+            Response::TripComplete(_) => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        scores as usize, total_segments,
+        "every streamed segment must come back scored (no drops, no backpressure losses)"
+    );
+    assert_eq!(stats.trips_completed, walks.len() as u64);
+    server.shutdown();
+    (elapsed, (walks.len() * 2 + total_segments) as u64, scores)
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let model = trained_model();
+    let (sessions, len) = if quick_mode() { (64, 8) } else { (512, 24) };
+    let walks = fleet_walks(&model, sessions, len, 97);
+
+    let mut group = c.benchmark_group("loopback");
+    group.sample_size(10);
+    group.bench_function(format!("stream_{sessions}x{len}"), |b| {
+        b.iter(|| loopback_pass(&model, &walks))
+    });
+    group.finish();
+
+    // Machine-readable artefact: median of a few full passes.
+    let reps = if quick_mode() { 2 } else { 5 };
+    let mut passes = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        passes.push(loopback_pass(&model, &walks));
+    }
+    passes.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (elapsed, events, scored) = passes[passes.len() / 2];
+
+    let codec = [
+        (
+            "segment_request_encode",
+            frames_per_s(|| {
+                std::hint::black_box(request_to_bytes(&segment_request()));
+            }),
+        ),
+        ("segment_request_decode", {
+            let blob = request_to_bytes(&segment_request());
+            frames_per_s(move || {
+                std::hint::black_box(request_from_bytes(blob.clone()).expect("valid"));
+            })
+        }),
+        (
+            "score_response_encode",
+            frames_per_s(|| {
+                std::hint::black_box(response_to_bytes(&score_response()));
+            }),
+        ),
+        ("score_response_decode", {
+            let blob = response_to_bytes(&score_response());
+            frames_per_s(move || {
+                std::hint::black_box(response_from_bytes(blob.clone()).expect("valid"));
+            })
+        }),
+        (
+            "trip_complete_24seg_encode",
+            frames_per_s(|| {
+                std::hint::black_box(response_to_bytes(&trip_complete_response()));
+            }),
+        ),
+        ("trip_complete_24seg_decode", {
+            let blob = response_to_bytes(&trip_complete_response());
+            frames_per_s(move || {
+                std::hint::black_box(response_from_bytes(blob.clone()).expect("valid"));
+            })
+        }),
+    ];
+    write_json(sessions, len, elapsed, events, scored, &codec);
+}
+
+fn write_json(
+    sessions: usize,
+    len: usize,
+    elapsed: f64,
+    events: u64,
+    scored: u64,
+    codec: &[(&str, f64)],
+) {
+    // `cargo bench` runs with the package directory as cwd; default to the
+    // workspace root so the artefact lands next to README.md.
+    let path = std::env::var("BENCH_NET_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json").to_string()
+    });
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"sessions\": {sessions}, \"walk_len\": {len}, \"events\": {events}, \"quick_mode\": {}}},\n",
+        quick_mode()
+    ));
+    out.push_str(&format!(
+        "  \"loopback\": {{\"elapsed_s\": {elapsed:.6}, \"scored_segments\": {scored}, \"scored_segments_per_s\": {:.1}, \"events_per_s\": {:.1}}},\n",
+        scored as f64 / elapsed,
+        events as f64 / elapsed,
+    ));
+    out.push_str("  \"frame_codec_frames_per_s\": {\n");
+    for (i, (name, fps)) in codec.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {fps:.0}{}\n",
+            if i + 1 < codec.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_frame_codec, bench_loopback);
+criterion_main!(benches);

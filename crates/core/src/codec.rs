@@ -15,8 +15,9 @@
 //!   serialises one in-flight [`ScorerState`] so a serving layer can
 //!   persist live sessions across a restart (see `tad-serve`'s fleet
 //!   snapshots, which embed these blobs). The blob is a standard
-//!   checksummed envelope ([`seal_envelope`]/[`open_envelope`], shared
-//!   with the fleet-snapshot codec): magic `TADC`, version u16, u64
+//!   checksummed envelope ([`seal_envelope`]/[`open_envelope`] from the
+//!   shared [`crate::envelope`] module, also used by the fleet-snapshot
+//!   and wire-frame codecs): magic `TADC`, version u16, u64
 //!   payload length, payload (hidden row, score accumulators, last
 //!   segment, time slot, per-segment trace), then a FNV-1a 64 checksum of
 //!   the payload. Decoding hostile bytes returns a typed
@@ -32,89 +33,13 @@ use crate::model::CausalTad;
 use crate::online::{ScorerState, SegmentTrace};
 use crate::scaling::ScalingTable;
 
+use crate::envelope::{open_envelope, seal_envelope, EnvelopeError};
+
 const MAGIC: &[u8; 4] = b"TADM";
 const VERSION: u16 = 1;
 
 const STATE_MAGIC: &[u8; 4] = b"TADC";
 const STATE_VERSION: u16 = 1;
-
-/// FNV-1a 64-bit checksum used by the session and fleet-snapshot codecs.
-pub fn checksum64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Failures shared by every checksummed-envelope codec (the session codec
-/// here and `tad-serve`'s fleet-snapshot codec). Each codec maps these
-/// into its own error type so callers see one taxonomy per format.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EnvelopeError {
-    /// Magic bytes did not match.
-    BadMagic,
-    /// Unsupported format version.
-    BadVersion(u16),
-    /// Input ended before the named field could be read.
-    Truncated(&'static str),
-    /// The payload checksum did not match (bit rot or tampering).
-    ChecksumMismatch,
-    /// Bytes followed the checksum.
-    TrailingBytes,
-}
-
-/// Wraps `payload` in the workspace's standard binary envelope
-/// (little-endian): `magic`, `version` u16, u64 payload length, the
-/// payload, then a FNV-1a 64 checksum of the payload.
-pub fn seal_envelope(magic: &[u8; 4], version: u16, payload: Bytes) -> Bytes {
-    let mut buf = BytesMut::with_capacity(payload.len() + 22);
-    buf.put_slice(magic);
-    buf.put_u16_le(version);
-    buf.put_u64_le(payload.len() as u64);
-    buf.put_slice(&payload);
-    buf.put_u64_le(checksum64(&payload));
-    buf.freeze()
-}
-
-/// Opens an envelope written by [`seal_envelope`], returning the verified
-/// payload. The whole input must be one envelope (trailing bytes are
-/// rejected); all length arithmetic is checked, so no input can panic —
-/// the guarantee every codec built on this inherits.
-pub fn open_envelope(
-    magic: &[u8; 4],
-    version: u16,
-    mut bytes: Bytes,
-) -> Result<Bytes, EnvelopeError> {
-    if bytes.remaining() < 14 {
-        return Err(EnvelopeError::Truncated("header"));
-    }
-    let mut found = [0u8; 4];
-    bytes.copy_to_slice(&mut found);
-    if &found != magic {
-        return Err(EnvelopeError::BadMagic);
-    }
-    let found_version = bytes.get_u16_le();
-    if found_version != version {
-        return Err(EnvelopeError::BadVersion(found_version));
-    }
-    let plen = bytes.get_u64_le();
-    // Checked arithmetic: a crafted plen near u64::MAX must fail the
-    // guard, not wrap it.
-    if plen.checked_add(8).is_none_or(|need| (bytes.remaining() as u64) < need) {
-        return Err(EnvelopeError::Truncated("payload"));
-    }
-    let payload = bytes.copy_to_bytes(plen as usize);
-    let stored = bytes.get_u64_le();
-    if bytes.remaining() != 0 {
-        return Err(EnvelopeError::TrailingBytes);
-    }
-    if checksum64(payload.as_ref()) != stored {
-        return Err(EnvelopeError::ChecksumMismatch);
-    }
-    Ok(payload)
-}
 
 /// Errors produced when decoding a serialized model.
 #[derive(Debug, PartialEq, Eq)]
@@ -128,7 +53,12 @@ pub enum ModelCodecError {
     /// The parameter blob failed to decode.
     BadParams,
     /// The supplied road network's segment count does not match the model.
-    VocabMismatch { expected: usize, actual: usize },
+    VocabMismatch {
+        /// Segment count the model was trained on.
+        expected: usize,
+        /// Segment count of the supplied road network.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for ModelCodecError {
@@ -187,6 +117,11 @@ pub fn model_to_bytes(model: &CausalTad) -> Bytes {
 /// Restores a model serialized by [`model_to_bytes`] against a road
 /// network (which must have the same segment count the model was trained
 /// on).
+///
+/// # Errors
+/// Returns the [`ModelCodecError`] naming what failed: wrong magic or
+/// version, a truncation point, an undecodable parameter blob, or a
+/// vocabulary mismatch against `net`. Decoding never panics.
 pub fn model_from_bytes(net: &RoadNetwork, mut bytes: Bytes) -> Result<CausalTad, ModelCodecError> {
     if bytes.remaining() < 6 {
         return Err(ModelCodecError::Truncated("header"));
@@ -332,6 +267,11 @@ pub fn state_to_bytes(state: &ScorerState) -> Bytes {
 /// Restores a state serialized by [`state_to_bytes`]. The whole input must
 /// be one session blob (trailing bytes are rejected); decoding never
 /// panics, whatever the input.
+///
+/// # Errors
+/// Returns the [`StateCodecError`] naming what failed: wrong magic or
+/// version, a truncation point, a checksum mismatch, or a structural
+/// violation of the payload.
 pub fn state_from_bytes(bytes: Bytes) -> Result<ScorerState, StateCodecError> {
     let mut payload = open_envelope(STATE_MAGIC, STATE_VERSION, bytes)?;
     let state = parse_state_payload(&mut payload)?;
@@ -554,14 +494,6 @@ mod tests {
         let payload = u32::MAX.to_le_bytes().to_vec();
         let blob = seal_envelope(STATE_MAGIC, STATE_VERSION, Bytes::from(payload));
         assert_eq!(state_from_bytes(blob), Err(StateCodecError::Truncated("hidden row")));
-    }
-
-    #[test]
-    fn checksum64_is_stable() {
-        // FNV-1a 64 reference values.
-        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(checksum64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_ne!(checksum64(b"ab"), checksum64(b"ba"));
     }
 
     #[test]

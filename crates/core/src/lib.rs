@@ -32,10 +32,26 @@
 //! let score = model.score(trip); // higher = more anomalous
 //! # let _ = score;
 //! ```
+//!
+//! ## Module map (paper section → code)
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §IV-B TG-VAE likelihood, road-constrained decoder head | [`TgVae`] |
+//! | §IV-C RP-VAE causal prior / confounder model | [`RpVae`] |
+//! | §IV-D scaling factor `E[1/P(t_i\|e_i)]` | [`ScalingTable`] |
+//! | §V-D O(1) online scoring | [`OnlineScorer`] / [`ScorerState`] |
+//! | Eq. 10–11 debiased score assembly | [`ScorerState::score`] |
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the cross-crate
+//! picture (autodiff → core → serve → net).
+
+#![deny(missing_docs)]
 
 pub mod calibrate;
 mod codec;
 mod config;
+pub mod envelope;
 pub mod generate;
 mod model;
 mod online;
@@ -45,10 +61,11 @@ mod tgvae;
 mod train;
 
 pub use codec::{
-    checksum64, model_from_bytes, model_to_bytes, open_envelope, seal_envelope, state_from_bytes,
-    state_to_bytes, EnvelopeError, ModelCodecError, StateCodecError,
+    model_from_bytes, model_to_bytes, state_from_bytes, state_to_bytes, ModelCodecError,
+    StateCodecError,
 };
 pub use config::CausalTadConfig;
+pub use envelope::{checksum64, open_envelope, seal_envelope, EnvelopeError};
 pub use model::CausalTad;
 pub use online::{OnlineError, OnlineScorer, ScorerState, SegmentTrace};
 pub use rpvae::RpVae;

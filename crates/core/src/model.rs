@@ -195,6 +195,14 @@ impl CausalTad {
     /// of panicking when the model is not ready or the SD pair is not on
     /// the road network, so serving layers can reject bad requests without
     /// crashing a worker.
+    ///
+    /// # Errors
+    /// [`OnlineError::MissingScalingTable`] when the scaling table has not
+    /// been computed yet, [`OnlineError::SegmentOutOfRange`] when an SD
+    /// endpoint is not a segment of the model's road network.
+    ///
+    /// [`OnlineError::MissingScalingTable`]: crate::OnlineError::MissingScalingTable
+    /// [`OnlineError::SegmentOutOfRange`]: crate::OnlineError::SegmentOutOfRange
     pub fn try_online(
         &self,
         source: u32,

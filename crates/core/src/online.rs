@@ -201,6 +201,12 @@ impl ScorerState {
 impl CausalTad {
     /// Creates the owned streaming state for a trip, validating the request
     /// instead of panicking — the entry point for serving layers.
+    ///
+    /// # Errors
+    /// [`OnlineError::MissingScalingTable`] when `fit()` /
+    /// `precompute_scaling()` has not run yet;
+    /// [`OnlineError::SegmentOutOfRange`] when either SD endpoint is not a
+    /// segment of the model's road network.
     pub fn start_state(
         &self,
         source: u32,

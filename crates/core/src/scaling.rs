@@ -134,6 +134,10 @@ impl ScalingTable {
     }
 
     /// Deserialises a table written by [`ScalingTable::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a static description of the malformation (truncated header,
+    /// truncated entries, or an entry-count/vocab mismatch); never panics.
     pub fn from_bytes(mut bytes: Bytes) -> Result<Self, &'static str> {
         if bytes.remaining() < 13 {
             return Err("truncated scaling header");

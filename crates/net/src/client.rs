@@ -1,0 +1,260 @@
+//! Blocking client for the `TADN` protocol: one reused TCP connection,
+//! buffered pipelined writes, and a local queue for the asynchronous
+//! responses that arrive between barriers.
+//!
+//! The protocol is pipelined: ingest requests (`trip_start` / `segment` /
+//! `trip_end`) are fire-and-forget writes, and the server pushes
+//! [`Response::Score`] / [`Response::TripComplete`] frames back whenever
+//! its shards score something. Two barrier calls give the stream
+//! structure: [`Client::flush`] (everything sent so far is scored and its
+//! responses received) and [`Client::snapshot`] (a fleet image for remote
+//! warm restart). While waiting for a barrier reply the client parks
+//! every other response in an internal queue, which [`Client::try_recv`]
+//! and [`Client::recv`] drain.
+//!
+//! Writes are buffered and only flushed when a reply is needed (or by
+//! [`Client::flush_writes`]), so a producer streaming thousands of
+//! segment frames pays one syscall per batch, not per event.
+
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use bytes::Bytes;
+use tad_serve::{FleetSnapshot, TripId};
+
+use crate::frame::{ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME};
+use crate::wire::{read_response, write_request, RecvError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode as a response frame; the
+    /// connection is no longer usable.
+    Frame(FrameError),
+    /// The server closed the connection while a reply was pending.
+    Disconnected,
+    /// The server answered a barrier request with an error frame.
+    Server {
+        /// What the server reported.
+        code: ErrorCode,
+        /// The trip the failure concerned, when there was one.
+        trip: Option<TripId>,
+        /// Human-readable context from the server.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "wire protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Server { code, trip: Some(id), detail } if !detail.is_empty() => {
+                write!(f, "server error for trip {id}: {code} ({detail})")
+            }
+            ClientError::Server { code, trip: Some(id), .. } => {
+                write!(f, "server error for trip {id}: {code}")
+            }
+            ClientError::Server { code, detail, .. } if !detail.is_empty() => {
+                write!(f, "server error: {code} ({detail})")
+            }
+            ClientError::Server { code, .. } => write!(f, "server error: {code}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Frame(e) => ClientError::Frame(e),
+        }
+    }
+}
+
+/// A blocking `TADN` client over one reused TCP connection. See the
+/// module docs for the pipelining model.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    queue: VecDeque<Response>,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connects to a [`crate::NetServer`] (enables `TCP_NODELAY`).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: stream,
+            writer,
+            queue: VecDeque::new(),
+            max_frame_len: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Raises (or lowers) the cap on incoming frame payloads — raise it
+    /// when snapshots of very large fleets exceed the 64 MiB default.
+    pub fn with_max_frame_len(mut self, max: usize) -> Client {
+        self.max_frame_len = max;
+        self
+    }
+
+    /// Opens a scoring session for a trip (fire-and-forget; buffered).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the write fails.
+    pub fn trip_start(
+        &mut self,
+        id: TripId,
+        source: u32,
+        dest: u32,
+        time_slot: u8,
+    ) -> Result<(), ClientError> {
+        self.send(&Request::TripStart { id, source, dest, time_slot })
+    }
+
+    /// Streams one traversed road segment (fire-and-forget; buffered).
+    /// The server will push a [`Response::Score`] back once scored.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the write fails.
+    pub fn segment(&mut self, id: TripId, seg: u32) -> Result<(), ClientError> {
+        self.send(&Request::Segment { id, seg })
+    }
+
+    /// Ends a trip (fire-and-forget; buffered). The server will push a
+    /// [`Response::TripComplete`] back with the final score.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the write fails.
+    pub fn trip_end(&mut self, id: TripId) -> Result<(), ClientError> {
+        self.send(&Request::TripEnd { id })
+    }
+
+    /// Writes any request frame (fire-and-forget; buffered).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the write fails.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_request(&mut self.writer, req)?;
+        Ok(())
+    }
+
+    /// Pushes buffered request frames to the socket without waiting for
+    /// anything. Barrier calls do this implicitly.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the flush fails.
+    pub fn flush_writes(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Quiesce barrier: sends [`Request::Flush`] and blocks until the
+    /// server's [`Response::Stats`] reply. When this returns, every event
+    /// accepted from this connection so far has been scored, and all its
+    /// `Score` / `TripComplete` / backpressure responses are available
+    /// through [`Client::try_recv`].
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] / [`ClientError::Frame`] on transport failures,
+    /// [`ClientError::Disconnected`] when the server hangs up first, and
+    /// [`ClientError::Server`] when the server reports the barrier failed
+    /// (e.g. the engine shut down).
+    pub fn flush(&mut self) -> Result<FleetSnapshot, ClientError> {
+        self.send(&Request::Flush)?;
+        self.flush_writes()?;
+        loop {
+            match self.read_one()? {
+                Response::Stats(stats) => return Ok(stats),
+                resp => self.queue_or_fail(resp)?,
+            }
+        }
+    }
+
+    /// Remote warm-restart capture: sends [`Request::SnapshotRequest`] and
+    /// blocks until the serialized [`tad_serve::FleetImage`] arrives.
+    /// Decode with [`tad_serve::image_from_bytes`] and feed to
+    /// [`crate::NetServerBuilder::resume`] (or
+    /// [`tad_serve::FleetEngine::restore`]) elsewhere.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] / [`ClientError::Frame`] on transport failures,
+    /// [`ClientError::Disconnected`] when the server hangs up first, and
+    /// [`ClientError::Server`] when the capture failed server-side.
+    pub fn snapshot(&mut self) -> Result<Bytes, ClientError> {
+        self.send(&Request::SnapshotRequest)?;
+        self.flush_writes()?;
+        loop {
+            match self.read_one()? {
+                Response::Snapshot { image } => return Ok(image),
+                resp => self.queue_or_fail(resp)?,
+            }
+        }
+    }
+
+    /// Pops the next already-received response, if any (never touches the
+    /// socket).
+    pub fn try_recv(&mut self) -> Option<Response> {
+        self.queue.pop_front()
+    }
+
+    /// Pops the next response, reading from the socket (after pushing any
+    /// buffered writes) when the local queue is empty. Blocks until a
+    /// response arrives.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] / [`ClientError::Frame`] on transport failures,
+    /// [`ClientError::Disconnected`] when the server hangs up.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if let Some(resp) = self.queue.pop_front() {
+            return Ok(resp);
+        }
+        self.flush_writes()?;
+        self.read_one()
+    }
+
+    /// One blocking socket read.
+    fn read_one(&mut self) -> Result<Response, ClientError> {
+        match read_response(&mut self.reader, self.max_frame_len)? {
+            Some(resp) => Ok(resp),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Parks an out-of-band response while waiting for a barrier reply —
+    /// except fatal error frames, which fail the barrier itself.
+    /// Backpressure/reject notices stay in the stream for the application
+    /// (they concern individual events, not the barrier).
+    fn queue_or_fail(&mut self, resp: Response) -> Result<(), ClientError> {
+        match resp {
+            Response::Error { code, trip, detail }
+                if !matches!(code, ErrorCode::Backpressure | ErrorCode::Rejected) =>
+            {
+                Err(ClientError::Server { code, trip, detail })
+            }
+            other => {
+                self.queue.push_back(other);
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,777 @@
+//! The `TADN` wire format: every frame is one standard workspace envelope
+//! ([`causaltad::envelope`]) whose payload is a tag byte plus a
+//! little-endian body.
+//!
+//! ```text
+//! +-------+---------+-------------+----------------------+-----------+
+//! | TADN  | version | payload len | tag + body           | FNV-1a 64 |
+//! | 4 B   | u16 LE  | u64 LE      | len bytes            | u64 LE    |
+//! +-------+---------+-------------+----------------------+-----------+
+//! ```
+//!
+//! Request tags live in `0x01..=0x0F`, response tags in `0x10..=0x1F`, so
+//! a peer can never confuse the two directions: decoding a response tag as
+//! a request (or vice versa) is a typed [`FrameError::UnexpectedKind`].
+//! Like every envelope codec in the workspace, decoding is **total** —
+//! truncated, bit-flipped, wrong-magic, wrong-version, or
+//! crafted-huge-length inputs all come back as a [`FrameError`], never a
+//! panic (property-tested in the repository's `tests/props.rs`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use causaltad::envelope::{open_envelope, seal_envelope, EnvelopeError};
+use causaltad::SegmentTrace;
+use tad_serve::{Completion, Event, FleetSnapshot, ScoreUpdate, TripId, TripOutcome};
+
+/// Magic bytes opening every wire frame.
+pub const FRAME_MAGIC: &[u8; 4] = b"TADN";
+/// Wire-format version carried in every frame header.
+pub const FRAME_VERSION: u16 = 1;
+/// Default cap on a frame's payload length (64 MiB) — what a reader will
+/// allocate for one frame before distrusting the peer. Snapshot frames of
+/// very large fleets may need a higher cap on both ends.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+/// Longest `detail` string an [`Response::Error`] frame may carry; longer
+/// strings are truncated at a UTF-8 boundary by the encoder and rejected
+/// by the decoder.
+pub const MAX_ERROR_DETAIL: usize = 512;
+
+const TAG_TRIP_START: u8 = 0x01;
+const TAG_SEGMENT: u8 = 0x02;
+const TAG_TRIP_END: u8 = 0x03;
+const TAG_FLUSH: u8 = 0x04;
+const TAG_SNAPSHOT_REQUEST: u8 = 0x05;
+
+const TAG_SCORE: u8 = 0x10;
+const TAG_TRIP_COMPLETE: u8 = 0x11;
+const TAG_STATS: u8 = 0x12;
+const TAG_ERROR: u8 = 0x13;
+const TAG_SNAPSHOT: u8 = 0x14;
+
+/// One client→server frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Open a scoring session: the SD pair and departure slot are known at
+    /// order time. The connection that sends this owns the trip — its
+    /// [`Response::Score`] and [`Response::TripComplete`] frames are
+    /// routed back to it.
+    TripStart {
+        /// The new trip's id (unique across the fleet).
+        id: TripId,
+        /// Source road segment.
+        source: u32,
+        /// Destination road segment.
+        dest: u32,
+        /// Departure time slot.
+        time_slot: u8,
+    },
+    /// The trip traversed one more road segment.
+    Segment {
+        /// The trip that moved.
+        id: TripId,
+        /// The road segment it traversed.
+        seg: u32,
+    },
+    /// The trip finished; its final score should be delivered.
+    TripEnd {
+        /// The trip that finished.
+        id: TripId,
+    },
+    /// Quiesce barrier: the server replies with [`Response::Stats`] once
+    /// every event accepted before this frame has been scored and its
+    /// responses queued — so everything sent so far is answered first.
+    Flush,
+    /// Ask for a fleet snapshot ([`tad_serve::FleetImage`] bytes) for
+    /// remote warm restart; answered with [`Response::Snapshot`].
+    SnapshotRequest,
+}
+
+impl Request {
+    /// The engine event this request carries, if it is an ingest request
+    /// (`TripStart`/`Segment`/`TripEnd`); `None` for control requests.
+    pub fn to_event(&self) -> Option<Event> {
+        match *self {
+            Request::TripStart { id, source, dest, time_slot } => {
+                Some(Event::TripStart { id, source, dest, time_slot })
+            }
+            Request::Segment { id, seg } => Some(Event::Segment { id, seg }),
+            Request::TripEnd { id } => Some(Event::TripEnd { id }),
+            Request::Flush | Request::SnapshotRequest => None,
+        }
+    }
+}
+
+impl From<Event> for Request {
+    fn from(ev: Event) -> Request {
+        match ev {
+            Event::TripStart { id, source, dest, time_slot } => {
+                Request::TripStart { id, source, dest, time_slot }
+            }
+            Event::Segment { id, seg } => Request::Segment { id, seg },
+            Event::TripEnd { id } => Request::TripEnd { id },
+        }
+    }
+}
+
+/// Final scoring result of a trip as carried on the wire — the network
+/// image of [`TripOutcome`]. The segment count is the trace length.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TripComplete {
+    /// The finished trip.
+    pub id: TripId,
+    /// Why the trip left the engine.
+    pub completion: Completion,
+    /// Final debiased anomaly score (Eq. 10).
+    pub score: f64,
+    /// The un-debiased likelihood part of the score.
+    pub likelihood_nll: f64,
+    /// Accumulated scaling sum `Σ_i log E[1/P(t_i|e_i)]`.
+    pub scale_log_sum: f64,
+    /// Per-segment score decomposition; one entry per consumed segment.
+    pub trace: Vec<SegmentTrace>,
+}
+
+impl TripComplete {
+    /// Number of segments the trip consumed.
+    pub fn segments(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+impl From<TripOutcome> for TripComplete {
+    fn from(outcome: TripOutcome) -> TripComplete {
+        TripComplete {
+            id: outcome.id,
+            completion: outcome.completion,
+            score: outcome.score,
+            likelihood_nll: outcome.likelihood_nll,
+            scale_log_sum: outcome.scale_log_sum,
+            trace: outcome.trace,
+        }
+    }
+}
+
+/// Why the server refused or failed a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The target shard's ingest queue was full; the event was **not**
+    /// accepted. The producer must re-send it **before sending any later
+    /// event for the same trip** — later events it already pipelined past
+    /// the bounce were accepted in arrival order, so a late re-send would
+    /// be scored out of order. Producers that pipeline aggressively
+    /// should pace with `Flush` barriers or treat a bounce as fatal for
+    /// the trip.
+    Backpressure,
+    /// The request was structurally fine but refused (e.g. a `TripStart`
+    /// for a trip id another live connection owns).
+    Rejected,
+    /// The engine behind the server has shut down; the connection is about
+    /// to close.
+    EngineClosed,
+    /// The peer sent bytes that do not decode as a frame; framing is lost,
+    /// so the connection closes after this reply.
+    BadFrame,
+    /// A requested fleet snapshot could not be captured.
+    SnapshotFailed,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::Backpressure => 0,
+            ErrorCode::Rejected => 1,
+            ErrorCode::EngineClosed => 2,
+            ErrorCode::BadFrame => 3,
+            ErrorCode::SnapshotFailed => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ErrorCode> {
+        match b {
+            0 => Some(ErrorCode::Backpressure),
+            1 => Some(ErrorCode::Rejected),
+            2 => Some(ErrorCode::EngineClosed),
+            3 => Some(ErrorCode::BadFrame),
+            4 => Some(ErrorCode::SnapshotFailed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorCode::Backpressure => write!(f, "backpressure (event not accepted; re-send)"),
+            ErrorCode::Rejected => write!(f, "request rejected"),
+            ErrorCode::EngineClosed => write!(f, "engine closed"),
+            ErrorCode::BadFrame => write!(f, "undecodable frame"),
+            ErrorCode::SnapshotFailed => write!(f, "snapshot capture failed"),
+        }
+    }
+}
+
+fn completion_to_byte(c: Completion) -> u8 {
+    match c {
+        Completion::Ended => 0,
+        Completion::EvictedTtl => 1,
+        Completion::EvictedLru => 2,
+        Completion::Shutdown => 3,
+    }
+}
+
+fn completion_from_byte(b: u8) -> Option<Completion> {
+    match b {
+        0 => Some(Completion::Ended),
+        1 => Some(Completion::EvictedTtl),
+        2 => Some(Completion::EvictedLru),
+        3 => Some(Completion::Shutdown),
+        _ => None,
+    }
+}
+
+/// One server→client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Per-segment online score delivery: pushed to the owning connection
+    /// after every scored segment of its trips, in per-trip order.
+    Score(ScoreUpdate),
+    /// A trip left the engine (ended, evicted, or flushed at shutdown).
+    TripComplete(TripComplete),
+    /// Reply to [`Request::Flush`]: point-in-time fleet counters, sent
+    /// after the quiesce barrier.
+    Stats(FleetSnapshot),
+    /// The server refused or failed a request; see [`ErrorCode`].
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// The trip the failed request concerned, when there was one.
+        trip: Option<TripId>,
+        /// Human-readable context (≤ [`MAX_ERROR_DETAIL`] bytes).
+        detail: String,
+    },
+    /// Reply to [`Request::SnapshotRequest`]: a serialized
+    /// [`tad_serve::FleetImage`] (`TADF` blob) ready for
+    /// [`tad_serve::image_from_bytes`] and a warm restart elsewhere.
+    Snapshot {
+        /// The snapshot blob.
+        image: Bytes,
+    },
+}
+
+/// Why a frame failed to decode. Decoding is total: hostile bytes always
+/// land in one of these variants, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Magic bytes did not match `TADN`.
+    BadMagic,
+    /// Unsupported wire-format version.
+    BadVersion(u16),
+    /// Input ended before the named field could be read.
+    Truncated(&'static str),
+    /// The payload checksum did not match (line noise or tampering).
+    ChecksumMismatch,
+    /// The payload parsed but violated a structural invariant.
+    Malformed(&'static str),
+    /// The tag byte names no known frame type.
+    UnknownTag(u8),
+    /// The tag byte names a frame of the wrong direction (a response where
+    /// a request was expected, or vice versa).
+    UnexpectedKind {
+        /// The direction the decoder wanted.
+        expected: &'static str,
+        /// The direction the tag actually named.
+        got: &'static str,
+    },
+    /// The frame announces a payload longer than the reader's cap; refused
+    /// before allocating.
+    TooLarge {
+        /// Announced payload length.
+        len: u64,
+        /// The reader's cap.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic bytes"),
+            FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::Truncated(what) => write!(f, "truncated frame at {what}"),
+            FrameError::ChecksumMismatch => write!(f, "frame payload checksum mismatch"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::UnknownTag(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            FrameError::UnexpectedKind { expected, got } => {
+                write!(f, "expected a {expected} frame, got a {got} frame")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the cap of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<EnvelopeError> for FrameError {
+    fn from(e: EnvelopeError) -> Self {
+        match e {
+            EnvelopeError::BadMagic => FrameError::BadMagic,
+            EnvelopeError::BadVersion(v) => FrameError::BadVersion(v),
+            EnvelopeError::Truncated(what) => FrameError::Truncated(what),
+            EnvelopeError::ChecksumMismatch => FrameError::ChecksumMismatch,
+            EnvelopeError::TrailingBytes => FrameError::Malformed("trailing bytes after checksum"),
+        }
+    }
+}
+
+/// Serialises one request frame (envelope included).
+pub fn request_to_bytes(req: &Request) -> Bytes {
+    let mut payload = BytesMut::with_capacity(32);
+    match *req {
+        Request::TripStart { id, source, dest, time_slot } => {
+            payload.put_u8(TAG_TRIP_START);
+            payload.put_u64_le(id);
+            payload.put_u32_le(source);
+            payload.put_u32_le(dest);
+            payload.put_u8(time_slot);
+        }
+        Request::Segment { id, seg } => {
+            payload.put_u8(TAG_SEGMENT);
+            payload.put_u64_le(id);
+            payload.put_u32_le(seg);
+        }
+        Request::TripEnd { id } => {
+            payload.put_u8(TAG_TRIP_END);
+            payload.put_u64_le(id);
+        }
+        Request::Flush => payload.put_u8(TAG_FLUSH),
+        Request::SnapshotRequest => payload.put_u8(TAG_SNAPSHOT_REQUEST),
+    }
+    seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze())
+}
+
+/// Serialises one response frame (envelope included).
+pub fn response_to_bytes(resp: &Response) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64);
+    match resp {
+        Response::Score(s) => {
+            payload.put_u8(TAG_SCORE);
+            payload.put_u64_le(s.id);
+            payload.put_u32_le(s.seq);
+            payload.put_u32_le(s.segment);
+            payload.put_f64_le(s.score);
+            payload.put_f64_le(s.nll);
+            payload.put_f64_le(s.log_scale);
+        }
+        Response::TripComplete(tc) => {
+            payload.put_u8(TAG_TRIP_COMPLETE);
+            payload.put_u64_le(tc.id);
+            payload.put_u8(completion_to_byte(tc.completion));
+            payload.put_f64_le(tc.score);
+            payload.put_f64_le(tc.likelihood_nll);
+            payload.put_f64_le(tc.scale_log_sum);
+            payload.put_u32_le(tc.trace.len() as u32);
+            for step in &tc.trace {
+                payload.put_u32_le(step.segment);
+                payload.put_f64_le(step.nll);
+                payload.put_f64_le(step.log_scale);
+            }
+        }
+        Response::Stats(s) => {
+            payload.put_u8(TAG_STATS);
+            payload.put_u64_le(s.events_ingested);
+            payload.put_u64_le(s.segments_scored);
+            payload.put_u64_le(s.trips_started);
+            payload.put_u64_le(s.trips_completed);
+            payload.put_u64_le(s.evictions_ttl);
+            payload.put_u64_le(s.evictions_lru);
+            payload.put_u64_le(s.rejected);
+            payload.put_u64_le(s.off_graph_hits);
+            payload.put_u64_le(s.batches);
+            payload.put_u64_le(s.active_sessions);
+            payload.put_u64_le(s.sessions_restored);
+            payload.put_f64_le(s.uptime_secs);
+            payload.put_f64_le(s.events_per_sec);
+            payload.put_f64_le(s.mean_batch_size);
+        }
+        Response::Error { code, trip, detail } => {
+            payload.put_u8(TAG_ERROR);
+            payload.put_u8(code.to_byte());
+            match trip {
+                Some(id) => {
+                    payload.put_u8(1);
+                    payload.put_u64_le(*id);
+                }
+                None => payload.put_u8(0),
+            }
+            // Truncate over-long details at a char boundary so the frame
+            // always fits the decoder's cap.
+            let mut cut = detail.len().min(MAX_ERROR_DETAIL);
+            while !detail.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            payload.put_u16_le(cut as u16);
+            payload.put_slice(&detail.as_bytes()[..cut]);
+        }
+        Response::Snapshot { image } => {
+            // The image is the remainder of the payload: the envelope's
+            // own length prefix already delimits it exactly.
+            payload.put_u8(TAG_SNAPSHOT);
+            payload.put_slice(image);
+        }
+    }
+    seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze())
+}
+
+/// Decodes one request frame. The whole input must be one frame.
+///
+/// # Errors
+/// Returns the [`FrameError`] naming what failed; response tags come back
+/// as [`FrameError::UnexpectedKind`]. Never panics.
+pub fn request_from_bytes(bytes: Bytes) -> Result<Request, FrameError> {
+    let mut payload = open_envelope(FRAME_MAGIC, FRAME_VERSION, bytes)?;
+    if payload.remaining() < 1 {
+        return Err(FrameError::Truncated("frame tag"));
+    }
+    let tag = payload.get_u8();
+    let req = match tag {
+        TAG_TRIP_START => {
+            if payload.remaining() < 8 + 4 + 4 + 1 {
+                return Err(FrameError::Truncated("trip-start body"));
+            }
+            Request::TripStart {
+                id: payload.get_u64_le(),
+                source: payload.get_u32_le(),
+                dest: payload.get_u32_le(),
+                time_slot: payload.get_u8(),
+            }
+        }
+        TAG_SEGMENT => {
+            if payload.remaining() < 8 + 4 {
+                return Err(FrameError::Truncated("segment body"));
+            }
+            Request::Segment { id: payload.get_u64_le(), seg: payload.get_u32_le() }
+        }
+        TAG_TRIP_END => {
+            if payload.remaining() < 8 {
+                return Err(FrameError::Truncated("trip-end body"));
+            }
+            Request::TripEnd { id: payload.get_u64_le() }
+        }
+        TAG_FLUSH => Request::Flush,
+        TAG_SNAPSHOT_REQUEST => Request::SnapshotRequest,
+        TAG_SCORE | TAG_TRIP_COMPLETE | TAG_STATS | TAG_ERROR | TAG_SNAPSHOT => {
+            return Err(FrameError::UnexpectedKind { expected: "request", got: "response" });
+        }
+        other => return Err(FrameError::UnknownTag(other)),
+    };
+    if payload.remaining() != 0 {
+        return Err(FrameError::Malformed("trailing payload bytes"));
+    }
+    Ok(req)
+}
+
+/// Decodes one response frame. The whole input must be one frame.
+///
+/// # Errors
+/// Returns the [`FrameError`] naming what failed; request tags come back
+/// as [`FrameError::UnexpectedKind`]. Never panics.
+pub fn response_from_bytes(bytes: Bytes) -> Result<Response, FrameError> {
+    let mut payload = open_envelope(FRAME_MAGIC, FRAME_VERSION, bytes)?;
+    if payload.remaining() < 1 {
+        return Err(FrameError::Truncated("frame tag"));
+    }
+    let tag = payload.get_u8();
+    let resp = match tag {
+        TAG_SCORE => {
+            if payload.remaining() < 8 + 4 + 4 + 8 * 3 {
+                return Err(FrameError::Truncated("score body"));
+            }
+            Response::Score(ScoreUpdate {
+                id: payload.get_u64_le(),
+                seq: payload.get_u32_le(),
+                segment: payload.get_u32_le(),
+                score: payload.get_f64_le(),
+                nll: payload.get_f64_le(),
+                log_scale: payload.get_f64_le(),
+            })
+        }
+        TAG_TRIP_COMPLETE => {
+            if payload.remaining() < 8 + 1 + 8 * 3 + 4 {
+                return Err(FrameError::Truncated("trip-complete body"));
+            }
+            let id = payload.get_u64_le();
+            let completion = completion_from_byte(payload.get_u8())
+                .ok_or(FrameError::Malformed("completion code"))?;
+            let score = payload.get_f64_le();
+            let likelihood_nll = payload.get_f64_le();
+            let scale_log_sum = payload.get_f64_le();
+            let trace_len = payload.get_u32_le() as usize;
+            if trace_len.checked_mul(20).is_none_or(|need| payload.remaining() < need) {
+                return Err(FrameError::Truncated("trace entries"));
+            }
+            let mut trace = Vec::with_capacity(trace_len);
+            for _ in 0..trace_len {
+                let segment = payload.get_u32_le();
+                let nll = payload.get_f64_le();
+                let log_scale = payload.get_f64_le();
+                trace.push(SegmentTrace { segment, nll, log_scale });
+            }
+            Response::TripComplete(TripComplete {
+                id,
+                completion,
+                score,
+                likelihood_nll,
+                scale_log_sum,
+                trace,
+            })
+        }
+        TAG_STATS => {
+            if payload.remaining() < 8 * 11 + 8 * 3 {
+                return Err(FrameError::Truncated("stats body"));
+            }
+            Response::Stats(FleetSnapshot {
+                events_ingested: payload.get_u64_le(),
+                segments_scored: payload.get_u64_le(),
+                trips_started: payload.get_u64_le(),
+                trips_completed: payload.get_u64_le(),
+                evictions_ttl: payload.get_u64_le(),
+                evictions_lru: payload.get_u64_le(),
+                rejected: payload.get_u64_le(),
+                off_graph_hits: payload.get_u64_le(),
+                batches: payload.get_u64_le(),
+                active_sessions: payload.get_u64_le(),
+                sessions_restored: payload.get_u64_le(),
+                uptime_secs: payload.get_f64_le(),
+                events_per_sec: payload.get_f64_le(),
+                mean_batch_size: payload.get_f64_le(),
+            })
+        }
+        TAG_ERROR => {
+            if payload.remaining() < 1 + 1 {
+                return Err(FrameError::Truncated("error body"));
+            }
+            let code = ErrorCode::from_byte(payload.get_u8())
+                .ok_or(FrameError::Malformed("error code"))?;
+            let trip = match payload.get_u8() {
+                0 => None,
+                1 => {
+                    if payload.remaining() < 8 {
+                        return Err(FrameError::Truncated("error trip id"));
+                    }
+                    Some(payload.get_u64_le())
+                }
+                _ => return Err(FrameError::Malformed("error trip flag")),
+            };
+            if payload.remaining() < 2 {
+                return Err(FrameError::Truncated("error detail length"));
+            }
+            let dlen = payload.get_u16_le() as usize;
+            if dlen > MAX_ERROR_DETAIL {
+                return Err(FrameError::Malformed("error detail too long"));
+            }
+            if payload.remaining() < dlen {
+                return Err(FrameError::Truncated("error detail"));
+            }
+            let raw = payload.copy_to_bytes(dlen);
+            let detail = std::str::from_utf8(raw.as_ref())
+                .map_err(|_| FrameError::Malformed("error detail not UTF-8"))?
+                .to_string();
+            Response::Error { code, trip, detail }
+        }
+        TAG_SNAPSHOT => {
+            let len = payload.remaining();
+            Response::Snapshot { image: payload.copy_to_bytes(len) }
+        }
+        TAG_TRIP_START | TAG_SEGMENT | TAG_TRIP_END | TAG_FLUSH | TAG_SNAPSHOT_REQUEST => {
+            return Err(FrameError::UnexpectedKind { expected: "response", got: "request" });
+        }
+        other => return Err(FrameError::UnknownTag(other)),
+    };
+    if payload.remaining() != 0 {
+        return Err(FrameError::Malformed("trailing payload bytes"));
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::TripStart { id: 7, source: 3, dest: 11, time_slot: 5 },
+            Request::Segment { id: 7, seg: 42 },
+            Request::TripEnd { id: 7 },
+            Request::Flush,
+            Request::SnapshotRequest,
+        ]
+    }
+
+    pub(crate) fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Score(ScoreUpdate {
+                id: 7,
+                seq: 3,
+                segment: 42,
+                score: 1.25,
+                nll: 0.5,
+                log_scale: -0.25,
+            }),
+            Response::TripComplete(TripComplete {
+                id: 7,
+                completion: Completion::Ended,
+                score: 2.5,
+                likelihood_nll: 3.0,
+                scale_log_sum: 0.5,
+                trace: vec![
+                    SegmentTrace { segment: 1, nll: 0.0, log_scale: 0.1 },
+                    SegmentTrace { segment: 2, nll: 1.5, log_scale: 0.2 },
+                ],
+            }),
+            Response::Stats(FleetSnapshot {
+                events_ingested: 1,
+                segments_scored: 2,
+                trips_started: 3,
+                trips_completed: 4,
+                evictions_ttl: 5,
+                evictions_lru: 6,
+                rejected: 7,
+                off_graph_hits: 8,
+                batches: 9,
+                active_sessions: 10,
+                sessions_restored: 11,
+                uptime_secs: 1.5,
+                events_per_sec: 2.5,
+                mean_batch_size: 3.5,
+            }),
+            Response::Error {
+                code: ErrorCode::Backpressure,
+                trip: Some(7),
+                detail: "queue full".to_string(),
+            },
+            Response::Error { code: ErrorCode::EngineClosed, trip: None, detail: String::new() },
+            Response::Snapshot { image: Bytes::from(vec![1u8, 2, 3, 4]) },
+        ]
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for req in sample_requests() {
+            let blob = request_to_bytes(&req);
+            assert_eq!(request_from_bytes(blob.clone()).expect("decode"), req);
+            // Canonical encoding.
+            assert_eq!(request_to_bytes(&request_from_bytes(blob.clone()).unwrap()), blob);
+        }
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        for resp in sample_responses() {
+            let blob = response_to_bytes(&resp);
+            let decoded = response_from_bytes(blob.clone()).expect("decode");
+            assert_eq!(decoded, resp);
+            assert_eq!(response_to_bytes(&decoded).to_vec(), blob.to_vec());
+        }
+    }
+
+    #[test]
+    fn direction_confusion_is_typed() {
+        let req = request_to_bytes(&Request::Flush);
+        assert_eq!(
+            response_from_bytes(req),
+            Err(FrameError::UnexpectedKind { expected: "response", got: "request" })
+        );
+        let resp = response_to_bytes(&Response::Error {
+            code: ErrorCode::Rejected,
+            trip: None,
+            detail: String::new(),
+        });
+        assert_eq!(
+            request_from_bytes(resp),
+            Err(FrameError::UnexpectedKind { expected: "request", got: "response" })
+        );
+    }
+
+    #[test]
+    fn corruption_battery_never_panics() {
+        let mut blobs: Vec<Vec<u8>> =
+            sample_requests().iter().map(|r| request_to_bytes(r).to_vec()).collect();
+        blobs.extend(sample_responses().iter().map(|r| response_to_bytes(r).to_vec()));
+        for blob in blobs {
+            for cut in 0..blob.len() {
+                assert!(request_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut}");
+                assert!(response_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut}");
+            }
+            for byte in 0..blob.len() {
+                for bit in 0..8u32 {
+                    let mut raw = blob.clone();
+                    raw[byte] ^= 1 << bit;
+                    // Either decoder must survive (and may legitimately
+                    // still accept a same-direction decode only if the
+                    // flip cancels out, which the checksum prevents).
+                    assert!(
+                        request_from_bytes(raw.clone().into()).is_err(),
+                        "byte={byte} bit={bit}"
+                    );
+                    assert!(response_from_bytes(raw.into()).is_err(), "byte={byte} bit={bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_crafted_lengths_error_instead_of_panicking() {
+        // Envelope payload length near u64::MAX.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(FRAME_MAGIC);
+        raw.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+        raw.extend_from_slice(&u64::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 16]);
+        assert_eq!(request_from_bytes(raw.into()), Err(FrameError::Truncated("payload")));
+        // A checksummed trip-complete claiming a near-u32::MAX trace.
+        let mut payload = BytesMut::new();
+        payload.put_u8(TAG_TRIP_COMPLETE);
+        payload.put_u64_le(1);
+        payload.put_u8(0);
+        payload.put_f64_le(0.0);
+        payload.put_f64_le(0.0);
+        payload.put_f64_le(0.0);
+        payload.put_u32_le(u32::MAX);
+        let blob = seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze());
+        assert_eq!(response_from_bytes(blob), Err(FrameError::Truncated("trace entries")));
+        // A snapshot body has no inner length to lie about: it is exactly
+        // the payload remainder, so even an empty image decodes cleanly.
+        let mut payload = BytesMut::new();
+        payload.put_u8(TAG_SNAPSHOT);
+        let blob = seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze());
+        assert_eq!(
+            response_from_bytes(blob),
+            Ok(Response::Snapshot { image: Bytes::from(Vec::new()) })
+        );
+    }
+
+    #[test]
+    fn long_error_details_truncate_at_char_boundaries() {
+        // 600 two-byte chars: the encoder must cut at <= 512 bytes on a
+        // boundary and the result must still decode.
+        let detail = "é".repeat(600);
+        let resp = Response::Error { code: ErrorCode::BadFrame, trip: None, detail };
+        let decoded = response_from_bytes(response_to_bytes(&resp)).expect("decode");
+        match decoded {
+            Response::Error { detail, .. } => {
+                assert!(detail.len() <= MAX_ERROR_DETAIL);
+                assert!(detail.chars().all(|c| c == 'é'));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_event_conversion_roundtrips() {
+        let ev = Event::TripStart { id: 9, source: 1, dest: 2, time_slot: 3 };
+        assert_eq!(Request::from(ev).to_event(), Some(ev));
+        assert_eq!(Request::Flush.to_event(), None);
+        assert_eq!(Request::SnapshotRequest.to_event(), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! # tad-net
+//!
+//! Network ingest front-end for the `tad-serve` fleet engine: a versioned,
+//! length-prefixed binary wire protocol (`TADN`), a concurrent TCP server,
+//! and a blocking client — the layer that turns the CausalTAD reproduction
+//! from a library into a deployable *online* detection service, where many
+//! producers stream trip telemetry into one scoring process and get
+//! per-segment anomaly scores pushed back as the trips unfold.
+//!
+//! ## Wire format
+//!
+//! Every frame is one standard workspace envelope (see
+//! [`causaltad::envelope`]), little-endian throughout:
+//!
+//! | Offset | Size | Field |
+//! |---|---|---|
+//! | 0 | 4 | magic `TADN` |
+//! | 4 | 2 | version (`u16`, currently 1) |
+//! | 6 | 8 | payload length (`u64`) |
+//! | 14 | n | payload: tag byte + body |
+//! | 14+n | 8 | FNV-1a 64 checksum of the payload |
+//!
+//! Requests (client→server) use tags `0x01..=0x0F`:
+//! [`Request::TripStart`] (0x01), [`Request::Segment`] (0x02),
+//! [`Request::TripEnd`] (0x03), [`Request::Flush`] (0x04),
+//! [`Request::SnapshotRequest`] (0x05). Responses (server→client) use
+//! `0x10..=0x1F`: [`Response::Score`] (0x10), [`Response::TripComplete`]
+//! (0x11), [`Response::Stats`] (0x12), [`Response::Error`] (0x13),
+//! [`Response::Snapshot`] (0x14). Decoding is total — hostile bytes
+//! produce typed [`FrameError`]s, never panics — and readers refuse
+//! frames longer than their cap *before* allocating.
+//!
+//! ## Semantics
+//!
+//! * Ingest is **pipelined**: producers fire `TripStart`/`Segment`/
+//!   `TripEnd` without waiting; the server pushes a `Score` frame per
+//!   scored segment (in per-trip order) and a `TripComplete` when the
+//!   trip leaves the engine, routed to the connection that started the
+//!   trip.
+//! * **Backpressure is explicit**: when the engine's bounded ingest queue
+//!   is full, the event is *not* buffered server-side — the producer gets
+//!   [`ErrorCode::Backpressure`] naming the trip and re-sends it before
+//!   any later event for that trip (see the pacing contract on
+//!   [`ErrorCode::Backpressure`]).
+//! * `Flush` is a **quiesce barrier**: its `Stats` reply is sent only
+//!   after everything accepted earlier has been scored and its responses
+//!   queued ahead — the hook that makes network scoring testably
+//!   deterministic.
+//! * `SnapshotRequest` serves a whole [`tad_serve::FleetImage`] over the
+//!   wire for **remote warm restart**: feed the blob to
+//!   [`NetServerBuilder::resume`] on another host and scoring continues
+//!   bit-identically.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tad_net::{Client, NetServer, Response};
+//! # let model: causaltad::CausalTad = unimplemented!();
+//!
+//! let server = NetServer::builder(Arc::new(model)).bind("127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.trip_start(1, 0, 9, 3).unwrap();
+//! client.segment(1, 0).unwrap();
+//! client.trip_end(1).unwrap();
+//! let stats = client.flush().unwrap(); // barrier: everything above is scored
+//! while let Some(resp) = client.try_recv() {
+//!     if let Response::Score(s) = resp {
+//!         println!("trip {} segment {} score {:.3}", s.id, s.segment, s.score);
+//!     }
+//! }
+//! assert_eq!(stats.trips_completed, 1);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+mod client;
+mod frame;
+mod server;
+mod wire;
+
+pub use client::{Client, ClientError};
+pub use frame::{
+    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, ErrorCode,
+    FrameError, Request, Response, TripComplete, DEFAULT_MAX_FRAME, FRAME_MAGIC, FRAME_VERSION,
+    MAX_ERROR_DETAIL,
+};
+pub use server::{NetConfig, NetError, NetServer, NetServerBuilder, NetStats};
+pub use wire::{read_request, read_response, write_request, write_response, RecvError};

@@ -9,13 +9,17 @@ use std::time::Duration;
 use bytes::Bytes;
 use causaltad::{CausalTad, StepCache};
 
-use crate::event::{Event, TripId, TripOutcome};
+use crate::event::{Event, ScoreUpdate, TripId, TripOutcome};
 use crate::shard::{run_shard, Ingest, ShardCtx};
 use crate::snapshot::{image_to_bytes, FleetImage, SessionRecord, SnapshotError};
 use crate::stats::{FleetSnapshot, FleetStats};
 
 /// Completion callback invoked by shard workers with each finished trip.
 pub type CompletionCallback = Arc<dyn Fn(TripOutcome) + Send + Sync>;
+
+/// Score callback invoked by shard workers with every scored segment (the
+/// per-segment online delivery path).
+pub type ScoreCallback = Arc<dyn Fn(&ScoreUpdate) + Send + Sync>;
 
 /// Tunables of the fleet engine.
 #[derive(Clone, Debug)]
@@ -125,6 +129,7 @@ pub struct FleetEngineBuilder {
     model: Arc<CausalTad>,
     cfg: FleetConfig,
     on_complete: Option<CompletionCallback>,
+    on_score: Option<ScoreCallback>,
     resume: Option<FleetImage>,
 }
 
@@ -143,6 +148,17 @@ impl FleetEngineBuilder {
         self
     }
 
+    /// Called by shard workers with every scored segment — the per-segment
+    /// online score delivery behind the paper's streaming-detection claim
+    /// (and `tad-net`'s `Score` response frames). Fires right after the
+    /// micro-batched step that consumed the segment, in per-trip order.
+    /// Must be cheap or hand off to a channel — it runs on the scoring
+    /// threads.
+    pub fn on_score(mut self, cb: impl Fn(&ScoreUpdate) + Send + Sync + 'static) -> Self {
+        self.on_score = Some(Arc::new(cb));
+        self
+    }
+
     /// Seeds the engine with the sessions of a [`FleetImage`] (warm
     /// restart). The image may come from an engine with a different shard
     /// count — sessions are re-partitioned for this engine's
@@ -156,8 +172,14 @@ impl FleetEngineBuilder {
 
     /// Validates the config, spawns the shard workers, seeds any resume
     /// sessions, and starts serving.
+    ///
+    /// # Errors
+    /// [`ServeError::ModelNotReady`] when the model has no scaling table,
+    /// [`ServeError::InvalidConfig`] when a config field is out of range,
+    /// and [`ServeError::SnapshotMismatch`] when a resume session does not
+    /// fit the model.
     pub fn build(self) -> Result<FleetEngine, ServeError> {
-        let FleetEngineBuilder { model, cfg, on_complete, resume } = self;
+        let FleetEngineBuilder { model, cfg, on_complete, on_score, resume } = self;
         if model.scaling().is_none() {
             return Err(ServeError::ModelNotReady);
         }
@@ -187,6 +209,7 @@ impl FleetEngineBuilder {
                 cfg: cfg.clone(),
                 stats: Arc::clone(&stats),
                 on_complete: on_complete.clone(),
+                on_score: on_score.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("tad-serve-shard-{shard}"))
@@ -258,7 +281,13 @@ pub struct FleetEngine {
 impl FleetEngine {
     /// Starts building an engine over a trained model.
     pub fn builder(model: Arc<CausalTad>) -> FleetEngineBuilder {
-        FleetEngineBuilder { model, cfg: FleetConfig::default(), on_complete: None, resume: None }
+        FleetEngineBuilder {
+            model,
+            cfg: FleetConfig::default(),
+            on_complete: None,
+            on_score: None,
+            resume: None,
+        }
     }
 
     /// Starts building an engine that resumes the sessions of a previously
@@ -274,6 +303,10 @@ impl FleetEngine {
     }
 
     /// Enqueues an event, blocking while the target shard's queue is full.
+    ///
+    /// # Errors
+    /// [`SubmitError::Closed`] when the engine has shut down (the event is
+    /// handed back).
     pub fn submit(&self, ev: Event) -> Result<(), SubmitError> {
         let shard = self.shard_of(&ev);
         match self.senders[shard].send(Ingest::One(ev)) {
@@ -286,6 +319,11 @@ impl FleetEngine {
     }
 
     /// Non-blocking enqueue; hands the event back when the shard is full.
+    ///
+    /// # Errors
+    /// [`SubmitError::Full`] when the target shard's queue is at capacity
+    /// (backpressure — retry or shed load), [`SubmitError::Closed`] when
+    /// the engine has shut down. Both hand the event back.
     pub fn try_submit(&self, ev: Event) -> Result<(), SubmitError> {
         let shard = self.shard_of(&ev);
         match self.senders[shard].try_send(Ingest::One(ev)) {
@@ -307,6 +345,10 @@ impl FleetEngine {
     /// failing shard's group plus all unsent groups) is handed back in
     /// [`SubmitError::ClosedChunk`]; groups already delivered to other
     /// shards stay delivered.
+    ///
+    /// # Errors
+    /// [`SubmitError::ClosedChunk`] when the engine shut down mid-call,
+    /// carrying every event that was not accepted.
     pub fn submit_all(&self, events: impl IntoIterator<Item = Event>) -> Result<(), SubmitError> {
         let mut per_shard: Vec<Vec<Event>> = vec![Vec::new(); self.senders.len()];
         for ev in events {
@@ -345,6 +387,10 @@ impl FleetEngine {
     ///
     /// Blocks until every shard has replied (bounded by the time it takes
     /// the shards to drain what is already queued).
+    ///
+    /// # Errors
+    /// [`SnapshotError::ShardUnavailable`] when a shard worker is gone
+    /// (it panicked or the engine is shutting down).
     pub fn snapshot(&self) -> Result<FleetImage, SnapshotError> {
         // Fan the requests out first so the shards quiesce in parallel.
         let mut replies = Vec::with_capacity(self.senders.len());
@@ -364,8 +410,37 @@ impl FleetEngine {
 
     /// [`FleetEngine::snapshot`] serialized with
     /// [`crate::image_to_bytes`] — the blob to write to durable storage.
+    ///
+    /// # Errors
+    /// See [`FleetEngine::snapshot`].
     pub fn snapshot_bytes(&self) -> Result<Bytes, SnapshotError> {
         self.snapshot().map(|image| image_to_bytes(&image))
+    }
+
+    /// Quiesce barrier: blocks until every shard has processed every event
+    /// that was queued ahead of this call. When `flush` returns, all
+    /// `on_score` / `on_complete` callbacks for those events have already
+    /// run — the hook a network front-end uses to answer "everything you
+    /// sent so far has been scored" (`tad-net`'s `Flush` frame). Same
+    /// quiesce mechanism as [`FleetEngine::snapshot`], without cloning any
+    /// sessions.
+    ///
+    /// # Errors
+    /// [`SnapshotError::ShardUnavailable`] when a shard worker is gone
+    /// (it panicked or the engine is shutting down).
+    pub fn flush(&self) -> Result<(), SnapshotError> {
+        // Fan the barriers out first so the shards quiesce in parallel.
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            tx.send(Ingest::Flush(reply_tx))
+                .map_err(|_| SnapshotError::ShardUnavailable { shard })?;
+            replies.push(reply_rx);
+        }
+        for (shard, reply_rx) in replies.into_iter().enumerate() {
+            reply_rx.recv().map_err(|_| SnapshotError::ShardUnavailable { shard })?;
+        }
+        Ok(())
     }
 
     /// Point-in-time fleet counters.

@@ -11,6 +11,7 @@ pub type TripId = u64;
 pub enum Event {
     /// A new trip: the SD pair and departure slot are known at order time.
     TripStart {
+        /// The new trip's id (the shard-routing key).
         id: TripId,
         /// Source road segment.
         source: u32,
@@ -20,9 +21,17 @@ pub enum Event {
         time_slot: u8,
     },
     /// The trip traversed one more road segment.
-    Segment { id: TripId, seg: u32 },
+    Segment {
+        /// The trip that moved.
+        id: TripId,
+        /// The road segment it traversed.
+        seg: u32,
+    },
     /// The trip finished; its final score should be delivered.
-    TripEnd { id: TripId },
+    TripEnd {
+        /// The trip that finished.
+        id: TripId,
+    },
 }
 
 impl Event {
@@ -53,10 +62,36 @@ pub enum Completion {
     Shutdown,
 }
 
+/// One per-segment score delivery, handed to the engine's `on_score`
+/// callback right after the micro-batched model step that consumed the
+/// segment. This is the paper's *online* detection surface: the debiased
+/// anomaly score (Eq. 10) updated per observed road segment, pushed to the
+/// outside world (e.g. `tad-net` streams these to the connection that owns
+/// the trip) instead of waiting for the trip to end.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreUpdate {
+    /// The trip this score belongs to.
+    pub id: TripId,
+    /// 0-based index of the scored segment within the trip (how many
+    /// segments the session has consumed, minus one).
+    pub seq: u32,
+    /// The road segment that was just consumed.
+    pub segment: u32,
+    /// Debiased anomaly score (Eq. 10) after this segment; higher = more
+    /// anomalous.
+    pub score: f64,
+    /// This segment's likelihood contribution `-log P(t_i | c, t_<i)`.
+    pub nll: f64,
+    /// This segment's debiasing contribution `log E[1/P(t_i|e_i)]`.
+    pub log_scale: f64,
+}
+
 /// Final scoring result for a trip, delivered to the completion callback.
 #[derive(Clone, Debug)]
 pub struct TripOutcome {
+    /// The finished trip.
     pub id: TripId,
+    /// Why the trip left the engine.
     pub completion: Completion,
     /// Debiased anomaly score (Eq. 10) after the last consumed segment.
     pub score: f64,

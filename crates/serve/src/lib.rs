@@ -24,6 +24,13 @@
 //!   O(1) LRU cap bounding memory; completed and evicted trips are
 //!   delivered to a completion callback with their final score and full
 //!   [`causaltad::SegmentTrace`].
+//! * **Online delivery** — an optional `on_score` callback receives a
+//!   [`ScoreUpdate`] for every scored segment, in per-trip order, right
+//!   after the micro-batched step that consumed it — the per-segment
+//!   streaming surface behind the paper's online-detection claim (and the
+//!   `tad-net` front-end's `Score` frames). [`FleetEngine::flush`] is the
+//!   matching quiesce barrier: when it returns, every event submitted
+//!   before it has been scored and its callbacks have run.
 //! * **Session persistence** — [`FleetEngine::snapshot`] captures every
 //!   live session into a versioned, checksummed [`FleetImage`] while the
 //!   engine keeps serving; [`FleetEngine::restore`] seeds a fresh engine
@@ -50,6 +57,8 @@
 //! assert_eq!(stats.trips_completed, 1);
 //! ```
 
+#![deny(missing_docs)]
+
 mod engine;
 mod event;
 #[doc(hidden)]
@@ -58,8 +67,11 @@ mod shard;
 mod snapshot;
 mod stats;
 
-pub use engine::{FleetConfig, FleetEngine, FleetEngineBuilder, ServeError, SubmitError};
-pub use event::{Completion, Event, TripId, TripOutcome};
+pub use engine::{
+    CompletionCallback, FleetConfig, FleetEngine, FleetEngineBuilder, ScoreCallback, ServeError,
+    SubmitError,
+};
+pub use event::{Completion, Event, ScoreUpdate, TripId, TripOutcome};
 pub use snapshot::{
     image_from_bytes, image_to_bytes, FleetImage, SessionRecord, SnapshotCodecError, SnapshotError,
 };

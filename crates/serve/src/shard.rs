@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use causaltad::{CausalTad, ScorerState, StepCache, OFF_GRAPH_NLL};
 
-use crate::engine::{CompletionCallback, FleetConfig};
-use crate::event::{Completion, Event, TripId, TripOutcome};
+use crate::engine::{CompletionCallback, FleetConfig, ScoreCallback};
+use crate::event::{Completion, Event, ScoreUpdate, TripId, TripOutcome};
 use crate::session::{Session, SessionStore};
 use crate::snapshot::SessionRecord;
 use crate::stats::FleetStats;
@@ -26,6 +26,10 @@ pub(crate) enum Ingest {
     /// Seed the store with restored sessions (sent at build time, ahead of
     /// any traffic; records arrive oldest first).
     Restore(Vec<SessionRecord>),
+    /// Quiesce barrier: finish every event already queued ahead of this
+    /// message (callbacks included), then reply. Like `Snapshot` without
+    /// the session clones.
+    Flush(SyncSender<()>),
 }
 
 impl Ingest {
@@ -55,9 +59,29 @@ pub(crate) struct ShardCtx {
     pub cfg: FleetConfig,
     pub stats: Arc<FleetStats>,
     pub on_complete: Option<CompletionCallback>,
+    pub on_score: Option<ScoreCallback>,
 }
 
 impl ShardCtx {
+    /// Per-segment bookkeeping after a model step scored `state`'s newest
+    /// segment: the off-graph counter, then the `on_score` delivery.
+    fn deliver_score(&self, id: TripId, state: &ScorerState, score: f64) {
+        let step = *state.trace().last().expect("a segment was just scored");
+        if step.nll == OFF_GRAPH_NLL {
+            FleetStats::bump(&self.stats.off_graph_hits);
+        }
+        if let Some(cb) = &self.on_score {
+            cb(&ScoreUpdate {
+                id,
+                seq: (state.len() - 1) as u32,
+                segment: step.segment,
+                score,
+                nll: step.nll,
+                log_scale: step.log_scale,
+            });
+        }
+    }
+
     fn finish(&self, id: TripId, session: Session, completion: Completion) {
         if completion == Completion::Ended {
             FleetStats::bump(&self.stats.trips_completed);
@@ -117,6 +141,11 @@ pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
                 let _ = reply.send(capture_sessions(&store));
             }
             Some(Ingest::Restore(records)) => restore_sessions(&ctx, &mut store, records),
+            Some(Ingest::Flush(reply)) => {
+                // The engine side may have given up waiting; a dead reply
+                // channel is not the shard's problem.
+                let _ = reply.send(());
+            }
             _ => {}
         }
         sweep(&ctx, &mut store, &mut last_sweep, sweep_every);
@@ -167,11 +196,9 @@ fn restore_sessions(ctx: &ShardCtx, store: &mut SessionStore, records: Vec<Sessi
         // them now — push_state is bit-identical to the batched path,
         // including the off-graph accounting.
         for &seg in &pending {
-            ctx.model.push_state(&mut state, seg);
+            let score = ctx.model.push_state(&mut state, seg);
             FleetStats::bump(&ctx.stats.segments_scored);
-            if state.trace().last().is_some_and(|t| t.nll == OFF_GRAPH_NLL) {
-                FleetStats::bump(&ctx.stats.off_graph_hits);
-            }
+            ctx.deliver_score(id, &state, score);
         }
         FleetStats::bump(&ctx.stats.sessions_restored);
         FleetStats::bump(&ctx.stats.active_sessions);
@@ -291,25 +318,26 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
         })
         .collect();
     let mut wave_segs: Vec<u32> = Vec::with_capacity(work.len());
+    let mut wave_ids: Vec<TripId> = Vec::with_capacity(work.len());
     loop {
         let mut wave: Vec<&mut ScorerState> = Vec::with_capacity(work.len());
         wave_segs.clear();
-        for (_, state, pending) in work.iter_mut() {
+        wave_ids.clear();
+        for (id, state, pending) in work.iter_mut() {
             if let Some(seg) = pending.pop_front() {
                 wave_segs.push(seg);
+                wave_ids.push(*id);
                 wave.push(state);
             }
         }
         if wave.is_empty() {
             break;
         }
-        ctx.model.push_batch(ctx.cache.as_deref(), &mut wave, &wave_segs);
+        let scores = ctx.model.push_batch(ctx.cache.as_deref(), &mut wave, &wave_segs);
         FleetStats::bump(&ctx.stats.batches);
         FleetStats::add(&ctx.stats.segments_scored, wave.len() as u64);
-        for state in &wave {
-            if state.trace().last().is_some_and(|t| t.nll == OFF_GRAPH_NLL) {
-                FleetStats::bump(&ctx.stats.off_graph_hits);
-            }
+        for ((state, &id), score) in wave.iter().zip(&wave_ids).zip(scores) {
+            ctx.deliver_score(id, state, score);
         }
     }
     for (id, state, pending) in work {

@@ -83,12 +83,13 @@ impl FleetStats {
 }
 
 /// Point-in-time view of the fleet counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FleetSnapshot {
     /// Events accepted by `submit`/`try_submit`.
     pub events_ingested: u64,
     /// Segment events actually scored by a model step.
     pub segments_scored: u64,
+    /// Trips accepted through a valid `TripStart` event.
     pub trips_started: u64,
     /// Trips that left through a `TripEnd` event.
     pub trips_completed: u64,
@@ -107,6 +108,7 @@ pub struct FleetSnapshot {
     pub active_sessions: u64,
     /// Sessions seeded from a fleet snapshot at build time (warm restart).
     pub sessions_restored: u64,
+    /// Seconds since the engine was built.
     pub uptime_secs: f64,
     /// Ingested events per second of engine uptime.
     pub events_per_sec: f64,

@@ -1,0 +1,160 @@
+//! Network fleet scoring: producers streaming trips over TCP into a
+//! `tad-net` server, consuming per-segment anomaly scores as they unfold.
+//!
+//! Trains a quick CausalTAD model, binds a `NetServer` on loopback, and
+//! spawns several producer threads, each owning a slice of the fleet.
+//! Every producer streams its trips' segments over its own connection
+//! (interleaved, like real telemetry), receives `Score` frames pushed
+//! back per segment, and collects `TripComplete` frames at the end of
+//! each trip. The demo then takes a fleet snapshot **over the wire**,
+//! restores it into a second server, and shows the byte counts involved
+//! in a remote warm restart.
+//!
+//! Run with: `cargo run --release --example network_fleet`
+
+use std::sync::Arc;
+
+use causaltad::{CausalTad, CausalTadConfig};
+use causaltad_suite::net::{Client, NetServer, Response};
+use causaltad_suite::serve::image_from_bytes;
+use causaltad_suite::trajsim::{generate_city, CityConfig, Label, Trajectory};
+
+const PRODUCERS: usize = 4;
+const TRIPS_PER_PRODUCER: usize = 40;
+
+fn main() {
+    // --- Train a quick model --------------------------------------------
+    let city = generate_city(&CityConfig::test_scale(4242));
+    let mut cfg = CausalTadConfig::test_scale();
+    cfg.epochs = 3;
+    println!("training on {} trajectories ...", city.data.train.len());
+    let mut model = CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    let model = Arc::new(model);
+
+    // --- The fleet, sliced across producers ------------------------------
+    let fleet: Vec<Trajectory> = city
+        .data
+        .test_id
+        .iter()
+        .take(PRODUCERS * TRIPS_PER_PRODUCER - 30)
+        .chain(city.data.detour.iter().take(30))
+        .cloned()
+        .collect();
+
+    // --- Bind the server on loopback -------------------------------------
+    let server = NetServer::builder(Arc::clone(&model)).bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    println!("tad-net server listening on {addr}");
+
+    // --- Producers: one connection each, pipelined writes -----------------
+    let mut handles = Vec::new();
+    for producer in 0..PRODUCERS {
+        let slice: Vec<(u64, Trajectory)> = fleet
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % PRODUCERS == producer)
+            .map(|(i, t)| (i as u64, t.clone()))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            for (id, trip) in &slice {
+                let sd = trip.sd_pair();
+                client.trip_start(*id, sd.source.0, sd.dest.0, trip.time_slot).expect("write");
+            }
+            let longest = slice.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+            for step in 0..longest {
+                for (id, trip) in &slice {
+                    if let Some(seg) = trip.segments.get(step) {
+                        client.segment(*id, seg.0).expect("write");
+                    }
+                    // Leave every fifth trip open-ended so the snapshot
+                    // below captures genuinely live sessions.
+                    if step + 1 == trip.len() && id % 5 != 0 {
+                        client.trip_end(*id).expect("write");
+                    }
+                }
+            }
+            // Barrier: everything above is scored and its responses are in.
+            let stats = client.flush().expect("flush barrier");
+            let mut scores = 0usize;
+            let mut finals: Vec<(u64, f64)> = Vec::new();
+            while let Some(resp) = client.try_recv() {
+                match resp {
+                    Response::Score(_) => scores += 1,
+                    Response::TripComplete(tc) => finals.push((tc.id, tc.score)),
+                    Response::Error { code, trip, .. } => {
+                        eprintln!("producer {producer}: server error {code} (trip {trip:?})")
+                    }
+                    _ => {}
+                }
+            }
+            println!(
+                "producer {producer}: {} trips, {scores} per-segment scores received \
+                 (engine total: {} scored segments)",
+                slice.len(),
+                stats.segments_scored,
+            );
+            (finals, scores)
+        }));
+    }
+
+    let mut all_finals: Vec<(u64, f64)> = Vec::new();
+    let mut total_scores = 0usize;
+    for handle in handles {
+        let (finals, scores) = handle.join().expect("producer");
+        all_finals.extend(finals);
+        total_scores += scores;
+    }
+
+    // --- Rank trips by final anomaly score --------------------------------
+    all_finals.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop 10 most anomalous trips (scored over TCP):");
+    println!("{:>6} {:>10}   label", "trip", "score");
+    for (id, score) in all_finals.iter().take(10) {
+        let label = match fleet[*id as usize].label {
+            Label::Normal => "normal",
+            _ => "DETOUR",
+        };
+        println!("{id:>6} {score:>10.2}   {label}");
+    }
+    let flagged = all_finals
+        .iter()
+        .take(30)
+        .filter(|(id, _)| fleet[*id as usize].label != Label::Normal)
+        .count();
+    println!("\ndetours among the top-30 scores: {flagged}/30");
+
+    // --- Remote warm restart: snapshot over the wire ----------------------
+    let mut admin = Client::connect(addr).expect("connect");
+    let blob = admin.snapshot().expect("snapshot over the wire");
+    println!(
+        "\nwire snapshot: {} bytes ({} sessions still live)",
+        blob.len(),
+        image_from_bytes(blob.clone()).expect("decodes").sessions.len()
+    );
+    let image = image_from_bytes(blob).expect("decodes");
+    let restored =
+        NetServer::builder(Arc::clone(&model)).resume(image).bind("127.0.0.1:0").expect("bind");
+    // Quiesce so the seed message is processed before reading counters.
+    restored.engine().flush().expect("shards live");
+    println!(
+        "restored server on {} with {} resumed sessions",
+        restored.local_addr(),
+        restored.stats().sessions_restored
+    );
+    restored.shutdown();
+
+    let stats = server.shutdown();
+    let per_segment_total = total_scores;
+    println!(
+        "\nfleet stats: {} events over TCP ({:.0} ev/s), {} segments scored in {} batches \
+         (mean batch {:.1}), {} trips completed, {per_segment_total} scores streamed back",
+        stats.events_ingested,
+        stats.events_per_sec,
+        stats.segments_scored,
+        stats.batches,
+        stats.mean_batch_size,
+        stats.trips_completed,
+    );
+}

@@ -15,15 +15,19 @@
 //! * [`serve`] — the concurrent fleet-scoring engine multiplexing
 //!   thousands of live online-scoring sessions with micro-batched model
 //!   stepping.
+//! * [`net`] — the TCP ingest front-end over the fleet engine: `TADN`
+//!   wire protocol, concurrent server, blocking client.
 //!
-//! See `README.md` for a tour, `examples/quickstart.rs` for a minimal
-//! end-to-end run, and `examples/fleet_streaming.rs` for the serving
-//! layer.
+//! See `README.md` for a tour, `docs/ARCHITECTURE.md` for the cross-crate
+//! picture, `examples/quickstart.rs` for a minimal end-to-end run,
+//! `examples/fleet_streaming.rs` for the serving layer, and
+//! `examples/network_fleet.rs` for scoring over the network.
 
 pub use causaltad as core;
 pub use tad_autodiff as autodiff;
 pub use tad_baselines as baselines;
 pub use tad_eval as eval;
+pub use tad_net as net;
 pub use tad_roadnet as roadnet;
 pub use tad_serve as serve;
 pub use tad_trajsim as trajsim;

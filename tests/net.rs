@@ -1,0 +1,375 @@
+//! Loopback integration for the `tad-net` front-end: scores fed over TCP
+//! are **bit-identical** to in-process `FleetEngine` ingest (including
+//! across a snapshot served over the wire and restored into a fresh
+//! server), backpressure accounting is exact, and hostile bytes on a live
+//! socket are answered with a typed error and a clean hang-up — never a
+//! wedged or crashed server.
+//!
+//! Bit-exactness holds regardless of how events land in micro-batches
+//! because `CausalTad::push_batch` is bit-identical to sequential
+//! `push_state` for every cohort composition — so two engines fed the
+//! same per-trip event order produce identical f64 score bits even though
+//! their timing-dependent batch compositions differ.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use causaltad_suite::core::{CausalTad, CausalTadConfig};
+use causaltad_suite::net::{Client, ErrorCode, NetServer, Response};
+use causaltad_suite::serve::{
+    image_from_bytes, Completion, Event, FleetConfig, FleetEngine, ScoreUpdate,
+};
+use causaltad_suite::trajsim::{generate_city, City, CityConfig, Trajectory};
+
+/// One trained model shared by every test in this file (training in debug
+/// mode is expensive).
+fn trained() -> &'static (City, Arc<CausalTad>) {
+    static SHARED: OnceLock<(City, Arc<CausalTad>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let city = generate_city(&CityConfig::test_scale(321));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 1;
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        (city, Arc::new(model))
+    })
+}
+
+/// Round-robin interleaving of complete trip streams (all starts first,
+/// then one segment per live trip per step, ends inline).
+fn interleave(trips: &[&Trajectory]) -> Vec<Event> {
+    let mut events = Vec::new();
+    for (id, t) in trips.iter().enumerate() {
+        let sd = t.sd_pair();
+        events.push(Event::TripStart {
+            id: id as u64,
+            source: sd.source.0,
+            dest: sd.dest.0,
+            time_slot: t.time_slot,
+        });
+    }
+    let longest = trips.iter().map(|t| t.len()).max().unwrap_or(0);
+    for step in 0..longest {
+        for (id, t) in trips.iter().enumerate() {
+            if let Some(seg) = t.segments.get(step) {
+                events.push(Event::Segment { id: id as u64, seg: seg.0 });
+            }
+            if step + 1 == t.len() {
+                events.push(Event::TripEnd { id: id as u64 });
+            }
+        }
+    }
+    events
+}
+
+/// Bit-level record of everything an engine produced: per-segment score
+/// bits keyed by (trip, seq) and final (score bits, segment count) per
+/// ended trip.
+#[derive(Default)]
+struct Produced {
+    scores: HashMap<(u64, u32), u64>,
+    finals: HashMap<u64, (u64, usize)>,
+}
+
+/// Runs `events` through an in-process engine, recording callbacks.
+fn in_process(model: &Arc<CausalTad>, events: &[Event], cfg: FleetConfig) -> Produced {
+    let produced = Arc::new(Mutex::new(Produced::default()));
+    let score_sink = Arc::clone(&produced);
+    let complete_sink = Arc::clone(&produced);
+    let engine = FleetEngine::builder(Arc::clone(model))
+        .config(cfg)
+        .on_score(move |u: &ScoreUpdate| {
+            score_sink.lock().unwrap().scores.insert((u.id, u.seq), u.score.to_bits());
+        })
+        .on_complete(move |o| {
+            if o.completion == Completion::Ended {
+                complete_sink.lock().unwrap().finals.insert(o.id, (o.score.to_bits(), o.segments));
+            }
+        })
+        .build()
+        .expect("trained model");
+    for &ev in events {
+        engine.submit(ev).unwrap();
+    }
+    engine.shutdown();
+    Arc::try_unwrap(produced).ok().expect("engine gone").into_inner().unwrap()
+}
+
+/// Sends `events` through a client in order (panicking on write errors).
+fn send_events(client: &mut Client, events: &[Event]) {
+    for &ev in events {
+        match ev {
+            Event::TripStart { id, source, dest, time_slot } => {
+                client.trip_start(id, source, dest, time_slot).expect("write")
+            }
+            Event::Segment { id, seg } => client.segment(id, seg).expect("write"),
+            Event::TripEnd { id } => client.trip_end(id).expect("write"),
+        }
+    }
+}
+
+/// Drains a client's queued responses into `produced`, panicking on any
+/// error frame.
+fn drain(client: &mut Client, produced: &mut Produced) {
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(u) => {
+                produced.scores.insert((u.id, u.seq), u.score.to_bits());
+            }
+            Response::TripComplete(tc) => {
+                if tc.completion == Completion::Ended {
+                    produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
+                }
+            }
+            Response::Error { code, trip, detail } => {
+                panic!("unexpected error frame: {code} trip={trip:?} {detail}")
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+}
+
+fn assert_bit_identical(network: &Produced, reference: &Produced) {
+    assert_eq!(network.finals.len(), reference.finals.len(), "final-score count");
+    for (id, reference_final) in &reference.finals {
+        let network_final = network.finals.get(id).unwrap_or_else(|| panic!("trip {id} final"));
+        assert_eq!(network_final, reference_final, "trip {id} final score bits");
+    }
+    assert_eq!(network.scores.len(), reference.scores.len(), "per-segment score count");
+    for (key, bits) in &reference.scores {
+        assert_eq!(network.scores.get(key), Some(bits), "score bits at {key:?}");
+    }
+}
+
+#[test]
+fn network_scores_match_in_process_ingest_bit_exactly() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(12).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+
+    let reference = in_process(model, &events, cfg.clone());
+    assert_eq!(reference.finals.len(), trips.len());
+
+    let server =
+        NetServer::builder(Arc::clone(model)).fleet_config(cfg).bind("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    send_events(&mut client, &events);
+    let stats = client.flush().expect("barrier");
+    assert_eq!(stats.trips_completed, trips.len() as u64);
+    assert_eq!(stats.rejected, 0);
+
+    let mut network = Produced::default();
+    drain(&mut client, &mut network);
+    assert_bit_identical(&network, &reference);
+
+    // Each trip produced exactly one score per segment, in order.
+    for (id, t) in trips.iter().enumerate() {
+        for seq in 0..t.len() as u32 {
+            assert!(network.scores.contains_key(&(id as u64, seq)), "trip {id} seq {seq}");
+        }
+    }
+
+    let net_stats = server.net_stats();
+    assert_eq!(net_stats.responses_dropped, 0);
+    assert_eq!(net_stats.connections_accepted, 1);
+    server.shutdown();
+}
+
+/// The remote-warm-restart acceptance test: stream half the fleet into
+/// server A over TCP, capture a snapshot **over the wire**, kill A,
+/// restore the blob into a fresh server B, finish the stream there, and
+/// require every per-segment and final score (across both phases) to be
+/// bit-identical to one uninterrupted in-process engine.
+#[test]
+fn snapshot_served_over_wire_restores_bit_exactly() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(10).collect();
+    let events = interleave(&trips);
+    let split = trips.len() + (events.len() - trips.len()) * 2 / 5;
+    let cfg = || FleetConfig { num_shards: 2, max_batch: 32, ..FleetConfig::default() };
+
+    let reference = in_process(model, &events, cfg());
+
+    let mut network = Produced::default();
+
+    // Phase A: half the traffic, then a snapshot over the wire.
+    let server_a = NetServer::builder(Arc::clone(model))
+        .fleet_config(cfg())
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let mut client_a = Client::connect(server_a.local_addr()).expect("connect");
+    send_events(&mut client_a, &events[..split]);
+    client_a.flush().expect("barrier");
+    let blob = client_a.snapshot().expect("snapshot over the wire");
+    drain(&mut client_a, &mut network);
+    drop(client_a);
+    server_a.shutdown(); // the "crash": A's live sessions are gone
+
+    // Phase B: restore the wire-served blob into a fresh server (different
+    // shard count), reconnect, finish the stream.
+    let image = image_from_bytes(blob).expect("blob decodes");
+    let restored_count = image.sessions.len();
+    assert!(restored_count > 0, "capture point should leave sessions in flight");
+    let server_b = NetServer::builder(Arc::clone(model))
+        .fleet_config(FleetConfig { num_shards: 3, max_batch: 32, ..FleetConfig::default() })
+        .resume(image)
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let mut client_b = Client::connect(server_b.local_addr()).expect("connect");
+    send_events(&mut client_b, &events[split..]);
+    let stats = client_b.flush().expect("barrier");
+    assert_eq!(stats.sessions_restored, restored_count as u64);
+    drain(&mut client_b, &mut network);
+
+    assert_bit_identical(&network, &reference);
+    assert_eq!(server_b.net_stats().responses_dropped, 0);
+    server_b.shutdown();
+}
+
+/// Backpressure accounting is exact: with a tiny ingest queue, every
+/// segment either produces a score or an explicit `Backpressure` reply —
+/// nothing is silently buffered or lost.
+#[test]
+fn backpressure_replies_account_for_every_event() {
+    let (city, model) = trained();
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let server = NetServer::builder(Arc::clone(model))
+        .fleet_config(FleetConfig {
+            num_shards: 1,
+            queue_capacity: 8,
+            max_batch: 4,
+            ..FleetConfig::default()
+        })
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client.trip_start(1, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    const BURST: usize = 2000;
+    for _ in 0..BURST {
+        client.segment(1, t.segments[0].0).expect("write");
+    }
+    client.flush().expect("barrier");
+    // The queue is empty after the barrier, so the end cannot bounce.
+    client.trip_end(1).expect("write");
+    client.flush().expect("barrier");
+
+    let mut scores = 0usize;
+    let mut bounced = 0usize;
+    let mut completed = None;
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(_) => scores += 1,
+            Response::Error { code: ErrorCode::Backpressure, trip: Some(1), .. } => bounced += 1,
+            Response::TripComplete(tc) => completed = Some(tc),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(scores + bounced, BURST, "every segment scored or bounced");
+    let completed = completed.expect("trip completed");
+    assert_eq!(completed.completion, Completion::Ended);
+    assert_eq!(completed.segments(), scores, "engine scored exactly the accepted events");
+    // Accounting only holds if no response was dropped server-side.
+    assert_eq!(server.net_stats().responses_dropped, 0);
+    server.shutdown();
+}
+
+/// Events naming out-of-vocabulary segments get a typed `Rejected` reply
+/// (the engine would drop them silently), and — the regression this
+/// guards — a rejected `TripStart` does not strand its trip id: the same
+/// id can start validly afterwards on the same connection.
+#[test]
+fn out_of_vocab_events_get_typed_rejects_without_stranding_trip_ids() {
+    let (city, model) = trained();
+    let vocab = model.vocab() as u32;
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let server = NetServer::builder(Arc::clone(model)).bind("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Bad SD endpoint: typed reject, id not claimed.
+    client.trip_start(5, vocab + 7, sd.dest.0, t.time_slot).expect("write");
+    client.flush().expect("barrier");
+    match client.try_recv() {
+        Some(Response::Error { code: ErrorCode::Rejected, trip: Some(5), .. }) => {}
+        other => panic!("expected Rejected for trip 5, got {other:?}"),
+    }
+
+    // The same id now starts validly; an out-of-vocab segment mid-trip is
+    // rejected without killing the session.
+    client.trip_start(5, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    client.segment(5, t.segments[0].0).expect("write");
+    client.segment(5, vocab + 1).expect("write");
+    client.segment(5, t.segments[1].0).expect("write");
+    client.trip_end(5).expect("write");
+    let stats = client.flush().expect("barrier");
+    assert_eq!(stats.trips_completed, 1);
+
+    let mut scores = 0;
+    let mut rejects = 0;
+    let mut completed = None;
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(_) => scores += 1,
+            Response::Error { code: ErrorCode::Rejected, trip: Some(5), .. } => rejects += 1,
+            Response::TripComplete(tc) => completed = Some(tc),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!((scores, rejects), (2, 1), "two scored segments, one typed reject");
+    let completed = completed.expect("trip completed");
+    assert_eq!(completed.completion, Completion::Ended);
+    assert_eq!(completed.segments(), 2);
+    server.shutdown();
+}
+
+/// Hostile bytes on a live socket: the server answers with a typed
+/// `BadFrame` error, hangs up that connection, and keeps serving others.
+#[test]
+fn hostile_bytes_get_a_typed_error_and_a_clean_hangup() {
+    use causaltad_suite::net::{read_response, RecvError, DEFAULT_MAX_FRAME};
+    use std::io::Write;
+
+    let (city, model) = trained();
+    let server = NetServer::builder(Arc::clone(model)).bind("127.0.0.1:0").expect("bind");
+
+    // Pure garbage: bad magic.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    raw.write_all(&[0xDE; 64]).expect("write garbage");
+    raw.flush().expect("flush");
+    match read_response(&mut raw, DEFAULT_MAX_FRAME).expect("server replies before hangup") {
+        Some(Response::Error { code: ErrorCode::BadFrame, .. }) => {}
+        other => panic!("expected BadFrame error, got {other:?}"),
+    }
+    // The server hangs up after a framing error.
+    assert!(matches!(read_response(&mut raw, DEFAULT_MAX_FRAME), Ok(None) | Err(RecvError::Io(_))));
+
+    // A crafted length prefix far beyond the server's cap: refused without
+    // allocation, same typed reply.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"TADN");
+    frame.extend_from_slice(&1u16.to_le_bytes());
+    frame.extend_from_slice(&u64::MAX.to_le_bytes());
+    raw.write_all(&frame).expect("write header");
+    raw.flush().expect("flush");
+    match read_response(&mut raw, DEFAULT_MAX_FRAME).expect("server replies before hangup") {
+        Some(Response::Error { code: ErrorCode::BadFrame, detail, .. }) => {
+            assert!(detail.contains("exceeds"), "detail: {detail}");
+        }
+        other => panic!("expected BadFrame error, got {other:?}"),
+    }
+
+    // The server is still healthy: a well-behaved client works.
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.trip_start(9, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    client.segment(9, t.segments[0].0).expect("write");
+    client.trip_end(9).expect("write");
+    let stats = client.flush().expect("barrier");
+    assert_eq!(stats.trips_completed, 1);
+    server.shutdown();
+}

@@ -4,8 +4,13 @@
 use causaltad_suite::core::{
     state_from_bytes, state_to_bytes, ScorerState, SegmentTrace, StateCodecError,
 };
+use causaltad_suite::net::{
+    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, ErrorCode,
+    FrameError, Request, Response, TripComplete,
+};
 use causaltad_suite::serve::{
-    image_from_bytes, image_to_bytes, FleetImage, SessionRecord, SnapshotCodecError,
+    image_from_bytes, image_to_bytes, Completion, FleetImage, FleetSnapshot, ScoreUpdate,
+    SessionRecord, SnapshotCodecError,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -61,6 +66,98 @@ fn arb_image(sessions: usize, rng: &mut StdRng) -> FleetImage {
     FleetImage {
         num_shards: rng.gen_range(1u32..16),
         sessions: (0..sessions as u64).map(|id| arb_record(id, rng)).collect(),
+    }
+}
+
+/// An arbitrary wire request, covering every frame type.
+fn arb_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0u8..5) {
+        0 => Request::TripStart {
+            id: rng.gen_range(0u64..u64::MAX),
+            source: rng.gen_range(0u32..100_000),
+            dest: rng.gen_range(0u32..100_000),
+            time_slot: rng.gen_range(0u8..96),
+        },
+        1 => Request::Segment {
+            id: rng.gen_range(0u64..u64::MAX),
+            seg: rng.gen_range(0u32..100_000),
+        },
+        2 => Request::TripEnd { id: rng.gen_range(0u64..u64::MAX) },
+        3 => Request::Flush,
+        _ => Request::SnapshotRequest,
+    }
+}
+
+fn arb_trace(rng: &mut StdRng) -> Vec<SegmentTrace> {
+    let len = rng.gen_range(0usize..24);
+    (0..len)
+        .map(|_| SegmentTrace {
+            segment: rng.gen_range(0u32..100_000),
+            nll: rng.gen_range(-50.0f64..50.0),
+            log_scale: rng.gen_range(-5.0f64..5.0),
+        })
+        .collect()
+}
+
+/// An arbitrary wire response, covering every frame type.
+fn arb_response(rng: &mut StdRng) -> Response {
+    match rng.gen_range(0u8..5) {
+        0 => Response::Score(ScoreUpdate {
+            id: rng.gen_range(0u64..u64::MAX),
+            seq: rng.gen_range(0u32..10_000),
+            segment: rng.gen_range(0u32..100_000),
+            score: rng.gen_range(-100.0f64..100.0),
+            nll: rng.gen_range(-100.0f64..100.0),
+            log_scale: rng.gen_range(-10.0f64..10.0),
+        }),
+        1 => Response::TripComplete(TripComplete {
+            id: rng.gen_range(0u64..u64::MAX),
+            completion: match rng.gen_range(0u8..4) {
+                0 => Completion::Ended,
+                1 => Completion::EvictedTtl,
+                2 => Completion::EvictedLru,
+                _ => Completion::Shutdown,
+            },
+            score: rng.gen_range(-100.0f64..100.0),
+            likelihood_nll: rng.gen_range(-100.0f64..100.0),
+            scale_log_sum: rng.gen_range(-100.0f64..100.0),
+            trace: arb_trace(rng),
+        }),
+        2 => Response::Stats(FleetSnapshot {
+            events_ingested: rng.gen_range(0u64..u64::MAX),
+            segments_scored: rng.gen_range(0u64..u64::MAX),
+            trips_started: rng.gen_range(0u64..u64::MAX),
+            trips_completed: rng.gen_range(0u64..u64::MAX),
+            evictions_ttl: rng.gen_range(0u64..u64::MAX),
+            evictions_lru: rng.gen_range(0u64..u64::MAX),
+            rejected: rng.gen_range(0u64..u64::MAX),
+            off_graph_hits: rng.gen_range(0u64..u64::MAX),
+            batches: rng.gen_range(0u64..u64::MAX),
+            active_sessions: rng.gen_range(0u64..u64::MAX),
+            sessions_restored: rng.gen_range(0u64..u64::MAX),
+            uptime_secs: rng.gen_range(0.0f64..1e9),
+            events_per_sec: rng.gen_range(0.0f64..1e9),
+            mean_batch_size: rng.gen_range(0.0f64..1e6),
+        }),
+        3 => {
+            let detail_len = rng.gen_range(0usize..200);
+            Response::Error {
+                code: match rng.gen_range(0u8..5) {
+                    0 => ErrorCode::Backpressure,
+                    1 => ErrorCode::Rejected,
+                    2 => ErrorCode::EngineClosed,
+                    3 => ErrorCode::BadFrame,
+                    _ => ErrorCode::SnapshotFailed,
+                },
+                trip: rng.gen_bool(0.5).then(|| rng.gen_range(0u64..u64::MAX)),
+                detail: (0..detail_len).map(|_| char::from(rng.gen_range(b' '..b'~'))).collect(),
+            }
+        }
+        _ => {
+            let len = rng.gen_range(0usize..256);
+            let image: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+            Response::Snapshot { image: image.into() }
+        }
     }
 }
 
@@ -272,6 +369,93 @@ proptest! {
             prop_assert!(
                 image_from_bytes(flipped.into()).is_err(),
                 "flip byte {byte} bit {bit} was accepted"
+            );
+        }
+    }
+
+    /// Every wire request frame type round-trips byte-for-byte:
+    /// `decode(encode(x)) == x` and re-encoding reproduces the blob.
+    #[test]
+    fn wire_request_frames_roundtrip(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = arb_request(&mut rng);
+        let blob = request_to_bytes(&req);
+        let decoded = request_from_bytes(blob.clone());
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(&decoded, &req);
+        prop_assert_eq!(request_to_bytes(&decoded).to_vec(), blob.to_vec());
+    }
+
+    /// Every wire response frame type round-trips byte-for-byte, score
+    /// f64 bits included.
+    #[test]
+    fn wire_response_frames_roundtrip(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let resp = arb_response(&mut rng);
+        let blob = response_to_bytes(&resp);
+        let decoded = response_from_bytes(blob.clone());
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(&decoded, &resp);
+        prop_assert_eq!(response_to_bytes(&decoded).to_vec(), blob.to_vec());
+    }
+
+    /// A frame decoded in the wrong direction (request as response or vice
+    /// versa) is a typed error, never a misparse.
+    #[test]
+    fn wire_direction_confusion_is_typed(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(
+            response_from_bytes(request_to_bytes(&arb_request(&mut rng))).unwrap_err(),
+            FrameError::UnexpectedKind { expected: "response", got: "request" }
+        );
+        prop_assert_eq!(
+            request_from_bytes(response_to_bytes(&arb_response(&mut rng))).unwrap_err(),
+            FrameError::UnexpectedKind { expected: "request", got: "response" }
+        );
+    }
+
+    /// Corrupt wire frames — truncated anywhere, or with any bit flipped —
+    /// decode to typed errors from *both* decoders, never a panic, and
+    /// header corruption maps to the matching variant. (The exhaustive
+    /// every-byte × every-bit battery runs in `tad-net`'s unit tests;
+    /// this mirrors the randomized style of the state/snapshot batteries
+    /// above over arbitrary frames.)
+    #[test]
+    fn corrupt_wire_frames_decode_to_typed_errors(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blob = if rng.gen_bool(0.5) {
+            request_to_bytes(&arb_request(&mut rng)).to_vec()
+        } else {
+            response_to_bytes(&arb_response(&mut rng)).to_vec()
+        };
+
+        let cut = rng.gen_range(0usize..blob.len());
+        prop_assert!(request_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut}");
+        prop_assert!(response_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut}");
+
+        for _ in 0..8 {
+            let byte = rng.gen_range(0usize..blob.len());
+            let bit = rng.gen_range(0u32..8);
+            let mut flipped = blob.clone();
+            flipped[byte] ^= 1 << bit;
+            let err = request_from_bytes(flipped.clone().into());
+            prop_assert!(err.is_err(), "flip byte {byte} bit {bit} accepted as request");
+            match (byte, err.unwrap_err()) {
+                (0..=3, FrameError::BadMagic) => {}
+                (0..=3, other) => {
+                    return Err(TestCaseError::fail(format!("magic flip gave {other:?}")));
+                }
+                (4..=5, FrameError::BadVersion(_)) => {}
+                (4..=5, other) => {
+                    return Err(TestCaseError::fail(format!("version flip gave {other:?}")));
+                }
+                _ => {} // body flips: Truncated/ChecksumMismatch/kind errors, all fine
+            }
+            prop_assert!(
+                response_from_bytes(flipped.into()).is_err(),
+                "flip byte {byte} bit {bit} accepted as response"
             );
         }
     }
