@@ -1,6 +1,8 @@
 //! Network front-end benchmarks: frame-codec throughput (frames/s for the
 //! hot frame types) and end-to-end loopback scoring throughput
-//! (scored segments/s through `NetServer` + `Client` over 127.0.0.1).
+//! (scored segments/s through `NetServer` + `Client` over 127.0.0.1) —
+//! single-connection, multi-connection, and routed through a `tad-router`
+//! tier over two backend servers.
 //!
 //! Besides the Criterion report, the run writes machine-readable
 //! `BENCH_net.json` (override the path with `BENCH_NET_OUT`) so the wire
@@ -22,6 +24,7 @@ use tad_net::{
     request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, Client,
     NetServer, Request, Response, TripComplete,
 };
+use tad_router::RouterServer;
 use tad_serve::{Completion, FleetConfig, ScoreUpdate};
 
 fn quick_mode() -> bool {
@@ -163,9 +166,131 @@ fn loopback_pass(model: &Arc<CausalTad>, walks: &[Vec<u32>]) -> (f64, u64, u64) 
     (elapsed, (walks.len() * 2 + total_segments) as u64, scores)
 }
 
+/// Streams every walk to `addr` across `conns` concurrent client
+/// connections (walk `i` belongs to connection `i % conns`), flushes each,
+/// and counts the scores received. Returns (elapsed seconds, total scores).
+fn stream_walks(addr: std::net::SocketAddr, walks: &[Vec<u32>], conns: usize) -> (f64, u64) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|conn| {
+            let slice: Vec<(u64, Vec<u32>)> = walks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % conns == conn)
+                .map(|(i, w)| (i as u64, w.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (id, walk) in &slice {
+                    client
+                        .trip_start(*id, walk[0], *walk.last().expect("non-empty"), 0)
+                        .expect("write");
+                }
+                let longest = slice.iter().map(|(_, w)| w.len()).max().unwrap_or(0);
+                for step in 0..longest {
+                    for (id, walk) in &slice {
+                        if let Some(&seg) = walk.get(step) {
+                            client.segment(*id, seg).expect("write");
+                        }
+                        if step + 1 == walk.len() {
+                            client.trip_end(*id).expect("write");
+                        }
+                    }
+                }
+                client.flush().expect("barrier");
+                let mut scores = 0u64;
+                while let Some(resp) = client.try_recv() {
+                    match resp {
+                        Response::Score(_) => scores += 1,
+                        Response::TripComplete(_) => {}
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+                scores
+            })
+        })
+        .collect();
+    let scored: u64 = handles.into_iter().map(|h| h.join().expect("producer")).sum();
+    (start.elapsed().as_secs_f64(), scored)
+}
+
+/// Multi-connection variant of [`loopback_pass`]: the same fleet split
+/// across `conns` concurrent producers (PR 4's number was
+/// single-connection — this measures the per-connection thread path and
+/// response routing under contention).
+fn multi_conn_pass(model: &Arc<CausalTad>, walks: &[Vec<u32>], conns: usize) -> (f64, u64, u64) {
+    let server = NetServer::builder(Arc::clone(model))
+        .fleet_config(FleetConfig {
+            num_shards: 2,
+            queue_capacity: 65_536,
+            ..FleetConfig::default()
+        })
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let total_segments: usize = walks.iter().map(|w| w.len()).sum();
+    let (elapsed, scored) = stream_walks(server.local_addr(), walks, conns);
+    assert_eq!(
+        scored as usize, total_segments,
+        "every streamed segment must come back scored across all connections"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.trips_completed, walks.len() as u64);
+    (elapsed, (walks.len() * 2 + total_segments) as u64, scored)
+}
+
+/// Routed variant: the same fleet through a `tad-router` tier over
+/// `backends` independent `tad-net` servers, `conns` producers on the
+/// front door — the cross-process sharding data path end to end.
+fn routed_pass(
+    model: &Arc<CausalTad>,
+    walks: &[Vec<u32>],
+    backends: usize,
+    conns: usize,
+) -> (f64, u64, u64) {
+    let servers: Vec<NetServer> = (0..backends)
+        .map(|_| {
+            NetServer::builder(Arc::clone(model))
+                .fleet_config(FleetConfig {
+                    num_shards: 2,
+                    queue_capacity: 65_536,
+                    ..FleetConfig::default()
+                })
+                .bind("127.0.0.1:0")
+                .expect("bind backend")
+        })
+        .collect();
+    let router = RouterServer::builder()
+        .backends(servers.iter().map(|s| s.local_addr()))
+        .bind("127.0.0.1:0")
+        .expect("bind router");
+    let total_segments: usize = walks.iter().map(|w| w.len()).sum();
+    let (elapsed, scored) = stream_walks(router.local_addr(), walks, conns);
+    assert_eq!(
+        scored as usize, total_segments,
+        "every routed segment must come back scored (no drops across the tier)"
+    );
+    assert_eq!(router.stats().responses_dropped, 0);
+    router.shutdown();
+    let completed: u64 = servers.into_iter().map(|s| s.shutdown().trips_completed).sum();
+    assert_eq!(completed, walks.len() as u64);
+    (elapsed, (walks.len() * 2 + total_segments) as u64, scored)
+}
+
+/// Median full pass of one workload closure.
+fn median_pass(reps: usize, mut pass: impl FnMut() -> (f64, u64, u64)) -> (f64, u64, u64) {
+    let mut passes = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        passes.push(pass());
+    }
+    passes.sort_by(|a, b| a.0.total_cmp(&b.0));
+    passes[passes.len() / 2]
+}
+
 fn bench_loopback(c: &mut Criterion) {
     let model = trained_model();
     let (sessions, len) = if quick_mode() { (64, 8) } else { (512, 24) };
+    const CONNS: usize = 4;
+    const BACKENDS: usize = 2;
     let walks = fleet_walks(&model, sessions, len, 97);
 
     let mut group = c.benchmark_group("loopback");
@@ -173,16 +298,19 @@ fn bench_loopback(c: &mut Criterion) {
     group.bench_function(format!("stream_{sessions}x{len}"), |b| {
         b.iter(|| loopback_pass(&model, &walks))
     });
+    group.bench_function(format!("stream_{sessions}x{len}_conns{CONNS}"), |b| {
+        b.iter(|| multi_conn_pass(&model, &walks, CONNS))
+    });
+    group.bench_function(format!("routed_{sessions}x{len}_backends{BACKENDS}"), |b| {
+        b.iter(|| routed_pass(&model, &walks, BACKENDS, CONNS))
+    });
     group.finish();
 
-    // Machine-readable artefact: median of a few full passes.
+    // Machine-readable artefact: median of a few full passes per path.
     let reps = if quick_mode() { 2 } else { 5 };
-    let mut passes = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        passes.push(loopback_pass(&model, &walks));
-    }
-    passes.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let (elapsed, events, scored) = passes[passes.len() / 2];
+    let (elapsed, events, scored) = median_pass(reps, || loopback_pass(&model, &walks));
+    let multi = median_pass(reps, || multi_conn_pass(&model, &walks, CONNS));
+    let routed = median_pass(reps, || routed_pass(&model, &walks, BACKENDS, CONNS));
 
     let codec = [
         (
@@ -222,15 +350,19 @@ fn bench_loopback(c: &mut Criterion) {
             })
         }),
     ];
-    write_json(sessions, len, elapsed, events, scored, &codec);
+    let passes = [
+        ("loopback", (elapsed, events, scored)),
+        ("loopback_multi4", multi),
+        ("routed_2backends", routed),
+    ];
+    write_json(sessions, len, events, &passes, &codec);
 }
 
 fn write_json(
     sessions: usize,
     len: usize,
-    elapsed: f64,
     events: u64,
-    scored: u64,
+    passes: &[(&str, (f64, u64, u64))],
     codec: &[(&str, f64)],
 ) {
     // `cargo bench` runs with the package directory as cwd; default to the
@@ -243,11 +375,13 @@ fn write_json(
         "  \"workload\": {{\"sessions\": {sessions}, \"walk_len\": {len}, \"events\": {events}, \"quick_mode\": {}}},\n",
         quick_mode()
     ));
-    out.push_str(&format!(
-        "  \"loopback\": {{\"elapsed_s\": {elapsed:.6}, \"scored_segments\": {scored}, \"scored_segments_per_s\": {:.1}, \"events_per_s\": {:.1}}},\n",
-        scored as f64 / elapsed,
-        events as f64 / elapsed,
-    ));
+    for (name, (elapsed, events, scored)) in passes {
+        out.push_str(&format!(
+            "  \"{name}\": {{\"elapsed_s\": {elapsed:.6}, \"scored_segments\": {scored}, \"scored_segments_per_s\": {:.1}, \"events_per_s\": {:.1}}},\n",
+            *scored as f64 / elapsed,
+            *events as f64 / elapsed,
+        ));
+    }
     out.push_str("  \"frame_codec_frames_per_s\": {\n");
     for (i, (name, fps)) in codec.iter().enumerate() {
         out.push_str(&format!(

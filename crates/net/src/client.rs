@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use bytes::Bytes;
 use tad_serve::{FleetSnapshot, TripId};
@@ -36,6 +37,13 @@ pub enum ClientError {
     Frame(FrameError),
     /// The server closed the connection while a reply was pending.
     Disconnected,
+    /// No bytes arrived within the configured read timeout
+    /// ([`Client::with_read_timeout`]) — the defence against a dead or
+    /// wedged server hanging the blocking reader forever. The read
+    /// position within a frame is unknown after a timeout, so the
+    /// connection must be treated as unusable: reconnect rather than
+    /// retry on it.
+    Timeout,
     /// The server answered a barrier request with an error frame.
     Server {
         /// What the server reported.
@@ -53,6 +61,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "socket error: {e}"),
             ClientError::Frame(e) => write!(f, "wire protocol error: {e}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Timeout => write!(f, "no response within the read timeout"),
             ClientError::Server { code, trip: Some(id), detail } if !detail.is_empty() => {
                 write!(f, "server error for trip {id}: {code} ({detail})")
             }
@@ -115,6 +124,24 @@ impl Client {
     pub fn with_max_frame_len(mut self, max: usize) -> Client {
         self.max_frame_len = max;
         self
+    }
+
+    /// Bounds how long a blocking read ([`Client::flush`],
+    /// [`Client::snapshot`], [`Client::recv`]) waits for the server
+    /// before failing with [`ClientError::Timeout`]. Without one — the
+    /// default — a dead or wedged server hangs the reader forever.
+    ///
+    /// `None` restores unbounded blocking. After a timeout fires the
+    /// connection is desynchronized (the read may have stopped mid-frame)
+    /// and must be replaced, so pick a timeout comfortably above the
+    /// slowest expected barrier, not a retry interval.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the socket refuses the option (a zero
+    /// duration, or a closed socket).
+    pub fn with_read_timeout(self, timeout: Option<Duration>) -> Result<Client, ClientError> {
+        self.reader.set_read_timeout(timeout)?;
+        Ok(self)
     }
 
     /// Opens a scoring session for a trip (fire-and-forget; buffered).
@@ -232,24 +259,39 @@ impl Client {
         self.read_one()
     }
 
-    /// One blocking socket read.
+    /// One blocking socket read. A timeout configured with
+    /// [`Client::with_read_timeout`] surfaces as the typed
+    /// [`ClientError::Timeout`] (the platform reports it as `WouldBlock`
+    /// or `TimedOut` depending on the OS).
     fn read_one(&mut self) -> Result<Response, ClientError> {
-        match read_response(&mut self.reader, self.max_frame_len)? {
-            Some(resp) => Ok(resp),
-            None => Err(ClientError::Disconnected),
+        match read_response(&mut self.reader, self.max_frame_len) {
+            Ok(Some(resp)) => Ok(resp),
+            Ok(None) => Err(ClientError::Disconnected),
+            Err(RecvError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(ClientError::Timeout)
+            }
+            Err(e) => Err(e.into()),
         }
     }
 
     /// Parks an out-of-band response while waiting for a barrier reply —
-    /// except fatal error frames, which fail the barrier itself.
-    /// Backpressure/reject notices stay in the stream for the application
-    /// (they concern individual events, not the barrier).
+    /// except fatal connection-level error frames (no trip named, code
+    /// beyond backpressure/reject), which fail the barrier itself. Errors
+    /// that *name a trip* concern that trip, not the barrier — e.g. a
+    /// router reporting one backend's loss while the rest of the fleet
+    /// still answers — so they stay in the stream for the application,
+    /// like backpressure and reject notices.
     fn queue_or_fail(&mut self, resp: Response) -> Result<(), ClientError> {
         match resp {
-            Response::Error { code, trip, detail }
+            Response::Error { code, trip: None, detail }
                 if !matches!(code, ErrorCode::Backpressure | ErrorCode::Rejected) =>
             {
-                Err(ClientError::Server { code, trip, detail })
+                Err(ClientError::Server { code, trip: None, detail })
             }
             other => {
                 self.queue.push_back(other);

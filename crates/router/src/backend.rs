@@ -1,0 +1,103 @@
+//! The router's backend side: one pipelined TCP connection per `tad-net`
+//! backend, with a writer thread batching forwarded frames and a reader
+//! thread fanning responses back in.
+//!
+//! Ordering is the load-bearing property. All router traffic to one
+//! backend travels a single connection, fed by a single bounded channel
+//! drained by a single writer thread — so the order in which frames enter
+//! the channel is the order they hit the backend's socket, and the
+//! backend's replies come back in a compatible order on the same
+//! connection. Barrier frames (`Flush` / `SnapshotRequest`) ride the same
+//! channel; the front handler stages each barrier id in the matching
+//! per-kind FIFO *atomically with* the channel send (under
+//! [`BackendLink::stage`]), so FIFO order always equals wire order and —
+//! crucially — a barrier is in the FIFO from the moment it is accepted:
+//! whichever of the reader or writer dies first runs the backend-down
+//! sweep and fails every staged barrier, so no front connection can wait
+//! forever on a reply that will never come.
+
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::{Arc, Mutex};
+
+use tad_net::{read_response, write_request, Request};
+
+use crate::server::Core;
+
+/// One frame bound for a backend, queued behind the backend's writer.
+pub(crate) enum BackendMsg {
+    /// A frame forwarded verbatim (ingest or barrier; barrier ids are
+    /// staged by the sender, not the writer).
+    Forward(Request),
+    /// Orderly shutdown: flush what is buffered and exit.
+    Close,
+}
+
+/// Barrier ids awaiting their reply from one backend, in wire order.
+#[derive(Default)]
+pub(crate) struct Pending {
+    pub(crate) flushes: Mutex<VecDeque<u64>>,
+    pub(crate) snapshots: Mutex<VecDeque<u64>>,
+}
+
+/// Drains the backend channel to the socket, batching writes between
+/// flushes (same shape as `tad-net`'s connection writer). Every exit path
+/// — orderly close, channel disconnect, or a write failure — runs
+/// [`Core::on_backend_down`]: it is idempotent, shuts the socket (waking
+/// the reader), and sweeps staged barriers, which closes the race where a
+/// barrier frame is accepted onto the channel but never reaches the wire.
+pub(crate) fn backend_writer(
+    rx: Receiver<BackendMsg>,
+    stream: TcpStream,
+    core: Arc<Core>,
+    idx: u32,
+) {
+    let mut w = BufWriter::new(stream);
+    // None => orderly close requested; Some(ok) => write outcome.
+    let handle = |w: &mut BufWriter<TcpStream>, msg: BackendMsg| -> Option<bool> {
+        match msg {
+            BackendMsg::Close => None,
+            BackendMsg::Forward(req) => Some(write_request(w, &req).is_ok()),
+        }
+    };
+    'serve: while let Ok(msg) = rx.recv() {
+        match handle(&mut w, msg) {
+            None => break 'serve,
+            Some(false) => break 'serve,
+            Some(true) => {}
+        }
+        // Opportunistically batch whatever is already queued, then flush
+        // once.
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => match handle(&mut w, msg) {
+                    None => break 'serve,
+                    Some(false) => break 'serve,
+                    Some(true) => {}
+                },
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'serve,
+            }
+        }
+        if w.flush().is_err() {
+            break 'serve;
+        }
+    }
+    let _ = w.flush();
+    core.on_backend_down(idx);
+}
+
+/// Reads the backend's response stream and fans each frame back in
+/// through the router core. Exits on EOF or any transport/frame error —
+/// a router↔backend link carries multiplexed traffic, so a framing fault
+/// is unrecoverable — and then runs the backend-down cleanup: barrier
+/// failures for staged FIFO entries and typed errors to every front
+/// connection with a live trip on this backend.
+pub(crate) fn backend_reader(idx: u32, mut stream: TcpStream, core: Arc<Core>, max_frame: usize) {
+    while let Ok(Some(resp)) = read_response(&mut stream, max_frame) {
+        core.on_backend_response(idx, resp);
+    }
+    core.on_backend_down(idx);
+}

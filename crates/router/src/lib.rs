@@ -1,0 +1,88 @@
+//! # tad-router
+//!
+//! The cross-process sharding tier of the CausalTAD serving stack: a
+//! standalone router that speaks the same `TADN` wire protocol as a
+//! single [`tad-net`](tad_net) server on its front door and consistently
+//! hash-partitions trips across N backend `tad-net` servers behind it —
+//! the layer that takes the fleet-scoring engine past the single-process
+//! ceiling.
+//!
+//! ```text
+//!                         ┌─────────────┐     ┌──────────────────────┐
+//!  producers ──TADN──────▶│  tad-router │────▶│ tad-net ▸ FleetEngine │  backend 0
+//!  (tad_net::Client,      │             │     ├──────────────────────┤
+//!   unchanged)            │ backend_for │────▶│ tad-net ▸ FleetEngine │  backend 1
+//!                ◀────────│  (id, N)    │     ├──────────────────────┤
+//!   Score / TripComplete  │   fan-in    │────▶│ tad-net ▸ FleetEngine │  backend N-1
+//!   / Stats / Snapshot    └─────────────┘     └──────────────────────┘
+//! ```
+//!
+//! ## Invariants
+//!
+//! * **Trip stickiness** — [`backend_for`] is a pure function of the trip
+//!   id and the fleet size (jump consistent hashing over a mixed id), so
+//!   every event of a trip reaches the same backend in per-trip order for
+//!   the life of the trip, across router restarts, with no shared table
+//!   to drift. Routed scoring is therefore **bit-identical** to a single
+//!   in-process engine fed the same per-trip event streams (proven by the
+//!   repository's `tests/router.rs` battery).
+//! * **Fan-in ownership** — `Score`, `TripComplete`, and per-trip `Error`
+//!   (including `Backpressure`) replies are routed to the front
+//!   connection that owns the trip, exactly as a single `tad-net` server
+//!   would.
+//! * **Fleet-wide barriers** — `Flush` quiesces *all* backends and
+//!   answers with aggregated stats ([`tad_serve::FleetSnapshot::merged`])
+//!   only after every response caused by earlier events is queued ahead;
+//!   `SnapshotRequest` returns the [`tad_serve::FleetImage::merge`] of
+//!   every backend's capture.
+//! * **Snapshot re-partitioning** — [`split_image`] cuts a merged capture
+//!   back into per-backend seeds with the same [`backend_for`] function,
+//!   so an N-server fleet restores onto M servers and each backend
+//!   resumes exactly the sessions whose future events will be routed to
+//!   it ([`tad_serve::FleetEngine::restore`] then re-partitions across
+//!   each engine's internal shards).
+//! * **Partial failure** — a dead backend surfaces typed
+//!   `Error{EngineClosed}` frames to the front connections whose trips it
+//!   owned and fails in-flight barriers; trips on healthy backends keep
+//!   scoring without a stall.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tad_net::{Client, NetServer, Response};
+//! use tad_router::RouterServer;
+//! # let model: Arc<causaltad::CausalTad> = unimplemented!();
+//!
+//! // Two independent scoring backends (normally separate processes).
+//! let backend_a = NetServer::builder(Arc::clone(&model)).bind("127.0.0.1:0").unwrap();
+//! let backend_b = NetServer::builder(Arc::clone(&model)).bind("127.0.0.1:0").unwrap();
+//!
+//! // The router in front of them; producers cannot tell it apart from a
+//! // single tad-net server.
+//! let router = RouterServer::builder()
+//!     .backend(backend_a.local_addr())
+//!     .backend(backend_b.local_addr())
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
+//!
+//! let mut client = Client::connect(router.local_addr()).unwrap();
+//! client.trip_start(1, 0, 9, 3).unwrap();
+//! client.segment(1, 0).unwrap();
+//! client.trip_end(1).unwrap();
+//! let stats = client.flush().unwrap(); // fleet-wide barrier
+//! assert_eq!(stats.trips_completed, 1);
+//! while let Some(Response::Score(s)) = client.try_recv() {
+//!     println!("trip {} segment {} score {:.3}", s.id, s.segment, s.score);
+//! }
+//! router.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+mod backend;
+mod partition;
+mod server;
+
+pub use partition::{backend_for, split_image};
+pub use server::{RouterConfig, RouterError, RouterServer, RouterServerBuilder, RouterStats};

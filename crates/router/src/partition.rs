@@ -1,0 +1,126 @@
+//! The trip→backend partitioner: a pure, deterministic function from trip
+//! id and fleet size to a backend index, plus the snapshot re-partitioning
+//! built on it.
+//!
+//! Two properties make cross-process sharding correct:
+//!
+//! * **Stickiness** — [`backend_for`] depends on nothing but its
+//!   arguments, so every event of a trip lands on the same backend for
+//!   the life of the trip, on every router process, across restarts. No
+//!   table is kept and none can drift.
+//! * **Restore alignment** — [`split_image`] re-partitions a merged fleet
+//!   capture with the *same* function, so after an N→M warm restart each
+//!   backend resumes exactly the sessions whose future events the router
+//!   will send it.
+//!
+//! The function is the Lamping–Veach jump consistent hash over a
+//! SplitMix64-mixed trip id: balanced within sampling noise for any id
+//! distribution (including dense sequential ids), and moving only
+//! `~1/(M+1)` of trips when a fleet grows from M to M+1 backends.
+
+use tad_serve::{FleetImage, TripId};
+
+/// The backend index (`0..backends`) that owns `trip` in a fleet of
+/// `backends` servers.
+///
+/// Pure and deterministic: the same `(trip, backends)` pair maps to the
+/// same backend in every process and every run — the whole stickiness
+/// story of the router tier (see the module docs). The distribution is
+/// balanced within sampling noise for arbitrary id distributions, and
+/// growing the fleet by one backend reassigns only `~1/(backends+1)` of
+/// the trips (jump consistent hashing).
+///
+/// # Panics
+/// When `backends` is zero — a fleet needs at least one backend.
+pub fn backend_for(trip: TripId, backends: u32) -> u32 {
+    assert!(backends > 0, "a fleet needs at least one backend");
+    // SplitMix64 finalizer: decorrelates dense sequential trip ids before
+    // the jump hash's multiplicative walk.
+    let mut key = trip;
+    key = (key ^ (key >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    key = (key ^ (key >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    key ^= key >> 31;
+    // Lamping–Veach jump consistent hash.
+    let mut bucket: i64 = -1;
+    let mut next: i64 = 0;
+    while next < i64::from(backends) {
+        bucket = next;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        next = ((bucket.wrapping_add(1) as f64) * ((1u64 << 31) as f64)
+            / (((key >> 33) + 1) as f64)) as i64;
+    }
+    bucket as u32
+}
+
+/// Splits a merged fleet capture across `backends` sub-images using
+/// [`backend_for`] — the N→M warm-restart path: capture every old
+/// backend, [`FleetImage::merge`] the parts, `split_image` onto the new
+/// fleet size, and resume each new backend from its sub-image. Each
+/// backend then holds exactly the sessions whose future events a router
+/// over the new fleet will route to it.
+///
+/// # Panics
+/// When `backends` is zero.
+pub fn split_image(image: FleetImage, backends: u32) -> Vec<FleetImage> {
+    image.partition_by(backends as usize, |id| backend_for(id, backends) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_in_range_and_stable() {
+        for trip in (0..5000).chain([u64::MAX, u64::MAX - 1, 1 << 40]) {
+            for backends in 1..12 {
+                let b = backend_for(trip, backends);
+                assert!(b < backends);
+                assert_eq!(b, backend_for(trip, backends), "trip={trip} n={backends}");
+            }
+            assert_eq!(backend_for(trip, 1), 0);
+        }
+    }
+
+    #[test]
+    fn sequential_ids_balance_within_tolerance() {
+        const TRIPS: u64 = 8000;
+        for backends in [2u32, 3, 5, 8] {
+            let mut counts = vec![0u64; backends as usize];
+            for trip in 0..TRIPS {
+                counts[backend_for(trip, backends) as usize] += 1;
+            }
+            let mean = TRIPS / u64::from(backends);
+            for (b, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > mean / 2 && c < mean * 2,
+                    "backend {b}/{backends} got {c} of {TRIPS} trips (mean {mean})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_moves_few_trips() {
+        const TRIPS: u64 = 4000;
+        for backends in [2u32, 4, 7] {
+            let moved = (0..TRIPS)
+                .filter(|&t| backend_for(t, backends) != backend_for(t, backends + 1))
+                .count() as f64;
+            let expected = TRIPS as f64 / f64::from(backends + 1);
+            // Jump hashing moves ~1/(M+1) of keys; allow 2x slack over the
+            // expectation so the test pins the consistency property, not
+            // the exact sampling noise.
+            assert!(
+                moved < expected * 2.0,
+                "{moved} of {TRIPS} trips moved going {backends}->{} (expected ~{expected})",
+                backends + 1
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn zero_backends_is_a_caller_bug() {
+        let _ = backend_for(7, 0);
+    }
+}

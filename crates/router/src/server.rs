@@ -1,0 +1,969 @@
+//! The router tier's front door and fan-in core: a TCP server speaking
+//! the same `TADN` protocol as a single `tad-net` backend, multiplexing
+//! every producer's trips across the backend fleet and routing each reply
+//! back to the connection that owns the trip.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! producers ──TADN──▶ front reader ──backend_for(id, N)──▶ backend writer ──▶ tad-net server
+//!    ▲                    │                                                      │
+//!    │                    └─ Flush / SnapshotRequest: barrier over all backends  │
+//!    │                                                                           ▼
+//!    └──── front writer ◀── per-conn queue ◀── fan-in (Core) ◀── backend reader ─┘
+//! ```
+//!
+//! **Stickiness**: the trip→backend assignment is the pure function
+//! [`crate::backend_for`], so every event of a trip reaches the same
+//! backend engine and per-trip event order is preserved end to end (front
+//! reader → per-backend FIFO channel → one TCP connection → the backend's
+//! own ordered ingest). That is what makes routed scoring bit-identical
+//! to a single in-process engine.
+//!
+//! **Barriers**: a front `Flush` fans out to every live backend and
+//! replies with [`FleetSnapshot::merged`] aggregate stats only after all
+//! of them answered — and because each backend's `Stats` follows all of
+//! its earlier replies on the same connection, the aggregate reply is
+//! queued after every response caused by events the producer sent first:
+//! the single-server quiesce contract, fleet-wide. `SnapshotRequest`
+//! works the same way and replies with the [`FleetImage::merge`] of every
+//! backend's capture, ready for [`crate::split_image`] onto a fleet of a
+//! different size.
+//!
+//! **Failure**: a dead backend fails in-flight barriers and surfaces a
+//! typed [`ErrorCode::EngineClosed`] error to every front connection with
+//! a live trip on it; trips on healthy backends keep scoring, and new
+//! events for the dead backend's trips are answered with the same typed
+//! error instead of stalling.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use tad_net::{
+    read_request, write_response, ErrorCode, RecvError, Request, Response, DEFAULT_MAX_FRAME,
+};
+use tad_serve::{image_from_bytes, image_to_bytes, FleetImage, FleetSnapshot, TripId};
+
+use crate::backend::{backend_reader, backend_writer, BackendMsg, Pending};
+use crate::partition::backend_for;
+
+/// Tunables of the router tier (each backend engine has its own
+/// [`tad_serve::FleetConfig`] behind its own `tad-net` server).
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Cap on one frame's payload length, applied to front requests and
+    /// backend responses alike. Backend `Snapshot` replies of very large
+    /// fleets may need a higher cap on every hop. Defaults to
+    /// [`DEFAULT_MAX_FRAME`] (64 MiB).
+    pub max_frame_len: usize,
+    /// Bound of each front connection's outgoing response queue. A
+    /// producer that stops draining loses responses beyond this (counted
+    /// in [`RouterStats::responses_dropped`]) instead of growing router
+    /// memory — including barrier replies, so a non-reading producer's
+    /// `flush()` eventually times out client-side rather than wedging the
+    /// router.
+    pub response_queue: usize,
+    /// Bound of each backend's forwarding channel. A saturated backend
+    /// back-pressures the front reader threads that route to it (the
+    /// engine-level `Backpressure` contract still comes from the backend
+    /// itself).
+    pub backend_queue: usize,
+    /// Set `TCP_NODELAY` on accepted and backend sockets.
+    pub nodelay: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_frame_len: DEFAULT_MAX_FRAME,
+            response_queue: 65_536,
+            backend_queue: 65_536,
+            nodelay: true,
+        }
+    }
+}
+
+/// Why the router could not be built or bound.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Binding or configuring the front listening socket failed.
+    Io(std::io::Error),
+    /// The builder was given no backend addresses.
+    NoBackends,
+    /// Connecting to one of the backends failed.
+    BackendConnect {
+        /// Index of the backend in the builder's list.
+        index: usize,
+        /// The underlying socket failure.
+        error: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Io(e) => write!(f, "socket error: {e}"),
+            RouterError::NoBackends => write!(f, "a router needs at least one backend address"),
+            RouterError::BackendConnect { index, error } => {
+                write!(f, "cannot connect to backend {index}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<std::io::Error> for RouterError {
+    fn from(e: std::io::Error) -> Self {
+        RouterError::Io(e)
+    }
+}
+
+/// Point-in-time counters of the router tier (per-backend engine counters
+/// travel in the aggregated `Stats` reply to a front `Flush`).
+#[derive(Clone, Copy, Debug)]
+pub struct RouterStats {
+    /// Front connections accepted since the router started.
+    pub fronts_accepted: u64,
+    /// Front connections currently open.
+    pub fronts_open: u64,
+    /// Responses dropped because the owning front connection's queue was
+    /// full, the connection was gone, or no connection owned the trip.
+    pub responses_dropped: u64,
+    /// Backends the router was built over.
+    pub backends_total: u64,
+    /// Backends whose connection is still healthy.
+    pub backends_alive: u64,
+}
+
+/// A front connection's handle in the fan-in registry.
+struct FrontHandle {
+    tx: SyncSender<Response>,
+    stream: TcpStream,
+}
+
+/// Where a live trip's events go and who gets its replies.
+struct TripRoute {
+    /// The front connection that owns the trip's responses.
+    conn: u64,
+    /// The backend the trip is assigned to (`backend_for(id, N)`).
+    backend: u32,
+    /// Events forwarded after the claim was created — 0 means the claim
+    /// is start-only, so a refused/bounced `TripStart` can release it
+    /// without stranding the id. Atomic so the per-segment bump needs
+    /// only a read lock on the routing table.
+    forwarded: AtomicU32,
+}
+
+/// The router's handle on one backend connection.
+pub(crate) struct BackendLink {
+    /// False once the connection failed; checked before forwarding.
+    pub(crate) alive: Arc<AtomicBool>,
+    /// Feed of the backend's writer thread.
+    tx: SyncSender<BackendMsg>,
+    /// Barrier ids in flight on this connection.
+    pub(crate) pending: Arc<Pending>,
+    /// Serializes barrier staging with the channel send, so pending-FIFO
+    /// order always equals wire order (see [`handle_barrier`]).
+    stage: Mutex<()>,
+    /// A handle on the socket for shutdown wake-ups.
+    pub(crate) stream: TcpStream,
+}
+
+/// What a pending fleet-wide barrier is waiting to answer.
+#[derive(Clone, Copy)]
+enum BarrierKind {
+    Flush,
+    Snapshot,
+}
+
+/// One fleet-wide barrier in flight: a front `Flush`/`SnapshotRequest`
+/// fanned out to every live backend, collecting one contribution
+/// (a reply or a failure) per backend before answering the front
+/// connection.
+struct Barrier {
+    kind: BarrierKind,
+    conn: u64,
+    /// False until the fan-out loop knows how many backends accepted the
+    /// frame; contributions arriving earlier just accumulate.
+    sealed: bool,
+    expected: usize,
+    got: usize,
+    stats: Vec<FleetSnapshot>,
+    images: Vec<(u32, Bytes)>,
+    failed: Option<(ErrorCode, String)>,
+}
+
+/// The router's shared state: backend links, front registry, trip routing
+/// table, and in-flight barriers.
+pub(crate) struct Core {
+    pub(crate) backends: Vec<BackendLink>,
+    fronts: RwLock<HashMap<u64, FrontHandle>>,
+    /// Trip routing table. RwLock, not Mutex: the hot per-segment paths
+    /// (forwarding an event, fanning a `Score` back in) only read it, so
+    /// front readers and backend readers don't serialize on the map.
+    trips: RwLock<HashMap<TripId, TripRoute>>,
+    barriers: Mutex<HashMap<u64, Barrier>>,
+    next_barrier: AtomicU64,
+    fronts_accepted: AtomicU64,
+    responses_dropped: AtomicU64,
+}
+
+impl Core {
+    fn new(backends: Vec<BackendLink>) -> Self {
+        Core {
+            backends,
+            fronts: RwLock::new(HashMap::new()),
+            trips: RwLock::new(HashMap::new()),
+            barriers: Mutex::new(HashMap::new()),
+            next_barrier: AtomicU64::new(0),
+            fronts_accepted: AtomicU64::new(0),
+            responses_dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn register_front(&self, conn: u64, handle: FrontHandle) {
+        self.fronts_accepted.fetch_add(1, Ordering::Relaxed);
+        self.fronts.write().expect("fronts lock").insert(conn, handle);
+    }
+
+    fn unregister_front(&self, conn: u64) {
+        self.fronts.write().expect("fronts lock").remove(&conn);
+        // Free the closing connection's routing claims so a reconnecting
+        // producer can re-attach to its trips (the backend sessions live
+        // on until they end or their TTL reaps them).
+        self.trips.write().expect("trips lock").retain(|_, route| route.conn != conn);
+    }
+
+    fn dropped(&self) {
+        self.responses_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Best-effort delivery to one front connection's response queue.
+    fn deliver_conn(&self, conn: u64, resp: Response) {
+        let fronts = self.fronts.read().expect("fronts lock");
+        let sent = fronts.get(&conn).is_some_and(|h| h.tx.try_send(resp).is_ok());
+        if !sent {
+            self.dropped();
+        }
+    }
+
+    /// Fan-in: one frame arrived from backend `idx`.
+    pub(crate) fn on_backend_response(&self, idx: u32, resp: Response) {
+        match resp {
+            Response::Score(update) => {
+                let conn = self.trips.read().expect("trips lock").get(&update.id).map(|r| r.conn);
+                match conn {
+                    Some(conn) => self.deliver_conn(conn, Response::Score(update)),
+                    None => self.dropped(),
+                }
+            }
+            Response::TripComplete(tc) => {
+                // The trip is finished: forget the route so the id can be
+                // started again later.
+                let conn = self.trips.write().expect("trips lock").remove(&tc.id).map(|r| r.conn);
+                match conn {
+                    Some(conn) => self.deliver_conn(conn, Response::TripComplete(tc)),
+                    None => self.dropped(),
+                }
+            }
+            Response::Stats(stats) => {
+                let bid =
+                    self.backends[idx as usize].pending.flushes.lock().expect("fifo").pop_front();
+                if let Some(bid) = bid {
+                    self.contribute(bid, |b| b.stats.push(stats));
+                }
+            }
+            Response::Snapshot { image } => {
+                let bid =
+                    self.backends[idx as usize].pending.snapshots.lock().expect("fifo").pop_front();
+                if let Some(bid) = bid {
+                    self.contribute(bid, |b| b.images.push((idx, image)));
+                }
+            }
+            Response::Error { code, trip: Some(id), detail } => {
+                let found = {
+                    let trips = self.trips.read().expect("trips lock");
+                    trips.get(&id).map(|r| (r.conn, r.forwarded.load(Ordering::Relaxed)))
+                };
+                match found {
+                    Some((conn, forwarded)) => {
+                        // A refused or bounced TripStart (nothing forwarded
+                        // after the claim) must not strand its id: the
+                        // producer will retry it. Error frames are rare, so
+                        // the write-lock upgrade (with a re-check) is off
+                        // the hot path.
+                        if forwarded == 0
+                            && matches!(code, ErrorCode::Rejected | ErrorCode::Backpressure)
+                        {
+                            let mut trips = self.trips.write().expect("trips lock");
+                            if trips.get(&id).is_some_and(|r| {
+                                r.conn == conn && r.forwarded.load(Ordering::Relaxed) == 0
+                            }) {
+                                trips.remove(&id);
+                            }
+                        }
+                        self.deliver_conn(conn, Response::Error { code, trip: Some(id), detail });
+                    }
+                    None => self.dropped(),
+                }
+            }
+            Response::Error { code: ErrorCode::SnapshotFailed, trip: None, detail } => {
+                // The backend answered a SnapshotRequest with a failure:
+                // consume the oldest pending snapshot barrier so the FIFO
+                // stays aligned with the wire.
+                let bid =
+                    self.backends[idx as usize].pending.snapshots.lock().expect("fifo").pop_front();
+                if let Some(bid) = bid {
+                    self.contribute(bid, |b| {
+                        b.failed.get_or_insert((ErrorCode::SnapshotFailed, detail));
+                    });
+                }
+            }
+            Response::Error { code: ErrorCode::EngineClosed, trip: None, detail } => {
+                // A failed flush barrier; the backend hangs up right after
+                // this frame, so the rest of the cleanup happens in
+                // `on_backend_down`.
+                let bid =
+                    self.backends[idx as usize].pending.flushes.lock().expect("fifo").pop_front();
+                if let Some(bid) = bid {
+                    self.contribute(bid, |b| {
+                        b.failed.get_or_insert((ErrorCode::EngineClosed, detail));
+                    });
+                }
+            }
+            Response::Error { .. } => {
+                // Trip-less BadFrame/other: nothing to match it to; the
+                // link is about to close and the down path cleans up.
+                self.dropped();
+            }
+        }
+    }
+
+    /// A backend connection died: fail its in-flight barriers and tell
+    /// every affected front connection, then forget its trips. Healthy
+    /// backends are untouched. Idempotent — both the reader and the
+    /// writer of a link run it on exit, so whichever dies last sweeps any
+    /// barrier staged in between (the sweep of an already-swept link is a
+    /// no-op: empty FIFOs, no matching trips, contributions to barriers
+    /// that no longer exist are ignored).
+    pub(crate) fn on_backend_down(&self, idx: u32) {
+        let link = &self.backends[idx as usize];
+        link.alive.store(false, Ordering::SeqCst);
+        // Make sure the other half of the link dies too (the reader wakes
+        // from its blocking read; the writer's next write fails).
+        let _ = link.stream.shutdown(Shutdown::Both);
+        let mut bids: Vec<u64> = link.pending.flushes.lock().expect("fifo").drain(..).collect();
+        bids.extend(link.pending.snapshots.lock().expect("fifo").drain(..));
+        for bid in bids {
+            self.contribute(bid, |b| {
+                b.failed.get_or_insert((
+                    ErrorCode::EngineClosed,
+                    format!("backend {idx} connection lost"),
+                ));
+            });
+        }
+        let dead: Vec<(TripId, u64)> = {
+            let mut trips = self.trips.write().expect("trips lock");
+            let dead: Vec<(TripId, u64)> = trips
+                .iter()
+                .filter(|(_, route)| route.backend == idx)
+                .map(|(&id, route)| (id, route.conn))
+                .collect();
+            for (id, _) in &dead {
+                trips.remove(id);
+            }
+            dead
+        };
+        for (id, conn) in dead {
+            self.deliver_conn(
+                conn,
+                Response::Error {
+                    code: ErrorCode::EngineClosed,
+                    trip: Some(id),
+                    detail: format!("backend {idx} connection lost"),
+                },
+            );
+        }
+    }
+
+    fn barrier_open(&self, kind: BarrierKind, conn: u64) -> u64 {
+        let bid = self.next_barrier.fetch_add(1, Ordering::Relaxed);
+        self.barriers.lock().expect("barriers lock").insert(
+            bid,
+            Barrier {
+                kind,
+                conn,
+                sealed: false,
+                expected: 0,
+                got: 0,
+                stats: Vec::new(),
+                images: Vec::new(),
+                failed: None,
+            },
+        );
+        bid
+    }
+
+    /// The fan-out loop finished: `expected` backends accepted the
+    /// barrier frame. Completes the barrier if every contribution already
+    /// arrived in the meantime.
+    fn barrier_seal(&self, bid: u64, expected: usize) {
+        let done = {
+            let mut barriers = self.barriers.lock().expect("barriers lock");
+            let Some(b) = barriers.get_mut(&bid) else { return };
+            b.sealed = true;
+            b.expected = expected;
+            if b.got >= expected {
+                barriers.remove(&bid)
+            } else {
+                None
+            }
+        };
+        if let Some(b) = done {
+            self.finalize(b);
+        }
+    }
+
+    fn barrier_abort(&self, bid: u64) {
+        self.barriers.lock().expect("barriers lock").remove(&bid);
+    }
+
+    /// Records one backend's contribution (a reply or a failure) and
+    /// completes the barrier once all expected backends answered.
+    fn contribute(&self, bid: u64, apply: impl FnOnce(&mut Barrier)) {
+        let done = {
+            let mut barriers = self.barriers.lock().expect("barriers lock");
+            let Some(b) = barriers.get_mut(&bid) else { return };
+            apply(b);
+            b.got += 1;
+            if b.sealed && b.got >= b.expected {
+                barriers.remove(&bid)
+            } else {
+                None
+            }
+        };
+        if let Some(b) = done {
+            self.finalize(b);
+        }
+    }
+
+    /// Builds and delivers a completed barrier's reply. Runs outside the
+    /// barrier lock, on whichever backend reader (or front handler)
+    /// supplied the last contribution.
+    fn finalize(&self, barrier: Barrier) {
+        let resp = if let Some((code, detail)) = barrier.failed {
+            Response::Error { code, trip: None, detail }
+        } else {
+            match barrier.kind {
+                BarrierKind::Flush => Response::Stats(FleetSnapshot::merged(&barrier.stats)),
+                BarrierKind::Snapshot => {
+                    // Canonical backend order, so the merged blob is
+                    // deterministic whatever order the replies landed in.
+                    let mut parts = barrier.images;
+                    parts.sort_by_key(|&(idx, _)| idx);
+                    let mut images = Vec::with_capacity(parts.len());
+                    let mut bad = None;
+                    for (idx, blob) in parts {
+                        match image_from_bytes(blob) {
+                            Ok(image) => images.push(image),
+                            Err(e) => {
+                                bad = Some(format!("backend {idx} snapshot undecodable: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                    match bad {
+                        Some(detail) => {
+                            Response::Error { code: ErrorCode::SnapshotFailed, trip: None, detail }
+                        }
+                        None => {
+                            Response::Snapshot { image: image_to_bytes(&FleetImage::merge(images)) }
+                        }
+                    }
+                }
+            }
+        };
+        self.deliver_conn(barrier.conn, resp);
+    }
+
+    fn stats(&self) -> RouterStats {
+        RouterStats {
+            fronts_accepted: self.fronts_accepted.load(Ordering::Relaxed),
+            fronts_open: self.fronts.read().expect("fronts lock").len() as u64,
+            responses_dropped: self.responses_dropped.load(Ordering::Relaxed),
+            backends_total: self.backends.len() as u64,
+            backends_alive: self.backends.iter().filter(|l| l.alive.load(Ordering::SeqCst)).count()
+                as u64,
+        }
+    }
+}
+
+/// Whether the front connection should stay open after a request.
+enum After {
+    Continue,
+    Close,
+}
+
+fn backend_down_error(id: TripId, backend: u32) -> Response {
+    Response::Error {
+        code: ErrorCode::EngineClosed,
+        trip: Some(id),
+        detail: format!("backend {backend} is down"),
+    }
+}
+
+fn handle_front(core: &Core, conn_id: u64, tx: &SyncSender<Response>, req: Request) -> After {
+    match req {
+        Request::Flush => handle_barrier(core, conn_id, tx, BarrierKind::Flush, Request::Flush),
+        Request::SnapshotRequest => {
+            handle_barrier(core, conn_id, tx, BarrierKind::Snapshot, Request::SnapshotRequest)
+        }
+        ingest => {
+            let (id, is_start) = match &ingest {
+                Request::TripStart { id, .. } => (*id, true),
+                Request::Segment { id, .. } => (*id, false),
+                Request::TripEnd { id } => (*id, false),
+                _ => unreachable!("barrier frames are handled above"),
+            };
+            forward_ingest(core, conn_id, tx, id, is_start, ingest)
+        }
+    }
+}
+
+fn forward_ingest(
+    core: &Core,
+    conn_id: u64,
+    tx: &SyncSender<Response>,
+    id: TripId,
+    is_start: bool,
+    req: Request,
+) -> After {
+    let backend = backend_for(id, core.backends.len() as u32);
+    let link = &core.backends[backend as usize];
+    if !link.alive.load(Ordering::SeqCst) {
+        // Typed surface instead of a stall: the trip's backend is gone,
+        // but trips hashed to healthy backends keep flowing on this very
+        // connection.
+        let _ = tx.try_send(backend_down_error(id, backend));
+        return After::Continue;
+    }
+    if is_start {
+        let mut trips = core.trips.write().expect("trips lock");
+        match trips.entry(id) {
+            Entry::Occupied(_) => {
+                drop(trips);
+                // Another live connection owns this trip; duplicate starts
+                // on the same connection are also refused (the backend
+                // engine would reject them anyway).
+                let _ = tx.try_send(Response::Error {
+                    code: ErrorCode::Rejected,
+                    trip: Some(id),
+                    detail: "trip id is owned by a live session".to_string(),
+                });
+                return After::Continue;
+            }
+            Entry::Vacant(v) => {
+                v.insert(TripRoute { conn: conn_id, backend, forwarded: AtomicU32::new(0) });
+            }
+        }
+    } else {
+        // The hot path: an existing route needs only a read lock plus an
+        // atomic bump. The write-lock insert below is the lazy re-attach
+        // after a routed warm restart — the restored backend already holds
+        // the session, so no TripStart will ever arrive and the first
+        // connection to stream for the trip becomes its response route
+        // (mirrors the single-server behaviour in tad-net).
+        let trips = core.trips.read().expect("trips lock");
+        if let Some(route) = trips.get(&id) {
+            route.forwarded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(trips);
+            core.trips
+                .write()
+                .expect("trips lock")
+                .entry(id)
+                .or_insert_with(|| TripRoute {
+                    conn: conn_id,
+                    backend,
+                    forwarded: AtomicU32::new(0),
+                })
+                .forwarded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if core.backends[backend as usize].tx.send(BackendMsg::Forward(req)).is_err() {
+        if is_start {
+            let mut trips = core.trips.write().expect("trips lock");
+            if trips
+                .get(&id)
+                .is_some_and(|r| r.conn == conn_id && r.forwarded.load(Ordering::Relaxed) == 0)
+            {
+                trips.remove(&id);
+            }
+        }
+        let _ = tx.try_send(backend_down_error(id, backend));
+    }
+    After::Continue
+}
+
+fn handle_barrier(
+    core: &Core,
+    conn_id: u64,
+    tx: &SyncSender<Response>,
+    kind: BarrierKind,
+    req: Request,
+) -> After {
+    let bid = core.barrier_open(kind, conn_id);
+    let mut sent = 0usize;
+    for link in &core.backends {
+        if !link.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        let fifo = match kind {
+            BarrierKind::Flush => &link.pending.flushes,
+            BarrierKind::Snapshot => &link.pending.snapshots,
+        };
+        // Stage-then-send, atomically with respect to other barriers on
+        // this link (the `stage` mutex): FIFO order therefore equals
+        // channel order equals wire order, and the barrier is in the FIFO
+        // from the moment the channel accepts it — so the backend-down
+        // sweep (run by whichever of the link's threads exits last) always
+        // sees it and can fail it. Forwarded ingest frames interleave
+        // freely; only barrier-to-barrier order matters for the FIFO.
+        let staged = link.stage.lock().expect("stage lock");
+        fifo.lock().expect("fifo").push_back(bid);
+        if link.tx.send(BackendMsg::Forward(req.clone())).is_ok() {
+            sent += 1;
+        } else {
+            // The writer is gone; undo the stage. Nobody staged after us
+            // (we hold `stage`), so the entry — if the down sweep has not
+            // already consumed it and failed the barrier — is the tail.
+            let mut fifo = fifo.lock().expect("fifo");
+            if fifo.back() == Some(&bid) {
+                fifo.pop_back();
+            }
+        }
+        drop(staged);
+    }
+    if sent == 0 {
+        // No live backend accepted the frame: drop the barrier (a down
+        // sweep racing the loop may have contributed a failure to it, but
+        // never finalized it — it was not sealed) and answer directly.
+        core.barrier_abort(bid);
+        let _ = tx.try_send(Response::Error {
+            code: ErrorCode::EngineClosed,
+            trip: None,
+            detail: "no live backends".to_string(),
+        });
+        return After::Close;
+    }
+    core.barrier_seal(bid, sent);
+    After::Continue
+}
+
+/// Drains a front connection's response queue to its socket, batching
+/// writes between flushes (same shape as `tad-net`'s connection writer).
+fn front_writer(rx: Receiver<Response>, stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    'serve: while let Ok(resp) = rx.recv() {
+        if write_response(&mut w, &resp).is_err() {
+            break;
+        }
+        loop {
+            match rx.try_recv() {
+                Ok(resp) => {
+                    if write_response(&mut w, &resp).is_err() {
+                        break 'serve;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    let _ = std::io::Write::flush(&mut w);
+                    return;
+                }
+            }
+        }
+        if std::io::Write::flush(&mut w).is_err() {
+            break;
+        }
+    }
+    let _ = std::io::Write::flush(&mut w);
+}
+
+fn front_reader(
+    mut stream: TcpStream,
+    core: Arc<Core>,
+    max_frame_len: usize,
+    conn_id: u64,
+    tx: SyncSender<Response>,
+) {
+    loop {
+        match read_request(&mut stream, max_frame_len) {
+            Ok(None) => break, // clean disconnect
+            Ok(Some(req)) => {
+                if let After::Close = handle_front(&core, conn_id, &tx, req) {
+                    break;
+                }
+            }
+            Err(RecvError::Io(_)) => break,
+            Err(RecvError::Frame(e)) => {
+                // Framing is lost; tell the peer why, then hang up.
+                let _ = tx.send(Response::Error {
+                    code: ErrorCode::BadFrame,
+                    trip: None,
+                    detail: e.to_string(),
+                });
+                break;
+            }
+        }
+    }
+    core.unregister_front(conn_id);
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    core: Arc<Core>,
+    cfg: RouterConfig,
+    shutdown: Arc<AtomicBool>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn: u64 = 0;
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if cfg.nodelay {
+            let _ = stream.set_nodelay(true);
+        }
+        let conn_id = next_conn;
+        next_conn += 1;
+        let (tx, rx) = sync_channel::<Response>(cfg.response_queue);
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let registry_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        core.register_front(conn_id, FrontHandle { tx: tx.clone(), stream: registry_half });
+        let writer = std::thread::Builder::new()
+            .name(format!("tad-router-conn-{conn_id}-w"))
+            .spawn(move || front_writer(rx, write_half))
+            .expect("spawn front writer");
+        let reader = {
+            let core = Arc::clone(&core);
+            let max = cfg.max_frame_len;
+            std::thread::Builder::new()
+                .name(format!("tad-router-conn-{conn_id}"))
+                .spawn(move || front_reader(stream, core, max, conn_id, tx))
+                .expect("spawn front reader")
+        };
+        let mut threads = threads.lock().expect("threads lock");
+        threads.push(writer);
+        threads.push(reader);
+    }
+}
+
+/// Builder for [`RouterServer`]; start from [`RouterServer::builder`].
+pub struct RouterServerBuilder {
+    backends: Vec<SocketAddr>,
+    cfg: RouterConfig,
+}
+
+impl RouterServerBuilder {
+    /// Adds one backend `tad-net` server address. Backend index order is
+    /// the order of these calls — it determines the trip partitioning, so
+    /// a restarted router must list the same backends in the same order.
+    pub fn backend(mut self, addr: SocketAddr) -> Self {
+        self.backends.push(addr);
+        self
+    }
+
+    /// Adds several backend addresses at once (see [`Self::backend`]).
+    pub fn backends(mut self, addrs: impl IntoIterator<Item = SocketAddr>) -> Self {
+        self.backends.extend(addrs);
+        self
+    }
+
+    /// Overrides the router tunables.
+    pub fn config(mut self, cfg: RouterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Connects to every backend, binds the front listening socket, and
+    /// starts the acceptor and per-backend pipeline threads.
+    ///
+    /// # Errors
+    /// [`RouterError::NoBackends`] when no backend address was given,
+    /// [`RouterError::BackendConnect`] when a backend cannot be reached,
+    /// and [`RouterError::Io`] when the front socket cannot be bound.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<RouterServer, RouterError> {
+        let RouterServerBuilder { backends, cfg } = self;
+        if backends.is_empty() {
+            return Err(RouterError::NoBackends);
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let mut links = Vec::with_capacity(backends.len());
+        let mut backend_threads = Vec::with_capacity(backends.len() * 2);
+        let mut halves = Vec::with_capacity(backends.len());
+        for (index, &backend_addr) in backends.iter().enumerate() {
+            let connect = |error| RouterError::BackendConnect { index, error };
+            let stream = TcpStream::connect(backend_addr).map_err(connect)?;
+            if cfg.nodelay {
+                let _ = stream.set_nodelay(true);
+            }
+            let write_half = stream.try_clone().map_err(connect)?;
+            let read_half = stream.try_clone().map_err(connect)?;
+            let (tx, rx) = sync_channel::<BackendMsg>(cfg.backend_queue);
+            halves.push((write_half, read_half, rx));
+            links.push(BackendLink {
+                alive: Arc::new(AtomicBool::new(true)),
+                tx,
+                pending: Arc::new(Pending::default()),
+                stage: Mutex::new(()),
+                stream,
+            });
+        }
+
+        // Both pipeline threads get the core: each runs the idempotent
+        // backend-down sweep on exit, so a link failing on either half
+        // always fails staged barriers instead of leaving them pending.
+        let core = Arc::new(Core::new(links));
+        for (index, (write_half, read_half, rx)) in halves.into_iter().enumerate() {
+            let writer_core = Arc::clone(&core);
+            backend_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tad-router-backend-{index}-w"))
+                    .spawn(move || backend_writer(rx, write_half, writer_core, index as u32))
+                    .expect("spawn backend writer"),
+            );
+            let reader_core = Arc::clone(&core);
+            let max = cfg.max_frame_len;
+            backend_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tad-router-backend-{index}"))
+                    .spawn(move || backend_reader(index as u32, read_half, reader_core, max))
+                    .expect("spawn backend reader"),
+            );
+        }
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let front_threads = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let core = Arc::clone(&core);
+            let shutdown = Arc::clone(&shutdown);
+            let front_threads = Arc::clone(&front_threads);
+            std::thread::Builder::new()
+                .name("tad-router-acceptor".to_string())
+                .spawn(move || accept_loop(listener, core, cfg, shutdown, front_threads))
+                .expect("spawn acceptor")
+        };
+
+        Ok(RouterServer {
+            core,
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            front_threads,
+            backend_threads,
+        })
+    }
+}
+
+/// A running router tier: a `TADN` front door hash-partitioning trips
+/// across N `tad-net` backends. Construct with [`RouterServer::builder`];
+/// see the module docs for data flow, stickiness, and barrier semantics.
+/// Producers connect with the unmodified [`tad_net::Client`] — the router
+/// is wire-compatible with a single backend.
+pub struct RouterServer {
+    core: Arc<Core>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    front_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    backend_threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterServer {
+    /// Starts building a router. Add backends with
+    /// [`RouterServerBuilder::backend`], then [`RouterServerBuilder::bind`]
+    /// the front door (port 0 lets the OS pick; read it back with
+    /// [`RouterServer::local_addr`]).
+    pub fn builder() -> RouterServerBuilder {
+        RouterServerBuilder { backends: Vec::new(), cfg: RouterConfig::default() }
+    }
+
+    /// The address the front door is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// How many backends the router was built over (the `N` of
+    /// [`crate::backend_for`]).
+    pub fn num_backends(&self) -> usize {
+        self.core.backends.len()
+    }
+
+    /// Point-in-time router counters.
+    pub fn stats(&self) -> RouterStats {
+        self.core.stats()
+    }
+
+    /// Stops accepting, closes every front connection and backend link,
+    /// joins all threads, and returns the final router counters. The
+    /// backends themselves keep running — they are independent servers.
+    pub fn shutdown(mut self) -> RouterStats {
+        let stats = self.stats();
+        self.stop();
+        stats
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking accept with a throwaway
+        // connection; it re-checks the flag per iteration.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for handle in self.core.fronts.read().expect("fronts lock").values() {
+            let _ = handle.stream.shutdown(Shutdown::Both);
+        }
+        let handles = std::mem::take(&mut *self.front_threads.lock().expect("threads lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        for link in &self.core.backends {
+            // Orderly writer exit, then wake the (possibly blocked) reader.
+            let _ = link.tx.send(BackendMsg::Close);
+            let _ = link.stream.shutdown(Shutdown::Both);
+        }
+        for handle in std::mem::take(&mut self.backend_threads) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -64,6 +64,59 @@ pub struct FleetImage {
     pub sessions: Vec<SessionRecord>,
 }
 
+impl FleetImage {
+    /// Concatenates per-backend captures into one fleet-wide image — the
+    /// snapshot half of cross-process sharding: a router tier captures
+    /// every backend's [`FleetImage`] over the wire and merges them into
+    /// the single artifact a warm restart starts from.
+    ///
+    /// Sessions are kept in iteration order (callers that need a
+    /// canonical blob should pass the parts in a fixed backend order);
+    /// `num_shards` becomes the summed shard capacity of the parts —
+    /// informational only, since restore re-partitions for the target
+    /// engine anyway. Callers are responsible for the parts holding
+    /// disjoint trip ids (distinct backends own distinct trips);
+    /// duplicates are kept as-is and will be rejected per-trip at
+    /// restore time.
+    pub fn merge(parts: impl IntoIterator<Item = FleetImage>) -> FleetImage {
+        let mut out = FleetImage::default();
+        for part in parts {
+            out.num_shards += part.num_shards;
+            out.sessions.extend(part.sessions);
+        }
+        out.num_shards = out.num_shards.max(1);
+        out
+    }
+
+    /// Splits this image into `parts` sub-images, sending each session to
+    /// the part `route(trip id)` names — the restore half of
+    /// cross-process sharding: a merged fleet capture is re-partitioned
+    /// with the router's trip→backend function so each new backend
+    /// resumes exactly the sessions whose future events will be routed to
+    /// it. Relative session order is preserved within each part, and
+    /// every part inherits this image's (informational) `num_shards`.
+    ///
+    /// # Panics
+    /// When `parts` is zero or `route` returns an index `>= parts` — both
+    /// are caller bugs in the partitioning function, not data errors.
+    pub fn partition_by(
+        self,
+        parts: usize,
+        mut route: impl FnMut(TripId) -> usize,
+    ) -> Vec<FleetImage> {
+        assert!(parts > 0, "cannot partition a fleet image into zero parts");
+        let mut out: Vec<FleetImage> = (0..parts)
+            .map(|_| FleetImage { num_shards: self.num_shards, sessions: Vec::new() })
+            .collect();
+        for rec in self.sessions {
+            let part = route(rec.id);
+            assert!(part < parts, "route({}) returned {part}, but there are {parts} parts", rec.id);
+            out[part].sessions.push(rec);
+        }
+        out
+    }
+}
+
 /// Errors produced when decoding a serialized [`FleetImage`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SnapshotCodecError {
@@ -256,6 +309,32 @@ mod tests {
             // Canonical encoding: re-encoding is byte-for-byte identical.
             assert_eq!(image_to_bytes(&restored).to_vec(), blob.to_vec());
         }
+    }
+
+    #[test]
+    fn merge_and_partition_are_inverse_up_to_order() {
+        let a = FleetImage { num_shards: 2, sessions: vec![record(0, 10), record(2, 30)] };
+        let b = FleetImage { num_shards: 3, sessions: vec![record(1, 20), record(5, 50)] };
+        let merged = FleetImage::merge([a.clone(), b.clone()]);
+        assert_eq!(merged.num_shards, 5);
+        assert_eq!(merged.sessions.len(), 4);
+        // Route even ids to part 0, odd to part 1: partitioning preserves
+        // relative order within each part and loses no session.
+        let parts = merged.clone().partition_by(2, |id| (id % 2) as usize);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].sessions, vec![record(0, 10), record(2, 30)]);
+        assert_eq!(parts[1].sessions, vec![record(1, 20), record(5, 50)]);
+        assert!(parts.iter().all(|p| p.num_shards == merged.num_shards));
+        // Empty input merges to the inert image.
+        let empty = FleetImage::merge([]);
+        assert_eq!(empty.num_shards, 1);
+        assert!(empty.sessions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn partition_into_zero_parts_is_a_caller_bug() {
+        let _ = image(1).partition_by(0, |_| 0);
     }
 
     #[test]

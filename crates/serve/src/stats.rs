@@ -82,6 +82,55 @@ impl FleetStats {
     }
 }
 
+impl FleetSnapshot {
+    /// Sums per-backend snapshots into one fleet-wide view: every counter
+    /// adds up, `uptime_secs` is the oldest backend's, and the derived
+    /// rates are recomputed over the aggregate (`events_per_sec` as the
+    /// sum of the parallel backends' rates, `mean_batch_size` from the
+    /// fleet-wide scored-segment and batch totals).
+    ///
+    /// This is how the `tad-router` tier answers a front-door `Flush`
+    /// with one `Stats` frame covering every backend behind it. Merging
+    /// an empty slice yields the all-zero snapshot.
+    pub fn merged(parts: &[FleetSnapshot]) -> FleetSnapshot {
+        let mut out = FleetSnapshot {
+            events_ingested: 0,
+            segments_scored: 0,
+            trips_started: 0,
+            trips_completed: 0,
+            evictions_ttl: 0,
+            evictions_lru: 0,
+            rejected: 0,
+            off_graph_hits: 0,
+            batches: 0,
+            active_sessions: 0,
+            sessions_restored: 0,
+            uptime_secs: 0.0,
+            events_per_sec: 0.0,
+            mean_batch_size: 0.0,
+        };
+        for p in parts {
+            out.events_ingested += p.events_ingested;
+            out.segments_scored += p.segments_scored;
+            out.trips_started += p.trips_started;
+            out.trips_completed += p.trips_completed;
+            out.evictions_ttl += p.evictions_ttl;
+            out.evictions_lru += p.evictions_lru;
+            out.rejected += p.rejected;
+            out.off_graph_hits += p.off_graph_hits;
+            out.batches += p.batches;
+            out.active_sessions += p.active_sessions;
+            out.sessions_restored += p.sessions_restored;
+            out.uptime_secs = out.uptime_secs.max(p.uptime_secs);
+            out.events_per_sec += p.events_per_sec;
+        }
+        if out.batches > 0 {
+            out.mean_batch_size = out.segments_scored as f64 / out.batches as f64;
+        }
+        out
+    }
+}
+
 /// Point-in-time view of the fleet counters.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FleetSnapshot {
@@ -119,6 +168,31 @@ pub struct FleetSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merged_sums_counters_and_recomputes_rates() {
+        let stats_a = FleetStats::new();
+        FleetStats::add(&stats_a.segments_scored, 60);
+        FleetStats::add(&stats_a.batches, 2);
+        FleetStats::add(&stats_a.trips_completed, 3);
+        let stats_b = FleetStats::new();
+        FleetStats::add(&stats_b.segments_scored, 40);
+        FleetStats::add(&stats_b.batches, 3);
+        FleetStats::add(&stats_b.trips_completed, 4);
+        let mut a = stats_a.snapshot();
+        let b = stats_b.snapshot();
+        a.uptime_secs = 7.0; // force a distinguishable "oldest backend"
+        let merged = FleetSnapshot::merged(&[a, b]);
+        assert_eq!(merged.segments_scored, 100);
+        assert_eq!(merged.batches, 5);
+        assert_eq!(merged.trips_completed, 7);
+        assert!((merged.mean_batch_size - 20.0).abs() < 1e-12);
+        assert!((merged.uptime_secs - 7.0).abs() < 1e-12);
+        // Degenerate inputs stay well-defined.
+        let empty = FleetSnapshot::merged(&[]);
+        assert_eq!(empty.segments_scored, 0);
+        assert_eq!(empty.mean_batch_size, 0.0);
+    }
 
     #[test]
     fn snapshot_derives_rates() {

@@ -1,0 +1,185 @@
+//! Cluster fleet scoring: a `tad-router` tier hash-partitioning trips
+//! across two independent `tad-net` backend servers, then an N→M warm
+//! restart of the whole cluster.
+//!
+//! The demo trains a quick CausalTAD model, starts two backend servers
+//! and a router in front of them (all over loopback — in production each
+//! backend is its own process or host), and streams a fleet of trips
+//! through the router from several producers. Producers use the plain
+//! `tad_net::Client`: the router is wire-compatible with a single server.
+//! Some trips are left open-ended, a **merged** fleet snapshot is
+//! captured through the router, the whole tier is shut down ("crash"),
+//! and the capture is re-partitioned with `split_image` onto **three**
+//! fresh backends — after which the open trips finish streaming through a
+//! new router with zero score discontinuity.
+//!
+//! Run with: `cargo run --release --example cluster_fleet`
+
+use std::sync::Arc;
+
+use causaltad::{CausalTad, CausalTadConfig};
+use causaltad_suite::net::{Client, NetServer, Response};
+use causaltad_suite::router::{split_image, RouterServer};
+use causaltad_suite::serve::image_from_bytes;
+use causaltad_suite::trajsim::{generate_city, CityConfig, Trajectory};
+
+const PRODUCERS: usize = 2;
+const TRIPS: usize = 60;
+
+/// Starts `n` backend servers and a router over all of them.
+fn spawn_tier(
+    model: &Arc<CausalTad>,
+    seeds: Vec<causaltad_suite::serve::FleetImage>,
+) -> (Vec<NetServer>, RouterServer) {
+    let backends: Vec<NetServer> = seeds
+        .into_iter()
+        .map(|seed| {
+            let mut builder = NetServer::builder(Arc::clone(model));
+            if !seed.sessions.is_empty() {
+                builder = builder.resume(seed);
+            }
+            builder.bind("127.0.0.1:0").expect("bind backend")
+        })
+        .collect();
+    let router = RouterServer::builder()
+        .backends(backends.iter().map(|b| b.local_addr()))
+        .bind("127.0.0.1:0")
+        .expect("bind router");
+    (backends, router)
+}
+
+fn main() {
+    // --- Train a quick model --------------------------------------------
+    let city = generate_city(&CityConfig::test_scale(1717));
+    let mut cfg = CausalTadConfig::test_scale();
+    cfg.epochs = 2;
+    println!("training on {} trajectories ...", city.data.train.len());
+    let mut model = CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    let model = Arc::new(model);
+
+    let fleet: Vec<Trajectory> = city.data.test_id.iter().take(TRIPS).cloned().collect();
+
+    // --- Phase A: 2 backends behind a router ------------------------------
+    let (backends_a, router_a) = spawn_tier(&model, vec![Default::default(), Default::default()]);
+    let addr = router_a.local_addr();
+    println!(
+        "cluster up: router on {addr} over {} backends ({})",
+        router_a.num_backends(),
+        backends_a.iter().map(|b| b.local_addr().to_string()).collect::<Vec<_>>().join(", ")
+    );
+
+    let mut handles = Vec::new();
+    for producer in 0..PRODUCERS {
+        let slice: Vec<(u64, Trajectory)> = fleet
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % PRODUCERS == producer)
+            .map(|(i, t)| (i as u64, t.clone()))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect to router");
+            for (id, trip) in &slice {
+                let sd = trip.sd_pair();
+                client.trip_start(*id, sd.source.0, sd.dest.0, trip.time_slot).expect("write");
+            }
+            let longest = slice.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+            for step in 0..longest {
+                for (id, trip) in &slice {
+                    if let Some(seg) = trip.segments.get(step) {
+                        client.segment(*id, seg.0).expect("write");
+                    }
+                    // Leave every third trip open-ended: those sessions
+                    // survive the snapshot and finish after the restart.
+                    if step + 1 == trip.len() && id % 3 != 0 {
+                        client.trip_end(*id).expect("write");
+                    }
+                }
+            }
+            // Fleet-wide barrier: the aggregated stats cover all backends.
+            let stats = client.flush().expect("fleet-wide flush barrier");
+            let mut scores = 0usize;
+            while let Some(resp) = client.try_recv() {
+                match resp {
+                    Response::Score(_) => scores += 1,
+                    Response::TripComplete(_) => {}
+                    Response::Error { code, trip, .. } => {
+                        eprintln!("producer {producer}: error {code} (trip {trip:?})")
+                    }
+                    _ => {}
+                }
+            }
+            println!(
+                "producer {producer}: {} trips streamed, {scores} scores back \
+                 (fleet-wide: {} segments scored in {} micro-batches)",
+                slice.len(),
+                stats.segments_scored,
+                stats.batches,
+            );
+            scores
+        }));
+    }
+    let phase_a_scores: usize = handles.into_iter().map(|h| h.join().expect("producer")).sum();
+
+    // --- Merged snapshot over the wire, then kill the whole tier ----------
+    let mut admin = Client::connect(addr).expect("connect");
+    let blob = admin.snapshot().expect("merged snapshot through the router");
+    let image = image_from_bytes(blob).expect("merged image decodes");
+    println!(
+        "\nmerged snapshot: {} live sessions captured across {} backends",
+        image.sessions.len(),
+        router_a.num_backends()
+    );
+    drop(admin);
+    router_a.shutdown();
+    let completed_a: u64 = backends_a.into_iter().map(|b| b.shutdown().trips_completed).sum();
+    println!("tier down (the \"crash\"); {completed_a} trips had completed before it");
+
+    // --- Phase B: restore N=2 capture onto M=3 backends -------------------
+    let captured = image.sessions.len();
+    let seeds = split_image(image, 3);
+    println!(
+        "re-partitioned for 3 backends: {:?} sessions per backend",
+        seeds.iter().map(|s| s.sessions.len()).collect::<Vec<_>>()
+    );
+    let (backends_b, router_b) = spawn_tier(&model, seeds);
+    let addr = router_b.local_addr();
+    let mut client = Client::connect(addr).expect("connect to restored router");
+    let stats = client.flush().expect("barrier");
+    assert_eq!(stats.sessions_restored, captured as u64);
+    println!(
+        "restored cluster up on {addr}: {} sessions resumed across {} backends",
+        stats.sessions_restored,
+        router_b.num_backends()
+    );
+
+    // Finish the open-ended trips: no TripStart needed — the sessions were
+    // restored, and the router re-attaches them to this connection.
+    let mut finished = 0usize;
+    for (id, _) in fleet.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+        client.trip_end(id as u64).expect("write");
+        finished += 1;
+    }
+    let stats = client.flush().expect("barrier");
+    let mut finals = 0usize;
+    while let Some(resp) = client.try_recv() {
+        if let Response::TripComplete(tc) = resp {
+            assert_eq!(tc.id % 3, 0);
+            finals += 1;
+        }
+    }
+    println!(
+        "finished {finished} carried-over trips after the N→M restart \
+         ({finals} completions delivered; {} trips completed fleet-wide)",
+        stats.trips_completed
+    );
+    println!(
+        "phase A streamed {phase_a_scores} per-segment scores; \
+         scoring resumed bit-identically from the merged capture"
+    );
+
+    router_b.shutdown();
+    for backend in backends_b {
+        backend.shutdown();
+    }
+}

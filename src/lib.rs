@@ -17,11 +17,16 @@
 //!   stepping.
 //! * [`net`] — the TCP ingest front-end over the fleet engine: `TADN`
 //!   wire protocol, concurrent server, blocking client.
+//! * [`router`] — the cross-process sharding tier: a `TADN` router
+//!   hash-partitioning trips across N `tad-net` backends, with fleet-wide
+//!   flush barriers and merged snapshots for N→M warm restarts.
 //!
 //! See `README.md` for a tour, `docs/ARCHITECTURE.md` for the cross-crate
 //! picture, `examples/quickstart.rs` for a minimal end-to-end run,
-//! `examples/fleet_streaming.rs` for the serving layer, and
-//! `examples/network_fleet.rs` for scoring over the network.
+//! `examples/fleet_streaming.rs` for the serving layer,
+//! `examples/network_fleet.rs` for scoring over the network, and
+//! `examples/cluster_fleet.rs` for a routed multi-backend cluster with an
+//! N→M warm restart.
 
 pub use causaltad as core;
 pub use tad_autodiff as autodiff;
@@ -29,5 +34,6 @@ pub use tad_baselines as baselines;
 pub use tad_eval as eval;
 pub use tad_net as net;
 pub use tad_roadnet as roadnet;
+pub use tad_router as router;
 pub use tad_serve as serve;
 pub use tad_trajsim as trajsim;

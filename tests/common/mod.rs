@@ -1,0 +1,143 @@
+//! Shared harness for the network-path equivalence batteries
+//! (`tests/net.rs`, `tests/router.rs`): one trained model per test
+//! binary, event-stream builders, the bit-level `Produced` record, the
+//! in-process reference engine, and the bit-identity assertion both
+//! batteries measure against.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use causaltad_suite::core::{CausalTad, CausalTadConfig};
+use causaltad_suite::net::{Client, Response};
+use causaltad_suite::serve::{Completion, Event, FleetConfig, FleetEngine, ScoreUpdate};
+use causaltad_suite::trajsim::{generate_city, City, CityConfig, Trajectory};
+
+/// One trained model shared by every test in a binary (training in debug
+/// mode is expensive).
+pub fn trained() -> &'static (City, Arc<CausalTad>) {
+    static SHARED: OnceLock<(City, Arc<CausalTad>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let city = generate_city(&CityConfig::test_scale(321));
+        let mut cfg = CausalTadConfig::test_scale();
+        cfg.epochs = 1;
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        (city, Arc::new(model))
+    })
+}
+
+/// Round-robin interleaving of complete trip streams (all starts first,
+/// then one segment per live trip per step, ends inline).
+pub fn interleave(trips: &[&Trajectory]) -> Vec<Event> {
+    let mut events = Vec::new();
+    for (id, t) in trips.iter().enumerate() {
+        let sd = t.sd_pair();
+        events.push(Event::TripStart {
+            id: id as u64,
+            source: sd.source.0,
+            dest: sd.dest.0,
+            time_slot: t.time_slot,
+        });
+    }
+    let longest = trips.iter().map(|t| t.len()).max().unwrap_or(0);
+    for step in 0..longest {
+        for (id, t) in trips.iter().enumerate() {
+            if let Some(seg) = t.segments.get(step) {
+                events.push(Event::Segment { id: id as u64, seg: seg.0 });
+            }
+            if step + 1 == t.len() {
+                events.push(Event::TripEnd { id: id as u64 });
+            }
+        }
+    }
+    events
+}
+
+/// The trip an event belongs to.
+pub fn trip_of(ev: &Event) -> u64 {
+    match *ev {
+        Event::TripStart { id, .. } | Event::Segment { id, .. } | Event::TripEnd { id } => id,
+    }
+}
+
+/// Bit-level record of everything an engine produced: per-segment score
+/// bits keyed by (trip, seq) and final (score bits, segment count) per
+/// ended trip.
+#[derive(Default)]
+pub struct Produced {
+    pub scores: HashMap<(u64, u32), u64>,
+    pub finals: HashMap<u64, (u64, usize)>,
+}
+
+/// Runs `events` through one in-process engine, recording callbacks —
+/// the reference every network/router path must match bit-for-bit.
+pub fn in_process(model: &Arc<CausalTad>, events: &[Event], cfg: FleetConfig) -> Produced {
+    let produced = Arc::new(Mutex::new(Produced::default()));
+    let score_sink = Arc::clone(&produced);
+    let complete_sink = Arc::clone(&produced);
+    let engine = FleetEngine::builder(Arc::clone(model))
+        .config(cfg)
+        .on_score(move |u: &ScoreUpdate| {
+            score_sink.lock().unwrap().scores.insert((u.id, u.seq), u.score.to_bits());
+        })
+        .on_complete(move |o| {
+            if o.completion == Completion::Ended {
+                complete_sink.lock().unwrap().finals.insert(o.id, (o.score.to_bits(), o.segments));
+            }
+        })
+        .build()
+        .expect("trained model");
+    for &ev in events {
+        engine.submit(ev).unwrap();
+    }
+    engine.shutdown();
+    Arc::try_unwrap(produced).ok().expect("engine gone").into_inner().unwrap()
+}
+
+/// Sends `events` through a client in order (panicking on write errors).
+pub fn send_events(client: &mut Client, events: &[Event]) {
+    for &ev in events {
+        match ev {
+            Event::TripStart { id, source, dest, time_slot } => {
+                client.trip_start(id, source, dest, time_slot).expect("write")
+            }
+            Event::Segment { id, seg } => client.segment(id, seg).expect("write"),
+            Event::TripEnd { id } => client.trip_end(id).expect("write"),
+        }
+    }
+}
+
+/// Drains a client's queued responses into `produced`, panicking on any
+/// error frame.
+pub fn drain(client: &mut Client, produced: &mut Produced) {
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(u) => {
+                produced.scores.insert((u.id, u.seq), u.score.to_bits());
+            }
+            Response::TripComplete(tc) => {
+                if tc.completion == Completion::Ended {
+                    produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
+                }
+            }
+            Response::Error { code, trip, detail } => {
+                panic!("unexpected error frame: {code} trip={trip:?} {detail}")
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+}
+
+/// Every per-segment and final score produced by `got` matches
+/// `reference` bit-for-bit, with nothing missing or extra.
+pub fn assert_bit_identical(got: &Produced, reference: &Produced) {
+    assert_eq!(got.finals.len(), reference.finals.len(), "final-score count");
+    for (id, reference_final) in &reference.finals {
+        let got_final = got.finals.get(id).unwrap_or_else(|| panic!("trip {id} final"));
+        assert_eq!(got_final, reference_final, "trip {id} final score bits");
+    }
+    assert_eq!(got.scores.len(), reference.scores.len(), "per-segment score count");
+    for (key, bits) in &reference.scores {
+        assert_eq!(got.scores.get(key), Some(bits), "score bits at {key:?}");
+    }
+}

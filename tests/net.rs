@@ -11,135 +11,16 @@
 //! same per-trip event order produce identical f64 score bits even though
 //! their timing-dependent batch compositions differ.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+mod common;
 
-use causaltad_suite::core::{CausalTad, CausalTadConfig};
-use causaltad_suite::net::{Client, ErrorCode, NetServer, Response};
-use causaltad_suite::serve::{
-    image_from_bytes, Completion, Event, FleetConfig, FleetEngine, ScoreUpdate,
+use std::sync::Arc;
+
+use causaltad_suite::net::{Client, ClientError, ErrorCode, NetServer, Response};
+use causaltad_suite::serve::{image_from_bytes, Completion, Event, FleetConfig};
+use causaltad_suite::trajsim::Trajectory;
+use common::{
+    assert_bit_identical, drain, in_process, interleave, send_events, trained, trip_of, Produced,
 };
-use causaltad_suite::trajsim::{generate_city, City, CityConfig, Trajectory};
-
-/// One trained model shared by every test in this file (training in debug
-/// mode is expensive).
-fn trained() -> &'static (City, Arc<CausalTad>) {
-    static SHARED: OnceLock<(City, Arc<CausalTad>)> = OnceLock::new();
-    SHARED.get_or_init(|| {
-        let city = generate_city(&CityConfig::test_scale(321));
-        let mut cfg = CausalTadConfig::test_scale();
-        cfg.epochs = 1;
-        let mut model = CausalTad::new(&city.net, cfg);
-        model.fit(&city.data.train);
-        (city, Arc::new(model))
-    })
-}
-
-/// Round-robin interleaving of complete trip streams (all starts first,
-/// then one segment per live trip per step, ends inline).
-fn interleave(trips: &[&Trajectory]) -> Vec<Event> {
-    let mut events = Vec::new();
-    for (id, t) in trips.iter().enumerate() {
-        let sd = t.sd_pair();
-        events.push(Event::TripStart {
-            id: id as u64,
-            source: sd.source.0,
-            dest: sd.dest.0,
-            time_slot: t.time_slot,
-        });
-    }
-    let longest = trips.iter().map(|t| t.len()).max().unwrap_or(0);
-    for step in 0..longest {
-        for (id, t) in trips.iter().enumerate() {
-            if let Some(seg) = t.segments.get(step) {
-                events.push(Event::Segment { id: id as u64, seg: seg.0 });
-            }
-            if step + 1 == t.len() {
-                events.push(Event::TripEnd { id: id as u64 });
-            }
-        }
-    }
-    events
-}
-
-/// Bit-level record of everything an engine produced: per-segment score
-/// bits keyed by (trip, seq) and final (score bits, segment count) per
-/// ended trip.
-#[derive(Default)]
-struct Produced {
-    scores: HashMap<(u64, u32), u64>,
-    finals: HashMap<u64, (u64, usize)>,
-}
-
-/// Runs `events` through an in-process engine, recording callbacks.
-fn in_process(model: &Arc<CausalTad>, events: &[Event], cfg: FleetConfig) -> Produced {
-    let produced = Arc::new(Mutex::new(Produced::default()));
-    let score_sink = Arc::clone(&produced);
-    let complete_sink = Arc::clone(&produced);
-    let engine = FleetEngine::builder(Arc::clone(model))
-        .config(cfg)
-        .on_score(move |u: &ScoreUpdate| {
-            score_sink.lock().unwrap().scores.insert((u.id, u.seq), u.score.to_bits());
-        })
-        .on_complete(move |o| {
-            if o.completion == Completion::Ended {
-                complete_sink.lock().unwrap().finals.insert(o.id, (o.score.to_bits(), o.segments));
-            }
-        })
-        .build()
-        .expect("trained model");
-    for &ev in events {
-        engine.submit(ev).unwrap();
-    }
-    engine.shutdown();
-    Arc::try_unwrap(produced).ok().expect("engine gone").into_inner().unwrap()
-}
-
-/// Sends `events` through a client in order (panicking on write errors).
-fn send_events(client: &mut Client, events: &[Event]) {
-    for &ev in events {
-        match ev {
-            Event::TripStart { id, source, dest, time_slot } => {
-                client.trip_start(id, source, dest, time_slot).expect("write")
-            }
-            Event::Segment { id, seg } => client.segment(id, seg).expect("write"),
-            Event::TripEnd { id } => client.trip_end(id).expect("write"),
-        }
-    }
-}
-
-/// Drains a client's queued responses into `produced`, panicking on any
-/// error frame.
-fn drain(client: &mut Client, produced: &mut Produced) {
-    while let Some(resp) = client.try_recv() {
-        match resp {
-            Response::Score(u) => {
-                produced.scores.insert((u.id, u.seq), u.score.to_bits());
-            }
-            Response::TripComplete(tc) => {
-                if tc.completion == Completion::Ended {
-                    produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
-                }
-            }
-            Response::Error { code, trip, detail } => {
-                panic!("unexpected error frame: {code} trip={trip:?} {detail}")
-            }
-            other => panic!("unexpected response: {other:?}"),
-        }
-    }
-}
-
-fn assert_bit_identical(network: &Produced, reference: &Produced) {
-    assert_eq!(network.finals.len(), reference.finals.len(), "final-score count");
-    for (id, reference_final) in &reference.finals {
-        let network_final = network.finals.get(id).unwrap_or_else(|| panic!("trip {id} final"));
-        assert_eq!(network_final, reference_final, "trip {id} final score bits");
-    }
-    assert_eq!(network.scores.len(), reference.scores.len(), "per-segment score count");
-    for (key, bits) in &reference.scores {
-        assert_eq!(network.scores.get(key), Some(bits), "score bits at {key:?}");
-    }
-}
 
 #[test]
 fn network_scores_match_in_process_ingest_bit_exactly() {
@@ -174,6 +55,92 @@ fn network_scores_match_in_process_ingest_bit_exactly() {
     assert_eq!(net_stats.responses_dropped, 0);
     assert_eq!(net_stats.connections_accepted, 1);
     server.shutdown();
+}
+
+/// Multi-connection ingest: several concurrent clients streaming disjoint
+/// trips each receive exactly their own trips' responses — per-trip
+/// response routing never cross-delivers — and the union of what they
+/// received is still bit-identical to in-process ingest.
+#[test]
+fn concurrent_clients_never_cross_deliver_responses() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(9).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+
+    let reference = in_process(model, &events, cfg.clone());
+
+    let server =
+        NetServer::builder(Arc::clone(model)).fleet_config(cfg).bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    const CLIENTS: u64 = 3;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let own: Vec<Event> =
+                events.iter().copied().filter(|ev| trip_of(ev) % CLIENTS == c).collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                send_events(&mut client, &own);
+                client.flush().expect("barrier");
+                let mut got = Produced::default();
+                drain(&mut client, &mut got);
+                got
+            })
+        })
+        .collect();
+    let mut network = Produced::default();
+    for (c, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().expect("client thread");
+        for &(id, _) in got.scores.keys() {
+            assert_eq!(id % CLIENTS, c as u64, "score cross-delivered to client {c}");
+        }
+        for &id in got.finals.keys() {
+            assert_eq!(id % CLIENTS, c as u64, "completion cross-delivered to client {c}");
+        }
+        network.scores.extend(got.scores);
+        network.finals.extend(got.finals);
+    }
+    assert_bit_identical(&network, &reference);
+    let net_stats = server.net_stats();
+    assert_eq!(net_stats.connections_accepted, CLIENTS);
+    assert_eq!(net_stats.responses_dropped, 0);
+    server.shutdown();
+}
+
+/// The read-timeout regression guard: a server that accepts and then
+/// never replies must not hang the blocking client forever — with a
+/// configured read timeout, the barrier fails promptly with the typed
+/// [`ClientError::Timeout`].
+#[test]
+fn read_timeout_turns_a_dead_server_into_a_typed_error() {
+    use std::time::{Duration, Instant};
+
+    // A "server" that accepts the connection, then goes silent while
+    // keeping the socket open (no EOF, no reply — the pathological case a
+    // timeout exists for; a *closed* socket already surfaces as
+    // `Disconnected`).
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let hold = std::thread::spawn(move || {
+        let conn = listener.accept().ok();
+        let _ = release_rx.recv(); // hold the socket open, silently
+        drop(conn);
+    });
+
+    let mut client = Client::connect(addr)
+        .expect("connect")
+        .with_read_timeout(Some(Duration::from_millis(200)))
+        .expect("socket accepts a read timeout");
+    client.trip_start(1, 0, 1, 0).expect("write");
+    let started = Instant::now();
+    match client.flush() {
+        Err(ClientError::Timeout) => {}
+        other => panic!("expected ClientError::Timeout, got {other:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(5), "the timeout must fire promptly, not hang");
+    release_tx.send(()).expect("release the holder");
+    hold.join().expect("holder thread");
 }
 
 /// The remote-warm-restart acceptance test: stream half the fleet into

@@ -8,6 +8,7 @@ use causaltad_suite::net::{
     request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, ErrorCode,
     FrameError, Request, Response, TripComplete,
 };
+use causaltad_suite::router::{backend_for, split_image};
 use causaltad_suite::serve::{
     image_from_bytes, image_to_bytes, Completion, FleetImage, FleetSnapshot, ScoreUpdate,
     SessionRecord, SnapshotCodecError,
@@ -158,6 +159,36 @@ fn arb_response(rng: &mut StdRng) -> Response {
             let image: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
             Response::Snapshot { image: image.into() }
         }
+    }
+}
+
+/// Pins the trip→backend partitioner to golden assignments. The function
+/// is pure, so matching these constants proves determinism across
+/// processes and restarts (no seeded `RandomState` can hide in it) — and
+/// any change to the hash silently re-partitions every live fleet, so it
+/// must show up here as a deliberate, reviewed diff.
+#[test]
+fn partitioner_matches_golden_assignments() {
+    let golden: &[(u64, u32, u32)] = &[
+        (0, 2, 0),
+        (1, 2, 0),
+        (2, 2, 0),
+        (3, 2, 0),
+        (12345, 2, 1),
+        (u64::MAX, 2, 0),
+        (0, 3, 0),
+        (1, 3, 0),
+        (7, 3, 2),
+        (1000, 3, 1),
+        (0, 8, 0),
+        (41, 8, 1),
+        (9999, 8, 7),
+        (1 << 40, 8, 7),
+        (123456789, 16, 0),
+        (u64::MAX, 16, 3),
+    ];
+    for &(trip, backends, want) in golden {
+        assert_eq!(backend_for(trip, backends), want, "backend_for({trip}, {backends})");
     }
 }
 
@@ -371,6 +402,75 @@ proptest! {
                 "flip byte {byte} bit {bit} was accepted"
             );
         }
+    }
+
+    /// The trip→backend assignment is stable (identical on repeated
+    /// calls) and in range for arbitrary trip ids and fleet sizes — the
+    /// stickiness invariant the router tier's bit-exactness rests on.
+    #[test]
+    fn partitioner_is_stable_and_in_range(seed in 0u64..10_000, backends in 1u32..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let trip = rng.gen_range(0u64..u64::MAX);
+            let b = backend_for(trip, backends);
+            prop_assert!(b < backends, "backend_for({trip}, {backends}) = {b}");
+            prop_assert_eq!(b, backend_for(trip, backends));
+        }
+    }
+
+    /// Any trip-id distribution — dense sequential, strided, or uniformly
+    /// random — balances across the fleet within tolerance (every backend
+    /// within 2x of the fair share; the binomial noise at this sample
+    /// size is far smaller).
+    #[test]
+    fn partitioner_balances_arbitrary_id_distributions(seed in 0u64..10_000, backends in 2u32..9) {
+        const TRIPS: u64 = 4096;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = rng.gen_range(0u64..u64::MAX / 2);
+        let stride = rng.gen_range(1u64..1_000_000);
+        for mode in 0..3 {
+            let mut counts = vec![0u64; backends as usize];
+            for i in 0..TRIPS {
+                let trip = match mode {
+                    0 => i,
+                    1 => base.wrapping_add(i.wrapping_mul(stride)),
+                    _ => rng.gen_range(0u64..u64::MAX),
+                };
+                counts[backend_for(trip, backends) as usize] += 1;
+            }
+            let mean = TRIPS / u64::from(backends);
+            for (b, &c) in counts.iter().enumerate() {
+                prop_assert!(
+                    c > mean / 2 && c < mean * 2,
+                    "mode {} backend {}/{} got {} of {} trips (mean {})",
+                    mode, b, backends, c, TRIPS, mean
+                );
+            }
+        }
+    }
+
+    /// `split_image` routes every captured session to exactly the backend
+    /// the router will send its future events to, loses nothing, and
+    /// merging the parts reproduces the original session set — the
+    /// restore-alignment invariant behind N→M warm restarts.
+    #[test]
+    fn split_image_aligns_with_trip_routing(seed in 0u64..10_000, n in 0usize..33, backends in 1u32..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let image = arb_image(n, &mut rng);
+        let parts = split_image(image.clone(), backends);
+        prop_assert_eq!(parts.len(), backends as usize);
+        let total: usize = parts.iter().map(|p| p.sessions.len()).sum();
+        prop_assert_eq!(total, image.sessions.len());
+        for (idx, part) in parts.iter().enumerate() {
+            for rec in &part.sessions {
+                prop_assert_eq!(backend_for(rec.id, backends), idx as u32);
+            }
+        }
+        let mut merged = FleetImage::merge(parts);
+        merged.sessions.sort_by_key(|r| r.id);
+        let mut want = image.sessions;
+        want.sort_by_key(|r| r.id);
+        prop_assert_eq!(merged.sessions, want);
     }
 
     /// Every wire request frame type round-trips byte-for-byte:

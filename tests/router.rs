@@ -1,0 +1,367 @@
+//! End-to-end equivalence battery for the `tad-router` tier: scores fed
+//! through a router over N independent `tad-net` backends are
+//! **bit-identical** to a single in-process `FleetEngine` ingesting the
+//! same event stream — for every cohort composition, across fleet sizes,
+//! across a routed snapshot captured from N backends and restored onto M,
+//! and under partial failure (a dead backend surfaces typed errors while
+//! healthy backends keep scoring).
+//!
+//! Bit-exactness holds because the router preserves per-trip event order
+//! end to end (pure trip→backend assignment, one FIFO pipeline per
+//! backend) and `CausalTad::push_batch` is bit-identical to sequential
+//! `push_state` for every cohort composition — so it does not matter
+//! which engine a trip lands on or how its events batch up there.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use causaltad_suite::core::CausalTad;
+use causaltad_suite::net::{Client, ClientError, ErrorCode, NetServer, Response};
+use causaltad_suite::router::{backend_for, split_image, RouterServer};
+use causaltad_suite::serve::{image_from_bytes, Completion, Event, FleetConfig};
+use causaltad_suite::trajsim::Trajectory;
+use common::{
+    assert_bit_identical, drain, in_process, interleave, send_events, trained, trip_of, Produced,
+};
+
+/// Spins up `n` independent backend servers and a router over all of them.
+fn spawn_fleet(
+    model: &Arc<CausalTad>,
+    n: usize,
+    cfg: FleetConfig,
+) -> (Vec<NetServer>, RouterServer) {
+    let backends: Vec<NetServer> = (0..n)
+        .map(|_| {
+            NetServer::builder(Arc::clone(model))
+                .fleet_config(cfg.clone())
+                .bind("127.0.0.1:0")
+                .expect("bind backend")
+        })
+        .collect();
+    let router = RouterServer::builder()
+        .backends(backends.iter().map(|b| b.local_addr()))
+        .bind("127.0.0.1:0")
+        .expect("bind router");
+    (backends, router)
+}
+
+/// The core acceptance test: for 2- and 3-backend fleets, every
+/// per-segment and final score produced through the router is
+/// bit-identical to one in-process engine fed the same stream, the
+/// aggregated `Flush` stats count the whole fleet, and each backend saw
+/// exactly its partition of the trips.
+#[test]
+fn routed_scores_match_in_process_ingest_bit_exactly() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(12).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+
+    let reference = in_process(model, &events, cfg.clone());
+    assert_eq!(reference.finals.len(), trips.len());
+
+    for n_backends in [2usize, 3] {
+        let (backends, router) = spawn_fleet(model, n_backends, cfg.clone());
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+        send_events(&mut client, &events);
+        let stats = client.flush().expect("fleet-wide barrier");
+        assert_eq!(stats.trips_completed, trips.len() as u64, "aggregated completion count");
+        assert_eq!(stats.rejected, 0);
+
+        let mut routed = Produced::default();
+        drain(&mut client, &mut routed);
+        assert_bit_identical(&routed, &reference);
+
+        // Trip stickiness: each backend engine started exactly the trips
+        // the partitioner assigns it, and nothing else.
+        for (idx, backend) in backends.iter().enumerate() {
+            let own = (0..trips.len() as u64)
+                .filter(|&id| backend_for(id, n_backends as u32) == idx as u32)
+                .count() as u64;
+            assert_eq!(backend.stats().trips_started, own, "backend {idx} partition");
+        }
+        let rstats = router.stats();
+        assert_eq!(rstats.responses_dropped, 0);
+        assert_eq!(rstats.backends_alive, n_backends as u64);
+        router.shutdown();
+        for backend in backends {
+            backend.shutdown();
+        }
+    }
+}
+
+/// The routed warm-restart acceptance test: stream half the fleet through
+/// a router over 2 backends, capture the **merged** snapshot over the
+/// wire, kill the whole tier, re-partition the capture onto 3 fresh
+/// backends with `split_image`, finish the stream through a new router —
+/// and require every score across both phases to be bit-identical to one
+/// uninterrupted in-process engine.
+#[test]
+fn routed_snapshot_restores_n_to_m_bit_exactly() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(10).collect();
+    let events = interleave(&trips);
+    let split = trips.len() + (events.len() - trips.len()) * 2 / 5;
+    let cfg = || FleetConfig { num_shards: 2, max_batch: 32, ..FleetConfig::default() };
+
+    let reference = in_process(model, &events, cfg());
+
+    let mut routed = Produced::default();
+
+    // Phase A: 2 backends, half the traffic, merged snapshot over the wire.
+    let (backends_a, router_a) = spawn_fleet(model, 2, cfg());
+    let mut client_a = Client::connect(router_a.local_addr()).expect("connect");
+    send_events(&mut client_a, &events[..split]);
+    client_a.flush().expect("barrier");
+    let blob = client_a.snapshot().expect("merged snapshot over the wire");
+    drain(&mut client_a, &mut routed);
+    drop(client_a);
+    router_a.shutdown();
+    for backend in backends_a {
+        backend.shutdown(); // the "crash": every live session is gone
+    }
+
+    // Phase B: re-partition the 2-backend capture onto a 3-backend fleet.
+    let image = image_from_bytes(blob).expect("merged blob decodes");
+    let captured = image.sessions.len();
+    assert!(captured > 0, "capture point should leave sessions in flight");
+    let parts = split_image(image, 3);
+    for (idx, part) in parts.iter().enumerate() {
+        for rec in &part.sessions {
+            assert_eq!(
+                backend_for(rec.id, 3),
+                idx as u32,
+                "restore partition must align with event routing"
+            );
+        }
+    }
+    let backends_b: Vec<NetServer> = parts
+        .into_iter()
+        .map(|part| {
+            NetServer::builder(Arc::clone(model))
+                .fleet_config(FleetConfig {
+                    num_shards: 3,
+                    max_batch: 32,
+                    ..FleetConfig::default()
+                })
+                .resume(part)
+                .bind("127.0.0.1:0")
+                .expect("bind restored backend")
+        })
+        .collect();
+    let router_b = RouterServer::builder()
+        .backends(backends_b.iter().map(|b| b.local_addr()))
+        .bind("127.0.0.1:0")
+        .expect("bind router");
+    let mut client_b = Client::connect(router_b.local_addr()).expect("connect");
+    send_events(&mut client_b, &events[split..]);
+    let stats = client_b.flush().expect("barrier");
+    assert_eq!(stats.sessions_restored, captured as u64, "aggregated restore count");
+    drain(&mut client_b, &mut routed);
+
+    assert_bit_identical(&routed, &reference);
+    assert_eq!(router_b.stats().responses_dropped, 0);
+    router_b.shutdown();
+    for backend in backends_b {
+        backend.shutdown();
+    }
+}
+
+/// Fan-in isolation: two producers streaming disjoint trips through the
+/// same router concurrently each receive exactly their own trips'
+/// responses (their union still bit-identical to in-process ingest), and
+/// a `TripStart` for an id another live connection owns is refused with a
+/// typed reject that does not disturb the owner.
+#[test]
+fn router_fans_in_to_the_owning_front_connection_only() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(8).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+
+    let reference = in_process(model, &events, cfg.clone());
+
+    let (backends, router) = spawn_fleet(model, 2, cfg);
+    let addr = router.local_addr();
+    let handles: Vec<_> = (0..2u64)
+        .map(|producer| {
+            let own: Vec<Event> =
+                events.iter().copied().filter(|ev| trip_of(ev) % 2 == producer).collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                send_events(&mut client, &own);
+                client.flush().expect("barrier");
+                let mut got = Produced::default();
+                drain(&mut client, &mut got);
+                got
+            })
+        })
+        .collect();
+    let mut routed = Produced::default();
+    for (producer, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().expect("producer thread");
+        for &(id, _) in got.scores.keys() {
+            assert_eq!(id % 2, producer as u64, "cross-delivered score");
+        }
+        for &id in got.finals.keys() {
+            assert_eq!(id % 2, producer as u64, "cross-delivered completion");
+        }
+        routed.scores.extend(got.scores);
+        routed.finals.extend(got.finals);
+    }
+    assert_bit_identical(&routed, &reference);
+
+    // Ownership is enforced at the router: a second connection cannot
+    // start a trip a live connection owns.
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let mut owner = Client::connect(addr).expect("connect");
+    let mut intruder = Client::connect(addr).expect("connect");
+    owner.trip_start(100, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    owner.flush().expect("barrier");
+    intruder.trip_start(100, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    intruder.flush().expect("barrier");
+    match intruder.try_recv() {
+        Some(Response::Error { code: ErrorCode::Rejected, trip: Some(100), .. }) => {}
+        other => panic!("expected Rejected for trip 100, got {other:?}"),
+    }
+    owner.segment(100, t.segments[0].0).expect("write");
+    owner.trip_end(100).expect("write");
+    owner.flush().expect("barrier");
+    let mut scored = 0;
+    let mut completed = false;
+    while let Some(resp) = owner.try_recv() {
+        match resp {
+            Response::Score(u) => {
+                assert_eq!(u.id, 100);
+                scored += 1;
+            }
+            Response::TripComplete(tc) => {
+                assert_eq!((tc.id, tc.completion), (100, Completion::Ended));
+                completed = true;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!((scored, completed), (1, true), "the owner's trip was undisturbed");
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+/// Fault injection: killing one backend mid-stream surfaces typed
+/// `EngineClosed` errors for its trips to the affected front connection —
+/// both for the loss itself and for any later event routed to the dead
+/// backend — while trips on the healthy backend keep scoring, complete
+/// normally, and the fleet-wide flush barrier still answers.
+#[test]
+fn dead_backend_surfaces_typed_errors_without_stalling_healthy_trips() {
+    let (city, model) = trained();
+    let id_dead = (0..).find(|&i| backend_for(i, 2) == 0).expect("some id maps to backend 0");
+    let id_live = (0..).find(|&i| backend_for(i, 2) == 1).expect("some id maps to backend 1");
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let cfg = FleetConfig { num_shards: 1, ..FleetConfig::default() };
+    let (mut backends, router) = spawn_fleet(model, 2, cfg);
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+
+    for &id in &[id_dead, id_live] {
+        client.trip_start(id, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+        client.segment(id, t.segments[0].0).expect("write");
+    }
+    client.flush().expect("both backends healthy");
+
+    // Kill the backend owning `id_dead`; wait for the router to notice
+    // the dead link (it learns asynchronously, from the broken socket).
+    backends.remove(0).shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.stats().backends_alive != 1 {
+        assert!(Instant::now() < deadline, "router never noticed the dead backend");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    client.segment(id_dead, t.segments[1].0).expect("write");
+    client.segment(id_live, t.segments[1].0).expect("write");
+    client.trip_end(id_live).expect("write");
+    let stats = client.flush().expect("flush must still answer over the surviving backend");
+    assert_eq!(stats.trips_completed, 1);
+
+    let mut dead_errors = 0;
+    let mut live_scores = 0;
+    let mut live_final = None;
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Error { code: ErrorCode::EngineClosed, trip: Some(id), .. } => {
+                assert_eq!(id, id_dead, "only the dead backend's trip errors");
+                dead_errors += 1;
+            }
+            Response::Score(u) => {
+                if u.id == id_live {
+                    live_scores += 1;
+                } else {
+                    assert_eq!(u.id, id_dead, "pre-kill score for the doomed trip");
+                }
+            }
+            Response::TripComplete(tc) => {
+                assert_eq!((tc.id, tc.completion), (id_live, Completion::Ended));
+                live_final = Some(tc);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(dead_errors >= 1, "the dead trip surfaced at least one typed error");
+    assert_eq!(live_scores, 2, "the healthy trip scored every segment");
+    assert_eq!(live_final.expect("healthy trip completed").segments(), 2);
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+/// Liveness under racing failure: fleet-wide flush barriers hammered
+/// while a backend dies mid-stream must *always* resolve — with
+/// aggregated stats (before the kill, or over the survivor once the dead
+/// link is noticed) or a typed barrier failure (when the kill lands
+/// mid-barrier) — never by hanging. This is the regression guard for the
+/// staging race where a barrier accepted onto a dying backend's channel
+/// missed both the wire and the backend-down sweep.
+#[test]
+fn flush_barriers_racing_a_backend_kill_always_resolve() {
+    let (_, model) = trained();
+    let cfg = FleetConfig { num_shards: 1, ..FleetConfig::default() };
+    let (mut backends, router) = spawn_fleet(model, 2, cfg);
+    let mut client = Client::connect(router.local_addr())
+        .expect("connect")
+        .with_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout set");
+
+    let victim = backends.remove(0);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(5));
+        victim.shutdown();
+    });
+    let mut served = 0usize;
+    let mut failed = 0usize;
+    for _ in 0..200 {
+        match client.flush() {
+            Ok(_) => served += 1,
+            // The kill landed mid-barrier: a typed failure, not a hang.
+            Err(ClientError::Server { .. }) => failed += 1,
+            Err(ClientError::Timeout) => {
+                panic!(
+                    "flush hung: a barrier was never resolved (after {served} ok, {failed} failed)"
+                )
+            }
+            Err(other) => panic!("unexpected flush failure: {other}"),
+        }
+    }
+    killer.join().expect("killer thread");
+    assert!(served > 0, "flushes must keep being served before and after the kill");
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
