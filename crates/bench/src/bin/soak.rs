@@ -1,0 +1,271 @@
+//! Cluster soak harness: drives the full serving stack — `tad-router`
+//! front door over N `tad-net` backends — at its design point
+//! (O(10⁵) concurrent mixed-length trips with churn) and reports the
+//! fleet-wide latency histograms the run produced, pulled over the wire
+//! with a single `MetricsRequest` against the router.
+//!
+//! The workload is round-based: every open trip streams one segment per
+//! round, trips have mixed lengths (8–40 segments, deterministic per trip
+//! id), and each finished trip is immediately replaced by a fresh one so
+//! the concurrency level holds steady while trip ids churn. Every round
+//! ends at a flush barrier, so the harness can assert the zero-loss
+//! contract: every streamed segment came back scored.
+//!
+//! Output: `BENCH_soak.json` at the workspace root (override with
+//! `SOAK_OUT`) carrying sustained segments/s plus p50/p99/p999 of
+//! `serve.score_latency_ns` across the whole fleet.
+//!
+//! Knobs (environment):
+//! * `SOAK_QUICK=1` — CI smoke scale (2 000 trips, 12 rounds).
+//! * `SOAK_TRIPS` — concurrent trips (default 100 000).
+//! * `SOAK_ROUNDS` — streaming rounds (default 48).
+//! * `SOAK_OUT` — artefact path.
+//!
+//! In every mode the harness also proves the observability path honest:
+//! the wire-merged fleet snapshot's `serve.*` entries must be
+//! **bit-identical** (struct equality *and* re-encoded bytes) to merging
+//! each backend's in-process registry directly — the same invariant the
+//! CI quick run gates on.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use causaltad::{CausalTad, CausalTadConfig};
+use tad_bench::fleet_walks;
+use tad_eval::cities::{xian_s, Scale};
+use tad_metrics::{snapshot_to_bytes, HistogramSnapshot, MetricsSnapshot};
+use tad_net::{Client, NetServer, Response};
+use tad_router::RouterServer;
+use tad_serve::FleetConfig;
+
+const BACKENDS: usize = 2;
+const PRODUCERS: usize = 4;
+const MIN_LEN: u64 = 8;
+const MAX_LEN: u64 = 40;
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Mixed trip lengths, deterministic in the trip id so respawned trips
+/// keep the distribution without any shared RNG.
+fn trip_len(id: u64) -> u64 {
+    MIN_LEN + (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % (MAX_LEN - MIN_LEN + 1)
+}
+
+fn trained_model() -> Arc<CausalTad> {
+    let city = tad_trajsim::generate_city(&xian_s(Scale::Quick));
+    let cfg = CausalTadConfig { epochs: 1, ..CausalTadConfig::test_scale() };
+    let mut model = CausalTad::new(&city.net, cfg);
+    model.fit(&city.data.train);
+    Arc::new(model)
+}
+
+/// One producer: owns `trips` concurrent trips, streams one segment per
+/// trip per round, replaces finished trips, flushes each round, and
+/// counts scores. Returns (segments scored, trips completed).
+fn producer(
+    addr: std::net::SocketAddr,
+    walks: Arc<Vec<Vec<u32>>>,
+    first_id: u64,
+    id_stride: u64,
+    trips: usize,
+    rounds: usize,
+) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("connect producer");
+    // Live trips: (id, walk index, next step).
+    let mut live: Vec<(u64, usize, u64)> = Vec::with_capacity(trips);
+    let mut next_id = first_id;
+    let mut spawn = |client: &mut Client, live: &mut Vec<(u64, usize, u64)>| {
+        let id = next_id;
+        next_id += id_stride;
+        let walk = &walks[(id % walks.len() as u64) as usize];
+        client
+            .trip_start(id, walk[0], *walk.last().expect("non-empty"), (id % 24) as u8)
+            .expect("write start");
+        live.push((id, (id % walks.len() as u64) as usize, 0));
+    };
+    for _ in 0..trips {
+        spawn(&mut client, &mut live);
+    }
+    let mut scored = 0u64;
+    let mut completed = 0u64;
+    for _ in 0..rounds {
+        let mut sent = 0u64;
+        let mut respawn = 0usize;
+        live.retain_mut(|(id, widx, step)| {
+            let walk = &walks[*widx];
+            // Cycle the pool walk when the trip outlives it: segments stay
+            // in-vocab, which is all the engine requires.
+            let seg = walk[(*step % walk.len() as u64) as usize];
+            client.segment(*id, seg).expect("write segment");
+            sent += 1;
+            *step += 1;
+            if *step >= trip_len(*id) {
+                client.trip_end(*id).expect("write end");
+                respawn += 1;
+                false
+            } else {
+                true
+            }
+        });
+        // Churn: hold the concurrency level by starting one trip per
+        // finished trip, before the barrier so the starts ride the same
+        // batch of writes.
+        for _ in 0..respawn {
+            spawn(&mut client, &mut live);
+        }
+        client.flush().expect("round barrier");
+        let mut got = 0u64;
+        while let Some(resp) = client.try_recv() {
+            match resp {
+                Response::Score(_) => {
+                    scored += 1;
+                    got += 1;
+                }
+                Response::TripComplete(_) => completed += 1,
+                other => panic!("unexpected response in soak: {other:?}"),
+            }
+        }
+        assert_eq!(got, sent, "a round's segments must all come back scored at its barrier");
+    }
+    // Close out still-open trips so the backends end the run empty.
+    for &(id, _, _) in &live {
+        client.trip_end(id).expect("write final end");
+    }
+    client.flush().expect("final barrier");
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(_) => scored += 1,
+            Response::TripComplete(_) => completed += 1,
+            other => panic!("unexpected response in soak: {other:?}"),
+        }
+    }
+    (scored, completed)
+}
+
+fn quantiles(h: &HistogramSnapshot) -> (u64, u64, u64) {
+    (h.p50(), h.p99(), h.p999())
+}
+
+fn main() {
+    let quick = env_flag("SOAK_QUICK");
+    let trips = env_usize("SOAK_TRIPS", if quick { 2_000 } else { 100_000 });
+    let rounds = env_usize("SOAK_ROUNDS", if quick { 12 } else { 48 });
+
+    eprintln!("soak: training model (quick={quick})...");
+    let model = trained_model();
+    let walks = Arc::new(fleet_walks(&model, 256, MAX_LEN as usize, 1234));
+
+    let fleet_cfg = FleetConfig {
+        num_shards: 2,
+        queue_capacity: 65_536,
+        // The design point is O(10^5) live sessions; neither the TTL nor
+        // the LRU cap may reap them mid-soak.
+        session_ttl: std::time::Duration::from_secs(3_600),
+        max_sessions_per_shard: trips,
+        ..FleetConfig::default()
+    };
+    let backends: Vec<NetServer> = (0..BACKENDS)
+        .map(|_| {
+            NetServer::builder(Arc::clone(&model))
+                .fleet_config(fleet_cfg.clone())
+                .bind("127.0.0.1:0")
+                .expect("bind backend")
+        })
+        .collect();
+    let router = RouterServer::builder()
+        .backends(backends.iter().map(|s| s.local_addr()))
+        .bind("127.0.0.1:0")
+        .expect("bind router");
+    let front = router.local_addr();
+    eprintln!(
+        "soak: router {front} over {BACKENDS} backends, {trips} concurrent trips x {rounds} rounds"
+    );
+
+    let per_producer = trips / PRODUCERS;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..PRODUCERS as u64)
+        .map(|p| {
+            let walks = Arc::clone(&walks);
+            std::thread::spawn(move || {
+                producer(front, walks, p, PRODUCERS as u64, per_producer, rounds)
+            })
+        })
+        .collect();
+    let mut scored = 0u64;
+    let mut completed = 0u64;
+    for handle in handles {
+        let (s, c) = handle.join().expect("producer thread");
+        scored += s;
+        completed += c;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let seg_per_s = scored as f64 / elapsed;
+    eprintln!(
+        "soak: {scored} segments scored, {completed} trips completed in {elapsed:.1}s \
+         ({seg_per_s:.1} seg/s sustained)"
+    );
+
+    // --- Fleet metrics over the wire, and the honesty proof. -------------
+    let mut admin = Client::connect(front).expect("connect admin");
+    admin.flush().expect("fleet quiesce");
+    let fleet = admin.metrics().expect("fleet metrics over the wire");
+
+    // The wire-merged `serve.*` view must be bit-identical to merging the
+    // backends' in-process registries: same structs, same encoded bytes.
+    let in_process: Vec<MetricsSnapshot> = backends.iter().map(|s| s.metrics()).collect();
+    let expect = MetricsSnapshot::merged(&in_process).with_prefix("serve.");
+    let got = fleet.with_prefix("serve.");
+    assert_eq!(got, expect, "wire-merged serve.* metrics must equal in-process aggregation");
+    assert_eq!(
+        snapshot_to_bytes(&got),
+        snapshot_to_bytes(&expect),
+        "wire-merged serve.* metrics must re-encode to identical bytes"
+    );
+    eprintln!("soak: wire-merged fleet metrics are bit-identical to in-process aggregation");
+
+    let score_latency =
+        fleet.histogram("serve.score_latency_ns").expect("fleet score-latency histogram");
+    assert_eq!(
+        score_latency.count, scored,
+        "the fleet histogram must hold exactly one sample per scored segment"
+    );
+    let (p50, p99, p999) = quantiles(score_latency);
+    let decode = fleet.histogram("net.frame_decode_ns").expect("frame-decode histogram");
+    let (d50, d99, d999) = quantiles(decode);
+    let batch = fleet.histogram("serve.batch_width").expect("batch-width histogram");
+
+    router.shutdown();
+    let live_left: u64 = backends.into_iter().map(|s| s.shutdown().active_sessions).sum();
+    assert_eq!(live_left, 0, "every soak trip must have been ended");
+
+    let out = format!(
+        "{{\n  \"workload\": {{\"concurrent_trips\": {trips}, \"rounds\": {rounds}, \
+         \"producers\": {PRODUCERS}, \"backends\": {BACKENDS}, \"trip_len\": [{MIN_LEN}, {MAX_LEN}], \
+         \"quick_mode\": {quick}}},\n  \
+         \"sustained\": {{\"elapsed_s\": {elapsed:.3}, \"segments_scored\": {scored}, \
+         \"trips_completed\": {completed}, \"segments_per_s\": {seg_per_s:.1}}},\n  \
+         \"score_latency_ns\": {{\"count\": {}, \"p50\": {p50}, \"p99\": {p99}, \"p999\": {p999}, \
+         \"mean\": {:.1}}},\n  \
+         \"frame_decode_ns\": {{\"p50\": {d50}, \"p99\": {d99}, \"p999\": {d999}}},\n  \
+         \"batch_width\": {{\"p50\": {}, \"p99\": {}, \"mean\": {:.1}}}\n}}\n",
+        score_latency.count,
+        score_latency.mean(),
+        batch.p50(),
+        batch.p99(),
+        batch.mean(),
+    );
+    let path = std::env::var("SOAK_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json").to_string()
+    });
+    match std::fs::write(&path, &out) {
+        Ok(()) => eprintln!("soak: wrote {path}"),
+        Err(e) => eprintln!("soak: warning: cannot write {path}: {e}"),
+    }
+    print!("{out}");
+}

@@ -1,0 +1,62 @@
+//! Plain-text exposition of a [`MetricsSnapshot`] in the familiar
+//! `name{label} value` shape, for logs and human eyes.
+
+use crate::registry::{MetricValue, MetricsSnapshot};
+
+/// Renders a snapshot as exposition text: one `# TYPE` line per metric,
+/// counters and gauges as single samples, histograms as
+/// `quantile="0.5|0.99|0.999"` samples plus `_sum`/`_count`/`_min`/`_max`.
+/// Dots in registry names become underscores so the output stays within
+/// the conventional `[a-zA-Z0-9_]` metric-name alphabet.
+pub fn render_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for entry in &snapshot.entries {
+        let name: String =
+            entry.name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+                    out.push_str(&format!("{name}{{quantile=\"{label}\"}} {}\n", h.quantile(q)));
+                }
+                out.push_str(&format!("{name}_sum {}\n", h.sum));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+                if !h.is_empty() {
+                    out.push_str(&format!("{name}_min {}\n", h.min));
+                    out.push_str(&format!("{name}_max {}\n", h.max));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn renders_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("net.frames_in").add(42);
+        reg.gauge("serve.queue_depth").add(3);
+        let h = reg.histogram("serve.score_latency_ns");
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let text = render_text(&reg.snapshot());
+        assert!(text.contains("# TYPE net_frames_in counter\nnet_frames_in 42\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n"));
+        assert!(text.contains("serve_score_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("serve_score_latency_ns_count 100\n"));
+        assert!(text.contains("serve_score_latency_ns_min 1\n"));
+        assert!(text.contains("serve_score_latency_ns_max 100\n"));
+    }
+}

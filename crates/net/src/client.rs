@@ -22,6 +22,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use bytes::Bytes;
+use tad_metrics::MetricsSnapshot;
 use tad_serve::{FleetSnapshot, TripId};
 
 use crate::frame::{ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME};
@@ -233,6 +234,28 @@ impl Client {
         loop {
             match self.read_one()? {
                 Response::Snapshot { image } => return Ok(image),
+                resp => self.queue_or_fail(resp)?,
+            }
+        }
+    }
+
+    /// Metrics barrier: sends [`Request::MetricsRequest`] and blocks until
+    /// the server's [`Response::Metrics`] snapshot arrives. Against a
+    /// single server this is the engine + net-layer registry; against a
+    /// `tad-router` admin endpoint it is the fleet-wide merge of every
+    /// live backend's snapshot plus the router's own `router.*` metrics.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] / [`ClientError::Frame`] on transport failures,
+    /// [`ClientError::Disconnected`] when the server hangs up first, and
+    /// [`ClientError::Server`] when the server reports a fatal error
+    /// instead.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.send(&Request::MetricsRequest)?;
+        self.flush_writes()?;
+        loop {
+            match self.read_one()? {
+                Response::Metrics(snapshot) => return Ok(snapshot),
                 resp => self.queue_or_fail(resp)?,
             }
         }

@@ -20,6 +20,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use causaltad::envelope::{open_envelope, seal_envelope, EnvelopeError};
 use causaltad::SegmentTrace;
+use tad_metrics::{snapshot_from_bytes, snapshot_to_bytes, MetricsSnapshot};
 use tad_serve::{Completion, Event, FleetSnapshot, ScoreUpdate, TripId, TripOutcome};
 
 /// Magic bytes opening every wire frame.
@@ -40,12 +41,14 @@ const TAG_SEGMENT: u8 = 0x02;
 const TAG_TRIP_END: u8 = 0x03;
 const TAG_FLUSH: u8 = 0x04;
 const TAG_SNAPSHOT_REQUEST: u8 = 0x05;
+const TAG_METRICS_REQUEST: u8 = 0x06;
 
 const TAG_SCORE: u8 = 0x10;
 const TAG_TRIP_COMPLETE: u8 = 0x11;
 const TAG_STATS: u8 = 0x12;
 const TAG_ERROR: u8 = 0x13;
 const TAG_SNAPSHOT: u8 = 0x14;
+const TAG_METRICS: u8 = 0x15;
 
 /// One client→server frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,6 +86,11 @@ pub enum Request {
     /// Ask for a fleet snapshot ([`tad_serve::FleetImage`] bytes) for
     /// remote warm restart; answered with [`Response::Snapshot`].
     SnapshotRequest,
+    /// Ask for the server's latency/throughput metrics; answered with
+    /// [`Response::Metrics`]. A `tad-router` answers with the merged
+    /// snapshot of every backend behind it plus its own `router.*`
+    /// metrics — one frame, one fleet view.
+    MetricsRequest,
 }
 
 impl Request {
@@ -95,7 +103,7 @@ impl Request {
             }
             Request::Segment { id, seg } => Some(Event::Segment { id, seg }),
             Request::TripEnd { id } => Some(Event::TripEnd { id }),
-            Request::Flush | Request::SnapshotRequest => None,
+            Request::Flush | Request::SnapshotRequest | Request::MetricsRequest => None,
         }
     }
 }
@@ -255,6 +263,12 @@ pub enum Response {
         /// The snapshot blob.
         image: Bytes,
     },
+    /// Reply to [`Request::MetricsRequest`]: the server's metrics
+    /// snapshot (a `TADM` blob on the wire, decoded here). From a router
+    /// this is the fleet-merged view; [`MetricsSnapshot::merged`] is
+    /// exactly associative, so the wire merge is bit-identical to an
+    /// in-process aggregation of the same per-backend snapshots.
+    Metrics(MetricsSnapshot),
 }
 
 /// Why a frame failed to decode. Decoding is total: hostile bytes always
@@ -346,6 +360,7 @@ pub fn request_to_bytes(req: &Request) -> Bytes {
         }
         Request::Flush => payload.put_u8(TAG_FLUSH),
         Request::SnapshotRequest => payload.put_u8(TAG_SNAPSHOT_REQUEST),
+        Request::MetricsRequest => payload.put_u8(TAG_METRICS_REQUEST),
     }
     seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze())
 }
@@ -419,6 +434,12 @@ pub fn response_to_bytes(resp: &Response) -> Bytes {
             payload.put_u8(TAG_SNAPSHOT);
             payload.put_slice(image);
         }
+        Response::Metrics(snapshot) => {
+            // Same remainder-is-the-blob layout as Snapshot; the TADM
+            // codec is canonical, so this frame re-encodes byte-for-byte.
+            payload.put_u8(TAG_METRICS);
+            payload.put_slice(&snapshot_to_bytes(snapshot));
+        }
     }
     seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze())
 }
@@ -460,7 +481,8 @@ pub fn request_from_bytes(bytes: Bytes) -> Result<Request, FrameError> {
         }
         TAG_FLUSH => Request::Flush,
         TAG_SNAPSHOT_REQUEST => Request::SnapshotRequest,
-        TAG_SCORE | TAG_TRIP_COMPLETE | TAG_STATS | TAG_ERROR | TAG_SNAPSHOT => {
+        TAG_METRICS_REQUEST => Request::MetricsRequest,
+        TAG_SCORE | TAG_TRIP_COMPLETE | TAG_STATS | TAG_ERROR | TAG_SNAPSHOT | TAG_METRICS => {
             return Err(FrameError::UnexpectedKind { expected: "request", got: "response" });
         }
         other => return Err(FrameError::UnknownTag(other)),
@@ -583,7 +605,15 @@ pub fn response_from_bytes(bytes: Bytes) -> Result<Response, FrameError> {
             let len = payload.remaining();
             Response::Snapshot { image: payload.copy_to_bytes(len) }
         }
-        TAG_TRIP_START | TAG_SEGMENT | TAG_TRIP_END | TAG_FLUSH | TAG_SNAPSHOT_REQUEST => {
+        TAG_METRICS => {
+            let len = payload.remaining();
+            let blob = payload.copy_to_bytes(len);
+            Response::Metrics(
+                snapshot_from_bytes(blob).map_err(|_| FrameError::Malformed("metrics blob"))?,
+            )
+        }
+        TAG_TRIP_START | TAG_SEGMENT | TAG_TRIP_END | TAG_FLUSH | TAG_SNAPSHOT_REQUEST
+        | TAG_METRICS_REQUEST => {
             return Err(FrameError::UnexpectedKind { expected: "response", got: "request" });
         }
         other => return Err(FrameError::UnknownTag(other)),
@@ -605,7 +635,18 @@ mod tests {
             Request::TripEnd { id: 7 },
             Request::Flush,
             Request::SnapshotRequest,
+            Request::MetricsRequest,
         ]
+    }
+
+    pub(crate) fn sample_metrics() -> MetricsSnapshot {
+        let reg = tad_metrics::Registry::new();
+        reg.counter("net.backpressure_replies").add(3);
+        reg.gauge("serve.ingest_inflight").add(-2);
+        let h = reg.histogram("serve.score_latency_ns");
+        h.record(900);
+        h.record_n(125_000, 64);
+        reg.snapshot()
     }
 
     pub(crate) fn sample_responses() -> Vec<Response> {
@@ -652,6 +693,8 @@ mod tests {
             },
             Response::Error { code: ErrorCode::EngineClosed, trip: None, detail: String::new() },
             Response::Snapshot { image: Bytes::from(vec![1u8, 2, 3, 4]) },
+            Response::Metrics(sample_metrics()),
+            Response::Metrics(MetricsSnapshot::default()),
         ]
     }
 

@@ -23,12 +23,14 @@
 //! Requests (client→server) use tags `0x01..=0x0F`:
 //! [`Request::TripStart`] (0x01), [`Request::Segment`] (0x02),
 //! [`Request::TripEnd`] (0x03), [`Request::Flush`] (0x04),
-//! [`Request::SnapshotRequest`] (0x05). Responses (server→client) use
-//! `0x10..=0x1F`: [`Response::Score`] (0x10), [`Response::TripComplete`]
-//! (0x11), [`Response::Stats`] (0x12), [`Response::Error`] (0x13),
-//! [`Response::Snapshot`] (0x14). Decoding is total — hostile bytes
-//! produce typed [`FrameError`]s, never panics — and readers refuse
-//! frames longer than their cap *before* allocating.
+//! [`Request::SnapshotRequest`] (0x05), [`Request::MetricsRequest`]
+//! (0x06). Responses (server→client) use `0x10..=0x1F`:
+//! [`Response::Score`] (0x10), [`Response::TripComplete`] (0x11),
+//! [`Response::Stats`] (0x12), [`Response::Error`] (0x13),
+//! [`Response::Snapshot`] (0x14), [`Response::Metrics`] (0x15).
+//! Decoding is total — hostile bytes produce typed [`FrameError`]s, never
+//! panics — and readers refuse frames longer than their cap *before*
+//! allocating.
 //!
 //! ## Semantics
 //!
@@ -50,6 +52,12 @@
 //!   wire for **remote warm restart**: feed the blob to
 //!   [`NetServerBuilder::resume`] on another host and scoring continues
 //!   bit-identically.
+//! * `MetricsRequest` serves the server's whole
+//!   [`tad_metrics::MetricsSnapshot`] — latency histograms and counters
+//!   for the engine (`serve.*`) and the network layer (`net.*`), one
+//!   shared registry — so an operator (or the `tad-router` fan-in, which
+//!   merges every backend's reply into one fleet view) scrapes a single
+//!   frame.
 //!
 //! ## Quickstart
 //!
@@ -86,5 +94,7 @@ pub use frame::{
     FrameError, Request, Response, TripComplete, DEFAULT_MAX_FRAME, FRAME_MAGIC, FRAME_VERSION,
     MAX_ERROR_DETAIL,
 };
-pub use server::{NetConfig, NetError, NetServer, NetServerBuilder, NetStats};
-pub use wire::{read_request, read_response, write_request, write_response, RecvError};
+pub use server::{ConnectionStats, NetConfig, NetError, NetServer, NetServerBuilder, NetStats};
+pub use wire::{
+    read_request, read_request_timed, read_response, write_request, write_response, RecvError,
+};

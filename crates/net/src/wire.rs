@@ -119,8 +119,25 @@ fn read_frame_bytes(r: &mut impl Read, max_payload: usize) -> Result<Option<Byte
 /// [`RecvError::Io`] for transport failures (including mid-frame EOF),
 /// [`RecvError::Frame`] for undecodable or over-long frames.
 pub fn read_request(r: &mut impl Read, max_payload: usize) -> Result<Option<Request>, RecvError> {
+    Ok(read_request_timed(r, max_payload)?.map(|(req, _)| req))
+}
+
+/// [`read_request`] plus the nanoseconds spent *decoding* the frame once
+/// its bytes were in memory (socket wait excluded) — what the server
+/// records into its `net.frame_decode_ns` histogram.
+///
+/// # Errors
+/// Same as [`read_request`].
+pub fn read_request_timed(
+    r: &mut impl Read,
+    max_payload: usize,
+) -> Result<Option<(Request, u64)>, RecvError> {
     match read_frame_bytes(r, max_payload)? {
-        Some(bytes) => Ok(Some(request_from_bytes(bytes)?)),
+        Some(bytes) => {
+            let started = std::time::Instant::now();
+            let req = request_from_bytes(bytes)?;
+            Ok(Some((req, started.elapsed().as_nanos() as u64)))
+        }
         None => Ok(None),
     }
 }

@@ -40,6 +40,7 @@ pub(crate) enum BackendMsg {
 pub(crate) struct Pending {
     pub(crate) flushes: Mutex<VecDeque<u64>>,
     pub(crate) snapshots: Mutex<VecDeque<u64>>,
+    pub(crate) metrics: Mutex<VecDeque<u64>>,
 }
 
 /// Drains the backend channel to the socket, batching writes between

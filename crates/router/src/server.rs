@@ -44,8 +44,10 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use bytes::Bytes;
+use tad_metrics::{Histogram, MetricsSnapshot, Registry};
 use tad_net::{
     read_request, write_response, ErrorCode, RecvError, Request, Response, DEFAULT_MAX_FRAME,
 };
@@ -182,6 +184,39 @@ pub(crate) struct BackendLink {
 enum BarrierKind {
     Flush,
     Snapshot,
+    Metrics,
+}
+
+/// Handles into the router's own metrics registry (`router.*`), cached at
+/// bind time. These describe the router process itself; a front
+/// `MetricsRequest` merges them with every backend's snapshot.
+struct RouterMetrics {
+    registry: Arc<Registry>,
+    /// `router.forward_ns`: time from picking a live backend to its
+    /// forwarding channel accepting the frame — dominated by channel wait
+    /// when a backend writer saturates, so its tail is the router-side
+    /// congestion signal.
+    forward_ns: Arc<Histogram>,
+    /// `router.fanin_depth`: fleet-wide barriers in flight, observed at
+    /// each barrier open (including the one being opened).
+    fanin_depth: Arc<Histogram>,
+    /// `router.backend.N.forward_ns`: the per-backend split of
+    /// `forward_ns`, same clock.
+    per_backend: Vec<Arc<Histogram>>,
+}
+
+impl RouterMetrics {
+    fn register(num_backends: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        RouterMetrics {
+            forward_ns: registry.histogram("router.forward_ns"),
+            fanin_depth: registry.histogram("router.fanin_depth"),
+            per_backend: (0..num_backends)
+                .map(|idx| registry.histogram(&format!("router.backend.{idx}.forward_ns")))
+                .collect(),
+            registry,
+        }
+    }
 }
 
 /// One fleet-wide barrier in flight: a front `Flush`/`SnapshotRequest`
@@ -198,6 +233,7 @@ struct Barrier {
     got: usize,
     stats: Vec<FleetSnapshot>,
     images: Vec<(u32, Bytes)>,
+    metrics: Vec<MetricsSnapshot>,
     failed: Option<(ErrorCode, String)>,
 }
 
@@ -214,10 +250,12 @@ pub(crate) struct Core {
     next_barrier: AtomicU64,
     fronts_accepted: AtomicU64,
     responses_dropped: AtomicU64,
+    metrics: RouterMetrics,
 }
 
 impl Core {
     fn new(backends: Vec<BackendLink>) -> Self {
+        let metrics = RouterMetrics::register(backends.len());
         Core {
             backends,
             fronts: RwLock::new(HashMap::new()),
@@ -226,6 +264,7 @@ impl Core {
             next_barrier: AtomicU64::new(0),
             fronts_accepted: AtomicU64::new(0),
             responses_dropped: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -286,6 +325,13 @@ impl Core {
                     self.backends[idx as usize].pending.snapshots.lock().expect("fifo").pop_front();
                 if let Some(bid) = bid {
                     self.contribute(bid, |b| b.images.push((idx, image)));
+                }
+            }
+            Response::Metrics(snapshot) => {
+                let bid =
+                    self.backends[idx as usize].pending.metrics.lock().expect("fifo").pop_front();
+                if let Some(bid) = bid {
+                    self.contribute(bid, |b| b.metrics.push(snapshot));
                 }
             }
             Response::Error { code, trip: Some(id), detail } => {
@@ -362,6 +408,7 @@ impl Core {
         let _ = link.stream.shutdown(Shutdown::Both);
         let mut bids: Vec<u64> = link.pending.flushes.lock().expect("fifo").drain(..).collect();
         bids.extend(link.pending.snapshots.lock().expect("fifo").drain(..));
+        bids.extend(link.pending.metrics.lock().expect("fifo").drain(..));
         for bid in bids {
             self.contribute(bid, |b| {
                 b.failed.get_or_insert((
@@ -396,19 +443,25 @@ impl Core {
 
     fn barrier_open(&self, kind: BarrierKind, conn: u64) -> u64 {
         let bid = self.next_barrier.fetch_add(1, Ordering::Relaxed);
-        self.barriers.lock().expect("barriers lock").insert(
-            bid,
-            Barrier {
-                kind,
-                conn,
-                sealed: false,
-                expected: 0,
-                got: 0,
-                stats: Vec::new(),
-                images: Vec::new(),
-                failed: None,
-            },
-        );
+        let in_flight = {
+            let mut barriers = self.barriers.lock().expect("barriers lock");
+            barriers.insert(
+                bid,
+                Barrier {
+                    kind,
+                    conn,
+                    sealed: false,
+                    expected: 0,
+                    got: 0,
+                    stats: Vec::new(),
+                    images: Vec::new(),
+                    metrics: Vec::new(),
+                    failed: None,
+                },
+            );
+            barriers.len() as u64
+        };
+        self.metrics.fanin_depth.record(in_flight);
         bid
     }
 
@@ -489,6 +542,16 @@ impl Core {
                         }
                     }
                 }
+                BarrierKind::Metrics => {
+                    // Fleet view = every backend's registry plus the
+                    // router's own `router.*` metrics, merged entry-wise —
+                    // the same discipline as `FleetSnapshot::merged` for
+                    // `Stats`. Merge order is irrelevant: entries are
+                    // keyed by `(name, kind)` and counts add.
+                    let mut parts = barrier.metrics;
+                    parts.push(self.metrics.registry.snapshot());
+                    Response::Metrics(MetricsSnapshot::merged(&parts))
+                }
             }
         };
         self.deliver_conn(barrier.conn, resp);
@@ -525,6 +588,9 @@ fn handle_front(core: &Core, conn_id: u64, tx: &SyncSender<Response>, req: Reque
         Request::Flush => handle_barrier(core, conn_id, tx, BarrierKind::Flush, Request::Flush),
         Request::SnapshotRequest => {
             handle_barrier(core, conn_id, tx, BarrierKind::Snapshot, Request::SnapshotRequest)
+        }
+        Request::MetricsRequest => {
+            handle_barrier(core, conn_id, tx, BarrierKind::Metrics, Request::MetricsRequest)
         }
         ingest => {
             let (id, is_start) = match &ingest {
@@ -599,7 +665,15 @@ fn forward_ingest(
                 .fetch_add(1, Ordering::Relaxed);
         }
     }
-    if core.backends[backend as usize].tx.send(BackendMsg::Forward(req)).is_err() {
+    let forward_started = Instant::now();
+    let forwarded_ok = core.backends[backend as usize].tx.send(BackendMsg::Forward(req)).is_ok();
+    if forwarded_ok {
+        // Channel-accept latency: near zero when the backend writer keeps
+        // up, the queue-wait time when it saturates.
+        let ns = forward_started.elapsed().as_nanos() as u64;
+        core.metrics.forward_ns.record(ns);
+        core.metrics.per_backend[backend as usize].record(ns);
+    } else {
         if is_start {
             let mut trips = core.trips.write().expect("trips lock");
             if trips
@@ -630,6 +704,7 @@ fn handle_barrier(
         let fifo = match kind {
             BarrierKind::Flush => &link.pending.flushes,
             BarrierKind::Snapshot => &link.pending.snapshots,
+            BarrierKind::Metrics => &link.pending.metrics,
         };
         // Stage-then-send, atomically with respect to other barriers on
         // this link (the `stage` mutex): FIFO order therefore equals
@@ -923,6 +998,14 @@ impl RouterServer {
     /// Point-in-time router counters.
     pub fn stats(&self) -> RouterStats {
         self.core.stats()
+    }
+
+    /// Snapshot of the router's *own* metrics (`router.forward_ns`,
+    /// `router.fanin_depth`, `router.backend.N.forward_ns`). The
+    /// fleet-wide view — these merged with every live backend's snapshot —
+    /// is what a front connection gets from [`tad_net::Client::metrics`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.core.metrics.registry.snapshot()
     }
 
     /// Stops accepting, closes every front connection and backend link,

@@ -8,11 +8,12 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use causaltad::{CausalTad, StepCache};
+use tad_metrics::{MetricsSnapshot, Registry};
 
 use crate::event::{Event, ScoreUpdate, TripId, TripOutcome};
 use crate::shard::{run_shard, Ingest, ShardCtx};
 use crate::snapshot::{image_to_bytes, FleetImage, SessionRecord, SnapshotError};
-use crate::stats::{FleetSnapshot, FleetStats};
+use crate::stats::{FleetSnapshot, FleetStats, ServeMetrics};
 
 /// Completion callback invoked by shard workers with each finished trip.
 pub type CompletionCallback = Arc<dyn Fn(TripOutcome) + Send + Sync>;
@@ -131,6 +132,7 @@ pub struct FleetEngineBuilder {
     on_complete: Option<CompletionCallback>,
     on_score: Option<ScoreCallback>,
     resume: Option<FleetImage>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl FleetEngineBuilder {
@@ -170,6 +172,16 @@ impl FleetEngineBuilder {
         self
     }
 
+    /// Records this engine's latency/depth metrics (the `serve.*` names)
+    /// into a shared [`Registry`] instead of a fresh private one — how a
+    /// process-level front-end (e.g. `tad-net`'s server) gets the engine
+    /// and its own `net.*` metrics into one snapshot answering a single
+    /// wire `MetricsRequest`.
+    pub fn metrics_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Validates the config, spawns the shard workers, seeds any resume
     /// sessions, and starts serving.
     ///
@@ -179,7 +191,7 @@ impl FleetEngineBuilder {
     /// and [`ServeError::SnapshotMismatch`] when a resume session does not
     /// fit the model.
     pub fn build(self) -> Result<FleetEngine, ServeError> {
-        let FleetEngineBuilder { model, cfg, on_complete, on_score, resume } = self;
+        let FleetEngineBuilder { model, cfg, on_complete, on_score, resume, registry } = self;
         if model.scaling().is_none() {
             return Err(ServeError::ModelNotReady);
         }
@@ -199,6 +211,8 @@ impl FleetEngineBuilder {
         let cache: Option<Arc<StepCache>> =
             cfg.use_step_cache.then(|| Arc::new(model.build_step_cache()));
         let stats = Arc::new(FleetStats::new());
+        let registry = registry.unwrap_or_default();
+        let metrics = ServeMetrics::register(&registry);
         let mut senders = Vec::with_capacity(cfg.num_shards);
         let mut workers = Vec::with_capacity(cfg.num_shards);
         for shard in 0..cfg.num_shards {
@@ -208,6 +222,7 @@ impl FleetEngineBuilder {
                 cache: cache.clone(),
                 cfg: cfg.clone(),
                 stats: Arc::clone(&stats),
+                metrics: metrics.clone(),
                 on_complete: on_complete.clone(),
                 on_score: on_score.clone(),
             };
@@ -225,7 +240,7 @@ impl FleetEngineBuilder {
                 }
             }
         }
-        Ok(FleetEngine { senders, workers, stats })
+        Ok(FleetEngine { senders, workers, stats, registry, metrics })
     }
 }
 
@@ -276,6 +291,8 @@ pub struct FleetEngine {
     senders: Vec<SyncSender<Ingest>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<FleetStats>,
+    registry: Arc<Registry>,
+    metrics: ServeMetrics,
 }
 
 impl FleetEngine {
@@ -287,6 +304,7 @@ impl FleetEngine {
             on_complete: None,
             on_score: None,
             resume: None,
+            registry: None,
         }
     }
 
@@ -312,6 +330,7 @@ impl FleetEngine {
         match self.senders[shard].send(Ingest::One(ev)) {
             Ok(()) => {
                 FleetStats::bump(&self.stats.events_ingested);
+                self.metrics.inflight.add(1);
                 Ok(())
             }
             Err(e) => Err(SubmitError::Closed(e.0.into_single())),
@@ -329,6 +348,7 @@ impl FleetEngine {
         match self.senders[shard].try_send(Ingest::One(ev)) {
             Ok(()) => {
                 FleetStats::bump(&self.stats.events_ingested);
+                self.metrics.inflight.add(1);
                 Ok(())
             }
             Err(TrySendError::Full(msg)) => Err(SubmitError::Full(msg.into_single())),
@@ -366,6 +386,7 @@ impl FleetEngine {
                 return Err(SubmitError::ClosedChunk(unaccepted));
             }
             FleetStats::add(&self.stats.events_ingested, len);
+            self.metrics.inflight.add(len as i64);
         }
         Ok(())
     }
@@ -451,6 +472,19 @@ impl FleetEngine {
     /// Shared handle to the live counters (e.g. for a metrics exporter).
     pub fn stats_handle(&self) -> Arc<FleetStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// Point-in-time copy of the engine's latency/depth metrics (the
+    /// `serve.*` names — score latency, batch width, queue depth). When
+    /// the engine was built with [`FleetEngineBuilder::metrics_registry`],
+    /// the snapshot covers everything else registered there too.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Shared handle to the metrics registry this engine records into.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Stops ingest, drains every queue, flushes still-live sessions to the

@@ -13,7 +13,7 @@ use crate::engine::{CompletionCallback, FleetConfig, ScoreCallback};
 use crate::event::{Completion, Event, ScoreUpdate, TripId, TripOutcome};
 use crate::session::{Session, SessionStore};
 use crate::snapshot::SessionRecord;
-use crate::stats::FleetStats;
+use crate::stats::{FleetStats, ServeMetrics};
 
 /// A queue message: one event, a producer-side chunk that amortises the
 /// channel synchronisation, or a persistence control message.
@@ -58,6 +58,7 @@ pub(crate) struct ShardCtx {
     pub cache: Option<Arc<StepCache>>,
     pub cfg: FleetConfig,
     pub stats: Arc<FleetStats>,
+    pub metrics: ServeMetrics,
     pub on_complete: Option<CompletionCallback>,
     pub on_score: Option<ScoreCallback>,
 }
@@ -249,6 +250,12 @@ fn sweep(ctx: &ShardCtx, store: &mut SessionStore, last_sweep: &mut Instant, eve
 /// per-trip order is preserved while the model work is matrix-matrix).
 fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event>) {
     let now = Instant::now();
+    // Queue-depth accounting: observe the fleet-wide in-flight level with
+    // this drain still counted, then retire the drained events from it.
+    if !batch.is_empty() {
+        ctx.metrics.queue_depth.record(ctx.metrics.inflight.get().max(0) as u64);
+        ctx.metrics.inflight.add(-(batch.len() as i64));
+    }
     let vocab = ctx.model.vocab() as u32;
     let mut touched: Vec<TripId> = Vec::new();
     let mut ended: Vec<TripId> = Vec::new();
@@ -333,7 +340,14 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
         if wave.is_empty() {
             break;
         }
+        let wave_started = Instant::now();
         let scores = ctx.model.push_batch(ctx.cache.as_deref(), &mut wave, &wave_segs);
+        // One relaxed record per wave, attributed to every segment it
+        // scored: the per-segment cost of the latency histogram stays a
+        // fraction of an atomic op at realistic widths.
+        let wave_ns = wave_started.elapsed().as_nanos() as u64;
+        ctx.metrics.score_latency_ns.record_n(wave_ns, wave.len() as u64);
+        ctx.metrics.batch_width.record(wave.len() as u64);
         FleetStats::bump(&ctx.stats.batches);
         FleetStats::add(&ctx.stats.segments_scored, wave.len() as u64);
         for ((state, &id), score) in wave.iter().zip(&wave_ids).zip(scores) {

@@ -2,7 +2,38 @@
 //! at any time through [`FleetStats::snapshot`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tad_metrics::{Gauge, Histogram, Registry};
+
+/// Handles into the engine's metrics [`Registry`], resolved once at build
+/// time so shard workers and submitters record through cached `Arc`s and
+/// never touch the registry lock on a per-event path.
+#[derive(Clone)]
+pub(crate) struct ServeMetrics {
+    /// `serve.score_latency_ns`: wall time of the micro-batched model
+    /// step that scored each segment, recorded once per segment.
+    pub score_latency_ns: Arc<Histogram>,
+    /// `serve.batch_width`: sessions advanced per model-step wave.
+    pub batch_width: Arc<Histogram>,
+    /// `serve.ingest_queue_depth`: in-flight submitted events observed at
+    /// each micro-batch drain.
+    pub queue_depth: Arc<Histogram>,
+    /// `serve.ingest_inflight`: events submitted but not yet drained.
+    pub inflight: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    pub(crate) fn register(registry: &Registry) -> Self {
+        ServeMetrics {
+            score_latency_ns: registry.histogram("serve.score_latency_ns"),
+            batch_width: registry.histogram("serve.batch_width"),
+            queue_depth: registry.histogram("serve.ingest_queue_depth"),
+            inflight: registry.gauge("serve.ingest_inflight"),
+        }
+    }
+}
 
 /// Live counters shared by every shard worker.
 ///
@@ -83,11 +114,45 @@ impl FleetStats {
 }
 
 impl FleetSnapshot {
+    /// Ingested-event throughput over this snapshot's own uptime —
+    /// identical to the `events_per_sec` field, provided as a method so
+    /// merged and plain snapshots expose one derived-rate surface.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_per_sec
+    }
+
+    /// Scored-segment throughput over this snapshot's uptime; the number
+    /// the soak harness and benches report as sustained seg/s. 0.0 when
+    /// the uptime is 0.
+    pub fn segments_per_sec(&self) -> f64 {
+        if self.uptime_secs > 0.0 {
+            self.segments_scored as f64 / self.uptime_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// `uptime_secs` as a [`Duration`]. For a merged snapshot this is the
+    /// oldest backend's uptime (see [`FleetSnapshot::merged`]).
+    pub fn uptime(&self) -> Duration {
+        Duration::from_secs_f64(self.uptime_secs.max(0.0))
+    }
+
     /// Sums per-backend snapshots into one fleet-wide view: every counter
-    /// adds up, `uptime_secs` is the oldest backend's, and the derived
-    /// rates are recomputed over the aggregate (`events_per_sec` as the
-    /// sum of the parallel backends' rates, `mean_batch_size` from the
-    /// fleet-wide scored-segment and batch totals).
+    /// adds up and the derived values are recomputed over the aggregate.
+    ///
+    /// **Uptime-merge semantics** (previously ambiguous, now pinned):
+    /// `uptime_secs` is the *oldest* backend's uptime — the merged view
+    /// reads as "what this fleet has done since its longest-lived member
+    /// started". `events_per_sec` is recomputed as the aggregate
+    /// `events_ingested` over that oldest uptime, **not** the sum of the
+    /// per-backend rates: summing rates double-counts wall-clock whenever
+    /// backends started at different times (a backend that joined a
+    /// second ago would briefly inflate the fleet rate), whereas
+    /// total-events-over-oldest-uptime is exact for same-age fleets and a
+    /// conservative lower bound for staggered ones. `mean_batch_size` is
+    /// likewise recomputed from the fleet-wide scored-segment and batch
+    /// totals.
     ///
     /// This is how the `tad-router` tier answers a front-door `Flush`
     /// with one `Stats` frame covering every backend behind it. Merging
@@ -122,7 +187,9 @@ impl FleetSnapshot {
             out.active_sessions += p.active_sessions;
             out.sessions_restored += p.sessions_restored;
             out.uptime_secs = out.uptime_secs.max(p.uptime_secs);
-            out.events_per_sec += p.events_per_sec;
+        }
+        if out.uptime_secs > 0.0 {
+            out.events_per_sec = out.events_ingested as f64 / out.uptime_secs;
         }
         if out.batches > 0 {
             out.mean_batch_size = out.segments_scored as f64 / out.batches as f64;
@@ -180,18 +247,29 @@ mod tests {
         FleetStats::add(&stats_b.batches, 3);
         FleetStats::add(&stats_b.trips_completed, 4);
         let mut a = stats_a.snapshot();
-        let b = stats_b.snapshot();
+        let mut b = stats_b.snapshot();
         a.uptime_secs = 7.0; // force a distinguishable "oldest backend"
+        a.events_ingested = 30;
+        b.uptime_secs = 2.0; // a younger backend with an inflated rate
+        b.events_ingested = 40;
+        b.events_per_sec = 20.0;
         let merged = FleetSnapshot::merged(&[a, b]);
         assert_eq!(merged.segments_scored, 100);
         assert_eq!(merged.batches, 5);
         assert_eq!(merged.trips_completed, 7);
         assert!((merged.mean_batch_size - 20.0).abs() < 1e-12);
+        // Oldest backend wins the uptime; the fleet rate is recomputed as
+        // aggregate events over that uptime, not the sum of rates (which
+        // would read 20+ here).
         assert!((merged.uptime_secs - 7.0).abs() < 1e-12);
+        assert!((merged.events_per_sec - 70.0 / 7.0).abs() < 1e-12);
+        assert!((merged.segments_per_sec() - 100.0 / 7.0).abs() < 1e-12);
+        assert!((merged.uptime().as_secs_f64() - 7.0).abs() < 1e-12);
         // Degenerate inputs stay well-defined.
         let empty = FleetSnapshot::merged(&[]);
         assert_eq!(empty.segments_scored, 0);
         assert_eq!(empty.mean_batch_size, 0.0);
+        assert_eq!(empty.segments_per_sec(), 0.0);
     }
 
     #[test]

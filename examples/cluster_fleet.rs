@@ -121,8 +121,37 @@ fn main() {
     }
     let phase_a_scores: usize = handles.into_iter().map(|h| h.join().expect("producer")).sum();
 
-    // --- Merged snapshot over the wire, then kill the whole tier ----------
+    // --- Fleet latency summary, pulled over the wire ----------------------
+    // One `MetricsRequest` against the router merges every backend's
+    // histogram registry with the router's own into a single fleet view.
     let mut admin = Client::connect(addr).expect("connect");
+    let fleet_metrics = admin.metrics().expect("fleet metrics through the router");
+    println!("\nfleet latency summary (over the wire, all backends merged):");
+    for (name, label) in [
+        ("serve.score_latency_ns", "segment scoring"),
+        ("net.frame_decode_ns", "frame decode"),
+        ("router.forward_ns", "router forward"),
+    ] {
+        if let Some(h) = fleet_metrics.histogram(name) {
+            println!(
+                "  {label:16} p50 {:>8} ns   p99 {:>8} ns   p999 {:>8} ns   ({} samples)",
+                h.p50(),
+                h.p99(),
+                h.p999(),
+                h.count
+            );
+        }
+    }
+    if let Some(width) = fleet_metrics.histogram("serve.batch_width") {
+        println!(
+            "  micro-batch width: p50 {}  p99 {}  mean {:.1}",
+            width.p50(),
+            width.p99(),
+            width.mean()
+        );
+    }
+
+    // --- Merged snapshot over the wire, then kill the whole tier ----------
     let blob = admin.snapshot().expect("merged snapshot through the router");
     let image = image_from_bytes(blob).expect("merged image decodes");
     println!(

@@ -12,6 +12,9 @@
 //!   detector).
 //! * [`baselines`] — the seven baselines from the paper.
 //! * [`eval`] — metrics, experiment harness, standard synthetic cities.
+//! * [`metrics`] — lock-free latency histograms, the counter/gauge
+//!   registry shared by every serving tier, and the `TADM` snapshot
+//!   codec behind the wire `MetricsRequest`.
 //! * [`serve`] — the concurrent fleet-scoring engine multiplexing
 //!   thousands of live online-scoring sessions with micro-batched model
 //!   stepping.
@@ -32,6 +35,7 @@ pub use causaltad as core;
 pub use tad_autodiff as autodiff;
 pub use tad_baselines as baselines;
 pub use tad_eval as eval;
+pub use tad_metrics as metrics;
 pub use tad_net as net;
 pub use tad_roadnet as roadnet;
 pub use tad_router as router;

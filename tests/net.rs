@@ -239,7 +239,10 @@ fn backpressure_replies_account_for_every_event() {
     assert_eq!(completed.completion, Completion::Ended);
     assert_eq!(completed.segments(), scores, "engine scored exactly the accepted events");
     // Accounting only holds if no response was dropped server-side.
-    assert_eq!(server.net_stats().responses_dropped, 0);
+    let net_stats = server.net_stats();
+    assert_eq!(net_stats.responses_dropped, 0);
+    // Every bounce was counted by the observability layer too.
+    assert_eq!(net_stats.backpressure_replies, bounced as u64);
     server.shutdown();
 }
 
@@ -338,5 +341,82 @@ fn hostile_bytes_get_a_typed_error_and_a_clean_hangup() {
     client.trip_end(9).expect("write");
     let stats = client.flush().expect("barrier");
     assert_eq!(stats.trips_completed, 1);
+    // Both hostile connections were counted as malformed, the healthy one
+    // was not.
+    assert_eq!(server.net_stats().malformed_frames, 2);
+    server.shutdown();
+}
+
+/// Observability end-to-end on a single server: a `MetricsRequest` over
+/// the wire returns a snapshot **bit-identical** (struct equality and
+/// re-encoded bytes) to the server's in-process registry at a quiesced
+/// point, covering both the serve tier (`serve.*`) and the net tier
+/// (`net.*`) — and the per-connection frame counters account for every
+/// frame that crossed the socket.
+#[test]
+fn wire_metrics_match_in_process_registry_and_frame_counters_add_up() {
+    use causaltad_suite::metrics::snapshot_to_bytes;
+    use std::time::{Duration, Instant};
+
+    let (city, model) = trained();
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let server = NetServer::builder(Arc::clone(model)).bind("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let n = t.segments.len() as u64;
+    client.trip_start(1, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    for seg in &t.segments {
+        client.segment(1, seg.0).expect("write");
+    }
+    client.trip_end(1).expect("write");
+    let stats = client.flush().expect("barrier");
+    assert_eq!(stats.trips_completed, 1);
+
+    let wire = client.metrics().expect("metrics over the wire");
+
+    // Quiesced (flush barrier passed, no other traffic): the in-process
+    // registry must be the same snapshot, down to the encoded bytes.
+    let local = server.metrics();
+    assert_eq!(wire, local, "wire metrics must equal the in-process registry");
+    assert_eq!(snapshot_to_bytes(&wire), snapshot_to_bytes(&local));
+
+    // The shared registry covers both tiers: one latency sample per scored
+    // segment on the serve side...
+    let lat = wire.histogram("serve.score_latency_ns").expect("serve histogram");
+    assert_eq!(lat.count, n, "one score-latency sample per segment");
+    // ...and one decode sample per frame on the net side. The decode of
+    // the MetricsRequest itself is recorded *before* dispatch, so the
+    // frame that asked the question is already in the answer.
+    let decode = wire.histogram("net.frame_decode_ns").expect("net histogram");
+    assert_eq!(decode.count, n + 4, "start + segments + end + flush + metrics");
+    // The queue-depth gauge is back to zero once the barrier drained it.
+    assert_eq!(wire.gauge("serve.ingest_inflight"), Some(0));
+
+    // Per-connection counters: every inbound frame accounted, nothing
+    // malformed, nothing bounced.
+    let conns = server.connection_stats();
+    assert_eq!(conns.len(), 1);
+    assert_eq!(conns[0].frames_in, n + 4);
+    assert_eq!(conns[0].malformed_frames, 0);
+    assert_eq!(conns[0].backpressure_replies, 0);
+    // frames_out is bumped by the writer thread *after* the socket write,
+    // so poll briefly: n scores + TripComplete + Stats + Metrics.
+    let expect_out = n + 3;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let out = server.connection_stats()[0].frames_out;
+        if out == expect_out {
+            break;
+        }
+        assert!(Instant::now() < deadline, "frames_out stuck at {out}, want {expect_out}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Server-lifetime totals mirror the single connection.
+    let totals = server.net_stats();
+    assert_eq!(totals.frames_in, n + 4);
+    assert_eq!(totals.frames_out, expect_out);
+    assert_eq!(totals.malformed_frames, 0);
+    assert_eq!(totals.backpressure_replies, 0);
     server.shutdown();
 }

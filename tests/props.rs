@@ -4,6 +4,9 @@
 use causaltad_suite::core::{
     state_from_bytes, state_to_bytes, ScorerState, SegmentTrace, StateCodecError,
 };
+use causaltad_suite::metrics::{
+    snapshot_from_bytes, snapshot_to_bytes, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
 use causaltad_suite::net::{
     request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, ErrorCode,
     FrameError, Request, Response, TripComplete,
@@ -15,7 +18,7 @@ use causaltad_suite::serve::{
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use tad_roadnet::dijkstra::{length_cost, node_shortest_path, segment_shortest_path};
 use tad_roadnet::grid::{generate_grid_city, GridCityConfig};
 use tad_roadnet::NodeId;
@@ -72,7 +75,7 @@ fn arb_image(sessions: usize, rng: &mut StdRng) -> FleetImage {
 
 /// An arbitrary wire request, covering every frame type.
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0u8..5) {
+    match rng.gen_range(0u8..6) {
         0 => Request::TripStart {
             id: rng.gen_range(0u64..u64::MAX),
             source: rng.gen_range(0u32..100_000),
@@ -85,8 +88,33 @@ fn arb_request(rng: &mut StdRng) -> Request {
         },
         2 => Request::TripEnd { id: rng.gen_range(0u64..u64::MAX) },
         3 => Request::Flush,
-        _ => Request::SnapshotRequest,
+        4 => Request::SnapshotRequest,
+        _ => Request::MetricsRequest,
     }
+}
+
+/// An arbitrary metrics snapshot built the only way real ones are: by
+/// recording into a live [`Registry`] — so it is canonical by
+/// construction (name-ordered entries, derived histogram counts).
+fn arb_metrics(rng: &mut StdRng) -> MetricsSnapshot {
+    let registry = Registry::new();
+    for i in 0..rng.gen_range(0usize..4) {
+        registry.counter(&format!("tier{}.counter.{i}", rng.gen_range(0u8..3))).add(rng.next_u64());
+    }
+    for i in 0..rng.gen_range(0usize..3) {
+        registry
+            .gauge(&format!("tier{}.gauge.{i}", rng.gen_range(0u8..3)))
+            .set(rng.next_u64() as i64);
+    }
+    for i in 0..rng.gen_range(0usize..3) {
+        let h = registry.histogram(&format!("tier{}.hist.{i}", rng.gen_range(0u8..3)));
+        for _ in 0..rng.gen_range(0usize..32) {
+            // Bias towards small values but cover the full u64 range.
+            let v: u64 = rng.next_u64() >> rng.gen_range(0u32..64);
+            h.record_n(v, rng.gen_range(1u64..1_000));
+        }
+    }
+    registry.snapshot()
 }
 
 fn arb_trace(rng: &mut StdRng) -> Vec<SegmentTrace> {
@@ -102,7 +130,7 @@ fn arb_trace(rng: &mut StdRng) -> Vec<SegmentTrace> {
 
 /// An arbitrary wire response, covering every frame type.
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u8..5) {
+    match rng.gen_range(0u8..6) {
         0 => Response::Score(ScoreUpdate {
             id: rng.gen_range(0u64..u64::MAX),
             seq: rng.gen_range(0u32..10_000),
@@ -154,11 +182,12 @@ fn arb_response(rng: &mut StdRng) -> Response {
                 detail: (0..detail_len).map(|_| char::from(rng.gen_range(b' '..b'~'))).collect(),
             }
         }
-        _ => {
+        4 => {
             let len = rng.gen_range(0usize..256);
             let image: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
             Response::Snapshot { image: image.into() }
         }
+        _ => Response::Metrics(arb_metrics(rng)),
     }
 }
 
@@ -559,4 +588,130 @@ proptest! {
             );
         }
     }
+
+    /// Any metrics snapshot a registry can produce round-trips through the
+    /// `TADM` codec byte-for-byte: `decode(encode(x)) == x` and
+    /// re-encoding the decoded snapshot reproduces the exact blob — the
+    /// bijection the router's fleet merge relies on.
+    #[test]
+    fn metrics_snapshot_codec_roundtrips(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let snapshot = arb_metrics(&mut rng);
+        let blob = snapshot_to_bytes(&snapshot);
+        let decoded = snapshot_from_bytes(blob.clone());
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(snapshot_to_bytes(&decoded).to_vec(), blob.to_vec());
+    }
+
+    /// Histogram merge is exactly associative and commutative — grouping
+    /// and order of backends can never change a fleet-wide histogram, so
+    /// any merge tree (router fan-in, offline aggregation, re-merges)
+    /// produces bit-identical results.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parts: Vec<HistogramSnapshot> = Vec::new();
+        for _ in 0..3 {
+            let h = Histogram::new();
+            for _ in 0..rng.gen_range(0usize..48) {
+                let v: u64 = rng.next_u64() >> rng.gen_range(0u32..64);
+                h.record_n(v, rng.gen_range(1u64..1_000));
+            }
+            parts.push(h.snapshot());
+        }
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+        let ab = HistogramSnapshot::merged(&[a.clone(), b.clone()]);
+        let bc = HistogramSnapshot::merged(&[b.clone(), c.clone()]);
+        let left = HistogramSnapshot::merged(&[ab.clone(), c.clone()]);
+        let right = HistogramSnapshot::merged(&[a.clone(), bc]);
+        let flat = HistogramSnapshot::merged(&parts);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &flat);
+        prop_assert_eq!(HistogramSnapshot::merged(&[b.clone(), a.clone()]), ab);
+        // The identity element: merging with an empty histogram is a no-op.
+        prop_assert_eq!(&HistogramSnapshot::merged(&[a.clone(), HistogramSnapshot::empty()]), a);
+
+        // The same holds one level up, for whole snapshots keyed by name —
+        // the discipline the router's fleet fan-in relies on.
+        let (x, y, z) = (arb_metrics(&mut rng), arb_metrics(&mut rng), arb_metrics(&mut rng));
+        let xy = MetricsSnapshot::merged(&[x.clone(), y.clone()]);
+        let yz = MetricsSnapshot::merged(&[y.clone(), z.clone()]);
+        let snap_left = MetricsSnapshot::merged(&[xy.clone(), z.clone()]);
+        let snap_right = MetricsSnapshot::merged(&[x.clone(), yz]);
+        prop_assert_eq!(&snap_left, &snap_right);
+        prop_assert_eq!(MetricsSnapshot::merged(&[y, x]), xy);
+        prop_assert_eq!(
+            snapshot_from_bytes(snapshot_to_bytes(&snap_left)).unwrap(),
+            snap_left
+        );
+    }
+}
+
+/// The exhaustive corruption battery for the `TADM` metrics codec: every
+/// single-bit flip of every byte of a representative snapshot either
+/// fails to decode (typed error, no panic) or decodes to a *different*
+/// snapshot — no corruption can silently impersonate the original.
+#[test]
+fn metrics_blob_every_bit_flip_is_detected_or_distinct() {
+    let registry = Registry::new();
+    registry.counter("net.backpressure_replies").add(7);
+    registry.gauge("serve.ingest_inflight").set(-3);
+    let h = registry.histogram("serve.score_latency_ns");
+    h.record(0);
+    h.record(900);
+    h.record_n(125_000, 64);
+    h.record(u64::MAX);
+    let snapshot = registry.snapshot();
+    let blob = snapshot_to_bytes(&snapshot).to_vec();
+
+    for cut in 0..blob.len() {
+        assert!(snapshot_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut} accepted");
+    }
+    for byte in 0..blob.len() {
+        for bit in 0..8 {
+            let mut flipped = blob.clone();
+            flipped[byte] ^= 1 << bit;
+            if let Ok(decoded) = snapshot_from_bytes(flipped.into()) {
+                assert_ne!(
+                    decoded, snapshot,
+                    "flip byte {byte} bit {bit} decoded back to the original"
+                );
+            }
+        }
+    }
+}
+
+/// Concurrent recorders never lose a sample: hammering one histogram from
+/// several threads yields a snapshot whose count and sum match the work
+/// submitted exactly (the lock-free hot path is relaxed, but nothing is
+/// dropped or double-counted).
+#[test]
+fn concurrent_histogram_recorders_are_exact() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 25_000;
+    let registry = std::sync::Arc::new(Registry::new());
+    let h = registry.histogram("serve.score_latency_ns");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread");
+    }
+    let snapshot = h.snapshot();
+    assert_eq!(snapshot.count, THREADS * PER_THREAD);
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snapshot.sum, n * (n - 1) / 2);
+    assert_eq!(snapshot.min, 0);
+    assert_eq!(snapshot.max, n - 1);
+    // And the registry-level snapshot carries the identical histogram.
+    assert_eq!(registry.snapshot().histogram("serve.score_latency_ns").unwrap(), &snapshot);
 }

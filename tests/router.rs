@@ -252,6 +252,64 @@ fn router_fans_in_to_the_owning_front_connection_only() {
     }
 }
 
+/// The observability acceptance test: one `MetricsRequest` against the
+/// router returns the fleet view — every backend's registry plus the
+/// router's own — and that wire-merged snapshot is **bit-identical**
+/// (struct equality and re-encoded bytes) to merging the same registries
+/// in process. Arrival order at the barrier cannot matter because the
+/// histogram merge is an exact element-wise sum, hence commutative.
+#[test]
+fn fleet_metrics_merged_over_the_wire_match_in_process_aggregation() {
+    use causaltad_suite::metrics::{snapshot_to_bytes, MetricsSnapshot};
+
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(10).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let (backends, router) = spawn_fleet(model, 2, cfg);
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    send_events(&mut client, &events);
+    client.flush().expect("fleet barrier");
+    let mut routed = Produced::default();
+    drain(&mut client, &mut routed);
+    assert_eq!(routed.finals.len(), trips.len());
+
+    let fleet = client.metrics().expect("fleet metrics over the wire");
+
+    // In-process ground truth, computed after the wire answer at a
+    // quiesced point: the same registries must merge to the same bits.
+    let parts: Vec<MetricsSnapshot> =
+        backends.iter().map(|b| b.metrics()).chain([router.metrics()]).collect();
+    let expect = MetricsSnapshot::merged(&parts);
+    assert_eq!(fleet, expect, "wire-merged fleet metrics must equal in-process aggregation");
+    assert_eq!(
+        snapshot_to_bytes(&fleet),
+        snapshot_to_bytes(&expect),
+        "wire-merged fleet metrics must re-encode to identical bytes"
+    );
+
+    // The single snapshot covers all three tiers. Serve: one latency
+    // sample per scored segment, fleet-wide.
+    let segments: u64 = trips.iter().map(|t| t.segments.len() as u64).sum();
+    let lat = fleet.histogram("serve.score_latency_ns").expect("serve histogram");
+    assert_eq!(lat.count, segments, "one fleet-wide latency sample per segment");
+    // Router: one forward sample per ingest event, and the per-backend
+    // split sums to the total.
+    let fwd = fleet.histogram("router.forward_ns").expect("router histogram");
+    assert_eq!(fwd.count, events.len() as u64, "one forward sample per ingest event");
+    let per_backend: u64 = (0..2)
+        .map(|i| fleet.histogram(&format!("router.backend.{i}.forward_ns")).map_or(0, |h| h.count))
+        .sum();
+    assert_eq!(per_backend, fwd.count, "per-backend forwards sum to the fleet total");
+    // Net: both backends decoded frames.
+    assert!(fleet.histogram("net.frame_decode_ns").expect("net histogram").count > 0);
+
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
 /// Fault injection: killing one backend mid-stream surfaces typed
 /// `EngineClosed` errors for its trips to the affected front connection —
 /// both for the loss itself and for any later event routed to the dead
