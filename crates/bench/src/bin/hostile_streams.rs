@@ -1,0 +1,10 @@
+//! Hostile-stream AUC grid: corruption channels × ingest sanitization
+//! policies, scored through the policy-configured fleet engine.
+
+use tad_bench::{emit, hostile_streams, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    let table = hostile_streams(&opts);
+    emit(&opts, "hostile_streams", &table);
+}

@@ -17,6 +17,13 @@
 //!
 //! Knobs (environment):
 //! * `SOAK_QUICK=1` — CI smoke scale (2 000 trips, 12 rounds).
+//! * `SOAK_HOSTILE=1` — hostile-stream mode: producers duplicate ~25% of
+//!   segments (at-least-once transport) and the backends run a
+//!   `StreamPolicy` with a dedup window. Each producer mirrors the dedup
+//!   decision, so the zero-loss contract tightens to an exact balance:
+//!   every admitted segment comes back scored, every duplicate comes back
+//!   as a `PolicyNotice`, and the fleet's `serve.dedup_dropped` counter
+//!   equals the duplicates injected — nothing lost, nothing double-scored.
 //! * `SOAK_TRIPS` — concurrent trips (default 100 000).
 //! * `SOAK_ROUNDS` — streaming rounds (default 48).
 //! * `SOAK_OUT` — artefact path.
@@ -36,7 +43,7 @@ use tad_eval::cities::{xian_s, Scale};
 use tad_metrics::{snapshot_to_bytes, HistogramSnapshot, MetricsSnapshot};
 use tad_net::{Client, NetServer, Response};
 use tad_router::RouterServer;
-use tad_serve::FleetConfig;
+use tad_serve::{FleetConfig, PolicyAction, StreamPolicy};
 
 const BACKENDS: usize = 2;
 const PRODUCERS: usize = 4;
@@ -65,9 +72,30 @@ fn trained_model() -> Arc<CausalTad> {
     Arc::new(model)
 }
 
+/// Whether the hostile transport duplicates this (trip, step) send —
+/// deterministic so every run replays the same fault pattern (~25%).
+fn dup_fault(id: u64, step: u64) -> bool {
+    (id ^ step).wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 62 == 0
+}
+
+/// What one producer streamed and got back: segments scored, trips
+/// completed, duplicates injected, and dedup `PolicyNotice`s received.
+#[derive(Default)]
+struct ProducerTally {
+    scored: u64,
+    completed: u64,
+    dups_sent: u64,
+    dedup_notices: u64,
+    gap_notices: u64,
+}
+
 /// One producer: owns `trips` concurrent trips, streams one segment per
 /// trip per round, replaces finished trips, flushes each round, and
-/// counts scores. Returns (segments scored, trips completed).
+/// counts scores. In hostile mode it re-sends ~25% of segments
+/// ([`dup_fault`]) and mirrors the backend's dedup decision (window 1,
+/// compare against the last *admitted* segment), so each round's barrier
+/// can assert the exact balance: admitted sends come back scored,
+/// duplicate sends come back as dedup `PolicyNotice`s.
 fn producer(
     addr: std::net::SocketAddr,
     walks: Arc<Vec<Vec<u32>>>,
@@ -75,35 +103,72 @@ fn producer(
     id_stride: u64,
     trips: usize,
     rounds: usize,
-) -> (u64, u64) {
+    hostile: bool,
+) -> ProducerTally {
     let mut client = Client::connect(addr).expect("connect producer");
-    // Live trips: (id, walk index, next step).
-    let mut live: Vec<(u64, usize, u64)> = Vec::with_capacity(trips);
+    // Live trips: (id, walk index, next step, last admitted segment).
+    let mut live: Vec<(u64, usize, u64, Option<u32>)> = Vec::with_capacity(trips);
     let mut next_id = first_id;
-    let mut spawn = |client: &mut Client, live: &mut Vec<(u64, usize, u64)>| {
+    let mut spawn = |client: &mut Client, live: &mut Vec<(u64, usize, u64, Option<u32>)>| {
         let id = next_id;
         next_id += id_stride;
         let walk = &walks[(id % walks.len() as u64) as usize];
         client
             .trip_start(id, walk[0], *walk.last().expect("non-empty"), (id % 24) as u8)
             .expect("write start");
-        live.push((id, (id % walks.len() as u64) as usize, 0));
+        live.push((id, (id % walks.len() as u64) as usize, 0, None));
     };
     for _ in 0..trips {
         spawn(&mut client, &mut live);
     }
-    let mut scored = 0u64;
-    let mut completed = 0u64;
+    let mut tally = ProducerTally::default();
+    let drain = |client: &mut Client, tally: &mut ProducerTally| -> (u64, u64) {
+        let (mut scores, mut notices) = (0u64, 0u64);
+        while let Some(resp) = client.try_recv() {
+            match resp {
+                Response::Score(_) => {
+                    tally.scored += 1;
+                    scores += 1;
+                }
+                Response::TripComplete(_) => tally.completed += 1,
+                Response::PolicyNotice { action: PolicyAction::DedupDropped, .. } if hostile => {
+                    tally.dedup_notices += 1;
+                    notices += 1;
+                }
+                // Long-lived trips cycle their pool walk; the wrap-around
+                // step is an off-network jump the active policy notices
+                // (and scores through). Still admitted, still scored.
+                Response::PolicyNotice { action: PolicyAction::GapScoredThrough, .. }
+                    if hostile =>
+                {
+                    tally.gap_notices += 1;
+                }
+                other => panic!("unexpected response in soak: {other:?}"),
+            }
+        }
+        (scores, notices)
+    };
     for _ in 0..rounds {
-        let mut sent = 0u64;
+        let mut admitted = 0u64;
+        let mut dropped = 0u64;
         let mut respawn = 0usize;
-        live.retain_mut(|(id, widx, step)| {
+        live.retain_mut(|(id, widx, step, last)| {
             let walk = &walks[*widx];
             // Cycle the pool walk when the trip outlives it: segments stay
             // in-vocab, which is all the engine requires.
             let seg = walk[(*step % walk.len() as u64) as usize];
-            client.segment(*id, seg).expect("write segment");
-            sent += 1;
+            let sends = if hostile && dup_fault(*id, *step) { 2 } else { 1 };
+            for _ in 0..sends {
+                client.segment(*id, seg).expect("write segment");
+                // Mirror the dedup-window-1 decision the backend makes.
+                if hostile && *last == Some(seg) {
+                    dropped += 1;
+                } else {
+                    admitted += 1;
+                    *last = Some(seg);
+                }
+            }
+            tally.dups_sent += sends - 1;
             *step += 1;
             if *step >= trip_len(*id) {
                 client.trip_end(*id).expect("write end");
@@ -120,32 +185,23 @@ fn producer(
             spawn(&mut client, &mut live);
         }
         client.flush().expect("round barrier");
-        let mut got = 0u64;
-        while let Some(resp) = client.try_recv() {
-            match resp {
-                Response::Score(_) => {
-                    scored += 1;
-                    got += 1;
-                }
-                Response::TripComplete(_) => completed += 1,
-                other => panic!("unexpected response in soak: {other:?}"),
-            }
-        }
-        assert_eq!(got, sent, "a round's segments must all come back scored at its barrier");
+        let (scores, notices) = drain(&mut client, &mut tally);
+        assert_eq!(
+            scores, admitted,
+            "a round's admitted segments must all come back scored at its barrier"
+        );
+        assert_eq!(
+            notices, dropped,
+            "a round's duplicate segments must all come back as dedup notices at its barrier"
+        );
     }
     // Close out still-open trips so the backends end the run empty.
-    for &(id, _, _) in &live {
+    for &(id, _, _, _) in &live {
         client.trip_end(id).expect("write final end");
     }
     client.flush().expect("final barrier");
-    while let Some(resp) = client.try_recv() {
-        match resp {
-            Response::Score(_) => scored += 1,
-            Response::TripComplete(_) => completed += 1,
-            other => panic!("unexpected response in soak: {other:?}"),
-        }
-    }
-    (scored, completed)
+    drain(&mut client, &mut tally);
+    tally
 }
 
 fn quantiles(h: &HistogramSnapshot) -> (u64, u64, u64) {
@@ -154,10 +210,11 @@ fn quantiles(h: &HistogramSnapshot) -> (u64, u64, u64) {
 
 fn main() {
     let quick = env_flag("SOAK_QUICK");
+    let hostile = env_flag("SOAK_HOSTILE");
     let trips = env_usize("SOAK_TRIPS", if quick { 2_000 } else { 100_000 });
     let rounds = env_usize("SOAK_ROUNDS", if quick { 12 } else { 48 });
 
-    eprintln!("soak: training model (quick={quick})...");
+    eprintln!("soak: training model (quick={quick}, hostile={hostile})...");
     let model = trained_model();
     let walks = Arc::new(fleet_walks(&model, 256, MAX_LEN as usize, 1234));
 
@@ -168,6 +225,13 @@ fn main() {
         // the LRU cap may reap them mid-soak.
         session_ttl: std::time::Duration::from_secs(3_600),
         max_sessions_per_shard: trips,
+        // Hostile mode turns the dedup window on; the producers mirror its
+        // decision so every round can assert the exact admit/drop balance.
+        policy: if hostile {
+            StreamPolicy { dedup_window: 1, ..StreamPolicy::default() }
+        } else {
+            StreamPolicy::default()
+        },
         ..FleetConfig::default()
     };
     let backends: Vec<NetServer> = (0..BACKENDS)
@@ -193,16 +257,22 @@ fn main() {
         .map(|p| {
             let walks = Arc::clone(&walks);
             std::thread::spawn(move || {
-                producer(front, walks, p, PRODUCERS as u64, per_producer, rounds)
+                producer(front, walks, p, PRODUCERS as u64, per_producer, rounds, hostile)
             })
         })
         .collect();
     let mut scored = 0u64;
     let mut completed = 0u64;
+    let mut dups_sent = 0u64;
+    let mut dedup_notices = 0u64;
+    let mut gap_notices = 0u64;
     for handle in handles {
-        let (s, c) = handle.join().expect("producer thread");
-        scored += s;
-        completed += c;
+        let t = handle.join().expect("producer thread");
+        scored += t.scored;
+        completed += t.completed;
+        dups_sent += t.dups_sent;
+        dedup_notices += t.dedup_notices;
+        gap_notices += t.gap_notices;
     }
     let elapsed = started.elapsed().as_secs_f64();
     let seg_per_s = scored as f64 / elapsed;
@@ -235,6 +305,32 @@ fn main() {
         score_latency.count, scored,
         "the fleet histogram must hold exactly one sample per scored segment"
     );
+    // Metrics balance: the fleet-wide policy counters must equal the
+    // notices the producers actually received over the wire — every
+    // sanitization action was both counted and delivered, none invented.
+    let fleet_dedup = fleet.counter("serve.dedup_dropped").unwrap_or(0);
+    let fleet_gaps = fleet.counter("serve.gap_score_through").unwrap_or(0);
+    assert_eq!(
+        fleet_dedup, dedup_notices,
+        "fleet dedup_dropped counter must balance the dedup notices delivered"
+    );
+    assert_eq!(
+        fleet_gaps, gap_notices,
+        "fleet gap_score_through counter must balance the gap notices delivered"
+    );
+    if hostile {
+        assert!(dups_sent > 0, "hostile mode must have injected duplicates");
+        assert!(
+            dedup_notices >= dups_sent,
+            "every injected duplicate must have been dedup-dropped \
+             ({dedup_notices} notices < {dups_sent} duplicates)"
+        );
+        eprintln!(
+            "soak: hostile balance holds — {dups_sent} duplicates injected, \
+             {dedup_notices} dedup drops, {gap_notices} gap score-throughs, all accounted"
+        );
+    }
+
     let (p50, p99, p999) = quantiles(score_latency);
     let decode = fleet.histogram("net.frame_decode_ns").expect("frame-decode histogram");
     let (d50, d99, d999) = quantiles(decode);
@@ -247,9 +343,11 @@ fn main() {
     let out = format!(
         "{{\n  \"workload\": {{\"concurrent_trips\": {trips}, \"rounds\": {rounds}, \
          \"producers\": {PRODUCERS}, \"backends\": {BACKENDS}, \"trip_len\": [{MIN_LEN}, {MAX_LEN}], \
-         \"quick_mode\": {quick}}},\n  \
+         \"quick_mode\": {quick}, \"hostile_mode\": {hostile}}},\n  \
          \"sustained\": {{\"elapsed_s\": {elapsed:.3}, \"segments_scored\": {scored}, \
          \"trips_completed\": {completed}, \"segments_per_s\": {seg_per_s:.1}}},\n  \
+         \"sanitization\": {{\"duplicates_injected\": {dups_sent}, \
+         \"dedup_dropped\": {dedup_notices}, \"gap_score_through\": {gap_notices}}},\n  \
          \"score_latency_ns\": {{\"count\": {}, \"p50\": {p50}, \"p99\": {p99}, \"p999\": {p999}, \
          \"mean\": {:.1}}},\n  \
          \"frame_decode_ns\": {{\"p50\": {d50}, \"p99\": {d99}, \"p999\": {d999}}},\n  \

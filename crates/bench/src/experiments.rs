@@ -656,6 +656,90 @@ pub fn time_engine_fleet(
     started.elapsed().as_secs_f64()
 }
 
+/// Hostile-stream AUC grid: corruption channels × sanitization policies.
+///
+/// Every cell corrupts the test sets with a seeded fault model and scores
+/// them through a [`tad_serve::FleetEngine`] carrying the cell's
+/// [`tad_serve::StreamPolicy`] — the full admission path a production
+/// gateway runs, not the offline `Detector::score` shortcut. Reported per
+/// city on the ID normals vs Detour anomalies split:
+///
+/// * rows — clean stream, duplicates (30%), adjacent reorders (30%),
+///   drops (15%), and a mixed channel with all five faults on;
+/// * columns — ROC-AUC with the policy off, with sanitization on
+///   (dedup window 2, reorder window 3, gaps scored through), and with
+///   sanitization plus `GapPolicy::Reset`; each with its delta against
+///   the city's clean × off baseline.
+pub fn hostile_streams(opts: &Opts) -> Table {
+    use tad_eval::hostile::hostile_cell;
+    use tad_serve::{GapPolicy, StreamPolicy};
+    use tad_trajsim::CorruptionConfig;
+
+    let corruptions = [
+        ("clean", CorruptionConfig::default()),
+        ("duplicates 30%", CorruptionConfig::duplicates(0.30, 11)),
+        ("reorders 30%", CorruptionConfig::reorders(0.30, 12)),
+        ("drops 15%", CorruptionConfig::drops(0.15, 13)),
+        (
+            "mixed",
+            CorruptionConfig {
+                duplicate_prob: 0.15,
+                reorder_prob: 0.15,
+                drop_prob: 0.08,
+                jitter_prob: 0.05,
+                teleport_prob: 0.02,
+                seed: 14,
+            },
+        ),
+    ];
+    let policies = [
+        ("off", StreamPolicy::default()),
+        (
+            "sanitize",
+            StreamPolicy { dedup_window: 2, reorder_window: 3, gap: GapPolicy::ScoreThrough },
+        ),
+        (
+            "sanitize+reset",
+            StreamPolicy { dedup_window: 2, reorder_window: 3, gap: GapPolicy::Reset },
+        ),
+    ];
+
+    let mut columns: Vec<String> = vec!["City".into(), "Corruption".into()];
+    for (name, _) in &policies {
+        columns.push(format!("{name} ROC-AUC"));
+        columns.push(format!("{name} Δ"));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Hostile streams — ROC-AUC under corruption × policy (ID normals vs Detour)",
+        &column_refs,
+    );
+
+    for city in &selected_cities(opts) {
+        let cfg = causaltad_config(opts.scale, opts.epochs);
+        let mut model = causaltad::CausalTad::new(&city.net, cfg);
+        eprintln!("training CausalTAD on {} ...", city.name);
+        model.fit(&city.data.train);
+        let model = std::sync::Arc::new(model);
+        let normals = &city.data.test_id;
+        let anomalies = &city.data.detour;
+
+        let mut baseline = None;
+        for (corruption_name, corruption) in &corruptions {
+            let mut row = vec![city.name.clone(), corruption_name.to_string()];
+            for (policy_name, policy) in &policies {
+                eprintln!("  cell {corruption_name} × {policy_name} ...");
+                let r = hostile_cell(&model, &city.net, policy, corruption, normals, anomalies);
+                let base = *baseline.get_or_insert(r.roc_auc);
+                row.push(Table::metric(r.roc_auc));
+                row.push(format!("{:+.4}", r.roc_auc - base));
+            }
+            table.push_row(row);
+        }
+    }
+    table
+}
+
 /// Prints a table to stdout and writes its CSV artefact.
 pub fn emit(opts: &Opts, name: &str, table: &Table) {
     println!("{}", table.to_markdown());

@@ -17,6 +17,7 @@
 //! | `fig7_efficiency` | Fig. 7 — training scalability + inference runtime |
 //! | `fig8_lambda` | Fig. 8 — λ sweep |
 //! | `ablation_design` | extra design ablations from DESIGN.md |
+//! | `hostile_streams` | corruption × sanitization-policy ROC-AUC grid |
 //! | `run_all` | Tables I/II + Figs 5/6/7b/8 sharing one training pass |
 //! | `diagnose` | per-pool score decomposition + λ sweep (debugging tool) |
 //!
@@ -28,7 +29,7 @@ pub mod opts;
 pub mod suite;
 
 pub use experiments::{
-    ablation_design, emit, fig4, fig7a, fleet_throughput, fleet_walks, table3, time_engine_fleet,
-    time_naive_fleet, training_times, Study,
+    ablation_design, emit, fig4, fig7a, fleet_throughput, fleet_walks, hostile_streams, table3,
+    time_engine_fleet, time_naive_fleet, training_times, Study,
 };
 pub use opts::{CityChoice, Opts};

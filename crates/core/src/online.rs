@@ -196,6 +196,18 @@ impl ScorerState {
     pub fn into_trace(self) -> Vec<SegmentTrace> {
         self.trace
     }
+
+    /// Forgets the Markov predecessor so the next pushed segment is charged
+    /// like a trip-opening one (`nll = 0`, no successor constraint) instead
+    /// of an off-graph transition. The decoder hidden state and every
+    /// accumulated score component are kept: the trip continues as a fresh
+    /// leg anchored at the jump target, conditioned on everything already
+    /// seen. This is the scoring primitive behind a serving layer's
+    /// "trip reset" gap policy for off-network jumps (GPS teleports, tunnel
+    /// exits, dropped sub-paths).
+    pub fn reset_context(&mut self) {
+        self.last = None;
+    }
 }
 
 impl CausalTad {
@@ -563,6 +575,39 @@ mod tests {
                 "batched {batched} vs sequential {sequential}"
             );
         }
+    }
+
+    #[test]
+    fn reset_context_opens_a_fresh_leg() {
+        let (city, model) = trained();
+        let t = &city.data.test_id[0];
+        let sd = t.sd_pair();
+        let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+        for &seg in &t.segments {
+            scorer.push(seg.0);
+        }
+        let before = scorer.state().clone();
+
+        // A wildly off-network jump target: the same push charges the
+        // off-graph penalty without a reset, and zero prediction loss with
+        // one.
+        let jump = (t.segments[0].0 + 1) % model.vocab() as u32;
+        let mut through = OnlineScorer::from_state(&model, before.clone());
+        through.push(jump);
+        let charged = through.trace().last().unwrap().nll;
+
+        let mut reset_state = before.clone();
+        reset_state.reset_context();
+        assert_eq!(reset_state.last_segment(), None);
+        // Only the predecessor is forgotten; scores and hidden state stay.
+        assert_eq!(reset_state.likelihood_nll(), before.likelihood_nll());
+        assert_eq!(reset_state.hidden(), before.hidden());
+        let mut fresh = OnlineScorer::from_state(&model, reset_state);
+        fresh.push(jump);
+        let step = fresh.trace().last().unwrap();
+        assert_eq!(step.nll, 0.0, "first segment of a fresh leg charges no prediction loss");
+        assert!(charged > 0.0 || step.nll <= charged);
+        assert_eq!(fresh.state().last_segment(), Some(jump));
     }
 
     #[test]

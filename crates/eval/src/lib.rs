@@ -13,11 +13,15 @@
 //! * [`wrappers`] — [`wrappers::CausalTadDetector`] adapts [`causaltad`]
 //!   (full model and its two ablations) to the shared
 //!   [`tad_baselines::Detector`] trait.
+//! * [`hostile`] — corruption × sanitization-policy AUC cells: corrupted
+//!   streams scored through a policy-configured [`tad_serve::FleetEngine`],
+//!   the evaluation behind the hostile-stream hardening work.
 //! * [`report`] — Markdown/CSV table rendering for the experiment
 //!   binaries.
 
 pub mod cities;
 pub mod harness;
+pub mod hostile;
 pub mod metrics;
 pub mod report;
 pub mod wrappers;

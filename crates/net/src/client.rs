@@ -5,7 +5,9 @@
 //! The protocol is pipelined: ingest requests (`trip_start` / `segment` /
 //! `trip_end`) are fire-and-forget writes, and the server pushes
 //! [`Response::Score`] / [`Response::TripComplete`] frames back whenever
-//! its shards score something. Two barrier calls give the stream
+//! its shards score something (plus [`Response::PolicyNotice`] frames
+//! when the engine's ingest sanitization policies touch one of this
+//! connection's trips). Two barrier calls give the stream
 //! structure: [`Client::flush`] (everything sent so far is scored and its
 //! responses received) and [`Client::snapshot`] (a fleet image for remote
 //! warm restart). While waiting for a barrier reply the client parks

@@ -21,7 +21,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use causaltad::envelope::{open_envelope, seal_envelope, EnvelopeError};
 use causaltad::SegmentTrace;
 use tad_metrics::{snapshot_from_bytes, snapshot_to_bytes, MetricsSnapshot};
-use tad_serve::{Completion, Event, FleetSnapshot, ScoreUpdate, TripId, TripOutcome};
+use tad_serve::{Completion, Event, FleetSnapshot, PolicyAction, ScoreUpdate, TripId, TripOutcome};
 
 /// Magic bytes opening every wire frame.
 pub const FRAME_MAGIC: &[u8; 4] = b"TADN";
@@ -49,6 +49,7 @@ const TAG_STATS: u8 = 0x12;
 const TAG_ERROR: u8 = 0x13;
 const TAG_SNAPSHOT: u8 = 0x14;
 const TAG_METRICS: u8 = 0x15;
+const TAG_POLICY_NOTICE: u8 = 0x16;
 
 /// One client→server frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -269,6 +270,19 @@ pub enum Response {
     /// exactly associative, so the wire merge is bit-identical to an
     /// in-process aggregation of the same per-backend snapshots.
     Metrics(MetricsSnapshot),
+    /// An ingest-sanitization outcome for one of this connection's trips:
+    /// the serving layer's `StreamPolicy` dropped a duplicate, repaired a
+    /// reorder, handled an off-network gap, or quarantined a malformed
+    /// event. Informational — the score stream is unaffected beyond what
+    /// the action says — and sent only to the trip's owning connection.
+    PolicyNotice {
+        /// The trip the sanitization concerned.
+        id: TripId,
+        /// What the policy layer did.
+        action: PolicyAction,
+        /// The segment involved, when the action concerns one.
+        seg: Option<u32>,
+    },
 }
 
 /// Why a frame failed to decode. Decoding is total: hostile bytes always
@@ -440,6 +454,18 @@ pub fn response_to_bytes(resp: &Response) -> Bytes {
             payload.put_u8(TAG_METRICS);
             payload.put_slice(&snapshot_to_bytes(snapshot));
         }
+        Response::PolicyNotice { id, action, seg } => {
+            payload.put_u8(TAG_POLICY_NOTICE);
+            payload.put_u64_le(*id);
+            payload.put_u8(action.wire_byte());
+            match seg {
+                Some(seg) => {
+                    payload.put_u8(1);
+                    payload.put_u32_le(*seg);
+                }
+                None => payload.put_u8(0),
+            }
+        }
     }
     seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze())
 }
@@ -482,7 +508,8 @@ pub fn request_from_bytes(bytes: Bytes) -> Result<Request, FrameError> {
         TAG_FLUSH => Request::Flush,
         TAG_SNAPSHOT_REQUEST => Request::SnapshotRequest,
         TAG_METRICS_REQUEST => Request::MetricsRequest,
-        TAG_SCORE | TAG_TRIP_COMPLETE | TAG_STATS | TAG_ERROR | TAG_SNAPSHOT | TAG_METRICS => {
+        TAG_SCORE | TAG_TRIP_COMPLETE | TAG_STATS | TAG_ERROR | TAG_SNAPSHOT | TAG_METRICS
+        | TAG_POLICY_NOTICE => {
             return Err(FrameError::UnexpectedKind { expected: "request", got: "response" });
         }
         other => return Err(FrameError::UnknownTag(other)),
@@ -612,6 +639,25 @@ pub fn response_from_bytes(bytes: Bytes) -> Result<Response, FrameError> {
                 snapshot_from_bytes(blob).map_err(|_| FrameError::Malformed("metrics blob"))?,
             )
         }
+        TAG_POLICY_NOTICE => {
+            if payload.remaining() < 8 + 1 + 1 {
+                return Err(FrameError::Truncated("policy-notice body"));
+            }
+            let id = payload.get_u64_le();
+            let action = PolicyAction::from_wire_byte(payload.get_u8())
+                .ok_or(FrameError::Malformed("policy action"))?;
+            let seg = match payload.get_u8() {
+                0 => None,
+                1 => {
+                    if payload.remaining() < 4 {
+                        return Err(FrameError::Truncated("policy-notice segment"));
+                    }
+                    Some(payload.get_u32_le())
+                }
+                _ => return Err(FrameError::Malformed("policy-notice segment flag")),
+            };
+            Response::PolicyNotice { id, action, seg }
+        }
         TAG_TRIP_START | TAG_SEGMENT | TAG_TRIP_END | TAG_FLUSH | TAG_SNAPSHOT_REQUEST
         | TAG_METRICS_REQUEST => {
             return Err(FrameError::UnexpectedKind { expected: "response", got: "request" });
@@ -695,6 +741,12 @@ mod tests {
             Response::Snapshot { image: Bytes::from(vec![1u8, 2, 3, 4]) },
             Response::Metrics(sample_metrics()),
             Response::Metrics(MetricsSnapshot::default()),
+            Response::PolicyNotice { id: 7, action: PolicyAction::Reordered, seg: Some(42) },
+            Response::PolicyNotice {
+                id: 9,
+                action: PolicyAction::QuarantinedUnknownTrip,
+                seg: None,
+            },
         ]
     }
 

@@ -313,6 +313,17 @@ impl Core {
                     None => self.dropped(),
                 }
             }
+            Response::PolicyNotice { id, action, seg } => {
+                // Sanitization outcomes are trip-scoped, like scores: fan
+                // them in to whichever front connection owns the trip so a
+                // producer behind the router sees the same notices it
+                // would see talking to the backend directly.
+                let conn = self.trips.read().expect("trips lock").get(&id).map(|r| r.conn);
+                match conn {
+                    Some(conn) => self.deliver_conn(conn, Response::PolicyNotice { id, action, seg }),
+                    None => self.dropped(),
+                }
+            }
             Response::Stats(stats) => {
                 let bid =
                     self.backends[idx as usize].pending.flushes.lock().expect("fifo").pop_front();

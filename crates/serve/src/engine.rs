@@ -11,6 +11,7 @@ use causaltad::{CausalTad, StepCache};
 use tad_metrics::{MetricsSnapshot, Registry};
 
 use crate::event::{Event, ScoreUpdate, TripId, TripOutcome};
+use crate::policy::{PolicyCallback, PolicyOutcome, StreamPolicy};
 use crate::shard::{run_shard, Ingest, ShardCtx};
 use crate::snapshot::{image_to_bytes, FleetImage, SessionRecord, SnapshotError};
 use crate::stats::{FleetSnapshot, FleetStats, ServeMetrics};
@@ -46,6 +47,10 @@ pub struct FleetConfig {
     /// ([`CausalTad::build_step_cache`]) so each batched step skips the
     /// input-gate matmul. Costs `vocab x 3·hidden` floats of memory.
     pub use_step_cache: bool,
+    /// Per-session ingest sanitization (dedup window, reorder repair, gap
+    /// policy). The default is all-off, which leaves the scoring path
+    /// byte-identical to an unpoliced engine.
+    pub policy: StreamPolicy,
 }
 
 impl Default for FleetConfig {
@@ -58,6 +63,7 @@ impl Default for FleetConfig {
             session_ttl: Duration::from_secs(300),
             max_sessions_per_shard: 8192,
             use_step_cache: true,
+            policy: StreamPolicy::default(),
         }
     }
 }
@@ -131,6 +137,7 @@ pub struct FleetEngineBuilder {
     cfg: FleetConfig,
     on_complete: Option<CompletionCallback>,
     on_score: Option<ScoreCallback>,
+    on_policy: Option<PolicyCallback>,
     resume: Option<FleetImage>,
     registry: Option<Arc<Registry>>,
 }
@@ -158,6 +165,18 @@ impl FleetEngineBuilder {
     /// threads.
     pub fn on_score(mut self, cb: impl Fn(&ScoreUpdate) + Send + Sync + 'static) -> Self {
         self.on_score = Some(Arc::new(cb));
+        self
+    }
+
+    /// Called by shard workers with every ingest-sanitization outcome —
+    /// policy transforms (dedup drops, reorder repairs, gap handling)
+    /// when the corresponding [`StreamPolicy`] knob is enabled, and
+    /// quarantine classifications of malformed events unconditionally.
+    /// This is how a network front-end turns a silent reject into a typed
+    /// per-trip reply. Must be cheap or hand off to a channel — it runs
+    /// on the scoring threads.
+    pub fn on_policy(mut self, cb: impl Fn(&PolicyOutcome) + Send + Sync + 'static) -> Self {
+        self.on_policy = Some(Arc::new(cb));
         self
     }
 
@@ -191,7 +210,8 @@ impl FleetEngineBuilder {
     /// and [`ServeError::SnapshotMismatch`] when a resume session does not
     /// fit the model.
     pub fn build(self) -> Result<FleetEngine, ServeError> {
-        let FleetEngineBuilder { model, cfg, on_complete, on_score, resume, registry } = self;
+        let FleetEngineBuilder { model, cfg, on_complete, on_score, on_policy, resume, registry } =
+            self;
         if model.scaling().is_none() {
             return Err(ServeError::ModelNotReady);
         }
@@ -225,6 +245,7 @@ impl FleetEngineBuilder {
                 metrics: metrics.clone(),
                 on_complete: on_complete.clone(),
                 on_score: on_score.clone(),
+                on_policy: on_policy.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("tad-serve-shard-{shard}"))
@@ -303,6 +324,7 @@ impl FleetEngine {
             cfg: FleetConfig::default(),
             on_complete: None,
             on_score: None,
+            on_policy: None,
             resume: None,
             registry: None,
         }

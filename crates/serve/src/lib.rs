@@ -36,9 +36,16 @@
 //!   engine keeps serving; [`FleetEngine::restore`] seeds a fresh engine
 //!   from one, and scoring resumes bit-identically to an uninterrupted
 //!   run (warm restart).
+//! * **Ingest sanitization** — an optional per-session [`StreamPolicy`]
+//!   (dedup window, bounded reorder repair, gap policy, malformed-event
+//!   quarantine) sits strictly in front of the scoring path; with the
+//!   default all-off policy the pipeline is byte-identical to an
+//!   unpoliced engine. See the [`policy`](crate::StreamPolicy) types.
 //! * **Observability** — [`FleetStats`] counts events, scored segments,
 //!   active sessions, evictions, rejects, off-graph hits, batch sizes,
-//!   and restored sessions.
+//!   and restored sessions; every policy action is counted under the
+//!   `serve.*` metrics names and surfaced through an `on_policy`
+//!   callback.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -61,6 +68,7 @@
 
 mod engine;
 mod event;
+mod policy;
 #[doc(hidden)]
 pub mod session; // exposed for the workspace micro-benches; not a stable API
 mod shard;
@@ -72,6 +80,7 @@ pub use engine::{
     SubmitError,
 };
 pub use event::{Completion, Event, ScoreUpdate, TripId, TripOutcome};
+pub use policy::{GapPolicy, PolicyAction, PolicyCallback, PolicyOutcome, StreamPolicy};
 pub use snapshot::{
     image_from_bytes, image_to_bytes, FleetImage, SessionRecord, SnapshotCodecError, SnapshotError,
 };

@@ -30,11 +30,27 @@ pub struct Session {
     /// Last time an event touched this trip (TTL/LRU clock). Updated
     /// through [`SessionStore::touch`] so the recency list stays ordered.
     pub last_touch: Instant,
+    /// Dedup ring: the last `StreamPolicy::dedup_window` *admitted*
+    /// segment ids, newest last. Empty (and never touched) when the dedup
+    /// policy is off.
+    pub dedup: VecDeque<u32>,
+    /// Reorder hold buffer: segments that did not chain onto the
+    /// admission tail, in arrival order, at most
+    /// `StreamPolicy::reorder_window` of them. Empty (and never touched)
+    /// when the reorder policy is off.
+    pub held: VecDeque<u32>,
 }
 
 impl Session {
     pub fn new(state: ScorerState, now: Instant) -> Self {
-        Session { state, pending: VecDeque::new(), ending: false, last_touch: now }
+        Session {
+            state,
+            pending: VecDeque::new(),
+            ending: false,
+            last_touch: now,
+            dedup: VecDeque::new(),
+            held: VecDeque::new(),
+        }
     }
 }
 

@@ -11,6 +11,7 @@ use causaltad::{CausalTad, ScorerState, StepCache, OFF_GRAPH_NLL};
 
 use crate::engine::{CompletionCallback, FleetConfig, ScoreCallback};
 use crate::event::{Completion, Event, ScoreUpdate, TripId, TripOutcome};
+use crate::policy::{GapPolicy, PolicyAction, PolicyCallback, PolicyOutcome};
 use crate::session::{Session, SessionStore};
 use crate::snapshot::SessionRecord;
 use crate::stats::{FleetStats, ServeMetrics};
@@ -61,6 +62,7 @@ pub(crate) struct ShardCtx {
     pub metrics: ServeMetrics,
     pub on_complete: Option<CompletionCallback>,
     pub on_score: Option<ScoreCallback>,
+    pub on_policy: Option<PolicyCallback>,
 }
 
 impl ShardCtx {
@@ -83,11 +85,42 @@ impl ShardCtx {
         }
     }
 
+    /// Delivers a sanitization outcome to the engine's `on_policy`
+    /// callback (a no-op without one).
+    fn notify_policy(&self, id: TripId, seg: Option<u32>, action: PolicyAction) {
+        if let Some(cb) = &self.on_policy {
+            cb(&PolicyOutcome { id, seg, action });
+        }
+    }
+
+    /// A malformed event was rejected: counts it under both the legacy
+    /// `rejected` stat and the `serve.quarantined` metric, and surfaces
+    /// the classification so a front-end can answer the producer with a
+    /// typed reply instead of a silent drop.
+    fn quarantine(&self, id: TripId, seg: Option<u32>, action: PolicyAction) {
+        FleetStats::bump(&self.stats.rejected);
+        self.metrics.quarantined.add(1);
+        self.notify_policy(id, seg, action);
+    }
+
     fn finish(&self, id: TripId, session: Session, completion: Completion) {
+        self.stats.active_sessions.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        self.deliver_outcome(id, session, completion);
+    }
+
+    /// Like [`ShardCtx::finish`] for a session that was never admitted to
+    /// the `active_sessions` gauge — the restore early-out paths, which
+    /// retire a record without it ever becoming live. Keeping the gauge
+    /// untouched here means it never transiently overshoots the number of
+    /// sessions actually in a store.
+    fn finish_detached(&self, id: TripId, session: Session, completion: Completion) {
+        self.deliver_outcome(id, session, completion);
+    }
+
+    fn deliver_outcome(&self, id: TripId, session: Session, completion: Completion) {
         if completion == Completion::Ended {
             FleetStats::bump(&self.stats.trips_completed);
         }
-        self.stats.active_sessions.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(cb) = &self.on_complete {
             let state = session.state;
             cb(TripOutcome {
@@ -160,6 +193,12 @@ pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
 
 /// Clones every live session into snapshot records, oldest first (so a
 /// restore that re-inserts in order reproduces the recency list).
+///
+/// A session's reorder hold buffer is appended to its `pending` queue:
+/// the snapshot format has no policy state, so held segments are
+/// conservatively flushed in arrival order and scored at restore time
+/// (the same flush `TripEnd` would perform). The dedup ring is likewise
+/// not captured — it rebuilds empty on the restored engine.
 fn capture_sessions(store: &SessionStore) -> Vec<SessionRecord> {
     let now = Instant::now();
     store
@@ -167,7 +206,7 @@ fn capture_sessions(store: &SessionStore) -> Vec<SessionRecord> {
         .map(|(id, session)| SessionRecord {
             id,
             state: session.state.clone(),
-            pending: session.pending.iter().copied().collect(),
+            pending: session.pending.iter().chain(session.held.iter()).copied().collect(),
             ending: session.ending,
             idle_micros: now.saturating_duration_since(session.last_touch).as_micros() as u64,
         })
@@ -189,7 +228,7 @@ fn restore_sessions(ctx: &ShardCtx, store: &mut SessionStore, records: Vec<Sessi
     for rec in records {
         let SessionRecord { id, mut state, pending, ending, idle_micros } = rec;
         if store.contains(id) {
-            FleetStats::bump(&ctx.stats.rejected);
+            ctx.quarantine(id, None, PolicyAction::QuarantinedDuplicateStart);
             continue;
         }
         // Segments that were pending at capture time would stall in the
@@ -202,18 +241,25 @@ fn restore_sessions(ctx: &ShardCtx, store: &mut SessionStore, records: Vec<Sessi
             ctx.deliver_score(id, &state, score);
         }
         FleetStats::bump(&ctx.stats.sessions_restored);
-        FleetStats::bump(&ctx.stats.active_sessions);
         let idle = Duration::from_micros(idle_micros);
+        // The early-out paths below retire the record without it ever
+        // entering the store, so they must not touch the
+        // `active_sessions` gauge: bumping it first and letting
+        // `finish()` undo the bump (the previous arrangement) left a
+        // window in which a concurrent `stats()` read an inflated gauge —
+        // and the restored-engine gauge drifted from "sessions actually
+        // live" by exactly the in-flight early-outs.
         if ending {
             // Its TripEnd arrived before the capture; deliver immediately.
-            ctx.finish(id, Session::new(state, now), Completion::Ended);
+            ctx.finish_detached(id, Session::new(state, now), Completion::Ended);
             continue;
         }
         if idle > ttl {
             FleetStats::bump(&ctx.stats.evictions_ttl);
-            ctx.finish(id, Session::new(state, now), Completion::EvictedTtl);
+            ctx.finish_detached(id, Session::new(state, now), Completion::EvictedTtl);
             continue;
         }
+        FleetStats::bump(&ctx.stats.active_sessions);
         // Oldest-first arrival means ages descend; `max(newest)` repairs
         // the order when a clamped (unrepresentable) age would otherwise
         // land a fresh-looking session at the tail.
@@ -257,6 +303,7 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
         ctx.metrics.inflight.add(-(batch.len() as i64));
     }
     let vocab = ctx.model.vocab() as u32;
+    let policy_on = !ctx.cfg.policy.is_off();
     let mut touched: Vec<TripId> = Vec::new();
     let mut ended: Vec<TripId> = Vec::new();
 
@@ -264,7 +311,7 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
         match ev {
             Event::TripStart { id, source, dest, time_slot } => {
                 if store.contains(id) {
-                    FleetStats::bump(&ctx.stats.rejected);
+                    ctx.quarantine(id, None, PolicyAction::QuarantinedDuplicateStart);
                     continue;
                 }
                 match ctx.model.start_state(source, dest, time_slot) {
@@ -277,12 +324,12 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
                             ctx.finish(victim, session, Completion::EvictedLru);
                         }
                     }
-                    Err(_) => FleetStats::bump(&ctx.stats.rejected),
+                    Err(_) => ctx.quarantine(id, None, PolicyAction::QuarantinedBadStart),
                 }
             }
             Event::Segment { id, seg } => {
                 if seg >= vocab {
-                    FleetStats::bump(&ctx.stats.rejected);
+                    ctx.quarantine(id, Some(seg), PolicyAction::QuarantinedOutOfVocab);
                     continue;
                 }
                 // `touch` refreshes the TTL clock and recency in O(1); a
@@ -291,20 +338,29 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
                 // is unobservable.
                 match store.touch(id, now) {
                     Some(session) if !session.ending => {
-                        if session.pending.is_empty() {
-                            touched.push(id);
+                        if policy_on {
+                            policy_admit(ctx, id, session, seg, &mut touched);
+                        } else {
+                            // The pre-policy fast path, byte-identical to
+                            // an unpoliced engine.
+                            if session.pending.is_empty() {
+                                touched.push(id);
+                            }
+                            session.pending.push_back(seg);
                         }
-                        session.pending.push_back(seg);
                     }
-                    _ => FleetStats::bump(&ctx.stats.rejected),
+                    _ => ctx.quarantine(id, Some(seg), PolicyAction::QuarantinedUnknownTrip),
                 }
             }
             Event::TripEnd { id } => match store.touch(id, now) {
                 Some(session) if !session.ending => {
+                    if policy_on {
+                        flush_held(ctx, id, session, &mut touched);
+                    }
                     session.ending = true;
                     ended.push(id);
                 }
-                _ => FleetStats::bump(&ctx.stats.rejected),
+                _ => ctx.quarantine(id, None, PolicyAction::QuarantinedUnknownTrip),
             },
         }
     }
@@ -365,5 +421,154 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
         if let Some(session) = store.remove(id) {
             ctx.finish(id, session, Completion::Ended);
         }
+    }
+}
+
+// ---- Ingest sanitization (`StreamPolicy`) -------------------------------
+//
+// These helpers run only when a policy knob is enabled (`policy_on` above);
+// the default all-off configuration takes the fast path, byte-identical to
+// an unpoliced engine. They operate strictly on the *admission* side —
+// deciding which segments enter `pending` and in what order — so the
+// scoring waves below them stay bit-exact, and because every ingest path
+// (in-process, `tad-net`, `tad-router`) preserves per-trip arrival order,
+// the same corrupted stream sanitizes identically everywhere.
+
+/// True when `seg` chains onto the trip's admission tail: the segment most
+/// recently admitted (queued or already scored), or vacuously for a trip
+/// that has no tail yet (the first segment is fixed by the SD condition
+/// and always admissible).
+fn chains(ctx: &ShardCtx, session: &Session, seg: u32) -> bool {
+    match session.pending.back().copied().or(session.state.last_segment()) {
+        None => true,
+        Some(prev) => ctx.model.successors_of(prev).contains(&seg),
+    }
+}
+
+/// Unconditional admission of one in-vocab segment into the scoring queue,
+/// maintaining the micro-batch work list and the dedup ring.
+fn admit(ctx: &ShardCtx, id: TripId, session: &mut Session, seg: u32, touched: &mut Vec<TripId>) {
+    // The policy layer can drain `pending` mid-batch (a trip reset scores
+    // it inline), so unlike the fast path, "queue was empty" no longer
+    // implies "not on the work list yet" — the `contains` check keeps the
+    // work list duplicate-free (a duplicate would clobber the session
+    // state with the taken-out placeholder).
+    if session.pending.is_empty() && !touched.contains(&id) {
+        touched.push(id);
+    }
+    session.pending.push_back(seg);
+    let window = ctx.cfg.policy.dedup_window;
+    if window > 0 {
+        session.dedup.push_back(seg);
+        while session.dedup.len() > window {
+            session.dedup.pop_front();
+        }
+    }
+}
+
+/// Admits a segment that does not chain onto the tail — an off-network
+/// jump — under the configured [`GapPolicy`].
+fn admit_gap(
+    ctx: &ShardCtx,
+    id: TripId,
+    session: &mut Session,
+    seg: u32,
+    touched: &mut Vec<TripId>,
+) {
+    match ctx.cfg.policy.gap {
+        GapPolicy::ScoreThrough => {
+            ctx.metrics.gap_score_through.add(1);
+            ctx.notify_policy(id, Some(seg), PolicyAction::GapScoredThrough);
+            admit(ctx, id, session, seg, touched);
+        }
+        GapPolicy::Reset => {
+            // Everything queued ahead must score against the pre-jump
+            // context first — push_state is bit-identical to the batched
+            // path, including the off-graph accounting — then the Markov
+            // predecessor is forgotten so the jump target opens a fresh
+            // leg (charged like a first segment).
+            while let Some(queued) = session.pending.pop_front() {
+                let score = ctx.model.push_state(&mut session.state, queued);
+                FleetStats::bump(&ctx.stats.segments_scored);
+                ctx.deliver_score(id, &session.state, score);
+            }
+            session.state.reset_context();
+            ctx.metrics.trip_resets.add(1);
+            ctx.notify_policy(id, Some(seg), PolicyAction::TripReset);
+            admit(ctx, id, session, seg, touched);
+        }
+    }
+}
+
+/// Re-admits every held segment that now chains onto the (moving) tail;
+/// each admission may unlock the next.
+fn drain_held(ctx: &ShardCtx, id: TripId, session: &mut Session, touched: &mut Vec<TripId>) {
+    while let Some(pos) =
+        (0..session.held.len()).find(|&i| chains(ctx, session, session.held[i]))
+    {
+        let seg = session.held.remove(pos).expect("index in range");
+        admit(ctx, id, session, seg, touched);
+        ctx.metrics.reordered.add(1);
+        ctx.notify_policy(id, Some(seg), PolicyAction::Reordered);
+    }
+}
+
+/// `TripEnd` flushes the hold buffer in arrival order: chaining segments
+/// are admitted plainly, the rest go through the gap policy. Each
+/// admission moves the tail, so later held segments may chain after all.
+fn flush_held(ctx: &ShardCtx, id: TripId, session: &mut Session, touched: &mut Vec<TripId>) {
+    while let Some(seg) = session.held.pop_front() {
+        ctx.metrics.reorder_flushed.add(1);
+        ctx.notify_policy(id, Some(seg), PolicyAction::ReorderFlushed);
+        if chains(ctx, session, seg) {
+            admit(ctx, id, session, seg, touched);
+        } else {
+            admit_gap(ctx, id, session, seg, touched);
+        }
+    }
+}
+
+/// The policy-aware admission pipeline for one in-vocab segment event:
+/// dedup window first, then the order check against the admission tail,
+/// with non-chaining segments held for reorder repair and true gaps
+/// handled by the configured [`GapPolicy`].
+fn policy_admit(
+    ctx: &ShardCtx,
+    id: TripId,
+    session: &mut Session,
+    seg: u32,
+    touched: &mut Vec<TripId>,
+) {
+    let pol = &ctx.cfg.policy;
+    if pol.dedup_window > 0 && session.dedup.contains(&seg) {
+        ctx.metrics.dedup_dropped.add(1);
+        ctx.notify_policy(id, Some(seg), PolicyAction::DedupDropped);
+        return;
+    }
+    if chains(ctx, session, seg) {
+        admit(ctx, id, session, seg, touched);
+        drain_held(ctx, id, session, touched);
+        return;
+    }
+    if pol.reorder_window == 0 {
+        admit_gap(ctx, id, session, seg, touched);
+        return;
+    }
+    if session.held.len() < pol.reorder_window {
+        session.held.push_back(seg);
+        return;
+    }
+    // Hold buffer full: the oldest held segment has outlived a whole
+    // window without chaining — treat it as a genuine gap (which may
+    // unlock the rest of the buffer), then retry the incoming segment
+    // against the moved tail.
+    let oldest = session.held.pop_front().expect("window > 0 and buffer full");
+    admit_gap(ctx, id, session, oldest, touched);
+    drain_held(ctx, id, session, touched);
+    if chains(ctx, session, seg) {
+        admit(ctx, id, session, seg, touched);
+        drain_held(ctx, id, session, touched);
+    } else {
+        session.held.push_back(seg);
     }
 }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tad_metrics::{Gauge, Histogram, Registry};
+use tad_metrics::{Counter, Gauge, Histogram, Registry};
 
 /// Handles into the engine's metrics [`Registry`], resolved once at build
 /// time so shard workers and submitters record through cached `Arc`s and
@@ -22,6 +22,24 @@ pub(crate) struct ServeMetrics {
     pub queue_depth: Arc<Histogram>,
     /// `serve.ingest_inflight`: events submitted but not yet drained.
     pub inflight: Arc<Gauge>,
+    /// `serve.dedup_dropped`: segments dropped by the dedup window.
+    pub dedup_dropped: Arc<Counter>,
+    /// `serve.reordered`: held segments re-admitted once the stream
+    /// caught up.
+    pub reordered: Arc<Counter>,
+    /// `serve.reorder_flushed`: held segments flushed in arrival order by
+    /// `TripEnd`.
+    pub reorder_flushed: Arc<Counter>,
+    /// `serve.gap_score_through`: off-network jumps admitted under
+    /// [`crate::GapPolicy::ScoreThrough`].
+    pub gap_score_through: Arc<Counter>,
+    /// `serve.trip_resets`: off-network jumps that reset the trip's
+    /// Markov context under [`crate::GapPolicy::Reset`].
+    pub trip_resets: Arc<Counter>,
+    /// `serve.quarantined`: malformed events rejected and classified
+    /// (duplicate starts, unknown trips, out-of-vocab segments, bad SD
+    /// pairs).
+    pub quarantined: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -31,6 +49,12 @@ impl ServeMetrics {
             batch_width: registry.histogram("serve.batch_width"),
             queue_depth: registry.histogram("serve.ingest_queue_depth"),
             inflight: registry.gauge("serve.ingest_inflight"),
+            dedup_dropped: registry.counter("serve.dedup_dropped"),
+            reordered: registry.counter("serve.reordered"),
+            reorder_flushed: registry.counter("serve.reorder_flushed"),
+            gap_score_through: registry.counter("serve.gap_score_through"),
+            trip_resets: registry.counter("serve.trip_resets"),
+            quarantined: registry.counter("serve.quarantined"),
         }
     }
 }

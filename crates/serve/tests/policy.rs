@@ -1,0 +1,337 @@
+//! Ingest-sanitization battery: the `StreamPolicy` transforms must repair
+//! corrupted streams back to the clean-stream scores (bit-exactly, where
+//! repair is possible), quarantine classification must surface every
+//! malformed event, and the restore-path accounting must balance.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use causaltad::{CausalTad, CausalTadConfig};
+use tad_serve::{
+    Completion, Event, FleetConfig, FleetEngine, FleetImage, GapPolicy, PolicyAction,
+    PolicyOutcome, SessionRecord, StreamPolicy, TripOutcome,
+};
+use tad_trajsim::{generate_city, City, CityConfig, Trajectory};
+
+fn trained() -> &'static (City, Arc<CausalTad>) {
+    static SHARED: OnceLock<(City, Arc<CausalTad>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let city = generate_city(&CityConfig::test_scale(91));
+        let cfg = CausalTadConfig { epochs: 2, ..CausalTadConfig::test_scale() };
+        let mut model = CausalTad::new(&city.net, cfg);
+        model.fit(&city.data.train);
+        (city, Arc::new(model))
+    })
+}
+
+/// Runs one trip's event stream through a single-shard engine under the
+/// given policy, returning its outcome and the engine for metrics asserts.
+fn run_trip(
+    model: Arc<CausalTad>,
+    policy: StreamPolicy,
+    events: Vec<Event>,
+) -> (TripOutcome, FleetEngine, Arc<Mutex<Vec<PolicyOutcome>>>) {
+    let outcomes: Arc<Mutex<Vec<TripOutcome>>> = Arc::default();
+    let actions: Arc<Mutex<Vec<PolicyOutcome>>> = Arc::default();
+    let sink = Arc::clone(&outcomes);
+    let action_sink = Arc::clone(&actions);
+    let engine = FleetEngine::builder(model)
+        .config(FleetConfig { num_shards: 1, policy, ..FleetConfig::default() })
+        .on_complete(move |outcome| sink.lock().unwrap().push(outcome))
+        .on_policy(move |outcome| action_sink.lock().unwrap().push(*outcome))
+        .build()
+        .expect("trained model");
+    for ev in events {
+        engine.submit(ev).expect("engine is live");
+    }
+    engine.flush().expect("shards live");
+    let outcome = outcomes.lock().unwrap().pop().expect("one trip completed");
+    (outcome, engine, actions)
+}
+
+/// The clean-stream events of one trip under id 1.
+fn trip_events(t: &Trajectory) -> Vec<Event> {
+    let sd = t.sd_pair();
+    let mut events =
+        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    events.extend(t.segments.iter().map(|seg| Event::Segment { id: 1, seg: seg.0 }));
+    events.push(Event::TripEnd { id: 1 });
+    events
+}
+
+fn clean_score(model: &CausalTad, t: &Trajectory) -> f64 {
+    let sd = t.sd_pair();
+    let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+    let mut last = f64::NAN;
+    for &seg in &t.segments {
+        last = scorer.push(seg.0);
+    }
+    last
+}
+
+#[test]
+fn dedup_window_restores_clean_scores_under_duplication() {
+    let (city, model) = trained();
+    let t = &city.data.test_id[0];
+    assert!(t.len() >= 3, "test trip too short");
+    // Re-send every segment immediately — the classic at-least-once
+    // transport failure.
+    let sd = t.sd_pair();
+    let mut corrupted =
+        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    for seg in &t.segments {
+        corrupted.push(Event::Segment { id: 1, seg: seg.0 });
+        corrupted.push(Event::Segment { id: 1, seg: seg.0 });
+    }
+    corrupted.push(Event::TripEnd { id: 1 });
+
+    let policy = StreamPolicy { dedup_window: 2, ..StreamPolicy::default() };
+    let (outcome, engine, actions) = run_trip(Arc::clone(model), policy, corrupted);
+    assert_eq!(outcome.segments, t.len(), "every duplicate must be dropped");
+    assert_eq!(outcome.score, clean_score(model, t), "sanitized score must be bit-identical");
+    let metrics = engine.metrics();
+    assert_eq!(metrics.counter("serve.dedup_dropped"), Some(t.len() as u64));
+    assert_eq!(metrics.counter("serve.quarantined"), Some(0));
+    let actions = actions.lock().unwrap();
+    assert_eq!(actions.iter().filter(|a| a.action == PolicyAction::DedupDropped).count(), t.len());
+    engine.shutdown();
+}
+
+#[test]
+fn reorder_window_repairs_adjacent_swaps() {
+    let (city, model) = trained();
+    // Find a trip and a swap position where the early-arriving segment is
+    // *not* a graph successor of the preceding tail (so the swap is
+    // actually repaired through the hold buffer, not admitted by luck).
+    let mut found = None;
+    'outer: for t in city.data.test_id.iter().chain(city.data.test_ood.iter()) {
+        for i in 1..t.len().saturating_sub(1) {
+            let prev = t.segments[i - 1].0;
+            let a = t.segments[i].0;
+            let b = t.segments[i + 1].0;
+            if a != b && !model.successors_of(prev).contains(&b) {
+                found = Some((t, i));
+                break 'outer;
+            }
+        }
+    }
+    let (t, i) = found.expect("city suite contains a swappable trip");
+    let mut segments: Vec<u32> = t.segments.iter().map(|s| s.0).collect();
+    segments.swap(i, i + 1);
+
+    let sd = t.sd_pair();
+    let mut corrupted =
+        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    corrupted.extend(segments.iter().map(|&seg| Event::Segment { id: 1, seg }));
+    corrupted.push(Event::TripEnd { id: 1 });
+
+    let policy = StreamPolicy { reorder_window: 3, ..StreamPolicy::default() };
+    let (outcome, engine, actions) = run_trip(Arc::clone(model), policy, corrupted);
+    assert_eq!(outcome.segments, t.len());
+    assert_eq!(
+        outcome.score,
+        clean_score(model, t),
+        "a repaired swap must reproduce the clean-stream score bit-exactly"
+    );
+    assert_eq!(engine.metrics().counter("serve.reordered"), Some(1));
+    let actions = actions.lock().unwrap();
+    assert!(actions.iter().any(|a| a.action == PolicyAction::Reordered));
+    engine.shutdown();
+}
+
+#[test]
+fn gap_reset_charges_the_jump_like_a_fresh_leg() {
+    let (city, model) = trained();
+    let t = &city.data.test_id[1];
+    let tail = t.segments.last().unwrap().0;
+    // A teleport target guaranteed off the tail's successor set.
+    let vocab = model.vocab() as u32;
+    let jump = (0..vocab)
+        .find(|&s| s != tail && !model.successors_of(tail).contains(&s))
+        .expect("network is sparse");
+
+    let sd = t.sd_pair();
+    let mut stream = trip_events(t);
+    let end = stream.pop().unwrap(); // TripEnd
+    stream.push(Event::Segment { id: 1, seg: jump });
+    stream.push(end);
+
+    // Reference: clean prefix, context reset, then the jump.
+    let mut scorer = model.online(sd.source.0, sd.dest.0, t.time_slot);
+    for &seg in &t.segments {
+        scorer.push(seg.0);
+    }
+    let mut state = scorer.into_state();
+    state.reset_context();
+    let mut resumed = causaltad::OnlineScorer::from_state(model, state);
+    let reference = resumed.push(jump);
+
+    let policy = StreamPolicy { gap: GapPolicy::Reset, ..StreamPolicy::default() };
+    let (outcome, engine, actions) = run_trip(Arc::clone(model), policy, stream.clone());
+    assert_eq!(outcome.segments, t.len() + 1);
+    assert_eq!(outcome.score, reference, "reset path must be bit-identical to the manual reset");
+    assert_eq!(engine.metrics().counter("serve.trip_resets"), Some(1));
+    assert!(actions.lock().unwrap().iter().any(|a| a.action == PolicyAction::TripReset
+        && a.seg == Some(jump)));
+    engine.shutdown();
+
+    // Score-through (the default gap policy) must instead match the
+    // unpoliced engine: same stream, off-graph penalty charged.
+    let through = StreamPolicy { gap: GapPolicy::ScoreThrough, dedup_window: 1, ..Default::default() };
+    let (through_outcome, through_engine, _) = run_trip(Arc::clone(model), through, stream.clone());
+    let (unpoliced_outcome, unpoliced_engine, _) =
+        run_trip(Arc::clone(model), StreamPolicy::default(), stream);
+    assert_eq!(through_outcome.score, unpoliced_outcome.score);
+    assert_ne!(through_outcome.score, outcome.score, "reset must actually change the score");
+    assert_eq!(through_engine.metrics().counter("serve.gap_score_through"), Some(1));
+    let through_stats = through_engine.shutdown();
+    let unpoliced_stats = unpoliced_engine.shutdown();
+    assert_eq!(through_stats.off_graph_hits, 1);
+    assert_eq!(unpoliced_stats.off_graph_hits, 1);
+}
+
+#[test]
+fn quarantine_classifies_every_malformed_event() {
+    let (_city, model) = trained();
+    let vocab = model.vocab() as u32;
+    let actions: Arc<Mutex<Vec<PolicyOutcome>>> = Arc::default();
+    let action_sink = Arc::clone(&actions);
+    // Default (all-off) policy: quarantine classification still fires.
+    let engine = FleetEngine::builder(Arc::clone(model))
+        .config(FleetConfig { num_shards: 1, ..FleetConfig::default() })
+        .on_policy(move |outcome| action_sink.lock().unwrap().push(*outcome))
+        .build()
+        .expect("trained model");
+    engine.submit(Event::TripStart { id: 1, source: 0, dest: 1, time_slot: 0 }).unwrap();
+    engine.submit(Event::TripStart { id: 1, source: 0, dest: 1, time_slot: 0 }).unwrap();
+    engine.submit(Event::Segment { id: 1, seg: vocab + 3 }).unwrap();
+    engine.submit(Event::Segment { id: 77, seg: 0 }).unwrap();
+    engine.submit(Event::TripEnd { id: 78 }).unwrap();
+    engine.submit(Event::TripStart { id: 2, source: vocab + 1, dest: 0, time_slot: 0 }).unwrap();
+    engine.flush().expect("shards live");
+
+    let got: Vec<(u64, PolicyAction)> =
+        actions.lock().unwrap().iter().map(|a| (a.id, a.action)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (1, PolicyAction::QuarantinedDuplicateStart),
+            (1, PolicyAction::QuarantinedOutOfVocab),
+            (77, PolicyAction::QuarantinedUnknownTrip),
+            (78, PolicyAction::QuarantinedUnknownTrip),
+            (2, PolicyAction::QuarantinedBadStart),
+        ]
+    );
+    assert_eq!(engine.metrics().counter("serve.quarantined"), Some(5));
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected, 5, "quarantine counts alongside the legacy reject counter");
+}
+
+#[test]
+fn trip_end_flushes_the_hold_buffer_in_arrival_order() {
+    let (city, model) = trained();
+    let t = &city.data.test_id[2];
+    assert!(t.len() >= 4);
+    // Withhold the second segment entirely: its successors pile up in the
+    // hold buffer and only TripEnd releases them (as gaps/chains).
+    let sd = t.sd_pair();
+    let mut stream =
+        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    stream.push(Event::Segment { id: 1, seg: t.segments[0].0 });
+    for seg in &t.segments[2..] {
+        stream.push(Event::Segment { id: 1, seg: seg.0 });
+    }
+    stream.push(Event::TripEnd { id: 1 });
+
+    let policy = StreamPolicy {
+        reorder_window: t.len(), // wide enough to hold the whole tail
+        ..StreamPolicy::default()
+    };
+    let (outcome, engine, _) = run_trip(Arc::clone(model), policy, stream);
+    // Every segment still reaches the scorer (nothing silently lost) even
+    // though the dropped segment broke the chain for good.
+    assert_eq!(outcome.segments, t.len() - 1);
+    assert_eq!(outcome.completion, Completion::Ended);
+    let metrics = engine.metrics();
+    let flushed = metrics.counter("serve.reorder_flushed").unwrap();
+    assert!(flushed > 0, "TripEnd must flush the held tail");
+    engine.shutdown();
+}
+
+/// Satellite regression: `restore_sessions` accounting. The
+/// `active_sessions` gauge must only ever count sessions actually live in
+/// a store — records retired on the ending/TTL early-out paths must not
+/// pass through it (the old code bumped the gauge first and let
+/// `finish()` undo it, inflating concurrent reads), and the final balance
+/// after shutdown must be exactly zero.
+#[test]
+fn restore_accounting_balances_ending_and_expired_sessions() {
+    let (city, model) = trained();
+    let ttl = Duration::from_secs(300);
+
+    let make_state = |t: &Trajectory, take: usize| {
+        let sd = t.sd_pair();
+        let mut state = model.start_state(sd.source.0, sd.dest.0, t.time_slot).unwrap();
+        for &seg in &t.segments[..take] {
+            model.push_state(&mut state, seg.0);
+        }
+        state
+    };
+    let live = &city.data.test_id[0];
+    let image = FleetImage {
+        num_shards: 1,
+        sessions: vec![
+            SessionRecord {
+                id: 10,
+                state: make_state(live, 1),
+                pending: vec![live.segments[1].0],
+                ending: false,
+                idle_micros: 0,
+            },
+            // TripEnd arrived before the capture: delivered immediately.
+            SessionRecord {
+                id: 11,
+                state: make_state(&city.data.test_id[1], 2),
+                pending: Vec::new(),
+                ending: true,
+                idle_micros: 0,
+            },
+            // Idle beyond the TTL: evicted on arrival.
+            SessionRecord {
+                id: 12,
+                state: make_state(&city.data.test_id[2], 2),
+                pending: Vec::new(),
+                ending: false,
+                idle_micros: (ttl.as_micros() as u64) * 2,
+            },
+        ],
+    };
+
+    let completions: Arc<Mutex<Vec<(u64, Completion)>>> = Arc::default();
+    let sink = Arc::clone(&completions);
+    let engine = FleetEngine::restore(Arc::clone(model), image)
+        .config(FleetConfig { num_shards: 1, session_ttl: ttl, ..FleetConfig::default() })
+        .on_complete(move |outcome| sink.lock().unwrap().push((outcome.id, outcome.completion)))
+        .build()
+        .expect("records fit the model");
+    engine.flush().expect("shard live");
+
+    let mid = engine.stats();
+    assert_eq!(mid.sessions_restored, 3);
+    assert_eq!(mid.active_sessions, 1, "only the genuinely live session may be on the gauge");
+    assert_eq!(mid.trips_completed, 1);
+    assert_eq!(mid.evictions_ttl, 1);
+    assert_eq!(mid.segments_scored, 1, "the live record's pending segment was scored");
+    {
+        let completions = completions.lock().unwrap();
+        assert_eq!(completions.len(), 2);
+        assert!(completions.contains(&(11, Completion::Ended)));
+        assert!(completions.contains(&(12, Completion::EvictedTtl)));
+    }
+
+    let end = engine.shutdown();
+    assert_eq!(end.active_sessions, 0, "gauge must balance to exactly zero (no wrap, no drift)");
+    assert_eq!(end.trips_completed, 1);
+    let completions = completions.lock().unwrap();
+    assert!(completions.contains(&(10, Completion::Shutdown)));
+}

@@ -17,6 +17,10 @@
 //! * [`generator`] — one-call generation of a [`generator::City`] with all
 //!   five splits (train / ID / OOD / detour / switch).
 //! * [`codec`] — compact binary persistence of datasets.
+//! * [`corruption`] — seeded, replayable fault-model transforms
+//!   (duplicate / reorder / drop / jitter / teleport) that turn any clean
+//!   dataset into hostile telemetry for the serving-layer sanitization
+//!   policies.
 //!
 //! Because `E` is explicit here, experiments can verify not only *that*
 //! CausalTAD beats the baselines out of distribution, but that it does so
@@ -24,6 +28,7 @@
 
 pub mod anomaly;
 pub mod codec;
+pub mod corruption;
 mod dataset;
 pub mod generator;
 pub mod preference;
@@ -31,5 +36,6 @@ pub mod routing;
 pub mod sd;
 pub mod stats;
 
+pub use corruption::{corrupt_dataset, corrupt_trajectory, CorruptionConfig};
 pub use dataset::{CityDatasets, Label, SdPair, Trajectory};
 pub use generator::{generate_city, City, CityConfig};

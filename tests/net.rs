@@ -295,6 +295,157 @@ fn out_of_vocab_events_get_typed_rejects_without_stranding_trip_ids() {
     server.shutdown();
 }
 
+/// The cross-connection duplicate-`TripStart` regression. A trip can be
+/// live in the engine while *unclaimed* on the server (a warm restart
+/// restores the session, and no `TripStart` ever arrives to claim it).
+/// A second producer starting that id used to slip past the accept-time
+/// claim check, get silently rejected by the engine, and leave its stale
+/// claim stealing the true owner's score route. Now the engine's
+/// quarantine classification reaches the net layer: the offender gets the
+/// same typed `Rejected` reply an accept-time duplicate gets, its claim
+/// is released, and the owner's stream is unperturbed — bit-identical to
+/// an uninterrupted in-process run.
+#[test]
+fn duplicate_trip_start_across_connections_is_rejected_without_stealing_the_route() {
+    let (city, model) = trained();
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let split = t.len() / 2;
+    let cfg = || FleetConfig { num_shards: 2, ..FleetConfig::default() };
+
+    // Reference: the whole trip through one uninterrupted engine.
+    let mut events = vec![Event::TripStart {
+        id: 1,
+        source: sd.source.0,
+        dest: sd.dest.0,
+        time_slot: t.time_slot,
+    }];
+    events.extend(t.segments.iter().map(|seg| Event::Segment { id: 1, seg: seg.0 }));
+    events.push(Event::TripEnd { id: 1 });
+    let reference = in_process(model, &events, cfg());
+
+    // Phase A: the owner streams half the trip, snapshots, server dies.
+    let server_a =
+        NetServer::builder(Arc::clone(model)).fleet_config(cfg()).bind("127.0.0.1:0").expect("bind");
+    let mut owner = Client::connect(server_a.local_addr()).expect("connect");
+    owner.trip_start(1, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    for seg in &t.segments[..split] {
+        owner.segment(1, seg.0).expect("write");
+    }
+    owner.flush().expect("barrier");
+    let blob = owner.snapshot().expect("snapshot over the wire");
+    let mut produced = Produced::default();
+    drain(&mut owner, &mut produced);
+    drop(owner);
+    server_a.shutdown();
+
+    // Phase B: warm restart — trip 1 is live in the engine, claimed by
+    // nobody. An impostor connection starts it *before* the owner
+    // re-attaches.
+    let image = image_from_bytes(blob).expect("blob decodes");
+    let server_b = NetServer::builder(Arc::clone(model))
+        .fleet_config(cfg())
+        .resume(image)
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let mut impostor = Client::connect(server_b.local_addr()).expect("connect");
+    impostor.trip_start(1, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    impostor.flush().expect("barrier");
+    match impostor.try_recv() {
+        Some(Response::Error { code: ErrorCode::Rejected, trip: Some(1), .. }) => {}
+        other => panic!("impostor expected a typed Rejected for trip 1, got {other:?}"),
+    }
+    assert_eq!(impostor.try_recv(), None, "nothing else may route to the impostor yet");
+
+    // The owner re-attaches (no TripStart — the session is live) and
+    // finishes the trip. Every remaining score must route to it.
+    let mut owner = Client::connect(server_b.local_addr()).expect("connect");
+    for seg in &t.segments[split..] {
+        owner.segment(1, seg.0).expect("write");
+    }
+    owner.trip_end(1).expect("write");
+    let stats = owner.flush().expect("barrier");
+    assert_eq!(stats.trips_completed, 1);
+    drain(&mut owner, &mut produced);
+    assert_bit_identical(&produced, &reference);
+
+    // And still nothing leaked to the impostor.
+    impostor.flush().expect("barrier");
+    assert_eq!(impostor.try_recv(), None, "the owner's stream leaked to the impostor");
+    assert_eq!(server_b.net_stats().responses_dropped, 0);
+    server_b.shutdown();
+}
+
+/// Ingest sanitization end-to-end over the wire: a server configured with
+/// a dedup window scores a duplicated stream bit-identically to the clean
+/// trip, and every drop is surfaced to the producer as a typed
+/// [`Response::PolicyNotice`] frame (and counted in the wire metrics).
+#[test]
+fn policy_notices_surface_sanitization_over_the_wire() {
+    use causaltad_suite::serve::{PolicyAction, StreamPolicy};
+
+    let (city, model) = trained();
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+
+    // Reference: the clean trip through an unpoliced in-process engine.
+    let mut clean = vec![Event::TripStart {
+        id: 1,
+        source: sd.source.0,
+        dest: sd.dest.0,
+        time_slot: t.time_slot,
+    }];
+    clean.extend(t.segments.iter().map(|seg| Event::Segment { id: 1, seg: seg.0 }));
+    clean.push(Event::TripEnd { id: 1 });
+    let reference = in_process(model, &clean, FleetConfig::default());
+
+    let server = NetServer::builder(Arc::clone(model))
+        .fleet_config(FleetConfig {
+            policy: StreamPolicy { dedup_window: 2, ..StreamPolicy::default() },
+            ..FleetConfig::default()
+        })
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.trip_start(1, sd.source.0, sd.dest.0, t.time_slot).expect("write");
+    for seg in &t.segments {
+        // At-least-once transport: every segment arrives twice.
+        client.segment(1, seg.0).expect("write");
+        client.segment(1, seg.0).expect("write");
+    }
+    client.trip_end(1).expect("write");
+    let stats = client.flush().expect("barrier");
+    assert_eq!(stats.trips_completed, 1);
+
+    let mut produced = Produced::default();
+    let mut notices = Vec::new();
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(u) => {
+                produced.scores.insert((u.id, u.seq), u.score.to_bits());
+            }
+            Response::TripComplete(tc) => {
+                if tc.completion == Completion::Ended {
+                    produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
+                }
+            }
+            Response::PolicyNotice { id, action, seg } => notices.push((id, action, seg)),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_bit_identical(&produced, &reference);
+    assert_eq!(notices.len(), t.len(), "one notice per duplicated segment");
+    for (i, &(id, action, seg)) in notices.iter().enumerate() {
+        assert_eq!(id, 1);
+        assert_eq!(action, PolicyAction::DedupDropped);
+        assert_eq!(seg, Some(t.segments[i].0), "notices arrive in stream order");
+    }
+    let metrics = client.metrics().expect("metrics over the wire");
+    assert_eq!(metrics.counter("serve.dedup_dropped"), Some(t.len() as u64));
+    assert_eq!(server.net_stats().responses_dropped, 0);
+    server.shutdown();
+}
+
 /// Hostile bytes on a live socket: the server answers with a typed
 /// `BadFrame` error, hangs up that connection, and keeps serving others.
 #[test]

@@ -1,6 +1,10 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! generated city, trajectory, or parameter setting.
 
+mod common;
+
+use std::sync::Arc;
+
 use causaltad_suite::core::{
     state_from_bytes, state_to_bytes, ScorerState, SegmentTrace, StateCodecError,
 };
@@ -8,13 +12,16 @@ use causaltad_suite::metrics::{
     snapshot_from_bytes, snapshot_to_bytes, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
 use causaltad_suite::net::{
-    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, ErrorCode,
-    FrameError, Request, Response, TripComplete,
+    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, Client, ErrorCode,
+    FrameError, NetServer, Request, Response, TripComplete,
 };
-use causaltad_suite::router::{backend_for, split_image};
+use causaltad_suite::router::{backend_for, split_image, RouterServer};
 use causaltad_suite::serve::{
-    image_from_bytes, image_to_bytes, Completion, FleetImage, FleetSnapshot, ScoreUpdate,
-    SessionRecord, SnapshotCodecError,
+    image_from_bytes, image_to_bytes, Completion, Event, FleetConfig, FleetImage, FleetSnapshot,
+    GapPolicy, PolicyAction, ScoreUpdate, SessionRecord, SnapshotCodecError, StreamPolicy,
+};
+use common::{
+    assert_bit_identical, drain, in_process, interleave, send_events, trained, trip_of, Produced,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -23,7 +30,7 @@ use tad_roadnet::dijkstra::{length_cost, node_shortest_path, segment_shortest_pa
 use tad_roadnet::grid::{generate_grid_city, GridCityConfig};
 use tad_roadnet::NodeId;
 use tad_trajsim::codec::{datasets_from_bytes, datasets_to_bytes};
-use tad_trajsim::{generate_city, CityConfig};
+use tad_trajsim::{corrupt_dataset, generate_city, CityConfig, CorruptionConfig, Trajectory};
 
 /// Largest fleet the snapshot property tests exercise (the codec itself
 /// has no cap below `u32::MAX` sessions).
@@ -130,7 +137,7 @@ fn arb_trace(rng: &mut StdRng) -> Vec<SegmentTrace> {
 
 /// An arbitrary wire response, covering every frame type.
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u8..6) {
+    match rng.gen_range(0u8..7) {
         0 => Response::Score(ScoreUpdate {
             id: rng.gen_range(0u64..u64::MAX),
             seq: rng.gen_range(0u32..10_000),
@@ -187,7 +194,31 @@ fn arb_response(rng: &mut StdRng) -> Response {
             let image: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
             Response::Snapshot { image: image.into() }
         }
+        5 => Response::PolicyNotice {
+            id: rng.gen_range(0u64..u64::MAX),
+            action: PolicyAction::from_wire_byte(rng.gen_range(0u8..9)).expect("valid wire byte"),
+            seg: rng.gen_bool(0.5).then(|| rng.gen_range(0u32..100_000)),
+        },
         _ => Response::Metrics(arb_metrics(rng)),
+    }
+}
+
+/// Like [`drain`], but tolerating the [`Response::PolicyNotice`] frames a
+/// policy-enabled server interleaves with its scores.
+fn drain_with_notices(client: &mut Client, produced: &mut Produced) {
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(u) => {
+                produced.scores.insert((u.id, u.seq), u.score.to_bits());
+            }
+            Response::TripComplete(tc) => {
+                if tc.completion == Completion::Ended {
+                    produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
+                }
+            }
+            Response::PolicyNotice { .. } => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
     }
 }
 
@@ -586,6 +617,97 @@ proptest! {
                 response_from_bytes(flipped.into()).is_err(),
                 "flip byte {byte} bit {bit} accepted as response"
             );
+        }
+    }
+
+    /// The hostile-stream equivalence property: an arbitrarily corrupted
+    /// interleaving — duplicated, reordered, and truncated per-trip
+    /// streams, with some trips losing their `TripEnd` entirely — fed
+    /// under one sampled [`StreamPolicy`] produces **bit-identical**
+    /// scores through all three ingest tiers: direct in-process
+    /// `FleetEngine`, the `tad-net` TCP front-end, and a `tad-router`
+    /// over two backends. When the sampled policy is all-off, the strict
+    /// [`drain`] additionally proves the wire carries *zero* policy
+    /// frames — the policies-off path is observably identical to the
+    /// pre-policy engine.
+    #[test]
+    fn hostile_streams_sanitize_identically_across_ingest_tiers(seed in 0u64..10_000) {
+        let (city, model) = trained();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clean: Vec<Trajectory> = city.data.test_id.iter().take(5).cloned().collect();
+        let corruption = CorruptionConfig {
+            duplicate_prob: rng.gen_range(0.0..0.35),
+            reorder_prob: rng.gen_range(0.0..0.35),
+            drop_prob: rng.gen_range(0.0..0.2),
+            jitter_prob: 0.0,
+            teleport_prob: 0.0,
+            seed: rng.next_u64(),
+        };
+        let dirty = corrupt_dataset(&city.net, &clean, &corruption);
+        let refs: Vec<&Trajectory> = dirty.iter().collect();
+        let mut events = interleave(&refs);
+        // Truncation faults: some trips never see their TripEnd (the
+        // producer died mid-trip); their sessions stay live to shutdown.
+        let cut_ends: Vec<u64> =
+            (0..refs.len() as u64).filter(|_| rng.gen_bool(0.2)).collect();
+        events.retain(|ev| {
+            !(matches!(ev, Event::TripEnd { .. }) && cut_ends.contains(&trip_of(ev)))
+        });
+        let policy = StreamPolicy {
+            dedup_window: if rng.gen_bool(0.5) { rng.gen_range(1usize..4) } else { 0 },
+            reorder_window: if rng.gen_bool(0.5) { rng.gen_range(1usize..4) } else { 0 },
+            gap: if rng.gen_bool(0.5) { GapPolicy::Reset } else { GapPolicy::ScoreThrough },
+        };
+        let cfg = FleetConfig { num_shards: 2, policy: policy.clone(), ..FleetConfig::default() };
+
+        let direct = in_process(model, &events, cfg.clone());
+
+        // Network tier: same stream, same policy, over TCP.
+        let server = NetServer::builder(Arc::clone(model))
+            .fleet_config(cfg.clone())
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        send_events(&mut client, &events);
+        client.flush().expect("barrier");
+        let mut over_net = Produced::default();
+        if policy.is_off() {
+            drain(&mut client, &mut over_net);
+        } else {
+            drain_with_notices(&mut client, &mut over_net);
+        }
+        assert_bit_identical(&over_net, &direct);
+        prop_assert_eq!(server.net_stats().responses_dropped, 0);
+        server.shutdown();
+
+        // Routed tier: the same stream through a router over two policy-
+        // enabled backends.
+        let backends: Vec<NetServer> = (0..2)
+            .map(|_| {
+                NetServer::builder(Arc::clone(model))
+                    .fleet_config(cfg.clone())
+                    .bind("127.0.0.1:0")
+                    .expect("bind backend")
+            })
+            .collect();
+        let router = RouterServer::builder()
+            .backends(backends.iter().map(|b| b.local_addr()))
+            .bind("127.0.0.1:0")
+            .expect("bind router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+        send_events(&mut client, &events);
+        client.flush().expect("fleet barrier");
+        let mut routed = Produced::default();
+        if policy.is_off() {
+            drain(&mut client, &mut routed);
+        } else {
+            drain_with_notices(&mut client, &mut routed);
+        }
+        assert_bit_identical(&routed, &direct);
+        prop_assert_eq!(router.stats().responses_dropped, 0);
+        router.shutdown();
+        for backend in backends {
+            backend.shutdown();
         }
     }
 

@@ -252,6 +252,96 @@ fn router_fans_in_to_the_owning_front_connection_only() {
     }
 }
 
+/// Sanitization through the routed tier: backends configured with a dedup
+/// window score a duplicated multi-trip stream bit-identically to the
+/// clean stream through one in-process engine, and every
+/// `PolicyNotice` fans in to the front connection that owns the trip —
+/// the producer sees the same notices it would get talking to a backend
+/// directly, and the fleet-merged metrics count every drop.
+#[test]
+fn policy_notices_fan_in_through_the_router_to_the_owner() {
+    use causaltad_suite::serve::{PolicyAction, StreamPolicy};
+
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(6).collect();
+    let clean = interleave(&trips);
+    // At-least-once transport: every segment frame arrives twice.
+    let dirty: Vec<Event> = clean
+        .iter()
+        .flat_map(|&ev| match ev {
+            Event::Segment { .. } => vec![ev, ev],
+            other => vec![other],
+        })
+        .collect();
+    let segments: usize = trips.iter().map(|t| t.len()).sum();
+
+    // Reference: the *clean* stream through one unpoliced engine.
+    let reference = in_process(model, &clean, FleetConfig::default());
+
+    let cfg = FleetConfig {
+        num_shards: 2,
+        policy: StreamPolicy { dedup_window: 2, ..StreamPolicy::default() },
+        ..FleetConfig::default()
+    };
+    let (backends, router) = spawn_fleet(model, 2, cfg);
+    let addr = router.local_addr();
+    let handles: Vec<_> = (0..2u64)
+        .map(|producer| {
+            let own: Vec<Event> =
+                dirty.iter().copied().filter(|ev| trip_of(ev) % 2 == producer).collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                send_events(&mut client, &own);
+                client.flush().expect("barrier");
+                let mut got = Produced::default();
+                let mut notices = Vec::new();
+                while let Some(resp) = client.try_recv() {
+                    match resp {
+                        Response::Score(u) => {
+                            got.scores.insert((u.id, u.seq), u.score.to_bits());
+                        }
+                        Response::TripComplete(tc) => {
+                            if tc.completion == Completion::Ended {
+                                got.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
+                            }
+                        }
+                        Response::PolicyNotice { id, action, seg } => {
+                            assert_eq!(action, PolicyAction::DedupDropped);
+                            assert!(seg.is_some());
+                            notices.push(id);
+                        }
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+                (got, notices)
+            })
+        })
+        .collect();
+    let mut routed = Produced::default();
+    let mut notice_total = 0usize;
+    for (producer, handle) in handles.into_iter().enumerate() {
+        let (got, notices) = handle.join().expect("producer thread");
+        for &id in &notices {
+            assert_eq!(id % 2, producer as u64, "notice fanned in to the wrong producer");
+        }
+        notice_total += notices.len();
+        routed.scores.extend(got.scores);
+        routed.finals.extend(got.finals);
+    }
+    assert_bit_identical(&routed, &reference);
+    assert_eq!(notice_total, segments, "one notice per duplicated segment");
+
+    // The fleet-merged metrics agree with the wire notices.
+    let mut client = Client::connect(addr).expect("connect");
+    let fleet = client.metrics().expect("fleet metrics");
+    assert_eq!(fleet.counter("serve.dedup_dropped"), Some(segments as u64));
+    assert_eq!(router.stats().responses_dropped, 0);
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
 /// The observability acceptance test: one `MetricsRequest` against the
 /// router returns the fleet view — every backend's registry plus the
 /// router's own — and that wire-merged snapshot is **bit-identical**
