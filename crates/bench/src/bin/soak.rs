@@ -24,6 +24,13 @@
 //!   every admitted segment comes back scored, every duplicate comes back
 //!   as a `PolicyNotice`, and the fleet's `serve.dedup_dropped` counter
 //!   equals the duplicates injected — nothing lost, nothing double-scored.
+//! * `SOAK_FAILOVER=1` — self-healing mode: the fleet runs with one
+//!   standby backend and a recovery journal. Mid-run the harness
+//!   checkpoints the fleet, then kills an active backend under full load;
+//!   the router promotes the standby, replays the journal tail, and the
+//!   producers — who are never told — must still see every admitted
+//!   segment come back scored exactly once at its round barrier. The
+//!   measured recovery time lands in the JSON artefact.
 //! * `SOAK_TRIPS` — concurrent trips (default 100 000).
 //! * `SOAK_ROUNDS` — streaming rounds (default 48).
 //! * `SOAK_OUT` — artefact path.
@@ -42,7 +49,7 @@ use tad_bench::fleet_walks;
 use tad_eval::cities::{xian_s, Scale};
 use tad_metrics::{snapshot_to_bytes, HistogramSnapshot, MetricsSnapshot};
 use tad_net::{Client, NetServer, Response};
-use tad_router::RouterServer;
+use tad_router::{RouterConfig, RouterServer};
 use tad_serve::{FleetConfig, PolicyAction, StreamPolicy};
 
 const BACKENDS: usize = 2;
@@ -211,10 +218,11 @@ fn quantiles(h: &HistogramSnapshot) -> (u64, u64, u64) {
 fn main() {
     let quick = env_flag("SOAK_QUICK");
     let hostile = env_flag("SOAK_HOSTILE");
+    let failover = env_flag("SOAK_FAILOVER");
     let trips = env_usize("SOAK_TRIPS", if quick { 2_000 } else { 100_000 });
     let rounds = env_usize("SOAK_ROUNDS", if quick { 12 } else { 48 });
 
-    eprintln!("soak: training model (quick={quick}, hostile={hostile})...");
+    eprintln!("soak: training model (quick={quick}, hostile={hostile}, failover={failover})...");
     let model = trained_model();
     let walks = Arc::new(fleet_walks(&model, 256, MAX_LEN as usize, 1234));
 
@@ -234,7 +242,7 @@ fn main() {
         },
         ..FleetConfig::default()
     };
-    let backends: Vec<NetServer> = (0..BACKENDS)
+    let mut backends: Vec<NetServer> = (0..BACKENDS + usize::from(failover))
         .map(|_| {
             NetServer::builder(Arc::clone(&model))
                 .fleet_config(fleet_cfg.clone())
@@ -243,31 +251,81 @@ fn main() {
         })
         .collect();
     let router = RouterServer::builder()
-        .backends(backends.iter().map(|s| s.local_addr()))
+        .backends(backends.iter().take(BACKENDS).map(|s| s.local_addr()))
+        .standbys(backends.iter().skip(BACKENDS).map(|s| s.local_addr()))
+        .config(RouterConfig {
+            // The journal must absorb the traffic between the mid-run
+            // checkpoint and the kill (plus the pre-checkpoint history);
+            // size it to several full rounds. Replay of O(trips) sessions
+            // takes real time at full scale, so producers wait it out.
+            journal_limit: trips * 8 + 65_536,
+            failover_wait: std::time::Duration::from_secs(120),
+            ..RouterConfig::default()
+        })
         .bind("127.0.0.1:0")
         .expect("bind router");
     let front = router.local_addr();
     eprintln!(
-        "soak: router {front} over {BACKENDS} backends, {trips} concurrent trips x {rounds} rounds"
+        "soak: router {front} over {BACKENDS} backends (+{} standby), \
+         {trips} concurrent trips x {rounds} rounds",
+        usize::from(failover)
     );
 
     let per_producer = trips / PRODUCERS;
+    // In failover mode, active backend 0 is the victim: the driver thread
+    // checkpoints the fleet once it has absorbed real traffic, then kills
+    // it under full load. Producers are never told.
+    let victim = failover.then(|| backends.remove(0));
     let started = Instant::now();
-    let handles: Vec<_> = (0..PRODUCERS as u64)
-        .map(|p| {
-            let walks = Arc::clone(&walks);
-            std::thread::spawn(move || {
-                producer(front, walks, p, PRODUCERS as u64, per_producer, rounds, hostile)
+    let tallies: Vec<ProducerTally> = std::thread::scope(|scope| {
+        let producers: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let walks = Arc::clone(&walks);
+                scope.spawn(move || {
+                    producer(front, walks, p, PRODUCERS as u64, per_producer, rounds, hostile)
+                })
             })
-        })
-        .collect();
+            .collect();
+        let driver = victim.map(|victim| {
+            let router = &router;
+            scope.spawn(move || {
+                // Wait until the victim has seen its trip starts plus a
+                // couple of rounds of segments, so the kill lands mid-churn
+                // with a genuinely dirty journal tail.
+                let warm = Instant::now() + std::time::Duration::from_secs(600);
+                while victim.net_stats().frames_in < trips as u64 && Instant::now() < warm {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                let sweep = router.checkpoint().expect("mid-soak checkpoint sweep");
+                assert_eq!(
+                    sweep.full_captures as usize, BACKENDS,
+                    "the cold sweep fully captures every active backend"
+                );
+                eprintln!("soak: fleet checkpointed; killing active backend 0 under load");
+                victim.shutdown();
+                let deadline = Instant::now() + std::time::Duration::from_secs(300);
+                while router.stats().failovers == 0 {
+                    assert!(Instant::now() < deadline, "failover never completed");
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                eprintln!(
+                    "soak: standby promoted in {:.1} ms",
+                    router.stats().last_recovery_micros as f64 / 1_000.0
+                );
+            })
+        });
+        let tallies = producers.into_iter().map(|h| h.join().expect("producer thread")).collect();
+        if let Some(driver) = driver {
+            driver.join().expect("failover driver");
+        }
+        tallies
+    });
     let mut scored = 0u64;
     let mut completed = 0u64;
     let mut dups_sent = 0u64;
     let mut dedup_notices = 0u64;
     let mut gap_notices = 0u64;
-    for handle in handles {
-        let t = handle.join().expect("producer thread");
+    for t in tallies {
         scored += t.scored;
         completed += t.completed;
         dups_sent += t.dups_sent;
@@ -301,10 +359,17 @@ fn main() {
 
     let score_latency =
         fleet.histogram("serve.score_latency_ns").expect("fleet score-latency histogram");
-    assert_eq!(
-        score_latency.count, scored,
-        "the fleet histogram must hold exactly one sample per scored segment"
-    );
+    if !failover {
+        // In failover mode the dead backend took its latency samples down
+        // with it and the promoted standby re-scored the journal tail, so
+        // engine-side sample counts are not comparable to producer-observed
+        // scores; the exactly-once contract is enforced at every round
+        // barrier by every producer instead.
+        assert_eq!(
+            score_latency.count, scored,
+            "the fleet histogram must hold exactly one sample per scored segment"
+        );
+    }
     // Metrics balance: the fleet-wide policy counters must equal the
     // notices the producers actually received over the wire — every
     // sanitization action was both counted and delivered, none invented.
@@ -336,6 +401,20 @@ fn main() {
     let (d50, d99, d999) = quantiles(decode);
     let batch = fleet.histogram("serve.batch_width").expect("batch-width histogram");
 
+    let recovery_ms = if failover {
+        let rstats = router.stats();
+        assert_eq!(rstats.failovers, 1, "exactly one standby promotion");
+        assert_eq!(rstats.standbys_available, 0, "the standby was consumed");
+        assert_eq!(rstats.partition_epoch, 1, "the partition map flipped once");
+        eprintln!(
+            "soak: failover sustained zero loss — recovery took {:.1} ms",
+            rstats.last_recovery_micros as f64 / 1_000.0
+        );
+        rstats.last_recovery_micros as f64 / 1_000.0
+    } else {
+        0.0
+    };
+
     router.shutdown();
     let live_left: u64 = backends.into_iter().map(|s| s.shutdown().active_sessions).sum();
     assert_eq!(live_left, 0, "every soak trip must have been ended");
@@ -343,11 +422,12 @@ fn main() {
     let out = format!(
         "{{\n  \"workload\": {{\"concurrent_trips\": {trips}, \"rounds\": {rounds}, \
          \"producers\": {PRODUCERS}, \"backends\": {BACKENDS}, \"trip_len\": [{MIN_LEN}, {MAX_LEN}], \
-         \"quick_mode\": {quick}, \"hostile_mode\": {hostile}}},\n  \
+         \"quick_mode\": {quick}, \"hostile_mode\": {hostile}, \"failover_mode\": {failover}}},\n  \
          \"sustained\": {{\"elapsed_s\": {elapsed:.3}, \"segments_scored\": {scored}, \
          \"trips_completed\": {completed}, \"segments_per_s\": {seg_per_s:.1}}},\n  \
          \"sanitization\": {{\"duplicates_injected\": {dups_sent}, \
          \"dedup_dropped\": {dedup_notices}, \"gap_score_through\": {gap_notices}}},\n  \
+         \"failover\": {{\"enabled\": {failover}, \"recovery_ms\": {recovery_ms:.1}}},\n  \
          \"score_latency_ns\": {{\"count\": {}, \"p50\": {p50}, \"p99\": {p99}, \"p999\": {p999}, \
          \"mean\": {:.1}}},\n  \
          \"frame_decode_ns\": {{\"p50\": {d50}, \"p99\": {d99}, \"p999\": {d999}}},\n  \

@@ -1,0 +1,136 @@
+//! Delta-chain ordering primitives shared by every log-structured delta
+//! codec in the workspace.
+//!
+//! A delta chain is a full base image stamped with an **epoch**, followed
+//! by deltas numbered `seq = 1, 2, 3, …` against that epoch. Applying a
+//! chain is only sound when every delta names the base's epoch and the
+//! sequence numbers arrive consecutively — a skipped, repeated, or
+//! cross-epoch delta silently reconstructs the wrong state, so admission
+//! is validated here once and every consumer (e.g. `tad-serve`'s
+//! `FleetDelta` layer) inherits the typed rejection.
+
+/// Identity of one delta inside a chain: which base it extends and its
+/// position in that base's delta log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaId {
+    /// Epoch of the full base image this delta extends.
+    pub base_epoch: u64,
+    /// 1-based position in the epoch's delta log.
+    pub seq: u64,
+}
+
+/// Why a delta was rejected by a [`DeltaChain`] cursor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaChainError {
+    /// The delta extends a different base image than the one held.
+    BaseMismatch {
+        /// Epoch of the base image the chain holds.
+        expected_epoch: u64,
+        /// Epoch the delta was captured against.
+        found_epoch: u64,
+    },
+    /// The delta is not the next one in the log (skipped, repeated, or
+    /// out of order).
+    OutOfOrder {
+        /// The sequence number the chain will accept next.
+        expected_seq: u64,
+        /// The sequence number the delta carries.
+        found_seq: u64,
+    },
+}
+
+impl std::fmt::Display for DeltaChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaChainError::BaseMismatch { expected_epoch, found_epoch } => write!(
+                f,
+                "delta extends base epoch {found_epoch}, but the chain holds epoch \
+                 {expected_epoch}"
+            ),
+            DeltaChainError::OutOfOrder { expected_seq, found_seq } => {
+                write!(f, "delta seq {found_seq} out of order; the chain expects {expected_seq}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaChainError {}
+
+/// Admission cursor over one base image's delta log: tracks how many
+/// deltas have been applied and rejects any delta that is not exactly the
+/// next one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaChain {
+    epoch: u64,
+    applied: u64,
+}
+
+impl DeltaChain {
+    /// A fresh cursor over the base image stamped with `epoch`; the first
+    /// admissible delta is `seq == 1`.
+    pub fn new(epoch: u64) -> Self {
+        DeltaChain { epoch, applied: 0 }
+    }
+
+    /// Epoch of the base image this chain extends.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// How many deltas have been admitted so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Validates that `id` is exactly the next delta of this chain and
+    /// advances the cursor.
+    ///
+    /// # Errors
+    /// [`DeltaChainError::BaseMismatch`] when the delta names another
+    /// epoch, [`DeltaChainError::OutOfOrder`] when it is not the next
+    /// sequence number; the cursor is unchanged on error.
+    pub fn admit(&mut self, id: DeltaId) -> Result<(), DeltaChainError> {
+        if id.base_epoch != self.epoch {
+            return Err(DeltaChainError::BaseMismatch {
+                expected_epoch: self.epoch,
+                found_epoch: id.base_epoch,
+            });
+        }
+        let expected = self.applied + 1;
+        if id.seq != expected {
+            return Err(DeltaChainError::OutOfOrder { expected_seq: expected, found_seq: id.seq });
+        }
+        self.applied = expected;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_admits_only_consecutive_same_epoch_deltas() {
+        let mut chain = DeltaChain::new(7);
+        assert_eq!(chain.epoch(), 7);
+        assert_eq!(chain.applied(), 0);
+        chain.admit(DeltaId { base_epoch: 7, seq: 1 }).unwrap();
+        chain.admit(DeltaId { base_epoch: 7, seq: 2 }).unwrap();
+        assert_eq!(chain.applied(), 2);
+        // Repeats, skips, and regressions are all typed rejections that
+        // leave the cursor where it was.
+        for bad in [0, 2, 4] {
+            assert_eq!(
+                chain.admit(DeltaId { base_epoch: 7, seq: bad }),
+                Err(DeltaChainError::OutOfOrder { expected_seq: 3, found_seq: bad })
+            );
+        }
+        assert_eq!(
+            chain.admit(DeltaId { base_epoch: 8, seq: 3 }),
+            Err(DeltaChainError::BaseMismatch { expected_epoch: 7, found_epoch: 8 })
+        );
+        assert_eq!(chain.applied(), 2);
+        chain.admit(DeltaId { base_epoch: 7, seq: 3 }).unwrap();
+        assert_eq!(chain.applied(), 3);
+    }
+}

@@ -51,6 +51,7 @@
 pub mod calibrate;
 mod codec;
 mod config;
+pub mod delta;
 pub mod envelope;
 pub mod generate;
 mod model;
@@ -65,6 +66,7 @@ pub use codec::{
     StateCodecError,
 };
 pub use config::CausalTadConfig;
+pub use delta::{DeltaChain, DeltaChainError, DeltaId};
 pub use envelope::{checksum64, open_envelope, seal_envelope, EnvelopeError};
 pub use model::CausalTad;
 pub use online::{OnlineError, OnlineScorer, ScorerState, SegmentTrace};

@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -56,6 +56,15 @@ pub enum ClientError {
         /// Human-readable context from the server.
         detail: String,
     },
+    /// Every reconnect attempt the configured [`RetryPolicy`] allowed has
+    /// been spent without restoring the connection.
+    Retrying {
+        /// Reconnect attempts consumed before giving up.
+        attempts: u32,
+        /// The last failure observed (the original error when no
+        /// reconnect ever succeeded enough to retry the call).
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -75,6 +84,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error: {code} ({detail})")
             }
             ClientError::Server { code, .. } => write!(f, "server error: {code}"),
+            ClientError::Retrying { attempts, last } => {
+                write!(f, "gave up after {attempts} reconnect attempts: {last}")
+            }
         }
     }
 }
@@ -96,6 +108,33 @@ impl From<RecvError> for ClientError {
     }
 }
 
+/// Bounds on the client's automatic reconnect behaviour, enabled with
+/// [`Client::with_retry`]. Between attempts the client sleeps an
+/// exponentially growing delay (doubling from `base_delay`, capped at
+/// `max_delay`) scaled by a random jitter factor in `[0.5, 1.0]` so a
+/// fleet of producers bounced by the same outage does not reconnect in
+/// lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total reconnect attempts one client call may spend before failing
+    /// with [`ClientError::Retrying`].
+    pub max_reconnects: u32,
+    /// Sleep before the first reconnect attempt.
+    pub base_delay: Duration,
+    /// Cap on the exponentially growing sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_reconnects: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
 /// A blocking `TADN` client over one reused TCP connection. See the
 /// module docs for the pipelining model.
 pub struct Client {
@@ -103,23 +142,54 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     queue: VecDeque<Response>,
     max_frame_len: usize,
+    addrs: Vec<SocketAddr>,
+    retry: Option<RetryPolicy>,
+    read_timeout: Option<Duration>,
+    /// xorshift64 state for backoff jitter (no RNG dependency).
+    jitter: u64,
 }
 
 impl Client {
     /// Connects to a [`crate::NetServer`] (enables `TCP_NODELAY`).
     ///
     /// # Errors
-    /// [`ClientError::Io`] when the connection cannot be established.
+    /// [`ClientError::Io`] when the connection cannot be established (or
+    /// the address resolves to nothing).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&addrs[..])?;
         let _ = stream.set_nodelay(true);
         let writer = BufWriter::new(stream.try_clone()?);
+        // Seed the jitter stream from per-process identity so concurrent
+        // producers desynchronize; the constant keeps a zero pid seed
+        // non-degenerate.
+        let jitter = 0x9E37_79B9_7F4A_7C15u64 ^ u64::from(std::process::id());
         Ok(Client {
             reader: stream,
             writer,
             queue: VecDeque::new(),
             max_frame_len: DEFAULT_MAX_FRAME,
+            addrs,
+            retry: None,
+            read_timeout: None,
+            jitter,
         })
+    }
+
+    /// Enables bounded automatic reconnect: when a call fails on a
+    /// transport error (I/O, disconnect, timeout, or undecodable bytes),
+    /// the client re-dials the original address under `policy`'s backoff
+    /// schedule and retries the call, failing with
+    /// [`ClientError::Retrying`] only once the attempt budget is spent.
+    ///
+    /// Reconnection re-establishes the *transport*, not the stream state:
+    /// responses that were in flight on the old connection are lost, and
+    /// the server re-routes this client's live trips to the new
+    /// connection lazily (on its next event per trip). Typed server
+    /// replies ([`ClientError::Server`]) are never retried.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = Some(policy);
+        self
     }
 
     /// Raises (or lowers) the cap on incoming frame payloads — raise it
@@ -142,8 +212,9 @@ impl Client {
     /// # Errors
     /// [`ClientError::Io`] when the socket refuses the option (a zero
     /// duration, or a closed socket).
-    pub fn with_read_timeout(self, timeout: Option<Duration>) -> Result<Client, ClientError> {
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Result<Client, ClientError> {
         self.reader.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
         Ok(self)
     }
 
@@ -210,14 +281,16 @@ impl Client {
     /// [`ClientError::Server`] when the server reports the barrier failed
     /// (e.g. the engine shut down).
     pub fn flush(&mut self) -> Result<FleetSnapshot, ClientError> {
-        self.send(&Request::Flush)?;
-        self.flush_writes()?;
-        loop {
-            match self.read_one()? {
-                Response::Stats(stats) => return Ok(stats),
-                resp => self.queue_or_fail(resp)?,
+        self.retry_loop(|c| {
+            c.send(&Request::Flush)?;
+            c.flush_writes()?;
+            loop {
+                match c.read_one()? {
+                    Response::Stats(stats) => return Ok(stats),
+                    resp => c.queue_or_fail(resp)?,
+                }
             }
-        }
+        })
     }
 
     /// Remote warm-restart capture: sends [`Request::SnapshotRequest`] and
@@ -231,14 +304,16 @@ impl Client {
     /// [`ClientError::Disconnected`] when the server hangs up first, and
     /// [`ClientError::Server`] when the capture failed server-side.
     pub fn snapshot(&mut self) -> Result<Bytes, ClientError> {
-        self.send(&Request::SnapshotRequest)?;
-        self.flush_writes()?;
-        loop {
-            match self.read_one()? {
-                Response::Snapshot { image } => return Ok(image),
-                resp => self.queue_or_fail(resp)?,
+        self.retry_loop(|c| {
+            c.send(&Request::SnapshotRequest)?;
+            c.flush_writes()?;
+            loop {
+                match c.read_one()? {
+                    Response::Snapshot { image } => return Ok(image),
+                    resp => c.queue_or_fail(resp)?,
+                }
             }
-        }
+        })
     }
 
     /// Metrics barrier: sends [`Request::MetricsRequest`] and blocks until
@@ -253,14 +328,87 @@ impl Client {
     /// [`ClientError::Server`] when the server reports a fatal error
     /// instead.
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
-        self.send(&Request::MetricsRequest)?;
-        self.flush_writes()?;
-        loop {
-            match self.read_one()? {
-                Response::Metrics(snapshot) => return Ok(snapshot),
-                resp => self.queue_or_fail(resp)?,
+        self.retry_loop(|c| {
+            c.send(&Request::MetricsRequest)?;
+            c.flush_writes()?;
+            loop {
+                match c.read_one()? {
+                    Response::Metrics(snapshot) => return Ok(snapshot),
+                    resp => c.queue_or_fail(resp)?,
+                }
             }
-        }
+        })
+    }
+
+    /// Delta-snapshot barrier: sends [`Request::DeltaRequest`] and blocks
+    /// until the serialized [`tad_serve::FleetDelta`] (`TADD` blob)
+    /// arrives — the increment of the server's checkpoint chain since its
+    /// previous capture. Decode with [`tad_serve::delta_from_bytes`] and
+    /// apply through [`tad_serve::DeltaBase`].
+    ///
+    /// # Errors
+    /// Transport failures as for [`Client::snapshot`];
+    /// [`ClientError::Server`] when no checkpoint has armed delta
+    /// tracking yet, or when sent to a router front (admin frames are
+    /// refused there).
+    pub fn delta(&mut self) -> Result<Bytes, ClientError> {
+        self.retry_loop(|c| {
+            c.send(&Request::DeltaRequest)?;
+            c.flush_writes()?;
+            loop {
+                match c.read_one()? {
+                    Response::Delta { delta } => return Ok(delta),
+                    resp => c.queue_or_fail_admin(resp)?,
+                }
+            }
+        })
+    }
+
+    /// Live-restore barrier: sends [`Request::Install`] with a serialized
+    /// [`tad_serve::FleetImage`] and blocks until the server confirms the
+    /// sessions were delivered into its **running** engine, returning how
+    /// many arrived. The target half of a drain/handoff or a failover
+    /// restore.
+    ///
+    /// # Errors
+    /// Transport failures as for [`Client::snapshot`];
+    /// [`ClientError::Server`] when the blob does not decode, the engine
+    /// refuses it (shard queues closed), or a router front rejects the
+    /// admin frame.
+    pub fn install(&mut self, image: Bytes) -> Result<u64, ClientError> {
+        self.retry_loop(|c| {
+            c.send(&Request::Install { image: image.clone() })?;
+            c.flush_writes()?;
+            loop {
+                match c.read_one()? {
+                    Response::Installed { sessions } => return Ok(sessions),
+                    resp => c.queue_or_fail_admin(resp)?,
+                }
+            }
+        })
+    }
+
+    /// Drain barrier: sends [`Request::Drain`] and blocks until the
+    /// server hands over every live session as a serialized
+    /// [`tad_serve::FleetImage`], **removing** them from its engine
+    /// without firing completions — the source half of a handoff. Feed
+    /// the blob to [`Client::install`] on the destination.
+    ///
+    /// # Errors
+    /// Transport failures as for [`Client::snapshot`];
+    /// [`ClientError::Server`] when the capture failed server-side or a
+    /// router front rejects the admin frame.
+    pub fn drain(&mut self) -> Result<Bytes, ClientError> {
+        self.retry_loop(|c| {
+            c.send(&Request::Drain)?;
+            c.flush_writes()?;
+            loop {
+                match c.read_one()? {
+                    Response::Drained { image } => return Ok(image),
+                    resp => c.queue_or_fail_admin(resp)?,
+                }
+            }
+        })
     }
 
     /// Pops the next already-received response, if any (never touches the
@@ -324,4 +472,98 @@ impl Client {
             }
         }
     }
+
+    /// Stricter parker for the admin barriers (`delta` / `install` /
+    /// `drain`): *any* error frame not naming a trip fails the call —
+    /// including `Rejected`, which is how a router front refuses admin
+    /// frames outright. Trip-scoped errors and backpressure stay in the
+    /// stream as usual.
+    fn queue_or_fail_admin(&mut self, resp: Response) -> Result<(), ClientError> {
+        match resp {
+            Response::Error { code, trip: None, detail }
+                if !matches!(code, ErrorCode::Backpressure) =>
+            {
+                Err(ClientError::Server { code, trip: None, detail })
+            }
+            other => {
+                self.queue.push_back(other);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs `op`, and on a transport failure dials a fresh connection
+    /// under the retry policy (when one is configured) and runs `op`
+    /// again — one attempt budget across the whole call, however the
+    /// failures interleave. Typed [`ClientError::Server`] replies are
+    /// never retried.
+    fn retry_loop<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempts: u32 = 0;
+        loop {
+            let mut last = match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let policy = match self.retry {
+                Some(policy) if retryable(&last) => policy,
+                _ => return Err(last),
+            };
+            loop {
+                if attempts >= policy.max_reconnects {
+                    return Err(ClientError::Retrying { attempts, last: Box::new(last) });
+                }
+                attempts += 1;
+                std::thread::sleep(self.backoff_delay(&policy, attempts));
+                match self.reconnect() {
+                    Ok(()) => break,
+                    Err(e) => last = e,
+                }
+            }
+        }
+    }
+
+    /// Replaces the socket pair with a fresh connection to the original
+    /// address (same `TCP_NODELAY` and read-timeout settings). Responses
+    /// already parked in the local queue survive; anything in flight on
+    /// the old connection is gone.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(&self.addrs[..])?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.read_timeout)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        self.reader = stream;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// Exponential backoff with multiplicative jitter in `[0.5, 1.0]`.
+    fn backoff_delay(&mut self, policy: &RetryPolicy, attempt: u32) -> Duration {
+        let mut delay = policy.base_delay.min(policy.max_delay);
+        for _ in 1..attempt {
+            delay = delay.saturating_mul(2).min(policy.max_delay);
+        }
+        // xorshift64 — deterministic per client, decorrelated across
+        // processes; no RNG crate needed for a jitter factor.
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        delay.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// Whether an error is a transport failure a reconnect can cure.
+fn retryable(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(_)
+            | ClientError::Disconnected
+            | ClientError::Timeout
+            | ClientError::Frame(_)
+    )
 }

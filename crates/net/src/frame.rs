@@ -42,6 +42,9 @@ const TAG_TRIP_END: u8 = 0x03;
 const TAG_FLUSH: u8 = 0x04;
 const TAG_SNAPSHOT_REQUEST: u8 = 0x05;
 const TAG_METRICS_REQUEST: u8 = 0x06;
+const TAG_DELTA_REQUEST: u8 = 0x07;
+const TAG_INSTALL: u8 = 0x08;
+const TAG_DRAIN: u8 = 0x09;
 
 const TAG_SCORE: u8 = 0x10;
 const TAG_TRIP_COMPLETE: u8 = 0x11;
@@ -50,6 +53,9 @@ const TAG_ERROR: u8 = 0x13;
 const TAG_SNAPSHOT: u8 = 0x14;
 const TAG_METRICS: u8 = 0x15;
 const TAG_POLICY_NOTICE: u8 = 0x16;
+const TAG_DELTA: u8 = 0x17;
+const TAG_INSTALLED: u8 = 0x18;
+const TAG_DRAINED: u8 = 0x19;
 
 /// One client→server frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,6 +98,25 @@ pub enum Request {
     /// snapshot of every backend behind it plus its own `router.*`
     /// metrics — one frame, one fleet view.
     MetricsRequest,
+    /// Ask for the next delta snapshot of the server's checkpoint chain
+    /// (a `TADD` blob for [`tad_serve::delta_from_bytes`]); answered with
+    /// [`Response::Delta`]. Fails typed
+    /// ([`ErrorCode::SnapshotFailed`]) before the first checkpoint.
+    DeltaRequest,
+    /// Seed the server's **running** engine with the sessions of a fleet
+    /// image (`TADF` blob) — the target half of a live handoff or a
+    /// failover restore. Answered with [`Response::Installed`] once the
+    /// sessions are enqueued ahead of any later traffic on this
+    /// connection.
+    Install {
+        /// The serialized [`tad_serve::FleetImage`] to restore.
+        image: Bytes,
+    },
+    /// Capture **and remove** every live session (no completion frames
+    /// are emitted for them — they are moving, not finishing); answered
+    /// with [`Response::Drained`] carrying the image to install
+    /// elsewhere.
+    Drain,
 }
 
 impl Request {
@@ -104,7 +129,12 @@ impl Request {
             }
             Request::Segment { id, seg } => Some(Event::Segment { id, seg }),
             Request::TripEnd { id } => Some(Event::TripEnd { id }),
-            Request::Flush | Request::SnapshotRequest | Request::MetricsRequest => None,
+            Request::Flush
+            | Request::SnapshotRequest
+            | Request::MetricsRequest
+            | Request::DeltaRequest
+            | Request::Install { .. }
+            | Request::Drain => None,
         }
     }
 }
@@ -283,6 +313,27 @@ pub enum Response {
         /// The segment involved, when the action concerns one.
         seg: Option<u32>,
     },
+    /// Reply to [`Request::DeltaRequest`]: the next increment of the
+    /// server's checkpoint chain (a `TADD` blob for
+    /// [`tad_serve::delta_from_bytes`]).
+    Delta {
+        /// The serialized [`tad_serve::FleetDelta`].
+        delta: Bytes,
+    },
+    /// Reply to [`Request::Install`]: the sessions were delivered to the
+    /// running engine.
+    Installed {
+        /// How many sessions the image carried into the engine.
+        sessions: u64,
+    },
+    /// Reply to [`Request::Drain`]: every live session, captured and
+    /// removed, as a `TADF` blob ready for [`Request::Install`] on
+    /// another backend.
+    Drained {
+        /// The serialized [`tad_serve::FleetImage`] of the drained
+        /// sessions.
+        image: Bytes,
+    },
 }
 
 /// Why a frame failed to decode. Decoding is total: hostile bytes always
@@ -375,6 +426,14 @@ pub fn request_to_bytes(req: &Request) -> Bytes {
         Request::Flush => payload.put_u8(TAG_FLUSH),
         Request::SnapshotRequest => payload.put_u8(TAG_SNAPSHOT_REQUEST),
         Request::MetricsRequest => payload.put_u8(TAG_METRICS_REQUEST),
+        Request::DeltaRequest => payload.put_u8(TAG_DELTA_REQUEST),
+        Request::Install { ref image } => {
+            // Remainder-is-the-blob, like Response::Snapshot: the
+            // envelope's length prefix delimits the image exactly.
+            payload.put_u8(TAG_INSTALL);
+            payload.put_slice(image);
+        }
+        Request::Drain => payload.put_u8(TAG_DRAIN),
     }
     seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze())
 }
@@ -466,6 +525,18 @@ pub fn response_to_bytes(resp: &Response) -> Bytes {
                 None => payload.put_u8(0),
             }
         }
+        Response::Delta { delta } => {
+            payload.put_u8(TAG_DELTA);
+            payload.put_slice(delta);
+        }
+        Response::Installed { sessions } => {
+            payload.put_u8(TAG_INSTALLED);
+            payload.put_u64_le(*sessions);
+        }
+        Response::Drained { image } => {
+            payload.put_u8(TAG_DRAINED);
+            payload.put_slice(image);
+        }
     }
     seal_envelope(FRAME_MAGIC, FRAME_VERSION, payload.freeze())
 }
@@ -508,8 +579,14 @@ pub fn request_from_bytes(bytes: Bytes) -> Result<Request, FrameError> {
         TAG_FLUSH => Request::Flush,
         TAG_SNAPSHOT_REQUEST => Request::SnapshotRequest,
         TAG_METRICS_REQUEST => Request::MetricsRequest,
+        TAG_DELTA_REQUEST => Request::DeltaRequest,
+        TAG_INSTALL => {
+            let len = payload.remaining();
+            Request::Install { image: payload.copy_to_bytes(len) }
+        }
+        TAG_DRAIN => Request::Drain,
         TAG_SCORE | TAG_TRIP_COMPLETE | TAG_STATS | TAG_ERROR | TAG_SNAPSHOT | TAG_METRICS
-        | TAG_POLICY_NOTICE => {
+        | TAG_POLICY_NOTICE | TAG_DELTA | TAG_INSTALLED | TAG_DRAINED => {
             return Err(FrameError::UnexpectedKind { expected: "request", got: "response" });
         }
         other => return Err(FrameError::UnknownTag(other)),
@@ -658,8 +735,22 @@ pub fn response_from_bytes(bytes: Bytes) -> Result<Response, FrameError> {
             };
             Response::PolicyNotice { id, action, seg }
         }
+        TAG_DELTA => {
+            let len = payload.remaining();
+            Response::Delta { delta: payload.copy_to_bytes(len) }
+        }
+        TAG_INSTALLED => {
+            if payload.remaining() < 8 {
+                return Err(FrameError::Truncated("installed body"));
+            }
+            Response::Installed { sessions: payload.get_u64_le() }
+        }
+        TAG_DRAINED => {
+            let len = payload.remaining();
+            Response::Drained { image: payload.copy_to_bytes(len) }
+        }
         TAG_TRIP_START | TAG_SEGMENT | TAG_TRIP_END | TAG_FLUSH | TAG_SNAPSHOT_REQUEST
-        | TAG_METRICS_REQUEST => {
+        | TAG_METRICS_REQUEST | TAG_DELTA_REQUEST | TAG_INSTALL | TAG_DRAIN => {
             return Err(FrameError::UnexpectedKind { expected: "response", got: "request" });
         }
         other => return Err(FrameError::UnknownTag(other)),
@@ -682,6 +773,10 @@ mod tests {
             Request::Flush,
             Request::SnapshotRequest,
             Request::MetricsRequest,
+            Request::DeltaRequest,
+            Request::Install { image: Bytes::from(vec![9u8, 8, 7]) },
+            Request::Install { image: Bytes::from(Vec::new()) },
+            Request::Drain,
         ]
     }
 
@@ -747,6 +842,10 @@ mod tests {
                 action: PolicyAction::QuarantinedUnknownTrip,
                 seg: None,
             },
+            Response::Delta { delta: Bytes::from(vec![5u8, 6, 7, 8]) },
+            Response::Installed { sessions: 42 },
+            Response::Drained { image: Bytes::from(vec![1u8, 3, 5]) },
+            Response::Drained { image: Bytes::from(Vec::new()) },
         ]
     }
 

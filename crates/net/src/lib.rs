@@ -24,10 +24,13 @@
 //! [`Request::TripStart`] (0x01), [`Request::Segment`] (0x02),
 //! [`Request::TripEnd`] (0x03), [`Request::Flush`] (0x04),
 //! [`Request::SnapshotRequest`] (0x05), [`Request::MetricsRequest`]
-//! (0x06). Responses (server→client) use `0x10..=0x1F`:
-//! [`Response::Score`] (0x10), [`Response::TripComplete`] (0x11),
-//! [`Response::Stats`] (0x12), [`Response::Error`] (0x13),
-//! [`Response::Snapshot`] (0x14), [`Response::Metrics`] (0x15).
+//! (0x06), [`Request::DeltaRequest`] (0x07), [`Request::Install`]
+//! (0x08), [`Request::Drain`] (0x09). Responses (server→client) use
+//! `0x10..=0x1F`: [`Response::Score`] (0x10), [`Response::TripComplete`]
+//! (0x11), [`Response::Stats`] (0x12), [`Response::Error`] (0x13),
+//! [`Response::Snapshot`] (0x14), [`Response::Metrics`] (0x15),
+//! [`Response::PolicyNotice`] (0x16), [`Response::Delta`] (0x17),
+//! [`Response::Installed`] (0x18), [`Response::Drained`] (0x19).
 //! Decoding is total — hostile bytes produce typed [`FrameError`]s, never
 //! panics — and readers refuse frames longer than their cap *before*
 //! allocating.
@@ -58,6 +61,14 @@
 //!   shared registry — so an operator (or the `tad-router` fan-in, which
 //!   merges every backend's reply into one fleet view) scrapes a single
 //!   frame.
+//! * The **availability tier** speaks three admin barriers:
+//!   `DeltaRequest` serves the next increment of the engine's checkpoint
+//!   chain (a `TADD` blob; see [`tad_serve::FleetDelta`]), `Install`
+//!   seeds a *running* engine with a fleet image (failover restore /
+//!   handoff target), and `Drain` captures-and-removes every live
+//!   session without firing completions (handoff source). The [`Client`]
+//!   can also reconnect through transient outages under a bounded
+//!   [`RetryPolicy`] ([`Client::with_retry`]).
 //!
 //! ## Quickstart
 //!
@@ -88,7 +99,7 @@ mod frame;
 mod server;
 mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use frame::{
     request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, ErrorCode,
     FrameError, Request, Response, TripComplete, DEFAULT_MAX_FRAME, FRAME_MAGIC, FRAME_VERSION,

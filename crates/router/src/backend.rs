@@ -6,49 +6,106 @@
 //! backend travels a single connection, fed by a single bounded channel
 //! drained by a single writer thread — so the order in which frames enter
 //! the channel is the order they hit the backend's socket, and the
-//! backend's replies come back in a compatible order on the same
-//! connection. Barrier frames (`Flush` / `SnapshotRequest`) ride the same
-//! channel; the front handler stages each barrier id in the matching
-//! per-kind FIFO *atomically with* the channel send (under
-//! [`BackendLink::stage`]), so FIFO order always equals wire order and —
-//! crucially — a barrier is in the FIFO from the moment it is accepted:
-//! whichever of the reader or writer dies first runs the backend-down
-//! sweep and fails every staged barrier, so no front connection can wait
-//! forever on a reply that will never come.
+//! backend answers admin frames in that same order on the same
+//! connection. Every request that expects a trip-less reply — a front
+//! barrier (`Flush` / `SnapshotRequest` / `MetricsRequest`), a
+//! router-driven checkpoint capture, an `Install`, a `Drain`, or a replay
+//! fence — is staged as a [`PendingEntry`] in the link's single pending
+//! queue *atomically with* the channel send (under the link's stage
+//! lock), so queue order always equals wire order and the head of the
+//! queue is always the request the backend's next trip-less reply
+//! answers. Crucially, an entry is in the queue from the moment its frame
+//! is accepted: whichever of the reader or writer dies first runs the
+//! backend-down sweep and drains every staged entry, so no caller can
+//! wait forever on a reply that will never come.
 
 use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 
+use bytes::Bytes;
 use tad_net::{read_response, write_request, Request};
+use tad_serve::FleetSnapshot;
 
-use crate::server::Core;
+use crate::server::{BarrierKind, Core};
 
 /// One frame bound for a backend, queued behind the backend's writer.
 pub(crate) enum BackendMsg {
-    /// A frame forwarded verbatim (ingest or barrier; barrier ids are
-    /// staged by the sender, not the writer).
+    /// A frame forwarded verbatim (ingest or a staged admin frame; the
+    /// sender stages pending entries, not the writer).
     Forward(Request),
     /// Orderly shutdown: flush what is buffered and exit.
     Close,
 }
 
-/// Barrier ids awaiting their reply from one backend, in wire order.
+/// What a router-driven checkpoint capture got back: a full image blob
+/// (`Snapshot` reply) or the next increment of the backend's delta chain
+/// (`Delta` reply).
+pub(crate) enum CaptureReply {
+    /// A full `TADF` fleet image.
+    Full(Bytes),
+    /// A `TADD` delta blob.
+    Delta(Bytes),
+}
+
+/// One in-flight request on a backend link that will be answered by a
+/// trip-less reply, staged in wire order.
+pub(crate) enum PendingEntry {
+    /// A front-facing fleet barrier and its barrier id.
+    Barrier(BarrierKind, u64),
+    /// A router-driven checkpoint capture (`SnapshotRequest` or
+    /// `DeltaRequest`); the driver blocks on the channel.
+    Checkpoint(SyncSender<Result<CaptureReply, String>>),
+    /// A router-driven `Install`; the reply carries the delivered session
+    /// count.
+    Install(SyncSender<Result<u64, String>>),
+    /// A router-driven `Drain`; the reply carries the captured image.
+    Drain(SyncSender<Result<Bytes, String>>),
+    /// A replay fence: a `Flush` whose `Stats` reply is consumed by the
+    /// recovery/handoff machinery instead of a front connection.
+    Fence(SyncSender<Result<FleetSnapshot, String>>),
+}
+
+/// The single per-link pending queue (see the module docs for the
+/// ordering contract).
 #[derive(Default)]
 pub(crate) struct Pending {
-    pub(crate) flushes: Mutex<VecDeque<u64>>,
-    pub(crate) snapshots: Mutex<VecDeque<u64>>,
-    pub(crate) metrics: Mutex<VecDeque<u64>>,
+    queue: Mutex<VecDeque<PendingEntry>>,
+}
+
+impl Pending {
+    pub(crate) fn push(&self, entry: PendingEntry) {
+        self.queue.lock().expect("pending queue").push_back(entry);
+    }
+
+    pub(crate) fn pop(&self) -> Option<PendingEntry> {
+        self.queue.lock().expect("pending queue").pop_front()
+    }
+
+    /// Undoes a stage whose channel send failed. The caller still holds
+    /// the stage lock, so nobody staged after it: the entry — unless the
+    /// down sweep already drained it — is the tail.
+    pub(crate) fn unstage_tail(&self, matches: impl Fn(&PendingEntry) -> bool) {
+        let mut queue = self.queue.lock().expect("pending queue");
+        if queue.back().is_some_and(matches) {
+            queue.pop_back();
+        }
+    }
+
+    /// Atomically takes every staged entry (the backend-down sweep).
+    pub(crate) fn drain_all(&self) -> Vec<PendingEntry> {
+        self.queue.lock().expect("pending queue").drain(..).collect()
+    }
 }
 
 /// Drains the backend channel to the socket, batching writes between
 /// flushes (same shape as `tad-net`'s connection writer). Every exit path
 /// — orderly close, channel disconnect, or a write failure — runs
-/// [`Core::on_backend_down`]: it is idempotent, shuts the socket (waking
-/// the reader), and sweeps staged barriers, which closes the race where a
-/// barrier frame is accepted onto the channel but never reaches the wire.
+/// [`Core::backend_down`]: it shuts the socket (waking the reader) and
+/// sweeps staged entries, which closes the race where a staged frame is
+/// accepted onto the channel but never reaches the wire.
 pub(crate) fn backend_writer(
     rx: Receiver<BackendMsg>,
     stream: TcpStream,
@@ -87,18 +144,19 @@ pub(crate) fn backend_writer(
         }
     }
     let _ = w.flush();
-    core.on_backend_down(idx);
+    Core::backend_down(&core, idx);
 }
 
 /// Reads the backend's response stream and fans each frame back in
 /// through the router core. Exits on EOF or any transport/frame error —
 /// a router↔backend link carries multiplexed traffic, so a framing fault
-/// is unrecoverable — and then runs the backend-down cleanup: barrier
-/// failures for staged FIFO entries and typed errors to every front
-/// connection with a live trip on this backend.
+/// is unrecoverable — and then runs the backend-down cleanup: staged
+/// entries are drained (failed, or carried into a failover), and front
+/// connections with live trips on this backend get typed errors unless a
+/// standby can take over.
 pub(crate) fn backend_reader(idx: u32, mut stream: TcpStream, core: Arc<Core>, max_frame: usize) {
     while let Ok(Some(resp)) = read_response(&mut stream, max_frame) {
         core.on_backend_response(idx, resp);
     }
-    core.on_backend_down(idx);
+    Core::backend_down(&core, idx);
 }

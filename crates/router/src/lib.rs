@@ -41,10 +41,26 @@
 //!   resumes exactly the sessions whose future events will be routed to
 //!   it ([`tad_serve::FleetEngine::restore`] then re-partitions across
 //!   each engine's internal shards).
-//! * **Partial failure** — a dead backend surfaces typed
-//!   `Error{EngineClosed}` frames to the front connections whose trips it
-//!   owned and fails in-flight barriers; trips on healthy backends keep
-//!   scoring without a stall.
+//! * **Partial failure** — without standbys, a dead backend surfaces
+//!   typed `Error{EngineClosed}` frames to the front connections whose
+//!   trips it owned and fails in-flight barriers; trips on healthy
+//!   backends keep scoring without a stall.
+//! * **Self-healing** — with standby backends
+//!   ([`RouterServerBuilder::standby`]) the router keeps a bounded
+//!   recovery journal per active link (last checkpoint image + every
+//!   ingest frame since the cut, maintained by
+//!   [`RouterServer::checkpoint`] with cheap `TADD` delta captures).
+//!   When an active backend dies, a standby is promoted: journal base
+//!   installed, tail replayed behind flush fences, partition map flipped
+//!   atomically. A per-trip delivered high-water mark suppresses
+//!   duplicate scores, so producers observe a **bit-identical** score
+//!   stream — every score exactly once, in order — and in-flight ingest
+//!   rides out the failover at the topology gate instead of erroring.
+//!   [`RouterServer::handoff`] (move one partition to a standby) and
+//!   [`RouterServer::rebalance`] (re-split the fleet onto M backends)
+//!   reuse the same drain → install → flip machinery, invisible to
+//!   producers. Barriers arriving mid-failover wait for the new map or
+//!   fail typed — never hang, never answer from a half-flipped fleet.
 //!
 //! ## Quickstart
 //!
@@ -85,4 +101,7 @@ mod partition;
 mod server;
 
 pub use partition::{backend_for, split_image};
-pub use server::{RouterConfig, RouterError, RouterServer, RouterServerBuilder, RouterStats};
+pub use server::{
+    CheckpointStats, HandoffStats, RouterAdminError, RouterConfig, RouterError, RouterServer,
+    RouterServerBuilder, RouterStats,
+};

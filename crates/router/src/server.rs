@@ -6,55 +6,84 @@
 //! ## Data flow
 //!
 //! ```text
-//! producers ──TADN──▶ front reader ──backend_for(id, N)──▶ backend writer ──▶ tad-net server
-//!    ▲                    │                                                      │
-//!    │                    └─ Flush / SnapshotRequest: barrier over all backends  │
-//!    │                                                                           ▼
-//!    └──── front writer ◀── per-conn queue ◀── fan-in (Core) ◀── backend reader ─┘
+//! producers ──TADN──▶ front reader ──partition map──▶ backend writer ──▶ tad-net server
+//!    ▲                    │                                                  │
+//!    │                    └─ Flush / SnapshotRequest: barrier over the map   │
+//!    │                                                                       ▼
+//!    └──── front writer ◀── per-conn queue ◀── fan-in (Core) ◀── backend reader
 //! ```
 //!
-//! **Stickiness**: the trip→backend assignment is the pure function
-//! [`crate::backend_for`], so every event of a trip reaches the same
-//! backend engine and per-trip event order is preserved end to end (front
-//! reader → per-backend FIFO channel → one TCP connection → the backend's
-//! own ordered ingest). That is what makes routed scoring bit-identical
-//! to a single in-process engine.
+//! **Stickiness**: a trip's partition is the pure function
+//! [`crate::backend_for`] over the *number of partitions*, and the
+//! [`PartitionMap`] says which backend link currently serves each
+//! partition. Every event of a trip reaches the same backend engine and
+//! per-trip event order is preserved end to end (front reader →
+//! per-backend FIFO channel → one TCP connection → the backend's own
+//! ordered ingest). That is what makes routed scoring bit-identical to a
+//! single in-process engine.
 //!
-//! **Barriers**: a front `Flush` fans out to every live backend and
-//! replies with [`FleetSnapshot::merged`] aggregate stats only after all
-//! of them answered — and because each backend's `Stats` follows all of
-//! its earlier replies on the same connection, the aggregate reply is
+//! **Barriers**: a front `Flush` fans out to every mapped live backend
+//! and replies with [`FleetSnapshot::merged`] aggregate stats only after
+//! all of them answered — and because each backend's `Stats` follows all
+//! of its earlier replies on the same connection, the aggregate reply is
 //! queued after every response caused by events the producer sent first:
 //! the single-server quiesce contract, fleet-wide. `SnapshotRequest`
-//! works the same way and replies with the [`FleetImage::merge`] of every
-//! backend's capture, ready for [`crate::split_image`] onto a fleet of a
-//! different size.
+//! works the same way and replies with the [`FleetImage::merge`] of
+//! every backend's capture, ready for [`crate::split_image`] onto a
+//! fleet of a different size.
 //!
-//! **Failure**: a dead backend fails in-flight barriers and surfaces a
-//! typed [`ErrorCode::EngineClosed`] error to every front connection with
-//! a live trip on it; trips on healthy backends keep scoring, and new
-//! events for the dead backend's trips are answered with the same typed
-//! error instead of stalling.
+//! ## The availability tier
+//!
+//! With standby backends ([`RouterServerBuilder::standby`]) the router
+//! keeps a bounded **recovery journal** per active link: the last
+//! checkpointed [`FleetImage`] of that backend (maintained cheaply by
+//! [`RouterServer::checkpoint`], which prefers `TADD` delta captures
+//! over full images once the backend's chain is armed) plus every ingest
+//! frame forwarded since the checkpoint cut. When an active link dies,
+//! the router promotes a standby: it installs the journal base image,
+//! replays the journaled tail (chunked, with flush fences so replay can
+//! never overflow the backend's ingest queue), and atomically flips the
+//! partition map. Scores the producers already received are suppressed
+//! by a per-trip delivered high-water mark, so the stream each producer
+//! observes is **bit-identical** to an uninterrupted run — every score
+//! exactly once, in order.
+//!
+//! [`RouterServer::handoff`] and [`RouterServer::rebalance`] use the
+//! same machinery deliberately: drain the source engine's live sessions
+//! (no completions fired), install them on the target, flip the map.
+//! In-flight frames are held at a write-preferring gate and released in
+//! per-trip order afterwards, so a migration is invisible to producers.
+//!
+//! **Failure without a standby** keeps the old contract: a dead backend
+//! fails in-flight barriers and surfaces a typed
+//! [`ErrorCode::EngineClosed`] error to every front connection with a
+//! live trip on it; trips on healthy backends keep scoring.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::BufWriter;
+use std::mem;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use tad_metrics::{Histogram, MetricsSnapshot, Registry};
+use tad_metrics::{Counter, Histogram, MetricsSnapshot, Registry};
 use tad_net::{
     read_request, write_response, ErrorCode, RecvError, Request, Response, DEFAULT_MAX_FRAME,
 };
-use tad_serve::{image_from_bytes, image_to_bytes, FleetImage, FleetSnapshot, TripId};
+use tad_serve::{
+    delta_from_bytes, image_from_bytes, image_to_bytes, DeltaBase, FleetImage, FleetSnapshot,
+    TripId,
+};
 
-use crate::backend::{backend_reader, backend_writer, BackendMsg, Pending};
-use crate::partition::backend_for;
+use crate::backend::{
+    backend_reader, backend_writer, BackendMsg, CaptureReply, Pending, PendingEntry,
+};
+use crate::partition::{backend_for, split_image};
 
 /// Tunables of the router tier (each backend engine has its own
 /// [`tad_serve::FleetConfig`] behind its own `tad-net` server).
@@ -77,6 +106,17 @@ pub struct RouterConfig {
     /// engine-level `Backpressure` contract still comes from the backend
     /// itself).
     pub backend_queue: usize,
+    /// Cap on each link's recovery journal, in frames. A journal that
+    /// would exceed this is discarded (the link stops being recoverable
+    /// until the next [`RouterServer::checkpoint`] re-bases it) rather
+    /// than growing without bound — size it to the expected ingest volume
+    /// of one checkpoint interval. Only meaningful with standbys.
+    pub journal_limit: usize,
+    /// How long a producer's ingest frame may wait out a failover before
+    /// the router gives up and surfaces a typed `EngineClosed` error.
+    /// Only meaningful with standbys; without them dead backends answer
+    /// immediately.
+    pub failover_wait: Duration,
     /// Set `TCP_NODELAY` on accepted and backend sockets.
     pub nodelay: bool,
 }
@@ -87,6 +127,8 @@ impl Default for RouterConfig {
             max_frame_len: DEFAULT_MAX_FRAME,
             response_queue: 65_536,
             backend_queue: 65_536,
+            journal_limit: 8_192,
+            failover_wait: Duration::from_secs(10),
             nodelay: true,
         }
     }
@@ -99,9 +141,10 @@ pub enum RouterError {
     Io(std::io::Error),
     /// The builder was given no backend addresses.
     NoBackends,
-    /// Connecting to one of the backends failed.
+    /// Connecting to one of the backends (active or standby) failed.
     BackendConnect {
-        /// Index of the backend in the builder's list.
+        /// Index of the backend in the builder's combined list (actives
+        /// first, then standbys).
         index: usize,
         /// The underlying socket failure.
         error: std::io::Error,
@@ -128,6 +171,69 @@ impl From<std::io::Error> for RouterError {
     }
 }
 
+/// Why a router-driven admin operation ([`RouterServer::checkpoint`],
+/// [`RouterServer::handoff`], [`RouterServer::rebalance`]) failed.
+#[derive(Debug)]
+pub enum RouterAdminError {
+    /// The operation needed a standby backend and the pool is empty.
+    NoStandby,
+    /// [`RouterServer::handoff`] was asked to move a partition the map
+    /// does not have.
+    NoSuchPartition {
+        /// The requested partition.
+        partition: u32,
+        /// How many partitions the map currently has.
+        partitions: u32,
+    },
+    /// The requested topology is impossible (e.g. rebalancing to zero
+    /// partitions).
+    InvalidTopology(&'static str),
+    /// A backend refused or failed mid-operation.
+    Backend {
+        /// The link index of the failing backend.
+        backend: u32,
+        /// What went wrong, as reported on the wire or by the link.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RouterAdminError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterAdminError::NoStandby => write!(f, "no standby backend available"),
+            RouterAdminError::NoSuchPartition { partition, partitions } => {
+                write!(f, "partition {partition} does not exist (map has {partitions})")
+            }
+            RouterAdminError::InvalidTopology(why) => write!(f, "invalid topology: {why}"),
+            RouterAdminError::Backend { backend, detail } => {
+                write!(f, "backend {backend}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterAdminError {}
+
+/// What one [`RouterServer::checkpoint`] sweep captured per backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckpointStats {
+    /// Backends that served a full `TADF` image this sweep.
+    pub full_captures: u64,
+    /// Backends that served an incremental `TADD` delta this sweep —
+    /// the steady state once every chain is armed.
+    pub delta_captures: u64,
+}
+
+/// What a completed [`RouterServer::handoff`] or
+/// [`RouterServer::rebalance`] moved.
+#[derive(Clone, Copy, Debug)]
+pub struct HandoffStats {
+    /// Live sessions delivered into their new backend(s).
+    pub sessions_moved: u64,
+    /// The partition-map epoch after the flip.
+    pub epoch: u64,
+}
+
 /// Point-in-time counters of the router tier (per-backend engine counters
 /// travel in the aggregated `Stats` reply to a front `Flush`).
 #[derive(Clone, Copy, Debug)]
@@ -139,10 +245,20 @@ pub struct RouterStats {
     /// Responses dropped because the owning front connection's queue was
     /// full, the connection was gone, or no connection owned the trip.
     pub responses_dropped: u64,
-    /// Backends the router was built over.
+    /// Backend links the router was built over (actives plus standbys).
     pub backends_total: u64,
-    /// Backends whose connection is still healthy.
+    /// Backend links whose connection is still healthy.
     pub backends_alive: u64,
+    /// Standby backends currently available for promotion.
+    pub standbys_available: u64,
+    /// Completed standby promotions since the router started.
+    pub failovers: u64,
+    /// Wall-clock duration of the most recent completed failover, in
+    /// microseconds (0 if none happened yet).
+    pub last_recovery_micros: u64,
+    /// The partition map's epoch: bumped by every failover flip, handoff,
+    /// and rebalance.
+    pub partition_epoch: u64,
 }
 
 /// A front connection's handle in the fan-in registry.
@@ -155,36 +271,268 @@ struct FrontHandle {
 struct TripRoute {
     /// The front connection that owns the trip's responses.
     conn: u64,
-    /// The backend the trip is assigned to (`backend_for(id, N)`).
-    backend: u32,
+    /// The backend link currently serving the trip's partition. Updated
+    /// at every map flip; atomic so flips need only a read lock on the
+    /// routing table.
+    backend: AtomicU32,
     /// Events forwarded after the claim was created — 0 means the claim
     /// is start-only, so a refused/bounced `TripStart` can release it
     /// without stranding the id. Atomic so the per-segment bump needs
     /// only a read lock on the routing table.
     forwarded: AtomicU32,
+    /// Delivered-score high-water mark: `seq + 1` of the last `Score`
+    /// delivered to the front connection. During journal replay this is
+    /// what separates duplicates (suppressed) from scores the producer
+    /// never saw (delivered) — the exactly-once guarantee.
+    delivered: AtomicU32,
+    /// True while the trip's backend is being failed over; gates the
+    /// replay suppression logic.
+    replaying: AtomicBool,
+}
+
+impl TripRoute {
+    fn new(conn: u64, backend: u32) -> Self {
+        TripRoute {
+            conn,
+            backend: AtomicU32::new(backend),
+            forwarded: AtomicU32::new(0),
+            delivered: AtomicU32::new(0),
+            replaying: AtomicBool::new(false),
+        }
+    }
+}
+
+/// What a pending fleet-wide barrier is waiting to answer.
+#[derive(Clone, Copy)]
+pub(crate) enum BarrierKind {
+    /// A front `Flush` waiting on merged `Stats`.
+    Flush,
+    /// A front `SnapshotRequest` waiting on a merged image.
+    Snapshot,
+    /// A front `MetricsRequest` waiting on merged registries.
+    Metrics,
+}
+
+/// Which backend link serves each partition, and a flip counter.
+///
+/// A trip's partition is `backend_for(id, slots.len())`; `slots[k]` is
+/// the link index currently serving partition `k`. The slots are always
+/// distinct links. `epoch` bumps on every flip (failover, handoff,
+/// rebalance), which makes "did the topology change under me" a cheap
+/// question for tests and operators.
+struct PartitionMap {
+    epoch: u64,
+    slots: Vec<u32>,
+}
+
+/// The recovery base a dead backend would be restored from: the image of
+/// its last completed checkpoint, kept either verbatim or as a delta
+/// chain folded down eagerly (a [`DeltaBase`] *is* the folded image plus
+/// chain bookkeeping, so promotion never replays deltas — it is always
+/// install-image-then-replay-tail).
+enum RecoveryBase {
+    /// A plain image; the backend-side delta chain (if any) is not yet
+    /// linked to it.
+    Plain(FleetImage),
+    /// An image tracking the backend's delta chain: `TADD` increments
+    /// apply directly.
+    Chained(DeltaBase),
+}
+
+impl RecoveryBase {
+    fn image(&self) -> &FleetImage {
+        match self {
+            RecoveryBase::Plain(image) => image,
+            RecoveryBase::Chained(base) => base.image(),
+        }
+    }
+
+    /// Folds one `TADD` blob into the base. A `Plain` base adopts the
+    /// chain lazily when the first increment (`seq == 1`) arrives —
+    /// that is how the router learns the epoch the backend armed at the
+    /// full capture that produced this base.
+    fn apply_delta(&mut self, blob: Bytes) -> Result<(), String> {
+        let delta = delta_from_bytes(blob).map_err(|e| format!("undecodable delta: {e}"))?;
+        match self {
+            RecoveryBase::Chained(base) => {
+                base.apply(&delta).map_err(|e| format!("delta chain broken: {e}"))
+            }
+            RecoveryBase::Plain(image) => {
+                if delta.seq != 1 {
+                    return Err(format!(
+                        "delta seq {} does not start a fresh chain over a plain base",
+                        delta.seq
+                    ));
+                }
+                let mut base = DeltaBase::new(mem::take(image), delta.base_epoch);
+                base.apply(&delta).map_err(|e| format!("delta chain broken: {e}"))?;
+                *self = RecoveryBase::Chained(base);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One link's bounded recovery journal: the checkpoint base plus every
+/// ingest frame forwarded since the checkpoint cut. `base + frames`
+/// replayed onto a fresh backend reproduces the dead backend's state and
+/// score stream bit-identically — *if* `tail_ok` (the tail is complete:
+/// no overflow, no poisoned frame since the base was taken).
+struct Journal {
+    base: RecoveryBase,
+    frames: Vec<Request>,
+    /// True when `base + frames` is a faithful reconstruction.
+    tail_ok: bool,
+    /// True while forwarded ingest frames are being appended. Cleared on
+    /// overflow/poison; re-set by the next checkpoint cut.
+    recording: bool,
+    /// Frame count at the moment the in-flight capture frame hit the
+    /// wire: everything before it is covered by the capture reply and is
+    /// dropped when the reply applies.
+    pending_cut: Option<usize>,
+    /// True when the backend's delta chain provably continues this base,
+    /// i.e. a `DeltaRequest` increment would apply cleanly. A front
+    /// `SnapshotRequest` barrier re-arms the backend's chain at an epoch
+    /// the router never sees, so staging one disarms the journal.
+    armed: bool,
+    /// Bumped whenever something invalidates the chain linkage
+    /// out-of-band (a front snapshot barrier); captures compare it
+    /// across their stage→apply window so a full capture cannot re-arm
+    /// over a chain that was re-based mid-flight.
+    chain_breaks: u64,
+    limit: usize,
+}
+
+impl Journal {
+    fn new(limit: usize, enabled: bool) -> Self {
+        Journal {
+            // A fresh backend is an empty fleet: the empty image plus
+            // everything ever forwarded is a faithful tail from frame 0.
+            base: RecoveryBase::Plain(FleetImage::default()),
+            frames: Vec::new(),
+            tail_ok: enabled,
+            recording: enabled,
+            pending_cut: None,
+            armed: false,
+            chain_breaks: 0,
+            limit,
+        }
+    }
+
+    /// Appends one forwarded ingest frame; discards the journal instead
+    /// of exceeding the cap.
+    fn record(&mut self, req: &Request) {
+        if !self.recording {
+            return;
+        }
+        if self.frames.len() >= self.limit {
+            self.frames = Vec::new();
+            self.tail_ok = false;
+            self.recording = false;
+        } else {
+            self.frames.push(req.clone());
+        }
+    }
+
+    /// A journaled frame was accepted by the channel but refused by the
+    /// backend engine (`Backpressure`): the tail now contains a frame
+    /// that was never scored, so replaying it would diverge. Discard.
+    fn poison(&mut self) {
+        if self.recording || self.tail_ok {
+            self.frames = Vec::new();
+            self.tail_ok = false;
+            self.recording = false;
+        }
+    }
+
+    /// The capture frame just hit the wire (caller holds the stage
+    /// lock): remember the cut so the reply knows which prefix it
+    /// covers, and restart recording if the journal had been discarded —
+    /// the new base will cover everything up to this very cut.
+    fn stage_cut(&mut self, enabled: bool) {
+        if !self.tail_ok && enabled {
+            self.frames.clear();
+            self.recording = true;
+        }
+        self.pending_cut = Some(self.frames.len());
+    }
+
+    /// The in-flight capture failed; keep the journal as it was.
+    fn abort_cut(&mut self) {
+        self.pending_cut = None;
+    }
+
+    /// A full image reply applies: it covers everything before the cut.
+    /// `breaks_at_stage` guards the re-arm — see [`Journal::chain_breaks`].
+    fn apply_full(&mut self, image: FleetImage, breaks_at_stage: u64) {
+        let cut = self.pending_cut.take().unwrap_or(0).min(self.frames.len());
+        self.frames.drain(..cut);
+        self.base = RecoveryBase::Plain(image);
+        self.armed = breaks_at_stage == self.chain_breaks;
+        self.tail_ok = self.recording;
+    }
+
+    /// A delta reply applies: fold it into the base, then drop the
+    /// covered prefix exactly as a full capture would.
+    fn apply_delta(&mut self, blob: Bytes) -> Result<(), String> {
+        self.base.apply_delta(blob)?;
+        let cut = self.pending_cut.take().unwrap_or(0).min(self.frames.len());
+        self.frames.drain(..cut);
+        self.tail_ok = self.recording;
+        Ok(())
+    }
+
+    /// Whether `base + frames` can reproduce the backend right now.
+    fn recoverable(&self) -> bool {
+        self.tail_ok
+    }
+
+    /// A front snapshot barrier re-based the backend's delta chain out
+    /// from under the router: the next capture must be a full image.
+    fn break_chain(&mut self) {
+        self.armed = false;
+        self.chain_breaks += 1;
+    }
+
+    /// The backend's state was just replaced wholesale (an `Install`):
+    /// the journal restarts from exactly that image.
+    fn reset_to(&mut self, image: FleetImage, enabled: bool) {
+        self.base = RecoveryBase::Plain(image);
+        self.frames.clear();
+        self.pending_cut = None;
+        self.armed = false;
+        self.chain_breaks += 1;
+        self.recording = enabled;
+        self.tail_ok = enabled;
+    }
 }
 
 /// The router's handle on one backend connection.
 pub(crate) struct BackendLink {
     /// False once the connection failed; checked before forwarding.
-    pub(crate) alive: Arc<AtomicBool>,
+    alive: AtomicBool,
     /// Feed of the backend's writer thread.
     tx: SyncSender<BackendMsg>,
-    /// Barrier ids in flight on this connection.
-    pub(crate) pending: Arc<Pending>,
-    /// Serializes barrier staging with the channel send, so pending-FIFO
-    /// order always equals wire order (see [`handle_barrier`]).
-    stage: Mutex<()>,
+    /// Requests in flight on this connection that expect trip-less
+    /// replies, in wire order.
+    pub(crate) pending: Pending,
+    /// Serializes admin staging (exclusive) against journaled ingest
+    /// sends (shared), so pending-queue order always equals wire order
+    /// and a checkpoint cut lands at exactly the wire position of its
+    /// capture frame.
+    stage: RwLock<()>,
+    /// This link's recovery journal.
+    journal: Mutex<Journal>,
+    /// True while this link is the *target* of a journal replay; gates
+    /// suppression of replay-induced replies that have no route (e.g.
+    /// completions of trips that finished pre-crash).
+    replaying: AtomicBool,
+    /// Ensures the heavyweight half of the down path (failover spawn or
+    /// route sweep) runs exactly once even though both link threads call
+    /// it.
+    down_handled: AtomicBool,
     /// A handle on the socket for shutdown wake-ups.
     pub(crate) stream: TcpStream,
-}
-
-/// What a pending fleet-wide barrier is waiting to answer.
-#[derive(Clone, Copy)]
-enum BarrierKind {
-    Flush,
-    Snapshot,
-    Metrics,
 }
 
 /// Handles into the router's own metrics registry (`router.*`), cached at
@@ -200,18 +548,34 @@ struct RouterMetrics {
     /// `router.fanin_depth`: fleet-wide barriers in flight, observed at
     /// each barrier open (including the one being opened).
     fanin_depth: Arc<Histogram>,
-    /// `router.backend.N.forward_ns`: the per-backend split of
+    /// `router.failovers`: completed standby promotions.
+    failovers: Arc<Counter>,
+    /// `router.handoff_sessions`: live sessions moved by handoffs and
+    /// rebalances.
+    handoff_sessions: Arc<Counter>,
+    /// `router.replay_suppressed`: replies swallowed during journal
+    /// replay because the producer had already received them (the
+    /// duplicate side of the exactly-once ledger).
+    replay_suppressed: Arc<Counter>,
+    /// `router.recovery_micros`: wall-clock duration of completed
+    /// failovers.
+    recovery_micros: Arc<Histogram>,
+    /// `router.backend.N.forward_ns`: the per-link split of
     /// `forward_ns`, same clock.
     per_backend: Vec<Arc<Histogram>>,
 }
 
 impl RouterMetrics {
-    fn register(num_backends: usize) -> Self {
+    fn register(num_links: usize) -> Self {
         let registry = Arc::new(Registry::new());
         RouterMetrics {
             forward_ns: registry.histogram("router.forward_ns"),
             fanin_depth: registry.histogram("router.fanin_depth"),
-            per_backend: (0..num_backends)
+            failovers: registry.counter("router.failovers"),
+            handoff_sessions: registry.counter("router.handoff_sessions"),
+            replay_suppressed: registry.counter("router.replay_suppressed"),
+            recovery_micros: registry.histogram("router.recovery_micros"),
+            per_backend: (0..num_links)
                 .map(|idx| registry.histogram(&format!("router.backend.{idx}.forward_ns")))
                 .collect(),
             registry,
@@ -220,7 +584,7 @@ impl RouterMetrics {
 }
 
 /// One fleet-wide barrier in flight: a front `Flush`/`SnapshotRequest`
-/// fanned out to every live backend, collecting one contribution
+/// fanned out to every mapped live backend, collecting one contribution
 /// (a reply or a failure) per backend before answering the front
 /// connection.
 struct Barrier {
@@ -237,10 +601,33 @@ struct Barrier {
     failed: Option<(ErrorCode, String)>,
 }
 
-/// The router's shared state: backend links, front registry, trip routing
-/// table, and in-flight barriers.
+/// The router's shared state: backend links, the partition map, front
+/// registry, trip routing table, and in-flight barriers.
 pub(crate) struct Core {
-    pub(crate) backends: Vec<BackendLink>,
+    links: Vec<BackendLink>,
+    /// Which link serves each partition. RwLock: the hot forward path
+    /// only reads it; failover/handoff flips take the write lock for the
+    /// duration of a pointer swap.
+    map: RwLock<PartitionMap>,
+    /// Standby links available for promotion, in builder order.
+    standbys: Mutex<Vec<u32>>,
+    /// True when the router was built with standbys: journals record,
+    /// forwards ride out failovers, and dead actives are promoted over.
+    journaling: bool,
+    failover_wait: Duration,
+    /// The topology gate. Forwards and front barriers hold it shared for
+    /// the duration of one send pass; failover and handoff hold it
+    /// exclusive across capture→install→flip, so no producer frame can
+    /// slip between a drain and its map flip.
+    gate: RwLock<()>,
+    /// Serializes router-driven admin operations (checkpoint sweeps,
+    /// handoffs, rebalances) against each other.
+    admin: Mutex<()>,
+    /// True once shutdown starts: backend deaths stop spawning recovery.
+    closing: AtomicBool,
+    recovery_threads: Mutex<Vec<JoinHandle<()>>>,
+    failovers: AtomicU64,
+    last_recovery_micros: AtomicU64,
     fronts: RwLock<HashMap<u64, FrontHandle>>,
     /// Trip routing table. RwLock, not Mutex: the hot per-segment paths
     /// (forwarding an event, fanning a `Score` back in) only read it, so
@@ -254,10 +641,21 @@ pub(crate) struct Core {
 }
 
 impl Core {
-    fn new(backends: Vec<BackendLink>) -> Self {
-        let metrics = RouterMetrics::register(backends.len());
+    fn new(links: Vec<BackendLink>, actives: usize, cfg: &RouterConfig) -> Self {
+        let metrics = RouterMetrics::register(links.len());
+        let standbys: Vec<u32> = (actives as u32..links.len() as u32).collect();
         Core {
-            backends,
+            map: RwLock::new(PartitionMap { epoch: 0, slots: (0..actives as u32).collect() }),
+            journaling: !standbys.is_empty(),
+            standbys: Mutex::new(standbys),
+            failover_wait: cfg.failover_wait,
+            gate: RwLock::new(()),
+            admin: Mutex::new(()),
+            closing: AtomicBool::new(false),
+            recovery_threads: Mutex::new(Vec::new()),
+            failovers: AtomicU64::new(0),
+            last_recovery_micros: AtomicU64::new(0),
+            links,
             fronts: RwLock::new(HashMap::new()),
             trips: RwLock::new(HashMap::new()),
             barriers: Mutex::new(HashMap::new()),
@@ -285,6 +683,10 @@ impl Core {
         self.responses_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn suppressed(&self) {
+        self.metrics.replay_suppressed.add(1);
+    }
+
     /// Best-effort delivery to one front connection's response queue.
     fn deliver_conn(&self, conn: u64, resp: Response) {
         let fronts = self.fronts.read().expect("fronts lock");
@@ -294,14 +696,81 @@ impl Core {
         }
     }
 
-    /// Fan-in: one frame arrived from backend `idx`.
+    /// Resolves a pending entry that will never get its reply.
+    fn fail_entry(&self, entry: PendingEntry, code: ErrorCode, detail: String) {
+        match entry {
+            PendingEntry::Barrier(_, bid) => self.contribute(bid, |b| {
+                b.failed.get_or_insert((code, detail));
+            }),
+            PendingEntry::Checkpoint(tx) => {
+                let _ = tx.try_send(Err(detail));
+            }
+            PendingEntry::Install(tx) => {
+                let _ = tx.try_send(Err(detail));
+            }
+            PendingEntry::Drain(tx) => {
+                let _ = tx.try_send(Err(detail));
+            }
+            PendingEntry::Fence(tx) => {
+                let _ = tx.try_send(Err(detail));
+            }
+        }
+    }
+
+    /// A trip-less reply arrived that does not answer the entry at the
+    /// head of the link's pending queue: the reply stream is
+    /// desynchronized (a protocol fault, not an expected state). Fail
+    /// the mismatched entry loudly rather than mis-attributing replies.
+    fn desync(&self, entry: PendingEntry) {
+        self.dropped();
+        self.fail_entry(
+            entry,
+            ErrorCode::EngineClosed,
+            "backend reply stream desynchronized".to_string(),
+        );
+    }
+
+    /// Fan-in: one frame arrived from backend link `idx`.
     pub(crate) fn on_backend_response(&self, idx: u32, resp: Response) {
         match resp {
             Response::Score(update) => {
-                let conn = self.trips.read().expect("trips lock").get(&update.id).map(|r| r.conn);
-                match conn {
-                    Some(conn) => self.deliver_conn(conn, Response::Score(update)),
-                    None => self.dropped(),
+                // Fast path: deliver and advance the per-trip delivered
+                // high-water mark. During replay the mark is the
+                // duplicate filter: anything below it was already
+                // delivered pre-crash.
+                enum Verdict {
+                    Deliver(u64),
+                    Duplicate,
+                    NoRoute,
+                }
+                let verdict = {
+                    let trips = self.trips.read().expect("trips lock");
+                    match trips.get(&update.id) {
+                        Some(route) => {
+                            if route.replaying.load(Ordering::Relaxed)
+                                && update.seq < route.delivered.load(Ordering::Relaxed)
+                            {
+                                Verdict::Duplicate
+                            } else {
+                                route.delivered.store(update.seq + 1, Ordering::Relaxed);
+                                Verdict::Deliver(route.conn)
+                            }
+                        }
+                        None => Verdict::NoRoute,
+                    }
+                };
+                match verdict {
+                    Verdict::Deliver(conn) => self.deliver_conn(conn, Response::Score(update)),
+                    Verdict::Duplicate => self.suppressed(),
+                    Verdict::NoRoute => {
+                        // Replay of a trip whose route is long gone
+                        // (completed pre-crash): expected, not a drop.
+                        if self.links[idx as usize].replaying.load(Ordering::Relaxed) {
+                            self.suppressed();
+                        } else {
+                            self.dropped();
+                        }
+                    }
                 }
             }
             Response::TripComplete(tc) => {
@@ -310,48 +779,113 @@ impl Core {
                 let conn = self.trips.write().expect("trips lock").remove(&tc.id).map(|r| r.conn);
                 match conn {
                     Some(conn) => self.deliver_conn(conn, Response::TripComplete(tc)),
+                    None if self.links[idx as usize].replaying.load(Ordering::Relaxed) => {
+                        self.suppressed()
+                    }
                     None => self.dropped(),
                 }
             }
             Response::PolicyNotice { id, action, seg } => {
                 // Sanitization outcomes are trip-scoped, like scores: fan
-                // them in to whichever front connection owns the trip so a
-                // producer behind the router sees the same notices it
-                // would see talking to the backend directly.
-                let conn = self.trips.read().expect("trips lock").get(&id).map(|r| r.conn);
-                match conn {
-                    Some(conn) => self.deliver_conn(conn, Response::PolicyNotice { id, action, seg }),
-                    None => self.dropped(),
+                // them in to whichever front connection owns the trip. A
+                // replaying route already saw its pre-crash notices, and
+                // notices carry no sequence to dedup on, so replay
+                // suppresses them wholesale.
+                enum Verdict {
+                    Deliver(u64),
+                    Replaying,
+                    NoRoute,
+                }
+                let verdict = {
+                    let trips = self.trips.read().expect("trips lock");
+                    match trips.get(&id) {
+                        Some(r) if r.replaying.load(Ordering::Relaxed) => Verdict::Replaying,
+                        Some(r) => Verdict::Deliver(r.conn),
+                        None => Verdict::NoRoute,
+                    }
+                };
+                match verdict {
+                    Verdict::Deliver(conn) => {
+                        self.deliver_conn(conn, Response::PolicyNotice { id, action, seg })
+                    }
+                    Verdict::Replaying => self.suppressed(),
+                    Verdict::NoRoute => self.dropped(),
                 }
             }
-            Response::Stats(stats) => {
-                let bid =
-                    self.backends[idx as usize].pending.flushes.lock().expect("fifo").pop_front();
-                if let Some(bid) = bid {
+            Response::Stats(stats) => match self.links[idx as usize].pending.pop() {
+                Some(PendingEntry::Barrier(BarrierKind::Flush, bid)) => {
                     self.contribute(bid, |b| b.stats.push(stats));
                 }
-            }
-            Response::Snapshot { image } => {
-                let bid =
-                    self.backends[idx as usize].pending.snapshots.lock().expect("fifo").pop_front();
-                if let Some(bid) = bid {
+                Some(PendingEntry::Fence(tx)) => {
+                    let _ = tx.try_send(Ok(stats));
+                }
+                Some(other) => self.desync(other),
+                None => self.dropped(),
+            },
+            Response::Snapshot { image } => match self.links[idx as usize].pending.pop() {
+                Some(PendingEntry::Barrier(BarrierKind::Snapshot, bid)) => {
                     self.contribute(bid, |b| b.images.push((idx, image)));
                 }
-            }
-            Response::Metrics(snapshot) => {
-                let bid =
-                    self.backends[idx as usize].pending.metrics.lock().expect("fifo").pop_front();
-                if let Some(bid) = bid {
+                Some(PendingEntry::Checkpoint(tx)) => {
+                    let _ = tx.try_send(Ok(CaptureReply::Full(image)));
+                }
+                Some(other) => self.desync(other),
+                None => self.dropped(),
+            },
+            Response::Metrics(snapshot) => match self.links[idx as usize].pending.pop() {
+                Some(PendingEntry::Barrier(BarrierKind::Metrics, bid)) => {
                     self.contribute(bid, |b| b.metrics.push(snapshot));
                 }
-            }
+                Some(other) => self.desync(other),
+                None => self.dropped(),
+            },
+            Response::Delta { delta } => match self.links[idx as usize].pending.pop() {
+                Some(PendingEntry::Checkpoint(tx)) => {
+                    let _ = tx.try_send(Ok(CaptureReply::Delta(delta)));
+                }
+                Some(other) => self.desync(other),
+                None => self.dropped(),
+            },
+            Response::Installed { sessions } => match self.links[idx as usize].pending.pop() {
+                Some(PendingEntry::Install(tx)) => {
+                    let _ = tx.try_send(Ok(sessions));
+                }
+                Some(other) => self.desync(other),
+                None => self.dropped(),
+            },
+            Response::Drained { image } => match self.links[idx as usize].pending.pop() {
+                Some(PendingEntry::Drain(tx)) => {
+                    let _ = tx.try_send(Ok(image));
+                }
+                Some(other) => self.desync(other),
+                None => self.dropped(),
+            },
             Response::Error { code, trip: Some(id), detail } => {
+                if matches!(code, ErrorCode::Backpressure) {
+                    // The frame made it into the journal but the engine
+                    // refused it: the recorded tail no longer matches
+                    // what was scored.
+                    self.links[idx as usize].journal.lock().expect("journal lock").poison();
+                }
                 let found = {
                     let trips = self.trips.read().expect("trips lock");
-                    trips.get(&id).map(|r| (r.conn, r.forwarded.load(Ordering::Relaxed)))
+                    trips.get(&id).map(|r| {
+                        (
+                            r.conn,
+                            r.forwarded.load(Ordering::Relaxed),
+                            r.replaying.load(Ordering::Relaxed),
+                        )
+                    })
                 };
                 match found {
-                    Some((conn, forwarded)) => {
+                    Some((_, _, true)) => {
+                        // Replay-induced (e.g. a replayed TripStart for a
+                        // session already in the installed image): the
+                        // producer never sent this frame post-crash, so
+                        // it must not see an error for it.
+                        self.suppressed();
+                    }
+                    Some((conn, forwarded, false)) => {
                         // A refused or bounced TripStart (nothing forwarded
                         // after the claim) must not strand its id: the
                         // producer will retry it. Error frames are rare, so
@@ -372,67 +906,29 @@ impl Core {
                     None => self.dropped(),
                 }
             }
-            Response::Error { code: ErrorCode::SnapshotFailed, trip: None, detail } => {
-                // The backend answered a SnapshotRequest with a failure:
-                // consume the oldest pending snapshot barrier so the FIFO
-                // stays aligned with the wire.
-                let bid =
-                    self.backends[idx as usize].pending.snapshots.lock().expect("fifo").pop_front();
-                if let Some(bid) = bid {
-                    self.contribute(bid, |b| {
-                        b.failed.get_or_insert((ErrorCode::SnapshotFailed, detail));
-                    });
-                }
-            }
-            Response::Error { code: ErrorCode::EngineClosed, trip: None, detail } => {
-                // A failed flush barrier; the backend hangs up right after
-                // this frame, so the rest of the cleanup happens in
-                // `on_backend_down`.
-                let bid =
-                    self.backends[idx as usize].pending.flushes.lock().expect("fifo").pop_front();
-                if let Some(bid) = bid {
-                    self.contribute(bid, |b| {
-                        b.failed.get_or_insert((ErrorCode::EngineClosed, detail));
-                    });
-                }
-            }
-            Response::Error { .. } => {
-                // Trip-less BadFrame/other: nothing to match it to; the
-                // link is about to close and the down path cleans up.
-                self.dropped();
-            }
+            Response::Error { code, trip: None, detail } => match code {
+                // A trip-less BadFrame/Backpressure answers nothing in
+                // the pending queue; the link is unhealthy and the down
+                // path cleans up.
+                ErrorCode::BadFrame | ErrorCode::Backpressure => self.dropped(),
+                // SnapshotFailed / EngineClosed / Rejected each answer
+                // exactly the admin request at the head of the queue.
+                _ => match self.links[idx as usize].pending.pop() {
+                    Some(entry) => self.fail_entry(entry, code, detail),
+                    None => self.dropped(),
+                },
+            },
         }
     }
 
-    /// A backend connection died: fail its in-flight barriers and tell
-    /// every affected front connection, then forget its trips. Healthy
-    /// backends are untouched. Idempotent — both the reader and the
-    /// writer of a link run it on exit, so whichever dies last sweeps any
-    /// barrier staged in between (the sweep of an already-swept link is a
-    /// no-op: empty FIFOs, no matching trips, contributions to barriers
-    /// that no longer exist are ignored).
-    pub(crate) fn on_backend_down(&self, idx: u32) {
-        let link = &self.backends[idx as usize];
-        link.alive.store(false, Ordering::SeqCst);
-        // Make sure the other half of the link dies too (the reader wakes
-        // from its blocking read; the writer's next write fails).
-        let _ = link.stream.shutdown(Shutdown::Both);
-        let mut bids: Vec<u64> = link.pending.flushes.lock().expect("fifo").drain(..).collect();
-        bids.extend(link.pending.snapshots.lock().expect("fifo").drain(..));
-        bids.extend(link.pending.metrics.lock().expect("fifo").drain(..));
-        for bid in bids {
-            self.contribute(bid, |b| {
-                b.failed.get_or_insert((
-                    ErrorCode::EngineClosed,
-                    format!("backend {idx} connection lost"),
-                ));
-            });
-        }
+    /// Sweeps the routing table for a dead backend's trips: remove them
+    /// and surface a typed error per trip (the no-standby contract).
+    fn fail_routes(&self, idx: u32) {
         let dead: Vec<(TripId, u64)> = {
             let mut trips = self.trips.write().expect("trips lock");
             let dead: Vec<(TripId, u64)> = trips
                 .iter()
-                .filter(|(_, route)| route.backend == idx)
+                .filter(|(_, route)| route.backend.load(Ordering::Relaxed) == idx)
                 .map(|(&id, route)| (id, route.conn))
                 .collect();
             for (id, _) in &dead {
@@ -450,6 +946,528 @@ impl Core {
                 },
             );
         }
+    }
+
+    /// A backend connection died. Both of a link's threads run this on
+    /// exit; the cheap half (mark dead, wake the other half, drain
+    /// staged entries) is idempotent, and `down_handled` makes the
+    /// heavyweight half — spawning a failover, or failing the link's
+    /// routes — run exactly once.
+    ///
+    /// An associated function taking the `Arc` (not a method) because a
+    /// recoverable death spawns a recovery thread that must own a clone
+    /// of the core.
+    pub(crate) fn backend_down(core: &Arc<Core>, idx: u32) {
+        let link = &core.links[idx as usize];
+        link.alive.store(false, Ordering::SeqCst);
+        // Make sure the other half of the link dies too (the reader wakes
+        // from its blocking read; the writer's next write fails).
+        let _ = link.stream.shutdown(Shutdown::Both);
+        core.standbys.lock().expect("standby pool").retain(|&s| s != idx);
+        let entries = link.pending.drain_all();
+        let first = !link.down_handled.swap(true, Ordering::SeqCst);
+        let in_map = core.map.read().expect("partition map").slots.contains(&idx);
+        let recoverable = first
+            && in_map
+            && core.journaling
+            && !core.closing.load(Ordering::SeqCst)
+            && link.journal.lock().expect("journal lock").recoverable()
+            && !core.standbys.lock().expect("standby pool").is_empty();
+        if recoverable {
+            // Mark the partition's live trips replaying *before* the
+            // recovery thread starts pushing frames, so every
+            // replay-induced reply is classified correctly.
+            {
+                let trips = core.trips.read().expect("trips lock");
+                for route in trips.values() {
+                    if route.backend.load(Ordering::Relaxed) == idx {
+                        route.replaying.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Barriers staged on the dead link move to the promoted
+            // backend; everything else (admin channels) fails typed.
+            let mut restage = Vec::new();
+            for entry in entries {
+                match entry {
+                    PendingEntry::Barrier(kind, bid) => restage.push((kind, bid)),
+                    other => core.fail_entry(
+                        other,
+                        ErrorCode::EngineClosed,
+                        format!("backend {idx} connection lost"),
+                    ),
+                }
+            }
+            let thread_core = Arc::clone(core);
+            let handle = std::thread::Builder::new()
+                .name(format!("tad-router-recover-{idx}"))
+                .spawn(move || thread_core.recover(idx, restage))
+                .expect("spawn recovery thread");
+            core.recovery_threads.lock().expect("recovery threads").push(handle);
+            return;
+        }
+        for entry in entries {
+            core.fail_entry(
+                entry,
+                ErrorCode::EngineClosed,
+                format!("backend {idx} connection lost"),
+            );
+        }
+        if first && in_map {
+            core.fail_routes(idx);
+        }
+    }
+
+    /// Pops the next live standby, or `None` when the pool is dry.
+    fn take_standby(&self) -> Option<u32> {
+        let mut pool = self.standbys.lock().expect("standby pool");
+        while !pool.is_empty() {
+            let idx = pool.remove(0);
+            if self.links[idx as usize].alive.load(Ordering::SeqCst) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// The failover driver, on its own thread. Holds the topology gate
+    /// exclusively: producers block (bounded by `failover_wait`) instead
+    /// of erroring, and resume against the flipped map.
+    fn recover(&self, dead: u32, restage: Vec<(BarrierKind, u64)>) {
+        let started = Instant::now();
+        let _gate = self.gate.write().expect("topology gate");
+        loop {
+            let Some(target) = self.take_standby() else {
+                self.abandon_recovery(dead, &restage);
+                return;
+            };
+            match self.try_promote(dead, target, &restage) {
+                Ok(_moved) => {
+                    let micros = started.elapsed().as_micros() as u64;
+                    self.metrics.recovery_micros.record(micros);
+                    self.last_recovery_micros.store(micros, Ordering::Relaxed);
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.failovers.add(1);
+                    return;
+                }
+                Err(_) => continue, // next standby, if any
+            }
+        }
+    }
+
+    /// Every standby was tried (or the pool was raced empty): fall back
+    /// to the no-standby contract.
+    fn abandon_recovery(&self, dead: u32, restage: &[(BarrierKind, u64)]) {
+        for &(_, bid) in restage {
+            self.contribute(bid, |b| {
+                b.failed.get_or_insert((
+                    ErrorCode::EngineClosed,
+                    format!("backend {dead} connection lost and no standby could take over"),
+                ));
+            });
+        }
+        self.fail_routes(dead);
+    }
+
+    /// One promotion attempt: install the dead link's journal base on
+    /// `target`, replay the journaled tail (fenced), verify the target
+    /// survived, then flip the map and restage the dead link's barriers.
+    /// Any failure leaves `target` consumed (it is dead or suspect) and
+    /// the caller tries the next standby.
+    fn try_promote(
+        &self,
+        dead: u32,
+        target: u32,
+        restage: &[(BarrierKind, u64)],
+    ) -> Result<u64, String> {
+        let (image, frames) = {
+            let journal = self.links[dead as usize].journal.lock().expect("journal lock");
+            if !journal.recoverable() {
+                return Err("journal discarded".to_string());
+            }
+            (journal.base.image().clone(), journal.frames.clone())
+        };
+        let moved = self.admin_install(target, image)?;
+        let link = &self.links[target as usize];
+        link.replaying.store(true, Ordering::SeqCst);
+        let replayed = self.replay_frames(target, &frames);
+        link.replaying.store(false, Ordering::SeqCst);
+        replayed?;
+        if !link.alive.load(Ordering::SeqCst) {
+            return Err(format!("backend {target} died during replay"));
+        }
+        // The flip: every partition the dead link served (exactly one,
+        // by construction) now points at the promoted backend, and the
+        // partition's trips resume normal delivery.
+        {
+            let mut map = self.map.write().expect("partition map");
+            for slot in map.slots.iter_mut() {
+                if *slot == dead {
+                    *slot = target;
+                }
+            }
+            map.epoch += 1;
+        }
+        {
+            let trips = self.trips.read().expect("trips lock");
+            for route in trips.values() {
+                if route.backend.load(Ordering::Relaxed) == dead {
+                    route.backend.store(target, Ordering::Relaxed);
+                    route.replaying.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        // Barriers that were staged on the dead link get their answer
+        // from the promoted backend: the replay fence already proved it
+        // holds everything those barriers were waiting to cover.
+        for &(kind, bid) in restage {
+            let frame = match kind {
+                BarrierKind::Flush => Request::Flush,
+                BarrierKind::Snapshot => Request::SnapshotRequest,
+                BarrierKind::Metrics => Request::MetricsRequest,
+            };
+            let _stage = link.stage.write().expect("stage lock");
+            link.pending.push(PendingEntry::Barrier(kind, bid));
+            if link.tx.send(BackendMsg::Forward(frame)).is_ok() {
+                if matches!(kind, BarrierKind::Snapshot) {
+                    link.journal.lock().expect("journal lock").break_chain();
+                }
+            } else {
+                link.pending
+                    .unstage_tail(|e| matches!(e, PendingEntry::Barrier(_, b) if *b == bid));
+                self.contribute(bid, |b| {
+                    b.failed.get_or_insert((
+                        ErrorCode::EngineClosed,
+                        format!("backend {target} connection lost"),
+                    ));
+                });
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Replays journaled ingest frames onto `target` in chunks, with a
+    /// flush fence after each chunk so replay can never outrun the
+    /// backend's bounded ingest queue (chunk size < queue capacity per
+    /// shard). The frames are re-journaled as they go: the target's own
+    /// journal stays faithful for a later failover of the failover.
+    fn replay_frames(&self, target: u32, frames: &[Request]) -> Result<(), String> {
+        let link = &self.links[target as usize];
+        for chunk in frames.chunks(1024) {
+            for req in chunk {
+                let _stage = link.stage.read().expect("stage lock");
+                let sent = link.tx.send(BackendMsg::Forward(req.clone())).is_ok();
+                if !sent {
+                    return Err(format!("backend {target} died during replay"));
+                }
+                link.journal.lock().expect("journal lock").record(req);
+            }
+            self.admin_fence(target)?;
+        }
+        Ok(())
+    }
+
+    /// Installs an image on a running backend and resets its journal to
+    /// that exact state. Blocks for the `Installed` reply.
+    fn admin_install(&self, target: u32, image: FleetImage) -> Result<u64, String> {
+        let link = &self.links[target as usize];
+        if !link.alive.load(Ordering::SeqCst) {
+            return Err(format!("backend {target} is down"));
+        }
+        let (tx, rx) = sync_channel(1);
+        {
+            let _stage = link.stage.write().expect("stage lock");
+            link.pending.push(PendingEntry::Install(tx));
+            let blob = image_to_bytes(&image);
+            if link.tx.send(BackendMsg::Forward(Request::Install { image: blob })).is_err() {
+                link.pending.unstage_tail(|e| matches!(e, PendingEntry::Install(_)));
+                return Err(format!("backend {target} is down"));
+            }
+            link.journal.lock().expect("journal lock").reset_to(image, self.journaling);
+        }
+        match rx.recv() {
+            Ok(Ok(sessions)) => Ok(sessions),
+            Ok(Err(detail)) => Err(detail),
+            Err(_) => Err(format!("backend {target} connection lost")),
+        }
+    }
+
+    /// Captures-and-removes every live session of a backend. Blocks for
+    /// the `Drained` reply and returns the image blob.
+    fn admin_drain(&self, source: u32) -> Result<Bytes, String> {
+        let link = &self.links[source as usize];
+        if !link.alive.load(Ordering::SeqCst) {
+            return Err(format!("backend {source} is down"));
+        }
+        let (tx, rx) = sync_channel(1);
+        {
+            let _stage = link.stage.write().expect("stage lock");
+            link.pending.push(PendingEntry::Drain(tx));
+            if link.tx.send(BackendMsg::Forward(Request::Drain)).is_err() {
+                link.pending.unstage_tail(|e| matches!(e, PendingEntry::Drain(_)));
+                return Err(format!("backend {source} is down"));
+            }
+        }
+        match rx.recv() {
+            Ok(Ok(image)) => Ok(image),
+            Ok(Err(detail)) => Err(detail),
+            Err(_) => Err(format!("backend {source} connection lost")),
+        }
+    }
+
+    /// A quiesce barrier whose reply feeds the recovery machinery
+    /// instead of a front connection.
+    fn admin_fence(&self, target: u32) -> Result<FleetSnapshot, String> {
+        let link = &self.links[target as usize];
+        if !link.alive.load(Ordering::SeqCst) {
+            return Err(format!("backend {target} is down"));
+        }
+        let (tx, rx) = sync_channel(1);
+        {
+            let _stage = link.stage.write().expect("stage lock");
+            link.pending.push(PendingEntry::Fence(tx));
+            if link.tx.send(BackendMsg::Forward(Request::Flush)).is_err() {
+                link.pending.unstage_tail(|e| matches!(e, PendingEntry::Fence(_)));
+                return Err(format!("backend {target} is down"));
+            }
+        }
+        match rx.recv() {
+            Ok(Ok(stats)) => Ok(stats),
+            Ok(Err(detail)) => Err(detail),
+            Err(_) => Err(format!("backend {target} connection lost")),
+        }
+    }
+
+    /// One link's turn in a checkpoint sweep: prefer a delta capture
+    /// when the chain is armed, fall back to (and re-arm with) a full
+    /// image capture.
+    fn checkpoint_link(&self, idx: u32) -> Result<bool, String> {
+        let armed = self.links[idx as usize].journal.lock().expect("journal lock").armed;
+        if armed && self.capture(idx, true).is_ok() {
+            return Ok(true);
+        }
+        self.capture(idx, false).map(|()| false)
+    }
+
+    /// One capture round-trip: stage the frame and the journal cut
+    /// atomically (stage write lock), block for the reply, fold it into
+    /// the journal. The cut is what ties the reply to a wire position:
+    /// frames journaled before the capture frame are covered by the
+    /// reply; frames after it are the new tail.
+    fn capture(&self, idx: u32, delta: bool) -> Result<(), String> {
+        let link = &self.links[idx as usize];
+        if !link.alive.load(Ordering::SeqCst) {
+            return Err(format!("backend {idx} is down"));
+        }
+        let (tx, rx) = sync_channel(1);
+        let breaks_at_stage = {
+            let _stage = link.stage.write().expect("stage lock");
+            let mut journal = link.journal.lock().expect("journal lock");
+            link.pending.push(PendingEntry::Checkpoint(tx));
+            let frame = if delta { Request::DeltaRequest } else { Request::SnapshotRequest };
+            if link.tx.send(BackendMsg::Forward(frame)).is_err() {
+                link.pending.unstage_tail(|e| matches!(e, PendingEntry::Checkpoint(_)));
+                return Err(format!("backend {idx} is down"));
+            }
+            journal.stage_cut(self.journaling);
+            journal.chain_breaks
+        };
+        let reply = match rx.recv() {
+            Ok(Ok(reply)) => reply,
+            Ok(Err(detail)) => {
+                link.journal.lock().expect("journal lock").abort_cut();
+                return Err(detail);
+            }
+            Err(_) => {
+                link.journal.lock().expect("journal lock").abort_cut();
+                return Err(format!("backend {idx} connection lost"));
+            }
+        };
+        let _stage = link.stage.write().expect("stage lock");
+        let mut journal = link.journal.lock().expect("journal lock");
+        match reply {
+            CaptureReply::Full(blob) => match image_from_bytes(blob) {
+                Ok(image) => {
+                    journal.apply_full(image, breaks_at_stage);
+                    Ok(())
+                }
+                Err(e) => {
+                    journal.abort_cut();
+                    Err(format!("backend {idx} snapshot undecodable: {e}"))
+                }
+            },
+            CaptureReply::Delta(blob) => {
+                let applied = journal.apply_delta(blob);
+                if applied.is_err() {
+                    journal.abort_cut();
+                }
+                applied
+            }
+        }
+    }
+
+    /// Moves one partition's live sessions onto a standby. Caller holds
+    /// the admin lock and the topology gate (write).
+    fn handoff_inner(&self, partition: u32) -> Result<HandoffStats, RouterAdminError> {
+        let source = {
+            let map = self.map.read().expect("partition map");
+            let partitions = map.slots.len() as u32;
+            if partition >= partitions {
+                return Err(RouterAdminError::NoSuchPartition { partition, partitions });
+            }
+            map.slots[partition as usize]
+        };
+        let target = self.take_standby().ok_or(RouterAdminError::NoStandby)?;
+        let blob = self
+            .admin_drain(source)
+            .map_err(|detail| RouterAdminError::Backend { backend: source, detail })?;
+        let image = image_from_bytes(blob.clone()).map_err(|e| RouterAdminError::Backend {
+            backend: source,
+            detail: format!("drained image undecodable: {e}"),
+        })?;
+        let moved = match self.admin_install(target, image) {
+            Ok(moved) => moved,
+            Err(detail) => {
+                // Put the sessions back where they came from (the source
+                // is still running — it answered the drain) and return
+                // the suspect target to nobody: it is dead or broken.
+                if let Ok(image) = image_from_bytes(blob) {
+                    let _ = self.admin_install(source, image);
+                }
+                return Err(RouterAdminError::Backend { backend: target, detail });
+            }
+        };
+        let epoch = {
+            let mut map = self.map.write().expect("partition map");
+            map.slots[partition as usize] = target;
+            map.epoch += 1;
+            map.epoch
+        };
+        {
+            let trips = self.trips.read().expect("trips lock");
+            for route in trips.values() {
+                if route.backend.load(Ordering::Relaxed) == source {
+                    route.backend.store(target, Ordering::Relaxed);
+                }
+            }
+        }
+        // The freed source is empty now: reset its journal and return it
+        // to the pool as a future failover/handoff target.
+        self.links[source as usize]
+            .journal
+            .lock()
+            .expect("journal lock")
+            .reset_to(FleetImage::default(), self.journaling);
+        self.standbys.lock().expect("standby pool").push(source);
+        self.metrics.handoff_sessions.add(moved);
+        Ok(HandoffStats { sessions_moved: moved, epoch })
+    }
+
+    /// Re-partitions the whole fleet onto `m` backends. Caller holds the
+    /// admin lock and the topology gate (write).
+    fn rebalance_inner(&self, m: u32) -> Result<HandoffStats, RouterAdminError> {
+        if m == 0 {
+            return Err(RouterAdminError::InvalidTopology("cannot rebalance to zero partitions"));
+        }
+        let m_us = m as usize;
+        let actives: Vec<u32> = {
+            let map = self.map.read().expect("partition map");
+            map.slots
+                .iter()
+                .copied()
+                .filter(|&idx| self.links[idx as usize].alive.load(Ordering::SeqCst))
+                .collect()
+        };
+        let mut new_links = actives.clone();
+        let mut borrowed: Vec<u32> = Vec::new();
+        if new_links.len() >= m_us {
+            new_links.truncate(m_us);
+        } else {
+            while new_links.len() < m_us {
+                match self.take_standby() {
+                    Some(idx) => {
+                        borrowed.push(idx);
+                        new_links.push(idx);
+                    }
+                    None => {
+                        let mut pool = self.standbys.lock().expect("standby pool");
+                        pool.extend(borrowed);
+                        return Err(RouterAdminError::NoStandby);
+                    }
+                }
+            }
+        }
+        // Drain every live active. On failure, reinstall what was
+        // already drained so no sessions are stranded in router memory.
+        let mut drained: Vec<(u32, Bytes)> = Vec::new();
+        for &src in &actives {
+            match self.admin_drain(src) {
+                Ok(blob) => drained.push((src, blob)),
+                Err(detail) => {
+                    for (s, blob) in drained {
+                        if let Ok(image) = image_from_bytes(blob) {
+                            let _ = self.admin_install(s, image);
+                        }
+                    }
+                    let mut pool = self.standbys.lock().expect("standby pool");
+                    pool.extend(borrowed);
+                    return Err(RouterAdminError::Backend { backend: src, detail });
+                }
+            }
+        }
+        let mut parts = Vec::with_capacity(drained.len());
+        for (src, blob) in &drained {
+            match image_from_bytes(blob.clone()) {
+                Ok(image) => parts.push(image),
+                Err(e) => {
+                    let src = *src;
+                    for (s, blob) in drained {
+                        if let Ok(image) = image_from_bytes(blob) {
+                            let _ = self.admin_install(s, image);
+                        }
+                    }
+                    let mut pool = self.standbys.lock().expect("standby pool");
+                    pool.extend(borrowed);
+                    return Err(RouterAdminError::Backend {
+                        backend: src,
+                        detail: format!("drained image undecodable: {e}"),
+                    });
+                }
+            }
+        }
+        let split = split_image(FleetImage::merge(parts), m);
+        let mut moved = 0u64;
+        for (slot, part) in split.into_iter().enumerate() {
+            let target = new_links[slot];
+            moved += self
+                .admin_install(target, part)
+                .map_err(|detail| RouterAdminError::Backend { backend: target, detail })?;
+        }
+        let epoch = {
+            let mut map = self.map.write().expect("partition map");
+            map.slots = new_links.clone();
+            map.epoch += 1;
+            map.epoch
+        };
+        {
+            let trips = self.trips.read().expect("trips lock");
+            for (id, route) in trips.iter() {
+                let slot = backend_for(*id, m) as usize;
+                route.backend.store(new_links[slot], Ordering::Relaxed);
+            }
+        }
+        for &src in &actives {
+            if !new_links.contains(&src) {
+                self.links[src as usize]
+                    .journal
+                    .lock()
+                    .expect("journal lock")
+                    .reset_to(FleetImage::default(), self.journaling);
+                self.standbys.lock().expect("standby pool").push(src);
+            }
+        }
+        self.metrics.handoff_sessions.add(moved);
+        Ok(HandoffStats { sessions_moved: moved, epoch })
     }
 
     fn barrier_open(&self, kind: BarrierKind, conn: u64) -> u64 {
@@ -573,9 +1591,13 @@ impl Core {
             fronts_accepted: self.fronts_accepted.load(Ordering::Relaxed),
             fronts_open: self.fronts.read().expect("fronts lock").len() as u64,
             responses_dropped: self.responses_dropped.load(Ordering::Relaxed),
-            backends_total: self.backends.len() as u64,
-            backends_alive: self.backends.iter().filter(|l| l.alive.load(Ordering::SeqCst)).count()
+            backends_total: self.links.len() as u64,
+            backends_alive: self.links.iter().filter(|l| l.alive.load(Ordering::SeqCst)).count()
                 as u64,
+            standbys_available: self.standbys.lock().expect("standby pool").len() as u64,
+            failovers: self.failovers.load(Ordering::Relaxed),
+            last_recovery_micros: self.last_recovery_micros.load(Ordering::Relaxed),
+            partition_epoch: self.map.read().expect("partition map").epoch,
         }
     }
 }
@@ -603,18 +1625,36 @@ fn handle_front(core: &Core, conn_id: u64, tx: &SyncSender<Response>, req: Reque
         Request::MetricsRequest => {
             handle_barrier(core, conn_id, tx, BarrierKind::Metrics, Request::MetricsRequest)
         }
+        Request::DeltaRequest | Request::Install { .. } | Request::Drain => {
+            // Availability-tier admin frames are point-to-point router↔
+            // backend operations; there is no meaningful fleet-wide
+            // semantics for them at the front door, so they fail typed
+            // instead of being misrouted.
+            let _ = tx.try_send(Response::Error {
+                code: ErrorCode::Rejected,
+                trip: None,
+                detail: "admin frame is not routable through the router front door".to_string(),
+            });
+            After::Continue
+        }
         ingest => {
             let (id, is_start) = match &ingest {
                 Request::TripStart { id, .. } => (*id, true),
                 Request::Segment { id, .. } => (*id, false),
                 Request::TripEnd { id } => (*id, false),
-                _ => unreachable!("barrier frames are handled above"),
+                _ => unreachable!("barrier and admin frames are handled above"),
             };
             forward_ingest(core, conn_id, tx, id, is_start, ingest)
         }
     }
 }
 
+/// Routes one ingest frame through the partition map. With standbys the
+/// frame *rides out* a failover: it blocks at the topology gate while a
+/// promotion is in progress and retries against the flipped map, for up
+/// to `failover_wait` — producers see a pause, not an error. Without
+/// standbys a dead backend answers immediately with a typed error (the
+/// original contract).
 fn forward_ingest(
     core: &Core,
     conn_id: u64,
@@ -623,80 +1663,147 @@ fn forward_ingest(
     is_start: bool,
     req: Request,
 ) -> After {
-    let backend = backend_for(id, core.backends.len() as u32);
-    let link = &core.backends[backend as usize];
-    if !link.alive.load(Ordering::SeqCst) {
-        // Typed surface instead of a stall: the trip's backend is gone,
-        // but trips hashed to healthy backends keep flowing on this very
-        // connection.
-        let _ = tx.try_send(backend_down_error(id, backend));
+    let deadline = if core.journaling { Some(Instant::now() + core.failover_wait) } else { None };
+    let mut claimed = false;
+    let mut bumped = false;
+    loop {
+        // One routing pass under the shared gate: resolve the map, do
+        // the route bookkeeping, send. A failover/handoff holding the
+        // gate exclusively blocks us here until its map flip.
+        let _gate = core.gate.read().expect("topology gate");
+        let link_idx = {
+            let map = core.map.read().expect("partition map");
+            map.slots[backend_for(id, map.slots.len() as u32) as usize]
+        };
+        let link = &core.links[link_idx as usize];
+        if !link.alive.load(Ordering::SeqCst) {
+            drop(_gate);
+            if retry_wait(deadline) {
+                continue;
+            }
+            release_claim(core, conn_id, id, claimed);
+            let _ = tx.try_send(backend_down_error(id, link_idx));
+            return After::Continue;
+        }
+        if is_start {
+            if claimed {
+                // Retry pass: the claim exists, refresh its link.
+                let trips = core.trips.read().expect("trips lock");
+                if let Some(route) = trips.get(&id) {
+                    route.backend.store(link_idx, Ordering::Relaxed);
+                }
+            } else {
+                let mut trips = core.trips.write().expect("trips lock");
+                match trips.entry(id) {
+                    Entry::Occupied(_) => {
+                        drop(trips);
+                        // Another live connection owns this trip; duplicate
+                        // starts on the same connection are also refused
+                        // (the backend engine would reject them anyway).
+                        let _ = tx.try_send(Response::Error {
+                            code: ErrorCode::Rejected,
+                            trip: Some(id),
+                            detail: "trip id is owned by a live session".to_string(),
+                        });
+                        return After::Continue;
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(TripRoute::new(conn_id, link_idx));
+                        claimed = true;
+                    }
+                }
+            }
+        } else {
+            // The hot path: an existing route needs only a read lock plus
+            // an atomic bump. The write-lock insert below is the lazy
+            // re-attach after a routed warm restart — the restored backend
+            // already holds the session, so no TripStart will ever arrive
+            // and the first connection to stream for the trip becomes its
+            // response route (mirrors the single-server behaviour in
+            // tad-net).
+            let hit = {
+                let trips = core.trips.read().expect("trips lock");
+                match trips.get(&id) {
+                    Some(route) => {
+                        if !bumped {
+                            route.forwarded.fetch_add(1, Ordering::Relaxed);
+                            bumped = true;
+                        }
+                        route.backend.store(link_idx, Ordering::Relaxed);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !hit {
+                let mut trips = core.trips.write().expect("trips lock");
+                let route = trips.entry(id).or_insert_with(|| TripRoute::new(conn_id, link_idx));
+                if !bumped {
+                    route.forwarded.fetch_add(1, Ordering::Relaxed);
+                    bumped = true;
+                }
+                route.backend.store(link_idx, Ordering::Relaxed);
+            }
+        }
+        let forward_started = Instant::now();
+        // Journaled send: the stage read-lock makes the send+record pair
+        // atomic against a checkpoint cut (which takes the write lock),
+        // so a cut position always corresponds to an exact wire prefix.
+        // Cross-trip record order may differ from wire order — harmless,
+        // replay only needs per-trip order, and each trip's frames come
+        // from one front reader thread.
+        let sent = if core.journaling {
+            let _stage = link.stage.read().expect("stage lock");
+            let ok = link.tx.send(BackendMsg::Forward(req.clone())).is_ok();
+            if ok {
+                link.journal.lock().expect("journal lock").record(&req);
+            }
+            ok
+        } else {
+            link.tx.send(BackendMsg::Forward(req.clone())).is_ok()
+        };
+        if sent {
+            // Channel-accept latency: near zero when the backend writer
+            // keeps up, the queue-wait time when it saturates.
+            let ns = forward_started.elapsed().as_nanos() as u64;
+            core.metrics.forward_ns.record(ns);
+            core.metrics.per_backend[link_idx as usize].record(ns);
+            return After::Continue;
+        }
+        drop(_gate);
+        if retry_wait(deadline) {
+            continue;
+        }
+        release_claim(core, conn_id, id, claimed);
+        let _ = tx.try_send(backend_down_error(id, link_idx));
         return After::Continue;
     }
-    if is_start {
-        let mut trips = core.trips.write().expect("trips lock");
-        match trips.entry(id) {
-            Entry::Occupied(_) => {
-                drop(trips);
-                // Another live connection owns this trip; duplicate starts
-                // on the same connection are also refused (the backend
-                // engine would reject them anyway).
-                let _ = tx.try_send(Response::Error {
-                    code: ErrorCode::Rejected,
-                    trip: Some(id),
-                    detail: "trip id is owned by a live session".to_string(),
-                });
-                return After::Continue;
-            }
-            Entry::Vacant(v) => {
-                v.insert(TripRoute { conn: conn_id, backend, forwarded: AtomicU32::new(0) });
-            }
+}
+
+/// Brief backoff between forwarding retries while a backend death has
+/// been detected but its failover has not engaged the gate yet. Returns
+/// false once the deadline passed (or there never was one).
+fn retry_wait(deadline: Option<Instant>) -> bool {
+    match deadline {
+        Some(deadline) if Instant::now() < deadline => {
+            std::thread::sleep(Duration::from_millis(2));
+            true
         }
-    } else {
-        // The hot path: an existing route needs only a read lock plus an
-        // atomic bump. The write-lock insert below is the lazy re-attach
-        // after a routed warm restart — the restored backend already holds
-        // the session, so no TripStart will ever arrive and the first
-        // connection to stream for the trip becomes its response route
-        // (mirrors the single-server behaviour in tad-net).
-        let trips = core.trips.read().expect("trips lock");
-        if let Some(route) = trips.get(&id) {
-            route.forwarded.fetch_add(1, Ordering::Relaxed);
-        } else {
-            drop(trips);
-            core.trips
-                .write()
-                .expect("trips lock")
-                .entry(id)
-                .or_insert_with(|| TripRoute {
-                    conn: conn_id,
-                    backend,
-                    forwarded: AtomicU32::new(0),
-                })
-                .forwarded
-                .fetch_add(1, Ordering::Relaxed);
-        }
+        _ => false,
     }
-    let forward_started = Instant::now();
-    let forwarded_ok = core.backends[backend as usize].tx.send(BackendMsg::Forward(req)).is_ok();
-    if forwarded_ok {
-        // Channel-accept latency: near zero when the backend writer keeps
-        // up, the queue-wait time when it saturates.
-        let ns = forward_started.elapsed().as_nanos() as u64;
-        core.metrics.forward_ns.record(ns);
-        core.metrics.per_backend[backend as usize].record(ns);
-    } else {
-        if is_start {
-            let mut trips = core.trips.write().expect("trips lock");
-            if trips
-                .get(&id)
-                .is_some_and(|r| r.conn == conn_id && r.forwarded.load(Ordering::Relaxed) == 0)
-            {
-                trips.remove(&id);
-            }
-        }
-        let _ = tx.try_send(backend_down_error(id, backend));
+}
+
+/// Releases a start-only claim created by a forwarding attempt that
+/// ultimately failed, so the producer can retry the TripStart.
+fn release_claim(core: &Core, conn_id: u64, id: TripId, claimed: bool) {
+    if !claimed {
+        return;
     }
-    After::Continue
+    let mut trips = core.trips.write().expect("trips lock");
+    if trips.get(&id).is_some_and(|r| r.conn == conn_id && r.forwarded.load(Ordering::Relaxed) == 0)
+    {
+        trips.remove(&id);
+    }
 }
 
 fn handle_barrier(
@@ -706,38 +1813,45 @@ fn handle_barrier(
     kind: BarrierKind,
     req: Request,
 ) -> After {
+    // The shared gate spans the whole fan-out: a concurrent handoff
+    // cannot drain a backend between this barrier's send to it and the
+    // map flip, so a snapshot barrier always sees every session exactly
+    // once (all on the old topology, or all on the new one).
+    let _gate = core.gate.read().expect("topology gate");
     let bid = core.barrier_open(kind, conn_id);
+    let slots: Vec<u32> = core.map.read().expect("partition map").slots.clone();
     let mut sent = 0usize;
-    for link in &core.backends {
+    for idx in slots {
+        let link = &core.links[idx as usize];
         if !link.alive.load(Ordering::SeqCst) {
             continue;
         }
-        let fifo = match kind {
-            BarrierKind::Flush => &link.pending.flushes,
-            BarrierKind::Snapshot => &link.pending.snapshots,
-            BarrierKind::Metrics => &link.pending.metrics,
-        };
-        // Stage-then-send, atomically with respect to other barriers on
-        // this link (the `stage` mutex): FIFO order therefore equals
-        // channel order equals wire order, and the barrier is in the FIFO
-        // from the moment the channel accepts it — so the backend-down
-        // sweep (run by whichever of the link's threads exits last) always
-        // sees it and can fail it. Forwarded ingest frames interleave
-        // freely; only barrier-to-barrier order matters for the FIFO.
-        let staged = link.stage.lock().expect("stage lock");
-        fifo.lock().expect("fifo").push_back(bid);
+        // Stage-then-send, atomically with respect to other admin frames
+        // on this link (the stage write lock): pending-queue order
+        // therefore equals channel order equals wire order, and the
+        // barrier is in the queue from the moment the channel accepts it —
+        // so the backend-down sweep (run by whichever of the link's
+        // threads exits first) always sees it and can fail or restage it.
+        // Forwarded ingest frames interleave freely; only admin-to-admin
+        // order matters for the queue.
+        let _stage = link.stage.write().expect("stage lock");
+        link.pending.push(PendingEntry::Barrier(kind, bid));
         if link.tx.send(BackendMsg::Forward(req.clone())).is_ok() {
             sent += 1;
+            if matches!(kind, BarrierKind::Snapshot) {
+                // The backend answers a SnapshotRequest by re-arming its
+                // delta chain at an epoch the router never learns: the
+                // journal's chain linkage is broken until the next full
+                // capture.
+                link.journal.lock().expect("journal lock").break_chain();
+            }
         } else {
             // The writer is gone; undo the stage. Nobody staged after us
-            // (we hold `stage`), so the entry — if the down sweep has not
-            // already consumed it and failed the barrier — is the tail.
-            let mut fifo = fifo.lock().expect("fifo");
-            if fifo.back() == Some(&bid) {
-                fifo.pop_back();
-            }
+            // (we hold the stage lock), so the entry — if the down sweep
+            // has not already consumed it and failed the barrier — is the
+            // tail.
+            link.pending.unstage_tail(|e| matches!(e, PendingEntry::Barrier(_, b) if *b == bid));
         }
-        drop(staged);
     }
     if sent == 0 {
         // No live backend accepted the frame: drop the barrier (a down
@@ -866,21 +1980,40 @@ fn accept_loop(
 /// Builder for [`RouterServer`]; start from [`RouterServer::builder`].
 pub struct RouterServerBuilder {
     backends: Vec<SocketAddr>,
+    standbys: Vec<SocketAddr>,
     cfg: RouterConfig,
 }
 
 impl RouterServerBuilder {
-    /// Adds one backend `tad-net` server address. Backend index order is
-    /// the order of these calls — it determines the trip partitioning, so
-    /// a restarted router must list the same backends in the same order.
+    /// Adds one active backend `tad-net` server address. Active order is
+    /// the initial partition order — it determines the trip
+    /// partitioning, so a restarted router must list the same backends
+    /// in the same order.
     pub fn backend(mut self, addr: SocketAddr) -> Self {
         self.backends.push(addr);
         self
     }
 
-    /// Adds several backend addresses at once (see [`Self::backend`]).
+    /// Adds several active backend addresses at once (see
+    /// [`Self::backend`]).
     pub fn backends(mut self, addrs: impl IntoIterator<Item = SocketAddr>) -> Self {
         self.backends.extend(addrs);
+        self
+    }
+
+    /// Adds one standby backend: a running, empty `tad-net` server that
+    /// serves no partition until a failover promotes it or a handoff
+    /// targets it. Adding at least one standby turns on the whole
+    /// availability tier (recovery journals, failover, ingest
+    /// ride-through).
+    pub fn standby(mut self, addr: SocketAddr) -> Self {
+        self.standbys.push(addr);
+        self
+    }
+
+    /// Adds several standby addresses at once (see [`Self::standby`]).
+    pub fn standbys(mut self, addrs: impl IntoIterator<Item = SocketAddr>) -> Self {
+        self.standbys.extend(addrs);
         self
     }
 
@@ -890,25 +2023,30 @@ impl RouterServerBuilder {
         self
     }
 
-    /// Connects to every backend, binds the front listening socket, and
-    /// starts the acceptor and per-backend pipeline threads.
+    /// Connects to every backend (actives, then standbys), binds the
+    /// front listening socket, and starts the acceptor and per-backend
+    /// pipeline threads.
     ///
     /// # Errors
-    /// [`RouterError::NoBackends`] when no backend address was given,
-    /// [`RouterError::BackendConnect`] when a backend cannot be reached,
-    /// and [`RouterError::Io`] when the front socket cannot be bound.
+    /// [`RouterError::NoBackends`] when no active backend address was
+    /// given, [`RouterError::BackendConnect`] when a backend cannot be
+    /// reached, and [`RouterError::Io`] when the front socket cannot be
+    /// bound.
     pub fn bind(self, addr: impl ToSocketAddrs) -> Result<RouterServer, RouterError> {
-        let RouterServerBuilder { backends, cfg } = self;
+        let RouterServerBuilder { backends, standbys, cfg } = self;
         if backends.is_empty() {
             return Err(RouterError::NoBackends);
         }
+        let actives = backends.len();
+        let journaling = !standbys.is_empty();
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
 
-        let mut links = Vec::with_capacity(backends.len());
-        let mut backend_threads = Vec::with_capacity(backends.len() * 2);
-        let mut halves = Vec::with_capacity(backends.len());
-        for (index, &backend_addr) in backends.iter().enumerate() {
+        let all: Vec<SocketAddr> = backends.into_iter().chain(standbys).collect();
+        let mut links = Vec::with_capacity(all.len());
+        let mut backend_threads = Vec::with_capacity(all.len() * 2);
+        let mut halves = Vec::with_capacity(all.len());
+        for (index, &backend_addr) in all.iter().enumerate() {
             let connect = |error| RouterError::BackendConnect { index, error };
             let stream = TcpStream::connect(backend_addr).map_err(connect)?;
             if cfg.nodelay {
@@ -919,18 +2057,22 @@ impl RouterServerBuilder {
             let (tx, rx) = sync_channel::<BackendMsg>(cfg.backend_queue);
             halves.push((write_half, read_half, rx));
             links.push(BackendLink {
-                alive: Arc::new(AtomicBool::new(true)),
+                alive: AtomicBool::new(true),
                 tx,
-                pending: Arc::new(Pending::default()),
-                stage: Mutex::new(()),
+                pending: Pending::default(),
+                stage: RwLock::new(()),
+                journal: Mutex::new(Journal::new(cfg.journal_limit, journaling)),
+                replaying: AtomicBool::new(false),
+                down_handled: AtomicBool::new(false),
                 stream,
             });
         }
 
         // Both pipeline threads get the core: each runs the idempotent
         // backend-down sweep on exit, so a link failing on either half
-        // always fails staged barriers instead of leaving them pending.
-        let core = Arc::new(Core::new(links));
+        // always fails (or fails over) staged work instead of leaving it
+        // pending.
+        let core = Arc::new(Core::new(links, actives, &cfg));
         for (index, (write_half, read_half, rx)) in halves.into_iter().enumerate() {
             let writer_core = Arc::clone(&core);
             backend_threads.push(
@@ -973,10 +2115,12 @@ impl RouterServerBuilder {
 }
 
 /// A running router tier: a `TADN` front door hash-partitioning trips
-/// across N `tad-net` backends. Construct with [`RouterServer::builder`];
-/// see the module docs for data flow, stickiness, and barrier semantics.
-/// Producers connect with the unmodified [`tad_net::Client`] — the router
-/// is wire-compatible with a single backend.
+/// across N `tad-net` backends, with optional standbys behind a
+/// self-healing availability tier. Construct with
+/// [`RouterServer::builder`]; see the module docs for data flow,
+/// stickiness, barrier, and failover semantics. Producers connect with
+/// the unmodified [`tad_net::Client`] — the router is wire-compatible
+/// with a single backend.
 pub struct RouterServer {
     core: Arc<Core>,
     local_addr: SocketAddr,
@@ -988,11 +2132,16 @@ pub struct RouterServer {
 
 impl RouterServer {
     /// Starts building a router. Add backends with
-    /// [`RouterServerBuilder::backend`], then [`RouterServerBuilder::bind`]
-    /// the front door (port 0 lets the OS pick; read it back with
-    /// [`RouterServer::local_addr`]).
+    /// [`RouterServerBuilder::backend`] (and optionally
+    /// [`RouterServerBuilder::standby`]), then
+    /// [`RouterServerBuilder::bind`] the front door (port 0 lets the OS
+    /// pick; read it back with [`RouterServer::local_addr`]).
     pub fn builder() -> RouterServerBuilder {
-        RouterServerBuilder { backends: Vec::new(), cfg: RouterConfig::default() }
+        RouterServerBuilder {
+            backends: Vec::new(),
+            standbys: Vec::new(),
+            cfg: RouterConfig::default(),
+        }
     }
 
     /// The address the front door is listening on.
@@ -1000,10 +2149,17 @@ impl RouterServer {
         self.local_addr
     }
 
-    /// How many backends the router was built over (the `N` of
-    /// [`crate::backend_for`]).
+    /// How many partitions the map currently has (the `N` of
+    /// [`crate::backend_for`]). Constant under failover and handoff;
+    /// changed only by [`RouterServer::rebalance`].
     pub fn num_backends(&self) -> usize {
-        self.core.backends.len()
+        self.core.map.read().expect("partition map").slots.len()
+    }
+
+    /// How many backend links the router was built over, actives plus
+    /// standbys.
+    pub fn num_links(&self) -> usize {
+        self.core.links.len()
     }
 
     /// Point-in-time router counters.
@@ -1012,11 +2168,86 @@ impl RouterServer {
     }
 
     /// Snapshot of the router's *own* metrics (`router.forward_ns`,
-    /// `router.fanin_depth`, `router.backend.N.forward_ns`). The
-    /// fleet-wide view — these merged with every live backend's snapshot —
-    /// is what a front connection gets from [`tad_net::Client::metrics`].
+    /// `router.fanin_depth`, `router.failovers`,
+    /// `router.handoff_sessions`, `router.replay_suppressed`,
+    /// `router.recovery_micros`, `router.backend.N.forward_ns`). The
+    /// fleet-wide view — these merged with every live backend's snapshot
+    /// — is what a front connection gets from
+    /// [`tad_net::Client::metrics`].
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics.registry.snapshot()
+    }
+
+    /// Runs one checkpoint sweep over every mapped backend: capture its
+    /// state (a cheap `TADD` delta of the churn since the last sweep
+    /// when possible, a full `TADF` image otherwise) and re-base its
+    /// recovery journal at the capture's wire position. Call this
+    /// periodically; between sweeps the journal records forwarded
+    /// frames, and a backend that dies is restored from
+    /// `checkpoint base + journaled tail`, bit-identically.
+    ///
+    /// # Errors
+    /// [`RouterAdminError::Backend`] naming the first backend whose
+    /// capture failed; already-captured backends keep their new base.
+    pub fn checkpoint(&self) -> Result<CheckpointStats, RouterAdminError> {
+        let core = &self.core;
+        let _admin = core.admin.lock().expect("admin lock");
+        // Shared gate: wait out an in-flight failover, then capture on
+        // the settled map.
+        let _gate = core.gate.read().expect("topology gate");
+        let slots: Vec<u32> = core.map.read().expect("partition map").slots.clone();
+        let mut stats = CheckpointStats::default();
+        for idx in slots {
+            match core.checkpoint_link(idx) {
+                Ok(true) => stats.delta_captures += 1,
+                Ok(false) => stats.full_captures += 1,
+                Err(detail) => {
+                    return Err(RouterAdminError::Backend { backend: idx, detail });
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Migrates one partition's live sessions from the backend currently
+    /// serving it onto a standby, invisibly to producers: in-flight
+    /// frames are held at the topology gate, the source is drained (no
+    /// completions fire), the sessions are installed on the standby, and
+    /// the map flips. The freed source becomes a standby itself, so
+    /// repeated handoffs rotate through the fleet.
+    ///
+    /// # Errors
+    /// [`RouterAdminError::NoSuchPartition`] for an out-of-range
+    /// partition, [`RouterAdminError::NoStandby`] when the pool is
+    /// empty, and [`RouterAdminError::Backend`] when the drain or
+    /// install fails (a failed install re-installs the drained sessions
+    /// back onto the source, best-effort).
+    pub fn handoff(&self, partition: u32) -> Result<HandoffStats, RouterAdminError> {
+        let core = &self.core;
+        let _admin = core.admin.lock().expect("admin lock");
+        let _gate = core.gate.write().expect("topology gate");
+        core.handoff_inner(partition)
+    }
+
+    /// Re-partitions the whole fleet onto `num_active` backends: every
+    /// live mapped backend is drained, the sessions are merged and
+    /// re-split with [`crate::split_image`] for the new partition count,
+    /// and each part is installed on its new home (grown fleets pull
+    /// standbys in; shrunk fleets return freed backends to the pool).
+    /// Producers are held at the gate throughout and resume against the
+    /// new map — scoring continues bit-identically.
+    ///
+    /// # Errors
+    /// [`RouterAdminError::InvalidTopology`] for zero partitions,
+    /// [`RouterAdminError::NoStandby`] when growing past the pool, and
+    /// [`RouterAdminError::Backend`] when a drain or install fails
+    /// (drained sessions are re-installed onto their sources,
+    /// best-effort, when the operation aborts before any install).
+    pub fn rebalance(&self, num_active: u32) -> Result<HandoffStats, RouterAdminError> {
+        let core = &self.core;
+        let _admin = core.admin.lock().expect("admin lock");
+        let _gate = core.gate.write().expect("topology gate");
+        core.rebalance_inner(num_active)
     }
 
     /// Stops accepting, closes every front connection and backend link,
@@ -1032,6 +2263,9 @@ impl RouterServer {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // From here on, backend deaths must not spawn recovery threads:
+        // the links are about to be torn down deliberately.
+        self.core.closing.store(true, Ordering::SeqCst);
         // Unblock the acceptor's blocking accept with a throwaway
         // connection; it re-checks the flag per iteration.
         let _ = TcpStream::connect(self.local_addr);
@@ -1045,12 +2279,20 @@ impl RouterServer {
         for handle in handles {
             let _ = handle.join();
         }
-        for link in &self.core.backends {
+        for link in &self.core.links {
             // Orderly writer exit, then wake the (possibly blocked) reader.
             let _ = link.tx.send(BackendMsg::Close);
             let _ = link.stream.shutdown(Shutdown::Both);
         }
         for handle in std::mem::take(&mut self.backend_threads) {
+            let _ = handle.join();
+        }
+        // Recovery threads last: closing the links above failed any
+        // reply they were still blocked on, so they are guaranteed to
+        // finish.
+        let recovery =
+            std::mem::take(&mut *self.core.recovery_threads.lock().expect("recovery threads"));
+        for handle in recovery {
             let _ = handle.join();
         }
     }

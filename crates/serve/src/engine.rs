@@ -2,7 +2,7 @@
 //! ingest, stats access, and drain-on-shutdown.
 
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -10,6 +10,7 @@ use bytes::Bytes;
 use causaltad::{CausalTad, StepCache};
 use tad_metrics::{MetricsSnapshot, Registry};
 
+use crate::delta::{delta_to_bytes, FleetDelta};
 use crate::event::{Event, ScoreUpdate, TripId, TripOutcome};
 use crate::policy::{PolicyCallback, PolicyOutcome, StreamPolicy};
 use crate::shard::{run_shard, Ingest, ShardCtx};
@@ -84,6 +85,12 @@ pub enum ServeError {
         /// Which invariant it violated.
         what: &'static str,
     },
+    /// A live-restore target shard's worker is gone (it panicked or the
+    /// engine is shutting down).
+    ShardUnavailable {
+        /// Index of the unresponsive shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -95,6 +102,9 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidConfig(what) => write!(f, "invalid fleet config: {what}"),
             ServeError::SnapshotMismatch { trip, what } => {
                 write!(f, "snapshot session for trip {trip} does not fit the model: {what}")
+            }
+            ServeError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable; cannot deliver restored sessions")
             }
         }
     }
@@ -261,8 +271,26 @@ impl FleetEngineBuilder {
                 }
             }
         }
-        Ok(FleetEngine { senders, workers, stats, registry, metrics })
+        Ok(FleetEngine {
+            model,
+            senders,
+            workers,
+            stats,
+            registry,
+            metrics,
+            delta_clock: Mutex::new(DeltaClock { epoch: 0, seq: 0, armed: false }),
+        })
     }
+}
+
+/// The engine's delta-chain position: the epoch of the last checkpoint
+/// and the sequence number of the last delta captured against it.
+/// Guarded by one mutex so concurrent checkpoint/delta callers serialize
+/// and every shard sees the captures in the same order.
+struct DeltaClock {
+    epoch: u64,
+    seq: u64,
+    armed: bool,
 }
 
 /// Validates every snapshot session against `model` and groups them by
@@ -309,11 +337,13 @@ fn shard_index(id: TripId, num_shards: usize) -> usize {
 /// The concurrent fleet-scoring engine. See the crate docs for the data
 /// flow; construct through [`FleetEngine::builder`].
 pub struct FleetEngine {
+    model: Arc<CausalTad>,
     senders: Vec<SyncSender<Ingest>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<FleetStats>,
     registry: Arc<Registry>,
     metrics: ServeMetrics,
+    delta_clock: Mutex<DeltaClock>,
 }
 
 impl FleetEngine {
@@ -435,20 +465,136 @@ impl FleetEngine {
     /// [`SnapshotError::ShardUnavailable`] when a shard worker is gone
     /// (it panicked or the engine is shutting down).
     pub fn snapshot(&self) -> Result<FleetImage, SnapshotError> {
-        // Fan the requests out first so the shards quiesce in parallel.
+        let parts = self.fan(Ingest::Snapshot)?;
+        Ok(FleetImage {
+            num_shards: self.senders.len() as u32,
+            sessions: parts.into_iter().flatten().collect(),
+        })
+    }
+
+    /// Fans one quiesce-point control message out to every shard (so they
+    /// quiesce in parallel) and collects the replies in shard order.
+    fn fan<T>(&self, make: impl Fn(SyncSender<T>) -> Ingest) -> Result<Vec<T>, SnapshotError> {
         let mut replies = Vec::with_capacity(self.senders.len());
         for (shard, tx) in self.senders.iter().enumerate() {
             let (reply_tx, reply_rx) = sync_channel(1);
-            tx.send(Ingest::Snapshot(reply_tx))
-                .map_err(|_| SnapshotError::ShardUnavailable { shard })?;
+            tx.send(make(reply_tx)).map_err(|_| SnapshotError::ShardUnavailable { shard })?;
             replies.push(reply_rx);
         }
-        let mut sessions = Vec::new();
+        let mut out = Vec::with_capacity(replies.len());
         for (shard, reply_rx) in replies.into_iter().enumerate() {
-            let records = reply_rx.recv().map_err(|_| SnapshotError::ShardUnavailable { shard })?;
-            sessions.extend(records);
+            out.push(reply_rx.recv().map_err(|_| SnapshotError::ShardUnavailable { shard })?);
         }
-        Ok(FleetImage { num_shards: self.senders.len() as u32, sessions })
+        Ok(out)
+    }
+
+    /// Full capture that also starts (or restarts) a delta-snapshot
+    /// chain: every live session is captured like [`FleetEngine::snapshot`]
+    /// and every shard clears its dirty bits and tombstones, so the next
+    /// [`FleetEngine::delta`] covers exactly the churn after this quiesce
+    /// point. Returns the image and the **epoch** stamped on the new
+    /// chain; feed both to [`crate::DeltaBase::new`] on the restore side.
+    ///
+    /// # Errors
+    /// [`SnapshotError::ShardUnavailable`] when a shard worker is gone.
+    pub fn checkpoint(&self) -> Result<(FleetImage, u64), SnapshotError> {
+        let mut clock = self.delta_clock.lock().expect("delta clock poisoned");
+        let parts = self.fan(Ingest::Checkpoint)?;
+        clock.epoch += 1;
+        clock.seq = 0;
+        clock.armed = true;
+        let image = FleetImage {
+            num_shards: self.senders.len() as u32,
+            sessions: parts.into_iter().flatten().collect(),
+        };
+        Ok((image, clock.epoch))
+    }
+
+    /// Incremental capture: the sessions dirtied and the trips removed
+    /// since the previous [`FleetEngine::checkpoint`] or
+    /// [`FleetEngine::delta`], as the next delta of the current chain —
+    /// cost scales with churn, not fleet size. Apply in order with
+    /// [`crate::DeltaBase::apply`].
+    ///
+    /// # Errors
+    /// [`SnapshotError::NoCheckpoint`] before the first checkpoint,
+    /// [`SnapshotError::ShardUnavailable`] when a shard worker is gone.
+    pub fn delta(&self) -> Result<FleetDelta, SnapshotError> {
+        let mut clock = self.delta_clock.lock().expect("delta clock poisoned");
+        if !clock.armed {
+            return Err(SnapshotError::NoCheckpoint);
+        }
+        let parts = self.fan(Ingest::Delta)?;
+        clock.seq += 1;
+        let mut removed = Vec::new();
+        let mut sessions = Vec::new();
+        for (records, tombs) in parts {
+            sessions.extend(records);
+            removed.extend(tombs);
+        }
+        self.metrics.dirty_sessions.add(sessions.len() as u64);
+        Ok(FleetDelta {
+            base_epoch: clock.epoch,
+            seq: clock.seq,
+            num_shards: self.senders.len() as u32,
+            removed,
+            sessions,
+        })
+    }
+
+    /// [`FleetEngine::delta`] serialized with [`crate::delta_to_bytes`] —
+    /// the incremental blob to append to durable storage.
+    ///
+    /// # Errors
+    /// See [`FleetEngine::delta`].
+    pub fn delta_bytes(&self) -> Result<Bytes, SnapshotError> {
+        let delta = self.delta()?;
+        let blob = delta_to_bytes(&delta);
+        self.metrics.delta_bytes.add(blob.len() as u64);
+        Ok(blob)
+    }
+
+    /// Captures **and removes** every live session — the source half of a
+    /// live handoff. The sessions leave the engine without firing
+    /// completion callbacks (they are not finished, they are moving), so
+    /// restoring the returned image elsewhere and replaying the remaining
+    /// traffic there continues every trip bit-identically.
+    ///
+    /// # Errors
+    /// [`SnapshotError::ShardUnavailable`] when a shard worker is gone.
+    pub fn drain_sessions(&self) -> Result<FleetImage, SnapshotError> {
+        let parts = self.fan(Ingest::Drain)?;
+        Ok(FleetImage {
+            num_shards: self.senders.len() as u32,
+            sessions: parts.into_iter().flatten().collect(),
+        })
+    }
+
+    /// Seeds a **running** engine with the sessions of a [`FleetImage`] —
+    /// the target half of a live handoff (the build-time equivalent is
+    /// [`FleetEngineBuilder::resume`]). Sessions are validated against
+    /// the model, re-partitioned for this engine's shard count, and
+    /// enqueued ahead of any traffic submitted after this call returns;
+    /// scoring of the moved trips resumes bit-identically. Returns the
+    /// number of sessions delivered.
+    ///
+    /// # Errors
+    /// [`ServeError::SnapshotMismatch`] when a session does not fit the
+    /// model, [`ServeError::ShardUnavailable`] when a target shard's
+    /// worker is gone.
+    pub fn restore_sessions(&self, image: FleetImage) -> Result<u64, ServeError> {
+        let groups = partition_image(&self.model, image, self.senders.len())?;
+        let mut delivered = 0u64;
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            delivered += group.len() as u64;
+            self.senders[shard]
+                .send(Ingest::Restore(group))
+                .map_err(|_| ServeError::ShardUnavailable { shard })?;
+        }
+        Ok(delivered)
     }
 
     /// [`FleetEngine::snapshot`] serialized with
@@ -472,18 +618,7 @@ impl FleetEngine {
     /// [`SnapshotError::ShardUnavailable`] when a shard worker is gone
     /// (it panicked or the engine is shutting down).
     pub fn flush(&self) -> Result<(), SnapshotError> {
-        // Fan the barriers out first so the shards quiesce in parallel.
-        let mut replies = Vec::with_capacity(self.senders.len());
-        for (shard, tx) in self.senders.iter().enumerate() {
-            let (reply_tx, reply_rx) = sync_channel(1);
-            tx.send(Ingest::Flush(reply_tx))
-                .map_err(|_| SnapshotError::ShardUnavailable { shard })?;
-            replies.push(reply_rx);
-        }
-        for (shard, reply_rx) in replies.into_iter().enumerate() {
-            reply_rx.recv().map_err(|_| SnapshotError::ShardUnavailable { shard })?;
-        }
-        Ok(())
+        self.fan(Ingest::Flush).map(|_| ())
     }
 
     /// Point-in-time fleet counters.

@@ -36,6 +36,15 @@
 //!   engine keeps serving; [`FleetEngine::restore`] seeds a fresh engine
 //!   from one, and scoring resumes bit-identically to an uninterrupted
 //!   run (warm restart).
+//! * **Delta snapshots & live handoff** — [`FleetEngine::checkpoint`]
+//!   arms per-session dirty tracking and [`FleetEngine::delta`] then
+//!   captures only the churn since the last capture (log-structured
+//!   [`FleetDelta`]s replayed by [`DeltaBase`]), so tight checkpoint
+//!   intervals cost O(churn), not O(fleet);
+//!   [`FleetEngine::drain_sessions`] / [`FleetEngine::restore_sessions`]
+//!   move live sessions between *running* engines without firing
+//!   completions — the primitives under `tad-router`'s failover and
+//!   drain/handoff tier.
 //! * **Ingest sanitization** — an optional per-session [`StreamPolicy`]
 //!   (dedup window, bounded reorder repair, gap policy, malformed-event
 //!   quarantine) sits strictly in front of the scoring path; with the
@@ -66,6 +75,7 @@
 
 #![deny(missing_docs)]
 
+mod delta;
 mod engine;
 mod event;
 mod policy;
@@ -75,6 +85,7 @@ mod shard;
 mod snapshot;
 mod stats;
 
+pub use delta::{delta_from_bytes, delta_to_bytes, DeltaBase, FleetDelta};
 pub use engine::{
     CompletionCallback, FleetConfig, FleetEngine, FleetEngineBuilder, ScoreCallback, ServeError,
     SubmitError,

@@ -39,6 +39,12 @@ pub struct Session {
     /// `StreamPolicy::reorder_window` of them. Empty (and never touched)
     /// when the reorder policy is off.
     pub held: VecDeque<u32>,
+    /// Delta-snapshot dirty bit: set whenever the session is handed out
+    /// mutably (insert, [`SessionStore::touch`], [`SessionStore::get_mut`])
+    /// and cleared only by a delta capture. A conservative
+    /// over-approximation — a session marked dirty but unchanged costs one
+    /// redundant record in the next delta, never a lost update.
+    pub dirty: bool,
 }
 
 impl Session {
@@ -50,6 +56,7 @@ impl Session {
             last_touch: now,
             dedup: VecDeque::new(),
             held: VecDeque::new(),
+            dirty: true,
         }
     }
 }
@@ -103,10 +110,13 @@ impl SessionStore {
     }
 
     /// Accesses a session without touching its recency (micro-batch state
-    /// write-backs must not reorder the LRU list).
+    /// write-backs must not reorder the LRU list). Marks it dirty for the
+    /// delta layer — every `get_mut` caller is about to mutate.
     pub fn get_mut(&mut self, id: TripId) -> Option<&mut Session> {
         let &slot = self.map.get(&id)?;
-        Some(&mut self.slots[slot].as_mut().expect("mapped slot is live").session)
+        let session = &mut self.slots[slot].as_mut().expect("mapped slot is live").session;
+        session.dirty = true;
+        Some(session)
     }
 
     /// Marks a session as just-used: updates its TTL clock and moves it to
@@ -117,6 +127,7 @@ impl SessionStore {
         self.link_front(slot);
         let session = &mut self.slots[slot].as_mut().expect("mapped slot is live").session;
         session.last_touch = now;
+        session.dirty = true;
         Some(session)
     }
 
@@ -188,6 +199,18 @@ impl SessionStore {
             cursor = slot.prev;
             Some((slot.id, &slot.session))
         })
+    }
+
+    /// Visits every live session mutably, least to most recently touched,
+    /// without going through [`SessionStore::get_mut`] — the delta-capture
+    /// walk, which must clear dirty bits rather than set them.
+    pub fn for_each_lru_mut(&mut self, mut f: impl FnMut(TripId, &mut Session)) {
+        let mut cursor = self.tail;
+        while cursor != NIL {
+            let slot = self.slots[cursor].as_mut().expect("linked slot is live");
+            cursor = slot.prev;
+            f(slot.id, &mut slot.session);
+        }
     }
 
     /// Drains every session (shutdown flush), least recently touched first.
@@ -353,6 +376,25 @@ mod tests {
         assert_eq!(lru_order(&store), vec![2]);
         // Nothing further to sweep.
         assert!(store.sweep_ttl(Duration::from_secs(30), t0 + Duration::from_secs(61)).is_empty());
+    }
+
+    #[test]
+    fn dirty_bits_track_mutable_access_and_clear_without_remarking() {
+        let t0 = Instant::now();
+        let mut store = SessionStore::new(4);
+        store.insert(1, session(t0));
+        store.insert(2, session(t0));
+        // Fresh sessions are dirty; a delta-capture walk clears them.
+        store.for_each_lru_mut(|_, s| s.dirty = false);
+        assert!(store.iter_lru().all(|(_, s)| !s.dirty));
+        // touch and get_mut both re-mark; iter_lru does not.
+        store.touch(1, t0 + Duration::from_secs(1)).unwrap();
+        assert!(store.iter_lru().any(|(id, s)| id == 1 && s.dirty));
+        assert!(store.iter_lru().any(|(id, s)| id == 2 && !s.dirty));
+        store.for_each_lru_mut(|_, s| s.dirty = false);
+        store.get_mut(2).unwrap();
+        assert!(store.iter_lru().any(|(id, s)| id == 2 && s.dirty));
+        assert!(store.iter_lru().any(|(id, s)| id == 1 && !s.dirty));
     }
 
     #[test]

@@ -31,6 +31,19 @@ pub(crate) enum Ingest {
     /// message (callbacks included), then reply. Like `Snapshot` without
     /// the session clones.
     Flush(SyncSender<()>),
+    /// Full capture that also (re)starts delta tracking: clears every
+    /// dirty bit and tombstone, so the next `Delta` covers exactly the
+    /// churn since this quiesce point.
+    Checkpoint(SyncSender<Vec<SessionRecord>>),
+    /// Incremental capture: clones of the sessions dirtied since the last
+    /// `Checkpoint`/`Delta` (clearing their dirty bits) plus the ids
+    /// removed since then (taking the tombstone list).
+    Delta(SyncSender<(Vec<SessionRecord>, Vec<TripId>)>),
+    /// Capture-and-remove of every live session for a handoff: like
+    /// `Snapshot`, but the sessions leave the store without firing
+    /// completion callbacks — they are not finished, they are moving to
+    /// another engine.
+    Drain(SyncSender<Vec<SessionRecord>>),
 }
 
 impl Ingest {
@@ -136,6 +149,20 @@ impl ShardCtx {
     }
 }
 
+/// Per-shard tombstone log for the delta layer: `None` until the first
+/// `Checkpoint` arms tracking, then the trip ids removed from the store
+/// since the last capture. Removals of sessions born after the previous
+/// capture are recorded too — replaying such a tombstone against a base
+/// that never held the id is a no-op, so the over-approximation is safe.
+pub(crate) type Tombstones = Option<Vec<TripId>>;
+
+/// Records one removed session id when delta tracking is armed.
+fn tombstone(removed: &mut Tombstones, id: TripId) {
+    if let Some(log) = removed {
+        log.push(id);
+    }
+}
+
 /// Worker entry point; returns when every sender is dropped and the queue
 /// has been fully drained.
 pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
@@ -143,6 +170,7 @@ pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
     let mut batch: Vec<Event> = Vec::with_capacity(ctx.cfg.max_batch);
     let sweep_every = sweep_interval(ctx.cfg.session_ttl);
     let mut last_sweep = Instant::now();
+    let mut removed: Tombstones = None;
 
     loop {
         // A control message (snapshot/restore) breaks batching: everything
@@ -154,7 +182,7 @@ pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
             Ok(Ingest::Many(mut evs)) => batch.append(&mut evs),
             Ok(ctrl) => control = Some(ctrl),
             Err(RecvTimeoutError::Timeout) => {
-                sweep(&ctx, &mut store, &mut last_sweep, sweep_every);
+                sweep(&ctx, &mut store, &mut removed, &mut last_sweep, sweep_every);
                 continue;
             }
             Err(RecvTimeoutError::Disconnected) => break,
@@ -167,22 +195,44 @@ pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
-        process_batch(&ctx, &mut store, &mut batch);
+        process_batch(&ctx, &mut store, &mut removed, &mut batch);
+        // Replies go to the engine side, which may have given up waiting;
+        // a dead reply channel is not the shard's problem.
         match control {
             Some(Ingest::Snapshot(reply)) => {
-                // The engine side may have given up waiting; a dead reply
-                // channel is not the shard's problem.
                 let _ = reply.send(capture_sessions(&store));
             }
-            Some(Ingest::Restore(records)) => restore_sessions(&ctx, &mut store, records),
+            Some(Ingest::Restore(records)) => {
+                restore_sessions(&ctx, &mut store, &mut removed, records)
+            }
             Some(Ingest::Flush(reply)) => {
-                // The engine side may have given up waiting; a dead reply
-                // channel is not the shard's problem.
                 let _ = reply.send(());
+            }
+            Some(Ingest::Checkpoint(reply)) => {
+                let records = capture_sessions(&store);
+                store.for_each_lru_mut(|_, session| session.dirty = false);
+                removed = Some(Vec::new());
+                let _ = reply.send(records);
+            }
+            Some(Ingest::Delta(reply)) => {
+                let _ = reply.send(capture_delta(&mut store, &mut removed));
+            }
+            Some(Ingest::Drain(reply)) => {
+                let now = Instant::now();
+                let drained = store.drain();
+                ctx.stats
+                    .active_sessions
+                    .fetch_sub(drained.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                let mut records = Vec::with_capacity(drained.len());
+                for (id, session) in drained {
+                    tombstone(&mut removed, id);
+                    records.push(record_of(id, &session, now));
+                }
+                let _ = reply.send(records);
             }
             _ => {}
         }
-        sweep(&ctx, &mut store, &mut last_sweep, sweep_every);
+        sweep(&ctx, &mut store, &mut removed, &mut last_sweep, sweep_every);
     }
 
     // Engine dropped: flush whatever is still live.
@@ -201,16 +251,40 @@ pub(crate) fn run_shard(ctx: ShardCtx, rx: Receiver<Ingest>) {
 /// not captured — it rebuilds empty on the restored engine.
 fn capture_sessions(store: &SessionStore) -> Vec<SessionRecord> {
     let now = Instant::now();
-    store
-        .iter_lru()
-        .map(|(id, session)| SessionRecord {
-            id,
-            state: session.state.clone(),
-            pending: session.pending.iter().chain(session.held.iter()).copied().collect(),
-            ending: session.ending,
-            idle_micros: now.saturating_duration_since(session.last_touch).as_micros() as u64,
-        })
-        .collect()
+    store.iter_lru().map(|(id, session)| record_of(id, session, now)).collect()
+}
+
+/// Clones one live session into its snapshot record (the shared capture
+/// shape of `Snapshot`, `Checkpoint`, `Delta`, and `Drain`).
+fn record_of(id: TripId, session: &Session, now: Instant) -> SessionRecord {
+    SessionRecord {
+        id,
+        state: session.state.clone(),
+        pending: session.pending.iter().chain(session.held.iter()).copied().collect(),
+        ending: session.ending,
+        idle_micros: now.saturating_duration_since(session.last_touch).as_micros() as u64,
+    }
+}
+
+/// Incremental capture: clones every dirty session (clearing its dirty
+/// bit) and takes the tombstone log. With tracking unarmed (no
+/// `Checkpoint` yet) this degenerates to a full capture with no
+/// tombstones — every session still carries its initial dirty bit — so
+/// the reply is conservative, never wrong.
+fn capture_delta(
+    store: &mut SessionStore,
+    removed: &mut Tombstones,
+) -> (Vec<SessionRecord>, Vec<TripId>) {
+    let now = Instant::now();
+    let tombs = removed.as_mut().map(std::mem::take).unwrap_or_default();
+    let mut records = Vec::new();
+    store.for_each_lru_mut(|id, session| {
+        if session.dirty {
+            records.push(record_of(id, session, now));
+            session.dirty = false;
+        }
+    });
+    (records, tombs)
 }
 
 /// Seeds the store from snapshot records (validated against the model by
@@ -221,7 +295,12 @@ fn capture_sessions(store: &SessionStore) -> Vec<SessionRecord> {
 /// `last_touch` values are kept monotonic even when an idle age is not
 /// representable on this host's monotonic clock (e.g. restoring soon
 /// after boot) — `sweep_ttl`'s stop-at-first-fresh walk depends on it.
-fn restore_sessions(ctx: &ShardCtx, store: &mut SessionStore, records: Vec<SessionRecord>) {
+fn restore_sessions(
+    ctx: &ShardCtx,
+    store: &mut SessionStore,
+    removed: &mut Tombstones,
+    records: Vec<SessionRecord>,
+) {
     let now = Instant::now();
     let ttl = ctx.cfg.session_ttl;
     let mut newest: Option<Instant> = None;
@@ -270,6 +349,7 @@ fn restore_sessions(ctx: &ShardCtx, store: &mut SessionStore, records: Vec<Sessi
         newest = Some(last_touch);
         if let Some((victim, evicted)) = store.insert(id, Session::new(state, last_touch)) {
             FleetStats::bump(&ctx.stats.evictions_lru);
+            tombstone(removed, victim);
             ctx.finish(victim, evicted, Completion::EvictedLru);
         }
     }
@@ -279,13 +359,20 @@ fn sweep_interval(ttl: Duration) -> Duration {
     (ttl / 4).clamp(Duration::from_millis(10), Duration::from_secs(1))
 }
 
-fn sweep(ctx: &ShardCtx, store: &mut SessionStore, last_sweep: &mut Instant, every: Duration) {
+fn sweep(
+    ctx: &ShardCtx,
+    store: &mut SessionStore,
+    removed: &mut Tombstones,
+    last_sweep: &mut Instant,
+    every: Duration,
+) {
     if last_sweep.elapsed() < every {
         return;
     }
     *last_sweep = Instant::now();
     for (id, session) in store.sweep_ttl(ctx.cfg.session_ttl, *last_sweep) {
         FleetStats::bump(&ctx.stats.evictions_ttl);
+        tombstone(removed, id);
         ctx.finish(id, session, Completion::EvictedTtl);
     }
 }
@@ -294,7 +381,12 @@ fn sweep(ctx: &ShardCtx, store: &mut SessionStore, last_sweep: &mut Instant, eve
 /// then the pending segments of every touched session in batched waves
 /// (wave `k` scores the `k`-th queued segment of each touched trip, so
 /// per-trip order is preserved while the model work is matrix-matrix).
-fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event>) {
+fn process_batch(
+    ctx: &ShardCtx,
+    store: &mut SessionStore,
+    removed: &mut Tombstones,
+    batch: &mut Vec<Event>,
+) {
     let now = Instant::now();
     // Queue-depth accounting: observe the fleet-wide in-flight level with
     // this drain still counted, then retire the drained events from it.
@@ -321,6 +413,7 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
                         if let Some((victim, session)) = store.insert(id, Session::new(state, now))
                         {
                             FleetStats::bump(&ctx.stats.evictions_lru);
+                            tombstone(removed, victim);
                             ctx.finish(victim, session, Completion::EvictedLru);
                         }
                     }
@@ -419,6 +512,7 @@ fn process_batch(ctx: &ShardCtx, store: &mut SessionStore, batch: &mut Vec<Event
 
     for id in ended {
         if let Some(session) = store.remove(id) {
+            tombstone(removed, id);
             ctx.finish(id, session, Completion::Ended);
         }
     }
@@ -503,9 +597,7 @@ fn admit_gap(
 /// Re-admits every held segment that now chains onto the (moving) tail;
 /// each admission may unlock the next.
 fn drain_held(ctx: &ShardCtx, id: TripId, session: &mut Session, touched: &mut Vec<TripId>) {
-    while let Some(pos) =
-        (0..session.held.len()).find(|&i| chains(ctx, session, session.held[i]))
-    {
+    while let Some(pos) = (0..session.held.len()).find(|&i| chains(ctx, session, session.held[i])) {
         let seg = session.held.remove(pos).expect("index in range");
         admit(ctx, id, session, seg, touched);
         ctx.metrics.reordered.add(1);

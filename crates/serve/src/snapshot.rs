@@ -170,7 +170,8 @@ impl From<EnvelopeError> for SnapshotCodecError {
     }
 }
 
-/// Why a live snapshot could not be taken.
+/// Why a live snapshot (full, checkpoint, delta, or drain capture) could
+/// not be taken.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SnapshotError {
     /// The shard's worker is gone (it panicked or the engine is shutting
@@ -179,6 +180,9 @@ pub enum SnapshotError {
         /// Index of the unresponsive shard.
         shard: usize,
     },
+    /// A delta was requested before any [`crate::FleetEngine::checkpoint`]
+    /// armed delta tracking — there is no base for the delta to extend.
+    NoCheckpoint,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -187,11 +191,72 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} is unavailable; cannot capture its sessions")
             }
+            SnapshotError::NoCheckpoint => {
+                write!(f, "no checkpoint taken yet; a delta has no base to extend")
+            }
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
+
+/// Smallest possible encoded [`SessionRecord`] (empty pending, whose state
+/// blob length would still be >= 0); bounding record counts by it caps
+/// decoder allocations at the actual input size. Shared with the delta
+/// codec ([`crate::delta`]), which embeds the same record layout.
+pub(crate) const MIN_RECORD_LEN: usize = 25;
+
+/// Appends one session record in the shared TADF/TADD record layout.
+pub(crate) fn encode_record(rec: &SessionRecord, payload: &mut BytesMut) {
+    payload.put_u64_le(rec.id);
+    payload.put_u64_le(rec.idle_micros);
+    payload.put_u8(rec.ending as u8);
+    payload.put_u32_le(rec.pending.len() as u32);
+    for &seg in &rec.pending {
+        payload.put_u32_le(seg);
+    }
+    let state = state_to_bytes(&rec.state);
+    payload.put_u32_le(state.len() as u32);
+    payload.put_slice(&state);
+}
+
+/// Decodes one session record in the shared TADF/TADD record layout;
+/// `index` is the record's position in its list, carried into
+/// [`SnapshotCodecError::BadSession`] for diagnostics.
+pub(crate) fn decode_record(
+    payload: &mut Bytes,
+    index: usize,
+) -> Result<SessionRecord, SnapshotCodecError> {
+    if payload.remaining() < 8 + 8 + 1 + 4 {
+        return Err(SnapshotCodecError::Truncated("record header"));
+    }
+    let id = payload.get_u64_le();
+    let idle_micros = payload.get_u64_le();
+    let ending = match payload.get_u8() {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotCodecError::Malformed("ending flag")),
+    };
+    let pending_len = payload.get_u32_le() as usize;
+    if pending_len.checked_mul(4).is_none_or(|need| payload.remaining() < need) {
+        return Err(SnapshotCodecError::Truncated("pending segments"));
+    }
+    let mut pending = Vec::with_capacity(pending_len);
+    for _ in 0..pending_len {
+        pending.push(payload.get_u32_le());
+    }
+    if payload.remaining() < 4 {
+        return Err(SnapshotCodecError::Truncated("state length"));
+    }
+    let state_len = payload.get_u32_le() as usize;
+    if payload.remaining() < state_len {
+        return Err(SnapshotCodecError::Truncated("state blob"));
+    }
+    let blob = payload.copy_to_bytes(state_len);
+    let state = state_from_bytes(blob)
+        .map_err(|source| SnapshotCodecError::BadSession { index, source })?;
+    Ok(SessionRecord { id, state, pending, ending, idle_micros })
+}
 
 /// Serialises a fleet image (the persistent artifact of a warm restart).
 pub fn image_to_bytes(image: &FleetImage) -> Bytes {
@@ -199,16 +264,7 @@ pub fn image_to_bytes(image: &FleetImage) -> Bytes {
     payload.put_u32_le(image.num_shards);
     payload.put_u32_le(image.sessions.len() as u32);
     for rec in &image.sessions {
-        payload.put_u64_le(rec.id);
-        payload.put_u64_le(rec.idle_micros);
-        payload.put_u8(rec.ending as u8);
-        payload.put_u32_le(rec.pending.len() as u32);
-        for &seg in &rec.pending {
-            payload.put_u32_le(seg);
-        }
-        let state = state_to_bytes(&rec.state);
-        payload.put_u32_le(state.len() as u32);
-        payload.put_slice(&state);
+        encode_record(rec, &mut payload);
     }
 
     seal_envelope(MAGIC, VERSION, payload.freeze())
@@ -224,44 +280,15 @@ pub fn image_from_bytes(bytes: Bytes) -> Result<FleetImage, SnapshotCodecError> 
     }
     let num_shards = payload.get_u32_le();
     let count = payload.get_u32_le() as usize;
-    // 25 bytes is the smallest possible record (empty pending, whose state
-    // blob length would still be >= 0); bounding `count` by it caps the
-    // allocation below at the actual input size. Checked math keeps the
-    // guard honest on 32-bit targets too.
-    if count.checked_mul(25).is_none_or(|need| payload.remaining() < need) {
+    // Bounding `count` by the smallest possible record caps the allocation
+    // below at the actual input size. Checked math keeps the guard honest
+    // on 32-bit targets too.
+    if count.checked_mul(MIN_RECORD_LEN).is_none_or(|need| payload.remaining() < need) {
         return Err(SnapshotCodecError::Truncated("session records"));
     }
     let mut sessions = Vec::with_capacity(count);
     for index in 0..count {
-        if payload.remaining() < 8 + 8 + 1 + 4 {
-            return Err(SnapshotCodecError::Truncated("record header"));
-        }
-        let id = payload.get_u64_le();
-        let idle_micros = payload.get_u64_le();
-        let ending = match payload.get_u8() {
-            0 => false,
-            1 => true,
-            _ => return Err(SnapshotCodecError::Malformed("ending flag")),
-        };
-        let pending_len = payload.get_u32_le() as usize;
-        if pending_len.checked_mul(4).is_none_or(|need| payload.remaining() < need) {
-            return Err(SnapshotCodecError::Truncated("pending segments"));
-        }
-        let mut pending = Vec::with_capacity(pending_len);
-        for _ in 0..pending_len {
-            pending.push(payload.get_u32_le());
-        }
-        if payload.remaining() < 4 {
-            return Err(SnapshotCodecError::Truncated("state length"));
-        }
-        let state_len = payload.get_u32_le() as usize;
-        if payload.remaining() < state_len {
-            return Err(SnapshotCodecError::Truncated("state blob"));
-        }
-        let blob = payload.copy_to_bytes(state_len);
-        let state = state_from_bytes(blob)
-            .map_err(|source| SnapshotCodecError::BadSession { index, source })?;
-        sessions.push(SessionRecord { id, state, pending, ending, idle_micros });
+        sessions.push(decode_record(&mut payload, index)?);
     }
     if payload.remaining() != 0 {
         return Err(SnapshotCodecError::Malformed("trailing payload bytes"));

@@ -40,6 +40,12 @@ pub(crate) struct ServeMetrics {
     /// (duplicate starts, unknown trips, out-of-vocab segments, bad SD
     /// pairs).
     pub quarantined: Arc<Counter>,
+    /// `serve.dirty_sessions`: sessions captured into delta snapshots —
+    /// the churn the delta layer's cost scales with.
+    pub dirty_sessions: Arc<Counter>,
+    /// `serve.delta_bytes`: encoded delta-snapshot bytes produced (vs the
+    /// full-image bytes a plain snapshot would have cost).
+    pub delta_bytes: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -55,6 +61,8 @@ impl ServeMetrics {
             gap_score_through: registry.counter("serve.gap_score_through"),
             trip_resets: registry.counter("serve.trip_resets"),
             quarantined: registry.counter("serve.quarantined"),
+            dirty_sessions: registry.counter("serve.dirty_sessions"),
+            delta_bytes: registry.counter("serve.delta_bytes"),
         }
     }
 }

@@ -52,8 +52,12 @@ fn run_trip(
 /// The clean-stream events of one trip under id 1.
 fn trip_events(t: &Trajectory) -> Vec<Event> {
     let sd = t.sd_pair();
-    let mut events =
-        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    let mut events = vec![Event::TripStart {
+        id: 1,
+        source: sd.source.0,
+        dest: sd.dest.0,
+        time_slot: t.time_slot,
+    }];
     events.extend(t.segments.iter().map(|seg| Event::Segment { id: 1, seg: seg.0 }));
     events.push(Event::TripEnd { id: 1 });
     events
@@ -77,8 +81,12 @@ fn dedup_window_restores_clean_scores_under_duplication() {
     // Re-send every segment immediately — the classic at-least-once
     // transport failure.
     let sd = t.sd_pair();
-    let mut corrupted =
-        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    let mut corrupted = vec![Event::TripStart {
+        id: 1,
+        source: sd.source.0,
+        dest: sd.dest.0,
+        time_slot: t.time_slot,
+    }];
     for seg in &t.segments {
         corrupted.push(Event::Segment { id: 1, seg: seg.0 });
         corrupted.push(Event::Segment { id: 1, seg: seg.0 });
@@ -120,8 +128,12 @@ fn reorder_window_repairs_adjacent_swaps() {
     segments.swap(i, i + 1);
 
     let sd = t.sd_pair();
-    let mut corrupted =
-        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    let mut corrupted = vec![Event::TripStart {
+        id: 1,
+        source: sd.source.0,
+        dest: sd.dest.0,
+        time_slot: t.time_slot,
+    }];
     corrupted.extend(segments.iter().map(|&seg| Event::Segment { id: 1, seg }));
     corrupted.push(Event::TripEnd { id: 1 });
 
@@ -171,13 +183,17 @@ fn gap_reset_charges_the_jump_like_a_fresh_leg() {
     assert_eq!(outcome.segments, t.len() + 1);
     assert_eq!(outcome.score, reference, "reset path must be bit-identical to the manual reset");
     assert_eq!(engine.metrics().counter("serve.trip_resets"), Some(1));
-    assert!(actions.lock().unwrap().iter().any(|a| a.action == PolicyAction::TripReset
-        && a.seg == Some(jump)));
+    assert!(actions
+        .lock()
+        .unwrap()
+        .iter()
+        .any(|a| a.action == PolicyAction::TripReset && a.seg == Some(jump)));
     engine.shutdown();
 
     // Score-through (the default gap policy) must instead match the
     // unpoliced engine: same stream, off-graph penalty charged.
-    let through = StreamPolicy { gap: GapPolicy::ScoreThrough, dedup_window: 1, ..Default::default() };
+    let through =
+        StreamPolicy { gap: GapPolicy::ScoreThrough, dedup_window: 1, ..Default::default() };
     let (through_outcome, through_engine, _) = run_trip(Arc::clone(model), through, stream.clone());
     let (unpoliced_outcome, unpoliced_engine, _) =
         run_trip(Arc::clone(model), StreamPolicy::default(), stream);
@@ -235,8 +251,12 @@ fn trip_end_flushes_the_hold_buffer_in_arrival_order() {
     // Withhold the second segment entirely: its successors pile up in the
     // hold buffer and only TripEnd releases them (as gaps/chains).
     let sd = t.sd_pair();
-    let mut stream =
-        vec![Event::TripStart { id: 1, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    let mut stream = vec![Event::TripStart {
+        id: 1,
+        source: sd.source.0,
+        dest: sd.dest.0,
+        time_slot: t.time_slot,
+    }];
     stream.push(Event::Segment { id: 1, seg: t.segments[0].0 });
     for seg in &t.segments[2..] {
         stream.push(Event::Segment { id: 1, seg: seg.0 });

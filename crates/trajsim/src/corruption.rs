@@ -220,11 +220,8 @@ mod tests {
         let a = corrupt_dataset(&city.net, &city.data.test_id, &cfg);
         let b = corrupt_dataset(&city.net, &city.data.test_id, &cfg);
         assert_eq!(a, b, "same seed must replay the same corrupted stream");
-        let c = corrupt_dataset(
-            &city.net,
-            &city.data.test_id,
-            &CorruptionConfig { seed: 8, ..cfg },
-        );
+        let c =
+            corrupt_dataset(&city.net, &city.data.test_id, &CorruptionConfig { seed: 8, ..cfg });
         assert_ne!(a, c, "a different seed must change the stream");
     }
 

@@ -182,3 +182,101 @@ fn trip_scored_across_snapshot_restore_boundary_matches_uninterrupted_run() {
         );
     }
 }
+
+/// The incremental-snapshot acceptance test: a checkpoint plus the `TADD`
+/// delta chain folded over it restores a fleet **bit-identically** to a
+/// full image captured at the same quiesce point. Two engines are
+/// restored from the two artifacts and fed the identical remaining
+/// stream; every final score must match to the bit (and the sequential
+/// reference to 1e-6).
+#[test]
+fn delta_chain_restore_matches_full_snapshot_restore_bit_exactly() {
+    use causaltad_suite::serve::{delta_from_bytes, DeltaBase};
+
+    let (city, model) = trained();
+    let model = Arc::clone(model);
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(10).collect();
+    let events = interleave(&trips);
+    let tail = events.len() - trips.len();
+    // Three capture points mid-stream: checkpoint, then two deltas.
+    let (a, b, c) = (trips.len() + tail / 5, trips.len() + tail / 2, trips.len() + tail * 4 / 5);
+
+    type FinalScores = Arc<Mutex<HashMap<u64, (u64, usize)>>>;
+    let record = |sink: &FinalScores| {
+        let sink = Arc::clone(sink);
+        move |o: causaltad_suite::serve::TripOutcome| {
+            if o.completion == Completion::Ended {
+                sink.lock().unwrap().insert(o.id, (o.score.to_bits(), o.segments));
+            }
+        }
+    };
+
+    let donor_finals: FinalScores = Arc::default();
+    let donor = FleetEngine::builder(Arc::clone(&model))
+        .config(FleetConfig { num_shards: 2, ..FleetConfig::default() })
+        .on_complete(record(&donor_finals))
+        .build()
+        .expect("trained model");
+    for ev in &events[..a] {
+        donor.submit(*ev).unwrap();
+    }
+    let (base_image, epoch) = donor.checkpoint().expect("checkpoint arms the chain");
+    for ev in &events[a..b] {
+        donor.submit(*ev).unwrap();
+    }
+    let d1 = donor.delta_bytes().expect("first delta");
+    for ev in &events[b..c] {
+        donor.submit(*ev).unwrap();
+    }
+    let d2 = donor.delta_bytes().expect("second delta");
+    // Same quiesce point, captured the expensive way: a full image.
+    let full = donor.snapshot().expect("full capture at the same cut");
+    donor.shutdown();
+
+    // Fold the chain through its serialized `TADD` form — the blobs a
+    // durable log would replay.
+    let mut base = DeltaBase::new(base_image, epoch);
+    for blob in [d1, d2] {
+        let delta = delta_from_bytes(blob).expect("TADD decodes");
+        assert!(delta.sessions.len() < full.sessions.len() + trips.len());
+        base.apply(&delta).expect("chain applies in order");
+    }
+    assert_eq!(base.applied(), 2);
+    let folded = base.into_image();
+    assert!(!folded.sessions.is_empty(), "cut point leaves sessions live");
+
+    // Restore both artifacts and finish the identical stream on each.
+    let mut finals: Vec<HashMap<u64, (u64, usize)>> = Vec::new();
+    for image in [folded, full] {
+        let sink: FinalScores = Arc::default();
+        let restored = FleetEngine::restore(Arc::clone(&model), image)
+            .config(FleetConfig { num_shards: 2, ..FleetConfig::default() })
+            .on_complete(record(&sink))
+            .build()
+            .expect("restore");
+        for ev in &events[c..] {
+            restored.submit(*ev).unwrap();
+        }
+        let stats = restored.shutdown();
+        assert_eq!(stats.rejected, 0);
+        finals.push(Arc::try_unwrap(sink).unwrap().into_inner().unwrap());
+    }
+    let (chain_finals, full_finals) = (&finals[0], &finals[1]);
+    assert_eq!(chain_finals, full_finals, "delta-chain restore diverged from full restore");
+
+    // And the union with the donor's pre-capture completions covers every
+    // trip, matching the uninterrupted sequential reference.
+    let donor_finals = donor_finals.lock().unwrap();
+    for (id, t) in trips.iter().enumerate() {
+        let id = id as u64;
+        let (bits, segments) =
+            *chain_finals.get(&id).or_else(|| donor_finals.get(&id)).expect("every trip ends");
+        assert_eq!(segments, t.len(), "trip {id}");
+        let reference = sequential_score(&model, t);
+        assert!(
+            (f64::from_bits(bits) - reference).abs() < 1e-6,
+            "trip {id}: chained {0} vs sequential {reference}",
+            f64::from_bits(bits)
+        );
+    }
+}

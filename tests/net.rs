@@ -325,8 +325,10 @@ fn duplicate_trip_start_across_connections_is_rejected_without_stealing_the_rout
     let reference = in_process(model, &events, cfg());
 
     // Phase A: the owner streams half the trip, snapshots, server dies.
-    let server_a =
-        NetServer::builder(Arc::clone(model)).fleet_config(cfg()).bind("127.0.0.1:0").expect("bind");
+    let server_a = NetServer::builder(Arc::clone(model))
+        .fleet_config(cfg())
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let mut owner = Client::connect(server_a.local_addr()).expect("connect");
     owner.trip_start(1, sd.source.0, sd.dest.0, t.time_slot).expect("write");
     for seg in &t.segments[..split] {
@@ -569,5 +571,114 @@ fn wire_metrics_match_in_process_registry_and_frame_counters_add_up() {
     assert_eq!(totals.frames_out, expect_out);
     assert_eq!(totals.malformed_frames, 0);
     assert_eq!(totals.backpressure_replies, 0);
+    server.shutdown();
+}
+
+/// Bounded reconnect, failure side: against an address that accepts and
+/// immediately drops every connection, a retry-enabled client spends
+/// exactly its configured attempt budget — sleeping its jittered backoff
+/// between dials — and then fails with the typed
+/// [`ClientError::Retrying`], never an unbounded dial loop.
+#[test]
+fn client_retry_budget_is_bounded_and_typed() {
+    use causaltad_suite::net::RetryPolicy;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stopped = Arc::clone(&stop);
+    let dropper = std::thread::spawn(move || {
+        // Accept-and-drop: every connection dies before a byte is served.
+        while !stopped.load(Ordering::Relaxed) {
+            drop(listener.accept());
+        }
+    });
+
+    let policy = RetryPolicy {
+        max_reconnects: 3,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(4),
+    };
+    let mut client = Client::connect(addr).expect("first dial is accepted").with_retry(policy);
+    client.trip_start(1, 0, 1, 0).expect("write lands in the OS buffer");
+    match client.flush() {
+        Err(ClientError::Retrying { attempts, last }) => {
+            assert_eq!(attempts, 3, "exactly the configured budget");
+            assert!(
+                !matches!(*last, ClientError::Server { .. }),
+                "only transport failures are retried, got {last:?}"
+            );
+        }
+        other => panic!("expected ClientError::Retrying, got {other:?}"),
+    }
+    stop.store(true, Ordering::Relaxed);
+    // Unblock the accept loop with one throwaway dial.
+    drop(std::net::TcpStream::connect(addr));
+    dropper.join().expect("dropper thread");
+}
+
+/// Bounded reconnect, recovery side: the first connection through a flaky
+/// front dies mid-call, the client silently redials inside the same call,
+/// and the whole trip then streams through the fresh connection with
+/// scores bit-identical to in-process ingest — the producer never sees
+/// the outage.
+#[test]
+fn client_reconnects_through_an_outage_and_scores_stay_bit_identical() {
+    use causaltad_suite::net::RetryPolicy;
+    use std::net::{Shutdown, TcpListener, TcpStream};
+    use std::time::Duration;
+
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(3).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &events, cfg.clone());
+
+    let server =
+        NetServer::builder(Arc::clone(model)).fleet_config(cfg).bind("127.0.0.1:0").expect("bind");
+    let target = server.local_addr();
+
+    // A flaky front: the first connection is dropped on the floor (the
+    // outage), every later one is pumped byte-for-byte to the real server.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let front = listener.local_addr().expect("addr");
+    let proxy = std::thread::spawn(move || {
+        drop(listener.accept());
+        let Ok((client_sock, _)) = listener.accept() else { return };
+        let server_sock = TcpStream::connect(target).expect("dial real server");
+        let up = {
+            let (mut r, mut w) =
+                (client_sock.try_clone().expect("clone"), server_sock.try_clone().expect("clone"));
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut r, &mut w);
+                let _ = w.shutdown(Shutdown::Write);
+            })
+        };
+        let (mut r, mut w) = (server_sock, client_sock);
+        let _ = std::io::copy(&mut r, &mut w);
+        let _ = w.shutdown(Shutdown::Write);
+        up.join().expect("upstream pump");
+    });
+
+    let mut client = Client::connect(front).expect("first dial").with_retry(RetryPolicy {
+        max_reconnects: 5,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(8),
+    });
+    // The dead first connection surfaces inside this call; the client
+    // redials and the barrier lands on the real server.
+    client.flush().expect("flush survives the outage via reconnect");
+
+    send_events(&mut client, &events);
+    let stats = client.flush().expect("barrier");
+    assert_eq!(stats.trips_completed, trips.len() as u64);
+    let mut produced = Produced::default();
+    drain(&mut client, &mut produced);
+    assert_bit_identical(&produced, &reference);
+
+    drop(client); // EOF ends the proxy pumps
+    proxy.join().expect("proxy thread");
     server.shutdown();
 }

@@ -6,19 +6,20 @@ mod common;
 use std::sync::Arc;
 
 use causaltad_suite::core::{
-    state_from_bytes, state_to_bytes, ScorerState, SegmentTrace, StateCodecError,
+    state_from_bytes, state_to_bytes, DeltaChainError, ScorerState, SegmentTrace, StateCodecError,
 };
 use causaltad_suite::metrics::{
     snapshot_from_bytes, snapshot_to_bytes, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
 use causaltad_suite::net::{
-    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, Client, ErrorCode,
-    FrameError, NetServer, Request, Response, TripComplete,
+    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, Client,
+    ErrorCode, FrameError, NetServer, Request, Response, TripComplete,
 };
 use causaltad_suite::router::{backend_for, split_image, RouterServer};
 use causaltad_suite::serve::{
-    image_from_bytes, image_to_bytes, Completion, Event, FleetConfig, FleetImage, FleetSnapshot,
-    GapPolicy, PolicyAction, ScoreUpdate, SessionRecord, SnapshotCodecError, StreamPolicy,
+    delta_from_bytes, delta_to_bytes, image_from_bytes, image_to_bytes, Completion, DeltaBase,
+    Event, FleetConfig, FleetDelta, FleetImage, FleetSnapshot, GapPolicy, PolicyAction,
+    ScoreUpdate, SessionRecord, SnapshotCodecError, StreamPolicy,
 };
 use common::{
     assert_bit_identical, drain, in_process, interleave, send_events, trained, trip_of, Produced,
@@ -82,7 +83,7 @@ fn arb_image(sessions: usize, rng: &mut StdRng) -> FleetImage {
 
 /// An arbitrary wire request, covering every frame type.
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0u8..6) {
+    match rng.gen_range(0u8..9) {
         0 => Request::TripStart {
             id: rng.gen_range(0u64..u64::MAX),
             source: rng.gen_range(0u32..100_000),
@@ -96,7 +97,14 @@ fn arb_request(rng: &mut StdRng) -> Request {
         2 => Request::TripEnd { id: rng.gen_range(0u64..u64::MAX) },
         3 => Request::Flush,
         4 => Request::SnapshotRequest,
-        _ => Request::MetricsRequest,
+        5 => Request::MetricsRequest,
+        6 => Request::DeltaRequest,
+        7 => {
+            let len = rng.gen_range(0usize..256);
+            let image: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+            Request::Install { image: image.into() }
+        }
+        _ => Request::Drain,
     }
 }
 
@@ -137,7 +145,7 @@ fn arb_trace(rng: &mut StdRng) -> Vec<SegmentTrace> {
 
 /// An arbitrary wire response, covering every frame type.
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u8..7) {
+    match rng.gen_range(0u8..10) {
         0 => Response::Score(ScoreUpdate {
             id: rng.gen_range(0u64..u64::MAX),
             seq: rng.gen_range(0u32..10_000),
@@ -199,7 +207,31 @@ fn arb_response(rng: &mut StdRng) -> Response {
             action: PolicyAction::from_wire_byte(rng.gen_range(0u8..9)).expect("valid wire byte"),
             seg: rng.gen_bool(0.5).then(|| rng.gen_range(0u32..100_000)),
         },
-        _ => Response::Metrics(arb_metrics(rng)),
+        6 => Response::Metrics(arb_metrics(rng)),
+        7 => {
+            let len = rng.gen_range(0usize..256);
+            let delta: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+            Response::Delta { delta: delta.into() }
+        }
+        8 => Response::Installed { sessions: rng.gen_range(0u64..u64::MAX) },
+        _ => {
+            let len = rng.gen_range(0usize..256);
+            let image: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+            Response::Drained { image: image.into() }
+        }
+    }
+}
+
+/// An arbitrary incremental capture for a given chain position: random
+/// tombstones and random dirtied sessions (duplicate ids included — an
+/// upsert is legal any number of times).
+fn arb_delta(base_epoch: u64, seq: u64, sessions: usize, rng: &mut StdRng) -> FleetDelta {
+    FleetDelta {
+        base_epoch,
+        seq,
+        num_shards: rng.gen_range(1u32..16),
+        removed: (0..rng.gen_range(0usize..6)).map(|_| rng.gen_range(0u64..1_000)).collect(),
+        sessions: (0..sessions).map(|_| arb_record(rng.gen_range(0u64..1_000), rng)).collect(),
     }
 }
 
@@ -531,6 +563,115 @@ proptest! {
         let mut want = image.sessions;
         want.sort_by_key(|r| r.id);
         prop_assert_eq!(merged.sessions, want);
+    }
+
+    /// `TADD` delta blobs round-trip byte-for-byte for any churn size —
+    /// including the empty delta (no dirtied sessions, no tombstones) a
+    /// quiet interval produces: `decode(encode(x)) == x` and re-encoding
+    /// the decoded delta reproduces the exact blob.
+    #[test]
+    fn fleet_delta_codec_roundtrips(seed in 0u64..10_000, n in 0usize..17) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sessions in [0, n, MAX_SNAPSHOT_SESSIONS] {
+            let mut delta = arb_delta(
+                rng.gen_range(1u64..1_000),
+                rng.gen_range(1u64..1_000),
+                sessions,
+                &mut rng,
+            );
+            if sessions == 0 {
+                delta.removed.clear(); // the fully empty quiet-interval delta
+            }
+            let blob = delta_to_bytes(&delta);
+            let decoded = delta_from_bytes(blob.clone());
+            prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+            let decoded = decoded.unwrap();
+            prop_assert_eq!(&decoded, &delta);
+            prop_assert_eq!(delta_to_bytes(&decoded).to_vec(), blob.to_vec());
+        }
+    }
+
+    /// Corrupt `TADD` blobs — wrong magic, wrong version, truncated
+    /// anywhere, or with random bits flipped — always decode to a typed
+    /// [`SnapshotCodecError`], never a panic and never a silently wrong
+    /// delta (the sealed-envelope checksum catches every body flip).
+    #[test]
+    fn corrupt_fleet_deltas_decode_to_typed_errors(seed in 0u64..10_000, n in 0usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let delta = arb_delta(rng.gen_range(1u64..1_000), rng.gen_range(1u64..1_000), n, &mut rng);
+        let blob = delta_to_bytes(&delta).to_vec();
+
+        let mut wrong_magic = blob.clone();
+        wrong_magic[1] = b'X';
+        prop_assert_eq!(
+            delta_from_bytes(wrong_magic.into()).unwrap_err(),
+            SnapshotCodecError::BadMagic
+        );
+
+        let mut wrong_version = blob.clone();
+        wrong_version[4] = 0x42;
+        match delta_from_bytes(wrong_version.into()).unwrap_err() {
+            SnapshotCodecError::BadVersion(0x42) => {}
+            other => return Err(TestCaseError::fail(format!("version flip gave {other:?}"))),
+        }
+
+        let cut = rng.gen_range(0usize..blob.len());
+        prop_assert!(delta_from_bytes(blob[..cut].to_vec().into()).is_err(), "cut={cut}");
+
+        for _ in 0..8 {
+            let byte = rng.gen_range(0usize..blob.len());
+            let bit = rng.gen_range(0u32..8);
+            let mut flipped = blob.clone();
+            flipped[byte] ^= 1 << bit;
+            prop_assert!(
+                delta_from_bytes(flipped.into()).is_err(),
+                "flip byte {byte} bit {bit} was accepted"
+            );
+        }
+    }
+
+    /// A delta chain applies if and only if it is *exactly* the next link:
+    /// wrong epoch, skipped seq, and replayed seq are all typed
+    /// [`DeltaChainError`]s that leave the base untouched, while the
+    /// in-order chain (fed through its serialized `TADD` form) applies
+    /// clean — the fold can never silently reconstruct a wrong fleet.
+    #[test]
+    fn delta_chains_reject_out_of_order_links_typed(seed in 0u64..10_000, n in 0usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let epoch = rng.gen_range(1u64..1_000);
+        let mut base = DeltaBase::new(arb_image(n, &mut rng), epoch);
+        let untouched = base.image().clone();
+
+        // Wrong chain: different epoch, skipped seq, replayed seq.
+        let foreign = arb_delta(epoch + 1, 1, 1, &mut rng);
+        match base.apply(&foreign) {
+            Err(DeltaChainError::BaseMismatch { expected_epoch, found_epoch }) => {
+                prop_assert_eq!((expected_epoch, found_epoch), (epoch, epoch + 1));
+            }
+            other => return Err(TestCaseError::fail(format!("epoch mismatch gave {other:?}"))),
+        }
+        let skipped = arb_delta(epoch, 2, 1, &mut rng);
+        match base.apply(&skipped) {
+            Err(DeltaChainError::OutOfOrder { expected_seq: 1, found_seq: 2 }) => {}
+            other => return Err(TestCaseError::fail(format!("seq skip gave {other:?}"))),
+        }
+        prop_assert_eq!(base.applied(), 0);
+        prop_assert_eq!(base.image(), &untouched);
+
+        // The real chain, folded through its serialized form.
+        for seq in 1..=3u64 {
+            let link = arb_delta(epoch, seq, rng.gen_range(0usize..4), &mut rng);
+            let link = delta_from_bytes(delta_to_bytes(&link)).expect("TADD round-trip");
+            prop_assert!(base.apply(&link).is_ok(), "in-order link {seq} rejected");
+            // Replaying the link just applied is typed, not idempotent.
+            match base.apply(&link) {
+                Err(DeltaChainError::OutOfOrder { expected_seq, found_seq }) => {
+                    prop_assert_eq!((expected_seq, found_seq), (seq + 1, seq));
+                }
+                other => return Err(TestCaseError::fail(format!("replay gave {other:?}"))),
+            }
+        }
+        prop_assert_eq!(base.applied(), 3);
     }
 
     /// Every wire request frame type round-trips byte-for-byte:

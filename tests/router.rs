@@ -513,3 +513,351 @@ fn flush_barriers_racing_a_backend_kill_always_resolve() {
         backend.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Availability tier: failover, drain/handoff, rebalance, barrier semantics
+// ---------------------------------------------------------------------------
+
+use causaltad_suite::router::RouterAdminError;
+
+/// Spins up `n` active backends plus `s` standbys and a router over all
+/// of them. The returned server list is actives first, then standbys.
+fn spawn_fleet_with_standbys(
+    model: &Arc<CausalTad>,
+    n: usize,
+    s: usize,
+    cfg: FleetConfig,
+) -> (Vec<NetServer>, RouterServer) {
+    let backends: Vec<NetServer> = (0..n + s)
+        .map(|_| {
+            NetServer::builder(Arc::clone(model))
+                .fleet_config(cfg.clone())
+                .bind("127.0.0.1:0")
+                .expect("bind backend")
+        })
+        .collect();
+    let router = RouterServer::builder()
+        .backends(backends.iter().take(n).map(|b| b.local_addr()))
+        .standbys(backends.iter().skip(n).map(|b| b.local_addr()))
+        .bind("127.0.0.1:0")
+        .expect("bind router");
+    (backends, router)
+}
+
+/// Drains a client like [`drain`] but also counts raw `Score` and
+/// `TripComplete` frames — the exactly-once ledger a `Produced` map
+/// (keyed, last-write-wins) cannot see duplicates in.
+fn drain_counted(client: &mut Client, produced: &mut Produced) -> (usize, usize) {
+    let mut scores = 0usize;
+    let mut completes = 0usize;
+    while let Some(resp) = client.try_recv() {
+        match resp {
+            Response::Score(u) => {
+                scores += 1;
+                produced.scores.insert((u.id, u.seq), u.score.to_bits());
+            }
+            Response::TripComplete(tc) => {
+                completes += 1;
+                if tc.completion == Completion::Ended {
+                    produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
+                }
+            }
+            Response::Error { code, trip, detail } => {
+                panic!("unexpected error frame: {code} trip={trip:?} {detail}")
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    (scores, completes)
+}
+
+/// The failover acceptance test: checkpoint the fleet (full, then
+/// incremental `TADD` captures), keep streaming, kill an active backend,
+/// keep streaming *through the failover* — and require the producer's
+/// complete response stream to be bit-identical to an uninterrupted
+/// in-process engine, with every score delivered exactly once and zero
+/// error frames.
+#[test]
+fn failover_to_standby_is_bit_identical_and_exactly_once() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(12).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+
+    let reference = in_process(model, &events, cfg.clone());
+    let total_segments = reference.scores.len();
+
+    let (mut backends, router) = spawn_fleet_with_standbys(model, 2, 1, cfg);
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    let mut routed = Produced::default();
+    let (mut raw_scores, mut raw_completes) = (0usize, 0usize);
+    let count = |pair: (usize, usize), raw_scores: &mut usize, raw_completes: &mut usize| {
+        *raw_scores += pair.0;
+        *raw_completes += pair.1;
+    };
+
+    // Phase 1: stream a third, checkpoint — every capture is a full
+    // image (nothing is armed yet).
+    let (a, b) = (events.len() / 3, events.len() * 2 / 3);
+    send_events(&mut client, &events[..a]);
+    client.flush().expect("barrier");
+    count(drain_counted(&mut client, &mut routed), &mut raw_scores, &mut raw_completes);
+    let sweep = router.checkpoint().expect("first checkpoint sweep");
+    assert_eq!((sweep.full_captures, sweep.delta_captures), (2, 0), "cold sweep is full");
+
+    // Phase 2: more churn, checkpoint again — now the chains are armed
+    // and every capture is an incremental delta.
+    send_events(&mut client, &events[a..b]);
+    client.flush().expect("barrier");
+    count(drain_counted(&mut client, &mut routed), &mut raw_scores, &mut raw_completes);
+    let sweep = router.checkpoint().expect("second checkpoint sweep");
+    assert_eq!((sweep.full_captures, sweep.delta_captures), (0, 2), "warm sweep is delta");
+
+    // Phase 3: kill active backend 0 and keep streaming without waiting
+    // for the router to notice — producers must ride the failover out.
+    backends.remove(0).shutdown();
+    send_events(&mut client, &events[b..]);
+    client.flush().expect("flush rides out the failover");
+    count(drain_counted(&mut client, &mut routed), &mut raw_scores, &mut raw_completes);
+
+    assert_bit_identical(&routed, &reference);
+    assert_eq!(raw_scores, total_segments, "every score exactly once, no duplicates");
+    assert_eq!(raw_completes, trips.len(), "every completion exactly once");
+
+    let stats = router.stats();
+    assert_eq!(stats.failovers, 1, "exactly one promotion");
+    assert_eq!(stats.standbys_available, 0, "the standby was consumed");
+    assert_eq!(stats.partition_epoch, 1, "the map flipped once");
+    assert!(stats.last_recovery_micros > 0, "recovery time was measured");
+    assert_eq!(stats.backends_alive, 2, "two of three links remain");
+    let metrics = router.metrics();
+    assert_eq!(metrics.counter("router.failovers"), Some(1));
+
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+/// Failover with *no checkpoint ever taken*: the journal base is the
+/// empty fleet and the tail is the entire forwarded history, so the
+/// promoted standby replays the dead backend's whole life — still
+/// bit-identical, still exactly-once.
+#[test]
+fn failover_without_checkpoint_replays_from_the_empty_base() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(8).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &events, cfg.clone());
+
+    let (mut backends, router) = spawn_fleet_with_standbys(model, 2, 1, cfg);
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    let mut routed = Produced::default();
+
+    let split = events.len() / 2;
+    send_events(&mut client, &events[..split]);
+    client.flush().expect("barrier");
+    let (s1, c1) = drain_counted(&mut client, &mut routed);
+    backends.remove(0).shutdown();
+    send_events(&mut client, &events[split..]);
+    client.flush().expect("flush rides out the failover");
+    let (s2, c2) = drain_counted(&mut client, &mut routed);
+
+    assert_bit_identical(&routed, &reference);
+    assert_eq!(s1 + s2, reference.scores.len(), "every score exactly once");
+    assert_eq!(c1 + c2, trips.len(), "every completion exactly once");
+    assert_eq!(router.stats().failovers, 1);
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+/// The drain/handoff acceptance test: migrate a partition between two
+/// *running* backends mid-stream (3 backends + 1 standby), then rotate a
+/// second partition onto the backend the first handoff freed — producers
+/// keep streaming throughout and the full response stream stays
+/// bit-identical to an uninterrupted in-process run.
+#[test]
+fn live_handoff_between_running_backends_is_invisible_to_producers() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(12).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &events, cfg.clone());
+
+    let (backends, router) = spawn_fleet_with_standbys(model, 3, 1, cfg);
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    let mut routed = Produced::default();
+
+    let (a, b) = (events.len() / 3, events.len() * 2 / 3);
+    send_events(&mut client, &events[..a]);
+    // The flush makes the live-session population deterministic (the
+    // topology gate quiesces frames in flight through the router, but
+    // not bytes still unread on the front socket).
+    client.flush().expect("barrier");
+    let moved = router.handoff(1).expect("handoff partition 1 to the standby");
+    assert!(moved.sessions_moved > 0, "live sessions travelled");
+    assert_eq!(moved.epoch, 1);
+
+    send_events(&mut client, &events[a..b]);
+    client.flush().expect("barrier");
+    // Rotate again: the backend freed by the first handoff is the pool
+    // now, so a second handoff (of another partition) must succeed.
+    let moved = router.handoff(0).expect("handoff partition 0 onto the freed backend");
+    assert!(moved.sessions_moved > 0);
+    assert_eq!(moved.epoch, 2);
+
+    send_events(&mut client, &events[b..]);
+    client.flush().expect("barrier");
+    drain(&mut client, &mut routed);
+
+    assert_bit_identical(&routed, &reference);
+    let stats = router.stats();
+    assert_eq!(stats.partition_epoch, 2);
+    assert_eq!(stats.standbys_available, 1, "handoffs rotate, they do not consume");
+    assert!(router.metrics().counter("router.handoff_sessions").unwrap_or(0) > 0);
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+/// The rebalance acceptance test: shrink a 3-partition fleet onto 2
+/// backends mid-stream. Every live session is drained, merged, re-split
+/// with the same pure partitioner that routes future events, and
+/// installed — so scoring continues bit-identically on the new topology
+/// and the freed backend joins the standby pool.
+#[test]
+fn rebalance_shrinks_the_fleet_mid_stream_bit_identically() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(12).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &events, cfg.clone());
+
+    let (backends, router) = spawn_fleet_with_standbys(model, 3, 1, cfg);
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    let mut routed = Produced::default();
+
+    let split = events.len() / 2;
+    send_events(&mut client, &events[..split]);
+    client.flush().expect("barrier");
+    assert_eq!(router.num_backends(), 3);
+    let moved = router.rebalance(2).expect("shrink 3 partitions onto 2 backends");
+    assert!(moved.sessions_moved > 0, "live sessions re-partitioned");
+    assert_eq!(router.num_backends(), 2);
+
+    send_events(&mut client, &events[split..]);
+    client.flush().expect("barrier");
+    drain(&mut client, &mut routed);
+
+    assert_bit_identical(&routed, &reference);
+    assert_eq!(
+        router.stats().standbys_available,
+        2,
+        "the freed backend joined the untouched standby"
+    );
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+/// Typed refusals of the admin surface: impossible topologies and an
+/// empty standby pool fail with structured errors (never hangs, never
+/// partial flips), and availability-tier admin frames arriving at the
+/// *front door* are rejected typed instead of being misrouted.
+#[test]
+fn admin_surface_fails_typed_on_impossible_requests() {
+    let (_, model) = trained();
+    let cfg = FleetConfig { num_shards: 1, ..FleetConfig::default() };
+    let (backends, router) = spawn_fleet(model, 2, cfg);
+
+    match router.handoff(7) {
+        Err(RouterAdminError::NoSuchPartition { partition: 7, partitions: 2 }) => {}
+        other => panic!("expected NoSuchPartition, got {other:?}"),
+    }
+    match router.handoff(0) {
+        Err(RouterAdminError::NoStandby) => {}
+        other => panic!("expected NoStandby (no pool), got {other:?}"),
+    }
+    match router.rebalance(0) {
+        Err(RouterAdminError::InvalidTopology(_)) => {}
+        other => panic!("expected InvalidTopology, got {other:?}"),
+    }
+    match router.rebalance(3) {
+        Err(RouterAdminError::NoStandby) => {}
+        other => panic!("expected NoStandby (cannot grow past the pool), got {other:?}"),
+    }
+    assert_eq!(router.stats().partition_epoch, 0, "failed admin ops never flip the map");
+
+    // Front-door rejection of point-to-point admin frames.
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    let rejected = |err: ClientError| match err {
+        ClientError::Server { code: ErrorCode::Rejected, trip: None, .. } => {}
+        other => panic!("expected typed front-door rejection, got {other:?}"),
+    };
+    rejected(client.delta().expect_err("delta is point-to-point"));
+    rejected(client.drain().expect_err("drain is point-to-point"));
+    let empty =
+        causaltad_suite::serve::image_to_bytes(&causaltad_suite::serve::FleetImage::default());
+    rejected(client.install(empty).expect_err("install is point-to-point"));
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+/// The barrier-under-membership-change regression guard (with a standby
+/// this time): flush barriers hammered across a backend kill must all
+/// resolve — served before the kill, restaged onto the promoted standby,
+/// or failed typed in the narrow staging race — and once the failover
+/// completes, every subsequent barrier must succeed against the new map.
+#[test]
+fn barriers_across_a_failover_wait_for_the_new_map_or_fail_typed() {
+    let (_, model) = trained();
+    let cfg = FleetConfig { num_shards: 1, ..FleetConfig::default() };
+    let (mut backends, router) = spawn_fleet_with_standbys(model, 2, 1, cfg);
+    let mut client = Client::connect(router.local_addr())
+        .expect("connect")
+        .with_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout set");
+
+    let victim = backends.remove(0);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(5));
+        victim.shutdown();
+    });
+    let mut served = 0usize;
+    let mut failed = 0usize;
+    for _ in 0..200 {
+        match client.flush() {
+            Ok(_) => served += 1,
+            Err(ClientError::Server { .. }) => failed += 1,
+            Err(ClientError::Timeout) => {
+                panic!("flush hung across the failover (after {served} ok, {failed} failed)")
+            }
+            Err(other) => panic!("unexpected flush failure: {other}"),
+        }
+    }
+    killer.join().expect("killer thread");
+    assert!(served > 0, "barriers kept being served across the failover");
+
+    // Deterministic tail: once the promotion is visible, barriers are
+    // all-success again — over both mapped backends.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.stats().failovers != 1 {
+        assert!(Instant::now() < deadline, "failover never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for _ in 0..50 {
+        client.flush().expect("post-failover barriers always succeed");
+    }
+    assert_eq!(router.stats().standbys_available, 0);
+    router.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
