@@ -1,8 +1,9 @@
 //! Network front-end benchmarks: frame-codec throughput (frames/s for the
 //! hot frame types) and end-to-end loopback scoring throughput
 //! (scored segments/s through `NetServer` + `Client` over 127.0.0.1) —
-//! single-connection, multi-connection, and routed through a `tad-router`
-//! tier over two backend servers.
+//! a connection-count sweep (1 to 256 concurrent producers against the
+//! readiness event loop), and routed through a `tad-router` tier over two
+//! backend servers.
 //!
 //! Besides the Criterion report, the run writes machine-readable
 //! `BENCH_net.json` (override the path with `BENCH_NET_OUT`) so the wire
@@ -291,6 +292,10 @@ fn bench_loopback(c: &mut Criterion) {
     let (sessions, len) = if quick_mode() { (64, 8) } else { (512, 24) };
     const CONNS: usize = 4;
     const BACKENDS: usize = 2;
+    /// The readiness-loop scaling sweep: from one connection to far past
+    /// the worker count, proving cross-connection micro-batching holds
+    /// throughput as the fleet fans out.
+    const SWEEP: [usize; 4] = [1, 4, 64, 256];
     let walks = fleet_walks(&model, sessions, len, 97);
 
     let mut group = c.benchmark_group("loopback");
@@ -306,10 +311,18 @@ fn bench_loopback(c: &mut Criterion) {
     });
     group.finish();
 
-    // Machine-readable artefact: median of a few full passes per path.
+    // Machine-readable artefact: median of a few full passes per path,
+    // with the full connection sweep.
     let reps = if quick_mode() { 2 } else { 5 };
     let (elapsed, events, scored) = median_pass(reps, || loopback_pass(&model, &walks));
-    let multi = median_pass(reps, || multi_conn_pass(&model, &walks, CONNS));
+    let sweep: Vec<(String, (f64, u64, u64))> = SWEEP
+        .iter()
+        .map(|&conns| {
+            let pass = median_pass(reps, || multi_conn_pass(&model, &walks, conns));
+            (format!("loopback_conns{conns}"), pass)
+        })
+        .collect();
+    let multi = sweep[1].1;
     let routed = median_pass(reps, || routed_pass(&model, &walks, BACKENDS, CONNS));
 
     let codec = [
@@ -350,11 +363,12 @@ fn bench_loopback(c: &mut Criterion) {
             })
         }),
     ];
-    let passes = [
-        ("loopback", (elapsed, events, scored)),
-        ("loopback_multi4", multi),
-        ("routed_2backends", routed),
-    ];
+    let mut passes: Vec<(String, (f64, u64, u64))> =
+        vec![("loopback".to_string(), (elapsed, events, scored))];
+    passes.extend(sweep);
+    // Continuity keys for the PR-over-PR trajectory.
+    passes.push(("loopback_multi4".to_string(), multi));
+    passes.push(("routed_2backends".to_string(), routed));
     write_json(sessions, len, events, &passes, &codec);
 }
 
@@ -362,7 +376,7 @@ fn write_json(
     sessions: usize,
     len: usize,
     events: u64,
-    passes: &[(&str, (f64, u64, u64))],
+    passes: &[(String, (f64, u64, u64))],
     codec: &[(&str, f64)],
 ) {
     // `cargo bench` runs with the package directory as cwd; default to the

@@ -33,6 +33,10 @@
 //!   measured recovery time lands in the JSON artefact.
 //! * `SOAK_TRIPS` — concurrent trips (default 100 000).
 //! * `SOAK_ROUNDS` — streaming rounds (default 48).
+//! * `SOAK_PRODUCERS` — producer connections on the front door
+//!   (default 4). Elevated counts spread the same trip load across many
+//!   thin connections, exercising the event loop's cross-connection
+//!   cohort coalescing and per-connection fairness under churn.
 //! * `SOAK_OUT` — artefact path.
 //!
 //! In every mode the harness also proves the observability path honest:
@@ -53,7 +57,6 @@ use tad_router::{RouterConfig, RouterServer};
 use tad_serve::{FleetConfig, PolicyAction, StreamPolicy};
 
 const BACKENDS: usize = 2;
-const PRODUCERS: usize = 4;
 const MIN_LEN: u64 = 8;
 const MAX_LEN: u64 = 40;
 
@@ -221,6 +224,7 @@ fn main() {
     let failover = env_flag("SOAK_FAILOVER");
     let trips = env_usize("SOAK_TRIPS", if quick { 2_000 } else { 100_000 });
     let rounds = env_usize("SOAK_ROUNDS", if quick { 12 } else { 48 });
+    let producers = env_usize("SOAK_PRODUCERS", 4).max(1);
 
     eprintln!("soak: training model (quick={quick}, hostile={hostile}, failover={failover})...");
     let model = trained_model();
@@ -267,22 +271,22 @@ fn main() {
     let front = router.local_addr();
     eprintln!(
         "soak: router {front} over {BACKENDS} backends (+{} standby), \
-         {trips} concurrent trips x {rounds} rounds",
+         {trips} concurrent trips x {rounds} rounds across {producers} producer connections",
         usize::from(failover)
     );
 
-    let per_producer = trips / PRODUCERS;
+    let per_producer = trips / producers;
     // In failover mode, active backend 0 is the victim: the driver thread
     // checkpoints the fleet once it has absorbed real traffic, then kills
     // it under full load. Producers are never told.
     let victim = failover.then(|| backends.remove(0));
     let started = Instant::now();
     let tallies: Vec<ProducerTally> = std::thread::scope(|scope| {
-        let producers: Vec<_> = (0..PRODUCERS as u64)
+        let producers: Vec<_> = (0..producers as u64)
             .map(|p| {
                 let walks = Arc::clone(&walks);
                 scope.spawn(move || {
-                    producer(front, walks, p, PRODUCERS as u64, per_producer, rounds, hostile)
+                    producer(front, walks, p, producers as u64, per_producer, rounds, hostile)
                 })
             })
             .collect();
@@ -421,7 +425,7 @@ fn main() {
 
     let out = format!(
         "{{\n  \"workload\": {{\"concurrent_trips\": {trips}, \"rounds\": {rounds}, \
-         \"producers\": {PRODUCERS}, \"backends\": {BACKENDS}, \"trip_len\": [{MIN_LEN}, {MAX_LEN}], \
+         \"producers\": {producers}, \"backends\": {BACKENDS}, \"trip_len\": [{MIN_LEN}, {MAX_LEN}], \
          \"quick_mode\": {quick}, \"hostile_mode\": {hostile}, \"failover_mode\": {failover}}},\n  \
          \"sustained\": {{\"elapsed_s\": {elapsed:.3}, \"segments_scored\": {scored}, \
          \"trips_completed\": {completed}, \"segments_per_s\": {seg_per_s:.1}}},\n  \

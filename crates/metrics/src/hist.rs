@@ -118,6 +118,11 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Wraps this histogram in a [`DeferredHistogram`] staging cell.
+    pub fn deferred(self: &std::sync::Arc<Self>) -> DeferredHistogram {
+        DeferredHistogram { hist: std::sync::Arc::clone(self), staged: None }
+    }
+
     /// A point-in-time copy of the bucket counts. The snapshot's total
     /// count is derived from the buckets themselves, so it is always
     /// exactly the sum of its counts — the invariant the merge and codec
@@ -240,6 +245,45 @@ impl HistogramSnapshot {
     }
 }
 
+/// A single-owner staging cell in front of a shared [`Histogram`], for
+/// recorders that measure work which *ends* by publishing a snapshot of
+/// the registry the histogram lives in.
+///
+/// The problem it encodes: an event-loop tick that answers a metrics
+/// request cannot record its own duration inline — the sample would land
+/// *after* the snapshot it just served but *before* any later observer
+/// reads the registry, making the served snapshot unequal to the registry
+/// at an otherwise quiesced moment. Staging breaks the race by
+/// construction: [`DeferredHistogram::stage`] buffers the sample locally
+/// (no shared-state effect), and the *next* [`DeferredHistogram::stage`]
+/// or an explicit [`DeferredHistogram::commit`] publishes the previous
+/// one — strictly before whatever that next unit of work observes. A
+/// quiesced registry therefore never changes between two reads, however
+/// the last unit of work was measured.
+#[derive(Debug)]
+pub struct DeferredHistogram {
+    hist: std::sync::Arc<Histogram>,
+    staged: Option<u64>,
+}
+
+impl DeferredHistogram {
+    /// Publishes the previously staged sample (if any), then stages `v`
+    /// to be published by the next call.
+    pub fn stage(&mut self, v: u64) {
+        self.commit();
+        self.staged = Some(v);
+    }
+
+    /// Publishes the staged sample now, leaving nothing staged. Call at
+    /// the *start* of a unit of work; samples staged by the final unit
+    /// before a quiet period intentionally stay unpublished.
+    pub fn commit(&mut self) {
+        if let Some(v) = self.staged.take() {
+            self.hist.record(v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +310,26 @@ mod tests {
             last = i;
             v = v.saturating_mul(3) / 2 + 1;
         }
+    }
+
+    #[test]
+    fn deferred_samples_publish_one_unit_of_work_late() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut d = h.deferred();
+        d.stage(10);
+        // The work that staged 10 may have published a snapshot; 10 must
+        // not be visible yet.
+        assert_eq!(h.snapshot().count, 0);
+        d.stage(20); // next unit of work publishes the previous sample
+        assert_eq!(h.snapshot().count, 1);
+        d.commit();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 30);
+        // Commit with nothing staged is a no-op, and the registry stays
+        // frozen across repeated reads of a quiet period.
+        d.commit();
+        assert_eq!(h.snapshot().count, 2);
     }
 
     #[test]

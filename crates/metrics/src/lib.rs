@@ -36,8 +36,8 @@ pub use codec::{
     snapshot_from_bytes, snapshot_to_bytes, MetricsCodecError, METRICS_MAGIC, METRICS_VERSION,
 };
 pub use hist::{
-    bucket_ceil, bucket_floor, bucket_index, Histogram, HistogramSnapshot, BUCKETS, SUB_BITS,
-    SUB_COUNT,
+    bucket_ceil, bucket_floor, bucket_index, DeferredHistogram, Histogram, HistogramSnapshot,
+    BUCKETS, SUB_BITS, SUB_COUNT,
 };
 pub use registry::{Counter, Gauge, MetricEntry, MetricValue, MetricsSnapshot, Registry};
 pub use text::render_text;

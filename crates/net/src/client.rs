@@ -145,6 +145,7 @@ pub struct Client {
     addrs: Vec<SocketAddr>,
     retry: Option<RetryPolicy>,
     read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
     /// xorshift64 state for backoff jitter (no RNG dependency).
     jitter: u64,
 }
@@ -172,6 +173,7 @@ impl Client {
             addrs,
             retry: None,
             read_timeout: None,
+            write_timeout: None,
             jitter,
         })
     }
@@ -215,6 +217,23 @@ impl Client {
     pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Result<Client, ClientError> {
         self.reader.set_read_timeout(timeout)?;
         self.read_timeout = timeout;
+        Ok(self)
+    }
+
+    /// Bounds every blocking socket *write*: when the server has paused
+    /// reading this connection (slow-consumer throttling — see
+    /// [`crate::NetConfig::write_highwater`]) and the kernel send buffer
+    /// fills, a send surfaces as the typed [`ClientError::Timeout`]
+    /// instead of blocking forever. `None` restores unbounded blocking.
+    /// Like a read timeout, a fired write timeout leaves the stream
+    /// position unknown: reconnect rather than retry on the connection.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the socket refuses the option (a zero
+    /// duration, or a closed socket).
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> Result<Client, ClientError> {
+        self.reader.set_write_timeout(timeout)?;
+        self.write_timeout = timeout;
         Ok(self)
     }
 
@@ -533,6 +552,7 @@ impl Client {
         let stream = TcpStream::connect(&self.addrs[..])?;
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
         let writer = BufWriter::new(stream.try_clone()?);
         self.reader = stream;
         self.writer = writer;

@@ -95,17 +95,23 @@
 #![deny(missing_docs)]
 
 mod client;
+mod evloop;
 mod frame;
 mod server;
 mod wire;
 
 pub use client::{Client, ClientError, RetryPolicy};
+pub use evloop::{Conn, EventSource, Interest, PollSource, PollWaker, ReadStatus, Readiness};
 pub use frame::{
     request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, ErrorCode,
     FrameError, Request, Response, TripComplete, DEFAULT_MAX_FRAME, FRAME_MAGIC, FRAME_VERSION,
     MAX_ERROR_DETAIL,
 };
-pub use server::{ConnectionStats, NetConfig, NetError, NetServer, NetServerBuilder, NetStats};
+pub use server::{
+    ConnectionStats, EventLoop, IngestCore, NetConfig, NetError, NetServer, NetServerBuilder,
+    NetStats,
+};
 pub use wire::{
-    read_request, read_request_timed, read_response, write_request, write_response, RecvError,
+    read_request, read_request_timed, read_response, write_request, write_response, FrameAssembler,
+    RecvError,
 };

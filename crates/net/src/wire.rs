@@ -1,5 +1,6 @@
-//! Blocking stream I/O for `TADN` frames: length-prefixed reads with a
-//! payload cap, clean-EOF detection, and buffered writes.
+//! Stream I/O for `TADN` frames: length-prefixed reads with a payload
+//! cap, clean-EOF detection, buffered writes, and the incremental
+//! [`FrameAssembler`] behind the nonblocking event loop.
 //!
 //! A reader fetches the fixed 14-byte envelope header first, validates
 //! magic/version and the announced payload length **before allocating**,
@@ -7,7 +8,11 @@
 //! frame codec (which re-verifies the checksum). A peer announcing a
 //! payload longer than the cap is refused with
 //! [`FrameError::TooLarge`] without any allocation — the defence against
-//! memory-exhaustion by hostile length prefixes.
+//! memory-exhaustion by hostile length prefixes. The [`FrameAssembler`]
+//! applies exactly the same validation order to bytes arriving in
+//! arbitrary nonblocking chunks: a header is judged the moment its 14
+//! bytes are buffered, so a hostile length prefix is refused even when
+//! the rest of the "frame" never arrives.
 
 use std::io::{Read, Write};
 
@@ -78,6 +83,27 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool>
     Ok(true)
 }
 
+/// Validates a 14-byte envelope header and returns the announced payload
+/// length. Magic is judged before version before length, so garbage bytes
+/// report "bad magic", not a nonsense "frame too large".
+fn validate_header(
+    header: &[u8; ENVELOPE_HEADER_LEN],
+    max_payload: usize,
+) -> Result<u64, FrameError> {
+    if &header[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != FRAME_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let plen = u64::from_le_bytes(header[6..14].try_into().expect("8 header bytes"));
+    if plen > max_payload as u64 {
+        return Err(FrameError::TooLarge { len: plen, max: max_payload });
+    }
+    Ok(plen)
+}
+
 /// Reads one whole envelope (header + payload + checksum) off the stream,
 /// refusing payloads longer than `max_payload` before allocating.
 /// `Ok(None)` is a clean frame-aligned EOF.
@@ -89,17 +115,7 @@ fn read_frame_bytes(r: &mut impl Read, max_payload: usize) -> Result<Option<Byte
     // Validate the header before trusting the length: garbage magic means
     // garbage length, and the caller should learn "bad magic", not "frame
     // too large".
-    if &header[..4] != FRAME_MAGIC {
-        return Err(FrameError::BadMagic.into());
-    }
-    let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != FRAME_VERSION {
-        return Err(FrameError::BadVersion(version).into());
-    }
-    let plen = u64::from_le_bytes(header[6..14].try_into().expect("8 header bytes"));
-    if plen > max_payload as u64 {
-        return Err(FrameError::TooLarge { len: plen, max: max_payload }.into());
-    }
+    let plen = validate_header(&header, max_payload)?;
     // One allocation for the whole envelope: the body is read directly
     // into its final resting place behind the copied header.
     let mut whole = vec![0u8; ENVELOPE_HEADER_LEN + plen as usize + 8];
@@ -111,6 +127,89 @@ fn read_frame_bytes(r: &mut impl Read, max_payload: usize) -> Result<Option<Byte
         )));
     }
     Ok(Some(Bytes::from(whole)))
+}
+
+/// Incremental `TADN` envelope reassembly for nonblocking reads: feed it
+/// whatever chunk of bytes the socket produced — a byte, half a header,
+/// three frames and a tail — and pull complete envelopes out as they
+/// form. This is the event loop's counterpart of [`read_request`]'s
+/// blocking header-then-payload read, with the identical validation
+/// order: a header is judged ([`FrameError::BadMagic`] /
+/// [`FrameError::BadVersion`] / [`FrameError::TooLarge`]) as soon as its
+/// 14 bytes are buffered, **before** any payload-sized allocation, so a
+/// hostile length prefix is refused even if the announced payload never
+/// arrives.
+///
+/// After an error the stream's framing is lost; the assembler keeps
+/// returning the same error and the connection should be closed
+/// (property-tested against hostile split points in `tests/props.rs`).
+#[derive(Debug)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Cursor of the first unconsumed byte in `buf` (compacted lazily so
+    /// per-frame extraction is not O(buffered bytes)).
+    start: usize,
+    max_payload: usize,
+}
+
+/// Compact the assembler's buffer once the dead prefix crosses this many
+/// bytes (or the buffer empties, which is free).
+const ASSEMBLER_COMPACT_AT: usize = 64 << 10;
+
+impl FrameAssembler {
+    /// An empty assembler refusing payloads longer than `max_payload`.
+    pub fn new(max_payload: usize) -> FrameAssembler {
+        FrameAssembler { buf: Vec::new(), start: 0, max_payload }
+    }
+
+    /// Appends one chunk of received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= ASSEMBLER_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete envelope, if one has fully arrived.
+    /// `Ok(None)` means "keep feeding"; the returned [`Bytes`] is a whole
+    /// envelope ready for [`crate::request_from_bytes`] /
+    /// [`crate::response_from_bytes`].
+    ///
+    /// # Errors
+    /// The same typed [`FrameError`]s as the blocking reader, surfaced at
+    /// the earliest byte that proves the stream hostile.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < ENVELOPE_HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; ENVELOPE_HEADER_LEN] =
+            avail[..ENVELOPE_HEADER_LEN].try_into().expect("header slice");
+        let plen = validate_header(&header, self.max_payload)? as usize;
+        let total = ENVELOPE_HEADER_LEN + plen + 8;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = Bytes::from(avail[..total].to_vec());
+        self.start += total;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame — nonzero
+    /// at EOF means the peer vanished mid-frame (a transport error, not a
+    /// clean close).
+    pub fn has_partial(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
 }
 
 /// Reads one request frame. `Ok(None)` is a clean frame-aligned EOF.
@@ -222,6 +321,58 @@ mod tests {
         // The same frame passes with an adequate cap.
         let mut cursor = &blob[..];
         assert!(read_response(&mut cursor, 4096).expect("read").is_some());
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_split_at_every_boundary() {
+        let mut blob: Vec<u8> = Vec::new();
+        let reqs = [
+            Request::TripStart { id: 7, source: 2, dest: 5, time_slot: 1 },
+            Request::Segment { id: 7, seg: 3 },
+            Request::TripEnd { id: 7 },
+        ];
+        for req in &reqs {
+            write_request(&mut blob, req).expect("vec write");
+        }
+        for cut in 0..=blob.len() {
+            let mut asm = FrameAssembler::new(1024);
+            let mut got = Vec::new();
+            for chunk in [&blob[..cut], &blob[cut..]] {
+                asm.feed(chunk);
+                while let Some(frame) = asm.next_frame().expect("clean stream") {
+                    got.push(crate::frame::request_from_bytes(frame).expect("decodes"));
+                }
+            }
+            assert_eq!(got, reqs, "cut={cut}");
+            assert!(!asm.has_partial(), "cut={cut}: no residue after the last frame");
+        }
+    }
+
+    #[test]
+    fn assembler_judges_headers_before_payloads_exist() {
+        // A hostile length prefix with no payload behind it: refused the
+        // moment the 14th byte lands, exactly like the blocking reader.
+        let mut asm = FrameAssembler::new(64);
+        let mut header = Vec::new();
+        header.extend_from_slice(b"TADN");
+        header.extend_from_slice(&1u16.to_le_bytes());
+        header.extend_from_slice(&u64::MAX.to_le_bytes());
+        asm.feed(&header[..13]);
+        assert!(asm.next_frame().expect("13 bytes prove nothing").is_none());
+        asm.feed(&header[13..]);
+        match asm.next_frame() {
+            Err(FrameError::TooLarge { max: 64, .. }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Framing is lost: the error repeats instead of resyncing.
+        assert!(asm.next_frame().is_err());
+
+        let mut asm = FrameAssembler::new(64);
+        asm.feed(&[0xFF; 14]);
+        match asm.next_frame() {
+            Err(FrameError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
     }
 
     #[test]

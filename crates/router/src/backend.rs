@@ -1,10 +1,15 @@
 //! The router's backend side: one pipelined TCP connection per `tad-net`
-//! backend, with a writer thread batching forwarded frames and a reader
-//! thread fanning responses back in.
+//! backend, all of them owned by a single readiness-driven mux thread
+//! built from the same event-loop primitives as the `tad-net` server
+//! ([`tad_net::Conn`] + [`tad_net::PollSource`]). Each link keeps a
+//! bounded forwarding channel; senders arm a per-link flag and wake the
+//! poller, and the mux drains channels into per-link write buffers,
+//! flushes them as sockets accept bytes, and reassembles response frames
+//! incrementally as backends answer.
 //!
 //! Ordering is the load-bearing property. All router traffic to one
 //! backend travels a single connection, fed by a single bounded channel
-//! drained by a single writer thread — so the order in which frames enter
+//! drained in FIFO order by the mux — so the order in which frames enter
 //! the channel is the order they hit the backend's socket, and the
 //! backend answers admin frames in that same order on the same
 //! connection. Every request that expects a trip-less reply — a front
@@ -15,29 +20,95 @@
 //! lock), so queue order always equals wire order and the head of the
 //! queue is always the request the backend's next trip-less reply
 //! answers. Crucially, an entry is in the queue from the moment its frame
-//! is accepted: whichever of the reader or writer dies first runs the
-//! backend-down sweep and drains every staged entry, so no caller can
-//! wait forever on a reply that will never come.
+//! is accepted: any link death observed by the mux (read EOF, a framing
+//! fault, a write failure, or an orderly `Close`) runs the backend-down
+//! sweep and drains every staged entry, so no caller can wait forever on
+//! a reply that will never come.
+//!
+//! Backpressure is two-stage: the mux stops draining a link's channel
+//! once that link's write backlog crosses a high-water mark, the bounded
+//! channel then fills, and `send` finally blocks the *producer* (a front
+//! reader or replay thread) — exactly the old per-link writer-thread
+//! behaviour, without the threads. One stalled backend never blocks the
+//! mux itself: its frames wait in its own buffer/channel while other
+//! links keep flowing.
 
 use std::collections::VecDeque;
-use std::io::{BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SendError, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
-use tad_net::{read_response, write_request, Request};
+use tad_net::{
+    request_to_bytes, response_from_bytes, Conn, EventSource, Interest, PollSource, PollWaker,
+    ReadStatus, Request,
+};
 use tad_serve::FleetSnapshot;
 
 use crate::server::{BarrierKind, Core};
 
-/// One frame bound for a backend, queued behind the backend's writer.
+/// Per-link, per-tick cap on bytes decoded from a backend, so one
+/// snapshot-sized reply burst cannot starve the other links' reads.
+const READ_BUDGET: usize = 1 << 20;
+
+/// Stop draining a link's channel once this many bytes sit unflushed in
+/// its write buffer; the bounded channel behind it then provides the
+/// blocking backpressure to producers.
+const WRITE_HIGHWATER: usize = 1 << 20;
+
+/// One frame bound for a backend, queued behind the backend's mux link.
 pub(crate) enum BackendMsg {
     /// A frame forwarded verbatim (ingest or a staged admin frame; the
-    /// sender stages pending entries, not the writer).
+    /// sender stages pending entries, not the mux).
     Forward(Request),
-    /// Orderly shutdown: flush what is buffered and exit.
+    /// Orderly shutdown: flush what is buffered and close the link.
     Close,
+}
+
+/// The sending half of a backend link's forwarding channel: a bounded
+/// channel send plus a poller wake, so the mux learns about new frames
+/// without spinning. The armed flag dedups wakes — one notify covers any
+/// number of sends between mux ticks.
+pub(crate) struct LinkSender {
+    tx: SyncSender<BackendMsg>,
+    armed: Arc<AtomicBool>,
+    waker: PollWaker,
+}
+
+impl LinkSender {
+    pub(crate) fn new(
+        tx: SyncSender<BackendMsg>,
+        armed: Arc<AtomicBool>,
+        waker: PollWaker,
+    ) -> LinkSender {
+        LinkSender { tx, armed, waker }
+    }
+
+    /// Queues a message for the mux, blocking when the channel is full
+    /// (the backpressure point for producers).
+    ///
+    /// # Errors
+    /// The mux dropped the receiving half — the link is gone.
+    pub(crate) fn send(&self, msg: BackendMsg) -> Result<(), SendError<BackendMsg>> {
+        self.tx.send(msg)?;
+        if !self.armed.swap(true, Ordering::AcqRel) {
+            self.waker.wake();
+        }
+        Ok(())
+    }
+}
+
+/// The mux-side half of one backend link, handed to [`backend_mux`] at
+/// bind time.
+pub(crate) struct MuxLink {
+    /// Receiving half of the forwarding channel.
+    pub(crate) rx: Receiver<BackendMsg>,
+    /// Cleared by the mux each time it drains the channel; see
+    /// [`LinkSender::send`].
+    pub(crate) armed: Arc<AtomicBool>,
+    /// The connected backend socket (already nonblocking).
+    pub(crate) stream: TcpStream,
 }
 
 /// What a router-driven checkpoint capture got back: a full image blob
@@ -100,63 +171,179 @@ impl Pending {
     }
 }
 
-/// Drains the backend channel to the socket, batching writes between
-/// flushes (same shape as `tad-net`'s connection writer). Every exit path
-/// — orderly close, channel disconnect, or a write failure — runs
-/// [`Core::backend_down`]: it shuts the socket (waking the reader) and
-/// sweeps staged entries, which closes the race where a staged frame is
-/// accepted onto the channel but never reaches the wire.
-pub(crate) fn backend_writer(
+/// Mux-side state for one backend link.
+struct LinkIo {
+    conn: Conn<TcpStream>,
     rx: Receiver<BackendMsg>,
-    stream: TcpStream,
-    core: Arc<Core>,
-    idx: u32,
-) {
-    let mut w = BufWriter::new(stream);
-    // None => orderly close requested; Some(ok) => write outcome.
-    let handle = |w: &mut BufWriter<TcpStream>, msg: BackendMsg| -> Option<bool> {
-        match msg {
-            BackendMsg::Close => None,
-            BackendMsg::Forward(req) => Some(write_request(w, &req).is_ok()),
-        }
-    };
-    'serve: while let Ok(msg) = rx.recv() {
-        match handle(&mut w, msg) {
-            None => break 'serve,
-            Some(false) => break 'serve,
-            Some(true) => {}
-        }
-        // Opportunistically batch whatever is already queued, then flush
-        // once.
-        loop {
-            match rx.try_recv() {
-                Ok(msg) => match handle(&mut w, msg) {
-                    None => break 'serve,
-                    Some(false) => break 'serve,
-                    Some(true) => {}
-                },
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => break 'serve,
-            }
-        }
-        if w.flush().is_err() {
-            break 'serve;
-        }
-    }
-    let _ = w.flush();
-    Core::backend_down(&core, idx);
+    armed: Arc<AtomicBool>,
+    interest: Interest,
+    /// Still registered with the poller.
+    open: bool,
+    /// `Close` received (or the channel hung up): flush the remaining
+    /// backlog, then tear the link down.
+    closing: bool,
 }
 
-/// Reads the backend's response stream and fans each frame back in
-/// through the router core. Exits on EOF or any transport/frame error —
-/// a router↔backend link carries multiplexed traffic, so a framing fault
-/// is unrecoverable — and then runs the backend-down cleanup: staged
-/// entries are drained (failed, or carried into a failover), and front
-/// connections with live trips on this backend get typed errors unless a
-/// standby can take over.
-pub(crate) fn backend_reader(idx: u32, mut stream: TcpStream, core: Arc<Core>, max_frame: usize) {
-    while let Ok(Some(resp)) = read_response(&mut stream, max_frame) {
-        core.on_backend_response(idx, resp);
+/// Why a link must leave the mux.
+enum LinkFault {
+    /// Orderly `Close` fully flushed, a peer EOF, a framing fault, or a
+    /// transport error — all terminal for a multiplexed link.
+    Dead,
+}
+
+/// The single backend-side event loop: owns every link's socket, drains
+/// forwarding channels into per-link write buffers, flushes as sockets
+/// accept bytes, and fans reassembled response frames back in through
+/// [`Core::on_backend_response`]. Every link death — orderly close,
+/// channel disconnect, EOF, or a transport/frame error — runs
+/// [`Core::backend_down`] for that link (idempotent; the heavyweight
+/// failover half is guarded by the link's `down_handled` flag), then the
+/// link is deregistered and the loop keeps serving the survivors. The
+/// thread exits once no registered link remains.
+pub(crate) fn backend_mux(
+    mut source: PollSource,
+    links: Vec<MuxLink>,
+    core: Arc<Core>,
+    max_frame: usize,
+) {
+    let mut ios: Vec<LinkIo> = Vec::with_capacity(links.len());
+    for (idx, link) in links.into_iter().enumerate() {
+        let conn = Conn::new(link.stream, max_frame);
+        let interest = Interest { readable: true, writable: false };
+        let open = source.register(idx as u64, conn.io(), interest).is_ok();
+        if !open {
+            Core::backend_down(&core, idx as u32);
+        }
+        ios.push(LinkIo { conn, rx: link.rx, armed: link.armed, interest, open, closing: false });
     }
-    Core::backend_down(&core, idx);
+
+    let mut readiness = Vec::new();
+    let mut frames: Vec<Bytes> = Vec::new();
+    while ios.iter().any(|l| l.open) {
+        if source.wait(&mut readiness).is_err() {
+            break;
+        }
+        for r in readiness.drain(..) {
+            let idx = r.key as usize;
+            if idx >= ios.len() || !ios[idx].open {
+                continue;
+            }
+            if r.writable && pump_link(&mut ios[idx]).is_err() {
+                reap(&mut source, &mut ios[idx], &core, idx);
+                continue;
+            }
+            if r.readable && read_link(&mut ios[idx], &core, idx, &mut frames).is_err() {
+                reap(&mut source, &mut ios[idx], &core, idx);
+            }
+        }
+        // Channel-armed links: producers queued frames since the last
+        // drain (the notify that woke this tick may cover many sends).
+        for (idx, l) in ios.iter_mut().enumerate() {
+            if l.open && l.armed.swap(false, Ordering::AcqRel) && pump_link(l).is_err() {
+                reap(&mut source, l, &core, idx);
+            }
+        }
+        // Reconcile write interest with what is left unflushed.
+        for (idx, l) in ios.iter_mut().enumerate() {
+            if !l.open {
+                continue;
+            }
+            let desired = Interest { readable: !l.closing, writable: l.conn.wants_write() };
+            if desired != l.interest {
+                if source.reregister(idx as u64, l.conn.io(), desired).is_ok() {
+                    l.interest = desired;
+                } else {
+                    reap(&mut source, l, &core, idx);
+                }
+            }
+        }
+    }
+    // Shutdown (or total backend loss): best-effort flush, then make
+    // sure every link has run its down sweep.
+    for (idx, l) in ios.iter_mut().enumerate() {
+        if l.open {
+            let _ = l.conn.flush_writes();
+            reap(&mut source, l, &core, idx);
+        }
+    }
+}
+
+/// Moves frames channel → write buffer → socket for one link. Stops
+/// draining the channel at the write high-water mark (bounded memory;
+/// the channel then backpressures producers) and stops writing when the
+/// socket would block (write readiness resumes it).
+///
+/// # Errors
+/// The link is finished: its `Close` was fully flushed, or the transport
+/// failed.
+fn pump_link(l: &mut LinkIo) -> Result<(), LinkFault> {
+    loop {
+        let mut hit_empty = false;
+        while !l.closing && l.conn.write_backlog() < WRITE_HIGHWATER {
+            match l.rx.try_recv() {
+                Ok(BackendMsg::Forward(req)) => l.conn.queue_bytes(&request_to_bytes(&req)),
+                Ok(BackendMsg::Close) | Err(TryRecvError::Disconnected) => l.closing = true,
+                Err(TryRecvError::Empty) => {
+                    hit_empty = true;
+                    break;
+                }
+            }
+        }
+        let drained = l.conn.flush_writes().map_err(|_| LinkFault::Dead)?;
+        if !drained {
+            // Socket full; the write-interest reconciliation pass keeps
+            // the backlog registered and readiness resumes the flush.
+            return Ok(());
+        }
+        if l.closing {
+            // Everything buffered before the Close is on the wire.
+            return Err(LinkFault::Dead);
+        }
+        if hit_empty {
+            return Ok(());
+        }
+        // The channel drain stopped at the high-water mark but the socket
+        // absorbed the whole backlog: keep going.
+    }
+}
+
+/// Reads whatever the backend socket has (bounded per tick), reassembles
+/// complete frames, and fans each one back in. Frames decoded before a
+/// fault are still dispatched — they are valid replies.
+///
+/// # Errors
+/// EOF, a framing fault, or a transport error: the multiplexed reply
+/// stream cannot be trusted past this point, so the link is dead.
+fn read_link(
+    l: &mut LinkIo,
+    core: &Arc<Core>,
+    idx: usize,
+    frames: &mut Vec<Bytes>,
+) -> Result<(), LinkFault> {
+    frames.clear();
+    let status = l.conn.read_frames(READ_BUDGET, frames);
+    let mut fault = false;
+    for bytes in frames.drain(..) {
+        match response_from_bytes(bytes) {
+            Ok(resp) => core.on_backend_response(idx as u32, resp),
+            Err(_) => fault = true,
+        }
+    }
+    if fault {
+        return Err(LinkFault::Dead);
+    }
+    match status {
+        Ok(ReadStatus::WouldBlock) | Ok(ReadStatus::BudgetSpent) => Ok(()),
+        Ok(ReadStatus::Eof) | Err(_) => Err(LinkFault::Dead),
+    }
+}
+
+/// Removes a finished link from the poller and runs the (idempotent)
+/// backend-down sweep: staged entries are drained — failed, or carried
+/// into a failover — and front connections with live trips on this
+/// backend get typed errors unless a standby can take over.
+fn reap(source: &mut PollSource, l: &mut LinkIo, core: &Arc<Core>, idx: usize) {
+    let _ = source.deregister(idx as u64, l.conn.io());
+    l.open = false;
+    Core::backend_down(core, idx as u32);
 }

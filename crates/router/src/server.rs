@@ -73,7 +73,8 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use tad_metrics::{Counter, Histogram, MetricsSnapshot, Registry};
 use tad_net::{
-    read_request, write_response, ErrorCode, RecvError, Request, Response, DEFAULT_MAX_FRAME,
+    read_request, write_response, ErrorCode, PollSource, RecvError, Request, Response,
+    DEFAULT_MAX_FRAME,
 };
 use tad_serve::{
     delta_from_bytes, image_from_bytes, image_to_bytes, DeltaBase, FleetImage, FleetSnapshot,
@@ -81,7 +82,7 @@ use tad_serve::{
 };
 
 use crate::backend::{
-    backend_reader, backend_writer, BackendMsg, CaptureReply, Pending, PendingEntry,
+    backend_mux, BackendMsg, CaptureReply, LinkSender, MuxLink, Pending, PendingEntry,
 };
 use crate::partition::{backend_for, split_image};
 
@@ -511,8 +512,9 @@ impl Journal {
 pub(crate) struct BackendLink {
     /// False once the connection failed; checked before forwarding.
     alive: AtomicBool,
-    /// Feed of the backend's writer thread.
-    tx: SyncSender<BackendMsg>,
+    /// Feed of the backend mux's per-link forwarding channel (send +
+    /// poller wake).
+    tx: LinkSender,
     /// Requests in flight on this connection that expect trip-less
     /// replies, in wire order.
     pub(crate) pending: Pending,
@@ -2043,53 +2045,48 @@ impl RouterServerBuilder {
         let local_addr = listener.local_addr()?;
 
         let all: Vec<SocketAddr> = backends.into_iter().chain(standbys).collect();
+        let source = PollSource::new()?;
         let mut links = Vec::with_capacity(all.len());
-        let mut backend_threads = Vec::with_capacity(all.len() * 2);
-        let mut halves = Vec::with_capacity(all.len());
+        let mut mux_links = Vec::with_capacity(all.len());
         for (index, &backend_addr) in all.iter().enumerate() {
             let connect = |error| RouterError::BackendConnect { index, error };
             let stream = TcpStream::connect(backend_addr).map_err(connect)?;
             if cfg.nodelay {
                 let _ = stream.set_nodelay(true);
             }
-            let write_half = stream.try_clone().map_err(connect)?;
-            let read_half = stream.try_clone().map_err(connect)?;
+            // The mux drives this socket through readiness, never a
+            // blocking call; the BackendLink keeps a clone purely for
+            // shutdown wake-ups (shutdown reaches the shared socket).
+            stream.set_nonblocking(true).map_err(connect)?;
+            let shutdown_handle = stream.try_clone().map_err(connect)?;
             let (tx, rx) = sync_channel::<BackendMsg>(cfg.backend_queue);
-            halves.push((write_half, read_half, rx));
+            let armed = Arc::new(AtomicBool::new(false));
+            mux_links.push(MuxLink { rx, armed: Arc::clone(&armed), stream });
             links.push(BackendLink {
                 alive: AtomicBool::new(true),
-                tx,
+                tx: LinkSender::new(tx, armed, source.waker()),
                 pending: Pending::default(),
                 stage: RwLock::new(()),
                 journal: Mutex::new(Journal::new(cfg.journal_limit, journaling)),
                 replaying: AtomicBool::new(false),
                 down_handled: AtomicBool::new(false),
-                stream,
+                stream: shutdown_handle,
             });
         }
 
-        // Both pipeline threads get the core: each runs the idempotent
-        // backend-down sweep on exit, so a link failing on either half
-        // always fails (or fails over) staged work instead of leaving it
-        // pending.
+        // One readiness-driven mux thread owns every backend socket: it
+        // drains the forwarding channels, flushes per-link write buffers,
+        // reassembles response frames, and runs the idempotent
+        // backend-down sweep when a link dies — so a failing link always
+        // fails (or fails over) staged work instead of leaving it
+        // pending, while the other links keep flowing.
         let core = Arc::new(Core::new(links, actives, &cfg));
-        for (index, (write_half, read_half, rx)) in halves.into_iter().enumerate() {
-            let writer_core = Arc::clone(&core);
-            backend_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("tad-router-backend-{index}-w"))
-                    .spawn(move || backend_writer(rx, write_half, writer_core, index as u32))
-                    .expect("spawn backend writer"),
-            );
-            let reader_core = Arc::clone(&core);
-            let max = cfg.max_frame_len;
-            backend_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("tad-router-backend-{index}"))
-                    .spawn(move || backend_reader(index as u32, read_half, reader_core, max))
-                    .expect("spawn backend reader"),
-            );
-        }
+        let mux_core = Arc::clone(&core);
+        let max = cfg.max_frame_len;
+        let backend_threads = vec![std::thread::Builder::new()
+            .name("tad-router-backend-mux".to_string())
+            .spawn(move || backend_mux(source, mux_links, mux_core, max))
+            .expect("spawn backend mux")];
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let front_threads = Arc::new(Mutex::new(Vec::new()));

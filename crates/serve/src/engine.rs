@@ -141,6 +141,24 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// What [`FleetEngine::try_submit_cohort`] did with a cohort: how many
+/// events entered shard queues, and the indexes (into the submitted
+/// vector) of events that did not. Bounces are whole shard groups, so
+/// the indexes of one trip's events are either all accepted or all in
+/// [`CohortOutcome::full`] — the per-trip ordering contract of
+/// [`crate::SubmitError::Full`] backpressure, cohort-sized.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CohortOutcome {
+    /// Events accepted into shard queues (stats already bumped).
+    pub accepted: u64,
+    /// Indexes bounced by a full shard queue — explicit backpressure;
+    /// these events never entered the engine and must be re-sent by their
+    /// producers before any later event of the same trips.
+    pub full: Vec<usize>,
+    /// Indexes refused because the engine has shut down.
+    pub closed: Vec<usize>,
+}
+
 /// Builder for [`FleetEngine`].
 pub struct FleetEngineBuilder {
     model: Arc<CausalTad>,
@@ -441,6 +459,52 @@ impl FleetEngine {
             self.metrics.inflight.add(len as i64);
         }
         Ok(())
+    }
+
+    /// Non-blocking bulk enqueue for the network tier's cross-connection
+    /// micro-batches: groups `events` by shard (preserving submission
+    /// order within each shard, and therefore per-trip order) and
+    /// `try_send`s each group as **one** queue message, so a whole poll
+    /// tick's worth of segments reaches a shard as a single cohort and
+    /// scores in wide [`CausalTad::push_batch`] waves.
+    ///
+    /// A full shard bounces its **entire group** — never a prefix — so
+    /// the per-trip ordering contract survives backpressure: either every
+    /// queued event of a trip's cohort slice is accepted in order, or the
+    /// caller gets all of them back (by index) to bounce to their
+    /// producers. Accepted groups on other shards stay accepted;
+    /// per-shard admission is independent, which is safe because trips
+    /// never span shards.
+    ///
+    /// The returned [`CohortOutcome`] carries indexes into the submitted
+    /// slice, so a caller that tracked per-event metadata (owning
+    /// connection, trip id) in a parallel vector can route one typed
+    /// reply per bounced event.
+    pub fn try_submit_cohort(&self, events: Vec<Event>) -> CohortOutcome {
+        let shards = self.senders.len();
+        let mut groups: Vec<(Vec<Event>, Vec<usize>)> = vec![Default::default(); shards];
+        for (idx, ev) in events.into_iter().enumerate() {
+            let shard = self.shard_of(&ev);
+            groups[shard].0.push(ev);
+            groups[shard].1.push(idx);
+        }
+        let mut outcome = CohortOutcome::default();
+        for (shard, (group, indexes)) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let len = group.len() as u64;
+            match self.senders[shard].try_send(Ingest::Many(group)) {
+                Ok(()) => {
+                    FleetStats::add(&self.stats.events_ingested, len);
+                    self.metrics.inflight.add(len as i64);
+                    outcome.accepted += len;
+                }
+                Err(TrySendError::Full(_)) => outcome.full.extend(indexes),
+                Err(TrySendError::Disconnected(_)) => outcome.closed.extend(indexes),
+            }
+        }
+        outcome
     }
 
     /// Number of shard workers.

@@ -87,8 +87,8 @@ mod stats;
 
 pub use delta::{delta_from_bytes, delta_to_bytes, DeltaBase, FleetDelta};
 pub use engine::{
-    CompletionCallback, FleetConfig, FleetEngine, FleetEngineBuilder, ScoreCallback, ServeError,
-    SubmitError,
+    CohortOutcome, CompletionCallback, FleetConfig, FleetEngine, FleetEngineBuilder, ScoreCallback,
+    ServeError, SubmitError,
 };
 pub use event::{Completion, Event, ScoreUpdate, TripId, TripOutcome};
 pub use policy::{GapPolicy, PolicyAction, PolicyCallback, PolicyOutcome, StreamPolicy};

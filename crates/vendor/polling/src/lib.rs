@@ -1,0 +1,593 @@
+//! Offline vendored stand-in for the subset of `polling` this workspace
+//! uses: a readiness-based OS event queue over raw file descriptors.
+//!
+//! The build environment has no crates.io access, so this crate wraps the
+//! kernel interfaces directly with hand-rolled `extern "C"` declarations —
+//! epoll(7) on Linux, poll(2) on other Unixes — with no dependency on
+//! `libc`. Two deliberate divergences from the real `polling` crate, both
+//! matching how this workspace drives it:
+//!
+//! * Registrations are **level-triggered and persistent**, not oneshot:
+//!   once a descriptor is added with an interest set, it keeps reporting
+//!   readiness every [`Poller::wait`] until [`Poller::modify`] or
+//!   [`Poller::delete`] changes that. Callers therefore only touch the
+//!   registration when their interest actually changes (e.g. a connection
+//!   gains or drains a write backlog).
+//! * Error/hangup conditions are folded into readiness: a closed or
+//!   errored descriptor reports as readable (and writable, if write
+//!   interest was registered), so the owner discovers the condition from
+//!   the failing `read`/`write` it performs next. There is no separate
+//!   error event.
+//!
+//! [`Poller::notify`] is a cross-thread waker: it makes a concurrent (or
+//! the next) `wait` return early. Wakes are deduplicated with an atomic
+//! flag so arbitrarily many `notify` calls between two `wait`s cost at
+//! most one syscall.
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// The readiness interest attached to a registration, and the readiness
+/// actually observed for one descriptor in one [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back on every readiness report.
+    /// `usize::MAX` is reserved for the poller's internal waker.
+    pub key: usize,
+    /// Interest in (or observation of) read readiness.
+    pub readable: bool,
+    /// Interest in (or observation of) write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// A registration with no active interest (kept registered, reports
+    /// nothing until modified).
+    pub fn none(key: usize) -> Event {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+/// Reserved key reporting the poller's internal waker; never surfaced to
+/// callers and rejected by [`Poller::add`].
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// A buffer of readiness events filled by [`Poller::wait`].
+#[derive(Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty, reusable event buffer.
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// Iterates the events observed by the most recent `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of events observed by the most recent `wait`.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the most recent `wait` observed no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn push(&mut self, ev: Event) {
+        self.inner.push(ev);
+    }
+}
+
+/// A readiness-based OS event queue. `Send + Sync`: registration changes
+/// and `notify` may race freely with a `wait` on another thread (epoll and
+/// poll both permit this; the fallback backend serialises its bookkeeping
+/// internally).
+pub struct Poller {
+    sys: sys::Backend,
+    /// Dedup flag for `notify`: set when a wake is pending, cleared when a
+    /// `wait` drains the waker.
+    notified: AtomicBool,
+}
+
+impl Poller {
+    /// Creates a new poller with its internal waker already registered.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { sys: sys::Backend::new()?, notified: AtomicBool::new(false) })
+    }
+
+    /// Registers a descriptor under `interest.key`. The registration is
+    /// level-triggered and persists until [`Poller::delete`].
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key reserved for the poller's waker",
+            ));
+        }
+        self.sys.add(source.as_raw_fd(), interest)
+    }
+
+    /// Replaces the interest set of an already-registered descriptor.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key reserved for the poller's waker",
+            ));
+        }
+        self.sys.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Removes a descriptor's registration. Must be called before the
+    /// descriptor is closed.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.sys.delete(source.as_raw_fd())
+    }
+
+    /// Blocks until at least one registered descriptor is ready, a
+    /// [`Poller::notify`] lands, or `timeout` elapses (`None` blocks
+    /// indefinitely). Returns the number of readiness events written into
+    /// `events` (0 on timeout or bare notify). `EINTR` is retried
+    /// internally.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.sys.wait(events, timeout)?;
+        // Clear the dedup flag only after the waker has actually been
+        // drained by the backend, so a notify that raced in stays pending.
+        self.notified.store(false, Ordering::SeqCst);
+        Ok(events.len())
+    }
+
+    /// Wakes a concurrent (or the next) [`Poller::wait`]. Idempotent
+    /// between waits: redundant notifies are absorbed by an atomic flag.
+    pub fn notify(&self) -> io::Result<()> {
+        if self.notified.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.sys.notify()
+    }
+}
+
+/// Millisecond timeout for the kernel call: `None` → block forever (-1),
+/// sub-millisecond non-zero timeouts round up so a short wait never spins.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if ms == 0 && d.as_nanos() > 0 {
+                1
+            } else {
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll(7) backend. The waker is an eventfd(2) registered under
+    //! [`super::NOTIFY_KEY`]; `wait` drains it and filters it out.
+
+    use super::{timeout_ms, Event, Events, NOTIFY_KEY};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    // x86-64 packs epoll_event to match the kernel ABI; other
+    // architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const EINTR: i32 = 4;
+
+    /// Capacity of the on-stack event buffer handed to `epoll_wait`. One
+    /// wait reports at most this many descriptors; level-triggering means
+    /// anything beyond it simply surfaces on the next wait.
+    const WAIT_BATCH: usize = 256;
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask_of(interest: Event) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    pub(super) struct Backend {
+        epfd: RawFd,
+        waker: RawFd,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let waker = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let backend = Backend { epfd, waker };
+            let mut ev = EpollEvent { events: EPOLLIN, data: NOTIFY_KEY as u64 };
+            // On error, Drop closes both fds.
+            cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, waker, &mut ev) })?;
+            Ok(backend)
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask_of(interest), data: interest.key as u64 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(drop)
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask_of(interest), data: interest.key as u64 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(drop)
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) }).map(drop)
+        }
+
+        pub(super) fn wait(
+            &self,
+            events: &mut Events,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; WAIT_BATCH];
+            let n = loop {
+                let ret = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), WAIT_BATCH as i32, timeout_ms(timeout))
+                };
+                if ret >= 0 {
+                    break ret as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() != Some(EINTR) {
+                    return Err(err);
+                }
+            };
+            for ev in &buf[..n] {
+                let (mask, data) = (ev.events, ev.data);
+                if data == NOTIFY_KEY as u64 {
+                    let mut scratch = [0u8; 8];
+                    unsafe { read(self.waker, scratch.as_mut_ptr(), 8) };
+                    continue;
+                }
+                let faulted = mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.push(Event {
+                    key: data as usize,
+                    readable: mask & EPOLLIN != 0 || faulted,
+                    writable: mask & EPOLLOUT != 0 || faulted,
+                });
+            }
+            Ok(())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let one = 1u64.to_ne_bytes();
+            // A full eventfd counter still wakes the waiter; ignore EAGAIN.
+            unsafe { write(self.waker, one.as_ptr(), 8) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.waker);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! poll(2) fallback for non-Linux Unixes: registrations live in a
+    //! mutex-guarded map and each `wait` rebuilds the pollfd array. The
+    //! waker is the read half of a nonblocking socket pair.
+
+    use super::{timeout_ms, Event, Events};
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const EINTR: i32 = 4;
+
+    pub(super) struct Backend {
+        registered: Mutex<HashMap<RawFd, Event>>,
+        wake_rx: Mutex<UnixStream>,
+        wake_tx: Mutex<UnixStream>,
+        wake_fd: RawFd,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            let wake_fd = rx.as_raw_fd();
+            Ok(Backend {
+                registered: Mutex::new(HashMap::new()),
+                wake_rx: Mutex::new(rx),
+                wake_tx: Mutex::new(tx),
+                wake_fd,
+            })
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut map = self.registered.lock().expect("poll registrations");
+            if map.insert(fd, interest).is_some() {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+            }
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut map = self.registered.lock().expect("poll registrations");
+            match map.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut map = self.registered.lock().expect("poll registrations");
+            match map.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            events: &mut Events,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds = vec![PollFd { fd: self.wake_fd, events: POLLIN, revents: 0 }];
+            let mut keys = vec![Event::none(0)];
+            {
+                let map = self.registered.lock().expect("poll registrations");
+                for (&fd, &interest) in map.iter() {
+                    let mut mask = 0i16;
+                    if interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    fds.push(PollFd { fd, events: mask, revents: 0 });
+                    keys.push(interest);
+                }
+            }
+            loop {
+                let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+                if ret >= 0 {
+                    break;
+                }
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() != Some(EINTR) {
+                    return Err(err);
+                }
+            }
+            if fds[0].revents & POLLIN != 0 {
+                let mut scratch = [0u8; 64];
+                let mut rx = self.wake_rx.lock().expect("waker");
+                while matches!(rx.read(&mut scratch), Ok(n) if n > 0) {}
+            }
+            for (pfd, interest) in fds.iter().zip(keys.iter()).skip(1) {
+                let faulted = pfd.revents & (POLLERR | POLLHUP) != 0;
+                let readable = pfd.revents & POLLIN != 0 || faulted;
+                let writable = (pfd.revents & POLLOUT != 0 && interest.writable)
+                    || (faulted && interest.writable);
+                if readable || writable {
+                    events.push(Event { key: interest.key, readable, writable });
+                }
+            }
+            Ok(())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let _ = self.wake_tx.lock().expect("waker").write(&[1u8]);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn data_makes_socket_readable() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+        a.write_all(b"hi").unwrap();
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev: Vec<Event> = events.iter().collect();
+        assert!(ev.iter().any(|e| e.key == 7 && e.readable), "expected readable key 7, got {ev:?}");
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn level_triggered_until_drained() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::readable(1)).unwrap();
+        a.write_all(b"xyz").unwrap();
+        let mut events = Events::new();
+        // Reported repeatedly while data remains.
+        for _ in 0..3 {
+            poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert!(events.iter().any(|e| e.key == 1 && e.readable));
+        }
+        let mut buf = [0u8; 16];
+        assert_eq!(b.read(&mut buf).unwrap(), 3);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_wait_from_another_thread() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(n, 0, "a bare notify carries no descriptor events");
+        assert!(start.elapsed() < Duration::from_secs(10));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn notify_dedups_but_never_loses_a_wake() {
+        let poller = Poller::new().unwrap();
+        for _ in 0..100 {
+            poller.notify().unwrap();
+        }
+        let mut events = Events::new();
+        // One wait absorbs the whole burst...
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        // ...and the next one times out instead of spinning on a stale wake.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        // A notify after the drain still wakes.
+        poller.notify().unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+    }
+
+    #[test]
+    fn modify_and_delete_change_what_is_reported() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::none(3)).unwrap();
+        a.write_all(b"ping").unwrap();
+        let mut events = Events::new();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        poller.modify(&b, Event::readable(3)).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.readable));
+        poller.delete(&b).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_interest_reports_writable() {
+        let poller = Poller::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::all(9)).unwrap();
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 9 && e.writable));
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let poller = Poller::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        assert!(poller.add(&b, Event::readable(NOTIFY_KEY)).is_err());
+    }
+}

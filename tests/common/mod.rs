@@ -4,6 +4,8 @@
 //! in-process reference engine, and the bit-identity assertion both
 //! batteries measure against.
 
+pub mod script;
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 

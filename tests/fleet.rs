@@ -108,6 +108,111 @@ fn umbrella_fleet_matches_sequential_and_rejects_bad_requests() {
     }
 }
 
+/// The trip an event belongs to.
+fn trip_of(ev: &Event) -> u64 {
+    match *ev {
+        Event::TripStart { id, .. } | Event::Segment { id, .. } | Event::TripEnd { id } => id,
+    }
+}
+
+/// The cohort-submission contract behind the network tier's
+/// cross-connection micro-batching: `try_submit_cohort` scores an
+/// interleaved stream **bit-identically** to per-event `submit`, and when
+/// a shard queue is saturated it bounces whole shard groups by index —
+/// never a prefix — so each trip's events in a cohort are either all
+/// accepted in order or all returned to the caller. Bounced events are
+/// resubmitted (in their original relative order) until accepted, and the
+/// end-to-end result must still match to the bit.
+#[test]
+fn cohort_submission_matches_per_event_ingest_and_bounces_whole_groups() {
+    use causaltad_suite::serve::ScoreUpdate;
+
+    let (city, model) = trained();
+    let model = Arc::clone(model);
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(8).collect();
+    let events = interleave(&trips);
+
+    type Bits = Arc<Mutex<(HashMap<(u64, u32), u64>, HashMap<u64, (u64, usize)>)>>;
+    let engine_with = |cfg: FleetConfig, sink: &Bits| {
+        let scores = Arc::clone(sink);
+        let finals = Arc::clone(sink);
+        FleetEngine::builder(Arc::clone(&model))
+            .config(cfg)
+            .on_score(move |u: &ScoreUpdate| {
+                scores.lock().unwrap().0.insert((u.id, u.seq), u.score.to_bits());
+            })
+            .on_complete(move |o| {
+                if o.completion == Completion::Ended {
+                    finals.lock().unwrap().1.insert(o.id, (o.score.to_bits(), o.segments));
+                }
+            })
+            .build()
+            .expect("trained model")
+    };
+
+    let reference: Bits = Arc::default();
+    let engine = engine_with(FleetConfig { num_shards: 2, ..FleetConfig::default() }, &reference);
+    for &ev in &events {
+        engine.submit(ev).unwrap();
+    }
+    engine.shutdown();
+
+    // Capacity-1 shard queues: back-to-back cohorts saturate them while
+    // the workers are mid-batch, forcing real `full` bounces.
+    let cohorted: Bits = Arc::default();
+    let cfg =
+        FleetConfig { num_shards: 2, queue_capacity: 1, max_batch: 8, ..FleetConfig::default() };
+    let engine = engine_with(cfg, &cohorted);
+    let mut feed = events.iter().copied();
+    let mut carry: Vec<Event> = Vec::new();
+    let mut bounced_cohorts = 0u64;
+    let mut spins = 0u64;
+    loop {
+        let mut cohort = carry;
+        carry = Vec::new();
+        while cohort.len() < 7 {
+            let Some(ev) = feed.next() else { break };
+            cohort.push(ev);
+        }
+        if cohort.is_empty() {
+            break;
+        }
+        let outcome = engine.try_submit_cohort(cohort.clone());
+        assert!(outcome.closed.is_empty(), "live engine reported closed shards");
+        let full: std::collections::HashSet<usize> = outcome.full.iter().copied().collect();
+        assert_eq!(outcome.accepted as usize + full.len(), cohort.len(), "events went missing");
+        // The whole-group contract, observed through trip routing: a trip
+        // never splits between accepted and bounced within one cohort.
+        for (i, a) in cohort.iter().enumerate() {
+            for (j, b) in cohort.iter().enumerate() {
+                if trip_of(a) == trip_of(b) {
+                    assert_eq!(
+                        full.contains(&i),
+                        full.contains(&j),
+                        "trip {} split across a bounce",
+                        trip_of(a)
+                    );
+                }
+            }
+        }
+        if !full.is_empty() {
+            bounced_cohorts += 1;
+            let mut indexes = outcome.full;
+            indexes.sort_unstable(); // original relative order
+            carry = indexes.into_iter().map(|i| cohort[i]).collect();
+            spins += 1;
+            assert!(spins < 10_000_000, "bounced cohort never drained");
+        }
+    }
+    engine.shutdown();
+    assert!(bounced_cohorts > 0, "capacity-1 queues never bounced a cohort");
+
+    let reference = reference.lock().unwrap();
+    let cohorted = cohorted.lock().unwrap();
+    assert_eq!(cohorted.0, reference.0, "per-segment score bits diverged");
+    assert_eq!(cohorted.1, reference.1, "final score bits diverged");
+}
+
 /// The warm-restart acceptance test: stream interleaved trips into an
 /// engine, capture a fleet snapshot mid-flight, kill the engine, restore
 /// the snapshot **through its serialized bytes** into a fresh engine with

@@ -682,3 +682,355 @@ fn client_reconnects_through_an_outage_and_scores_stay_bit_identical() {
     proxy.join().expect("proxy thread");
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Deterministic event-loop batteries: the production `EventLoop` driven by
+// the scripted readiness harness (`tests/common/script.rs`) — exact partial
+// reads, short writes, pause/resume schedules that real sockets cannot be
+// made to produce on demand — plus the 256-connection loopback sweep.
+// ---------------------------------------------------------------------------
+
+use causaltad_suite::net::{
+    request_to_bytes, response_from_bytes, EventLoop, FrameAssembler, IngestCore, NetConfig,
+    Request, DEFAULT_MAX_FRAME,
+};
+use common::script::{scripted_conn, ScriptedSource, Tick};
+
+/// The wire request a fleet event becomes.
+fn event_request(ev: &Event) -> Request {
+    match *ev {
+        Event::TripStart { id, source, dest, time_slot } => {
+            Request::TripStart { id, source, dest, time_slot }
+        }
+        Event::Segment { id, seg } => Request::Segment { id, seg },
+        Event::TripEnd { id } => Request::TripEnd { id },
+    }
+}
+
+/// One encoded request frame.
+fn frame_bytes(ev: &Event) -> Vec<u8> {
+    request_to_bytes(&event_request(ev)).to_vec()
+}
+
+/// Splits a scripted connection's written bytes back into decoded
+/// response frames, refusing trailing garbage or partial frames.
+fn parse_written(bytes: &[u8]) -> Vec<Response> {
+    let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+    asm.feed(bytes);
+    let mut out = Vec::new();
+    while let Some(frame) = asm.next_frame().expect("written stream frames cleanly") {
+        out.push(response_from_bytes(frame).expect("written frame decodes"));
+    }
+    assert!(!asm.has_partial(), "trailing partial frame in written stream");
+    out
+}
+
+/// Sorts decoded responses into the bit-level `Produced` record, counting
+/// `Stats` barriers and typed errors along the way.
+fn sort_responses(responses: Vec<Response>) -> (Produced, usize, Vec<(ErrorCode, Option<u64>)>) {
+    let mut produced = Produced::default();
+    let mut stats = 0usize;
+    let mut errors = Vec::new();
+    for resp in responses {
+        match resp {
+            Response::Score(u) => {
+                produced.scores.insert((u.id, u.seq), u.score.to_bits());
+            }
+            Response::TripComplete(tc) => {
+                if tc.completion == Completion::Ended {
+                    produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
+                }
+            }
+            Response::Stats(_) => stats += 1,
+            Response::Error { code, trip, .. } => errors.push((code, trip)),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    (produced, stats, errors)
+}
+
+/// The tentpole property, proven deterministically: two connections whose
+/// frames arrive split at awkward byte boundaries across a scripted
+/// readiness schedule (every tick completes one frame per connection and
+/// leaves a partial frame buffered) coalesce into **cross-connection
+/// cohorts** — observable in the `net.cohort_conns` histogram — and the
+/// scores written back are bit-identical to in-process ingest, with no
+/// cross-connection delivery.
+#[test]
+fn scripted_event_loop_coalesces_cross_connection_cohorts_bit_identically() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(2).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &events, cfg.clone());
+
+    let conn_frames: Vec<Vec<Vec<u8>>> = (0..2u64)
+        .map(|c| events.iter().filter(|ev| trip_of(ev) == c).map(frame_bytes).collect())
+        .collect();
+    let streams: Vec<Vec<u8>> = conn_frames.iter().map(|f| f.concat()).collect();
+    // Tick boundaries sit 5 bytes past each frame boundary: every tick
+    // completes exactly one frame per connection and buffers 5 bytes of
+    // the next — partial-frame reassembly on every single tick.
+    let bounds: Vec<Vec<usize>> = conn_frames
+        .iter()
+        .map(|frames| {
+            let total: usize = frames.iter().map(Vec::len).sum();
+            let mut cum = 0usize;
+            frames
+                .iter()
+                .map(|f| {
+                    cum += f.len();
+                    (cum + 5).min(total)
+                })
+                .collect()
+        })
+        .collect();
+
+    let (io0, h0) = scripted_conn();
+    let (io1, h1) = scripted_conn();
+    let handles = [h0, h1];
+
+    let mut ticks = vec![Tick::new().inject(io0).inject(io1)];
+    let mut pos = [0usize; 2];
+    let max_ticks = bounds.iter().map(Vec::len).max().unwrap();
+    for t in 0..max_ticks {
+        let mut tick = Tick::new();
+        for c in 0..2 {
+            if let Some(&end) = bounds[c].get(t) {
+                if end > pos[c] {
+                    handles[c].push_read(&streams[c][pos[c]..end]);
+                    pos[c] = end;
+                    tick = tick.readable(c as u64);
+                }
+            }
+        }
+        ticks.push(tick);
+    }
+    // Flush barrier on both connections in one final tick: the `Stats`
+    // reply is queued only after every delivery above it, and the tick's
+    // dirty-drain writes everything to the scripted transports.
+    let flush = request_to_bytes(&Request::Flush);
+    handles[0].push_read(&flush);
+    handles[1].push_read(&flush);
+    ticks.push(Tick::new().readable(0).readable(1));
+
+    let core = IngestCore::build(Arc::clone(model), cfg, NetConfig::default()).expect("core");
+    let source = ScriptedSource::new(ticks);
+    let log = source.log_handle();
+    EventLoop::new(Arc::clone(&core), source).run();
+
+    let mut union = Produced::default();
+    let mut total_frames_in = 0u64;
+    for (c, handle) in handles.iter().enumerate() {
+        let (produced, stats, errors) = sort_responses(parse_written(&handle.take_written()));
+        assert!(errors.is_empty(), "conn {c} got errors: {errors:?}");
+        assert_eq!(stats, 1, "conn {c} flush barriers");
+        for key in produced.scores.keys() {
+            assert_eq!(key.0, c as u64, "score cross-delivered to conn {c}");
+        }
+        for id in produced.finals.keys() {
+            assert_eq!(*id, c as u64, "completion cross-delivered to conn {c}");
+        }
+        union.scores.extend(produced.scores);
+        union.finals.extend(produced.finals);
+        total_frames_in += conn_frames[c].len() as u64 + 1;
+    }
+    assert_bit_identical(&union, &reference);
+
+    // The prize: ticks where both connections contributed events were
+    // submitted as one cohort spanning 2 connections.
+    let snapshot = core.metrics();
+    let cohort_conns = snapshot.histogram("net.cohort_conns").expect("recorded");
+    assert_eq!(cohort_conns.max, 2, "no cross-connection cohort was ever formed");
+    let cohort_width = snapshot.histogram("net.cohort_width").expect("recorded");
+    assert!(cohort_width.max >= 2, "no multi-event cohort was ever formed");
+
+    let ns = core.net_stats();
+    assert_eq!(ns.frames_in, total_frames_in);
+    assert_eq!(ns.responses_dropped, 0);
+    assert_eq!(ns.malformed_frames, 0);
+    assert_eq!(ns.backpressure_replies, 0);
+    assert_eq!(ns.slow_consumer_pauses, 0);
+    // Neither connection was ever read-paused.
+    assert!(
+        log.lock().unwrap().iter().all(|(_, i)| i.readable),
+        "a healthy connection lost read interest"
+    );
+    IngestCore::finish(core);
+}
+
+/// The slow-consumer regression battery, proven deterministically: a
+/// stalled reader (zero-byte write window) crosses the write high-water
+/// mark, gets its reads paused (observable as an interest transition) and
+/// exactly one typed `Backpressure` notice, holds only bounded
+/// writer-queue memory (excess responses are counted dropped, not
+/// buffered) — while a healthy connection flowing through the same loop
+/// is never stalled and stays bit-identical. When the reader drains, the
+/// backlog flushes and reads resume.
+#[test]
+fn scripted_slow_consumer_pauses_bounded_and_resumes_while_healthy_conn_flows() {
+    let (city, model) = trained();
+    let trips: Vec<&Trajectory> = city.data.test_id.iter().take(9).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &events, cfg.clone());
+
+    // Sized so the stalled firehose (8 trips, ≥48 score frames in one
+    // burst) overflows both the 32-entry response queue and the 256-byte
+    // write high-water, while the healthy connection's single-trip burst
+    // fits the queue comfortably.
+    let net = NetConfig { response_queue: 32, write_highwater: 256, ..NetConfig::default() };
+    const STALLED_TRIPS: u64 = 8;
+    let healthy_trip: u64 = STALLED_TRIPS;
+
+    let (io0, h0) = scripted_conn();
+    let (io1, h1) = scripted_conn();
+    h0.set_write_window(0); // the stalled reader: accepts nothing
+
+    let flush = request_to_bytes(&Request::Flush);
+    let mut s0 = Vec::new();
+    for ev in events.iter().filter(|ev| trip_of(ev) < STALLED_TRIPS) {
+        s0.extend_from_slice(&frame_bytes(ev));
+    }
+    s0.extend_from_slice(&flush);
+    h0.push_read(&s0);
+    let mut s1 = Vec::new();
+    for ev in events.iter().filter(|ev| trip_of(ev) == healthy_trip) {
+        s1.extend_from_slice(&frame_bytes(ev));
+    }
+    s1.extend_from_slice(&flush);
+    h1.push_read(&s1);
+
+    let h0_widen = h0.clone();
+    let ticks = vec![
+        Tick::new().inject(io0).inject(io1),
+        // Firehose all eight trips; the flush barrier queues every
+        // response, the stalled transport accepts none, and the sweep
+        // pauses reads.
+        Tick::new().readable(0),
+        // The healthy connection does a full trip + barrier while conn 0
+        // sits paused.
+        Tick::new().readable(1),
+        // The slow reader finally drains: backlog flushes, reads resume.
+        Tick::new().act(move || h0_widen.set_write_window(usize::MAX)).writable(0),
+        Tick::new(),
+    ];
+
+    let core = IngestCore::build(Arc::clone(model), cfg, net).expect("core");
+    let source = ScriptedSource::new(ticks);
+    let log = source.log_handle();
+    EventLoop::new(Arc::clone(&core), source).run();
+
+    // The stalled connection: bounded memory, typed notice, and exactly
+    // the bounded queue's worth of responses kept (bit-identical ones).
+    let written0 = h0.take_written();
+    assert!(written0.len() <= 4096, "writer memory unbounded: {} bytes", written0.len());
+    let (got0, stats0, errors0) = sort_responses(parse_written(&written0));
+    assert_eq!(stats0, 1, "the flush barrier reply still arrives");
+    assert_eq!(
+        errors0,
+        vec![(ErrorCode::Backpressure, None)],
+        "exactly one typed slow-consumer notice"
+    );
+    assert_eq!(
+        got0.scores.len() + got0.finals.len(),
+        32,
+        "exactly the bounded queue's responses survive"
+    );
+    for (key, bits) in &got0.scores {
+        assert!(key.0 < STALLED_TRIPS, "cross-delivered score at {key:?}");
+        assert_eq!(reference.scores.get(key), Some(bits), "kept score bits at {key:?}");
+    }
+    for (id, fin) in &got0.finals {
+        assert_eq!(reference.finals.get(id), Some(fin), "kept final bits for trip {id}");
+    }
+
+    // The healthy connection: complete and bit-identical throughout.
+    let (got1, stats1, errors1) = sort_responses(parse_written(&h1.take_written()));
+    assert_eq!(stats1, 1);
+    assert!(errors1.is_empty(), "healthy conn got errors: {errors1:?}");
+    let healthy_scores = reference.scores.iter().filter(|((id, _), _)| *id == healthy_trip).count();
+    assert_eq!(got1.scores.len(), healthy_scores, "healthy conn missed responses");
+    for (key, bits) in &got1.scores {
+        assert_eq!(reference.scores.get(key), Some(bits), "score bits at {key:?}");
+    }
+    assert_eq!(got1.finals.get(&healthy_trip), reference.finals.get(&healthy_trip), "final");
+
+    let ns = core.net_stats();
+    assert_eq!(ns.slow_consumer_pauses, 1, "exactly one pause episode");
+    assert!(ns.responses_dropped > 0, "excess responses must be dropped, not buffered");
+
+    // Interest transitions: pause (readable off, write backlog on), then
+    // resume (readable back on, backlog gone).
+    let log = log.lock().unwrap();
+    let pause = log
+        .iter()
+        .position(|&(k, i)| k == 0 && !i.readable && i.writable)
+        .expect("pause transition logged");
+    assert!(
+        log[pause..].iter().any(|&(k, i)| k == 0 && i.readable && !i.writable),
+        "resume transition must follow the pause"
+    );
+    drop(log);
+    IngestCore::finish(core);
+}
+
+/// The connection-scaling equivalence sweep on real sockets: 256
+/// concurrent loopback connections, each owning one live trip, with
+/// events interleaved round-robin across all of them — scores come back
+/// bit-identical to in-process ingest, nothing is cross-delivered, and
+/// nothing is dropped.
+#[test]
+fn loopback_256_connections_score_bit_identically_with_no_cross_delivery() {
+    use std::time::Duration;
+
+    let (city, model) = trained();
+    let base: Vec<&Trajectory> = city.data.test_id.iter().collect();
+    const CONNS: usize = 256;
+    // 256 live trips: trip id c rides connection c (trajectories reused
+    // cyclically; the engine keys routing and state on the id).
+    let trips: Vec<&Trajectory> = (0..CONNS).map(|c| base[c % base.len()]).collect();
+    let events = interleave(&trips);
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &events, cfg.clone());
+    assert_eq!(reference.finals.len(), CONNS);
+
+    let server =
+        NetServer::builder(Arc::clone(model)).fleet_config(cfg).bind("127.0.0.1:0").expect("bind");
+    let mut clients: Vec<Client> = (0..CONNS)
+        .map(|_| {
+            Client::connect(server.local_addr())
+                .expect("connect")
+                .with_write_timeout(Some(Duration::from_secs(30)))
+                .expect("write timeout")
+        })
+        .collect();
+    for ev in &events {
+        send_events(&mut clients[trip_of(ev) as usize], std::slice::from_ref(ev));
+    }
+    for client in &mut clients {
+        client.flush().expect("barrier");
+    }
+
+    let mut union = Produced::default();
+    for (c, client) in clients.iter_mut().enumerate() {
+        let mut got = Produced::default();
+        drain(client, &mut got);
+        for key in got.scores.keys() {
+            assert_eq!(key.0, c as u64, "score cross-delivered to connection {c}");
+        }
+        for id in got.finals.keys() {
+            assert_eq!(*id, c as u64, "completion cross-delivered to connection {c}");
+        }
+        union.scores.extend(got.scores);
+        union.finals.extend(got.finals);
+    }
+    assert_bit_identical(&union, &reference);
+
+    let ns = server.net_stats();
+    assert_eq!(ns.connections_accepted, CONNS as u64);
+    assert_eq!(ns.responses_dropped, 0);
+    assert_eq!(ns.malformed_frames, 0);
+    assert_eq!(ns.slow_consumer_pauses, 0);
+    server.shutdown();
+}

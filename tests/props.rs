@@ -12,8 +12,9 @@ use causaltad_suite::metrics::{
     snapshot_from_bytes, snapshot_to_bytes, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
 use causaltad_suite::net::{
-    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, Client,
-    ErrorCode, FrameError, NetServer, Request, Response, TripComplete,
+    request_from_bytes, request_to_bytes, response_from_bytes, response_to_bytes, Client, Conn,
+    ErrorCode, FrameError, NetServer, ReadStatus, Request, Response, TripComplete,
+    DEFAULT_MAX_FRAME, FRAME_MAGIC,
 };
 use causaltad_suite::router::{backend_for, split_image, RouterServer};
 use causaltad_suite::serve::{
@@ -21,6 +22,7 @@ use causaltad_suite::serve::{
     Event, FleetConfig, FleetDelta, FleetImage, FleetSnapshot, GapPolicy, PolicyAction,
     ScoreUpdate, SessionRecord, SnapshotCodecError, StreamPolicy,
 };
+use common::script::scripted_conn;
 use common::{
     assert_bit_identical, drain, in_process, interleave, send_events, trained, trip_of, Produced,
 };
@@ -849,6 +851,188 @@ proptest! {
         router.shutdown();
         for backend in backends {
             backend.shutdown();
+        }
+    }
+
+    /// The nonblocking read path reassembles frames bit-identically under
+    /// *any* fragmentation: one arbitrary frame split at **every** byte
+    /// boundary, and arbitrary multi-frame streams chopped into random
+    /// chunks with a `WouldBlock` between each — driven through the same
+    /// [`Conn`] state machine the production event loop uses, under
+    /// random per-call read budgets.
+    #[test]
+    fn nonblocking_partial_reads_reassemble_frames_bit_identically(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Exhaustive: one frame, split at every single byte boundary.
+        let single = request_to_bytes(&arb_request(&mut rng)).to_vec();
+        for cut in 1..single.len() {
+            let (io, h) = scripted_conn();
+            h.push_read(&single[..cut]);
+            h.push_read(&single[cut..]);
+            h.eof();
+            let mut conn = Conn::new(io, DEFAULT_MAX_FRAME);
+            let mut out = Vec::new();
+            loop {
+                match conn.read_frames(usize::MAX, &mut out) {
+                    Ok(ReadStatus::Eof) => break,
+                    Ok(_) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("cut {cut}: {e}"))),
+                }
+            }
+            prop_assert_eq!(out.len(), 1);
+            prop_assert_eq!(out[0].to_vec(), single.clone());
+        }
+
+        // Randomized: a multi-frame stream in arbitrary small chunks.
+        let reqs: Vec<Request> =
+            (0..rng.gen_range(1usize..10)).map(|_| arb_request(&mut rng)).collect();
+        let frames: Vec<Vec<u8>> = reqs.iter().map(|r| request_to_bytes(r).to_vec()).collect();
+        let stream: Vec<u8> = frames.concat();
+        let (io, h) = scripted_conn();
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            let len = rng.gen_range(1usize..=(stream.len() - pos).min(31));
+            h.push_read(&stream[pos..pos + len]);
+            pos += len;
+        }
+        h.eof();
+        let mut conn = Conn::new(io, DEFAULT_MAX_FRAME);
+        let mut out = Vec::new();
+        let mut spins = 0u32;
+        loop {
+            match conn.read_frames(rng.gen_range(1usize..4096), &mut out) {
+                Ok(ReadStatus::Eof) => break,
+                Ok(_) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("reassembly: {e}"))),
+            }
+            spins += 1;
+            prop_assert!(spins < 100_000, "read loop did not terminate");
+        }
+        prop_assert_eq!(out.len(), frames.len());
+        for (got, want) in out.iter().zip(&frames) {
+            prop_assert_eq!(&got.to_vec(), want);
+        }
+        for (got, want) in out.iter().zip(&reqs) {
+            prop_assert_eq!(&request_from_bytes(got.clone()).unwrap(), want);
+        }
+    }
+
+    /// The nonblocking write path drains bit-identically under *any*
+    /// short-write pattern: frames queued in random slices against a
+    /// blocked transport, then flushed under random per-call caps and
+    /// random window replenishments — the bytes on the wire are exactly
+    /// the queued stream, and the backlog never survives a full drain.
+    #[test]
+    fn short_writes_drain_queued_frames_bit_identically(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let resps: Vec<Response> =
+            (0..rng.gen_range(1usize..10)).map(|_| arb_response(&mut rng)).collect();
+        let stream: Vec<u8> =
+            resps.iter().flat_map(|r| response_to_bytes(r).to_vec()).collect();
+
+        let (io, h) = scripted_conn();
+        h.set_write_window(0); // peer socket full: nothing drains yet
+        let mut conn = Conn::new(io, DEFAULT_MAX_FRAME);
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            let len = rng.gen_range(1usize..=(stream.len() - pos).min(101));
+            conn.queue_bytes(&stream[pos..pos + len]);
+            pos += len;
+            if rng.gen_bool(0.3) {
+                prop_assert!(!conn.flush_writes().expect("write"), "drained through a 0 window");
+            }
+        }
+        prop_assert_eq!(conn.write_backlog(), stream.len());
+        prop_assert!(conn.wants_write());
+
+        let mut spins = 0u32;
+        loop {
+            h.set_write_cap(rng.gen_range(1usize..64));
+            h.set_write_window(rng.gen_range(1usize..64));
+            if conn.flush_writes().expect("write") {
+                break;
+            }
+            spins += 1;
+            prop_assert!(spins < 100_000, "write loop did not terminate");
+        }
+        prop_assert!(!conn.wants_write());
+        prop_assert_eq!(conn.write_backlog(), 0);
+        prop_assert_eq!(h.take_written(), stream);
+    }
+
+    /// Hostile read interleavings — raw garbage spliced after valid
+    /// frames, a bit flipped anywhere in a frame, or a frame truncated
+    /// mid-body with a fresh frame behind it — never panic the read
+    /// path: every frame before the corruption is delivered bit-exact,
+    /// and the corruption itself surfaces as a typed error at one of the
+    /// two validation layers (a framing `RecvError` from the assembler,
+    /// or a checksum/decode `FrameError` on the emitted frame).
+    #[test]
+    fn hostile_read_interleavings_are_typed_errors_never_panics(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clean: Vec<Vec<u8>> = (0..rng.gen_range(0usize..4))
+            .map(|_| request_to_bytes(&arb_request(&mut rng)).to_vec())
+            .collect();
+        let mut stream: Vec<u8> = clean.concat();
+        match rng.gen_range(0u8..3) {
+            0 => {
+                // Raw garbage splice (first byte pinned off the magic so
+                // detection is deterministic).
+                let mut garbage: Vec<u8> =
+                    (0..rng.gen_range(1usize..64)).map(|_| rng.gen_range(0u8..=255)).collect();
+                if garbage[0] == FRAME_MAGIC[0] {
+                    garbage[0] ^= 0xFF;
+                }
+                stream.extend_from_slice(&garbage);
+            }
+            1 => {
+                // One bit flipped anywhere in an otherwise valid frame.
+                let mut f = request_to_bytes(&arb_request(&mut rng)).to_vec();
+                let byte = rng.gen_range(0usize..f.len());
+                f[byte] ^= 1 << rng.gen_range(0u32..8);
+                stream.extend_from_slice(&f);
+            }
+            _ => {
+                // Framing lost: a frame truncated mid-body, then a fresh
+                // valid frame whose bytes land inside the torn envelope.
+                let f = request_to_bytes(&arb_request(&mut rng)).to_vec();
+                let cut = rng.gen_range(1usize..f.len());
+                stream.extend_from_slice(&f[..cut]);
+                stream.extend_from_slice(&request_to_bytes(&arb_request(&mut rng)));
+            }
+        }
+
+        let (io, h) = scripted_conn();
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            let len = rng.gen_range(1usize..=(stream.len() - pos).min(31));
+            h.push_read(&stream[pos..pos + len]);
+            pos += len;
+        }
+        h.eof();
+        let mut conn = Conn::new(io, DEFAULT_MAX_FRAME);
+        let mut out = Vec::new();
+        let mut failure = None;
+        let mut spins = 0u32;
+        loop {
+            match conn.read_frames(rng.gen_range(1usize..4096), &mut out) {
+                Ok(ReadStatus::Eof) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            spins += 1;
+            prop_assert!(spins < 100_000, "read loop did not terminate");
+        }
+        let tail_hostile = out.len() > clean.len()
+            && request_from_bytes(out[clean.len()].clone()).is_err();
+        prop_assert!(failure.is_some() || tail_hostile, "hostile stream was accepted cleanly");
+        prop_assert!(out.len() >= clean.len(), "a clean-prefix frame was lost");
+        for (got, want) in out.iter().zip(&clean) {
+            prop_assert_eq!(&got.to_vec(), want);
         }
     }
 
