@@ -174,7 +174,11 @@ impl Pending {
 /// Mux-side state for one backend link.
 struct LinkIo {
     conn: Conn<TcpStream>,
-    rx: Receiver<BackendMsg>,
+    /// Receiving half of the forwarding channel; dropped (taken) the
+    /// moment the link dies, so producers blocked in [`LinkSender::send`]
+    /// on a full channel — and all future senders — get `SendError`
+    /// immediately instead of waiting on a receiver nobody drains.
+    rx: Option<Receiver<BackendMsg>>,
     armed: Arc<AtomicBool>,
     interest: Interest,
     /// Still registered with the poller.
@@ -211,10 +215,14 @@ pub(crate) fn backend_mux(
         let conn = Conn::new(link.stream, max_frame);
         let interest = Interest { readable: true, writable: false };
         let open = source.register(idx as u64, conn.io(), interest).is_ok();
+        // A link that never registers is dead on arrival: drop its
+        // receiver too, so senders fail fast instead of filling the
+        // channel and blocking forever.
+        let rx = open.then_some(link.rx);
         if !open {
             Core::backend_down(&core, idx as u32);
         }
-        ios.push(LinkIo { conn, rx: link.rx, armed: link.armed, interest, open, closing: false });
+        ios.push(LinkIo { conn, rx, armed: link.armed, interest, open, closing: false });
     }
 
     let mut readiness = Vec::new();
@@ -280,7 +288,7 @@ fn pump_link(l: &mut LinkIo) -> Result<(), LinkFault> {
     loop {
         let mut hit_empty = false;
         while !l.closing && l.conn.write_backlog() < WRITE_HIGHWATER {
-            match l.rx.try_recv() {
+            match l.rx.as_ref().map_or(Err(TryRecvError::Disconnected), Receiver::try_recv) {
                 Ok(BackendMsg::Forward(req)) => l.conn.queue_bytes(&request_to_bytes(&req)),
                 Ok(BackendMsg::Close) | Err(TryRecvError::Disconnected) => l.closing = true,
                 Err(TryRecvError::Empty) => {
@@ -309,7 +317,11 @@ fn pump_link(l: &mut LinkIo) -> Result<(), LinkFault> {
 
 /// Reads whatever the backend socket has (bounded per tick), reassembles
 /// complete frames, and fans each one back in. Frames decoded before a
-/// fault are still dispatched — they are valid replies.
+/// fault are still dispatched — they are valid replies. At the first
+/// undecodable response the dispatch stops: a lost reply would misalign
+/// the per-link pending FIFO, so frames past the corruption point must
+/// not be matched against pending entries — the link dies and the down
+/// sweep fails every staged entry instead.
 ///
 /// # Errors
 /// EOF, a framing fault, or a transport error: the multiplexed reply
@@ -326,7 +338,10 @@ fn read_link(
     for bytes in frames.drain(..) {
         match response_from_bytes(bytes) {
             Ok(resp) => core.on_backend_response(idx as u32, resp),
-            Err(_) => fault = true,
+            Err(_) => {
+                fault = true;
+                break;
+            }
         }
     }
     if fault {
@@ -341,9 +356,15 @@ fn read_link(
 /// Removes a finished link from the poller and runs the (idempotent)
 /// backend-down sweep: staged entries are drained — failed, or carried
 /// into a failover — and front connections with live trips on this
-/// backend get typed errors unless a standby can take over.
+/// backend get typed errors unless a standby can take over. Dropping the
+/// channel receiver here is load-bearing: it wakes every producer
+/// blocked in [`LinkSender::send`] on a full channel (and fails all
+/// future sends) with `SendError`, upholding the module contract that no
+/// caller can wait forever on a dead link — including the server's
+/// blocking per-link `Close` send at shutdown.
 fn reap(source: &mut PollSource, l: &mut LinkIo, core: &Arc<Core>, idx: usize) {
     let _ = source.deregister(idx as u64, l.conn.io());
     l.open = false;
+    drop(l.rx.take());
     Core::backend_down(core, idx as u32);
 }

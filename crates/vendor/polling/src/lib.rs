@@ -113,8 +113,9 @@ impl Events {
 /// internally).
 pub struct Poller {
     sys: sys::Backend,
-    /// Dedup flag for `notify`: set when a wake is pending, cleared when a
-    /// `wait` drains the waker.
+    /// Dedup flag for `notify`: set when a wake is pending, consumed at
+    /// the start of each `wait` (which then refuses to block, because the
+    /// pending wake's waker write may already have been drained).
     notified: AtomicBool,
 }
 
@@ -160,10 +161,23 @@ impl Poller {
     /// internally.
     pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
         events.clear();
+        // Consume the dedup flag *before* the kernel wait: any notify
+        // from this point on sees `false` and performs a real waker
+        // write, so it either interrupts this wait or stays queued in the
+        // waker for the next one. (Clearing after the wait would let a
+        // notify landing between the backend's waker drain and the store
+        // be absorbed by the swap yet wiped by the store — a lost wake.)
+        //
+        // If the flag was set, a notify landed since the last consume —
+        // but its waker write may already have been drained by the
+        // previous wait's return. The two cases are indistinguishable
+        // here, so don't block: poll readiness and return. A stale flag
+        // costs one spurious early return; a deduped-but-undelivered
+        // notify would cost a lost wake. Invariant: flag set ⇒ the next
+        // wait does not block, so no notify is ever lost.
+        let pending = self.notified.swap(false, Ordering::SeqCst);
+        let timeout = if pending { Some(Duration::ZERO) } else { timeout };
         self.sys.wait(events, timeout)?;
-        // Clear the dedup flag only after the waker has actually been
-        // drained by the backend, so a notify that raced in stays pending.
-        self.notified.store(false, Ordering::SeqCst);
         Ok(events.len())
     }
 
@@ -199,8 +213,10 @@ mod sys {
     //! [`super::NOTIFY_KEY`]; `wait` drains it and filters it out.
 
     use super::{timeout_ms, Event, Events, NOTIFY_KEY};
+    use std::collections::HashMap;
     use std::io;
     use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
     use std::time::Duration;
 
     // x86-64 packs epoll_event to match the kernel ABI; other
@@ -263,6 +279,13 @@ mod sys {
     pub(super) struct Backend {
         epfd: RawFd,
         waker: RawFd,
+        /// Registered interest per descriptor. epoll reports
+        /// `EPOLLERR`/`EPOLLHUP` regardless of the registered mask, so
+        /// the faulted `writable` bit must be gated on whether write
+        /// interest was actually registered — matching the poll(2)
+        /// fallback and the module contract ("writable, if write
+        /// interest was registered").
+        interest: Mutex<HashMap<RawFd, Event>>,
     }
 
     impl Backend {
@@ -275,7 +298,7 @@ mod sys {
                     return Err(e);
                 }
             };
-            let backend = Backend { epfd, waker };
+            let backend = Backend { epfd, waker, interest: Mutex::new(HashMap::new()) };
             let mut ev = EpollEvent { events: EPOLLIN, data: NOTIFY_KEY as u64 };
             // On error, Drop closes both fds.
             cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, waker, &mut ev) })?;
@@ -284,15 +307,20 @@ mod sys {
 
         pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
             let mut ev = EpollEvent { events: mask_of(interest), data: interest.key as u64 };
-            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(drop)
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
+            self.interest.lock().expect("epoll registrations").insert(fd, interest);
+            Ok(())
         }
 
         pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
             let mut ev = EpollEvent { events: mask_of(interest), data: interest.key as u64 };
-            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(drop)
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) })?;
+            self.interest.lock().expect("epoll registrations").insert(fd, interest);
+            Ok(())
         }
 
         pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.interest.lock().expect("epoll registrations").remove(&fd);
             cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) }).map(drop)
         }
 
@@ -322,10 +350,20 @@ mod sys {
                     continue;
                 }
                 let faulted = mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                // Faults are rare: only then is the lock taken to look up
+                // whether this key registered write interest.
+                let faulted_writable = faulted
+                    && mask & EPOLLOUT == 0
+                    && self
+                        .interest
+                        .lock()
+                        .expect("epoll registrations")
+                        .values()
+                        .any(|i| i.key as u64 == data && i.writable);
                 events.push(Event {
                     key: data as usize,
                     readable: mask & EPOLLIN != 0 || faulted,
-                    writable: mask & EPOLLOUT != 0 || faulted,
+                    writable: mask & EPOLLOUT != 0 || faulted_writable,
                 });
             }
             Ok(())
@@ -581,6 +619,39 @@ mod tests {
         let mut events = Events::new();
         poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
         assert!(events.iter().any(|e| e.key == 9 && e.writable));
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn fault_without_write_interest_is_not_writable() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::readable(4)).unwrap();
+        // Peer hangup: the fault folds into readability only, because no
+        // write interest was registered.
+        drop(a);
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev: Vec<Event> = events.iter().filter(|e| e.key == 4).collect();
+        assert!(!ev.is_empty(), "hangup must surface as readiness");
+        assert!(ev.iter().all(|e| e.readable && !e.writable), "got {ev:?}");
+        poller.delete(&b).unwrap();
+    }
+
+    #[test]
+    fn fault_with_write_interest_reports_writable() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::all(5)).unwrap();
+        drop(a);
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(
+            events.iter().any(|e| e.key == 5 && e.readable && e.writable),
+            "a faulted fd with write interest reports both bits"
+        );
         poller.delete(&b).unwrap();
     }
 

@@ -14,12 +14,14 @@
 
 mod common;
 
+use std::net::{Shutdown, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use causaltad_suite::core::CausalTad;
 use causaltad_suite::net::{Client, ClientError, ErrorCode, NetServer, Response};
-use causaltad_suite::router::{backend_for, split_image, RouterServer};
+use causaltad_suite::router::{backend_for, split_image, RouterConfig, RouterServer};
 use causaltad_suite::serve::{image_from_bytes, Completion, Event, FleetConfig};
 use causaltad_suite::trajsim::Trajectory;
 use common::{
@@ -467,6 +469,110 @@ fn dead_backend_surfaces_typed_errors_without_stalling_healthy_trips() {
     for backend in backends {
         backend.shutdown();
     }
+}
+
+/// Liveness for producers wedged behind a dead link: a backend that
+/// stalls (never reads) fills the link's write buffer, then its bounded
+/// channel, until the front reader blocks in the channel send — the
+/// designed backpressure point. When that backend then dies, the mux
+/// must drop the link's channel receiver at reap time so the blocked
+/// producer is woken with a send error immediately, and the router's
+/// shutdown (which queues a per-link `Close` on that same channel) must
+/// complete instead of hanging on the full channel. A second, healthy
+/// backend keeps the mux thread running, so receiver cleanup cannot be
+/// deferred to mux exit.
+#[test]
+fn dead_stalled_backend_unblocks_producers_and_shutdown() {
+    let (city, model) = trained();
+    let t = &city.data.test_id[0];
+    let sd = t.sd_pair();
+    let (source, dest, slot) = (sd.source.0, sd.dest.0, t.time_slot);
+
+    // Victim backend 0: accepts the router's link and never reads.
+    let stall = TcpListener::bind("127.0.0.1:0").expect("bind stalled backend");
+    let stall_addr = stall.local_addr().expect("stalled backend addr");
+    let accepter = std::thread::spawn(move || {
+        let (sock, _) = stall.accept().expect("accept router link");
+        sock
+    });
+
+    let cfg = FleetConfig { num_shards: 1, ..FleetConfig::default() };
+    let healthy =
+        NetServer::builder(Arc::clone(model)).fleet_config(cfg).bind("127.0.0.1:0").expect("bind");
+    let router = RouterServer::builder()
+        .backends([stall_addr, healthy.local_addr()])
+        // A small channel keeps the amount of traffic needed to reach
+        // the blocking point test-sized.
+        .config(RouterConfig { backend_queue: 64, ..RouterConfig::default() })
+        .bind("127.0.0.1:0")
+        .expect("bind router");
+    let victim_sock = accepter.join().expect("router connected to the stalled backend");
+
+    // Producer: hammer trips owned by the stalled backend until told to
+    // stop (it cannot make progress while the victim is alive and every
+    // buffer in between is full).
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    let sent = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (progress, halt) = (Arc::clone(&sent), Arc::clone(&stop));
+    let producer = std::thread::spawn(move || {
+        for id in (0..u64::MAX).filter(|&i| backend_for(i, 2) == 0) {
+            if halt.load(Ordering::Relaxed) || client.trip_start(id, source, dest, slot).is_err() {
+                break;
+            }
+            progress.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+
+    // Wait until the producer is actually wedged: the sent counter stops
+    // moving once every buffer between client and victim is full and the
+    // front reader is blocked in the link channel send.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let before = sent.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(300));
+        if sent.load(Ordering::Relaxed) == before {
+            break;
+        }
+        assert!(Instant::now() < deadline, "producer never hit the backpressure point");
+    }
+    assert!(!producer.is_finished(), "producer must be blocked, not errored, pre-kill");
+
+    // Kill the victim. The mux reaps the link; dropping the channel
+    // receiver is what wakes the front reader blocked in the send.
+    victim_sock.shutdown(Shutdown::Both).expect("kill victim link");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.stats().backends_alive != 1 {
+        assert!(Instant::now() < deadline, "router never noticed the dead backend");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The woken front reader drains the backlog (typed errors now, no
+    // forwarding), so the producer's writes start landing again: resumed
+    // progress is the observable proof that the blocked channel send was
+    // failed rather than leaked.
+    let wedged = sent.load(Ordering::Relaxed);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while sent.load(Ordering::Relaxed) == wedged {
+        assert!(Instant::now() < deadline, "producer was never unblocked after the link died");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Stop the producer while its writes still flow (after the router's
+    // front sockets close, a blocked client write can linger for the
+    // whole TCP orphan timeout — kernel behaviour, not router liveness).
+    stop.store(true, Ordering::Relaxed);
+    producer.join().expect("producer thread");
+
+    // Shutdown queues a blocking per-link `Close`: this hangs forever if
+    // the dead link's channel receiver leaked with a full channel.
+    let shut = std::thread::spawn(move || router.shutdown());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !shut.is_finished() {
+        assert!(Instant::now() < deadline, "router shutdown hung on the dead link's channel");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    shut.join().expect("shutdown thread");
+    healthy.shutdown();
 }
 
 /// Liveness under racing failure: fleet-wide flush barriers hammered
