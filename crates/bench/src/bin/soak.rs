@@ -31,6 +31,18 @@
 //!   producers — who are never told — must still see every admitted
 //!   segment come back scored exactly once at its round barrier. The
 //!   measured recovery time lands in the JSON artefact.
+//! * `SOAK_OVERLOAD=1` — overload-protection mode: every backend runs a
+//!   per-connection ingest rate limit (`SOAK_RATE` events/s, default
+//!   2 500 quick / 20 000 full) while the producers offer load as fast as
+//!   they can write — far above 2x the configured admitted rate. The
+//!   backends throttle the router's links (typed trip-less `Throttled`
+//!   notices, reads paused, resumed on refill); producers are paced by
+//!   transport backpressure and are never told. The per-round zero-loss
+//!   balance must keep holding for every admitted segment, the sustained
+//!   rate must stay under the configured cap, and the throttle ledgers
+//!   must reconcile exactly: the router's `router.throttled` count equals
+//!   the fleet's `net.throttled` episode count — every episode notice a
+//!   backend emitted was seen at the router exactly once.
 //! * `SOAK_TRIPS` — concurrent trips (default 100 000).
 //! * `SOAK_ROUNDS` — streaming rounds (default 48).
 //! * `SOAK_PRODUCERS` — producer connections on the front door
@@ -52,7 +64,7 @@ use causaltad::{CausalTad, CausalTadConfig};
 use tad_bench::fleet_walks;
 use tad_eval::cities::{xian_s, Scale};
 use tad_metrics::{snapshot_to_bytes, HistogramSnapshot, MetricsSnapshot};
-use tad_net::{Client, NetServer, Response};
+use tad_net::{Client, NetConfig, NetServer, Response};
 use tad_router::{RouterConfig, RouterServer};
 use tad_serve::{FleetConfig, PolicyAction, StreamPolicy};
 
@@ -222,11 +234,18 @@ fn main() {
     let quick = env_flag("SOAK_QUICK");
     let hostile = env_flag("SOAK_HOSTILE");
     let failover = env_flag("SOAK_FAILOVER");
+    let overload = env_flag("SOAK_OVERLOAD");
     let trips = env_usize("SOAK_TRIPS", if quick { 2_000 } else { 100_000 });
     let rounds = env_usize("SOAK_ROUNDS", if quick { 12 } else { 48 });
     let producers = env_usize("SOAK_PRODUCERS", 4).max(1);
+    // The admitted rate each backend grants its (one) router link; the
+    // producers' full-speed offered load sits far above 2x this.
+    let rate = env_usize("SOAK_RATE", if quick { 2_500 } else { 20_000 }) as u64;
 
-    eprintln!("soak: training model (quick={quick}, hostile={hostile}, failover={failover})...");
+    eprintln!(
+        "soak: training model (quick={quick}, hostile={hostile}, failover={failover}, \
+         overload={overload})..."
+    );
     let model = trained_model();
     let walks = Arc::new(fleet_walks(&model, 256, MAX_LEN as usize, 1234));
 
@@ -246,10 +265,19 @@ fn main() {
         },
         ..FleetConfig::default()
     };
+    // Overload mode throttles each backend's (single) router link: the
+    // token bucket paces admitted ingest at `rate` events/s while the
+    // producers keep offering full speed.
+    let net_cfg = if overload {
+        NetConfig { rate_limit_segments_per_s: rate, ..NetConfig::default() }
+    } else {
+        NetConfig::default()
+    };
     let mut backends: Vec<NetServer> = (0..BACKENDS + usize::from(failover))
         .map(|_| {
             NetServer::builder(Arc::clone(&model))
                 .fleet_config(fleet_cfg.clone())
+                .net_config(net_cfg.clone())
                 .bind("127.0.0.1:0")
                 .expect("bind backend")
         })
@@ -400,6 +428,36 @@ fn main() {
         );
     }
 
+    // Overload reconciliation: the limiter must actually have engaged
+    // (full-speed producers offer far more than the configured rate), the
+    // sustained admitted rate must sit under the fleet-wide cap, and the
+    // throttle ledgers must balance: every episode notice a backend
+    // emitted (`net.throttled`, summed over the fleet) was seen and
+    // counted at the router exactly once (`router.throttled`).
+    let fleet_throttled = fleet.counter("net.throttled").unwrap_or(0);
+    let router_throttled = fleet.counter("router.throttled").unwrap_or(0);
+    if overload {
+        assert!(fleet_throttled > 0, "overload mode never tripped the rate limiter");
+        assert_eq!(
+            router_throttled, fleet_throttled,
+            "router throttle ledger must balance the fleet's episode count"
+        );
+        let cap = (BACKENDS as f64) * rate as f64;
+        assert!(
+            seg_per_s < cap * 1.5,
+            "rate limiting must shape admitted throughput: {seg_per_s:.1} seg/s \
+             against a {cap:.0} events/s fleet cap"
+        );
+        assert_eq!(fleet.counter("net.idle_reaped").unwrap_or(0), 0, "no collateral reaping");
+        assert_eq!(fleet.counter("net.conns_rejected").unwrap_or(0), 0, "no collateral rejects");
+        eprintln!(
+            "soak: overload balance holds — {fleet_throttled} throttle episodes, \
+             {seg_per_s:.1} admitted seg/s under the {cap:.0}/s cap, zero loss"
+        );
+    } else {
+        assert_eq!(fleet_throttled, 0, "throttling must never engage outside overload mode");
+    }
+
     let (p50, p99, p999) = quantiles(score_latency);
     let decode = fleet.histogram("net.frame_decode_ns").expect("frame-decode histogram");
     let (d50, d99, d999) = quantiles(decode);
@@ -426,11 +484,14 @@ fn main() {
     let out = format!(
         "{{\n  \"workload\": {{\"concurrent_trips\": {trips}, \"rounds\": {rounds}, \
          \"producers\": {producers}, \"backends\": {BACKENDS}, \"trip_len\": [{MIN_LEN}, {MAX_LEN}], \
-         \"quick_mode\": {quick}, \"hostile_mode\": {hostile}, \"failover_mode\": {failover}}},\n  \
+         \"quick_mode\": {quick}, \"hostile_mode\": {hostile}, \"failover_mode\": {failover}, \
+         \"overload_mode\": {overload}}},\n  \
          \"sustained\": {{\"elapsed_s\": {elapsed:.3}, \"segments_scored\": {scored}, \
          \"trips_completed\": {completed}, \"segments_per_s\": {seg_per_s:.1}}},\n  \
          \"sanitization\": {{\"duplicates_injected\": {dups_sent}, \
          \"dedup_dropped\": {dedup_notices}, \"gap_score_through\": {gap_notices}}},\n  \
+         \"overload\": {{\"enabled\": {overload}, \"rate_limit_per_conn\": {rate}, \
+         \"throttle_episodes\": {fleet_throttled}, \"router_throttled\": {router_throttled}}},\n  \
          \"failover\": {{\"enabled\": {failover}, \"recovery_ms\": {recovery_ms:.1}}},\n  \
          \"score_latency_ns\": {{\"count\": {}, \"p50\": {p50}, \"p99\": {p99}, \"p999\": {p999}, \
          \"mean\": {:.1}}},\n  \

@@ -53,6 +53,11 @@ pub enum ClientError {
         code: ErrorCode,
         /// The trip the failure concerned, when there was one.
         trip: Option<TripId>,
+        /// The server's pacing hint for [`ErrorCode::Throttled`] replies.
+        /// With a [`RetryPolicy`] configured, [`Client`] honors it: the
+        /// call sleeps at least this long (on the same connection) before
+        /// retrying.
+        retry_after: Option<Duration>,
         /// Human-readable context from the server.
         detail: String,
     },
@@ -74,7 +79,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Frame(e) => write!(f, "wire protocol error: {e}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::Timeout => write!(f, "no response within the read timeout"),
-            ClientError::Server { code, trip: Some(id), detail } if !detail.is_empty() => {
+            ClientError::Server { code, trip: Some(id), detail, .. } if !detail.is_empty() => {
                 write!(f, "server error for trip {id}: {code} ({detail})")
             }
             ClientError::Server { code, trip: Some(id), .. } => {
@@ -473,17 +478,27 @@ impl Client {
 
     /// Parks an out-of-band response while waiting for a barrier reply —
     /// except fatal connection-level error frames (no trip named, code
-    /// beyond backpressure/reject), which fail the barrier itself. Errors
+    /// beyond the pacing notices), which fail the barrier itself. Errors
     /// that *name a trip* concern that trip, not the barrier — e.g. a
     /// router reporting one backend's loss while the rest of the fleet
     /// still answers — so they stay in the stream for the application,
-    /// like backpressure and reject notices.
+    /// like the backpressure, reject, and throttle pacing notices
+    /// (`Throttled` without a trip is the rate limiter asking the
+    /// producer to slow down, not a barrier failure).
     fn queue_or_fail(&mut self, resp: Response) -> Result<(), ClientError> {
         match resp {
-            Response::Error { code, trip: None, detail }
-                if !matches!(code, ErrorCode::Backpressure | ErrorCode::Rejected) =>
+            Response::Error { code, trip: None, retry_after_ms, detail }
+                if !matches!(
+                    code,
+                    ErrorCode::Backpressure | ErrorCode::Rejected | ErrorCode::Throttled
+                ) =>
             {
-                Err(ClientError::Server { code, trip: None, detail })
+                Err(ClientError::Server {
+                    code,
+                    trip: None,
+                    retry_after: retry_after_ms.map(Duration::from_millis),
+                    detail,
+                })
             }
             other => {
                 self.queue.push_back(other);
@@ -495,14 +510,21 @@ impl Client {
     /// Stricter parker for the admin barriers (`delta` / `install` /
     /// `drain`): *any* error frame not naming a trip fails the call —
     /// including `Rejected`, which is how a router front refuses admin
-    /// frames outright. Trip-scoped errors and backpressure stay in the
+    /// frames outright, and `Throttled`, which [`Client::retry_loop`]
+    /// turns into a paced same-connection retry under the configured
+    /// [`RetryPolicy`]. Trip-scoped errors and backpressure stay in the
     /// stream as usual.
     fn queue_or_fail_admin(&mut self, resp: Response) -> Result<(), ClientError> {
         match resp {
-            Response::Error { code, trip: None, detail }
+            Response::Error { code, trip: None, retry_after_ms, detail }
                 if !matches!(code, ErrorCode::Backpressure) =>
             {
-                Err(ClientError::Server { code, trip: None, detail })
+                Err(ClientError::Server {
+                    code,
+                    trip: None,
+                    retry_after: retry_after_ms.map(Duration::from_millis),
+                    detail,
+                })
             }
             other => {
                 self.queue.push_back(other);
@@ -515,7 +537,11 @@ impl Client {
     /// under the retry policy (when one is configured) and runs `op`
     /// again — one attempt budget across the whole call, however the
     /// failures interleave. Typed [`ClientError::Server`] replies are
-    /// never retried.
+    /// never retried, with one exception: a `Throttled` reply is the
+    /// server pacing this sender, so the call sleeps the larger of the
+    /// backoff step and the server's `retry_after` hint and retries on
+    /// the **same** connection (the transport is healthy — reconnecting
+    /// would only evade the admission controller).
     fn retry_loop<T>(
         &mut self,
         mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
@@ -526,6 +552,20 @@ impl Client {
                 Ok(v) => return Ok(v),
                 Err(e) => e,
             };
+            if let ClientError::Server { code: ErrorCode::Throttled, retry_after, .. } = &last {
+                let hint = *retry_after;
+                let policy = match self.retry {
+                    Some(policy) => policy,
+                    None => return Err(last),
+                };
+                if attempts >= policy.max_reconnects {
+                    return Err(ClientError::Retrying { attempts, last: Box::new(last) });
+                }
+                attempts += 1;
+                let backoff = self.backoff_delay(&policy, attempts);
+                std::thread::sleep(hint.map_or(backoff, |h| backoff.max(h)));
+                continue;
+            }
             let policy = match self.retry {
                 Some(policy) if retryable(&last) => policy,
                 _ => return Err(last),

@@ -18,6 +18,7 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use bytes::Bytes;
 use polling::{Event, Events, Poller};
@@ -75,9 +76,20 @@ pub trait EventSource<T> {
     /// ran out — and the loop should stop. A bare wake legitimately
     /// fills nothing.
     ///
+    /// `timeout` bounds the wait: the loop passes one whenever it has
+    /// time-driven work pending (idle-connection reaping, throttled
+    /// connections waiting on token refill) so those fire even on a
+    /// connection set producing no I/O. `None` means wait indefinitely.
+    /// Returning on timeout with an empty `out` is a legitimate tick.
+    /// Scripted sources may ignore it — their schedule *is* the clock.
+    ///
     /// # Errors
     /// The wait itself failed; the loop stops.
-    fn wait(&mut self, out: &mut Vec<Readiness>) -> std::io::Result<bool>;
+    fn wait(
+        &mut self,
+        out: &mut Vec<Readiness>,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<bool>;
 
     /// Hands over transports injected from outside the loop (the acceptor
     /// thread, in production) since the last tick. Defaults to none.
@@ -313,9 +325,13 @@ impl EventSource<TcpStream> for PollSource {
         self.shared.poller.delete(io)
     }
 
-    fn wait(&mut self, out: &mut Vec<Readiness>) -> std::io::Result<bool> {
+    fn wait(
+        &mut self,
+        out: &mut Vec<Readiness>,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<bool> {
         out.clear();
-        self.shared.poller.wait(&mut self.events, None)?;
+        self.shared.poller.wait(&mut self.events, timeout)?;
         for ev in self.events.iter() {
             out.push(Readiness {
                 key: ev.key as u64,

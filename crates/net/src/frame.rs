@@ -211,6 +211,19 @@ pub enum ErrorCode {
     BadFrame,
     /// A requested fleet snapshot could not be captured.
     SnapshotFailed,
+    /// The sender exceeded an admission limit — the per-connection rate
+    /// limit, or a fleet-wide watermark that sheds new `TripStart`s. When
+    /// trip-scoped, the named event was **not** accepted (same re-send
+    /// contract as [`ErrorCode::Backpressure`]); trip-less, it is a
+    /// once-per-episode pacing notice. The frame's `retry_after_ms` field
+    /// carries the server's pacing hint.
+    Throttled,
+    /// The server is at its configured connection quota; this connection
+    /// was refused at accept time and closes after this reply.
+    ConnLimit,
+    /// The connection sat idle (no frames, no in-flight trips) past the
+    /// server's idle timeout; it closes after this reply.
+    IdleTimeout,
 }
 
 impl ErrorCode {
@@ -221,6 +234,9 @@ impl ErrorCode {
             ErrorCode::EngineClosed => 2,
             ErrorCode::BadFrame => 3,
             ErrorCode::SnapshotFailed => 4,
+            ErrorCode::Throttled => 5,
+            ErrorCode::ConnLimit => 6,
+            ErrorCode::IdleTimeout => 7,
         }
     }
 
@@ -231,6 +247,9 @@ impl ErrorCode {
             2 => Some(ErrorCode::EngineClosed),
             3 => Some(ErrorCode::BadFrame),
             4 => Some(ErrorCode::SnapshotFailed),
+            5 => Some(ErrorCode::Throttled),
+            6 => Some(ErrorCode::ConnLimit),
+            7 => Some(ErrorCode::IdleTimeout),
             _ => None,
         }
     }
@@ -244,6 +263,9 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::EngineClosed => write!(f, "engine closed"),
             ErrorCode::BadFrame => write!(f, "undecodable frame"),
             ErrorCode::SnapshotFailed => write!(f, "snapshot capture failed"),
+            ErrorCode::Throttled => write!(f, "throttled (admission limit; pace and retry)"),
+            ErrorCode::IdleTimeout => write!(f, "idle timeout"),
+            ErrorCode::ConnLimit => write!(f, "connection quota reached"),
         }
     }
 }
@@ -284,6 +306,10 @@ pub enum Response {
         code: ErrorCode,
         /// The trip the failed request concerned, when there was one.
         trip: Option<TripId>,
+        /// Pacing hint for [`ErrorCode::Throttled`]: how long the sender
+        /// should back off before offering more load. `None` for codes
+        /// that carry no pacing semantics.
+        retry_after_ms: Option<u64>,
         /// Human-readable context (≤ [`MAX_ERROR_DETAIL`] bytes).
         detail: String,
     },
@@ -482,13 +508,20 @@ pub fn response_to_bytes(resp: &Response) -> Bytes {
             payload.put_f64_le(s.events_per_sec);
             payload.put_f64_le(s.mean_batch_size);
         }
-        Response::Error { code, trip, detail } => {
+        Response::Error { code, trip, retry_after_ms, detail } => {
             payload.put_u8(TAG_ERROR);
             payload.put_u8(code.to_byte());
             match trip {
                 Some(id) => {
                     payload.put_u8(1);
                     payload.put_u64_le(*id);
+                }
+                None => payload.put_u8(0),
+            }
+            match retry_after_ms {
+                Some(ms) => {
+                    payload.put_u8(1);
+                    payload.put_u64_le(*ms);
                 }
                 None => payload.put_u8(0),
             }
@@ -689,6 +722,19 @@ pub fn response_from_bytes(bytes: Bytes) -> Result<Response, FrameError> {
                 }
                 _ => return Err(FrameError::Malformed("error trip flag")),
             };
+            if payload.remaining() < 1 {
+                return Err(FrameError::Truncated("error retry flag"));
+            }
+            let retry_after_ms = match payload.get_u8() {
+                0 => None,
+                1 => {
+                    if payload.remaining() < 8 {
+                        return Err(FrameError::Truncated("error retry-after"));
+                    }
+                    Some(payload.get_u64_le())
+                }
+                _ => return Err(FrameError::Malformed("error retry flag")),
+            };
             if payload.remaining() < 2 {
                 return Err(FrameError::Truncated("error detail length"));
             }
@@ -703,7 +749,7 @@ pub fn response_from_bytes(bytes: Bytes) -> Result<Response, FrameError> {
             let detail = std::str::from_utf8(raw.as_ref())
                 .map_err(|_| FrameError::Malformed("error detail not UTF-8"))?
                 .to_string();
-            Response::Error { code, trip, detail }
+            Response::Error { code, trip, retry_after_ms, detail }
         }
         TAG_SNAPSHOT => {
             let len = payload.remaining();
@@ -830,9 +876,39 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Backpressure,
                 trip: Some(7),
+                retry_after_ms: None,
                 detail: "queue full".to_string(),
             },
-            Response::Error { code: ErrorCode::EngineClosed, trip: None, detail: String::new() },
+            Response::Error {
+                code: ErrorCode::EngineClosed,
+                trip: None,
+                retry_after_ms: None,
+                detail: String::new(),
+            },
+            Response::Error {
+                code: ErrorCode::Throttled,
+                trip: None,
+                retry_after_ms: Some(125),
+                detail: "rate limit".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::Throttled,
+                trip: Some(9),
+                retry_after_ms: Some(50),
+                detail: "admission shed".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::ConnLimit,
+                trip: None,
+                retry_after_ms: None,
+                detail: "connection quota".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::IdleTimeout,
+                trip: None,
+                retry_after_ms: None,
+                detail: String::new(),
+            },
             Response::Snapshot { image: Bytes::from(vec![1u8, 2, 3, 4]) },
             Response::Metrics(sample_metrics()),
             Response::Metrics(MetricsSnapshot::default()),
@@ -879,6 +955,7 @@ mod tests {
         let resp = response_to_bytes(&Response::Error {
             code: ErrorCode::Rejected,
             trip: None,
+            retry_after_ms: None,
             detail: String::new(),
         });
         assert_eq!(
@@ -950,7 +1027,8 @@ mod tests {
         // 600 two-byte chars: the encoder must cut at <= 512 bytes on a
         // boundary and the result must still decode.
         let detail = "é".repeat(600);
-        let resp = Response::Error { code: ErrorCode::BadFrame, trip: None, detail };
+        let resp =
+            Response::Error { code: ErrorCode::BadFrame, trip: None, retry_after_ms: None, detail };
         let decoded = response_from_bytes(response_to_bytes(&resp)).expect("decode");
         match decoded {
             Response::Error { detail, .. } => {

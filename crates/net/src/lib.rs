@@ -108,8 +108,8 @@ pub use frame::{
     MAX_ERROR_DETAIL,
 };
 pub use server::{
-    ConnectionStats, EventLoop, IngestCore, NetConfig, NetError, NetServer, NetServerBuilder,
-    NetStats,
+    widen_accept_backlog, ConnectionStats, EventLoop, IngestCore, NetConfig, NetError, NetServer,
+    NetServerBuilder, NetStats,
 };
 pub use wire::{
     read_request, read_request_timed, read_response, write_request, write_response, FrameAssembler,

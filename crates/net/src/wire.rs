@@ -310,8 +310,12 @@ mod tests {
 
     #[test]
     fn oversized_frames_are_refused_before_allocation() {
-        let resp =
-            Response::Error { code: ErrorCode::Rejected, trip: None, detail: "x".repeat(100) };
+        let resp = Response::Error {
+            code: ErrorCode::Rejected,
+            trip: None,
+            retry_after_ms: None,
+            detail: "x".repeat(100),
+        };
         let blob = response_to_bytes(&resp);
         let mut cursor = &blob[..];
         match read_response(&mut cursor, 16) {

@@ -228,7 +228,7 @@ pub(crate) fn backend_mux(
     let mut readiness = Vec::new();
     let mut frames: Vec<Bytes> = Vec::new();
     while ios.iter().any(|l| l.open) {
-        if source.wait(&mut readiness).is_err() {
+        if source.wait(&mut readiness, None).is_err() {
             break;
         }
         for r in readiness.drain(..) {

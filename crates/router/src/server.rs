@@ -120,6 +120,12 @@ pub struct RouterConfig {
     pub failover_wait: Duration,
     /// Set `TCP_NODELAY` on accepted and backend sockets.
     pub nodelay: bool,
+    /// Kernel accept-queue depth requested for the front listening
+    /// socket (default 1024, capped by the OS `somaxconn`; `0` keeps the
+    /// platform default, typically 128). See
+    /// [`tad_net::widen_accept_backlog`] for why the 128-slot default
+    /// stalls connect storms of a few hundred producers.
+    pub accept_backlog: usize,
 }
 
 impl Default for RouterConfig {
@@ -131,6 +137,7 @@ impl Default for RouterConfig {
             journal_limit: 8_192,
             failover_wait: Duration::from_secs(10),
             nodelay: true,
+            accept_backlog: 1024,
         }
     }
 }
@@ -562,9 +569,16 @@ struct RouterMetrics {
     /// `router.recovery_micros`: wall-clock duration of completed
     /// failovers.
     recovery_micros: Arc<Histogram>,
+    /// `router.throttled`: trip-scoped `Throttled` refusals fanned back
+    /// in from any backend — the fleet-wide overload signal as seen at
+    /// the router.
+    throttled: Arc<Counter>,
     /// `router.backend.N.forward_ns`: the per-link split of
     /// `forward_ns`, same clock.
     per_backend: Vec<Arc<Histogram>>,
+    /// `router.backend.N.throttled`: the per-link split of
+    /// `router.throttled` — which backend is shedding.
+    per_backend_throttled: Vec<Arc<Counter>>,
 }
 
 impl RouterMetrics {
@@ -577,8 +591,12 @@ impl RouterMetrics {
             handoff_sessions: registry.counter("router.handoff_sessions"),
             replay_suppressed: registry.counter("router.replay_suppressed"),
             recovery_micros: registry.histogram("router.recovery_micros"),
+            throttled: registry.counter("router.throttled"),
             per_backend: (0..num_links)
                 .map(|idx| registry.histogram(&format!("router.backend.{idx}.forward_ns")))
+                .collect(),
+            per_backend_throttled: (0..num_links)
+                .map(|idx| registry.counter(&format!("router.backend.{idx}.throttled")))
                 .collect(),
             registry,
         }
@@ -862,12 +880,19 @@ impl Core {
                 Some(other) => self.desync(other),
                 None => self.dropped(),
             },
-            Response::Error { code, trip: Some(id), detail } => {
-                if matches!(code, ErrorCode::Backpressure) {
+            Response::Error { code, trip: Some(id), retry_after_ms, detail } => {
+                if matches!(code, ErrorCode::Backpressure | ErrorCode::Throttled) {
                     // The frame made it into the journal but the engine
-                    // refused it: the recorded tail no longer matches
-                    // what was scored.
+                    // refused it (backpressure) or shed it (admission
+                    // control): the recorded tail no longer matches what
+                    // was scored.
                     self.links[idx as usize].journal.lock().expect("journal lock").poison();
+                }
+                if matches!(code, ErrorCode::Throttled) {
+                    // Per-backend throttle accounting: the router is how
+                    // a fleet operator sees *which* backend is shedding.
+                    self.metrics.throttled.add(1);
+                    self.metrics.per_backend_throttled[idx as usize].add(1);
                 }
                 let found = {
                     let trips = self.trips.read().expect("trips lock");
@@ -888,13 +913,18 @@ impl Core {
                         self.suppressed();
                     }
                     Some((conn, forwarded, false)) => {
-                        // A refused or bounced TripStart (nothing forwarded
-                        // after the claim) must not strand its id: the
-                        // producer will retry it. Error frames are rare, so
-                        // the write-lock upgrade (with a re-check) is off
-                        // the hot path.
+                        // A refused, bounced, or shed TripStart (nothing
+                        // forwarded after the claim) must not strand its
+                        // id: the producer will retry it. Error frames are
+                        // rare, so the write-lock upgrade (with a
+                        // re-check) is off the hot path.
                         if forwarded == 0
-                            && matches!(code, ErrorCode::Rejected | ErrorCode::Backpressure)
+                            && matches!(
+                                code,
+                                ErrorCode::Rejected
+                                    | ErrorCode::Backpressure
+                                    | ErrorCode::Throttled
+                            )
                         {
                             let mut trips = self.trips.write().expect("trips lock");
                             if trips.get(&id).is_some_and(|r| {
@@ -903,16 +933,28 @@ impl Core {
                                 trips.remove(&id);
                             }
                         }
-                        self.deliver_conn(conn, Response::Error { code, trip: Some(id), detail });
+                        // `retry_after_ms` rides through untouched: the
+                        // producer's pacing hint comes from the backend
+                        // that shed the frame.
+                        self.deliver_conn(
+                            conn,
+                            Response::Error { code, trip: Some(id), retry_after_ms, detail },
+                        );
                     }
                     None => self.dropped(),
                 }
             }
-            Response::Error { code, trip: None, detail } => match code {
-                // A trip-less BadFrame/Backpressure answers nothing in
-                // the pending queue; the link is unhealthy and the down
-                // path cleans up.
+            Response::Error { code, trip: None, retry_after_ms: _, detail } => match code {
+                // A trip-less BadFrame/Backpressure/Throttled answers
+                // nothing in the pending queue (throttle notices pace the
+                // router's own backend link, they do not consume an admin
+                // slot); popping here would desynchronize the queue.
                 ErrorCode::BadFrame | ErrorCode::Backpressure => self.dropped(),
+                ErrorCode::Throttled => {
+                    self.metrics.throttled.add(1);
+                    self.metrics.per_backend_throttled[idx as usize].add(1);
+                    self.dropped();
+                }
                 // SnapshotFailed / EngineClosed / Rejected each answer
                 // exactly the admin request at the head of the queue.
                 _ => match self.links[idx as usize].pending.pop() {
@@ -944,6 +986,7 @@ impl Core {
                 Response::Error {
                     code: ErrorCode::EngineClosed,
                     trip: Some(id),
+                    retry_after_ms: None,
                     detail: format!("backend {idx} connection lost"),
                 },
             );
@@ -1544,7 +1587,7 @@ impl Core {
     /// supplied the last contribution.
     fn finalize(&self, barrier: Barrier) {
         let resp = if let Some((code, detail)) = barrier.failed {
-            Response::Error { code, trip: None, detail }
+            Response::Error { code, trip: None, retry_after_ms: None, detail }
         } else {
             match barrier.kind {
                 BarrierKind::Flush => Response::Stats(FleetSnapshot::merged(&barrier.stats)),
@@ -1565,9 +1608,12 @@ impl Core {
                         }
                     }
                     match bad {
-                        Some(detail) => {
-                            Response::Error { code: ErrorCode::SnapshotFailed, trip: None, detail }
-                        }
+                        Some(detail) => Response::Error {
+                            code: ErrorCode::SnapshotFailed,
+                            trip: None,
+                            retry_after_ms: None,
+                            detail,
+                        },
                         None => {
                             Response::Snapshot { image: image_to_bytes(&FleetImage::merge(images)) }
                         }
@@ -1614,6 +1660,7 @@ fn backend_down_error(id: TripId, backend: u32) -> Response {
     Response::Error {
         code: ErrorCode::EngineClosed,
         trip: Some(id),
+        retry_after_ms: None,
         detail: format!("backend {backend} is down"),
     }
 }
@@ -1635,6 +1682,7 @@ fn handle_front(core: &Core, conn_id: u64, tx: &SyncSender<Response>, req: Reque
             let _ = tx.try_send(Response::Error {
                 code: ErrorCode::Rejected,
                 trip: None,
+                retry_after_ms: None,
                 detail: "admin frame is not routable through the router front door".to_string(),
             });
             After::Continue
@@ -1705,6 +1753,7 @@ fn forward_ingest(
                         let _ = tx.try_send(Response::Error {
                             code: ErrorCode::Rejected,
                             trip: Some(id),
+                            retry_after_ms: None,
                             detail: "trip id is owned by a live session".to_string(),
                         });
                         return After::Continue;
@@ -1863,6 +1912,7 @@ fn handle_barrier(
         let _ = tx.try_send(Response::Error {
             code: ErrorCode::EngineClosed,
             trip: None,
+            retry_after_ms: None,
             detail: "no live backends".to_string(),
         });
         return After::Close;
@@ -1921,6 +1971,7 @@ fn front_reader(
                 let _ = tx.send(Response::Error {
                     code: ErrorCode::BadFrame,
                     trip: None,
+                    retry_after_ms: None,
                     detail: e.to_string(),
                 });
                 break;
@@ -2042,6 +2093,7 @@ impl RouterServerBuilder {
         let actives = backends.len();
         let journaling = !standbys.is_empty();
         let listener = TcpListener::bind(addr)?;
+        tad_net::widen_accept_backlog(&listener, cfg.accept_backlog);
         let local_addr = listener.local_addr()?;
 
         let all: Vec<SocketAddr> = backends.into_iter().chain(standbys).collect();
@@ -2167,7 +2219,8 @@ impl RouterServer {
     /// Snapshot of the router's *own* metrics (`router.forward_ns`,
     /// `router.fanin_depth`, `router.failovers`,
     /// `router.handoff_sessions`, `router.replay_suppressed`,
-    /// `router.recovery_micros`, `router.backend.N.forward_ns`). The
+    /// `router.recovery_micros`, `router.throttled`,
+    /// `router.backend.N.forward_ns`, `router.backend.N.throttled`). The
     /// fleet-wide view — these merged with every live backend's snapshot
     /// — is what a front connection gets from
     /// [`tad_net::Client::metrics`].

@@ -52,6 +52,22 @@ pub struct FleetConfig {
     /// policy). The default is all-off, which leaves the scoring path
     /// byte-identical to an unpoliced engine.
     pub policy: StreamPolicy,
+    /// Fleet-wide admission watermark on live sessions: while the
+    /// `active_sessions` count is at or above it, **new** `TripStart`s
+    /// are shed ([`SubmitError::Shed`] / [`CohortOutcome::shed`]) while
+    /// events of already-admitted trips keep scoring — graceful
+    /// degradation instead of queue-thrash under a session flood. `0`
+    /// (the default) disables the watermark.
+    pub admission_session_watermark: usize,
+    /// Fleet-wide admission watermark on queued-but-unscored events (the
+    /// `serve.ingest_inflight` gauge): while the in-flight depth is at or
+    /// above it, new `TripStart`s are shed. `0` (the default) disables
+    /// the watermark.
+    pub admission_queue_watermark: usize,
+    /// Pacing hint a front-end should attach to shed replies
+    /// (`retry_after_ms` on the wire); exposed through
+    /// [`FleetEngine::admission_retry_after`].
+    pub admission_retry_after: Duration,
 }
 
 impl Default for FleetConfig {
@@ -65,6 +81,9 @@ impl Default for FleetConfig {
             max_sessions_per_shard: 8192,
             use_step_cache: true,
             policy: StreamPolicy::default(),
+            admission_session_watermark: 0,
+            admission_queue_watermark: 0,
+            admission_retry_after: Duration::from_millis(200),
         }
     }
 }
@@ -123,6 +142,12 @@ pub enum SubmitError {
     /// The engine shut down during [`FleetEngine::submit_all`]; carries
     /// every event of the call that was not accepted.
     ClosedChunk(Vec<Event>),
+    /// The fleet is above an admission watermark
+    /// ([`FleetConfig::admission_session_watermark`] /
+    /// [`FleetConfig::admission_queue_watermark`]) and the event was a
+    /// **new** `TripStart` — shed, handed back. Events of already-admitted
+    /// trips are never shed.
+    Shed(Event),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -134,6 +159,9 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::ClosedChunk(evs) => {
                 write!(f, "engine closed; returned {} unaccepted events", evs.len())
+            }
+            SubmitError::Shed(ev) => {
+                write!(f, "admission watermark reached; shed new trip {}", ev.trip_id())
             }
         }
     }
@@ -157,6 +185,11 @@ pub struct CohortOutcome {
     pub full: Vec<usize>,
     /// Indexes refused because the engine has shut down.
     pub closed: Vec<usize>,
+    /// Indexes shed by the admission controller: `TripStart`s of **new**
+    /// trips offered while the fleet was above a watermark, plus any
+    /// later events of those same trips inside this cohort (their start
+    /// never entered the engine). Counted under `serve.admission_shed`.
+    pub shed: Vec<usize>,
 }
 
 /// Builder for [`FleetEngine`].
@@ -289,6 +322,11 @@ impl FleetEngineBuilder {
                 }
             }
         }
+        let admission = Admission {
+            session_watermark: cfg.admission_session_watermark as u64,
+            queue_watermark: cfg.admission_queue_watermark as i64,
+            retry_after: cfg.admission_retry_after,
+        };
         Ok(FleetEngine {
             model,
             senders,
@@ -296,9 +334,19 @@ impl FleetEngineBuilder {
             stats,
             registry,
             metrics,
+            admission,
             delta_clock: Mutex::new(DeltaClock { epoch: 0, seq: 0, armed: false }),
         })
     }
+}
+
+/// The engine's resolved admission watermarks (see [`FleetConfig`]);
+/// zero means the corresponding watermark is off.
+#[derive(Clone, Copy)]
+struct Admission {
+    session_watermark: u64,
+    queue_watermark: i64,
+    retry_after: Duration,
 }
 
 /// The engine's delta-chain position: the epoch of the last checkpoint
@@ -361,6 +409,7 @@ pub struct FleetEngine {
     stats: Arc<FleetStats>,
     registry: Arc<Registry>,
     metrics: ServeMetrics,
+    admission: Admission,
     delta_clock: Mutex<DeltaClock>,
 }
 
@@ -390,12 +439,41 @@ impl FleetEngine {
         shard_index(ev.trip_id(), self.senders.len())
     }
 
+    /// Whether the fleet is currently above an admission watermark — the
+    /// state in which the submit paths shed **new** `TripStart`s
+    /// ([`SubmitError::Shed`] / [`CohortOutcome::shed`]) while events of
+    /// already-admitted trips keep flowing. Always `false` with both
+    /// watermarks at their default `0`.
+    pub fn admission_overloaded(&self) -> bool {
+        let adm = &self.admission;
+        (adm.session_watermark > 0
+            && self.stats.active_sessions.load(std::sync::atomic::Ordering::Relaxed)
+                >= adm.session_watermark)
+            || (adm.queue_watermark > 0 && self.metrics.inflight.get() >= adm.queue_watermark)
+    }
+
+    /// The pacing hint shed replies should carry back to producers
+    /// ([`FleetConfig::admission_retry_after`]).
+    pub fn admission_retry_after(&self) -> Duration {
+        self.admission.retry_after
+    }
+
+    /// One admission-shed event: counted, handed back.
+    fn shed(&self, ev: Event) -> SubmitError {
+        self.metrics.admission_shed.add(1);
+        SubmitError::Shed(ev)
+    }
+
     /// Enqueues an event, blocking while the target shard's queue is full.
     ///
     /// # Errors
-    /// [`SubmitError::Closed`] when the engine has shut down (the event is
-    /// handed back).
+    /// [`SubmitError::Closed`] when the engine has shut down,
+    /// [`SubmitError::Shed`] when the event is a new `TripStart` and the
+    /// fleet is above an admission watermark. Both hand the event back.
     pub fn submit(&self, ev: Event) -> Result<(), SubmitError> {
+        if matches!(ev, Event::TripStart { .. }) && self.admission_overloaded() {
+            return Err(self.shed(ev));
+        }
         let shard = self.shard_of(&ev);
         match self.senders[shard].send(Ingest::One(ev)) {
             Ok(()) => {
@@ -412,8 +490,13 @@ impl FleetEngine {
     /// # Errors
     /// [`SubmitError::Full`] when the target shard's queue is at capacity
     /// (backpressure — retry or shed load), [`SubmitError::Closed`] when
-    /// the engine has shut down. Both hand the event back.
+    /// the engine has shut down, [`SubmitError::Shed`] when the event is a
+    /// new `TripStart` and the fleet is above an admission watermark. All
+    /// hand the event back.
     pub fn try_submit(&self, ev: Event) -> Result<(), SubmitError> {
+        if matches!(ev, Event::TripStart { .. }) && self.admission_overloaded() {
+            return Err(self.shed(ev));
+        }
         let shard = self.shard_of(&ev);
         match self.senders[shard].try_send(Ingest::One(ev)) {
             Ok(()) => {
@@ -480,15 +563,40 @@ impl FleetEngine {
     /// slice, so a caller that tracked per-event metadata (owning
     /// connection, trip id) in a parallel vector can route one typed
     /// reply per bounced event.
+    ///
+    /// Admission control is evaluated **once per cohort**: when the fleet
+    /// is above a watermark on entry, every `TripStart` in the cohort is
+    /// shed — along with any later events of those same trips (their
+    /// start never entered the engine) — into [`CohortOutcome::shed`],
+    /// while events of already-admitted trips pass through untouched.
     pub fn try_submit_cohort(&self, events: Vec<Event>) -> CohortOutcome {
         let shards = self.senders.len();
+        let mut outcome = CohortOutcome::default();
+        let overloaded = self.admission_overloaded();
+        let mut shed_trips: Vec<TripId> = Vec::new();
         let mut groups: Vec<(Vec<Event>, Vec<usize>)> = vec![Default::default(); shards];
         for (idx, ev) in events.into_iter().enumerate() {
+            if overloaded {
+                let id = ev.trip_id();
+                if matches!(ev, Event::TripStart { .. }) {
+                    if !shed_trips.contains(&id) {
+                        shed_trips.push(id);
+                    }
+                    outcome.shed.push(idx);
+                    continue;
+                }
+                if shed_trips.contains(&id) {
+                    outcome.shed.push(idx);
+                    continue;
+                }
+            }
             let shard = self.shard_of(&ev);
             groups[shard].0.push(ev);
             groups[shard].1.push(idx);
         }
-        let mut outcome = CohortOutcome::default();
+        if !outcome.shed.is_empty() {
+            self.metrics.admission_shed.add(outcome.shed.len() as u64);
+        }
         for (shard, (group, indexes)) in groups.into_iter().enumerate() {
             if group.is_empty() {
                 continue;

@@ -46,6 +46,11 @@ pub(crate) struct ServeMetrics {
     /// `serve.delta_bytes`: encoded delta-snapshot bytes produced (vs the
     /// full-image bytes a plain snapshot would have cost).
     pub delta_bytes: Arc<Counter>,
+    /// `serve.admission_shed`: new-trip events shed by the fleet-wide
+    /// admission controller while above a watermark
+    /// ([`crate::FleetConfig::admission_session_watermark`] /
+    /// [`crate::FleetConfig::admission_queue_watermark`]).
+    pub admission_shed: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -63,6 +68,7 @@ impl ServeMetrics {
             quarantined: registry.counter("serve.quarantined"),
             dirty_sessions: registry.counter("serve.dirty_sessions"),
             delta_bytes: registry.counter("serve.delta_bytes"),
+            admission_shed: registry.counter("serve.admission_shed"),
         }
     }
 }

@@ -122,7 +122,7 @@ pub fn drain(client: &mut Client, produced: &mut Produced) {
                     produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
                 }
             }
-            Response::Error { code, trip, detail } => {
+            Response::Error { code, trip, detail, .. } => {
                 panic!("unexpected error frame: {code} trip={trip:?} {detail}")
             }
             other => panic!("unexpected response: {other:?}"),

@@ -246,7 +246,13 @@ impl EventSource<ScriptedIo> for ScriptedSource {
         Ok(())
     }
 
-    fn wait(&mut self, out: &mut Vec<Readiness>) -> std::io::Result<bool> {
+    fn wait(
+        &mut self,
+        out: &mut Vec<Readiness>,
+        _timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<bool> {
+        // The scripted schedule *is* the clock: timeouts are ignored and
+        // every tick is one scripted entry.
         out.clear();
         let Some(tick) = self.ticks.pop_front() else {
             return Ok(false);

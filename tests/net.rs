@@ -1034,3 +1034,342 @@ fn loopback_256_connections_score_bit_identically_with_no_cross_delivery() {
     assert_eq!(ns.slow_consumer_pauses, 0);
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Admission-control and overload-protection batteries (scripted): the
+// token-bucket rate limiter, idle reaping, the connection quota, and the
+// fleet-wide admission watermark — each proven against the production
+// `EventLoop` with exact typed-error accounting and bit-identical scoring
+// for everything admitted.
+// ---------------------------------------------------------------------------
+
+/// The complete wire stream of one trip under an explicit id: start,
+/// every segment, end.
+fn trip_events(id: u64, t: &Trajectory) -> Vec<Event> {
+    let sd = t.sd_pair();
+    let mut events =
+        vec![Event::TripStart { id, source: sd.source.0, dest: sd.dest.0, time_slot: t.time_slot }];
+    events.extend(t.segments.iter().map(|seg| Event::Segment { id, seg: seg.0 }));
+    events.push(Event::TripEnd { id });
+    events
+}
+
+/// Concatenated frame bytes for a slice of events.
+fn stream_bytes(events: &[Event]) -> Vec<u8> {
+    events.iter().flat_map(frame_bytes).collect()
+}
+
+/// The rate-limit battery: a connection that overdraws its token bucket
+/// gets **exactly one** typed `Throttled` notice per episode (with a
+/// positive `retry_after_ms` hint), its reads pause — observable as an
+/// interest transition, exactly like the slow-consumer path — and after
+/// the bucket refills, reads resume and the connection keeps streaming.
+/// Every event decoded before the pause is admitted and scored
+/// **bit-identically**; throttling delays traffic, it never corrupts it.
+#[test]
+fn scripted_rate_limit_throttles_once_per_episode_and_resumes_bit_identically() {
+    use std::time::Duration;
+
+    let (city, model) = trained();
+    let base: Vec<&Trajectory> = city.data.test_id.iter().take(2).collect();
+    let trip0 = trip_events(0, base[0]);
+    let trip1 = trip_events(1, base[1]);
+    let all: Vec<Event> = trip0.iter().chain(trip1.iter()).copied().collect();
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &all, cfg.clone());
+
+    // A bucket of 2 tokens refilled at 10/s: each trip (>= 3 events)
+    // overdraws it within one tick, and a ~1s pause between bursts
+    // refills it back to the cap.
+    let net =
+        NetConfig { rate_limit_segments_per_s: 10, rate_limit_burst: 2, ..NetConfig::default() };
+
+    let (io0, h0) = scripted_conn();
+    h0.push_read(&stream_bytes(&trip0)); // tick 2: episode one
+    let mut second = stream_bytes(&trip1); // tick 4: episode two + barrier
+    second.extend_from_slice(&request_to_bytes(&Request::Flush));
+    h0.push_read(&second);
+
+    let ticks = vec![
+        Tick::new().inject(io0),
+        Tick::new().readable(0),
+        // Real time passes: the bucket refills past zero and the sweep
+        // ends the episode, restoring read interest.
+        Tick::new().act(|| std::thread::sleep(Duration::from_millis(1100))),
+        Tick::new().readable(0),
+        Tick::new().act(|| std::thread::sleep(Duration::from_millis(1100))),
+        Tick::new(),
+    ];
+
+    let core = IngestCore::build(Arc::clone(model), cfg, net).expect("core");
+    let source = ScriptedSource::new(ticks);
+    let log = source.log_handle();
+    EventLoop::new(Arc::clone(&core), source).run();
+
+    let responses = parse_written(&h0.take_written());
+    // Both throttle notices carry a positive pacing hint.
+    for resp in &responses {
+        if let Response::Error { code, retry_after_ms, .. } = resp {
+            assert_eq!(*code, ErrorCode::Throttled);
+            assert!(
+                retry_after_ms.is_some_and(|ms| ms > 0),
+                "throttle notice must carry a positive retry_after_ms"
+            );
+        }
+    }
+    let (got, stats, errors) = sort_responses(responses);
+    assert_eq!(stats, 1, "the flush barrier reply still arrives");
+    assert_eq!(
+        errors,
+        vec![(ErrorCode::Throttled, None), (ErrorCode::Throttled, None)],
+        "exactly one typed notice per throttle episode"
+    );
+    assert_bit_identical(&got, &reference);
+
+    let ns = core.net_stats();
+    assert_eq!(ns.throttled_replies, 2, "exactly two throttle episodes");
+    assert_eq!(ns.slow_consumer_pauses, 0, "throttling is not the slow-consumer path");
+    assert_eq!(ns.responses_dropped, 0);
+    let snapshot = core.metrics();
+    assert_eq!(snapshot.counter("net.throttled"), Some(2));
+
+    // Interest transitions: pause (readable off) then resume, twice.
+    let log = log.lock().unwrap();
+    let pauses = log.iter().filter(|&&(k, i)| k == 0 && !i.readable).count();
+    let resumes = log.iter().filter(|&&(k, i)| k == 0 && i.readable).count();
+    assert_eq!(pauses, 2, "one read pause per episode");
+    assert!(resumes >= 2, "reads must resume after each episode");
+    drop(log);
+    IngestCore::finish(core);
+}
+
+/// The idle-reaping battery: a connection holding a live trip is **never**
+/// reaped, no matter how long it sits idle past the timeout — its claims
+/// survive until the trip completes — while a connection whose trips have
+/// all finished is reaped with a typed `IdleTimeout` notice *after* every
+/// queued response was delivered.
+#[test]
+fn scripted_idle_reaping_spares_live_trips_and_notifies_finished_conns() {
+    use std::time::Duration;
+
+    let (city, model) = trained();
+    let base: Vec<&Trajectory> = city.data.test_id.iter().take(2).collect();
+    let trip0 = trip_events(0, base[0]);
+    let trip1 = trip_events(1, base[1]);
+    let all: Vec<Event> = trip0.iter().chain(trip1.iter()).copied().collect();
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &all, cfg.clone());
+
+    // A 50ms timeout against scripted 100ms idle gaps: every sleep tick
+    // pushes both connections well past the threshold, so the live-trip
+    // guard is the only thing keeping conn 0 alive.
+    let net = NetConfig { idle_timeout: Some(Duration::from_millis(50)), ..NetConfig::default() };
+    let flush = request_to_bytes(&Request::Flush);
+    let nap = || std::thread::sleep(Duration::from_millis(100));
+
+    let (io0, h0) = scripted_conn();
+    let (io1, h1) = scripted_conn();
+    // Conn 0 starts its trip but holds it open (no TripEnd yet).
+    let held = &trip0[..trip0.len() - 1];
+    h0.push_read(&stream_bytes(held));
+    // Conn 1 runs a complete trip, plus a barrier so its completion (and
+    // the live-trip release) has landed before the next idle scan.
+    let mut full = stream_bytes(&trip1);
+    full.extend_from_slice(&flush);
+    h1.push_read(&full);
+    // Conn 0 finally ends its trip (with its own barrier) two scans later.
+    let mut finish = stream_bytes(&trip0[trip0.len() - 1..]);
+    finish.extend_from_slice(&flush);
+    h0.push_read(&finish);
+
+    let ticks = vec![
+        Tick::new().inject(io0).inject(io1),
+        Tick::new().readable(0).readable(1),
+        // Two idle gaps pass: conn 1 (no live trips) is reaped; conn 0
+        // (one live trip) survives both despite sitting idle 4x the
+        // timeout.
+        Tick::new().act(nap),
+        Tick::new().act(nap),
+        Tick::new().readable(0),
+        Tick::new().act(nap),
+        Tick::new(),
+    ];
+
+    let core = IngestCore::build(Arc::clone(model), cfg, net).expect("core");
+    let source = ScriptedSource::new(ticks);
+    EventLoop::new(Arc::clone(&core), source).run();
+
+    let mut union = Produced::default();
+    for (c, handle) in [h0, h1].iter().enumerate() {
+        let responses = parse_written(&handle.take_written());
+        // The reap notice is the *last* frame: everything scored was
+        // delivered before the close — reaping never drops responses.
+        match responses.last() {
+            Some(Response::Error { code: ErrorCode::IdleTimeout, trip: None, .. }) => {}
+            other => panic!("conn {c}: expected a final IdleTimeout notice, got {other:?}"),
+        }
+        let (got, stats, errors) = sort_responses(responses);
+        assert_eq!(stats, 1, "conn {c} flush barriers");
+        assert_eq!(errors, vec![(ErrorCode::IdleTimeout, None)], "conn {c} notices");
+        for key in got.scores.keys() {
+            assert_eq!(key.0, c as u64, "score cross-delivered to conn {c}");
+        }
+        union.scores.extend(got.scores);
+        union.finals.extend(got.finals);
+    }
+    assert_bit_identical(&union, &reference);
+
+    let ns = core.net_stats();
+    assert_eq!(ns.idle_reaped, 2, "both conns reaped once their trips finished");
+    assert_eq!(ns.responses_dropped, 0);
+    let snapshot = core.metrics();
+    assert_eq!(snapshot.counter("net.idle_reaped"), Some(2));
+    IngestCore::finish(core);
+}
+
+/// The connection-quota battery: a transport over `max_connections` is
+/// answered with one clean typed `ConnLimit` error — a decodable frame,
+/// not a silent hangup — and never registered, while the admitted
+/// connection streams bit-identically, unaffected.
+#[test]
+fn scripted_connection_quota_rejects_typed_not_a_hangup() {
+    let (city, model) = trained();
+    let trip = trip_events(0, city.data.test_id.first().expect("trips"));
+    let cfg = FleetConfig { num_shards: 2, ..FleetConfig::default() };
+    let reference = in_process(model, &trip, cfg.clone());
+
+    let net = NetConfig { max_connections: 1, ..NetConfig::default() };
+
+    let (io0, h0) = scripted_conn();
+    let (io1, h1) = scripted_conn();
+    let mut stream = stream_bytes(&trip);
+    stream.extend_from_slice(&request_to_bytes(&Request::Flush));
+    h0.push_read(&stream);
+
+    let ticks = vec![Tick::new().inject(io0).inject(io1), Tick::new().readable(0), Tick::new()];
+
+    let core = IngestCore::build(Arc::clone(model), cfg, net).expect("core");
+    let source = ScriptedSource::new(ticks);
+    EventLoop::new(Arc::clone(&core), source).run();
+
+    // The rejected transport got exactly one decodable typed error.
+    let rejected = parse_written(&h1.take_written());
+    match rejected.as_slice() {
+        [Response::Error {
+            code: ErrorCode::ConnLimit,
+            trip: None,
+            retry_after_ms: None,
+            detail,
+        }] => {
+            assert!(detail.contains("quota"), "detail names the quota: {detail}");
+        }
+        other => panic!("expected exactly one ConnLimit error, got {other:?}"),
+    }
+
+    // The admitted connection is untouched: full bit-identical stream.
+    let (got, stats, errors) = sort_responses(parse_written(&h0.take_written()));
+    assert_eq!(stats, 1);
+    assert!(errors.is_empty(), "admitted conn got errors: {errors:?}");
+    assert_bit_identical(&got, &reference);
+
+    let ns = core.net_stats();
+    assert_eq!(ns.conns_rejected, 1);
+    assert_eq!(ns.connections_accepted, 1, "the rejected transport was never registered");
+    let snapshot = core.metrics();
+    assert_eq!(snapshot.counter("net.conns_rejected"), Some(1));
+    IngestCore::finish(core);
+}
+
+/// The admission-watermark battery: with the fleet at its session
+/// watermark, a **new** `TripStart` (and its same-cohort events) is shed
+/// with a typed `Throttled` reply carrying the engine's configured retry
+/// hint — while the already-admitted trips keep scoring bit-identically.
+/// Shed counts are exact on both the serve and net ledgers.
+#[test]
+fn scripted_admission_watermark_sheds_new_trips_while_inflight_keep_scoring() {
+    use std::time::Duration;
+
+    let (city, model) = trained();
+    let base: Vec<&Trajectory> = city.data.test_id.iter().take(3).collect();
+    let trip0 = trip_events(0, base[0]);
+    let trip1 = trip_events(1, base[1]);
+    let cfg = FleetConfig {
+        num_shards: 2,
+        admission_session_watermark: 2,
+        admission_retry_after: Duration::from_millis(250),
+        ..FleetConfig::default()
+    };
+    // The reference scores only what admission admits: trips 0 and 1.
+    let admitted: Vec<Event> = trip0.iter().chain(trip1.iter()).copied().collect();
+    let reference = in_process(model, &admitted, cfg.clone());
+
+    let flush = request_to_bytes(&Request::Flush);
+    let (io0, h0) = scripted_conn();
+    // Tick 2: both trips start (admitted — the fleet was empty when the
+    // cohort entered). The barrier pins active_sessions at 2 before the
+    // next tick's admission check.
+    let mut first = Vec::new();
+    first.extend_from_slice(&frame_bytes(&trip0[0]));
+    first.extend_from_slice(&frame_bytes(&trip1[0]));
+    first.extend_from_slice(&flush);
+    h0.push_read(&first);
+    // Tick 3: at the watermark, trip 2 tries to start and stream one
+    // segment — both shed — while trips 0 and 1 stream their bodies.
+    let sd2 = base[2].sd_pair();
+    let start2 = Event::TripStart {
+        id: 2,
+        source: sd2.source.0,
+        dest: sd2.dest.0,
+        time_slot: base[2].time_slot,
+    };
+    let seg2 = Event::Segment { id: 2, seg: base[2].segments[0].0 };
+    let mut second = Vec::new();
+    second.extend_from_slice(&frame_bytes(&start2));
+    second.extend_from_slice(&frame_bytes(&seg2));
+    second.extend_from_slice(&stream_bytes(&trip0[1..]));
+    second.extend_from_slice(&stream_bytes(&trip1[1..]));
+    second.extend_from_slice(&flush);
+    h0.push_read(&second);
+
+    let ticks = vec![
+        Tick::new().inject(io0),
+        Tick::new().readable(0),
+        Tick::new().readable(0),
+        Tick::new(),
+    ];
+
+    let core = IngestCore::build(Arc::clone(model), cfg, NetConfig::default()).expect("core");
+    let source = ScriptedSource::new(ticks);
+    EventLoop::new(Arc::clone(&core), source).run();
+
+    let responses = parse_written(&h0.take_written());
+    // Every shed reply names the refused trip and carries the engine's
+    // configured pacing hint.
+    for resp in &responses {
+        if let Response::Error { code, trip, retry_after_ms, .. } = resp {
+            assert_eq!(*code, ErrorCode::Throttled);
+            assert_eq!(*trip, Some(2), "only trip 2 is shed");
+            assert_eq!(*retry_after_ms, Some(250), "the FleetConfig retry hint rides the wire");
+        }
+    }
+    let (got, stats, errors) = sort_responses(responses);
+    assert_eq!(stats, 2, "both flush barriers answered");
+    assert_eq!(
+        errors,
+        vec![(ErrorCode::Throttled, Some(2)), (ErrorCode::Throttled, Some(2))],
+        "the shed TripStart and its same-cohort segment each get a typed reply"
+    );
+    assert!(
+        got.scores.keys().all(|&(id, _)| id < 2) && !got.finals.contains_key(&2),
+        "a shed trip must never score"
+    );
+    assert_bit_identical(&got, &reference);
+
+    let snapshot = core.metrics();
+    assert_eq!(snapshot.counter("serve.admission_shed"), Some(2));
+    assert_eq!(snapshot.counter("net.throttled"), Some(2));
+    let ns = core.net_stats();
+    assert_eq!(ns.throttled_replies, 2);
+    assert_eq!(ns.responses_dropped, 0);
+    IngestCore::finish(core);
+}

@@ -188,14 +188,18 @@ fn arb_response(rng: &mut StdRng) -> Response {
         3 => {
             let detail_len = rng.gen_range(0usize..200);
             Response::Error {
-                code: match rng.gen_range(0u8..5) {
+                code: match rng.gen_range(0u8..8) {
                     0 => ErrorCode::Backpressure,
                     1 => ErrorCode::Rejected,
                     2 => ErrorCode::EngineClosed,
                     3 => ErrorCode::BadFrame,
-                    _ => ErrorCode::SnapshotFailed,
+                    4 => ErrorCode::SnapshotFailed,
+                    5 => ErrorCode::Throttled,
+                    6 => ErrorCode::ConnLimit,
+                    _ => ErrorCode::IdleTimeout,
                 },
                 trip: rng.gen_bool(0.5).then(|| rng.gen_range(0u64..u64::MAX)),
+                retry_after_ms: rng.gen_bool(0.5).then(|| rng.gen_range(0u64..600_000)),
                 detail: (0..detail_len).map(|_| char::from(rng.gen_range(b' '..b'~'))).collect(),
             }
         }

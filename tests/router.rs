@@ -668,7 +668,7 @@ fn drain_counted(client: &mut Client, produced: &mut Produced) -> (usize, usize)
                     produced.finals.insert(tc.id, (tc.score.to_bits(), tc.segments()));
                 }
             }
-            Response::Error { code, trip, detail } => {
+            Response::Error { code, trip, detail, .. } => {
                 panic!("unexpected error frame: {code} trip={trip:?} {detail}")
             }
             other => panic!("unexpected response: {other:?}"),
